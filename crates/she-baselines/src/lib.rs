@@ -1,0 +1,38 @@
+//! Sliding-window baselines from the SHE paper's evaluation (§2.2, §7.1).
+//!
+//! Every competitor that appears in Figs. 9–11, implemented from its source
+//! publication:
+//!
+//! | Baseline | Task | Figure | Module |
+//! |----------|------|--------|--------|
+//! | [`Swamp`] (Assaf et al.)        | membership / cardinality / frequency | 9a, 9c, 9d | [`swamp`] |
+//! | [`SlidingHyperLogLog`] (Chabchoub & Hébrail) | cardinality | 9b, 10a | [`shll`] |
+//! | [`CounterVectorSketch`] (Shan et al.) | cardinality | 9a, 10b | [`cvs`] |
+//! | [`TimestampVector`] (Kim & O'Hallaron) | cardinality | 9a | [`tsv`] |
+//! | [`TimeOutBloomFilter`] (Kong et al.) | membership | 9d | [`tobf`] |
+//! | [`TimingBloomFilter`] (Zhang & Guan) | membership | 9d | [`tbf`] |
+//! | [`EcmSketch`] (Papapetrou et al.) | frequency | 9c | [`ecm`] |
+//! | [`StrawmanMinHash`] (paper §7.1) | similarity | 9e | [`strawman_mh`] |
+//!
+//! All baselines are keyed by `u64` (the workload generators' key type) and
+//! report their memory footprint with the same bit-level accounting the
+//! paper uses (64-bit timestamps where the paper says so).
+
+pub mod cvs;
+pub mod ecm;
+pub mod shll;
+pub mod strawman_mh;
+pub mod swamp;
+pub mod tinytable;
+pub mod tbf;
+pub mod tobf;
+pub mod tsv;
+
+pub use cvs::CounterVectorSketch;
+pub use ecm::EcmSketch;
+pub use shll::SlidingHyperLogLog;
+pub use strawman_mh::StrawmanMinHash;
+pub use swamp::Swamp;
+pub use tbf::TimingBloomFilter;
+pub use tobf::TimeOutBloomFilter;
+pub use tsv::TimestampVector;

@@ -1,0 +1,179 @@
+//! Sliding HyperLogLog (Chabchoub & Hébrail — ICDMW 2010).
+//!
+//! Classic HyperLogLog where each register keeps, instead of a single
+//! maximum, the *list of possible future maxima* (LPFM): the time-descending
+//! sequence of `(timestamp, rank)` records such that every kept record has a
+//! strictly larger rank than all newer ones. Deletion of out-dated items is
+//! exact — any window `≤ N` can be answered — but the lists make memory
+//! usage input-dependent and unbounded in the worst case, the drawback the
+//! SHE paper highlights.
+
+use she_hash::{rank_of, HashFamily};
+use she_sketch::{hll_alpha, hll_estimate_subset};
+
+/// One LPFM record: an item with `rank` arrived at `time`.
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    time: u64,
+    rank: u8,
+}
+
+/// Sliding-window HyperLogLog with exact expiry.
+#[derive(Debug, Clone)]
+pub struct SlidingHyperLogLog {
+    window: u64,
+    hc: HashFamily,
+    hz: HashFamily,
+    /// Per-register LPFM, oldest record first; ranks strictly decrease
+    /// towards the back... strictly decrease from front (oldest, largest)
+    /// to back (newest, smallest is not required — see `insert`).
+    registers: Vec<Vec<Record>>,
+    now: u64,
+}
+
+impl SlidingHyperLogLog {
+    /// `m` registers over a window of `window` items.
+    pub fn new(m: usize, window: u64, seed: u32) -> Self {
+        assert!(m > 0 && window > 0);
+        Self {
+            window,
+            hc: HashFamily::new(1, seed),
+            hz: HashFamily::new(1, seed ^ 0x5bd1_e995),
+            registers: vec![Vec::new(); m],
+            now: 0,
+        }
+    }
+
+    /// Number of registers.
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Insert the next item.
+    pub fn insert(&mut self, key: u64) {
+        self.now += 1;
+        let t = self.now;
+        let idx = self.hc.index(0, &key, self.registers.len());
+        let rank = rank_of(self.hz.hash(0, &key) as u64, 32);
+        let list = &mut self.registers[idx];
+        // Expire records older than the maximal window of interest.
+        let cutoff = t.saturating_sub(self.window);
+        list.retain(|r| r.time > cutoff);
+        // LPFM maintenance: drop every record with rank ≤ the newcomer's —
+        // being older *and* no larger, they can never again be a window
+        // maximum.
+        while let Some(last) = list.last() {
+            if last.rank <= rank {
+                list.pop();
+            } else {
+                break;
+            }
+        }
+        list.push(Record { time: t, rank });
+    }
+
+    /// Maximum rank within the last `window` items for register `i`
+    /// (0 when empty).
+    fn window_rank(&self, i: usize) -> u64 {
+        let cutoff = self.now.saturating_sub(self.window);
+        self.registers[i]
+            .iter()
+            .find(|r| r.time > cutoff)
+            .map(|r| r.rank as u64)
+            .unwrap_or(0)
+    }
+
+    /// Cardinality estimate over the sliding window (standard HLL
+    /// estimator with small-range correction).
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len();
+        hll_estimate_subset((0..m).map(|i| self.window_rank(i)), m)
+    }
+
+    /// The HLL bias constant for this register count (exposed for tests).
+    pub fn alpha_m(&self) -> f64 {
+        hll_alpha(self.registers.len())
+    }
+
+    /// Actual memory footprint in bits: every LPFM record carries the
+    /// paper-specified 64-bit timestamp plus a 5-bit rank.
+    pub fn memory_bits(&self) -> usize {
+        self.registers.iter().map(|l| l.len() * (64 + 5)).sum()
+    }
+
+    /// Total LPFM records (memory proxy).
+    pub fn total_records(&self) -> usize {
+        self.registers.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_window_cardinality() {
+        let window = 1u64 << 14;
+        let mut s = SlidingHyperLogLog::new(1 << 10, window, 1);
+        for i in 0..4 * window {
+            s.insert(i);
+        }
+        let est = s.estimate();
+        let re = (est - window as f64).abs() / window as f64;
+        assert!(re < 0.15, "estimate {est}, re {re}");
+    }
+
+    #[test]
+    fn expiry_is_exact() {
+        let window = 1000u64;
+        let mut s = SlidingHyperLogLog::new(256, window, 2);
+        // Phase 1: large cardinality.
+        for i in 0..10_000u64 {
+            s.insert(i);
+        }
+        // Phase 2: one full window of a single repeated key.
+        for _ in 0..window {
+            s.insert(42);
+        }
+        let est = s.estimate();
+        assert!(est < 20.0, "stale cardinality {est} after exact expiry");
+    }
+
+    #[test]
+    fn lpfm_ranks_strictly_decrease_with_recency() {
+        let mut s = SlidingHyperLogLog::new(16, 1 << 12, 3);
+        for i in 0..20_000u64 {
+            s.insert(i);
+        }
+        for list in &s.registers {
+            for w in list.windows(2) {
+                assert!(w[0].rank > w[1].rank, "LPFM invariant violated");
+                assert!(w[0].time < w[1].time, "LPFM time order violated");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_grows_beyond_plain_hll() {
+        let mut s = SlidingHyperLogLog::new(256, 1 << 14, 4);
+        for i in 0..(1u64 << 16) {
+            s.insert(i);
+        }
+        // Plain HLL: 256 × 5 bits = 1280. SHLL must charge timestamps.
+        assert!(s.memory_bits() > 1280, "memory {}", s.memory_bits());
+        assert!(s.total_records() >= 256);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let window = 1u64 << 12;
+        let mut s = SlidingHyperLogLog::new(512, window, 5);
+        for i in 0..4 * window {
+            s.insert(i / 4);
+        }
+        let truth = window as f64 / 4.0;
+        let est = s.estimate();
+        let re = (est - truth).abs() / truth;
+        assert!(re < 0.2, "estimate {est} truth {truth}");
+    }
+}

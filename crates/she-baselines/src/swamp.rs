@@ -1,0 +1,224 @@
+//! SWAMP (Assaf, Ben Basat, Einziger, Friedman — INFOCOM 2018).
+//!
+//! A cyclic queue holds the fingerprints of the last `W` items; a counting
+//! table tracks the multiplicity of every distinct fingerprint currently in
+//! the queue. One structure answers membership (`ISMEMBER`), frequency, and
+//! distinct-count (`DISTINCT` with its MLE correction) queries — the
+//! "generic algorithm" the paper positions SHE against.
+//!
+//! The counting dictionary is a real compact table
+//! ([`crate::tinytable::TinyTable`]): packed fingerprint+counter slots
+//! with open addressing, standing in for the original's TinyTable at the
+//! same bits-per-entry budget.
+
+use crate::tinytable::TinyTable;
+use she_hash::HashFamily;
+
+/// SWAMP over a window of `W` items with `f`-bit fingerprints.
+///
+/// ```
+/// use she_baselines::Swamp;
+///
+/// let mut s = Swamp::new(1_000, 24, 1);
+/// for i in 0..5_000u64 {
+///     s.insert(i % 300); // 300 distinct keys rotate through the window
+/// }
+/// assert!(s.contains(299));
+/// assert!((s.distinct_mle() - 300.0).abs() < 15.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Swamp {
+    window: usize,
+    fp_bits: u32,
+    family: HashFamily,
+    /// Cyclic fingerprint queue; `None` until warm.
+    queue: Vec<u32>,
+    head: usize,
+    filled: bool,
+    counts: TinyTable,
+}
+
+impl Swamp {
+    /// SWAMP over the last `window` items with `fp_bits`-bit fingerprints.
+    pub fn new(window: usize, fp_bits: u32, seed: u32) -> Self {
+        assert!(window > 0);
+        assert!((1..=32).contains(&fp_bits));
+        Self {
+            window,
+            fp_bits,
+            family: HashFamily::new(1, seed),
+            queue: vec![0; window],
+            head: 0,
+            filled: false,
+            counts: TinyTable::new(window + 1, fp_bits),
+        }
+    }
+
+    /// Size SWAMP from a memory budget in bytes: the queue (`W · f` bits)
+    /// plus the counting table (~`1.3 · W · (f + 8)` bits of packed slots)
+    /// must fit. Given the fixed window, this determines the affordable
+    /// fingerprint width (minimum 1 bit); when the budget is too small for
+    /// even 1-bit fingerprints SWAMP simply cannot represent the window —
+    /// we clamp to 1 bit and let the (terrible) accuracy show, as in
+    /// Fig. 9.
+    pub fn with_memory(window: usize, bytes: usize, seed: u32) -> Self {
+        let bits_per_slot = (bytes * 8) as f64 / window as f64;
+        let f = (((bits_per_slot - 10.4) / 2.3).floor() as i64).clamp(1, 32) as u32;
+        Self::new(window, f, seed)
+    }
+
+    fn fingerprint(&self, key: u64) -> u32 {
+        let h = self.family.hash(0, &key);
+        if self.fp_bits == 32 {
+            h
+        } else {
+            h & ((1 << self.fp_bits) - 1)
+        }
+    }
+
+    /// Insert the next item: overwrite the oldest fingerprint and adjust
+    /// both multiplicities.
+    pub fn insert(&mut self, key: u64) {
+        let fp = self.fingerprint(key);
+        if self.filled {
+            let old = self.queue[self.head];
+            self.counts.decrement(old as u64);
+        }
+        self.queue[self.head] = fp;
+        self.counts.increment(fp as u64);
+        self.head += 1;
+        if self.head == self.window {
+            self.head = 0;
+            self.filled = true;
+        }
+    }
+
+    /// `ISMEMBER`: is some item with this fingerprint in the window?
+    pub fn contains(&self, key: u64) -> bool {
+        self.counts.contains(self.fingerprint(key) as u64)
+    }
+
+    /// `FREQUENCY`: multiplicity of the item's fingerprint in the window
+    /// (an overestimate under fingerprint collisions, like the original).
+    pub fn frequency(&self, key: u64) -> u32 {
+        self.counts.count(self.fingerprint(key) as u64) as u32
+    }
+
+    /// `DISTINCT` with the MLE correction: observing `D` distinct
+    /// fingerprints out of a space of `R = 2^f`, the maximum-likelihood
+    /// distinct-item count is `ln(1 − D/R) / ln(1 − 1/R)`.
+    pub fn distinct_mle(&self) -> f64 {
+        let d = self.counts.distinct() as f64;
+        let r = 2f64.powi(self.fp_bits as i32);
+        if d >= r {
+            // Fingerprint space saturated: clamp to the last resolvable
+            // point (every further distinct item is invisible).
+            return (1.0 - (r - 1.0) / r).ln() / (1.0 - 1.0 / r).ln();
+        }
+        (1.0 - d / r).ln() / (1.0 - 1.0 / r).ln()
+    }
+
+    /// Fingerprint width in bits.
+    pub fn fp_bits(&self) -> u32 {
+        self.fp_bits
+    }
+
+    /// Memory footprint in bits: the fingerprint queue plus the actual
+    /// packed counting table.
+    pub fn memory_bits(&self) -> usize {
+        self.window * self.fp_bits as usize + self.counts.memory_bits()
+    }
+
+    /// Number of items currently in the queue.
+    pub fn len(&self) -> usize {
+        if self.filled {
+            self.window
+        } else {
+            self.head
+        }
+    }
+
+    /// True before the first insertion.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_within_window_is_exact_with_wide_fingerprints() {
+        let mut s = Swamp::new(1000, 32, 1);
+        for i in 0..5000u64 {
+            s.insert(i);
+        }
+        for i in 4000..5000u64 {
+            assert!(s.contains(i), "missing in-window item {i}");
+        }
+        // Far-past items have slid out (no 32-bit collisions expected among
+        // 1000 fingerprints).
+        let stale = (0..1000u64).filter(|&i| s.contains(i)).count();
+        assert!(stale <= 2, "{stale} stale hits");
+    }
+
+    #[test]
+    fn frequency_counts_window_multiplicity() {
+        let mut s = Swamp::new(100, 32, 2);
+        for i in 0..100u64 {
+            s.insert(i % 10);
+        }
+        for k in 0..10u64 {
+            assert_eq!(s.frequency(k), 10);
+        }
+        // Slide 50 new singleton items in.
+        for i in 0..50u64 {
+            s.insert(1000 + i);
+        }
+        let total: u32 = (0..10u64).map(|k| s.frequency(k)).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn narrow_fingerprints_cause_false_positives() {
+        let mut s = Swamp::new(4096, 4, 3); // 16 fingerprint values only
+        for i in 0..4096u64 {
+            s.insert(i);
+        }
+        // With the space saturated, everything is a member.
+        let fp = (1_000_000..1_000_100u64).filter(|&i| s.contains(i)).count();
+        assert!(fp >= 95, "expected near-total false positives, got {fp}");
+    }
+
+    #[test]
+    fn distinct_mle_tracks_cardinality() {
+        let mut s = Swamp::new(10_000, 20, 4);
+        for i in 0..10_000u64 {
+            s.insert(i % 3000);
+        }
+        let est = s.distinct_mle();
+        let re = (est - 3000.0).abs() / 3000.0;
+        assert!(re < 0.05, "estimate {est}, re {re}");
+    }
+
+    #[test]
+    fn memory_budget_determines_fp_width() {
+        let wide = Swamp::with_memory(1 << 10, 64 << 10, 0);
+        let narrow = Swamp::with_memory(1 << 10, 1 << 9, 0);
+        assert!(wide.fp_bits() > narrow.fp_bits());
+        assert_eq!(narrow.fp_bits(), 1, "starved budget clamps to 1 bit");
+        assert!(wide.memory_bits() <= 64 << 13);
+    }
+
+    #[test]
+    fn queue_wraps_correctly() {
+        let mut s = Swamp::new(3, 32, 5);
+        for k in [1u64, 2, 3, 4, 5] {
+            s.insert(k);
+        }
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(1) && !s.contains(2));
+        assert!(s.contains(3) && s.contains(4) && s.contains(5));
+    }
+}

@@ -1,0 +1,177 @@
+//! Timing Bloom Filter (Zhang & Guan — ICDCS 2008).
+//!
+//! Like the Time-Out Bloom filter but with *wraparound* time counters
+//! instead of full 64-bit timestamps: each cell stores the arrival time
+//! modulo a small counter range, and every insertion incrementally scans a
+//! slice of the array, emptying cells whose age exceeds the window before
+//! the wrapped values could become ambiguous. The paper's §7.1 setting uses
+//! 18-bit counters and 8 hash functions.
+
+use she_hash::HashFamily;
+use she_sketch::PackedArray;
+
+/// TBF: `m` wraparound time counters of `counter_bits` bits, `k` hash
+/// functions, window of `window` items.
+#[derive(Debug, Clone)]
+pub struct TimingBloomFilter {
+    window: u64,
+    family: HashFamily,
+    cells: PackedArray,
+    /// Wraparound modulus; `modulus` itself is the "empty" sentinel... the
+    /// sentinel is `2^bits − 1` and stored times live in `[0, 2^bits − 1)`.
+    modulus: u64,
+    empty: u64,
+    /// Incremental cleaning cursor.
+    cursor: usize,
+    /// Cells to sweep per insertion: a full pass every `window` items.
+    step: usize,
+    now: u64,
+}
+
+impl TimingBloomFilter {
+    /// `m` counters of `counter_bits` bits (≥ 2), `k` hash functions.
+    ///
+    /// `counter_bits` must satisfy `2^bits − 1 > 2·window` so a wrapped
+    /// time can always be disambiguated between two cleaning passes.
+    pub fn new(m: usize, counter_bits: u32, k: usize, window: u64, seed: u32) -> Self {
+        assert!(m > 0 && window > 0);
+        let empty = (1u64 << counter_bits) - 1;
+        let modulus = empty; // stored times in [0, empty)
+        assert!(
+            modulus > 2 * window,
+            "counter range 2^{counter_bits}-1 too small for window {window}"
+        );
+        let mut cells = PackedArray::new(m, counter_bits);
+        for i in 0..m {
+            cells.set(i, empty);
+        }
+        Self {
+            window,
+            family: HashFamily::new(k, seed),
+            cells,
+            modulus,
+            empty,
+            cursor: 0,
+            step: m.div_ceil(window as usize),
+            now: 0,
+        }
+    }
+
+    /// Sized from a memory budget in bytes with the paper's 18-bit counters.
+    pub fn with_memory(bytes: usize, k: usize, window: u64, seed: u32) -> Self {
+        Self::new(((bytes * 8) / 18).max(k), 18, k, window, seed)
+    }
+
+    fn wrapped_now(&self) -> u64 {
+        self.now % self.modulus
+    }
+
+    /// Age of a stored wrapped time relative to now.
+    fn age_of(&self, stored: u64) -> u64 {
+        (self.wrapped_now() + self.modulus - stored) % self.modulus
+    }
+
+    /// Sweep the next `step` cells, emptying those older than the window.
+    fn sweep(&mut self) {
+        for _ in 0..self.step {
+            let v = self.cells.get(self.cursor);
+            if v != self.empty && self.age_of(v) > self.window {
+                self.cells.set(self.cursor, self.empty);
+            }
+            self.cursor += 1;
+            if self.cursor == self.cells.len() {
+                self.cursor = 0;
+            }
+        }
+    }
+
+    /// Insert the next item.
+    pub fn insert(&mut self, key: u64) {
+        self.now += 1;
+        self.sweep();
+        let t = self.wrapped_now();
+        for i in 0..self.family.k() {
+            let idx = self.family.index(i, &key, self.cells.len());
+            self.cells.set(idx, t);
+        }
+    }
+
+    /// Membership: every hashed counter non-empty and within the window.
+    pub fn contains(&self, key: u64) -> bool {
+        (0..self.family.k()).all(|i| {
+            let v = self.cells.get(self.family.index(i, &key, self.cells.len()));
+            v != self.empty && self.age_of(v) <= self.window
+        })
+    }
+
+    /// Memory footprint in bits.
+    pub fn memory_bits(&self) -> usize {
+        self.cells.memory_bits()
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_within_window() {
+        let window = 1u64 << 10;
+        let mut f = TimingBloomFilter::new(1 << 14, 18, 4, window, 1);
+        for i in 0..3 * window {
+            f.insert(i);
+        }
+        for i in 2 * window..3 * window {
+            assert!(f.contains(i), "false negative on {i}");
+        }
+    }
+
+    #[test]
+    fn expired_items_rejected() {
+        let window = 256u64;
+        let mut f = TimingBloomFilter::new(1 << 12, 18, 4, window, 2);
+        f.insert(999_999);
+        for i in 0..4 * window {
+            f.insert(i);
+        }
+        assert!(!f.contains(999_999));
+    }
+
+    #[test]
+    fn survives_many_wraparounds() {
+        // Run long enough for the wrapped clock to lap several times; the
+        // incremental sweep must keep answers consistent.
+        let window = 64u64;
+        let mut f = TimingBloomFilter::new(512, 9, 2, window, 3); // modulus 511
+        for i in 0..20_000u64 {
+            f.insert(i % 1000);
+        }
+        // Keys inserted within the last window must be present.
+        for i in (20_000 - 64)..20_000u64 {
+            assert!(f.contains(i % 1000), "false negative after wrap, {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_counters_too_narrow_for_window() {
+        let _ = TimingBloomFilter::new(64, 8, 2, 200, 0); // 255 < 2·200
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let f = TimingBloomFilter::with_memory(1800, 8, 100, 0);
+        assert_eq!(f.len(), 800);
+        assert_eq!(f.memory_bits(), 800 * 18);
+    }
+}

@@ -1,0 +1,252 @@
+//! A compact counting fingerprint table — the TinyTable role in SWAMP.
+//!
+//! Open-addressing (linear probing) over packed slots of
+//! `fingerprint_bits + 8` bits: a fingerprint and a small saturating
+//! counter. Counts that outgrow 8 bits spill to a tiny side map (only ever
+//! heavy fingerprints; the common case stays in the packed array), so
+//! increments and decrements stay exact — which SWAMP's
+//! delete-the-oldest-fingerprint path requires.
+//!
+//! Fingerprint value 0 marks an empty slot; user fingerprints equal to 0
+//! are remapped to a reserved non-zero alias so no information is lost.
+
+use she_sketch::PackedArray;
+use std::collections::HashMap;
+
+const COUNTER_BITS: u32 = 8;
+const COUNTER_MAX: u64 = (1 << COUNTER_BITS) - 1;
+
+/// Compact counting multiset of fingerprints.
+#[derive(Debug, Clone)]
+pub struct TinyTable {
+    /// Packed slots: low `fp_bits` the fingerprint, high 8 the counter.
+    slots: PackedArray,
+    fp_bits: u32,
+    capacity: usize,
+    len_distinct: usize,
+    /// Exact counts for fingerprints whose counter saturated.
+    spill: HashMap<u64, u64>,
+}
+
+impl TinyTable {
+    /// Table sized for up to `items` live fingerprints of `fp_bits` bits
+    /// (capacity is 1.25× for probing headroom).
+    pub fn new(items: usize, fp_bits: u32) -> Self {
+        assert!(items > 0);
+        assert!((1..=32).contains(&fp_bits));
+        let capacity = (items + items / 4 + 1).next_power_of_two();
+        Self {
+            slots: PackedArray::new(capacity, fp_bits + COUNTER_BITS),
+            fp_bits,
+            capacity,
+            len_distinct: 0,
+            spill: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn alias(&self, fp: u64) -> u64 {
+        let mask = if self.fp_bits == 32 { u32::MAX as u64 } else { (1u64 << self.fp_bits) - 1 };
+        let fp = fp & mask;
+        if fp == 0 {
+            1 // reserved alias: empty-slot sentinel stays unambiguous
+        } else {
+            fp
+        }
+    }
+
+    #[inline]
+    fn unpack(&self, slot: u64) -> (u64, u64) {
+        let fp_mask = (1u64 << self.fp_bits) - 1;
+        (slot & fp_mask, slot >> self.fp_bits)
+    }
+
+    #[inline]
+    fn pack(&self, fp: u64, count: u64) -> u64 {
+        fp | (count << self.fp_bits)
+    }
+
+    /// Find the slot index holding `fp`, or the first empty slot on its
+    /// probe path.
+    fn probe(&self, fp: u64) -> usize {
+        let mut i = (she_hash::mix64(fp) as usize) & (self.capacity - 1);
+        loop {
+            let (sfp, _) = self.unpack(self.slots.get(i));
+            if sfp == fp || sfp == 0 {
+                return i;
+            }
+            i = (i + 1) & (self.capacity - 1);
+        }
+    }
+
+    /// Add one occurrence of `fp`.
+    pub fn increment(&mut self, fp: u64) {
+        let fp = self.alias(fp);
+        let i = self.probe(fp);
+        let (sfp, count) = self.unpack(self.slots.get(i));
+        if sfp == 0 {
+            assert!(
+                self.len_distinct < self.capacity - 1,
+                "TinyTable over capacity: size it for the window"
+            );
+            self.slots.set(i, self.pack(fp, 1));
+            self.len_distinct += 1;
+        } else if count == COUNTER_MAX {
+            *self.spill.entry(fp).or_insert(COUNTER_MAX) += 1;
+        } else {
+            self.slots.set(i, self.pack(fp, count + 1));
+        }
+    }
+
+    /// Remove one occurrence of `fp` (must be present).
+    pub fn decrement(&mut self, fp: u64) {
+        let fp = self.alias(fp);
+        let i = self.probe(fp);
+        let (sfp, count) = self.unpack(self.slots.get(i));
+        assert!(sfp == fp && count > 0, "decrement of absent fingerprint");
+        if let Some(spilled) = self.spill.get_mut(&fp) {
+            *spilled -= 1;
+            if *spilled == COUNTER_MAX {
+                self.spill.remove(&fp);
+            }
+            return;
+        }
+        if count == 1 {
+            self.remove_slot(i);
+        } else {
+            self.slots.set(i, self.pack(fp, count - 1));
+        }
+    }
+
+    /// Delete slot `i` and re-seat any displaced probe chains (standard
+    /// linear-probing backward-shift deletion).
+    fn remove_slot(&mut self, i: usize) {
+        self.slots.set(i, 0);
+        self.len_distinct -= 1;
+        let mut j = (i + 1) & (self.capacity - 1);
+        loop {
+            let slot = self.slots.get(j);
+            let (fp, _) = self.unpack(slot);
+            if fp == 0 {
+                break;
+            }
+            // Re-insert the displaced entry.
+            self.slots.set(j, 0);
+            let k = self.probe(fp);
+            self.slots.set(k, slot);
+            j = (j + 1) & (self.capacity - 1);
+        }
+    }
+
+    /// Multiplicity of `fp`.
+    pub fn count(&self, fp: u64) -> u64 {
+        let fp = self.alias(fp);
+        if let Some(&spilled) = self.spill.get(&fp) {
+            return spilled;
+        }
+        let i = self.probe(fp);
+        let (sfp, count) = self.unpack(self.slots.get(i));
+        if sfp == fp {
+            count
+        } else {
+            0
+        }
+    }
+
+    /// Is `fp` present?
+    pub fn contains(&self, fp: u64) -> bool {
+        self.count(fp) > 0
+    }
+
+    /// Number of distinct fingerprints held.
+    pub fn distinct(&self) -> usize {
+        self.len_distinct
+    }
+
+    /// Memory footprint in bits (packed slots; the rare spill entries are
+    /// charged at 72 bits each).
+    pub fn memory_bits(&self) -> usize {
+        self.slots.memory_bits() + self.spill.len() * 72
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_decrement_roundtrip() {
+        let mut t = TinyTable::new(100, 16);
+        for fp in 1..=50u64 {
+            for _ in 0..fp {
+                t.increment(fp);
+            }
+        }
+        assert_eq!(t.distinct(), 50);
+        for fp in 1..=50u64 {
+            assert_eq!(t.count(fp), fp);
+        }
+        for fp in 1..=50u64 {
+            t.decrement(fp);
+        }
+        assert_eq!(t.count(1), 0);
+        assert!(!t.contains(1));
+        assert_eq!(t.count(50), 49);
+        assert_eq!(t.distinct(), 49);
+    }
+
+    #[test]
+    fn zero_fingerprint_is_aliased() {
+        let mut t = TinyTable::new(10, 8);
+        t.increment(0);
+        t.increment(256); // also aliases to 0 & then 1 under an 8-bit mask
+        assert_eq!(t.count(0), 2);
+        t.decrement(0);
+        t.decrement(0);
+        assert_eq!(t.count(0), 0);
+    }
+
+    #[test]
+    fn counter_saturation_spills_exactly() {
+        let mut t = TinyTable::new(10, 12);
+        for _ in 0..1000 {
+            t.increment(7);
+        }
+        assert_eq!(t.count(7), 1000);
+        for _ in 0..990 {
+            t.decrement(7);
+        }
+        assert_eq!(t.count(7), 10);
+        assert_eq!(t.memory_bits(), t.slots.memory_bits(), "spill drained");
+    }
+
+    #[test]
+    fn deletion_preserves_probe_chains() {
+        // Force collisions with a tiny table and verify lookups survive
+        // backward-shift deletion.
+        let mut t = TinyTable::new(4, 20);
+        let fps = [3u64, 11, 19, 27];
+        for &fp in &fps {
+            t.increment(fp);
+        }
+        t.decrement(11);
+        assert!(!t.contains(11));
+        for &fp in [3u64, 19, 27].iter() {
+            assert!(t.contains(fp), "fp {fp} lost after chain deletion");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn decrement_absent_panics() {
+        let mut t = TinyTable::new(10, 8);
+        t.decrement(5);
+    }
+
+    #[test]
+    fn memory_is_compact() {
+        let t = TinyTable::new(1000, 16);
+        // 2048 slots x 24 bits = 6 KB — far below a HashMap<u64,u32>.
+        assert_eq!(t.memory_bits(), 2048 * 24);
+    }
+}

@@ -1,0 +1,113 @@
+//! Time-Out Bloom Filter (Kong, He, Shao et al. — ICOIN 2006).
+//!
+//! A Bloom filter whose bits are replaced by full arrival timestamps: an
+//! insertion writes the current time into all `k` hashed slots; a query
+//! answers "present" iff every hashed slot holds a timestamp within the
+//! window. Exact expiry, one-sided error, but 64 bits per cell.
+
+use she_hash::HashFamily;
+
+/// TOBF: `m` timestamp slots, `k` hash functions, window of `window` items.
+#[derive(Debug, Clone)]
+pub struct TimeOutBloomFilter {
+    window: u64,
+    family: HashFamily,
+    /// 0 = never written; otherwise the arrival time (1-based).
+    slots: Vec<u64>,
+    now: u64,
+}
+
+impl TimeOutBloomFilter {
+    /// `m` slots, `k` hash functions.
+    pub fn new(m: usize, k: usize, window: u64, seed: u32) -> Self {
+        assert!(m > 0 && window > 0);
+        Self { window, family: HashFamily::new(k, seed), slots: vec![0; m], now: 0 }
+    }
+
+    /// Sized from a memory budget in bytes (64-bit timestamps, per §7.1).
+    pub fn with_memory(bytes: usize, k: usize, window: u64, seed: u32) -> Self {
+        Self::new(((bytes * 8) / 64).max(k), k, window, seed)
+    }
+
+    /// Insert the next item.
+    pub fn insert(&mut self, key: u64) {
+        self.now += 1;
+        for i in 0..self.family.k() {
+            let idx = self.family.index(i, &key, self.slots.len());
+            self.slots[idx] = self.now;
+        }
+    }
+
+    /// Membership: all hashed slots in-window?
+    pub fn contains(&self, key: u64) -> bool {
+        let cutoff = self.now.saturating_sub(self.window);
+        (0..self.family.k()).all(|i| {
+            let t = self.slots[self.family.index(i, &key, self.slots.len())];
+            t > cutoff
+        })
+    }
+
+    /// Memory footprint in bits (64 per slot).
+    pub fn memory_bits(&self) -> usize {
+        self.slots.len() * 64
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_within_window() {
+        let window = 1u64 << 12;
+        let mut f = TimeOutBloomFilter::new(1 << 14, 4, window, 1);
+        for i in 0..3 * window {
+            f.insert(i);
+        }
+        for i in 2 * window..3 * window {
+            assert!(f.contains(i), "false negative on {i}");
+        }
+    }
+
+    #[test]
+    fn expiry_is_exact_for_untouched_slots() {
+        let window = 100u64;
+        let mut f = TimeOutBloomFilter::new(1 << 14, 4, window, 2);
+        f.insert(12345);
+        // Slide far past with non-colliding traffic.
+        for i in 0..1000u64 {
+            f.insert(i);
+        }
+        assert!(!f.contains(12345));
+    }
+
+    #[test]
+    fn fpr_reflects_active_density() {
+        let window = 1u64 << 10;
+        let mut f = TimeOutBloomFilter::new(1 << 15, 4, window, 3);
+        for i in 0..4 * window {
+            f.insert(i);
+        }
+        let fp = (0..10_000u64).filter(|&i| f.contains(i + 1_000_000)).count();
+        // 1024 items × 4 hashes into 32k slots → load ~0.12 active;
+        // FPR ≈ 0.12^4 ≈ 2e-4.
+        assert!(fp < 60, "false positives: {fp}");
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let f = TimeOutBloomFilter::with_memory(1024, 4, 100, 0);
+        assert_eq!(f.len(), 128);
+        assert_eq!(f.memory_bits(), 8192);
+    }
+}

@@ -1,0 +1,106 @@
+//! Timestamp-Vector (Kim & O'Hallaron — GLOBECOM 2003).
+//!
+//! A bitmap whose bits are replaced by full arrival timestamps: insertion
+//! writes the current time into the hashed slot; the query counts *active*
+//! slots (timestamp within the window) and applies the bitmap MLE. Exact
+//! expiry, but each "bit" costs a 64-bit timestamp — the memory
+//! inefficiency the SHE paper contrasts against.
+
+use she_hash::HashFamily;
+use she_sketch::bitmap_mle;
+
+/// TSV: `m` timestamp slots over a window of `window` items.
+#[derive(Debug, Clone)]
+pub struct TimestampVector {
+    window: u64,
+    family: HashFamily,
+    /// 0 = never written; otherwise the arrival time (1-based).
+    slots: Vec<u64>,
+    now: u64,
+}
+
+impl TimestampVector {
+    /// `m` slots over a window of `window` items.
+    pub fn new(m: usize, window: u64, seed: u32) -> Self {
+        assert!(m > 0 && window > 0);
+        Self { window, family: HashFamily::new(1, seed), slots: vec![0; m], now: 0 }
+    }
+
+    /// Sized from a memory budget in bytes (64-bit timestamps, per §7.1).
+    pub fn with_memory(bytes: usize, window: u64, seed: u32) -> Self {
+        Self::new(((bytes * 8) / 64).max(1), window, seed)
+    }
+
+    /// Insert the next item.
+    pub fn insert(&mut self, key: u64) {
+        self.now += 1;
+        let idx = self.family.index(0, &key, self.slots.len());
+        self.slots[idx] = self.now;
+    }
+
+    /// Cardinality estimate: bitmap MLE over the active slots.
+    pub fn estimate(&self) -> f64 {
+        let cutoff = self.now.saturating_sub(self.window);
+        let inactive = self.slots.iter().filter(|&&t| t <= cutoff || t == 0).count();
+        bitmap_mle(inactive, self.slots.len())
+    }
+
+    /// Memory footprint in bits (64 per slot).
+    pub fn memory_bits(&self) -> usize {
+        self.slots.len() * 64
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_window_cardinality() {
+        let window = 1u64 << 14;
+        let mut tsv = TimestampVector::new(1 << 16, window, 1);
+        for i in 0..4 * window {
+            tsv.insert(i);
+        }
+        let est = tsv.estimate();
+        let re = (est - window as f64).abs() / window as f64;
+        assert!(re < 0.1, "estimate {est}, re {re}");
+    }
+
+    #[test]
+    fn expiry_is_exact() {
+        let window = 1000u64;
+        let mut tsv = TimestampVector::new(1 << 14, window, 2);
+        for i in 0..10_000u64 {
+            tsv.insert(i);
+        }
+        for _ in 0..window {
+            tsv.insert(7);
+        }
+        let est = tsv.estimate();
+        assert!(est < 20.0, "stale estimate {est}");
+    }
+
+    #[test]
+    fn memory_is_64x_a_bitmap() {
+        let tsv = TimestampVector::with_memory(1024, 100, 0);
+        assert_eq!(tsv.len(), 128);
+        assert_eq!(tsv.memory_bits(), 8192);
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let tsv = TimestampVector::new(256, 100, 3);
+        assert_eq!(tsv.estimate(), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the baseline invariants.
+
+use proptest::prelude::*;
+use she_baselines::tinytable::TinyTable;
+use she_baselines::{Swamp, TimeOutBloomFilter, TimingBloomFilter};
+
+proptest! {
+    /// SWAMP's counting table is always consistent with its queue: the
+    /// multiplicities sum to the number of held items, and membership of
+    /// every held key is positive.
+    #[test]
+    fn swamp_queue_table_consistency(
+        window in 1usize..50,
+        keys in prop::collection::vec(0u64..40, 1..300),
+    ) {
+        let mut s = Swamp::new(window, 32, 1);
+        for (i, &k) in keys.iter().enumerate() {
+            s.insert(k);
+            prop_assert_eq!(s.len(), (i + 1).min(window));
+            // Every key in the current window must be reported a member.
+            let lo = keys[..=i].len().saturating_sub(window);
+            for &kk in &keys[lo..=i] {
+                prop_assert!(s.contains(kk));
+            }
+        }
+    }
+
+    /// SWAMP frequency is exact (per fingerprint) with wide fingerprints:
+    /// at least the true window multiplicity.
+    #[test]
+    fn swamp_frequency_upper_bounds_truth(
+        window in 1usize..50,
+        keys in prop::collection::vec(0u64..20, 1..300),
+    ) {
+        let mut s = Swamp::new(window, 32, 2);
+        for &k in &keys {
+            s.insert(k);
+        }
+        let lo = keys.len().saturating_sub(window);
+        let mut counts = std::collections::HashMap::new();
+        for &k in &keys[lo..] {
+            *counts.entry(k).or_insert(0u32) += 1;
+        }
+        for (k, c) in counts {
+            prop_assert!(s.frequency(k) >= c);
+        }
+    }
+
+    /// TinyTable behaves exactly like a HashMap multiset under any valid
+    /// interleaving of increments and decrements (decrements drawn from
+    /// live keys only).
+    #[test]
+    fn tinytable_matches_hashmap_model(
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..600),
+    ) {
+        let mut table = TinyTable::new(128, 16);
+        let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (fp, dec) in ops {
+            if dec {
+                // Decrement some live key deterministically derived from fp.
+                if let Some((&k, _)) = model.iter().find(|(_, &c)| c > 0) {
+                    let _ = fp;
+                    table.decrement(k);
+                    let c = model.get_mut(&k).expect("live");
+                    *c -= 1;
+                    if *c == 0 {
+                        model.remove(&k);
+                    }
+                }
+            } else {
+                table.increment(fp);
+                // Mirror the table's zero-alias so the model agrees.
+                let fp = if fp == 0 { 1 } else { fp };
+                *model.entry(fp).or_insert(0) += 1;
+            }
+            prop_assert_eq!(table.distinct(), model.len());
+        }
+        for (&k, &c) in &model {
+            prop_assert_eq!(table.count(k), c, "fp {}", k);
+        }
+    }
+
+    /// TOBF never misses an in-window item, for any stream.
+    #[test]
+    fn tobf_no_false_negatives(
+        window in 1u64..100,
+        keys in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let mut f = TimeOutBloomFilter::new(1 << 10, 4, window, 3);
+        for &k in &keys {
+            f.insert(k);
+        }
+        let lo = keys.len().saturating_sub(window as usize);
+        for &k in &keys[lo..] {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// TBF never misses an in-window item, despite wraparound counters and
+    /// the incremental expiry sweep.
+    #[test]
+    fn tbf_no_false_negatives(
+        window in 8u64..100,
+        keys in prop::collection::vec(any::<u64>(), 1..500),
+    ) {
+        let mut f = TimingBloomFilter::new(512, 18, 4, window, 4);
+        for &k in &keys {
+            f.insert(k);
+        }
+        let lo = keys.len().saturating_sub(window as usize);
+        for &k in &keys[lo..] {
+            prop_assert!(f.contains(k));
+        }
+    }
+}

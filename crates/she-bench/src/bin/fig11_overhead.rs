@@ -1,0 +1,55 @@
+//! Fig. 11: insertion throughput of the five SHE algorithms versus their
+//! fixed-window originals (the "Ideal" bars).
+//!
+//! Expected shape: the SHE bar within a small constant of the original for
+//! every structure — the time-mark check adds one compare per hashed cell.
+
+use she_bench::{header, window};
+use she_core::{SheBitmap, SheBloomFilter, SheCountMin, SheHyperLogLog, SheMinHash};
+use she_metrics::throughput_mips;
+use she_sketch::{Bitmap, BloomFilter, CountMin, HyperLogLog, MinHash};
+use she_streams::{CaidaLike, KeyStream};
+
+fn main() {
+    let w = window();
+    let s = she_bench::scale();
+    let n = 1_000_000 * s.min(4);
+    let warmup = n / 4;
+    let mem = (8 << 10) * s;
+    let keys = CaidaLike::default_trace(100).take_vec(n);
+
+    header("Fig 11", "Throughput (Mips): Ideal (fixed-window) vs SHE");
+
+    let mut bm = Bitmap::with_memory(mem, 1);
+    let t = throughput_mips(|k| bm.insert(&k), &keys, warmup);
+    let mut sbm = SheBitmap::builder().window(w).memory_bytes(mem).build();
+    let ts = throughput_mips(|k| sbm.insert(&k), &keys, warmup);
+    println!("BM        Ideal={t:.1}  SHE={ts:.1}");
+
+    let mut cm = CountMin::with_memory(mem * 8, 8, 2);
+    let t = throughput_mips(|k| cm.insert(&k), &keys, warmup);
+    let mut scm = SheCountMin::builder().window(w).memory_bytes(mem * 8).build();
+    let ts = throughput_mips(|k| scm.insert(&k), &keys, warmup);
+    println!("CM-sketch Ideal={t:.1}  SHE={ts:.1}");
+
+    let mut bf = BloomFilter::with_memory(mem, 8, 3);
+    let t = throughput_mips(|k| bf.insert(&k), &keys, warmup);
+    let mut sbf = SheBloomFilter::builder().window(w).memory_bytes(mem).build();
+    let ts = throughput_mips(|k| sbf.insert(&k), &keys, warmup);
+    println!("BF        Ideal={t:.1}  SHE={ts:.1}");
+
+    let mut hll = HyperLogLog::with_memory(mem, 4);
+    let t = throughput_mips(|k| hll.insert(&k), &keys, warmup);
+    let mut shll = SheHyperLogLog::builder().window(w).memory_bytes(mem).build();
+    let ts = throughput_mips(|k| shll.insert(&k), &keys, warmup);
+    println!("HLL       Ideal={t:.1}  SHE={ts:.1}");
+
+    // MinHash updates every cell per insertion; keep signatures small so the
+    // run finishes quickly, exactly like the paper's small MH memories.
+    let mh_keys = &keys[..n / 8];
+    let mut mh = MinHash::new(128, 5);
+    let t = throughput_mips(|k| mh.insert(&k), mh_keys, warmup / 8);
+    let mut smh = SheMinHash::builder().window(w).num_hashes(128).build();
+    let ts = throughput_mips(|k| smh.insert(&k), mh_keys, warmup / 8);
+    println!("MH        Ideal={t:.1}  SHE={ts:.1}");
+}

@@ -1,0 +1,47 @@
+//! Table 2: resource utilization of the FPGA implementation.
+//!
+//! LUT counts require logic synthesis; the honest software substitute is
+//! the per-component state-bit inventory plus a mechanical audit that the
+//! three §2.3 hardware constraints hold on the paper's exact configuration
+//! (1024-bit array, 64-bit groups, 32-bit item counter; 8 lanes for
+//! SHE-BF). Paper numbers are printed alongside for reference.
+
+use she_hwsim::{ResourceReport, ShePipeline, SheVariant};
+
+fn report(variant: SheVariant, paper_lut: &str, paper_reg: &str) {
+    let mut p = ShePipeline::paper_config(variant);
+    let stats = p.run((0..200_000u64).map(she_hash::mix64));
+    let r = ResourceReport::for_pipeline(&p);
+    println!("--- {:?} ---", variant);
+    println!("  paper: LUT={paper_lut}  Register={paper_reg}  BlockMemory=0");
+    println!(
+        "  simulated state bits: cells={} marks={} counter={} total={}  block_ram={}",
+        r.cell_bits,
+        r.mark_bits,
+        r.counter_bits,
+        r.total_bits(),
+        r.block_ram_bits
+    );
+    println!(
+        "  constraint audit over {} items: {} violations ({} memory accesses)",
+        stats.items, stats.violations, stats.memory_accesses
+    );
+    for v in p.memory().violations() {
+        println!("    VIOLATION: {v}");
+    }
+}
+
+fn main() {
+    println!("=== Table 2: resource utilization (simulated substitute) ===");
+    report(SheVariant::Bitmap, "1653 (0.38%)", "1509 (0.17%)");
+    report(SheVariant::Bloom { k: 8 }, "12875 (2.97%)", "11790 (1.36%)");
+    println!();
+    println!("Shape check vs the paper: SHE-BF uses ~8x the SHE-BM resources");
+    println!("(8 identical lanes), and neither uses block memory.");
+    println!();
+    println!("--- extension: the other SHE structures on the same pipeline ---");
+    println!("(the paper: \"the insertion process of SHE-BF and other SHE");
+    println!(" algorithms is barely the same as SHE-BM\")");
+    report(SheVariant::CountMin { k: 8, counter_bits: 16 }, "n/a", "n/a");
+    report(SheVariant::HyperLogLog { reg_bits: 5 }, "n/a", "n/a");
+}

@@ -1,0 +1,29 @@
+//! Table 3: clock frequency / throughput of the FPGA implementation.
+//!
+//! The simulator verifies the pipeline sustains one item per cycle (zero
+//! stalls, zero constraint violations); throughput then follows from the
+//! clock model calibrated to the paper's synthesis results (544.07 MHz base,
+//! fan-out derate fitted so 8 lanes land on 468.82 MHz).
+
+use she_hwsim::{clock_frequency_mhz, throughput_mips, ShePipeline, SheVariant};
+
+fn main() {
+    println!("=== Table 3: clock frequency (modeled) ===");
+    for (variant, paper_mhz) in
+        [(SheVariant::Bitmap, 544.07), (SheVariant::Bloom { k: 8 }, 468.82)]
+    {
+        let mut p = ShePipeline::paper_config(variant);
+        let stats = p.run((0..500_000u64).map(she_hash::mix64));
+        let ipc = stats.items as f64 / stats.cycles as f64;
+        let mhz = clock_frequency_mhz(variant.lanes());
+        println!(
+            "{:?}: paper={paper_mhz} MHz | model={mhz:.2} MHz | items/cycle={ipc:.4} | violations={} | throughput={:.1} Mips",
+            variant,
+            stats.violations,
+            throughput_mips(variant.lanes()) * ipc
+        );
+    }
+    println!();
+    println!("Both exceed the typical 200 MHz FPGA clock the paper cites;");
+    println!("the headline 544 Mips follows from 1 item/cycle at 544.07 MHz.");
+}

@@ -1,0 +1,91 @@
+//! Shared plumbing for the figure/table regenerators.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). Absolute runtimes on a laptop force
+//! a scale-down from the paper's 30 M-item traces; the scale is uniform and
+//! printed in every header, and can be raised with the `SHE_SCALE`
+//! environment variable (1 = CI-fast default, 4 ≈ a minute per figure,
+//! 16 ≈ paper-sized windows).
+
+use she_streams::{CaidaLike, KeyStream, RelevantPair};
+
+/// Scale factor from the `SHE_SCALE` env var (default 1).
+pub fn scale() -> usize {
+    std::env::var("SHE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
+}
+
+/// The default window for the scaled experiments: `4096 · scale` items
+/// (the paper uses 2^16; `SHE_SCALE=16` reproduces that exactly).
+pub fn window() -> u64 {
+    (4096 * scale()) as u64
+}
+
+/// The HLL window (paper: 2^21, scaled down by the same ratio).
+pub fn hll_window() -> u64 {
+    (1 << 17) * scale() as u64
+}
+
+/// A CAIDA-like trace of `n` keys (universe scales with the window).
+pub fn caida_trace(n: usize, seed: u64) -> Vec<u64> {
+    CaidaLike::new((window() as usize * 4).max(10_000), 1.05, seed).take_vec(n)
+}
+
+/// An aligned pair trace for the similarity experiments.
+pub fn relevant_trace(n: usize, overlap: f64, seed: u64) -> Vec<(u64, u64)> {
+    let mut gen = RelevantPair::new((window() as usize).max(2_000), overlap, seed);
+    (0..n).map(|_| gen.next_pair()).collect()
+}
+
+/// Print a figure/table header with the active scale.
+pub fn header(tag: &str, title: &str) {
+    println!("=== {tag}: {title} ===");
+    println!(
+        "(scale={} window={} items; set SHE_SCALE=16 for paper-sized windows)",
+        scale(),
+        window()
+    );
+}
+
+/// Render one row of a result table.
+pub fn row(label: &str, cells: &[(String, f64)]) {
+    let cols: Vec<String> = cells.iter().map(|(k, v)| format!("{k}={v:.6}")).collect();
+    println!("{label:16} {}", cols.join("  "));
+}
+
+/// Kilobyte label helper.
+pub fn kb(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1}MB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_one() {
+        // (Assumes the test env does not set SHE_SCALE.)
+        if std::env::var("SHE_SCALE").is_err() {
+            assert_eq!(scale(), 1);
+            assert_eq!(window(), 4096);
+        }
+    }
+
+    #[test]
+    fn traces_have_requested_length() {
+        assert_eq!(caida_trace(1000, 1).len(), 1000);
+        assert_eq!(relevant_trace(500, 0.5, 1).len(), 500);
+    }
+
+    #[test]
+    fn kb_labels() {
+        assert_eq!(kb(512), "512B");
+        assert_eq!(kb(2048), "2KB");
+        assert_eq!(kb(3 << 20), "3.0MB");
+    }
+}

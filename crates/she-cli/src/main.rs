@@ -1,0 +1,39 @@
+//! `she` — run any SHE task from the command line.
+//!
+//! ```text
+//! she membership  [--window N] [--memory BYTES] [--stream caida|distinct|campus|webpage]
+//!                 [--items N] [--probes N] [--alpha F]
+//! she cardinality [--algo bm|hll] [--window N] [--memory BYTES] [--stream ...] [--items N]
+//! she frequency   [--window N] [--memory BYTES] [--stream ...] [--items N] [--sample N]
+//! she similarity  [--window N] [--memory BYTES] [--overlap F] [--items N]
+//! she pipeline    [--variant bm|bf|cm|hll] [--items N]
+//! she analyze     [--window N] [--memory BYTES] [--hashes K] [--cardinality C]
+//! ```
+//!
+//! Sizes accept `k`/`m`/`g` suffixes. Every run prints the estimate, the
+//! exact ground truth, and the resulting metric.
+
+mod args;
+mod run;
+
+use args::Args;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    if tokens.is_empty() || tokens[0] == "--help" || tokens[0] == "help" {
+        print!("{}", run::USAGE);
+        return;
+    }
+    let parsed = match Args::parse(&tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `she help` for usage");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run::dispatch(&parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use she_core::analysis;
+use she_hwsim::{ResourceReport, ShePipeline, SheVariant};
+use she_metrics::*;
+use she_streams::{CampusLike, CaidaLike, DistinctStream, KeyStream, RelevantPair, WebpageLike};
+
+/// Help text.
+pub const USAGE: &str = "\
+she — sliding-window stream mining (SHE, ICPP'22 reproduction)
+
+USAGE: she <command> [--flag value ...]
+
+COMMANDS
+  membership   SHE-BF false-positive rate vs exact ground truth
+               --window N --memory BYTES --stream S --items N --probes N --alpha F
+  cardinality  SHE-BM / SHE-HLL relative error
+               --algo bm|hll --window N --memory BYTES --stream S --items N
+  frequency    SHE-CM average relative error
+               --window N --memory BYTES --stream S --items N --sample N
+  similarity   SHE-MH pair relative error
+               --window N --memory BYTES --overlap F --items N
+  pipeline     audited 4-stage hardware pipeline (Tables 2-3)
+               --variant bm|bf|cm|hll --items N
+  analyze      closed-form parameter guidance (Eqs. 1-5)
+               --window N --memory BYTES --hashes K --cardinality C
+
+Sizes accept k/m/g suffixes: --memory 64k, --items 2m.
+Streams: caida (default), distinct, campus, webpage.
+";
+
+fn make_stream(name: &str, seed: u64) -> Result<Box<dyn KeyStream>, ArgError> {
+    Ok(match name {
+        "caida" => Box::new(CaidaLike::new(200_000, 1.05, seed)),
+        "distinct" => Box::new(DistinctStream::new(seed)),
+        "campus" => Box::new(CampusLike::default_trace(seed)),
+        "webpage" => Box::new(WebpageLike::default_trace(seed)),
+        other => return Err(ArgError(format!("unknown stream '{other}'"))),
+    })
+}
+
+/// Route a parsed command line.
+pub fn dispatch(a: &Args) -> Result<(), ArgError> {
+    match a.command.as_str() {
+        "membership" => membership(a),
+        "cardinality" => cardinality(a),
+        "frequency" => frequency(a),
+        "similarity" => similarity(a),
+        "pipeline" => pipeline(a),
+        "analyze" => analyze(a),
+        other => Err(ArgError(format!("unknown command '{other}' (see `she help`)"))),
+    }
+}
+
+fn membership(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["window", "memory", "stream", "items", "probes", "alpha", "seed"])?;
+    let window = a.get_u64("window", 1 << 14)?;
+    let memory = a.get_u64("memory", 64 << 10)? as usize;
+    let items = a.get_u64("items", 8 * window)? as usize;
+    let probes = a.get_u64("probes", 5_000)? as usize;
+    let seed = a.get_u64("seed", 1)?;
+    let keys = make_stream(&a.get("stream", "distinct"), seed)?.take_vec(items);
+
+    let mut bf = SheBfAdapter::sized(window, memory, seed as u32);
+    if let Some(alpha) = a.get_f64("alpha", -1.0).ok().filter(|&v| v > 0.0) {
+        bf = SheBfAdapter(
+            she_core::SheBloomFilter::builder()
+                .window(window)
+                .memory_bytes(memory)
+                .hash_functions(8)
+                .alpha(alpha)
+                .seed(seed as u32)
+                .build(),
+        );
+    }
+    let guard = (window as usize * 5).min(items / 2);
+    let r = membership_fpr(&mut bf, &keys, guard, 4, probes);
+    println!("SHE-BF  window={window} memory={memory}B items={items}");
+    println!("  FPR = {:.6}  (per-checkpoint: {:?})", r.value, r.series);
+    println!("  memory used: {} bits", r.memory_bits);
+    Ok(())
+}
+
+fn cardinality(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["algo", "window", "memory", "stream", "items", "seed"])?;
+    let window = a.get_u64("window", 1 << 14)?;
+    let memory = a.get_u64("memory", 8 << 10)? as usize;
+    let items = a.get_u64("items", 8 * window)? as usize;
+    let seed = a.get_u64("seed", 1)?;
+    let keys = make_stream(&a.get("stream", "caida"), seed)?.take_vec(items);
+    let algo = a.get("algo", "bm");
+    let r = match algo.as_str() {
+        "bm" => {
+            let mut s = SheBmAdapter::sized(window, memory, seed as u32);
+            cardinality_re(&mut s, &keys, window as usize, 4)
+        }
+        "hll" => {
+            let mut s = SheHllAdapter::sized(window, memory, seed as u32);
+            cardinality_re(&mut s, &keys, window as usize, 4)
+        }
+        other => return Err(ArgError(format!("unknown --algo '{other}' (bm|hll)"))),
+    };
+    println!("{}  window={window} memory={memory}B items={items}", r.name);
+    println!("  RE = {:.6}  (per-checkpoint: {:?})", r.value, r.series);
+    Ok(())
+}
+
+fn frequency(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["window", "memory", "stream", "items", "sample", "seed"])?;
+    let window = a.get_u64("window", 1 << 14)?;
+    let memory = a.get_u64("memory", 1 << 20)? as usize;
+    let items = a.get_u64("items", 8 * window)? as usize;
+    let sample = a.get_u64("sample", 500)? as usize;
+    let seed = a.get_u64("seed", 1)?;
+    let keys = make_stream(&a.get("stream", "caida"), seed)?.take_vec(items);
+    let mut s = SheCmAdapter::sized(window, memory, seed as u32);
+    let r = frequency_are(&mut s, &keys, window as usize, 4, sample);
+    println!("SHE-CM  window={window} memory={memory}B items={items}");
+    println!("  ARE = {:.6}  (per-checkpoint: {:?})", r.value, r.series);
+    Ok(())
+}
+
+fn similarity(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["window", "memory", "overlap", "items", "seed"])?;
+    let window = a.get_u64("window", 1 << 14)?;
+    let memory = a.get_u64("memory", 4 << 10)? as usize;
+    let items = a.get_u64("items", 8 * window)? as usize;
+    let overlap = a.get_f64("overlap", 0.5)?;
+    let seed = a.get_u64("seed", 1)?;
+    let mut gen = RelevantPair::new(window as usize, overlap, seed);
+    let pairs: Vec<(u64, u64)> = (0..items).map(|_| gen.next_pair()).collect();
+    let mut s = SheMhAdapter::sized(window, memory, seed as u32);
+    let r = similarity_re(&mut s, &pairs, window as usize, 4);
+    println!("SHE-MH  window={window} memory={memory}B items={items} overlap={overlap}");
+    println!("  RE = {:.6}  (per-checkpoint: {:?})", r.value, r.series);
+    Ok(())
+}
+
+fn pipeline(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["variant", "items"])?;
+    let items = a.get_u64("items", 500_000)?;
+    let variant = match a.get("variant", "bm").as_str() {
+        "bm" => SheVariant::Bitmap,
+        "bf" => SheVariant::Bloom { k: 8 },
+        "cm" => SheVariant::CountMin { k: 8, counter_bits: 16 },
+        "hll" => SheVariant::HyperLogLog { reg_bits: 5 },
+        other => return Err(ArgError(format!("unknown --variant '{other}' (bm|bf|cm|hll)"))),
+    };
+    let mut p = ShePipeline::paper_config(variant);
+    let stats = p.run((0..items).map(she_hash::mix64));
+    let report = ResourceReport::for_pipeline(&p);
+    println!("{variant:?} pipeline: {} items, {} cycles, {} stages", stats.items, stats.cycles, stats.stages);
+    println!("  items/cycle = {:.4}", stats.items as f64 / stats.cycles as f64);
+    println!("  constraint violations: {}", stats.violations);
+    for v in p.memory().violations() {
+        println!("    {v}");
+    }
+    println!(
+        "  state: {} bits | modeled clock {:.2} MHz | throughput {:.1} Mips",
+        report.total_bits(),
+        report.clock_mhz,
+        report.throughput_mips
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Args {
+        let toks: Vec<String> = line.split_whitespace().map(String::from).collect();
+        Args::parse(&toks).expect("parse")
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        assert!(dispatch(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_flags() {
+        assert!(dispatch(&args("membership --bogus 1")).is_err());
+        assert!(dispatch(&args("analyze --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn membership_smoke() {
+        dispatch(&args("membership --window 512 --memory 8k --items 4096 --probes 200")).expect("runs");
+    }
+
+    #[test]
+    fn cardinality_smoke_both_algos() {
+        dispatch(&args("cardinality --algo bm --window 512 --memory 1k --items 4096")).expect("bm");
+        dispatch(&args("cardinality --algo hll --window 512 --memory 1k --items 4096")).expect("hll");
+        assert!(dispatch(&args("cardinality --algo nope")).is_err());
+    }
+
+    #[test]
+    fn frequency_and_similarity_smoke() {
+        dispatch(&args("frequency --window 512 --memory 64k --items 4096 --sample 50")).expect("freq");
+        dispatch(&args("similarity --window 512 --memory 2k --items 4096 --overlap 0.6")).expect("sim");
+    }
+
+    #[test]
+    fn pipeline_smoke_all_variants() {
+        for v in ["bm", "bf", "cm", "hll"] {
+            dispatch(&args(&format!("pipeline --variant {v} --items 5000"))).expect(v);
+        }
+        assert!(dispatch(&args("pipeline --variant nope")).is_err());
+    }
+
+    #[test]
+    fn analyze_smoke() {
+        dispatch(&args("analyze --window 4096 --memory 16k --hashes 4")).expect("analyze");
+    }
+
+    #[test]
+    fn bad_stream_rejected() {
+        assert!(dispatch(&args("membership --stream nope --items 4096 --window 512")).is_err());
+    }
+}
+
+fn analyze(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["window", "memory", "hashes", "cardinality"])?;
+    let window = a.get_u64("window", 1 << 16)?;
+    let memory = a.get_u64("memory", 64 << 10)? as usize;
+    let k = a.get_u64("hashes", 8)? as usize;
+    let c = a.get_u64("cardinality", window)?;
+    let m_bits = memory * 8;
+
+    let q = analysis::bf_q(m_bits, k, c as usize);
+    let alpha = analysis::optimal_alpha_bf(m_bits, k, c as usize);
+    println!("inputs: window={window}, memory={memory}B ({m_bits} bits), H={k}, C={c}");
+    println!("Eq.2  optimal alpha for SHE-BF: {alpha:.3}  (Q = {q:.4})");
+    println!(
+        "      predicted FPR at the optimum: {:.6}",
+        analysis::she_bf_fpr(q, alpha + 1.0, k)
+    );
+    let g = analysis::max_group_count(0.01, alpha, c, k);
+    println!("Eq.1  max groups for <=0.01 expected unswept groups/cycle: {g}");
+    println!(
+        "Eq.3  SHE-BM RE bound (alpha=0.2):  {:.5}",
+        analysis::she_bm_error_bound(0.2, window, c)
+    );
+    println!(
+        "Eq.4  SHE-HLL RE bound (alpha=0.2): {:.5}",
+        analysis::she_hll_error_bound(0.2, window, c)
+    );
+    println!(
+        "Eq.5  SHE-MH bias bound (alpha=0.2, S_union=2C): {:.5}",
+        analysis::she_mh_error_bound(0.2, window, 2 * c)
+    );
+    Ok(())
+}

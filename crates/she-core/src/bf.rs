@@ -1,0 +1,249 @@
+//! SHE-BF: sliding-window membership (Section 4.2).
+//!
+//! Insertion sets the `k` hashed bits (after `CheckGroup`). Queries ignore
+//! hashed bits whose group is *young* (`age < N`) — they may have lost
+//! in-window items to cleaning — and answer "absent" iff some mature hashed
+//! bit is zero. Like the original Bloom filter, SHE-BF therefore has
+//! one-sided error: no false negatives for items inside the window, only
+//! false positives (hash collisions + aged information).
+
+use crate::{analysis, She, SheConfig};
+use she_hash::HashKey;
+use she_sketch::{BloomSpec, CellUpdate};
+
+/// Sliding-window Bloom filter (hardware version of SHE).
+#[derive(Debug, Clone)]
+pub struct SheBloomFilter {
+    engine: She<BloomSpec>,
+    scratch: Vec<CellUpdate>,
+}
+
+/// Builder for [`SheBloomFilter`] with the paper's §7.1 defaults
+/// (`k = 8` hash functions, `w = 64`, α from Eq. 2 when derivable, else 3).
+#[derive(Debug, Clone)]
+pub struct SheBloomFilterBuilder {
+    window: u64,
+    memory_bits: usize,
+    k: usize,
+    alpha: Option<f64>,
+    group_cells: usize,
+    seed: u32,
+}
+
+impl Default for SheBloomFilterBuilder {
+    fn default() -> Self {
+        Self {
+            window: 1 << 16,
+            memory_bits: 64 << 13, // 64 KB
+            k: 8,
+            alpha: None,
+            group_cells: 64,
+            seed: 1,
+        }
+    }
+}
+
+impl SheBloomFilterBuilder {
+    /// Sliding-window size `N` in items.
+    pub fn window(mut self, n: u64) -> Self {
+        self.window = n;
+        self
+    }
+
+    /// Memory budget in bytes (bit-array payload).
+    pub fn memory_bytes(mut self, bytes: usize) -> Self {
+        self.memory_bits = bytes * 8;
+        self
+    }
+
+    /// Number of hash functions `k`.
+    pub fn hash_functions(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Override α (default: the Eq. 2 optimum for an all-distinct window).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Cells per group `w`.
+    pub fn group_cells(mut self, w: usize) -> Self {
+        self.group_cells = w;
+        self
+    }
+
+    /// Hash seed.
+    pub fn seed(mut self, seed: u32) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the filter.
+    pub fn build(self) -> SheBloomFilter {
+        let m = self.memory_bits.max(self.group_cells);
+        let alpha = self.alpha.unwrap_or_else(|| {
+            // Eq. 2 with the conservative all-distinct window C = N.
+            analysis::optimal_alpha_bf(m, self.k, self.window as usize)
+        });
+        let cfg = SheConfig::builder()
+            .window(self.window)
+            .alpha(alpha)
+            .group_cells(self.group_cells.min(m))
+            .build();
+        SheBloomFilter {
+            engine: She::new(BloomSpec::new(m, self.k, self.seed), cfg),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl SheBloomFilter {
+    /// Start building with the paper defaults.
+    pub fn builder() -> SheBloomFilterBuilder {
+        SheBloomFilterBuilder::default()
+    }
+
+    /// Insert an item at the next time step.
+    #[inline]
+    pub fn insert<K: HashKey + ?Sized>(&mut self, key: &K) {
+        self.engine.insert(key);
+    }
+
+    /// Sliding-window membership query.
+    ///
+    /// Takes `&mut self` because queries run `CheckGroup` on the hashed
+    /// groups (Algorithm 1), possibly cleaning them — exactly as on the
+    /// hardware pipeline.
+    pub fn contains<K: HashKey + ?Sized>(&mut self, key: &K) -> bool {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.engine.updates_for(key, &mut scratch);
+        let mut present = true;
+        for u in &scratch {
+            let gid = self.engine.group_of(u.index);
+            if !self.engine.check_mature(gid) {
+                continue; // young bit: ignored (age-sensitive selection)
+            }
+            if self.engine.peek_cell(u.index) == 0 {
+                present = false;
+                break;
+            }
+        }
+        self.scratch = scratch;
+        present
+    }
+
+    /// Advance logical time without inserting.
+    #[inline]
+    pub fn advance_time(&mut self, dt: u64) {
+        self.engine.advance_time(dt);
+    }
+
+    /// The underlying generic engine (ages, groups, config).
+    #[inline]
+    pub fn engine(&self) -> &She<BloomSpec> {
+        &self.engine
+    }
+
+    /// Current logical time.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.engine.now()
+    }
+
+    /// Memory footprint in bits (bit array + marks + item counter).
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.engine.memory_bits()
+    }
+
+    /// Reset to empty at time zero.
+    pub fn clear(&mut self) {
+        self.engine.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(window: u64, kb: usize, alpha: f64) -> SheBloomFilter {
+        SheBloomFilter::builder()
+            .window(window)
+            .memory_bytes(kb << 10)
+            .alpha(alpha)
+            .seed(3)
+            .build()
+    }
+
+    #[test]
+    fn one_sided_error_within_window() {
+        let mut bf = filter(1 << 12, 32, 3.0);
+        for i in 0..(3 << 12) as u64 {
+            bf.insert(&i);
+        }
+        // Every item of the last window must be reported present.
+        let lo = (3 << 12) - (1 << 12);
+        for i in lo..(3 << 12) as u64 {
+            assert!(bf.contains(&i), "false negative on in-window item {i}");
+        }
+    }
+
+    #[test]
+    fn expired_items_are_eventually_rejected() {
+        let mut bf = filter(1 << 10, 32, 3.0);
+        bf.insert(&424242u64);
+        // Push the window far past the item with fresh distinct keys.
+        for i in 0..(40 << 10) as u64 {
+            bf.insert(&(i + 1_000_000));
+        }
+        assert!(!bf.contains(&424242u64), "item older than Tcycle must expire");
+    }
+
+    #[test]
+    fn fpr_is_small_with_adequate_memory() {
+        let window = 1u64 << 12;
+        let mut bf = filter(window, 64, 3.0);
+        for i in 0..8 * window {
+            bf.insert(&i);
+        }
+        let mut fp = 0;
+        let probes = 10_000u64;
+        for i in 0..probes {
+            if bf.contains(&(i + 10_000_000)) {
+                fp += 1;
+            }
+        }
+        let fpr = fp as f64 / probes as f64;
+        assert!(fpr < 0.01, "fpr {fpr} too high for 64 KB / 4K window");
+    }
+
+    #[test]
+    fn default_alpha_comes_from_eq2() {
+        let bf = SheBloomFilter::builder().window(1 << 12).memory_bytes(8 << 10).build();
+        let alpha = bf.engine().config().alpha();
+        assert!(alpha > 0.0 && alpha < 50.0, "alpha {alpha} out of sane range");
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut bf = filter(1 << 10, 8, 2.0);
+        for i in 0..5000u64 {
+            bf.insert(&i);
+        }
+        bf.clear();
+        assert_eq!(bf.now(), 0);
+        let mut hits = 0;
+        for i in 4000..5000u64 {
+            if bf.contains(&i) {
+                hits += 1;
+            }
+        }
+        // After clear, at t=0 every group has age < N... except offset
+        // wrap-around makes most groups "aged" with zeroed cells, so items
+        // are rejected; young groups answer vacuously-true. Either way the
+        // sketch holds no data: allow only vacuous positives.
+        assert!(hits <= 1000);
+    }
+}

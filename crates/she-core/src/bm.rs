@@ -1,0 +1,365 @@
+//! SHE-BM: sliding-window cardinality via linear counting (Section 4.1).
+//!
+//! Insertion sets one hashed bit. The query sweeps all groups, keeps those
+//! whose age lies in the legal range `[βN, Tcycle)` (β slightly below 1 —
+//! the bitmap estimator has two-sided error, so nearly-perfect young groups
+//! reduce bias, per §3.2), counts the zero bits `u` among the `ℓ·w` legal
+//! bits, and scales the MLE to the full array: `Ĉ = −M · ln(u / (w·ℓ))`.
+
+use crate::{She, SheConfig};
+use she_hash::HashKey;
+use she_sketch::{BitmapSpec, CsmSpec};
+
+/// Sliding-window linear-counting bitmap (hardware version of SHE).
+///
+/// ```
+/// use she_core::SheBitmap;
+///
+/// let mut bm = SheBitmap::builder()
+///     .window(10_000)          // count distinct keys over the last 10k items
+///     .memory_bytes(4 << 10)   // 4 KB of bits
+///     .build();
+/// for i in 0..40_000u64 {
+///     bm.insert(&i);           // all-distinct stream
+/// }
+/// let est = bm.estimate();
+/// assert!((est - 10_000.0).abs() / 10_000.0 < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SheBitmap {
+    engine: She<BitmapSpec>,
+}
+
+/// Builder for [`SheBitmap`] with the paper's defaults (`w = 64`, `α = 0.2`,
+/// `β = 0.9`).
+#[derive(Debug, Clone)]
+pub struct SheBitmapBuilder {
+    window: u64,
+    memory_bits: usize,
+    alpha: f64,
+    beta: f64,
+    group_cells: usize,
+    seed: u32,
+}
+
+impl Default for SheBitmapBuilder {
+    fn default() -> Self {
+        Self {
+            window: 1 << 16,
+            memory_bits: 8 << 13, // 8 KB
+            alpha: 0.2,
+            beta: 0.9,
+            group_cells: 64,
+            seed: 1,
+        }
+    }
+}
+
+impl SheBitmapBuilder {
+    /// Sliding-window size `N` in items.
+    pub fn window(mut self, n: u64) -> Self {
+        self.window = n;
+        self
+    }
+
+    /// Memory budget in bytes.
+    pub fn memory_bytes(mut self, bytes: usize) -> Self {
+        self.memory_bits = bytes * 8;
+        self
+    }
+
+    /// `α = (Tcycle − N)/N` (paper default 0.2 for SHE-BM).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Legal-age fraction `β`.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Cells per group `w`.
+    pub fn group_cells(mut self, w: usize) -> Self {
+        self.group_cells = w;
+        self
+    }
+
+    /// Hash seed.
+    pub fn seed(mut self, seed: u32) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the sketch.
+    pub fn build(self) -> SheBitmap {
+        let m = self.memory_bits.max(self.group_cells);
+        let cfg = SheConfig::builder()
+            .window(self.window)
+            .alpha(self.alpha)
+            .group_cells(self.group_cells.min(m))
+            .beta(self.beta)
+            .build();
+        SheBitmap { engine: She::new(BitmapSpec::new(m, self.seed), cfg) }
+    }
+}
+
+impl SheBitmap {
+    /// Start building with the paper defaults.
+    pub fn builder() -> SheBitmapBuilder {
+        SheBitmapBuilder::default()
+    }
+
+    /// Insert an item at the next time step.
+    #[inline]
+    pub fn insert<K: HashKey + ?Sized>(&mut self, key: &K) {
+        self.engine.insert(key);
+    }
+
+    /// Estimated cardinality of the sliding window.
+    ///
+    /// Takes `&mut self` because the sweep runs `CheckGroup` on every group.
+    pub fn estimate(&mut self) -> f64 {
+        let beta_n = self.engine.config().beta * self.engine.config().window as f64;
+        let m = self.engine.spec().num_cells();
+        let mut legal_bits = 0usize;
+        let mut zeros = 0usize;
+        self.engine.for_each_group(|_, age, cells| {
+            if (age as f64) < beta_n {
+                return; // young group: outside the legal range
+            }
+            for v in cells {
+                legal_bits += 1;
+                if v == 0 {
+                    zeros += 1;
+                }
+            }
+        });
+        if legal_bits == 0 {
+            return 0.0;
+        }
+        if zeros == legal_bits {
+            return 0.0;
+        }
+        // Ĉ = -M ln(u / (w·ℓ)), clamping a saturated sample to its last
+        // resolvable point like the fixed-window estimator.
+        let u = zeros.max(1) as f64;
+        -(m as f64) * (u / legal_bits as f64).ln()
+    }
+
+    /// Multi-window query: estimate the cardinality of the last `n` items
+    /// for **any** `n < Tcycle`, not just the configured window.
+    ///
+    /// Because group ages are spread uniformly over `[0, Tcycle)`, groups
+    /// whose age is close to `n` record (almost exactly) the last `n`
+    /// items; the linear-counting MLE over those groups, scaled to the
+    /// full array, estimates `F(n)`. `tolerance` is the accepted relative
+    /// age deviation (0.25 works well); fewer matching groups mean a
+    /// noisier estimate — the estimator falls back to the single
+    /// nearest-age group when the band is empty.
+    ///
+    /// Accuracy guidance: on-demand cleaning refreshes a group only when
+    /// an insertion touches it (≈ every `G` items for a single-hash
+    /// sketch), so sub-windows shorter than the group count `G` read
+    /// groups whose actual cleaning lagged their schedule. Keep
+    /// `n ≳ G` (i.e. pick `group_cells ≥ M/n`) for small-window queries.
+    pub fn estimate_at(&mut self, n: u64, tolerance: f64) -> f64 {
+        assert!(n > 0 && tolerance >= 0.0);
+        assert!(
+            n < self.engine.config().t_cycle,
+            "query window {n} must be below Tcycle {}",
+            self.engine.config().t_cycle
+        );
+        let m = self.engine.spec().num_cells();
+        let lo = (n as f64 * (1.0 - tolerance)).floor();
+        let hi = (n as f64 * (1.0 + tolerance)).ceil();
+        let mut legal_bits = 0usize;
+        let mut zeros = 0usize;
+        let mut nearest: Option<(u64, usize, usize)> = None; // (dist, bits, zeros)
+        self.engine.for_each_group(|_, age, cells| {
+            let mut bits = 0usize;
+            let mut zs = 0usize;
+            for v in cells {
+                bits += 1;
+                if v == 0 {
+                    zs += 1;
+                }
+            }
+            let dist = age.abs_diff(n);
+            if nearest.is_none_or(|(d, _, _)| dist < d) {
+                nearest = Some((dist, bits, zs));
+            }
+            if (age as f64) >= lo && (age as f64) <= hi {
+                legal_bits += bits;
+                zeros += zs;
+            }
+        });
+        if legal_bits == 0 {
+            let (_, bits, zs) = nearest.expect("at least one group exists");
+            legal_bits = bits;
+            zeros = zs;
+        }
+        if zeros == legal_bits {
+            return 0.0;
+        }
+        let u = zeros.max(1) as f64;
+        -(m as f64) * (u / legal_bits as f64).ln()
+    }
+
+    /// The full cardinality-vs-age curve: one `(age, estimate)` point per
+    /// group, sorted by age. Useful for plotting `F(x)` — the cardinality
+    /// of the last `x` items — from a single structure.
+    pub fn cardinality_curve(&mut self) -> Vec<(u64, f64)> {
+        let m = self.engine.spec().num_cells();
+        let mut pts = Vec::with_capacity(self.engine.num_groups());
+        self.engine.for_each_group(|_, age, cells| {
+            let mut bits = 0usize;
+            let mut zs = 0usize;
+            for v in cells {
+                bits += 1;
+                if v == 0 {
+                    zs += 1;
+                }
+            }
+            if bits > 0 && zs > 0 {
+                pts.push((age, -(m as f64) * (zs as f64 / bits as f64).ln()));
+            } else if bits > 0 {
+                pts.push((age, m as f64 * (bits as f64).ln()));
+            }
+        });
+        pts.sort_unstable_by_key(|&(age, _)| age);
+        pts
+    }
+
+    /// Advance logical time without inserting.
+    #[inline]
+    pub fn advance_time(&mut self, dt: u64) {
+        self.engine.advance_time(dt);
+    }
+
+    /// The underlying generic engine.
+    #[inline]
+    pub fn engine(&self) -> &She<BitmapSpec> {
+        &self.engine
+    }
+
+    /// Current logical time.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.engine.now()
+    }
+
+    /// Memory footprint in bits.
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.engine.memory_bits()
+    }
+
+    /// Reset to empty at time zero.
+    pub fn clear(&mut self) {
+        self.engine.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_window_cardinality() {
+        let window = 1u64 << 14;
+        let mut bm = SheBitmap::builder()
+            .window(window)
+            .memory_bytes(16 << 10)
+            .seed(5)
+            .build();
+        // Stream of distinct items: window cardinality = window size.
+        for i in 0..6 * window {
+            bm.insert(&i);
+        }
+        let est = bm.estimate();
+        let re = (est - window as f64).abs() / window as f64;
+        assert!(re < 0.15, "estimate {est}, relative error {re}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let window = 1u64 << 14;
+        let mut bm = SheBitmap::builder().window(window).memory_bytes(16 << 10).build();
+        // Each distinct key repeated 4 times: window cardinality = window/4.
+        for i in 0..6 * window {
+            bm.insert(&(i / 4));
+        }
+        let truth = window as f64 / 4.0;
+        let est = bm.estimate();
+        let re = (est - truth).abs() / truth;
+        assert!(re < 0.2, "estimate {est} truth {truth} re {re}");
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let mut bm = SheBitmap::builder().build();
+        assert_eq!(bm.estimate(), 0.0);
+    }
+
+    #[test]
+    fn estimate_at_tracks_sub_windows() {
+        // Distinct stream: F(n) = n exactly, for every n. One structure
+        // answers all of them.
+        let window = 1u64 << 14;
+        let mut bm = SheBitmap::builder()
+            .window(window)
+            .memory_bytes(32 << 10)
+            .alpha(0.5)
+            .group_cells(64)
+            .seed(9)
+            .build();
+        for i in 0..6 * window {
+            bm.insert(&i);
+        }
+        for frac in [0.25f64, 0.5, 1.0, 1.3] {
+            let n = (window as f64 * frac) as u64;
+            let est = bm.estimate_at(n, 0.25);
+            let re = (est - n as f64).abs() / n as f64;
+            assert!(re < 0.35, "n={n}: estimate {est}, re {re}");
+        }
+    }
+
+    #[test]
+    fn cardinality_curve_is_roughly_linear_for_distinct_stream() {
+        let window = 1u64 << 13;
+        let mut bm = SheBitmap::builder()
+            .window(window)
+            .memory_bytes(32 << 10)
+            .alpha(0.5)
+            .seed(10)
+            .build();
+        for i in 0..6 * window {
+            bm.insert(&i);
+        }
+        let curve = bm.cardinality_curve();
+        assert!(curve.len() > 10);
+        // Spearman-ish check: estimates grow with age.
+        let (first_age, first_est) = curve[2];
+        let (last_age, last_est) = curve[curve.len() - 3];
+        assert!(last_age > first_age);
+        assert!(last_est > first_est, "curve not increasing: {first_est} -> {last_est}");
+    }
+
+    #[test]
+    fn stale_far_past_items_fade() {
+        let window = 1u64 << 12;
+        let mut bm = SheBitmap::builder().window(window).memory_bytes(8 << 10).build();
+        for i in 0..2 * window {
+            bm.insert(&i);
+        }
+        // Idle for one full cycle: every group's mark flips, so the query
+        // sweep cleans all of them. (An *even* number of idle cycles would
+        // leave the parity unchanged and preserve stale data — that is the
+        // §5.1 on-demand-cleaning error, tested in engine.rs.)
+        bm.advance_time(bm.engine().config().t_cycle);
+        let est = bm.estimate();
+        assert!(est < window as f64 * 0.05, "stale estimate {est}");
+    }
+}

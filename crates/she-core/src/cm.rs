@@ -1,0 +1,283 @@
+//! SHE-CM: sliding-window frequency via Count-Min (Section 4.4).
+//!
+//! Insertion adds one to each of the `k` hashed counters (after
+//! `CheckGroup`). The query takes the minimum over the hashed counters whose
+//! age is at least `N` — young counters may have lost in-window increments
+//! to cleaning, and using them would break Count-Min's
+//! never-underestimates guarantee (§4.4). If every hashed counter is young
+//! (rare for α ≥ 1), the query falls back to the plain minimum as a
+//! best-effort answer.
+
+use crate::{She, SheConfig};
+use she_hash::HashKey;
+use she_sketch::{CellUpdate, CountMinSpec};
+
+/// Sliding-window Count-Min sketch (hardware version of SHE).
+///
+/// ```
+/// use she_core::SheCountMin;
+///
+/// let mut cm = SheCountMin::builder()
+///     .window(8_192)
+///     .memory_bytes(256 << 10)
+///     .build();
+/// // Key 7 recurs every 8 items: 1024 occurrences per window.
+/// for i in 0..32_768u64 {
+///     cm.insert(&(if i % 8 == 0 { 7 } else { i }));
+/// }
+/// let est = cm.query(&7u64);
+/// assert!(est >= 1_024, "never underestimates in-window counts");
+/// assert!(est < 3_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SheCountMin {
+    engine: She<CountMinSpec>,
+    scratch: Vec<CellUpdate>,
+}
+
+/// Builder for [`SheCountMin`] with the paper's defaults
+/// (`k = 8`, `w = 64`, `α = 1`, 32-bit counters).
+#[derive(Debug, Clone)]
+pub struct SheCountMinBuilder {
+    window: u64,
+    memory_bits: usize,
+    counter_bits: u32,
+    k: usize,
+    alpha: f64,
+    group_cells: usize,
+    seed: u32,
+}
+
+impl Default for SheCountMinBuilder {
+    fn default() -> Self {
+        Self {
+            window: 1 << 16,
+            memory_bits: 8 << 23, // 8 MB... scaled by callers; see builders
+            counter_bits: 32,
+            k: 8,
+            alpha: 1.0,
+            group_cells: 64,
+            seed: 1,
+        }
+    }
+}
+
+impl SheCountMinBuilder {
+    /// Sliding-window size `N` in items.
+    pub fn window(mut self, n: u64) -> Self {
+        self.window = n;
+        self
+    }
+
+    /// Memory budget in bytes.
+    pub fn memory_bytes(mut self, bytes: usize) -> Self {
+        self.memory_bits = bytes * 8;
+        self
+    }
+
+    /// Counter width in bits.
+    pub fn counter_bits(mut self, bits: u32) -> Self {
+        self.counter_bits = bits;
+        self
+    }
+
+    /// Number of hash functions `k` (paper: 8 for SHE-CM).
+    pub fn hash_functions(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// `α = (Tcycle − N)/N` (paper default 1 for SHE-CM).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Cells per group `w`.
+    pub fn group_cells(mut self, w: usize) -> Self {
+        self.group_cells = w;
+        self
+    }
+
+    /// Hash seed.
+    pub fn seed(mut self, seed: u32) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the sketch.
+    pub fn build(self) -> SheCountMin {
+        let m = (self.memory_bits / self.counter_bits as usize).max(self.k.max(self.group_cells));
+        let cfg = SheConfig::builder()
+            .window(self.window)
+            .alpha(self.alpha)
+            .group_cells(self.group_cells.min(m))
+            .build();
+        SheCountMin {
+            engine: She::new(CountMinSpec::new(m, self.counter_bits, self.k, self.seed), cfg),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl SheCountMin {
+    /// Start building with the paper defaults.
+    pub fn builder() -> SheCountMinBuilder {
+        SheCountMinBuilder::default()
+    }
+
+    /// Insert an item at the next time step.
+    #[inline]
+    pub fn insert<K: HashKey + ?Sized>(&mut self, key: &K) {
+        self.engine.insert(key);
+    }
+
+    /// Estimated frequency of `key` within the sliding window.
+    pub fn query<K: HashKey + ?Sized>(&mut self, key: &K) -> u64 {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.engine.updates_for(key, &mut scratch);
+        let mut mature_min: Option<u64> = None;
+        let mut any_min: Option<u64> = None;
+        for u in &scratch {
+            let gid = self.engine.group_of(u.index);
+            let mature = self.engine.check_mature(gid);
+            let v = self.engine.peek_cell(u.index);
+            any_min = Some(any_min.map_or(v, |m| m.min(v)));
+            if mature {
+                mature_min = Some(mature_min.map_or(v, |m| m.min(v)));
+            }
+        }
+        self.scratch = scratch;
+        mature_min.or(any_min).unwrap_or(0)
+    }
+
+    /// Age-normalized frequency estimate.
+    ///
+    /// [`SheCountMin::query`] (the paper's estimator) returns the minimum
+    /// over mature counters, each of which has accumulated for its own
+    /// `age ∈ [N, Tcycle)` — so with α = 1 an unlucky key whose youngest
+    /// mature counter is old reads up to 2× its window frequency. The age
+    /// of every counter is known, so scaling each mature counter by
+    /// `N / age` before taking the minimum removes that bias for
+    /// near-stationary streams (at the cost of the strict
+    /// never-underestimate guarantee, which only holds unscaled). Rankings
+    /// (e.g. [`crate::SlidingTopK`]) should use this.
+    pub fn query_scaled<K: HashKey + ?Sized>(&mut self, key: &K) -> u64 {
+        let n = self.engine.config().window;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.engine.updates_for(key, &mut scratch);
+        let mut best: Option<u64> = None;
+        let mut fallback: Option<u64> = None;
+        for u in &scratch {
+            let gid = self.engine.group_of(u.index);
+            let mature = self.engine.check_mature(gid);
+            let v = self.engine.peek_cell(u.index);
+            fallback = Some(fallback.map_or(v, |m| m.min(v)));
+            if mature {
+                let age = self.engine.group_age(gid).max(1);
+                let scaled = ((v as u128 * n as u128) / age as u128) as u64;
+                best = Some(best.map_or(scaled, |m| m.min(scaled)));
+            }
+        }
+        self.scratch = scratch;
+        best.or(fallback).unwrap_or(0)
+    }
+
+    /// Advance logical time without inserting.
+    #[inline]
+    pub fn advance_time(&mut self, dt: u64) {
+        self.engine.advance_time(dt);
+    }
+
+    /// The underlying generic engine.
+    #[inline]
+    pub fn engine(&self) -> &She<CountMinSpec> {
+        &self.engine
+    }
+
+    /// Current logical time.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.engine.now()
+    }
+
+    /// Memory footprint in bits.
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.engine.memory_bits()
+    }
+
+    /// Reset to empty at time zero.
+    pub fn clear(&mut self) {
+        self.engine.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_in_window_frequencies() {
+        let window = 1u64 << 14;
+        let mut cm = SheCountMin::builder()
+            .window(window)
+            .memory_bytes(1 << 20)
+            .seed(4)
+            .build();
+        // Steady stream where key `i % 1024` recurs every 1024 items: each
+        // key appears window/1024 = 16 times per window.
+        for i in 0..4 * window {
+            cm.insert(&(i % 1024));
+        }
+        let truth = (window / 1024) as f64;
+        let mut sum_re = 0.0;
+        for k in 0..1024u64 {
+            let est = cm.query(&k) as f64;
+            sum_re += (est - truth).abs() / truth;
+        }
+        let are = sum_re / 1024.0;
+        assert!(are < 0.5, "average relative error {are}");
+    }
+
+    #[test]
+    fn mature_counters_never_underestimate() {
+        let window = 1u64 << 12;
+        let mut cm = SheCountMin::builder().window(window).memory_bytes(1 << 20).build();
+        // A heavy key with exactly 64 occurrences in the current window.
+        for i in 0..2 * window {
+            if i % (window / 64) == 0 {
+                cm.insert(&u64::MAX);
+            } else {
+                cm.insert(&i);
+            }
+        }
+        let est = cm.query(&u64::MAX);
+        assert!(est >= 64, "underestimated heavy key: {est} < 64");
+    }
+
+    #[test]
+    fn absent_key_estimates_small() {
+        let window = 1u64 << 12;
+        let mut cm = SheCountMin::builder().window(window).memory_bytes(1 << 20).build();
+        for i in 0..2 * window {
+            cm.insert(&i);
+        }
+        assert!(cm.query(&0xdead_beef_dead_beefu64) <= 4);
+    }
+
+    #[test]
+    fn expired_heavy_key_fades() {
+        let window = 1u64 << 12;
+        let mut cm = SheCountMin::builder().window(window).memory_bytes(1 << 20).build();
+        for _ in 0..1000 {
+            cm.insert(&7u64);
+        }
+        // Two full windows of fresh traffic push the key far out.
+        for i in 0..8 * window {
+            cm.insert(&(i + 100));
+        }
+        let est = cm.query(&7u64);
+        assert!(est < 100, "expired key still estimated at {est}");
+    }
+}

@@ -1,0 +1,266 @@
+//! SHE-MH: sliding-window similarity via MinHash (Section 4.5).
+//!
+//! Two streams are summarized by two [`SheMinHash`] signatures built with
+//! the *same seed* (so hash function `i` agrees across the pair). Each
+//! signature cell is its own group (`w = 1`); an insertion updates every
+//! cell with `F(x, y) = min(h_i(x), y)` after `CheckGroup`. The similarity
+//! query keeps index positions legal (`age ≥ βN`) on *both* sides and
+//! reports the fraction of those positions whose minima agree (`u / k`).
+
+use crate::{She, SheConfig};
+use she_hash::HashKey;
+use she_sketch::{CsmSpec, MinHashSpec};
+
+/// Sliding-window MinHash signature (hardware version of SHE).
+///
+/// ```
+/// use she_core::SheMinHash;
+///
+/// let builder = SheMinHash::builder().window(4_096).num_hashes(256).seed(7);
+/// let (mut a, mut b) = (builder.clone().build(), builder.build());
+/// for i in 0..16_384u64 {
+///     a.insert(&i);
+///     b.insert(&i); // identical streams
+/// }
+/// assert!(a.similarity(&mut b) > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SheMinHash {
+    engine: She<MinHashSpec>,
+}
+
+/// Builder for [`SheMinHash`] with the paper's defaults (`w = 1`, `α = 0.2`,
+/// 24-bit hash outputs).
+#[derive(Debug, Clone)]
+pub struct SheMinHashBuilder {
+    window: u64,
+    num_hashes: usize,
+    alpha: f64,
+    beta: f64,
+    seed: u32,
+}
+
+impl Default for SheMinHashBuilder {
+    fn default() -> Self {
+        // β = 0.5: MinHash has two-sided error, so §3.2's remark applies —
+        // young cells with substantial age are nearly unbiased for
+        // stationary streams, and including them more than doubles the
+        // usable sample (legal fraction 1 − β/(1+α)).
+        Self { window: 1 << 16, num_hashes: 256, alpha: 0.2, beta: 0.5, seed: 1 }
+    }
+}
+
+impl SheMinHashBuilder {
+    /// Sliding-window size `N` in items.
+    pub fn window(mut self, n: u64) -> Self {
+        self.window = n;
+        self
+    }
+
+    /// Number of hash functions / signature cells.
+    pub fn num_hashes(mut self, m: usize) -> Self {
+        self.num_hashes = m;
+        self
+    }
+
+    /// Memory budget in bytes (25-bit cells as in `she_sketch::MinHash`).
+    pub fn memory_bytes(mut self, bytes: usize) -> Self {
+        self.num_hashes = ((bytes * 8) / she_sketch::MINHASH_CELL_BITS as usize).max(1);
+        self
+    }
+
+    /// `α = (Tcycle − N)/N`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Legal-age fraction `β`.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Hash seed — must match between the two signatures being compared.
+    pub fn seed(mut self, seed: u32) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the signature.
+    pub fn build(self) -> SheMinHash {
+        let cfg = SheConfig::builder()
+            .window(self.window)
+            .alpha(self.alpha)
+            .group_cells(1) // w = 1 per §4.5
+            .beta(self.beta)
+            .build();
+        SheMinHash { engine: She::new(MinHashSpec::new(self.num_hashes, self.seed), cfg) }
+    }
+}
+
+impl SheMinHash {
+    /// Start building with the paper defaults.
+    pub fn builder() -> SheMinHashBuilder {
+        SheMinHashBuilder::default()
+    }
+
+    /// Insert an item at the next time step.
+    #[inline]
+    pub fn insert<K: HashKey + ?Sized>(&mut self, key: &K) {
+        self.engine.insert(key);
+    }
+
+    /// Estimated Jaccard similarity between this signature's window and
+    /// `other`'s window.
+    ///
+    /// Positions are compared only when legal on both sides; positions empty
+    /// on both sides are skipped (as in the fixed-window estimator).
+    pub fn similarity(&mut self, other: &mut SheMinHash) -> f64 {
+        let m = self.engine.spec().num_cells();
+        assert_eq!(m, other.engine.spec().num_cells(), "signature sizes differ");
+        let beta_n_a = self.engine.config().beta * self.engine.config().window as f64;
+        let beta_n_b = other.engine.config().beta * other.engine.config().window as f64;
+        let mut used = 0usize;
+        let mut matches = 0usize;
+        for i in 0..m {
+            // w = 1: cell i is group i on both sides.
+            self.engine.check_group(i);
+            other.engine.check_group(i);
+            let legal_a = self.engine.group_age(i) as f64 >= beta_n_a;
+            let legal_b = other.engine.group_age(i) as f64 >= beta_n_b;
+            if !legal_a || !legal_b {
+                continue;
+            }
+            let a = self.engine.peek_cell(i);
+            let b = other.engine.peek_cell(i);
+            if a == 0 && b == 0 {
+                continue;
+            }
+            used += 1;
+            if a == b {
+                matches += 1;
+            }
+        }
+        if used == 0 {
+            0.0
+        } else {
+            matches as f64 / used as f64
+        }
+    }
+
+    /// Advance logical time without inserting.
+    #[inline]
+    pub fn advance_time(&mut self, dt: u64) {
+        self.engine.advance_time(dt);
+    }
+
+    /// The underlying generic engine.
+    #[inline]
+    pub fn engine(&self) -> &She<MinHashSpec> {
+        &self.engine
+    }
+
+    /// Current logical time.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.engine.now()
+    }
+
+    /// Number of hash functions / cells.
+    #[inline]
+    pub fn num_hashes(&self) -> usize {
+        self.engine.spec().num_cells()
+    }
+
+    /// Memory footprint in bits.
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.engine.memory_bits()
+    }
+
+    /// Reset to empty at time zero.
+    pub fn clear(&mut self) {
+        self.engine.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(window: u64, m: usize) -> (SheMinHash, SheMinHash) {
+        let b = SheMinHash::builder().window(window).num_hashes(m).seed(11);
+        (b.clone().build(), b.build())
+    }
+
+    #[test]
+    fn identical_windows_score_high() {
+        let window = 1u64 << 12;
+        let (mut a, mut b) = pair(window, 256);
+        for i in 0..3 * window {
+            a.insert(&i);
+            b.insert(&i);
+        }
+        let s = a.similarity(&mut b);
+        assert!(s > 0.95, "similarity {s} for identical streams");
+    }
+
+    #[test]
+    fn disjoint_windows_score_low() {
+        let window = 1u64 << 12;
+        let (mut a, mut b) = pair(window, 256);
+        for i in 0..3 * window {
+            a.insert(&i);
+            b.insert(&(i + 1_000_000_000));
+        }
+        let s = a.similarity(&mut b);
+        assert!(s < 0.1, "similarity {s} for disjoint streams");
+    }
+
+    #[test]
+    fn partial_overlap_tracks_truth() {
+        let window = 1u64 << 13;
+        let (mut a, mut b) = pair(window, 512);
+        // Per step, both streams see key i with probability 1/2 (shared
+        // space), else disjoint keys: Jaccard ≈ 1/3.
+        for i in 0..3 * window {
+            if i % 2 == 0 {
+                a.insert(&i);
+                b.insert(&i);
+            } else {
+                a.insert(&(i + 1_000_000_000));
+                b.insert(&(i + 2_000_000_000));
+            }
+        }
+        let truth = 1.0 / 3.0;
+        let s = a.similarity(&mut b);
+        assert!((s - truth).abs() < 0.12, "similarity {s} truth {truth}");
+    }
+
+    #[test]
+    fn empty_pair_scores_zero() {
+        let (mut a, mut b) = pair(1 << 10, 64);
+        assert_eq!(a.similarity(&mut b), 0.0);
+    }
+
+    #[test]
+    fn similarity_reacts_to_stream_drift() {
+        // The sliding-window property: after one stream changes its key
+        // space, similarity decays once the old window slides out.
+        let window = 1u64 << 12;
+        let (mut a, mut b) = pair(window, 256);
+        for i in 0..2 * window {
+            a.insert(&i);
+            b.insert(&i);
+        }
+        let before = a.similarity(&mut b);
+        for i in 0..3 * window {
+            a.insert(&i);
+            b.insert(&(i + 1_000_000_000));
+        }
+        let after = a.similarity(&mut b);
+        assert!(before > 0.9, "before {before}");
+        assert!(after < before - 0.5, "after {after} did not decay from {before}");
+    }
+}

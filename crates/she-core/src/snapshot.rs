@@ -1,0 +1,238 @@
+//! Binary state snapshots for SHE structures.
+//!
+//! A `She<S>` is `(config, clock, marks, cells)`; the hash spec `S` is
+//! *not* serialized (seeds are configuration, not state), so loading
+//! requires an identically-configured engine — exactly like restoring a
+//! sketch into a router after a control-plane restart. The format is a
+//! little-endian framed buffer built with the `bytes` crate:
+//!
+//! ```text
+//! magic "SHE1" | window u64 | t_cycle u64 | group_cells u64 | beta f64
+//! | t u64 | n_marks u64 | marks (bit-packed u8s) | n_words u64 | words u64*
+//! ```
+
+use crate::She;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use she_sketch::CsmSpec;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"SHE1";
+
+/// Why a snapshot failed to load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the `SHE1` magic.
+    BadMagic,
+    /// The buffer ended before the frame was complete.
+    Truncated,
+    /// The snapshot's configuration disagrees with the target engine's.
+    ConfigMismatch {
+        /// Field that disagreed.
+        field: &'static str,
+    },
+    /// The snapshot's geometry (marks/words) disagrees with the engine's.
+    GeometryMismatch,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a SHE snapshot (bad magic)"),
+            Self::Truncated => write!(f, "snapshot truncated"),
+            Self::ConfigMismatch { field } => write!(f, "snapshot config mismatch: {field}"),
+            Self::GeometryMismatch => write!(f, "snapshot geometry mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl<S: CsmSpec> She<S> {
+    /// Serialize the engine state (not the hash spec) to a binary buffer.
+    pub fn save_state(&self) -> Bytes {
+        let cfg = *self.config();
+        let (t, marks, cells) = self.snapshot_state();
+        let mut buf = BytesMut::with_capacity(64 + marks.len() / 8 + cells.words().len() * 8);
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(cfg.window);
+        buf.put_u64_le(cfg.t_cycle);
+        buf.put_u64_le(cfg.group_cells as u64);
+        buf.put_f64_le(cfg.beta);
+        buf.put_u64_le(t);
+        buf.put_u64_le(marks.len() as u64);
+        for chunk in marks.chunks(8) {
+            let mut byte = 0u8;
+            for (i, &m) in chunk.iter().enumerate() {
+                if m {
+                    byte |= 1 << i;
+                }
+            }
+            buf.put_u8(byte);
+        }
+        let words = cells.words();
+        buf.put_u64_le(words.len() as u64);
+        for &w in words {
+            buf.put_u64_le(w);
+        }
+        buf.freeze()
+    }
+
+    /// Restore state saved by [`She::save_state`] into this engine.
+    ///
+    /// The engine must have been built with the same configuration and the
+    /// same spec geometry (and, for meaningful answers, the same hash
+    /// seeds).
+    pub fn load_state(&mut self, mut buf: &[u8]) -> Result<(), SnapshotError> {
+        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        buf.advance(4);
+        let need = |n: usize, buf: &&[u8]| {
+            if buf.remaining() < n {
+                Err(SnapshotError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(8 * 4 + 8 + 8, &buf)?;
+        let window = buf.get_u64_le();
+        let t_cycle = buf.get_u64_le();
+        let group_cells = buf.get_u64_le();
+        let beta = buf.get_f64_le();
+        let cfg = *self.config();
+        if window != cfg.window {
+            return Err(SnapshotError::ConfigMismatch { field: "window" });
+        }
+        if t_cycle != cfg.t_cycle {
+            return Err(SnapshotError::ConfigMismatch { field: "t_cycle" });
+        }
+        if group_cells != cfg.group_cells as u64 {
+            return Err(SnapshotError::ConfigMismatch { field: "group_cells" });
+        }
+        if beta != cfg.beta {
+            return Err(SnapshotError::ConfigMismatch { field: "beta" });
+        }
+        let t = buf.get_u64_le();
+        let n_marks = buf.get_u64_le() as usize;
+        let mark_bytes = n_marks.div_ceil(8);
+        need(mark_bytes, &buf)?;
+        let mut marks = Vec::with_capacity(n_marks);
+        for &byte in buf.iter().take(mark_bytes) {
+            for bit in 0..8 {
+                if marks.len() < n_marks {
+                    marks.push(byte & (1 << bit) != 0);
+                }
+            }
+        }
+        buf.advance(mark_bytes);
+        need(8, &buf)?;
+        let n_words = buf.get_u64_le() as usize;
+        need(n_words * 8, &buf)?;
+        {
+            let (_, cur_marks, cur_cells) = self.snapshot_state();
+            if cur_marks.len() != n_marks || cur_cells.words().len() != n_words {
+                return Err(SnapshotError::GeometryMismatch);
+            }
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(buf.get_u64_le());
+        }
+        self.restore_state(t, &marks, &words);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SheConfig;
+    use she_sketch::BloomSpec;
+
+    fn engine(seed: u32) -> She<BloomSpec> {
+        let cfg = SheConfig::builder().window(1 << 10).alpha(1.0).group_cells(64).build();
+        She::new(BloomSpec::new(1 << 13, 4, seed), cfg)
+    }
+
+    fn bf_contains(s: &mut She<BloomSpec>, key: u64) -> bool {
+        let mut ups = Vec::new();
+        s.updates_for(&key, &mut ups);
+        for u in ups {
+            let gid = s.group_of(u.index);
+            if !s.check_mature(gid) {
+                continue;
+            }
+            if s.peek_cell(u.index) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_answer() {
+        let mut a = engine(7);
+        for i in 0..5_000u64 {
+            a.insert(&she_hash::mix64(i));
+        }
+        let snap = a.save_state();
+        let mut b = engine(7);
+        b.load_state(&snap).expect("load");
+        assert_eq!(b.now(), a.now());
+        for i in 0..6_000u64 {
+            let k = she_hash::mix64(i);
+            assert_eq!(bf_contains(&mut a, k), bf_contains(&mut b, k), "key {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_then_continue_streaming() {
+        let mut a = engine(8);
+        for i in 0..3_000u64 {
+            a.insert(&i);
+        }
+        let snap = a.save_state();
+        let mut b = engine(8);
+        b.load_state(&snap).expect("load");
+        // Both continue with the same suffix: answers stay identical.
+        for i in 3_000..5_000u64 {
+            a.insert(&i);
+            b.insert(&i);
+        }
+        for i in 4_000..5_000u64 {
+            assert_eq!(bf_contains(&mut a, i), bf_contains(&mut b, i));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let mut b = engine(9);
+        assert_eq!(b.load_state(b"nope").unwrap_err(), SnapshotError::BadMagic);
+        let mut a = engine(9);
+        a.insert(&1u64);
+        let snap = a.save_state();
+        let cut = &snap[..snap.len() / 2];
+        assert_eq!(b.load_state(cut).unwrap_err(), SnapshotError::Truncated);
+    }
+
+    #[test]
+    fn rejects_config_mismatch() {
+        let a = engine(10);
+        let snap = a.save_state();
+        let cfg = SheConfig::builder().window(1 << 11).alpha(1.0).group_cells(64).build();
+        let mut b = She::new(BloomSpec::new(1 << 13, 4, 10), cfg);
+        assert!(matches!(
+            b.load_state(&snap).unwrap_err(),
+            SnapshotError::ConfigMismatch { field: "window" }
+        ));
+    }
+
+    #[test]
+    fn rejects_geometry_mismatch() {
+        let a = engine(11);
+        let snap = a.save_state();
+        let cfg = *a.config();
+        let mut b = She::new(BloomSpec::new(1 << 12, 4, 11), cfg); // half the bits
+        assert_eq!(b.load_state(&snap).unwrap_err(), SnapshotError::GeometryMismatch);
+    }
+}

@@ -1,0 +1,152 @@
+//! Sliding heavy hitters: the application layer the paper's introduction
+//! motivates (financial trackers, intrusion detection, QoS).
+//!
+//! A [`SlidingTopK`] combines SHE-CM with a small candidate set: every
+//! insertion refreshes the key's frequency estimate and promotes it into
+//! the candidate map when it competes with the current top-k. Because the
+//! sketch answers *sliding-window* frequencies, candidates age out on
+//! their own — a key that stops arriving sees its estimate collapse after
+//! one window and is dropped at the next compaction.
+
+use crate::SheCountMin;
+use std::collections::HashMap;
+
+/// Top-k frequent keys over a sliding window.
+pub struct SlidingTopK {
+    cm: SheCountMin,
+    k: usize,
+    /// Key → last refreshed window-frequency estimate.
+    candidates: HashMap<u64, u64>,
+    /// Compaction threshold (candidates are re-queried and pruned when the
+    /// map grows past this).
+    cap: usize,
+}
+
+impl SlidingTopK {
+    /// Track the `k` heaviest keys of the last `window` items with a
+    /// `bytes`-byte SHE-CM underneath.
+    pub fn new(k: usize, window: u64, bytes: usize, seed: u32) -> Self {
+        assert!(k >= 1);
+        Self {
+            cm: SheCountMin::builder().window(window).memory_bytes(bytes).seed(seed).build(),
+            k,
+            candidates: HashMap::new(),
+            cap: (4 * k).max(16),
+        }
+    }
+
+    /// Ingest the next item.
+    pub fn insert(&mut self, key: u64) {
+        self.cm.insert(&key);
+        let est = self.cm.query_scaled(&key);
+        // A key competes once its estimate reaches the weakest candidate's
+        // (or the set is not full yet).
+        if self.candidates.len() < self.cap {
+            self.candidates.insert(key, est);
+        } else {
+            let min = self.candidates.values().copied().min().unwrap_or(0);
+            if est > min {
+                self.candidates.insert(key, est);
+            }
+            if self.candidates.len() > self.cap {
+                self.compact();
+            }
+        }
+    }
+
+    /// Re-query every candidate against the sliding sketch and keep the
+    /// strongest `2k` (estimates decay as the window slides, so this is
+    /// where expired heavy hitters fall out).
+    fn compact(&mut self) {
+        let cm = &mut self.cm;
+        let mut scored: Vec<(u64, u64)> =
+            self.candidates.keys().map(|&key| (key, cm.query_scaled(&key))).collect();
+        scored.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        scored.truncate(2 * self.k);
+        self.candidates = scored.into_iter().collect();
+    }
+
+    /// The current top-k as `(key, estimated window frequency)`, heaviest
+    /// first. Re-queries candidates so the answer reflects the window as of
+    /// now.
+    pub fn top(&mut self) -> Vec<(u64, u64)> {
+        self.compact();
+        let mut out: Vec<(u64, u64)> = self.candidates.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(self.k);
+        out
+    }
+
+    /// The underlying frequency sketch.
+    pub fn sketch(&self) -> &SheCountMin {
+        &self.cm
+    }
+
+    /// Memory footprint in bits (sketch + candidate entries at 128 bits).
+    pub fn memory_bits(&self) -> usize {
+        self.cm.memory_bits() + self.candidates.len() * 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_heavy_keys() {
+        let window = 1u64 << 13;
+        let mut tk = SlidingTopK::new(3, window, 1 << 20, 1);
+        // Keys 1, 2, 3 take 30%, 20%, 10% of traffic; the rest is distinct.
+        for i in 0..3 * window {
+            let key = match i % 10 {
+                0..=2 => 1,
+                3..=4 => 2,
+                5 => 3,
+                _ => 1_000_000 + i,
+            };
+            tk.insert(key);
+        }
+        let top = tk.top();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+        assert_eq!(top[2].0, 3);
+        // Estimates are near the true shares of one window.
+        let truth = [3 * window / 10, window / 5, window / 10];
+        for ((_, est), t) in top.iter().zip(truth) {
+            let re = (*est as f64 - t as f64).abs() / t as f64;
+            assert!(re < 0.3, "estimate {est} vs {t}");
+        }
+    }
+
+    #[test]
+    fn expired_heavy_hitter_falls_out() {
+        let window = 1u64 << 12;
+        let mut tk = SlidingTopK::new(2, window, 1 << 20, 2);
+        // Phase 1: key 7 dominates.
+        for i in 0..window {
+            tk.insert(if i % 2 == 0 { 7 } else { 1_000_000 + i });
+        }
+        assert_eq!(tk.top()[0].0, 7);
+        // Phase 2: key 7 vanishes; key 9 dominates for several windows.
+        for i in 0..6 * window {
+            tk.insert(if i % 2 == 0 { 9 } else { 2_000_000 + i });
+        }
+        let top = tk.top();
+        assert_eq!(top[0].0, 9);
+        assert!(
+            top.iter().all(|&(k, est)| k != 7 || est < window / 10),
+            "expired heavy hitter still ranked: {top:?}"
+        );
+    }
+
+    #[test]
+    fn candidate_set_stays_bounded() {
+        let mut tk = SlidingTopK::new(5, 1 << 10, 1 << 18, 3);
+        for i in 0..50_000u64 {
+            tk.insert(she_hash::mix64(i)); // all distinct
+        }
+        assert!(tk.candidates.len() <= tk.cap + 1);
+        assert!(tk.top().len() <= 5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the extension modules: snapshots and sharding.
+
+use proptest::prelude::*;
+use she_core::{She, SheConfig, ShardedCountMin};
+use she_sketch::BloomSpec;
+
+fn bf_contains(s: &mut She<BloomSpec>, key: u64) -> bool {
+    let mut ups = Vec::new();
+    s.updates_for(&key, &mut ups);
+    for u in ups {
+        let gid = s.group_of(u.index);
+        if !s.check_mature(gid) {
+            continue;
+        }
+        if s.peek_cell(u.index) == 0 {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Snapshot round-trips preserve every observable answer for arbitrary
+    /// insert/advance interleavings.
+    #[test]
+    fn snapshot_roundtrip_preserves_answers(
+        ops in prop::collection::vec((any::<u64>(), 0u64..50), 1..200),
+        window in 16u64..2_000,
+    ) {
+        let cfg = SheConfig::builder().window(window).alpha(0.7).group_cells(16).build();
+        let mut a = She::new(BloomSpec::new(1 << 10, 3, 5), cfg);
+        for &(key, dt) in &ops {
+            a.insert(&key);
+            a.advance_time(dt);
+        }
+        let snap = a.save_state();
+        let mut b = She::new(BloomSpec::new(1 << 10, 3, 5), cfg);
+        b.load_state(&snap).expect("load");
+        prop_assert_eq!(a.now(), b.now());
+        for &(key, _) in &ops {
+            prop_assert_eq!(bf_contains(&mut a, key), bf_contains(&mut b, key));
+        }
+        // And they stay in lock-step afterwards.
+        for extra in 0..50u64 {
+            a.insert(&extra);
+            b.insert(&extra);
+        }
+        for &(key, _) in ops.iter().take(20) {
+            prop_assert_eq!(bf_contains(&mut a, key), bf_contains(&mut b, key));
+        }
+    }
+
+    /// Loading arbitrary garbage never panics — it errors.
+    #[test]
+    fn snapshot_loader_rejects_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let cfg = SheConfig::builder().window(100).alpha(0.5).group_cells(8).build();
+        let mut s = She::new(BloomSpec::new(128, 2, 1), cfg);
+        // Either a clean error, or (for a buffer that happens to start with
+        // the magic AND match the config) success — never a panic.
+        let _ = s.load_state(&bytes);
+    }
+
+    /// Sharded Count-Min answers match a serial run over the same keys for
+    /// any stream (the router and per-shard windows are deterministic).
+    #[test]
+    fn sharded_cm_matches_serial(
+        keys in prop::collection::vec(0u64..500, 1..800),
+        shards in 1usize..6,
+    ) {
+        let window = 256u64;
+        let serial = ShardedCountMin::new(shards, window, 1 << 18, 9);
+        for &k in &keys {
+            serial.insert(k);
+        }
+        let parallel = ShardedCountMin::new(shards, window, 1 << 18, 9);
+        parallel.0.ingest_parallel(&keys, 4);
+        for &k in keys.iter().take(100) {
+            prop_assert_eq!(serial.query(k), parallel.query(k));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the SHE engine invariants (Sections 3.2–3.3).
+
+use proptest::prelude::*;
+use she_core::{She, SheBloomFilter, SheConfig, SheCountMin};
+use she_sketch::BloomSpec;
+
+proptest! {
+    /// Group ages always lie in [0, Tcycle), for any time and geometry.
+    #[test]
+    fn ages_bounded_by_cycle(
+        window in 2u64..5000,
+        alpha_pct in 5u64..400,
+        w in 1usize..200,
+        advances in prop::collection::vec(0u64..10_000, 0..20),
+    ) {
+        let cfg = SheConfig::builder()
+            .window(window)
+            .alpha(alpha_pct as f64 / 100.0)
+            .group_cells(w.min(256))
+            .build();
+        let mut s = She::new(BloomSpec::new(256, 2, 1), cfg);
+        let tc = s.config().t_cycle;
+        for dt in advances {
+            s.advance_time(dt);
+            for gid in 0..s.num_groups() {
+                prop_assert!(s.group_age(gid) < tc);
+            }
+        }
+    }
+
+    /// CheckGroup is idempotent: a second call right after the first never
+    /// resets again, at any point in time.
+    #[test]
+    fn check_group_idempotent(jumps in prop::collection::vec(1u64..5_000, 1..30)) {
+        let cfg = SheConfig::builder().window(100).alpha(0.5).group_cells(16).build();
+        let mut s = She::new(BloomSpec::new(256, 2, 2), cfg);
+        for dt in jumps {
+            s.advance_time(dt);
+            for gid in 0..s.num_groups() {
+                s.check_group(gid);
+                prop_assert!(!s.check_group(gid), "second CheckGroup reset group {}", gid);
+            }
+        }
+    }
+
+    /// The defining SHE-BF guarantee: no false negatives for items inside
+    /// the sliding window, for any stream shape and α.
+    #[test]
+    fn she_bf_one_sided_error(
+        window_log in 6u32..10,
+        alpha_pct in 20u64..400,
+        key_universe in 1u64..5_000,
+        total_mult in 2u64..6,
+    ) {
+        let window = 1u64 << window_log;
+        let mut bf = SheBloomFilter::builder()
+            .window(window)
+            .memory_bytes(16 << 10)
+            .hash_functions(4)
+            .alpha(alpha_pct as f64 / 100.0)
+            .seed(3)
+            .build();
+        let total = total_mult * window;
+        let mut recent = std::collections::VecDeque::new();
+        for t in 0..total {
+            let key = she_hash::mix64(t % key_universe);
+            bf.insert(&key);
+            recent.push_back(key);
+            if recent.len() > window as usize {
+                recent.pop_front();
+            }
+        }
+        for &k in &recent {
+            prop_assert!(bf.contains(&k), "false negative inside the window");
+        }
+    }
+
+    /// SHE-CM never underestimates when answered from mature counters: the
+    /// estimate is at least the true in-window count for every key.
+    #[test]
+    fn she_cm_no_underestimate_with_mature_answer(
+        window_log in 6u32..9,
+        key_universe in 1u64..100,
+        total_mult in 2u64..5,
+    ) {
+        let window = 1u64 << window_log;
+        let mut cm = SheCountMin::builder()
+            .window(window)
+            .memory_bytes(1 << 20)
+            .alpha(1.0)
+            .seed(4)
+            .build();
+        let total = total_mult * window;
+        let mut recent = std::collections::VecDeque::new();
+        for t in 0..total {
+            let key = she_hash::mix64(t % key_universe);
+            cm.insert(&key);
+            recent.push_back(key);
+            if recent.len() > window as usize {
+                recent.pop_front();
+            }
+        }
+        let mut counts = std::collections::HashMap::new();
+        for &k in &recent {
+            *counts.entry(k).or_insert(0u64) += 1;
+        }
+        for (k, c) in counts {
+            prop_assert!(cm.query(&k) >= c, "key {k} underestimated");
+        }
+    }
+
+    /// Inserting never panics across arbitrary geometry corner cases
+    /// (uneven last group, w = 1, w = M, tiny windows).
+    #[test]
+    fn geometry_corner_cases(
+        m in 1usize..300,
+        w in 1usize..300,
+        window in 1u64..100,
+        n_ops in 0usize..500,
+    ) {
+        let cfg = SheConfig::builder()
+            .window(window)
+            .alpha(0.3)
+            .group_cells(w.min(m))
+            .build();
+        let mut s = She::new(BloomSpec::new(m, 2, 5), cfg);
+        for i in 0..n_ops {
+            s.insert(&(i as u64));
+        }
+        prop_assert_eq!(s.now(), n_ops as u64);
+    }
+}

@@ -1,0 +1,191 @@
+//! Jenkins lookup3 (`hashlittle`), the "BOBHash" the SHE paper uses.
+//!
+//! Implemented from Bob Jenkins' public-domain description
+//! (<http://burtleburtle.net/bob/hash/doobs.html>). The byte-at-a-time tail
+//! handling below is equivalent to the original's aligned fast paths; we only
+//! need the value, not the last nanosecond, and this form is endianness-safe.
+
+/// Seedable lookup3 hasher producing 32-bit values.
+///
+/// Two `Bob32` instances with different seeds behave as independent hash
+/// functions, which is how the multi-hash sketches derive their families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bob32 {
+    seed: u32,
+}
+
+#[inline(always)]
+fn rot(x: u32, k: u32) -> u32 {
+    x.rotate_left(k)
+}
+
+#[inline(always)]
+fn mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 4);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 6);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 8);
+    *b = b.wrapping_add(*a);
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 16);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 19);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 4);
+    *b = b.wrapping_add(*a);
+}
+
+#[inline(always)]
+fn final_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 14));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 11));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 25));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 16));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 4));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 14));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 24));
+}
+
+#[inline(always)]
+fn load_word(chunk: &[u8]) -> u32 {
+    // Little-endian load with zero padding for short tails.
+    let mut w = 0u32;
+    for (i, &byte) in chunk.iter().enumerate().take(4) {
+        w |= (byte as u32) << (8 * i);
+    }
+    w
+}
+
+impl Bob32 {
+    /// Create a hasher with the given seed (the lookup3 `initval`).
+    #[inline]
+    pub const fn new(seed: u32) -> Self {
+        Self { seed }
+    }
+
+    /// The seed this hasher was constructed with.
+    #[inline]
+    pub const fn seed(&self) -> u32 {
+        self.seed
+    }
+
+    /// Hash a byte string to 32 bits (lookup3 `hashlittle`).
+    pub fn hash(&self, key: &[u8]) -> u32 {
+        let mut a = 0xdead_beef_u32
+            .wrapping_add(key.len() as u32)
+            .wrapping_add(self.seed);
+        let mut b = a;
+        let mut c = a;
+
+        let mut rest = key;
+        while rest.len() > 12 {
+            a = a.wrapping_add(load_word(&rest[0..4]));
+            b = b.wrapping_add(load_word(&rest[4..8]));
+            c = c.wrapping_add(load_word(&rest[8..12]));
+            mix(&mut a, &mut b, &mut c);
+            rest = &rest[12..];
+        }
+
+        if rest.is_empty() {
+            // lookup3 returns c untouched for zero-length tails.
+            return c;
+        }
+        a = a.wrapping_add(load_word(rest));
+        if rest.len() > 4 {
+            b = b.wrapping_add(load_word(&rest[4..]));
+        }
+        if rest.len() > 8 {
+            c = c.wrapping_add(load_word(&rest[8..]));
+        }
+        final_mix(&mut a, &mut b, &mut c);
+        c
+    }
+
+    /// Hash to 64 bits by running the 32-bit core with two related seeds.
+    ///
+    /// This mirrors lookup3's `hashlittle2`, which produces two 32-bit
+    /// results; concatenating them yields a 64-bit value good enough for
+    /// rank extraction and range reduction.
+    pub fn hash64(&self, key: &[u8]) -> u64 {
+        let lo = self.hash(key) as u64;
+        let hi = Bob32::new(self.seed ^ 0x9E37_79B9).hash(key) as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let h = Bob32::new(7);
+        assert_eq!(h.hash(b"hello world"), h.hash(b"hello world"));
+        assert_eq!(h.hash64(b"hello world"), h.hash64(b"hello world"));
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let a = Bob32::new(1).hash(b"key");
+        let b = Bob32::new(2).hash(b"key");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn key_changes_output() {
+        let h = Bob32::new(42);
+        assert_ne!(h.hash(b"key0"), h.hash(b"key1"));
+        assert_ne!(h.hash(b""), h.hash(b"\0"));
+    }
+
+    #[test]
+    fn all_tail_lengths_distinct() {
+        // Exercise every tail length 0..=12 plus a multi-block key and make
+        // sure prefixes don't collide (they shouldn't, for a decent hash).
+        let h = Bob32::new(0);
+        let key = b"abcdefghijklmnopqrstuvwxyz";
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=key.len() {
+            assert!(seen.insert(h.hash(&key[..len])), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn avalanche_is_reasonable() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let h = Bob32::new(123);
+        let base = h.hash(&0xdead_beef_u32.to_le_bytes());
+        let mut total = 0u32;
+        for bit in 0..32 {
+            let flipped = 0xdead_beef_u32 ^ (1 << bit);
+            total += (base ^ h.hash(&flipped.to_le_bytes())).count_ones();
+        }
+        let avg = total as f64 / 32.0;
+        assert!((10.0..22.0).contains(&avg), "avalanche average {avg}");
+    }
+
+    #[test]
+    fn distribution_over_small_range() {
+        let h = Bob32::new(99);
+        let mut buckets = [0u32; 16];
+        for i in 0..50_000u32 {
+            buckets[(h.hash(&i.to_le_bytes()) % 16) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((2_500..3_800).contains(&b), "bucket {b}");
+        }
+    }
+}

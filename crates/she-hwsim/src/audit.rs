@@ -1,0 +1,299 @@
+//! Memory-access recording and constraint auditing (Section 2.3).
+//!
+//! A [`MemorySystem`] owns a set of named regions, each with a total size
+//! and a maximum per-access width (the SRAM port width). Pipelines declare
+//! every read/write through [`MemorySystem::access`]; the system enforces,
+//! per item flowing through the pipeline:
+//!
+//! 1. **Limited SRAM** — the summed region sizes must fit the budget
+//!    (default: the Virtex-7's ~30 MB of on-chip memory);
+//! 2. **Single stage memory access** — a region may only ever be touched by
+//!    one pipeline stage;
+//! 3. **Limited concurrent memory access** — a stage may make at most one
+//!    access per region per item, of at most the region's port width.
+
+use std::fmt;
+
+/// Default SRAM budget: the paper's "a Virtex FPGA has less than 30 MB".
+pub const DEFAULT_SRAM_BUDGET_BITS: usize = 30 * 8 * 1024 * 1024;
+
+/// Handle to a registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionId(usize);
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+/// A detected violation of the three hardware constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintViolation {
+    /// Total registered memory exceeds the SRAM budget.
+    OverBudget {
+        /// Bits requested across all regions.
+        total_bits: usize,
+        /// The configured budget.
+        budget_bits: usize,
+    },
+    /// A region was accessed by two different stages.
+    MultiStageAccess {
+        /// Region name.
+        region: &'static str,
+        /// Stage that owned the region first.
+        first_stage: usize,
+        /// The offending second stage.
+        second_stage: usize,
+    },
+    /// One stage accessed the same region twice while processing one item.
+    RepeatedAccess {
+        /// Region name.
+        region: &'static str,
+        /// The offending stage.
+        stage: usize,
+    },
+    /// An access was wider than the region's port.
+    OverWidth {
+        /// Region name.
+        region: &'static str,
+        /// Requested bits.
+        requested_bits: usize,
+        /// Port width in bits.
+        port_bits: usize,
+    },
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OverBudget { total_bits, budget_bits } => {
+                write!(f, "memory over budget: {total_bits} bits > {budget_bits} bits of SRAM")
+            }
+            Self::MultiStageAccess { region, first_stage, second_stage } => write!(
+                f,
+                "region '{region}' accessed by stage {second_stage} but owned by stage {first_stage}"
+            ),
+            Self::RepeatedAccess { region, stage } => {
+                write!(f, "stage {stage} accessed region '{region}' twice for one item")
+            }
+            Self::OverWidth { region, requested_bits, port_bits } => write!(
+                f,
+                "access of {requested_bits} bits to region '{region}' exceeds its {port_bits}-bit port"
+            ),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    name: &'static str,
+    total_bits: usize,
+    port_bits: usize,
+    reads: u64,
+    writes: u64,
+    /// The unique stage allowed to touch this region (locked on first use).
+    owner_stage: Option<usize>,
+    /// Accesses made for the in-flight item, per stage (stage, count).
+    item_touches: Vec<(usize, u32)>,
+}
+
+/// The audited memory system of a simulated pipeline.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    regions: Vec<Region>,
+    budget_bits: usize,
+    violations: Vec<ConstraintViolation>,
+}
+
+impl Default for MemorySystem {
+    fn default() -> Self {
+        Self::new(DEFAULT_SRAM_BUDGET_BITS)
+    }
+}
+
+impl MemorySystem {
+    /// Create a memory system with an SRAM budget in bits.
+    pub fn new(budget_bits: usize) -> Self {
+        Self { regions: Vec::new(), budget_bits, violations: Vec::new() }
+    }
+
+    /// Register a region of `total_bits` with a `port_bits`-wide port.
+    /// Records an `OverBudget` violation if the running total exceeds the
+    /// budget.
+    pub fn register(&mut self, name: &'static str, total_bits: usize, port_bits: usize) -> RegionId {
+        self.regions.push(Region {
+            name,
+            total_bits,
+            port_bits,
+            reads: 0,
+            writes: 0,
+            owner_stage: None,
+            item_touches: Vec::new(),
+        });
+        let total: usize = self.regions.iter().map(|r| r.total_bits).sum();
+        if total > self.budget_bits {
+            self.violations.push(ConstraintViolation::OverBudget {
+                total_bits: total,
+                budget_bits: self.budget_bits,
+            });
+        }
+        RegionId(self.regions.len() - 1)
+    }
+
+    /// Mark the start of a new item flowing through the pipeline (resets
+    /// the per-item access tallies).
+    pub fn begin_item(&mut self) {
+        for r in &mut self.regions {
+            r.item_touches.clear();
+        }
+    }
+
+    /// Record an access of `bits` bits by `stage` to `region`; checks
+    /// constraints 2 and 3.
+    pub fn access(&mut self, stage: usize, region: RegionId, kind: AccessKind, bits: usize) {
+        let r = &mut self.regions[region.0];
+        match kind {
+            AccessKind::Read => r.reads += 1,
+            AccessKind::Write => r.writes += 1,
+        }
+        if bits > r.port_bits {
+            self.violations.push(ConstraintViolation::OverWidth {
+                region: r.name,
+                requested_bits: bits,
+                port_bits: r.port_bits,
+            });
+        }
+        match r.owner_stage {
+            None => r.owner_stage = Some(stage),
+            Some(owner) if owner != stage => {
+                self.violations.push(ConstraintViolation::MultiStageAccess {
+                    region: r.name,
+                    first_stage: owner,
+                    second_stage: stage,
+                });
+            }
+            Some(_) => {}
+        }
+        // A stage gets one read-modify-write of one address per item: we
+        // allow one read + one write, but not two reads or two writes.
+        match r.item_touches.iter_mut().find(|(s, _)| *s == stage) {
+            Some((_, n)) => {
+                *n += 1;
+                if *n > 2 {
+                    self.violations.push(ConstraintViolation::RepeatedAccess {
+                        region: r.name,
+                        stage,
+                    });
+                }
+            }
+            None => r.item_touches.push((stage, 1)),
+        }
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> &[ConstraintViolation] {
+        &self.violations
+    }
+
+    /// Total registered memory in bits.
+    pub fn total_bits(&self) -> usize {
+        self.regions.iter().map(|r| r.total_bits).sum()
+    }
+
+    /// Total accesses (reads + writes) across all regions.
+    pub fn total_accesses(&self) -> u64 {
+        self.regions.iter().map(|r| r.reads + r.writes).sum()
+    }
+
+    /// Per-region `(name, total_bits, port_bits, reads, writes)` summary.
+    pub fn region_summary(&self) -> Vec<(&'static str, usize, usize, u64, u64)> {
+        self.regions
+            .iter()
+            .map(|r| (r.name, r.total_bits, r.port_bits, r.reads, r.writes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_pipeline_has_no_violations() {
+        let mut ms = MemorySystem::new(1 << 20);
+        let marks = ms.register("marks", 16, 1);
+        let cells = ms.register("cells", 1024, 64);
+        for _ in 0..100 {
+            ms.begin_item();
+            ms.access(2, marks, AccessKind::Read, 1);
+            ms.access(2, marks, AccessKind::Write, 1);
+            ms.access(3, cells, AccessKind::Read, 64);
+            ms.access(3, cells, AccessKind::Write, 64);
+        }
+        assert!(ms.violations().is_empty());
+        assert_eq!(ms.total_accesses(), 400);
+        assert_eq!(ms.total_bits(), 1040);
+    }
+
+    #[test]
+    fn detects_multi_stage_access() {
+        let mut ms = MemorySystem::new(1 << 20);
+        let cells = ms.register("cells", 64, 64);
+        ms.begin_item();
+        ms.access(1, cells, AccessKind::Read, 32);
+        ms.access(2, cells, AccessKind::Write, 32);
+        assert!(matches!(
+            ms.violations()[0],
+            ConstraintViolation::MultiStageAccess { region: "cells", first_stage: 1, second_stage: 2 }
+        ));
+    }
+
+    #[test]
+    fn detects_repeated_access_per_item() {
+        let mut ms = MemorySystem::new(1 << 20);
+        let cells = ms.register("cells", 64, 64);
+        ms.begin_item();
+        ms.access(1, cells, AccessKind::Read, 8);
+        ms.access(1, cells, AccessKind::Write, 8);
+        ms.access(1, cells, AccessKind::Read, 8); // third touch: violation
+        assert!(matches!(
+            ms.violations()[0],
+            ConstraintViolation::RepeatedAccess { region: "cells", stage: 1 }
+        ));
+        // The tally resets for the next item.
+        let before = ms.violations().len();
+        ms.begin_item();
+        ms.access(1, cells, AccessKind::Read, 8);
+        ms.access(1, cells, AccessKind::Write, 8);
+        assert_eq!(ms.violations().len(), before);
+    }
+
+    #[test]
+    fn detects_over_width() {
+        let mut ms = MemorySystem::new(1 << 20);
+        let cells = ms.register("cells", 2048, 64);
+        ms.begin_item();
+        ms.access(1, cells, AccessKind::Read, 128);
+        assert!(matches!(
+            ms.violations()[0],
+            ConstraintViolation::OverWidth { requested_bits: 128, port_bits: 64, .. }
+        ));
+    }
+
+    #[test]
+    fn detects_over_budget() {
+        let mut ms = MemorySystem::new(100);
+        ms.register("big", 200, 64);
+        assert!(matches!(ms.violations()[0], ConstraintViolation::OverBudget { .. }));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = ConstraintViolation::RepeatedAccess { region: "cells", stage: 3 };
+        assert!(v.to_string().contains("cells"));
+    }
+}

@@ -1,0 +1,465 @@
+//! The four-stage SHE insertion pipeline of Section 6, executed against
+//! real state with every memory access audited.
+//!
+//! Stages (per the paper):
+//!
+//! 1. read + update the **item counter** (a 32-bit register);
+//! 2. compute the **hash** of the key (combinational, no memory);
+//! 3. compute the current **time mark**, read the stored mark of the mapped
+//!    group, compare, write back;
+//! 4. read the mapped **cell group**, reset it if stage 3 flagged a flip,
+//!    apply the update function `F` to the mapped cell, write back.
+//!
+//! Multi-hash structures (SHE-BF, SHE-CM) instantiate `k` identical lanes
+//! (the paper's "8 identical processes"), each owning its own array and
+//! mark slice so no region is shared between lanes — the paper notes "the
+//! insertion process of SHE-BF and other SHE algorithms is barely the same
+//! as SHE-BM", and this module makes that concrete for all four cell
+//! types.
+
+use crate::audit::{AccessKind, MemorySystem, RegionId};
+use she_hash::{rank_of, HashFamily};
+
+/// Which SHE structure the pipeline implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SheVariant {
+    /// SHE-BM: one hash lane over a bit array.
+    Bitmap,
+    /// SHE-BF: `k` bit-array lanes.
+    Bloom {
+        /// Number of hash functions / lanes.
+        k: usize,
+    },
+    /// SHE-CM: `k` counter-array lanes of `counter_bits`-bit saturating
+    /// counters.
+    CountMin {
+        /// Number of hash functions / lanes.
+        k: usize,
+        /// Counter width in bits.
+        counter_bits: u32,
+    },
+    /// SHE-HLL: one lane of `reg_bits`-bit max-registers (`w = 1`).
+    HyperLogLog {
+        /// Register width in bits.
+        reg_bits: u32,
+    },
+}
+
+impl SheVariant {
+    /// Number of parallel lanes.
+    pub fn lanes(&self) -> usize {
+        match self {
+            Self::Bitmap | Self::HyperLogLog { .. } => 1,
+            Self::Bloom { k } | Self::CountMin { k, .. } => *k,
+        }
+    }
+
+    /// Bit width of one cell.
+    pub fn cell_bits(&self) -> u32 {
+        match self {
+            Self::Bitmap | Self::Bloom { .. } => 1,
+            Self::CountMin { counter_bits, .. } => *counter_bits,
+            Self::HyperLogLog { reg_bits } => *reg_bits,
+        }
+    }
+
+    /// The update function `F(x, y)` on a cell value.
+    fn apply(&self, operand: u64, old: u64) -> u64 {
+        match self {
+            Self::Bitmap | Self::Bloom { .. } => 1,
+            Self::CountMin { counter_bits, .. } => {
+                let max = (1u64 << counter_bits) - 1;
+                old.saturating_add(1).min(max)
+            }
+            Self::HyperLogLog { reg_bits } => {
+                let max = (1u64 << reg_bits) - 1;
+                operand.min(max).max(old)
+            }
+        }
+    }
+}
+
+/// One lane's private state and region handles.
+#[derive(Debug, Clone)]
+struct Lane {
+    /// One entry per cell (bit / counter / register).
+    cells: Vec<u64>,
+    /// Stored time-mark bit per group.
+    marks: Vec<bool>,
+    cells_region: RegionId,
+    marks_region: RegionId,
+    hasher: HashFamily,
+    /// Rank hash for the HyperLogLog variant.
+    rank_hasher: HashFamily,
+}
+
+/// The audited four-stage pipeline simulator.
+///
+/// ```
+/// use she_hwsim::{ShePipeline, SheVariant};
+///
+/// let mut p = ShePipeline::paper_config(SheVariant::Bloom { k: 8 });
+/// let stats = p.run((0..10_000u64).map(she_hash::mix64));
+/// assert_eq!(stats.violations, 0);            // all §2.3 constraints hold
+/// assert_eq!(stats.cycles, stats.items + 3);  // fully pipelined
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShePipeline {
+    variant: SheVariant,
+    memory: MemorySystem,
+    counter_region: RegionId,
+    lanes: Vec<Lane>,
+    /// Cells per lane.
+    m_cells: usize,
+    /// Cells per group.
+    group_w: usize,
+    window: u64,
+    t_cycle: u64,
+    /// The 32-bit item counter register (stage 1).
+    item_counter: u32,
+    cycles: u64,
+}
+
+/// Statistics of one simulated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Items pushed through the pipeline.
+    pub items: u64,
+    /// Clock cycles consumed. With the constraints satisfied the pipeline
+    /// is fully pipelined: `cycles = items + stages − 1`.
+    pub cycles: u64,
+    /// Pipeline depth.
+    pub stages: u32,
+    /// Total memory accesses recorded.
+    pub memory_accesses: u64,
+    /// Constraint violations (must be empty for a hardware-feasible run).
+    pub violations: usize,
+}
+
+impl ShePipeline {
+    /// Build the pipeline: `m_cells` cells per lane, `group_w` cells per
+    /// group, window / cleaning cycle in items.
+    pub fn new(variant: SheVariant, m_cells: usize, group_w: usize, window: u64, t_cycle: u64) -> Self {
+        assert!(m_cells >= group_w && group_w >= 1);
+        assert!(t_cycle > window && window > 0);
+        let g = m_cells.div_ceil(group_w);
+        let mut memory = MemorySystem::default();
+        let counter_region = memory.register("item_counter", 32, 32);
+        let cell_bits = variant.cell_bits() as usize;
+        let lanes = (0..variant.lanes())
+            .map(|lane| {
+                let cells_region =
+                    memory.register("cell_array", m_cells * cell_bits, group_w * cell_bits);
+                let marks_region = memory.register("time_marks", g, 1);
+                Lane {
+                    cells: vec![0u64; m_cells],
+                    marks: vec![false; g],
+                    cells_region,
+                    marks_region,
+                    hasher: HashFamily::new(1, 0xC0FFEE ^ lane as u32),
+                    rank_hasher: HashFamily::new(1, 0xF1A9 ^ lane as u32),
+                }
+            })
+            .collect();
+        Self {
+            variant,
+            memory,
+            counter_region,
+            lanes,
+            m_cells,
+            group_w,
+            window,
+            t_cycle,
+            item_counter: 0,
+            cycles: 0,
+        }
+    }
+
+    /// The paper's exact FPGA configuration: 1024-bit array, 64-bit groups
+    /// (group size expressed in cells so the group port stays 64 bits for
+    /// the bit-array variants; counter variants get one 64-bit counter
+    /// group by default via [`ShePipeline::new`]).
+    pub fn paper_config(variant: SheVariant) -> Self {
+        match variant {
+            SheVariant::Bitmap | SheVariant::Bloom { .. } => Self::new(variant, 1024, 64, 600, 1024),
+            // Counter variants: keep the group port at 64 bits.
+            SheVariant::CountMin { counter_bits, .. } => {
+                let w = (64 / counter_bits).max(1) as usize;
+                Self::new(variant, 1024, w, 600, 1024)
+            }
+            SheVariant::HyperLogLog { .. } => Self::new(variant, 1024, 1, 600, 1024),
+        }
+    }
+
+    fn num_groups(&self) -> usize {
+        self.m_cells.div_ceil(self.group_w)
+    }
+
+    fn group_offset(&self, gid: usize) -> u64 {
+        let g = self.num_groups();
+        ((self.t_cycle as u128 * gid as u128) / g as u128) as u64
+    }
+
+    fn current_mark(&self, gid: usize) -> bool {
+        let shifted = self.item_counter as i128 - self.group_offset(gid) as i128;
+        shifted.div_euclid(self.t_cycle as i128).rem_euclid(2) == 1
+    }
+
+    fn group_age(&self, gid: usize) -> u64 {
+        (self.item_counter as i128 - self.group_offset(gid) as i128)
+            .rem_euclid(self.t_cycle as i128) as u64
+    }
+
+    /// Push one item through all four stages.
+    pub fn insert(&mut self, key: u64) {
+        self.memory.begin_item();
+        self.cycles += 1;
+
+        // Stage 1: item counter read-modify-write (32-bit register).
+        self.memory.access(1, self.counter_region, AccessKind::Read, 32);
+        self.item_counter = self.item_counter.wrapping_add(1);
+        self.memory.access(1, self.counter_region, AccessKind::Write, 32);
+
+        // Stage 2: hash computation — combinational, no memory access.
+        let lanes_n = self.lanes.len();
+        let hashed: Vec<(usize, u64)> = (0..lanes_n)
+            .map(|l| {
+                let idx = self.lanes[l].hasher.index(0, &key, self.m_cells);
+                let operand = match self.variant {
+                    SheVariant::HyperLogLog { .. } => {
+                        rank_of(self.lanes[l].rank_hasher.hash(0, &key) as u64, 32) as u64
+                    }
+                    _ => 1,
+                };
+                (idx, operand)
+            })
+            .collect();
+
+        let group_bits = self.group_w * self.variant.cell_bits() as usize;
+        for (l, (cell_idx, operand)) in hashed.into_iter().enumerate() {
+            let gid = cell_idx / self.group_w;
+
+            // Stage 3: time-mark read/compare/write (1-bit access).
+            let cur = self.current_mark(gid);
+            let (marks_region, cells_region) =
+                (self.lanes[l].marks_region, self.lanes[l].cells_region);
+            self.memory.access(3, marks_region, AccessKind::Read, 1);
+            let stored = self.lanes[l].marks[gid];
+            let flip = stored != cur;
+            if flip {
+                self.lanes[l].marks[gid] = cur;
+                self.memory.access(3, marks_region, AccessKind::Write, 1);
+            }
+
+            // Stage 4: group read, optional reset, cell update `F`, write
+            // back — one read + one write of one group-wide word.
+            self.memory.access(4, cells_region, AccessKind::Read, group_bits);
+            let start = gid * self.group_w;
+            let end = (start + self.group_w).min(self.m_cells);
+            if flip {
+                self.lanes[l].cells[start..end].fill(0); // group cleaning
+            }
+            let old = self.lanes[l].cells[cell_idx];
+            self.lanes[l].cells[cell_idx] = self.variant.apply(operand, old);
+            self.memory.access(4, cells_region, AccessKind::Write, group_bits);
+        }
+    }
+
+    /// Run a whole key stream and summarize.
+    pub fn run(&mut self, keys: impl IntoIterator<Item = u64>) -> PipelineStats {
+        let mut items = 0u64;
+        for k in keys {
+            self.insert(k);
+            items += 1;
+        }
+        self.stats_for(items)
+    }
+
+    fn stats_for(&self, items: u64) -> PipelineStats {
+        PipelineStats {
+            items,
+            cycles: items + 3, // 4-stage pipeline: fill latency of 3 cycles
+            stages: 4,
+            memory_accesses: self.memory.total_accesses(),
+            violations: self.memory.violations().len(),
+        }
+    }
+
+    /// The variant simulated.
+    pub fn variant(&self) -> SheVariant {
+        self.variant
+    }
+
+    /// The audited memory system (violations, region summary).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
+    }
+
+    /// Total state bits across counter, arrays, and marks.
+    pub fn state_bits(&self) -> usize {
+        self.memory.total_bits()
+    }
+
+    /// Effective value of a cell, accounting for a pending (lazy) reset.
+    fn effective_cell(&self, lane: &Lane, cell_idx: usize) -> u64 {
+        let gid = cell_idx / self.group_w;
+        if lane.marks[gid] != self.current_mark(gid) {
+            0
+        } else {
+            lane.cells[cell_idx]
+        }
+    }
+
+    /// Membership probe (SHE-BF / SHE-BM semantics: young groups ignored,
+    /// zero mature cell ⇒ absent).
+    pub fn contains(&self, key: u64) -> bool {
+        for lane in &self.lanes {
+            let cell_idx = lane.hasher.index(0, &key, self.m_cells);
+            let gid = cell_idx / self.group_w;
+            if self.group_age(gid) < self.window {
+                continue;
+            }
+            if self.effective_cell(lane, cell_idx) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Frequency probe (SHE-CM semantics: min over mature lanes).
+    pub fn frequency(&self, key: u64) -> u64 {
+        let mut mature_min: Option<u64> = None;
+        let mut any_min: Option<u64> = None;
+        for lane in &self.lanes {
+            let cell_idx = lane.hasher.index(0, &key, self.m_cells);
+            let gid = cell_idx / self.group_w;
+            let v = self.effective_cell(lane, cell_idx);
+            any_min = Some(any_min.map_or(v, |m| m.min(v)));
+            if self.group_age(gid) >= self.window {
+                mature_min = Some(mature_min.map_or(v, |m| m.min(v)));
+            }
+        }
+        mature_min.or(any_min).unwrap_or(0)
+    }
+
+    /// Cardinality probe (SHE-HLL semantics: subset estimate over the
+    /// legal registers, scaled to the full array).
+    pub fn cardinality(&self) -> f64 {
+        let lane = &self.lanes[0];
+        let beta_n = (0.9 * self.window as f64) as u64;
+        let legal = (0..self.m_cells)
+            .filter(|&i| self.group_age(i / self.group_w) >= beta_n)
+            .map(|i| self.effective_cell(lane, i));
+        she_sketch::hll_estimate_subset(legal, self.m_cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_VARIANTS: [SheVariant; 4] = [
+        SheVariant::Bitmap,
+        SheVariant::Bloom { k: 8 },
+        SheVariant::CountMin { k: 4, counter_bits: 16 },
+        SheVariant::HyperLogLog { reg_bits: 5 },
+    ];
+
+    #[test]
+    fn paper_configs_satisfy_all_constraints() {
+        for variant in ALL_VARIANTS {
+            let mut p = ShePipeline::paper_config(variant);
+            let stats = p.run((0..50_000u64).map(she_hash::mix64));
+            assert_eq!(stats.violations, 0, "{variant:?}: {:?}", p.memory().violations());
+            assert_eq!(stats.items, 50_000);
+            assert_eq!(stats.cycles, 50_003, "fully pipelined: 1 item/cycle");
+        }
+    }
+
+    #[test]
+    fn bloom_lanes_scale_state_and_accesses() {
+        let mut bm = ShePipeline::paper_config(SheVariant::Bitmap);
+        let mut bf = ShePipeline::paper_config(SheVariant::Bloom { k: 8 });
+        let s_bm = bm.run(0..10_000u64);
+        let s_bf = bf.run(0..10_000u64);
+        assert!(bf.state_bits() > 7 * bm.state_bits());
+        assert!(s_bf.memory_accesses > 7 * s_bm.memory_accesses / 2);
+    }
+
+    #[test]
+    fn membership_semantics_match_sliding_window() {
+        let mut p = ShePipeline::new(SheVariant::Bloom { k: 4 }, 1 << 14, 64, 1000, 2000);
+        for i in 0..3000u64 {
+            p.insert(i);
+        }
+        let misses = (2000..3000u64).filter(|&i| !p.contains(i)).count();
+        assert_eq!(misses, 0, "false negatives in window");
+        let fps = (0..1000u64).filter(|&i| p.contains(i + 10_000_000)).count();
+        assert!(fps < 400, "false positives: {fps}");
+    }
+
+    #[test]
+    fn count_min_pipeline_counts() {
+        let mut p =
+            ShePipeline::new(SheVariant::CountMin { k: 4, counter_bits: 16 }, 1 << 12, 4, 1000, 2000);
+        // One heavy key amid distinct traffic.
+        for i in 0..900u64 {
+            if i % 9 == 0 {
+                p.insert(u64::MAX);
+            } else {
+                p.insert(she_hash::mix64(i));
+            }
+        }
+        let est = p.frequency(u64::MAX);
+        assert!(est >= 100, "heavy key underestimated: {est}");
+        assert!(p.frequency(0xdead) <= 5);
+        assert!(p.memory().violations().is_empty());
+    }
+
+    #[test]
+    fn hll_pipeline_estimates_cardinality() {
+        let mut p =
+            ShePipeline::new(SheVariant::HyperLogLog { reg_bits: 5 }, 1 << 12, 1, 20_000, 40_000);
+        let n = 15_000u64;
+        for i in 0..n {
+            p.insert(she_hash::mix64(i));
+        }
+        let est = p.cardinality();
+        let re = (est - n as f64).abs() / n as f64;
+        assert!(re < 0.15, "estimate {est}, re {re}");
+        assert!(p.memory().violations().is_empty());
+    }
+
+    #[test]
+    fn counter_groups_respect_port_width() {
+        // 16-bit counters, 4 per group = 64-bit port; the audit verifies
+        // stage 4 never exceeds it.
+        let mut p =
+            ShePipeline::new(SheVariant::CountMin { k: 2, counter_bits: 16 }, 256, 4, 100, 256);
+        for i in 0..5000u64 {
+            p.insert(she_hash::mix64(i));
+        }
+        assert!(p.memory().violations().is_empty());
+        let summary = p.memory().region_summary();
+        let port = summary.iter().find(|(n, ..)| *n == "cell_array").map(|&(_, _, p, ..)| p);
+        assert_eq!(port, Some(64));
+    }
+
+    #[test]
+    fn stats_shape() {
+        let mut p = ShePipeline::paper_config(SheVariant::Bitmap);
+        let stats = p.run(0..10u64);
+        assert_eq!(stats.stages, 4);
+        assert_eq!(stats.cycles, 13);
+        assert!(stats.memory_accesses >= 10 * 5);
+    }
+
+    #[test]
+    fn group_cleaning_happens_in_stage4_width() {
+        let mut p = ShePipeline::new(SheVariant::Bitmap, 256, 64, 100, 256);
+        for i in 0..5000u64 {
+            p.insert(she_hash::mix64(i));
+        }
+        assert!(p.memory().violations().is_empty());
+    }
+}

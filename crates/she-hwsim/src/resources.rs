@@ -1,0 +1,115 @@
+//! Resource and clock reporting — the software substitute for Tables 2–3.
+//!
+//! Logic synthesis is out of scope, so LUT/flip-flop counts cannot be
+//! measured here; instead [`ResourceReport`] inventories the *state bits*
+//! each pipeline component needs (the quantity that drives the paper's
+//! register column and the SRAM constraint), and the clock model reproduces
+//! Table 3's frequencies: 544.07 MHz for the single-lane SHE-BM and a
+//! fan-out derate for multi-lane SHE-BF calibrated so `k = 8` lands on the
+//! paper's 468.82 MHz.
+
+use crate::pipeline::{ShePipeline, SheVariant};
+
+/// Table 3's synthesized base clock for SHE-BM (MHz).
+pub const BASE_CLOCK_MHZ: f64 = 544.07;
+
+/// Fan-out derate per extra lane, fitted to Table 3
+/// (544.07 / (1 + 7·d) = 468.82 ⇒ d ≈ 0.02292).
+pub const LANE_DERATE: f64 = 0.022_92;
+
+/// Modeled clock frequency for a pipeline with `lanes` parallel lanes.
+pub fn clock_frequency_mhz(lanes: usize) -> f64 {
+    assert!(lanes >= 1);
+    BASE_CLOCK_MHZ / (1.0 + LANE_DERATE * (lanes as f64 - 1.0))
+}
+
+/// Throughput in million items per second: one item per cycle at the
+/// modeled clock (valid only when the constraint audit passes).
+pub fn throughput_mips(lanes: usize) -> f64 {
+    clock_frequency_mhz(lanes)
+}
+
+/// Per-component state inventory of a simulated pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceReport {
+    /// Variant being reported.
+    pub variant: SheVariant,
+    /// 32-bit item counter (stage 1).
+    pub counter_bits: usize,
+    /// Cell-array bits across all lanes.
+    pub cell_bits: usize,
+    /// Time-mark bits across all lanes.
+    pub mark_bits: usize,
+    /// Dedicated block RAM used (the paper reports 0: everything fits in
+    /// registers at this scale).
+    pub block_ram_bits: usize,
+    /// Modeled clock (MHz).
+    pub clock_mhz: f64,
+    /// Modeled throughput (million items per second).
+    pub throughput_mips: f64,
+}
+
+impl ResourceReport {
+    /// Build the report for a pipeline.
+    pub fn for_pipeline(p: &ShePipeline) -> Self {
+        let lanes = p.variant().lanes();
+        let summary = p.memory().region_summary();
+        let cell_bits: usize =
+            summary.iter().filter(|(n, ..)| *n == "cell_array").map(|(_, b, ..)| b).sum();
+        let mark_bits: usize =
+            summary.iter().filter(|(n, ..)| *n == "time_marks").map(|(_, b, ..)| b).sum();
+        Self {
+            variant: p.variant(),
+            counter_bits: 32,
+            cell_bits,
+            mark_bits,
+            block_ram_bits: 0,
+            clock_mhz: clock_frequency_mhz(lanes),
+            throughput_mips: throughput_mips(lanes),
+        }
+    }
+
+    /// Total state bits.
+    pub fn total_bits(&self) -> usize {
+        self.counter_bits + self.cell_bits + self.mark_bits + self.block_ram_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_model_matches_table3() {
+        assert!((clock_frequency_mhz(1) - 544.07).abs() < 1e-9);
+        let bf = clock_frequency_mhz(8);
+        assert!((bf - 468.82).abs() < 1.0, "SHE-BF clock {bf}");
+    }
+
+    #[test]
+    fn throughput_exceeds_typical_fpga_clock() {
+        // The paper's bar: both variants beat the typical 200 MHz.
+        assert!(throughput_mips(1) > 200.0);
+        assert!(throughput_mips(8) > 200.0);
+    }
+
+    #[test]
+    fn report_inventories_paper_config() {
+        let p = ShePipeline::paper_config(SheVariant::Bitmap);
+        let r = ResourceReport::for_pipeline(&p);
+        assert_eq!(r.cell_bits, 1024);
+        assert_eq!(r.mark_bits, 16);
+        assert_eq!(r.counter_bits, 32);
+        assert_eq!(r.block_ram_bits, 0, "paper reports zero block memory");
+        assert_eq!(r.total_bits(), 1024 + 16 + 32);
+    }
+
+    #[test]
+    fn bloom_report_scales_with_lanes() {
+        let p = ShePipeline::paper_config(SheVariant::Bloom { k: 8 });
+        let r = ResourceReport::for_pipeline(&p);
+        assert_eq!(r.cell_bits, 8 * 1024);
+        assert_eq!(r.mark_bits, 8 * 16);
+        assert!(r.clock_mhz < clock_frequency_mhz(1));
+    }
+}

@@ -1,0 +1,645 @@
+//! Adapters plugging every algorithm — SHE, baselines, and the Ideal goal —
+//! into the task traits, each sized from a `(window, memory-bytes, seed)`
+//! triple so the memory-sweep figures can treat them uniformly.
+//!
+//! The **Ideal** adapters implement the paper's "ideal goal": at query time
+//! the exact window contents (tracked by a `WindowTruth`) are replayed into
+//! a fresh fixed-window original of the same memory budget, so the answer
+//! carries only the original algorithm's error, none of the sliding error.
+
+use crate::{CardinalitySketch, FrequencySketch, MemberSketch, SimilaritySketch};
+use she_baselines::{
+    CounterVectorSketch, EcmSketch, SlidingHyperLogLog, StrawmanMinHash, Swamp,
+    TimeOutBloomFilter, TimingBloomFilter, TimestampVector,
+};
+use she_core::{SheBitmap, SheBloomFilter, SheCountMin, SheHyperLogLog, SheMinHash};
+use she_sketch::{Bitmap, BloomFilter, CountMin, HyperLogLog, MinHash};
+use she_window::{PairTruth, WindowTruth};
+
+// ---------------------------------------------------------------------------
+// Membership (Fig. 9d): SHE-BF, SWAMP, TOBF, TBF, Ideal.
+// ---------------------------------------------------------------------------
+
+/// SHE-BF under the membership harness.
+pub struct SheBfAdapter(pub SheBloomFilter);
+
+impl SheBfAdapter {
+    /// Paper §7.1 settings: 8 hash functions, α from Eq. 2.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(
+            SheBloomFilter::builder()
+                .window(window)
+                .memory_bytes(bytes)
+                .hash_functions(8)
+                .seed(seed)
+                .build(),
+        )
+    }
+}
+
+impl MemberSketch for SheBfAdapter {
+    fn name(&self) -> &'static str {
+        "SHE-BF"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(&key);
+    }
+    fn query(&mut self, key: u64) -> bool {
+        self.0.contains(&key)
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// SWAMP's `ISMEMBER` under the membership harness.
+pub struct SwampMember(pub Swamp);
+
+impl SwampMember {
+    /// Budgeted SWAMP (fingerprint width from the memory budget).
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(Swamp::with_memory(window as usize, bytes, seed))
+    }
+}
+
+impl MemberSketch for SwampMember {
+    fn name(&self) -> &'static str {
+        "SWAMP"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn query(&mut self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// TOBF under the membership harness.
+pub struct TobfAdapter(pub TimeOutBloomFilter);
+
+impl TobfAdapter {
+    /// Budgeted TOBF (64-bit timestamps, 8 hashes like SHE-BF).
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(TimeOutBloomFilter::with_memory(bytes, 8, window, seed))
+    }
+}
+
+impl MemberSketch for TobfAdapter {
+    fn name(&self) -> &'static str {
+        "TOBF"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn query(&mut self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// TBF under the membership harness.
+pub struct TbfAdapter(pub TimingBloomFilter);
+
+impl TbfAdapter {
+    /// Budgeted TBF (paper settings: 18-bit counters, 8 hashes).
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(TimingBloomFilter::with_memory(bytes, 8, window, seed))
+    }
+}
+
+impl MemberSketch for TbfAdapter {
+    fn name(&self) -> &'static str {
+        "TBF"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn query(&mut self, key: u64) -> bool {
+        self.0.contains(key)
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// Ideal membership: a fresh fixed-window Bloom filter over the exact
+/// window contents.
+pub struct IdealBloom {
+    truth: WindowTruth,
+    bytes: usize,
+    seed: u32,
+    /// Cached rebuild, invalidated on insert.
+    cache: Option<BloomFilter>,
+}
+
+impl IdealBloom {
+    /// Same memory budget and hash count as SHE-BF.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self { truth: WindowTruth::new(window as usize), bytes, seed, cache: None }
+    }
+}
+
+impl MemberSketch for IdealBloom {
+    fn name(&self) -> &'static str {
+        "Ideal"
+    }
+    fn insert(&mut self, key: u64) {
+        self.truth.insert(key);
+        self.cache = None;
+    }
+    fn query(&mut self, key: u64) -> bool {
+        if self.cache.is_none() {
+            let mut bf = BloomFilter::with_memory(self.bytes, 8, self.seed);
+            for k in self.truth.iter_items() {
+                bf.insert(&k);
+            }
+            self.cache = Some(bf);
+        }
+        self.cache.as_ref().expect("cache just built").contains(&key)
+    }
+    fn memory_bits(&self) -> usize {
+        self.bytes * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality (Figs. 9a, 9b): SHE-BM, SHE-HLL, SWAMP, TSV, CVS, SHLL, Ideal.
+// ---------------------------------------------------------------------------
+
+/// SHE-BM under the cardinality harness.
+pub struct SheBmAdapter(pub SheBitmap);
+
+impl SheBmAdapter {
+    /// Paper defaults: α = 0.2, w = 64.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(SheBitmap::builder().window(window).memory_bytes(bytes).seed(seed).build())
+    }
+}
+
+impl CardinalitySketch for SheBmAdapter {
+    fn name(&self) -> &'static str {
+        "SHE-BM"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(&key);
+    }
+    fn estimate(&mut self) -> f64 {
+        self.0.estimate()
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// SHE-HLL under the cardinality harness.
+pub struct SheHllAdapter(pub SheHyperLogLog);
+
+impl SheHllAdapter {
+    /// Paper defaults: α = 0.2, w = 1, 5-bit registers.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(SheHyperLogLog::builder().window(window).memory_bytes(bytes).seed(seed).build())
+    }
+}
+
+impl CardinalitySketch for SheHllAdapter {
+    fn name(&self) -> &'static str {
+        "SHE-HLL"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(&key);
+    }
+    fn estimate(&mut self) -> f64 {
+        self.0.estimate()
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// SWAMP's `DISTINCT` MLE under the cardinality harness.
+pub struct SwampCard(pub Swamp);
+
+impl SwampCard {
+    /// Budgeted SWAMP.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(Swamp::with_memory(window as usize, bytes, seed))
+    }
+}
+
+impl CardinalitySketch for SwampCard {
+    fn name(&self) -> &'static str {
+        "SWAMP"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn estimate(&mut self) -> f64 {
+        self.0.distinct_mle()
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// TSV under the cardinality harness.
+pub struct TsvAdapter(pub TimestampVector);
+
+impl TsvAdapter {
+    /// Budgeted TSV (64-bit timestamps).
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(TimestampVector::with_memory(bytes, window, seed))
+    }
+}
+
+impl CardinalitySketch for TsvAdapter {
+    fn name(&self) -> &'static str {
+        "TSV"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn estimate(&mut self) -> f64 {
+        self.0.estimate()
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// CVS under the cardinality harness.
+pub struct CvsAdapter(pub CounterVectorSketch);
+
+impl CvsAdapter {
+    /// Budgeted CVS (counter ceiling 10 per §7.1).
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(CounterVectorSketch::with_memory(bytes, 10, window, seed as u64))
+    }
+}
+
+impl CardinalitySketch for CvsAdapter {
+    fn name(&self) -> &'static str {
+        "CVS"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn estimate(&mut self) -> f64 {
+        self.0.estimate()
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// SHLL under the cardinality harness.
+///
+/// SHLL's memory is input-dependent; `sized` provisions registers assuming
+/// the paper's observation of a few LPFM records per register
+/// (`bytes / (3 · 69 bits)` registers), and `memory_bits` reports the live
+/// usage.
+pub struct ShllAdapter(pub SlidingHyperLogLog);
+
+impl ShllAdapter {
+    /// Budgeted SHLL.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        let m = ((bytes * 8) / (3 * 69)).max(16);
+        Self(SlidingHyperLogLog::new(m, window, seed))
+    }
+}
+
+impl CardinalitySketch for ShllAdapter {
+    fn name(&self) -> &'static str {
+        "SHLL"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn estimate(&mut self) -> f64 {
+        self.0.estimate()
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// Ideal cardinality via a fixed-window Bitmap over the exact window.
+pub struct IdealBitmap {
+    truth: WindowTruth,
+    bytes: usize,
+    seed: u32,
+}
+
+impl IdealBitmap {
+    /// Same memory budget as SHE-BM.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self { truth: WindowTruth::new(window as usize), bytes, seed }
+    }
+}
+
+impl CardinalitySketch for IdealBitmap {
+    fn name(&self) -> &'static str {
+        "Ideal"
+    }
+    fn insert(&mut self, key: u64) {
+        self.truth.insert(key);
+    }
+    fn estimate(&mut self) -> f64 {
+        let mut bm = Bitmap::with_memory(self.bytes, self.seed);
+        for k in self.truth.iter_items() {
+            bm.insert(&k);
+        }
+        bm.estimate()
+    }
+    fn memory_bits(&self) -> usize {
+        self.bytes * 8
+    }
+}
+
+/// Ideal cardinality via a fixed-window HyperLogLog over the exact window.
+pub struct IdealHll {
+    truth: WindowTruth,
+    bytes: usize,
+    seed: u32,
+}
+
+impl IdealHll {
+    /// Same memory budget as SHE-HLL.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self { truth: WindowTruth::new(window as usize), bytes, seed }
+    }
+}
+
+impl CardinalitySketch for IdealHll {
+    fn name(&self) -> &'static str {
+        "Ideal"
+    }
+    fn insert(&mut self, key: u64) {
+        self.truth.insert(key);
+    }
+    fn estimate(&mut self) -> f64 {
+        let mut h = HyperLogLog::with_memory(self.bytes, self.seed);
+        for k in self.truth.iter_items() {
+            h.insert(&k);
+        }
+        h.estimate()
+    }
+    fn memory_bits(&self) -> usize {
+        self.bytes * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frequency (Fig. 9c): SHE-CM, SWAMP, ECM, Ideal.
+// ---------------------------------------------------------------------------
+
+/// SHE-CM under the frequency harness.
+pub struct SheCmAdapter(pub SheCountMin);
+
+impl SheCmAdapter {
+    /// Paper defaults: k = 8 hashes, α = 1.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(SheCountMin::builder().window(window).memory_bytes(bytes).seed(seed).build())
+    }
+}
+
+impl FrequencySketch for SheCmAdapter {
+    fn name(&self) -> &'static str {
+        "SHE-CM"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(&key);
+    }
+    fn query(&mut self, key: u64) -> u64 {
+        self.0.query(&key)
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// SHE-CS (sliding count sketch) under the frequency harness.
+///
+/// Negative estimates (count sketch has two-sided error) clamp to zero for
+/// the ARE metric, as is standard when the true frequencies are counts.
+pub struct SheCsAdapter(pub she_core::SheCountSketch);
+
+impl SheCsAdapter {
+    /// Defaults: 5 hash pairs, α = 1, β = 0.9.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(she_core::SheCountSketch::builder().window(window).memory_bytes(bytes).seed(seed).build())
+    }
+}
+
+impl FrequencySketch for SheCsAdapter {
+    fn name(&self) -> &'static str {
+        "SHE-CS"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(&key);
+    }
+    fn query(&mut self, key: u64) -> u64 {
+        self.0.query(&key).max(0) as u64
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// SWAMP's fingerprint-multiplicity frequency under the harness.
+pub struct SwampFreq(pub Swamp);
+
+impl SwampFreq {
+    /// Budgeted SWAMP.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(Swamp::with_memory(window as usize, bytes, seed))
+    }
+}
+
+impl FrequencySketch for SwampFreq {
+    fn name(&self) -> &'static str {
+        "SWAMP"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn query(&mut self, key: u64) -> u64 {
+        self.0.frequency(key) as u64
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// ECM under the frequency harness.
+pub struct EcmAdapter(pub EcmSketch);
+
+impl EcmAdapter {
+    /// Budgeted ECM (4 hash functions per §7.1, EH parameter 8).
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self(EcmSketch::with_memory(bytes, 4, 8, window, seed))
+    }
+}
+
+impl FrequencySketch for EcmAdapter {
+    fn name(&self) -> &'static str {
+        "ECM"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn query(&mut self, key: u64) -> u64 {
+        self.0.query(key)
+    }
+    fn memory_bits(&self) -> usize {
+        self.0.memory_bits()
+    }
+}
+
+/// Ideal frequency via a fixed-window Count-Min over the exact window.
+pub struct IdealCm {
+    truth: WindowTruth,
+    bytes: usize,
+    seed: u32,
+    cache: Option<CountMin>,
+}
+
+impl IdealCm {
+    /// Same memory budget as SHE-CM.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self { truth: WindowTruth::new(window as usize), bytes, seed, cache: None }
+    }
+}
+
+impl FrequencySketch for IdealCm {
+    fn name(&self) -> &'static str {
+        "Ideal"
+    }
+    fn insert(&mut self, key: u64) {
+        self.truth.insert(key);
+        self.cache = None;
+    }
+    fn query(&mut self, key: u64) -> u64 {
+        if self.cache.is_none() {
+            let mut cm = CountMin::with_memory(self.bytes, 8, self.seed);
+            for k in self.truth.iter_items() {
+                cm.insert(&k);
+            }
+            self.cache = Some(cm);
+        }
+        self.cache.as_ref().expect("cache just built").query(&key)
+    }
+    fn memory_bits(&self) -> usize {
+        self.bytes * 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Similarity (Fig. 9e): SHE-MH, straw-man, Ideal.
+// ---------------------------------------------------------------------------
+
+/// SHE-MH pair under the similarity harness.
+pub struct SheMhAdapter {
+    a: SheMinHash,
+    b: SheMinHash,
+}
+
+impl SheMhAdapter {
+    /// Paper defaults: α = 0.2, w = 1; `bytes` covers both signatures.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        let builder = SheMinHash::builder().window(window).memory_bytes(bytes / 2).seed(seed);
+        Self { a: builder.clone().build(), b: builder.build() }
+    }
+}
+
+impl SimilaritySketch for SheMhAdapter {
+    fn name(&self) -> &'static str {
+        "SHE-MH"
+    }
+    fn insert_pair(&mut self, a: u64, b: u64) {
+        self.a.insert(&a);
+        self.b.insert(&b);
+    }
+    fn estimate(&mut self) -> f64 {
+        self.a.similarity(&mut self.b)
+    }
+    fn memory_bits(&self) -> usize {
+        self.a.memory_bits() + self.b.memory_bits()
+    }
+}
+
+/// Straw-man MinHash pair under the similarity harness.
+pub struct StrawmanMhAdapter {
+    a: StrawmanMinHash,
+    b: StrawmanMinHash,
+}
+
+impl StrawmanMhAdapter {
+    /// `bytes` covers both signatures (each cell charges a 64-bit
+    /// timestamp, so the straw-man affords far fewer hash functions).
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self {
+            a: StrawmanMinHash::with_memory(bytes / 2, window, seed),
+            b: StrawmanMinHash::with_memory(bytes / 2, window, seed),
+        }
+    }
+}
+
+impl SimilaritySketch for StrawmanMhAdapter {
+    fn name(&self) -> &'static str {
+        "Straw"
+    }
+    fn insert_pair(&mut self, a: u64, b: u64) {
+        self.a.insert(a);
+        self.b.insert(b);
+    }
+    fn estimate(&mut self) -> f64 {
+        self.a.similarity(&self.b)
+    }
+    fn memory_bits(&self) -> usize {
+        self.a.memory_bits() + self.b.memory_bits()
+    }
+}
+
+/// Ideal similarity via fixed-window MinHash signatures over the exact
+/// windows.
+pub struct IdealMh {
+    truth: PairTruth,
+    bytes: usize,
+    seed: u32,
+}
+
+impl IdealMh {
+    /// Same total memory budget as SHE-MH.
+    pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
+        Self { truth: PairTruth::new(window as usize), bytes, seed }
+    }
+}
+
+impl SimilaritySketch for IdealMh {
+    fn name(&self) -> &'static str {
+        "Ideal"
+    }
+    fn insert_pair(&mut self, a: u64, b: u64) {
+        self.truth.insert_a(a);
+        self.truth.insert_b(b);
+    }
+    fn estimate(&mut self) -> f64 {
+        let mut ma = MinHash::with_memory(self.bytes / 2, self.seed);
+        let mut mb = MinHash::with_memory(self.bytes / 2, self.seed);
+        for k in self.truth.a().iter_items() {
+            ma.insert(&k);
+        }
+        for k in self.truth.b().iter_items() {
+            mb.insert(&k);
+        }
+        ma.similarity(&mb)
+    }
+    fn memory_bits(&self) -> usize {
+        self.bytes * 8
+    }
+}

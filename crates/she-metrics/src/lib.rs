@@ -1,0 +1,71 @@
+//! Experiment harness: the metrics and runners behind every figure.
+//!
+//! §7.1 defines four metrics — FPR (membership), RE (cardinality,
+//! similarity), ARE (frequency), and throughput in Mips. This crate
+//! provides:
+//!
+//! * task traits ([`MemberSketch`], [`CardinalitySketch`],
+//!   [`FrequencySketch`], [`SimilaritySketch`]) with adapters for every SHE
+//!   algorithm, every baseline, and the **Ideal goal** (the fixed-window
+//!   original replayed on the exact window contents);
+//! * experiment runners ([`membership_fpr`], [`cardinality_re`],
+//!   [`frequency_are`], [`similarity_re`], [`throughput_mips`]) that feed a
+//!   workload, track exact ground truth, and measure at checkpoints exactly
+//!   the way the paper describes (e.g. membership probes are drawn from
+//!   keys absent from the last `(1+α)·N` items).
+
+pub mod adapters;
+mod report;
+mod runners;
+
+pub use adapters::*;
+pub use report::ResultTable;
+pub use runners::*;
+
+/// A sliding-window membership structure under test.
+pub trait MemberSketch {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+    /// Insert the next item.
+    fn insert(&mut self, key: u64);
+    /// Is `key` in the window? (`&mut` because SHE queries may clean.)
+    fn query(&mut self, key: u64) -> bool;
+    /// Memory footprint in bits.
+    fn memory_bits(&self) -> usize;
+}
+
+/// A sliding-window cardinality estimator under test.
+pub trait CardinalitySketch {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+    /// Insert the next item.
+    fn insert(&mut self, key: u64);
+    /// Estimated number of distinct keys in the window.
+    fn estimate(&mut self) -> f64;
+    /// Memory footprint in bits.
+    fn memory_bits(&self) -> usize;
+}
+
+/// A sliding-window frequency estimator under test.
+pub trait FrequencySketch {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+    /// Insert the next item.
+    fn insert(&mut self, key: u64);
+    /// Estimated frequency of `key` in the window.
+    fn query(&mut self, key: u64) -> u64;
+    /// Memory footprint in bits.
+    fn memory_bits(&self) -> usize;
+}
+
+/// A sliding-window similarity estimator under test (owns both streams).
+pub trait SimilaritySketch {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+    /// Insert the next aligned pair of items.
+    fn insert_pair(&mut self, a: u64, b: u64);
+    /// Estimated Jaccard similarity of the two windows.
+    fn estimate(&mut self) -> f64;
+    /// Memory footprint in bits (both signatures).
+    fn memory_bits(&self) -> usize;
+}

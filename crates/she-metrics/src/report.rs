@@ -1,0 +1,178 @@
+//! Result tables: collect [`AccuracyResult`]s from a sweep and render them
+//! as aligned text, Markdown, or CSV — the plumbing behind the figure
+//! drivers and anything downstream that wants machine-readable output.
+
+use crate::AccuracyResult;
+
+/// A rectangular result table: rows are sweep points (e.g. memory
+/// budgets), columns are algorithms.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    /// Metric name shown in headers ("FPR", "RE", "ARE").
+    pub metric: String,
+    /// Column (algorithm) names, in first-seen order.
+    columns: Vec<String>,
+    /// Rows: (label, per-column values aligned with `columns`).
+    rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+impl ResultTable {
+    /// New empty table for `metric`.
+    pub fn new(metric: &str) -> Self {
+        Self { metric: metric.to_string(), ..Default::default() }
+    }
+
+    /// Record one result under the row `label`.
+    pub fn push(&mut self, label: &str, result: &AccuracyResult) {
+        let col = match self.columns.iter().position(|c| c == result.name) {
+            Some(i) => i,
+            None => {
+                self.columns.push(result.name.to_string());
+                for (_, vals) in &mut self.rows {
+                    vals.push(None);
+                }
+                self.columns.len() - 1
+            }
+        };
+        let row = match self.rows.iter().position(|(l, _)| l == label) {
+            Some(i) => i,
+            None => {
+                self.rows.push((label.to_string(), vec![None; self.columns.len()]));
+                self.rows.len() - 1
+            }
+        };
+        self.rows[row].1[col] = Some(result.value);
+    }
+
+    /// Number of (rows, columns).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows.len(), self.columns.len())
+    }
+
+    /// Value at (row label, algorithm), if recorded.
+    pub fn get(&self, label: &str, algo: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == algo)?;
+        let (_, vals) = self.rows.iter().find(|(l, _)| l == label)?;
+        vals[col]
+    }
+
+    /// Render as CSV (header row + one line per sweep point).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.metric);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(label);
+            for v in vals {
+                out.push(',');
+                if let Some(v) = v {
+                    out.push_str(&format!("{v:.6}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |", self.metric));
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for v in vals {
+                match v {
+                    Some(v) => out.push_str(&format!(" {v:.6} |")),
+                    None => out.push_str("  |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as aligned plain text (what the drivers print).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:16}", self.metric));
+        for c in &self.columns {
+            out.push_str(&format!(" {c:>12}"));
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(&format!("{label:16}"));
+            for v in vals {
+                match v {
+                    Some(v) => out.push_str(&format!(" {v:>12.6}")),
+                    None => out.push_str(&format!(" {:>12}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(name: &'static str, value: f64) -> AccuracyResult {
+        AccuracyResult { name, value, series: vec![value], memory_bits: 0 }
+    }
+
+    #[test]
+    fn collects_rows_and_columns() {
+        let mut t = ResultTable::new("FPR");
+        t.push("2KB", &res("SHE-BF", 0.1));
+        t.push("2KB", &res("TBF", 0.9));
+        t.push("8KB", &res("SHE-BF", 0.01));
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.get("2KB", "TBF"), Some(0.9));
+        assert_eq!(t.get("8KB", "TBF"), None);
+        assert_eq!(t.get("8KB", "SHE-BF"), Some(0.01));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = ResultTable::new("RE");
+        t.push("1KB", &res("A", 0.5));
+        t.push("1KB", &res("B", 0.25));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "RE,A,B");
+        assert_eq!(lines[1], "1KB,0.500000,0.250000");
+    }
+
+    #[test]
+    fn markdown_and_text_render() {
+        let mut t = ResultTable::new("ARE");
+        t.push("x", &res("A", 1.0));
+        let md = t.to_markdown();
+        assert!(md.contains("| ARE |") && md.contains("| x |"));
+        let txt = t.to_text();
+        assert!(txt.contains("ARE") && txt.contains("1.000000"));
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let mut t = ResultTable::new("RE");
+        t.push("1KB", &res("A", 0.5));
+        t.push("2KB", &res("B", 0.25));
+        assert!(t.to_csv().contains("1KB,0.500000,\n") || t.to_csv().contains("1KB,0.500000,"));
+        assert!(t.to_text().contains("-"));
+    }
+}

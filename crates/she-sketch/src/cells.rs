@@ -1,0 +1,233 @@
+//! Packed cell storage.
+//!
+//! All sketches in this workspace store their state in a [`PackedArray`]:
+//! `m` cells of `bits` bits each, packed into `u64` words. This mirrors the
+//! paper's memory accounting (a 1 KB Bloom filter really is 8192 bits) and
+//! gives SHE's group cleaning a natural word-aligned reset path.
+
+/// A dense array of `m` fixed-width cells (1..=64 bits each).
+///
+/// Cells may straddle word boundaries; `get`/`set` handle the split. For the
+/// common power-of-two widths cells never straddle, and the compiler folds
+/// the straddle branch away after inlining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedArray {
+    words: Vec<u64>,
+    m: usize,
+    bits: u32,
+}
+
+impl PackedArray {
+    /// Create an array of `m` zeroed cells of `bits` bits each.
+    pub fn new(m: usize, bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "cell width must be 1..=64 bits");
+        assert!(m > 0, "cell array must be non-empty");
+        let total_bits = m
+            .checked_mul(bits as usize)
+            .expect("cell array size overflows");
+        let words = vec![0u64; total_bits.div_ceil(64)];
+        Self { words, m, bits }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// True when the array holds no cells (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Bits per cell.
+    #[inline]
+    pub fn cell_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Total memory footprint of the cell payload in bits.
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.m * self.bits as usize
+    }
+
+    /// The largest value a cell can hold.
+    #[inline]
+    pub fn max_value(&self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Read cell `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.m, "cell index {i} out of bounds ({})", self.m);
+        let bit = i * self.bits as usize;
+        let (w, off) = (bit / 64, (bit % 64) as u32);
+        let mask = self.max_value();
+        if off + self.bits <= 64 {
+            (self.words[w] >> off) & mask
+        } else {
+            let lo = self.words[w] >> off;
+            let hi = self.words[w + 1] << (64 - off);
+            (lo | hi) & mask
+        }
+    }
+
+    /// Write cell `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: u64) {
+        assert!(i < self.m, "cell index {i} out of bounds ({})", self.m);
+        let mask = self.max_value();
+        debug_assert!(v <= mask, "value {v} does not fit in {} bits", self.bits);
+        let v = v & mask;
+        let bit = i * self.bits as usize;
+        let (w, off) = (bit / 64, (bit % 64) as u32);
+        if off + self.bits <= 64 {
+            self.words[w] = (self.words[w] & !(mask << off)) | (v << off);
+        } else {
+            let lo_bits = 64 - off;
+            self.words[w] = (self.words[w] & !(mask << off)) | (v << off);
+            let hi_mask = mask >> lo_bits;
+            self.words[w + 1] = (self.words[w + 1] & !hi_mask) | (v >> lo_bits);
+        }
+    }
+
+    /// Zero the cells in `[start, start + count)`.
+    ///
+    /// This is SHE's group reset: when a group's time mark flips, every cell
+    /// in the group is cleared in one bounded-width memory touch.
+    pub fn clear_range(&mut self, start: usize, count: usize) {
+        assert!(start + count <= self.m, "clear range out of bounds");
+        for i in start..start + count {
+            self.set(i, 0);
+        }
+    }
+
+    /// Zero every cell.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Count cells equal to zero in `[start, start + count)`.
+    pub fn count_zeros_in(&self, start: usize, count: usize) -> usize {
+        assert!(start + count <= self.m, "count range out of bounds");
+        (start..start + count).filter(|&i| self.get(i) == 0).count()
+    }
+
+    /// Count cells equal to zero in the whole array.
+    pub fn count_zeros(&self) -> usize {
+        self.count_zeros_in(0, self.m)
+    }
+
+    /// Iterate over all cell values.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.m).map(move |i| self.get(i))
+    }
+
+    /// The raw backing words (snapshot support).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrite the backing words from a snapshot of the same geometry.
+    pub fn copy_from_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.words.len(), "snapshot geometry mismatch");
+        self.words.copy_from_slice(words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for bits in [1u32, 3, 5, 8, 13, 24, 32, 63, 64] {
+            let m = 100;
+            let mut a = PackedArray::new(m, bits);
+            let mask = a.max_value();
+            for i in 0..m {
+                let v = (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)) & mask;
+                a.set(i, v);
+            }
+            for i in 0..m {
+                let v = (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)) & mask;
+                assert_eq!(a.get(i), v, "bits={bits} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_independent() {
+        // Writing one cell must not disturb its neighbors, including across
+        // word boundaries (5-bit cells straddle every 64/5 cells).
+        let mut a = PackedArray::new(64, 5);
+        for i in 0..64 {
+            a.set(i, 0b10101);
+        }
+        a.set(12, 0);
+        for i in 0..64 {
+            assert_eq!(a.get(i), if i == 12 { 0 } else { 0b10101 });
+        }
+    }
+
+    #[test]
+    fn clear_range_is_exact() {
+        let mut a = PackedArray::new(256, 3);
+        for i in 0..256 {
+            a.set(i, 0b111);
+        }
+        a.clear_range(64, 64);
+        for i in 0..256 {
+            let expect = if (64..128).contains(&i) { 0 } else { 0b111 };
+            assert_eq!(a.get(i), expect, "i={i}");
+        }
+        assert_eq!(a.count_zeros(), 64);
+        assert_eq!(a.count_zeros_in(64, 64), 64);
+        assert_eq!(a.count_zeros_in(0, 64), 0);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let a = PackedArray::new(8192, 1);
+        assert_eq!(a.memory_bits(), 8192);
+        let b = PackedArray::new(100, 5);
+        assert_eq!(b.memory_bits(), 500);
+        assert_eq!(b.cell_bits(), 5);
+        assert_eq!(b.len(), 100);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oob_get_panics() {
+        let a = PackedArray::new(10, 4);
+        let _ = a.get(10);
+    }
+
+    #[test]
+    fn max_value_widths() {
+        assert_eq!(PackedArray::new(1, 1).max_value(), 1);
+        assert_eq!(PackedArray::new(1, 5).max_value(), 31);
+        assert_eq!(PackedArray::new(1, 64).max_value(), u64::MAX);
+    }
+
+    #[test]
+    fn full_width_straddle_roundtrip() {
+        // 33-bit cells force straddles with large values.
+        let mut a = PackedArray::new(77, 33);
+        let mask = a.max_value();
+        for i in 0..77 {
+            a.set(i, (u64::MAX - i as u64) & mask);
+        }
+        for i in 0..77 {
+            assert_eq!(a.get(i), (u64::MAX - i as u64) & mask);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The Common Sketch Model: the `<C, K, F>` triple of Section 3.1.
+//!
+//! A [`CsmSpec`] describes a fixed-window algorithm entirely through:
+//!
+//! * the number and width of its cells (`C`),
+//! * the hashed locations an item maps to (`K`), and
+//! * the update function merging an item into a cell (`F`).
+//!
+//! Insertion is then algorithm-independent ([`FixedSketch::insert`]), and the
+//! SHE framework reuses the *same* spec for its sliding-window engine — this
+//! is what makes SHE "generic" in the paper's sense.
+
+use crate::PackedArray;
+use she_hash::HashKey;
+
+/// One hashed location plus the operand `F` needs there.
+///
+/// For a Bloom filter the operand is ignored (`F(x, y) = 1`); for
+/// HyperLogLog it is the rank of `Hz(x)`; for MinHash it is the per-function
+/// hash value whose minimum the cell tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellUpdate {
+    /// Index of the hashed cell.
+    pub index: usize,
+    /// Operand handed to [`CsmSpec::apply`].
+    pub operand: u64,
+}
+
+/// A fixed-window algorithm expressed as the paper's `<C, K, F>` triple.
+pub trait CsmSpec {
+    /// Human-readable algorithm name (used by the experiment harness).
+    fn name(&self) -> &'static str;
+
+    /// `M`: number of cells in the data structure.
+    fn num_cells(&self) -> usize;
+
+    /// Bit width of one cell (the `C` in `<C, K, F>`: 1 for bits, wider for
+    /// counters).
+    fn cell_bits(&self) -> u32;
+
+    /// `K`: how many cells one insertion touches.
+    fn k(&self) -> usize;
+
+    /// Compute the hashed locations (and update operands) for `key`.
+    ///
+    /// Pushes exactly [`CsmSpec::k`] entries into `out` (which is cleared
+    /// first). Reusing the caller's buffer keeps the insertion path
+    /// allocation-free.
+    fn updates<K: HashKey + ?Sized>(&self, key: &K, out: &mut Vec<CellUpdate>);
+
+    /// `F(x, y)`: merge `operand` into the old cell value `old`.
+    ///
+    /// Must be idempotent-safe under SHE's re-insertion semantics (applying
+    /// the same update twice gives the same cell value as applying it once)
+    /// for one-sided-error algorithms; Count-Min deliberately is not, being
+    /// a counter.
+    fn apply(&self, operand: u64, old: u64) -> u64;
+}
+
+/// The generic fixed-window engine: a [`PackedArray`] driven by a spec.
+///
+/// This is the "original algorithm" of the paper. Query logic lives on the
+/// concrete wrappers (e.g. [`crate::BloomFilter::contains`]) because each
+/// task reads the cells differently.
+#[derive(Debug, Clone)]
+pub struct FixedSketch<S: CsmSpec> {
+    spec: S,
+    cells: PackedArray,
+    scratch: Vec<CellUpdate>,
+}
+
+impl<S: CsmSpec> FixedSketch<S> {
+    /// Build an empty sketch from its spec.
+    pub fn new(spec: S) -> Self {
+        let cells = PackedArray::new(spec.num_cells(), spec.cell_bits());
+        let scratch = Vec::with_capacity(spec.k());
+        Self { spec, cells, scratch }
+    }
+
+    /// The spec driving this sketch.
+    #[inline]
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    /// Read access to the raw cells.
+    #[inline]
+    pub fn cells(&self) -> &PackedArray {
+        &self.cells
+    }
+
+    /// Mutable access to the raw cells (used by tests and the Ideal replay).
+    #[inline]
+    pub fn cells_mut(&mut self) -> &mut PackedArray {
+        &mut self.cells
+    }
+
+    /// Memory footprint in bits (cells only; fixed-window sketches carry no
+    /// auxiliary state).
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.cells.memory_bits()
+    }
+
+    /// Insert one item: update all `K` hashed cells with `F`.
+    pub fn insert<K: HashKey + ?Sized>(&mut self, key: &K) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.spec.updates(key, &mut scratch);
+        for u in &scratch {
+            let old = self.cells.get(u.index);
+            self.cells.set(u.index, self.spec.apply(u.operand, old));
+        }
+        self.scratch = scratch;
+    }
+
+    /// Reset to the empty state.
+    pub fn clear(&mut self) {
+        self.cells.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy spec: 8-bit saturating counters, single hash.
+    struct Toy {
+        m: usize,
+    }
+
+    impl CsmSpec for Toy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn num_cells(&self) -> usize {
+            self.m
+        }
+        fn cell_bits(&self) -> u32 {
+            8
+        }
+        fn k(&self) -> usize {
+            1
+        }
+        fn updates<K: HashKey + ?Sized>(&self, key: &K, out: &mut Vec<CellUpdate>) {
+            out.clear();
+            let h = key.with_bytes(|b| she_hash::Bob32::new(0).hash(b));
+            out.push(CellUpdate { index: h as usize % self.m, operand: 0 });
+        }
+        fn apply(&self, _operand: u64, old: u64) -> u64 {
+            (old + 1).min(255)
+        }
+    }
+
+    #[test]
+    fn generic_insert_applies_f() {
+        let mut s = FixedSketch::new(Toy { m: 16 });
+        for _ in 0..5 {
+            s.insert(&42u64);
+        }
+        let mut upd = Vec::new();
+        s.spec().updates(&42u64, &mut upd);
+        assert_eq!(s.cells().get(upd[0].index), 5);
+        assert_eq!(s.memory_bits(), 16 * 8);
+        s.clear();
+        assert_eq!(s.cells().count_zeros(), 16);
+    }
+
+    #[test]
+    fn saturation() {
+        let mut s = FixedSketch::new(Toy { m: 1 });
+        for _ in 0..1000 {
+            s.insert(&1u64);
+        }
+        assert_eq!(s.cells().get(0), 255);
+    }
+}

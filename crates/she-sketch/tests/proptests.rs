@@ -1,0 +1,139 @@
+//! Property tests for the fixed-window sketches and the packed cell store.
+
+use proptest::prelude::*;
+use she_sketch::{Bitmap, BloomFilter, CountMin, HyperLogLog, MinHash, PackedArray};
+
+proptest! {
+    /// PackedArray behaves exactly like a Vec<u64> model for any cell
+    /// width and any interleaving of writes.
+    #[test]
+    fn packed_array_matches_vec_model(
+        bits in 1u32..=64,
+        ops in prop::collection::vec((0usize..200, any::<u64>()), 1..300),
+    ) {
+        let m = 200;
+        let mut arr = PackedArray::new(m, bits);
+        let mut model = vec![0u64; m];
+        let mask = arr.max_value();
+        for (i, v) in ops {
+            arr.set(i, v & mask);
+            model[i] = v & mask;
+        }
+        for (i, &expected) in model.iter().enumerate() {
+            prop_assert_eq!(arr.get(i), expected);
+        }
+        prop_assert_eq!(arr.count_zeros(), model.iter().filter(|&&v| v == 0).count());
+    }
+
+    /// clear_range only affects the requested span.
+    #[test]
+    fn packed_clear_range_is_surgical(
+        bits in 1u32..=17,
+        start in 0usize..150,
+        len in 0usize..50,
+    ) {
+        let m = 200;
+        let mut arr = PackedArray::new(m, bits);
+        let mask = arr.max_value();
+        for i in 0..m {
+            arr.set(i, (i as u64 + 1) & mask | 1);
+        }
+        arr.clear_range(start, len.min(m - start));
+        for i in 0..m {
+            let expect = if i >= start && i < start + len.min(m - start) {
+                0
+            } else {
+                (i as u64 + 1) & mask | 1
+            };
+            prop_assert_eq!(arr.get(i), expect, "i = {}", i);
+        }
+    }
+
+    /// Bloom filters never produce false negatives, for any key multiset.
+    #[test]
+    fn bloom_no_false_negatives(keys in prop::collection::vec(any::<u64>(), 1..500)) {
+        let mut bf = BloomFilter::new(1 << 12, 4, 7);
+        for k in &keys {
+            bf.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(bf.contains(k));
+        }
+    }
+
+    /// Count-Min never underestimates, for any key multiset.
+    #[test]
+    fn count_min_never_underestimates(keys in prop::collection::vec(0u64..50, 1..400)) {
+        let mut cm = CountMin::new(1 << 10, 32, 4, 3);
+        let mut exact = std::collections::HashMap::new();
+        for k in &keys {
+            cm.insert(k);
+            *exact.entry(*k).or_insert(0u64) += 1;
+        }
+        for (k, c) in exact {
+            prop_assert!(cm.query(&k) >= c, "key {} underestimated", k);
+        }
+    }
+
+    /// Bitmap estimates are insertion-order invariant.
+    #[test]
+    fn bitmap_order_invariant(mut keys in prop::collection::vec(any::<u64>(), 1..300)) {
+        let mut a = Bitmap::new(4096, 1);
+        for k in &keys {
+            a.insert(k);
+        }
+        keys.reverse();
+        let mut b = Bitmap::new(4096, 1);
+        for k in &keys {
+            b.insert(k);
+        }
+        prop_assert_eq!(a.estimate(), b.estimate());
+    }
+
+    /// HyperLogLog estimates are insertion-order and duplication invariant.
+    #[test]
+    fn hll_duplication_invariant(keys in prop::collection::vec(any::<u64>(), 1..300)) {
+        let mut a = HyperLogLog::new(256, 5, 2);
+        let mut b = HyperLogLog::new(256, 5, 2);
+        for k in &keys {
+            a.insert(k);
+        }
+        for k in keys.iter().rev() {
+            b.insert(k);
+            b.insert(k);
+        }
+        prop_assert_eq!(a.estimate(), b.estimate());
+    }
+
+    /// MinHash similarity is symmetric and bounded in [0, 1].
+    #[test]
+    fn minhash_symmetric(
+        ka in prop::collection::vec(any::<u64>(), 1..200),
+        kb in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mut a = MinHash::new(64, 9);
+        let mut b = MinHash::new(64, 9);
+        for k in &ka {
+            a.insert(k);
+        }
+        for k in &kb {
+            b.insert(k);
+        }
+        let ab = a.similarity(&b);
+        let ba = b.similarity(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// MinHash of identical multisets is exactly 1.
+    #[test]
+    fn minhash_identity(keys in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut a = MinHash::new(64, 9);
+        let mut b = MinHash::new(64, 9);
+        for k in &keys {
+            a.insert(k);
+            b.insert(k);
+        }
+        prop_assert_eq!(a.similarity(&b), 1.0);
+    }
+}

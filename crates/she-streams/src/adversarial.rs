@@ -1,0 +1,135 @@
+//! Adversarial and stress workloads for robustness testing.
+//!
+//! These streams target SHE's specific failure modes rather than matching
+//! any real trace:
+//!
+//! * [`RepeatedKey`] — one key forever. Only the groups that key hashes to
+//!   are ever touched; every other group relies on query-time
+//!   `CheckGroup`, and an idle even number of cycles aliases the mark
+//!   parity (§5.1's worst case).
+//! * [`OnOffBurst`] — alternating dense bursts and near-silence, stressing
+//!   time-based expiry and the on-demand cleaner's dependence on traffic.
+//! * [`SlidingPhase`] — the key space rotates continuously, so every
+//!   window has a different cardinality/identity profile; estimators must
+//!   track it (no steady state to hide in).
+
+use crate::KeyStream;
+
+/// One key, forever.
+#[derive(Debug, Clone)]
+pub struct RepeatedKey {
+    key: u64,
+}
+
+impl RepeatedKey {
+    /// Stream that always yields `key`.
+    pub fn new(key: u64) -> Self {
+        Self { key }
+    }
+}
+
+impl KeyStream for RepeatedKey {
+    fn next_key(&mut self) -> u64 {
+        self.key
+    }
+}
+
+/// Alternating bursts and silence: `burst_len` distinct keys, then
+/// `gap_len` repeats of a single filler key (approximating silence while
+/// still advancing count-based clocks).
+#[derive(Debug, Clone)]
+pub struct OnOffBurst {
+    burst_len: u64,
+    gap_len: u64,
+    pos: u64,
+    counter: u64,
+}
+
+impl OnOffBurst {
+    /// Bursts of `burst_len` fresh keys separated by `gap_len` filler items.
+    pub fn new(burst_len: u64, gap_len: u64, seed: u64) -> Self {
+        assert!(burst_len > 0 && gap_len > 0);
+        Self { burst_len, gap_len, pos: 0, counter: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// True while the stream is inside a burst.
+    pub fn in_burst(&self) -> bool {
+        self.pos < self.burst_len
+    }
+}
+
+impl KeyStream for OnOffBurst {
+    fn next_key(&mut self) -> u64 {
+        let period = self.burst_len + self.gap_len;
+        let in_burst = self.pos < self.burst_len;
+        self.pos = (self.pos + 1) % period;
+        if in_burst {
+            self.counter += 1;
+            she_hash::mix64(self.counter)
+        } else {
+            0x00F1_11E4u64
+        }
+    }
+}
+
+
+/// Continuously rotating key space: at step `t` the live keys are
+/// `{t/phase · width .. t/phase · width + width}`, so consecutive windows
+/// overlap partially and the stream never reaches a steady state.
+#[derive(Debug, Clone)]
+pub struct SlidingPhase {
+    width: u64,
+    phase: u64,
+    t: u64,
+    salt: u64,
+}
+
+impl SlidingPhase {
+    /// Key space of `width` keys advancing one notch every `phase` items.
+    pub fn new(width: u64, phase: u64, seed: u64) -> Self {
+        assert!(width > 0 && phase > 0);
+        Self { width, phase, t: 0, salt: seed }
+    }
+}
+
+impl KeyStream for SlidingPhase {
+    fn next_key(&mut self) -> u64 {
+        let base = self.t / self.phase;
+        let k = base + self.t % self.width;
+        self.t += 1;
+        she_hash::mix64(k ^ self.salt.rotate_left(17))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn repeated_key_never_varies() {
+        let mut s = RepeatedKey::new(42);
+        assert!(s.take_vec(100).iter().all(|&k| k == 42));
+    }
+
+    #[test]
+    fn burst_structure() {
+        let mut s = OnOffBurst::new(10, 90, 1);
+        let keys = s.take_vec(300);
+        // Exactly 30 distinct burst keys + the filler across 3 periods.
+        let distinct: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), 31);
+        let filler = keys[50]; // deep in the first gap
+        assert_eq!(keys.iter().filter(|&&k| k == filler).count(), 270);
+    }
+
+    #[test]
+    fn sliding_phase_rotates() {
+        let mut s = SlidingPhase::new(100, 10, 7);
+        let early: HashSet<u64> = s.take_vec(100).into_iter().collect();
+        let mut s2 = SlidingPhase::new(100, 10, 7);
+        let _ = s2.take_vec(100_000);
+        let late: HashSet<u64> = s2.take_vec(100).into_iter().collect();
+        assert!(early.is_disjoint(&late), "key space failed to rotate");
+    }
+}

@@ -1,0 +1,151 @@
+//! Walker/Vose alias method: O(1) sampling from any finite discrete
+//! distribution after an O(n) build.
+//!
+//! The inverse-CDF sampler in [`crate::Zipf`] costs a binary search per
+//! draw (`O(log n)`); trace generation for the throughput figures draws
+//! tens of millions of samples, where the alias table's constant time and
+//! single cache line per draw matter.
+
+use rand::Rng;
+
+/// An alias table over `n` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance threshold per slot, scaled to u32 for a branch-cheap
+    /// compare (probability = prob[i] / 2^32).
+    prob: Vec<u32>,
+    /// Alias outcome per slot.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (not necessarily normalized).
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one outcome");
+        assert!(n <= u32::MAX as usize, "too many outcomes");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0 && weights.iter().all(|&w| w >= 0.0), "weights must be non-negative with positive sum");
+
+        // Scaled probabilities: mean 1.0.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut prob = vec![u32::MAX; n];
+        let mut alias = vec![0u32; n];
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = (scaled[s as usize].clamp(0.0, 1.0) * u32::MAX as f64) as u32;
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (numerical residue) accept unconditionally.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = u32::MAX;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True iff the table has no outcomes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let r: u64 = rng.gen();
+        let slot = she_hash::reduce_range(r, self.prob.len());
+        // Reuse the low bits as the acceptance coin (independent enough for
+        // sampling once mixed; rigorous users can draw twice).
+        let coin = (r as u32) ^ (r >> 32) as u32;
+        if coin <= self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_target_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let freqs = empirical(&weights, 400_000);
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / 10.0;
+            assert!(
+                (freqs[i] - expect).abs() < 0.01,
+                "outcome {i}: {} vs {expect}",
+                freqs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let freqs = empirical(&[7.0], 1_000);
+        assert_eq!(freqs, vec![1.0]);
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let freqs = empirical(&[0.0, 1.0, 0.0, 1.0], 100_000);
+        assert_eq!(freqs[0], 0.0);
+        assert_eq!(freqs[2], 0.0);
+        assert!((freqs[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn heavy_tail() {
+        // Zipf-like weights: rank 0 dominates as expected.
+        let weights: Vec<f64> = (1..=1000).map(|r| 1.0 / r as f64).collect();
+        let freqs = empirical(&weights, 300_000);
+        let h: f64 = weights.iter().sum();
+        assert!((freqs[0] - 1.0 / h).abs() < 0.01, "p(0) = {}", freqs[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

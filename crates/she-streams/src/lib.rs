@@ -1,0 +1,318 @@
+//! Synthetic workload generators.
+//!
+//! Stand-ins for the paper's proprietary datasets (§7.1), matching the
+//! statistics that actually drive sketch behaviour — frequency skew,
+//! distinct ratio, stream length, and (for similarity) the true Jaccard
+//! index — while being deterministic from a seed:
+//!
+//! * [`CaidaLike`] — Zipf-skewed keyed stream shaped like a CAIDA trace
+//!   slice (~2% distinct ratio at the default skew);
+//! * [`DistinctStream`] — every item distinct (frequency 1), the paper's
+//!   worst case for SHE-BF;
+//! * [`CampusLike`] / [`WebpageLike`] — the two extra throughput datasets,
+//!   differing in skew and alphabet size;
+//! * [`RelevantPair`] — two streams sharing a configurable fraction of
+//!   their key space, standing in for the IMC10-derived "Relevant Stream"
+//!   pairs used by the MinHash experiments.
+
+mod adversarial;
+mod alias;
+mod zipf;
+
+pub use adversarial::{OnOffBurst, RepeatedKey, SlidingPhase};
+pub use alias::AliasTable;
+pub use zipf::Zipf;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic stream of `u64` keys.
+pub trait KeyStream {
+    /// Produce the next key.
+    fn next_key(&mut self) -> u64;
+
+    /// Fill a vector with the next `n` keys.
+    fn take_vec(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_key()).collect()
+    }
+}
+
+/// Zipf-distributed keyed stream shaped like a CAIDA trace slice.
+///
+/// The public CAIDA traces used by the paper have ~30 M items and ~600 K
+/// distinct srcIPs (a 2% distinct ratio) with heavy-tailed flow sizes; a
+/// Zipf(≈1.05) draw over a 600 K universe reproduces both statistics. Keys
+/// are scrambled through a fixed permutation so that rank order does not
+/// leak into hash behaviour.
+#[derive(Debug, Clone)]
+pub struct CaidaLike {
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl CaidaLike {
+    /// Stream over `universe` distinct keys with Zipf exponent `skew`.
+    pub fn new(universe: usize, skew: f64, seed: u64) -> Self {
+        Self { zipf: Zipf::new(universe, skew), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The paper-shaped default: 600 K universe, skew 1.05.
+    pub fn default_trace(seed: u64) -> Self {
+        Self::new(600_000, 1.05, seed)
+    }
+}
+
+impl KeyStream for CaidaLike {
+    fn next_key(&mut self) -> u64 {
+        let rank = self.zipf.sample(&mut self.rng) as u64;
+        // Fixed permutation (splitmix-style) so key values are unordered.
+        she_hash::mix64(rank)
+    }
+}
+
+/// Every item distinct: the frequency-1 stream of §7.1, SHE-BF's worst case
+/// (no key is ever re-inserted, so every membership bit decays exactly
+/// once).
+#[derive(Debug, Clone)]
+pub struct DistinctStream {
+    next: u64,
+    stride: u64,
+}
+
+impl DistinctStream {
+    /// Distinct keys starting from a seed-derived origin.
+    pub fn new(seed: u64) -> Self {
+        Self { next: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), stride: 1 }
+    }
+}
+
+impl KeyStream for DistinctStream {
+    fn next_key(&mut self) -> u64 {
+        let k = self.next;
+        self.next = self.next.wrapping_add(self.stride);
+        she_hash::mix64(k)
+    }
+}
+
+/// Campus-gateway-like trace: burstier and more skewed than CAIDA
+/// (a smaller user population with heavy hitters).
+#[derive(Debug, Clone)]
+pub struct CampusLike {
+    zipf: Zipf,
+    rng: StdRng,
+    burst_key: u64,
+    burst_left: u32,
+}
+
+impl CampusLike {
+    /// Stream over `universe` keys with occasional per-key bursts.
+    pub fn new(universe: usize, seed: u64) -> Self {
+        Self {
+            zipf: Zipf::new(universe, 1.2),
+            rng: StdRng::seed_from_u64(seed),
+            burst_key: 0,
+            burst_left: 0,
+        }
+    }
+
+    /// Default shape: 50 K universe.
+    pub fn default_trace(seed: u64) -> Self {
+        Self::new(50_000, seed)
+    }
+}
+
+impl KeyStream for CampusLike {
+    fn next_key(&mut self) -> u64 {
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            return self.burst_key;
+        }
+        let rank = self.zipf.sample(&mut self.rng) as u64;
+        let key = she_hash::mix64(rank ^ 0xCAFE);
+        // 1-in-64 items start a short burst of the same key (TCP trains).
+        if self.rng.gen_range(0..64) == 0 {
+            self.burst_key = key;
+            self.burst_left = self.rng.gen_range(4..16);
+        }
+        key
+    }
+}
+
+/// Webpage-dataset-like trace: light skew over a large alphabet (frequent
+/// itemset data has many near-uniform item ids).
+#[derive(Debug, Clone)]
+pub struct WebpageLike {
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl WebpageLike {
+    /// Stream over `universe` keys with mild skew.
+    pub fn new(universe: usize, seed: u64) -> Self {
+        Self { zipf: Zipf::new(universe, 0.7), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Default shape: 2 M universe.
+    pub fn default_trace(seed: u64) -> Self {
+        Self::new(2_000_000, seed)
+    }
+}
+
+impl KeyStream for WebpageLike {
+    fn next_key(&mut self) -> u64 {
+        she_hash::mix64(self.zipf.sample(&mut self.rng) as u64 ^ 0x3EB_0000)
+    }
+}
+
+/// A pair of streams with a controlled shared key space, standing in for
+/// the IMC10-derived "Relevant Stream" pairs (two traces of 100 K distinct
+/// items each).
+///
+/// At every step each stream draws from the shared universe with
+/// probability `overlap`, otherwise from its private universe. For aligned
+/// windows of `W` items each, the expected Jaccard similarity of the
+/// distinct sets approaches `overlap / (2 - overlap)` as the universes
+/// saturate (both windows see the same shared keys).
+#[derive(Debug, Clone)]
+pub struct RelevantPair {
+    shared: Zipf,
+    private_a: Zipf,
+    private_b: Zipf,
+    overlap: f64,
+    rng: StdRng,
+}
+
+impl RelevantPair {
+    /// `universe` keys per component, sharing a `overlap` fraction of draws.
+    pub fn new(universe: usize, overlap: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&overlap));
+        Self {
+            shared: Zipf::new(universe, 0.9),
+            private_a: Zipf::new(universe, 0.9),
+            private_b: Zipf::new(universe, 0.9),
+            overlap,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw the next aligned pair `(key_a, key_b)`.
+    pub fn next_pair(&mut self) -> (u64, u64) {
+        let a = if self.rng.gen_bool(self.overlap) {
+            she_hash::mix64(self.shared.sample(&mut self.rng) as u64)
+        } else {
+            she_hash::mix64(self.private_a.sample(&mut self.rng) as u64 | 1 << 62)
+        };
+        let b = if self.rng.gen_bool(self.overlap) {
+            she_hash::mix64(self.shared.sample(&mut self.rng) as u64)
+        } else {
+            she_hash::mix64(self.private_b.sample(&mut self.rng) as u64 | 1 << 63)
+        };
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn caida_like_distinct_ratio() {
+        let mut s = CaidaLike::default_trace(1);
+        let n = 1_000_000;
+        let keys = s.take_vec(n);
+        let distinct: HashSet<u64> = keys.iter().copied().collect();
+        let ratio = distinct.len() as f64 / n as f64;
+        // The real trace slice is ~2%; accept a broad band since the ratio
+        // depends on stream length.
+        assert!(
+            (0.005..0.30).contains(&ratio),
+            "distinct ratio {ratio} out of CAIDA-like band"
+        );
+    }
+
+    #[test]
+    fn caida_like_is_heavy_tailed() {
+        let mut s = CaidaLike::default_trace(2);
+        let keys = s.take_vec(200_000);
+        let mut counts = std::collections::HashMap::new();
+        for k in keys {
+            *counts.entry(k).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = freqs.iter().take(10).sum();
+        // Top-10 keys must dominate far beyond a uniform share.
+        assert!(top10 as f64 / 200_000.0 > 0.05, "top10 share {}", top10);
+    }
+
+    #[test]
+    fn distinct_stream_never_repeats() {
+        let mut s = DistinctStream::new(9);
+        let keys = s.take_vec(100_000);
+        let distinct: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), keys.len());
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = CaidaLike::default_trace(7).take_vec(1000);
+        let b = CaidaLike::default_trace(7).take_vec(1000);
+        assert_eq!(a, b);
+        let c = CaidaLike::default_trace(8).take_vec(1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn relevant_pair_tracks_target_overlap() {
+        let mut p = RelevantPair::new(10_000, 0.5, 3);
+        let mut wa = HashSet::new();
+        let mut wb = HashSet::new();
+        for _ in 0..50_000 {
+            let (a, b) = p.next_pair();
+            wa.insert(a);
+            wb.insert(b);
+        }
+        let inter = wa.intersection(&wb).count();
+        let union = wa.len() + wb.len() - inter;
+        let j = inter as f64 / union as f64;
+        // overlap/(2-overlap) = 1/3 at saturation; accept a band.
+        assert!((0.15..0.5).contains(&j), "jaccard {j}");
+    }
+
+    #[test]
+    fn relevant_pair_extremes() {
+        let mut full = RelevantPair::new(1000, 1.0, 4);
+        let mut wa = HashSet::new();
+        let mut wb = HashSet::new();
+        for _ in 0..20_000 {
+            let (a, b) = full.next_pair();
+            wa.insert(a);
+            wb.insert(b);
+        }
+        let inter = wa.intersection(&wb).count();
+        let union = wa.len() + wb.len() - inter;
+        assert!(inter as f64 / union as f64 > 0.95);
+
+        let mut none = RelevantPair::new(1000, 0.0, 5);
+        let mut wa = HashSet::new();
+        let mut wb = HashSet::new();
+        for _ in 0..20_000 {
+            let (a, b) = none.next_pair();
+            wa.insert(a);
+            wb.insert(b);
+        }
+        assert_eq!(wa.intersection(&wb).count(), 0);
+    }
+
+    #[test]
+    fn campus_and_webpage_differ_in_skew() {
+        let mut campus = CampusLike::default_trace(1);
+        let mut web = WebpageLike::default_trace(1);
+        let n = 100_000;
+        let dc: HashSet<u64> = campus.take_vec(n).into_iter().collect();
+        let dw: HashSet<u64> = web.take_vec(n).into_iter().collect();
+        // Heavier skew + smaller universe => far fewer distinct keys.
+        assert!(dc.len() * 2 < dw.len(), "campus {} web {}", dc.len(), dw.len());
+    }
+}

@@ -1,0 +1,136 @@
+//! Zipf(α) sampling over a finite universe, implemented in-house so the
+//! workspace stays within its approved dependency list.
+//!
+//! Sampling goes through a Walker/Vose [`crate::AliasTable`] (O(1) per
+//! draw); an inverse-CDF path is kept for the differential test between
+//! the two samplers.
+
+use crate::AliasTable;
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..universe` with exponent `skew`:
+/// `P(rank = r) ∝ 1 / (r + 1)^skew`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    alias: AliasTable,
+    /// Cumulative probabilities, `cdf[r] = P(rank ≤ r)` (reference path).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. `skew = 0` is uniform; larger is heavier-tailed.
+    pub fn new(universe: usize, skew: f64) -> Self {
+        assert!(universe > 0);
+        assert!(skew >= 0.0);
+        let weights: Vec<f64> = (0..universe).map(|r| 1.0 / ((r + 1) as f64).powf(skew)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Self { alias: AliasTable::new(&weights), cdf }
+    }
+
+    /// Number of ranks.
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank (alias method, O(1)).
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        self.alias.sample(rng)
+    }
+
+    /// Draw one rank by inverting the CDF (O(log n); reference path used by
+    /// the sampler-equivalence test).
+    pub fn sample_cdf<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_skew_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates_with_skew() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut zero = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        // P(0) = 1/H where H = Σ_{r=1}^{1000} r^{-1.2} ≈ 4.3, so ~23%.
+        let p = zero as f64 / n as f64;
+        assert!((0.15..0.35).contains(&p), "p(rank 0) = {p}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(17, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn frequencies_follow_power_law() {
+        let z = Zipf::new(10_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..1_000_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // count(rank 0) / count(rank 9) should be close to 10 for α = 1.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!((6.0..16.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn alias_and_cdf_samplers_agree_in_distribution() {
+        let z = Zipf::new(500, 1.1);
+        let n = 200_000;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = vec![0f64; 500];
+        let mut c = vec![0f64; 500];
+        for _ in 0..n {
+            a[z.sample(&mut rng)] += 1.0;
+            c[z.sample_cdf(&mut rng)] += 1.0;
+        }
+        // Compare the head of the distribution (the tail is too sparse for
+        // per-rank comparison).
+        for r in 0..20 {
+            let pa = a[r] / n as f64;
+            let pc = c[r] / n as f64;
+            assert!(
+                (pa - pc).abs() < 0.01 + 0.1 * pc,
+                "rank {r}: alias {pa:.4} vs cdf {pc:.4}"
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Exponential histograms (Datar, Gionis, Indyk, Motwani — SODA 2002).
+//!
+//! Counts events in the last `N` time units with relative error at most
+//! `1/k` using `O(k log²N)` bits. Buckets hold power-of-two event counts
+//! with their most-recent timestamp; at most `k + 1` buckets of each size
+//! are kept, merging the two oldest of a size when the invariant is
+//! violated. The estimate drops half the oldest bucket.
+
+/// One bucket: `size` events whose last arrival was at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Bucket {
+    time: u64,
+    size: u64,
+}
+
+/// A sliding-window event counter with bounded relative error.
+#[derive(Debug, Clone)]
+pub struct ExponentialHistogram {
+    window: u64,
+    k: usize,
+    /// Buckets ordered oldest-first; sizes are non-increasing towards the
+    /// back... (non-decreasing towards the front): front = oldest/largest.
+    buckets: Vec<Bucket>,
+    /// Sum of all bucket sizes (kept incrementally).
+    total: u64,
+    now: u64,
+}
+
+impl ExponentialHistogram {
+    /// Counter over the last `window` time units with error parameter `k`
+    /// (relative error ≤ `1/k`).
+    pub fn new(window: u64, k: usize) -> Self {
+        assert!(window > 0 && k >= 1);
+        Self { window, k, buckets: Vec::new(), total: 0, now: 0 }
+    }
+
+    /// The window length.
+    #[inline]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Advance the clock to `t` (monotone) and expire old buckets.
+    pub fn advance_to(&mut self, t: u64) {
+        debug_assert!(t >= self.now, "clock must be monotone");
+        self.now = t;
+        self.expire();
+    }
+
+    /// Record one event at time `t` (monotone).
+    pub fn record(&mut self, t: u64) {
+        self.advance_to(t);
+        self.buckets.push(Bucket { time: t, size: 1 });
+        self.total += 1;
+        self.carry();
+    }
+
+    fn expire(&mut self) {
+        let cutoff = self.now.saturating_sub(self.window);
+        // Window is the last `window` units: an event at time `e` is inside
+        // iff e > now - window.
+        let mut drop = 0;
+        for b in &self.buckets {
+            if b.time <= cutoff && self.now >= self.window {
+                drop += 1;
+            } else {
+                break;
+            }
+        }
+        for b in self.buckets.drain(..drop) {
+            self.total -= b.size;
+        }
+    }
+
+    /// Restore the ≤ k+1-buckets-per-size invariant by merging from the
+    /// smallest size upwards.
+    fn carry(&mut self) {
+        let limit = self.k + 1;
+        let mut size = 1u64;
+        loop {
+            // Count buckets of `size`; they are contiguous at the tail side
+            // of all smaller-or-equal sizes because sizes are monotone from
+            // front (largest) to back (smallest).
+            let mut idx_first = None;
+            let mut count = 0;
+            for (i, b) in self.buckets.iter().enumerate() {
+                if b.size == size {
+                    if idx_first.is_none() {
+                        idx_first = Some(i);
+                    }
+                    count += 1;
+                }
+            }
+            if count <= limit {
+                break;
+            }
+            // Merge the two *oldest* buckets of this size into one of 2×size.
+            let i = idx_first.expect("count > 0 implies a first index");
+            let merged = Bucket { time: self.buckets[i + 1].time, size: size * 2 };
+            self.buckets.remove(i + 1);
+            self.buckets[i] = merged;
+            size *= 2;
+        }
+    }
+
+    /// Estimated number of events in the window: the full sum minus half
+    /// the oldest bucket (whose events may straddle the window edge).
+    pub fn estimate(&self) -> u64 {
+        match self.buckets.first() {
+            None => 0,
+            Some(oldest) => self.total - oldest.size / 2,
+        }
+    }
+
+    /// Exact upper bound the histogram guarantees (all buckets whole).
+    pub fn upper_bound(&self) -> u64 {
+        self.total
+    }
+
+    /// Current number of buckets (memory proxy).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Memory footprint in bits: each bucket stores a timestamp and a size
+    /// exponent (64 + 8 bits), as in the ECM paper's accounting.
+    pub fn memory_bits(&self) -> usize {
+        self.buckets.len() * (64 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replay `events` (times) and compare against the exact window count
+    /// at time `t`.
+    fn exact_count(events: &[u64], now: u64, window: u64) -> u64 {
+        events
+            .iter()
+            .filter(|&&e| e <= now && (now < window || e > now - window))
+            .count() as u64
+    }
+
+    #[test]
+    fn exact_while_few_events() {
+        let mut eh = ExponentialHistogram::new(100, 4);
+        for t in [1u64, 2, 3, 10, 50] {
+            eh.record(t);
+        }
+        assert_eq!(eh.estimate(), 5);
+    }
+
+    #[test]
+    fn expires_old_events() {
+        let mut eh = ExponentialHistogram::new(10, 4);
+        for t in 1..=5u64 {
+            eh.record(t);
+        }
+        eh.advance_to(20);
+        // Window (10, 20]: all five events (at 1..=5) are out.
+        assert_eq!(eh.estimate(), 0);
+    }
+
+    #[test]
+    fn relative_error_bound_dense_stream() {
+        let window = 1000u64;
+        let k = 8;
+        let mut eh = ExponentialHistogram::new(window, k);
+        let mut events = Vec::new();
+        for t in 1..=5000u64 {
+            if t % 3 != 0 {
+                eh.record(t);
+                events.push(t);
+            } else {
+                eh.advance_to(t);
+            }
+            if t % 500 == 0 && t > window {
+                let exact = exact_count(&events, t, window);
+                let est = eh.estimate();
+                let re = (est as f64 - exact as f64).abs() / exact.max(1) as f64;
+                assert!(re <= 1.0 / k as f64 + 0.01, "t={t} est={est} exact={exact} re={re}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_count_stays_logarithmic() {
+        let mut eh = ExponentialHistogram::new(1 << 16, 4);
+        for t in 1..=(1u64 << 16) {
+            eh.record(t);
+        }
+        // (k+1) buckets per size, ~log2(N) sizes.
+        assert!(eh.num_buckets() <= 5 * 17 + 5, "buckets: {}", eh.num_buckets());
+        assert!(eh.memory_bits() > 0);
+    }
+
+    #[test]
+    fn estimate_never_exceeds_upper_bound() {
+        let mut eh = ExponentialHistogram::new(64, 2);
+        for t in 1..=1000u64 {
+            eh.record(t);
+            assert!(eh.estimate() <= eh.upper_bound());
+        }
+    }
+
+    #[test]
+    fn sparse_bursts() {
+        let mut eh = ExponentialHistogram::new(100, 4);
+        // Burst of 50 at t=1..=50, silence, burst at t=200.
+        for t in 1..=50u64 {
+            eh.record(t);
+        }
+        for t in 200..=210u64 {
+            eh.record(t);
+        }
+        // Window (110, 210]: only the second burst (11 events).
+        let est = eh.estimate();
+        assert!((est as i64 - 11).unsigned_abs() <= 2, "est {est}");
+    }
+}

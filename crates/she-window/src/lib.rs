@@ -1,0 +1,17 @@
+//! Exact sliding-window substrates.
+//!
+//! Two independent pieces both needed by the evaluation:
+//!
+//! * [`ExponentialHistogram`] — the Datar–Gionis–Indyk–Motwani counter over
+//!   a sliding window. The ECM baseline (Papapetrou et al., compared against
+//!   SHE-CM in Fig. 9c) replaces every Count-Min counter with one of these.
+//! * [`truth`] — exact sliding-window oracles ([`truth::WindowTruth`],
+//!   [`truth::PairTruth`]) used to compute the FPR/RE/ARE metrics of every
+//!   figure: exact membership, frequency, cardinality, and Jaccard
+//!   similarity over the last `N` items.
+
+mod eh;
+pub mod truth;
+
+pub use eh::ExponentialHistogram;
+pub use truth::{PairTruth, WindowTruth};

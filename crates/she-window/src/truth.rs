@@ -1,0 +1,242 @@
+//! Exact sliding-window oracles.
+//!
+//! Every accuracy metric in the evaluation (FPR, RE, ARE, similarity RE) is
+//! computed against these: a ring buffer of the last `N` keys plus a count
+//! map, giving exact membership / frequency / cardinality, and a paired
+//! variant for exact Jaccard similarity. Keys are `u64` — the workload
+//! generators in `she-streams` produce `u64` keys (the paper's srcIP-style
+//! 4-byte identifiers fit comfortably).
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Exact state of one count-based sliding window.
+#[derive(Debug, Clone)]
+pub struct WindowTruth {
+    window: usize,
+    items: VecDeque<u64>,
+    counts: HashMap<u64, u32>,
+}
+
+impl WindowTruth {
+    /// Track the last `window` items exactly.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0);
+        Self {
+            window,
+            items: VecDeque::with_capacity(window + 1),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// The window size `N`.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Insert the next item, evicting the one that slides out (returned).
+    pub fn insert(&mut self, key: u64) -> Option<u64> {
+        self.items.push_back(key);
+        *self.counts.entry(key).or_insert(0) += 1;
+        if self.items.len() > self.window {
+            let old = self.items.pop_front().expect("non-empty after push");
+            match self.counts.entry(old) {
+                Entry::Occupied(mut e) => {
+                    *e.get_mut() -= 1;
+                    if *e.get() == 0 {
+                        e.remove();
+                    }
+                }
+                Entry::Vacant(_) => unreachable!("evicted key must be counted"),
+            }
+            Some(old)
+        } else {
+            None
+        }
+    }
+
+    /// Exact membership: was `key` among the last `N` items?
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.counts.contains_key(&key)
+    }
+
+    /// Exact frequency of `key` within the window.
+    #[inline]
+    pub fn frequency(&self, key: u64) -> u32 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Exact number of distinct keys within the window.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of items currently held (≤ `N`; smaller during warm-up).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True before any insertion.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate over the distinct keys in the window with their counts.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// Iterate over the raw window contents, oldest first.
+    pub fn iter_items(&self) -> impl Iterator<Item = u64> + '_ {
+        self.items.iter().copied()
+    }
+}
+
+/// Exact state of a pair of aligned sliding windows (similarity tasks).
+#[derive(Debug, Clone)]
+pub struct PairTruth {
+    a: WindowTruth,
+    b: WindowTruth,
+}
+
+impl PairTruth {
+    /// Track two windows of `window` items each.
+    pub fn new(window: usize) -> Self {
+        Self { a: WindowTruth::new(window), b: WindowTruth::new(window) }
+    }
+
+    /// Insert into the first stream.
+    pub fn insert_a(&mut self, key: u64) {
+        self.a.insert(key);
+    }
+
+    /// Insert into the second stream.
+    pub fn insert_b(&mut self, key: u64) {
+        self.b.insert(key);
+    }
+
+    /// The first window's oracle.
+    pub fn a(&self) -> &WindowTruth {
+        &self.a
+    }
+
+    /// The second window's oracle.
+    pub fn b(&self) -> &WindowTruth {
+        &self.b
+    }
+
+    /// Exact Jaccard similarity `|A∩B| / |A∪B|` of the distinct key sets of
+    /// the two windows. Zero when both are empty.
+    pub fn jaccard(&self) -> f64 {
+        let (small, large) = if self.a.cardinality() <= self.b.cardinality() {
+            (&self.a, &self.b)
+        } else {
+            (&self.b, &self.a)
+        };
+        let inter = small.iter_counts().filter(|&(k, _)| large.contains(k)).count();
+        let union = self.a.cardinality() + self.b.cardinality() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_eviction() {
+        let mut w = WindowTruth::new(3);
+        assert_eq!(w.insert(1), None);
+        assert_eq!(w.insert(2), None);
+        assert_eq!(w.insert(3), None);
+        assert_eq!(w.insert(4), Some(1));
+        assert!(!w.contains(1));
+        assert!(w.contains(2) && w.contains(3) && w.contains(4));
+        assert_eq!(w.cardinality(), 3);
+    }
+
+    #[test]
+    fn duplicate_counting() {
+        let mut w = WindowTruth::new(4);
+        for k in [7, 7, 8, 7] {
+            w.insert(k);
+        }
+        assert_eq!(w.frequency(7), 3);
+        assert_eq!(w.frequency(8), 1);
+        assert_eq!(w.cardinality(), 2);
+        // Slide one 7 out.
+        w.insert(9);
+        assert_eq!(w.frequency(7), 2);
+        assert_eq!(w.cardinality(), 3);
+    }
+
+    #[test]
+    fn matches_naive_replay() {
+        // Pseudo-random stream vs an O(N) naive recomputation.
+        let window = 50;
+        let mut w = WindowTruth::new(window);
+        let mut all = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 37;
+            w.insert(key);
+            all.push(key);
+            let tail: Vec<u64> = all.iter().rev().take(window).copied().collect();
+            let distinct: std::collections::HashSet<u64> = tail.iter().copied().collect();
+            assert_eq!(w.cardinality(), distinct.len());
+            for &k in &distinct {
+                assert_eq!(w.frequency(k) as usize, tail.iter().filter(|&&t| t == k).count());
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_extremes() {
+        let mut p = PairTruth::new(10);
+        assert_eq!(p.jaccard(), 0.0);
+        for i in 0..10u64 {
+            p.insert_a(i);
+            p.insert_b(i);
+        }
+        assert_eq!(p.jaccard(), 1.0);
+        for i in 0..10u64 {
+            p.insert_b(i + 100);
+        }
+        assert_eq!(p.jaccard(), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial() {
+        let mut p = PairTruth::new(4);
+        for k in [1u64, 2, 3, 4] {
+            p.insert_a(k);
+        }
+        for k in [3u64, 4, 5, 6] {
+            p.insert_b(k);
+        }
+        // |∩| = 2 ({3,4}), |∪| = 6.
+        assert!((p.jaccard() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_length() {
+        let mut w = WindowTruth::new(100);
+        assert!(w.is_empty());
+        for i in 0..10u64 {
+            w.insert(i);
+        }
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.iter_items().count(), 10);
+        assert_eq!(w.iter_counts().count(), 10);
+    }
+}

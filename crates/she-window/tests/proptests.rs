@@ -1,0 +1,96 @@
+//! Property tests for the exact-window substrates.
+
+use proptest::prelude::*;
+use she_window::{ExponentialHistogram, PairTruth, WindowTruth};
+
+proptest! {
+    /// WindowTruth matches a naive O(N) recomputation for any stream.
+    #[test]
+    fn window_truth_matches_naive(
+        window in 1usize..60,
+        keys in prop::collection::vec(0u64..30, 1..400),
+    ) {
+        let mut w = WindowTruth::new(window);
+        for (i, &k) in keys.iter().enumerate() {
+            w.insert(k);
+            let tail: Vec<u64> = keys[..=i].iter().rev().take(window).copied().collect();
+            let distinct: std::collections::HashSet<u64> = tail.iter().copied().collect();
+            prop_assert_eq!(w.cardinality(), distinct.len());
+            prop_assert_eq!(w.len(), tail.len());
+            for &k2 in &distinct {
+                prop_assert_eq!(
+                    w.frequency(k2) as usize,
+                    tail.iter().filter(|&&t| t == k2).count()
+                );
+                prop_assert!(w.contains(k2));
+            }
+        }
+    }
+
+    /// PairTruth's Jaccard matches a set-based recomputation.
+    #[test]
+    fn pair_truth_jaccard_matches_sets(
+        window in 1usize..40,
+        pairs in prop::collection::vec((0u64..20, 0u64..20), 1..200),
+    ) {
+        let mut p = PairTruth::new(window);
+        for &(a, b) in &pairs {
+            p.insert_a(a);
+            p.insert_b(b);
+        }
+        let tail_a: std::collections::HashSet<u64> =
+            pairs.iter().rev().take(window).map(|&(a, _)| a).collect();
+        let tail_b: std::collections::HashSet<u64> =
+            pairs.iter().rev().take(window).map(|&(_, b)| b).collect();
+        let inter = tail_a.intersection(&tail_b).count();
+        let union = tail_a.len() + tail_b.len() - inter;
+        let expect = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+        prop_assert!((p.jaccard() - expect).abs() < 1e-12);
+    }
+
+    /// The exponential histogram's estimate stays within its guaranteed
+    /// relative error of the exact window count, for any arrival pattern.
+    #[test]
+    fn eh_error_bound_holds(
+        window in 2u64..200,
+        k in 2usize..10,
+        gaps in prop::collection::vec(1u64..5, 1..500),
+    ) {
+        let mut eh = ExponentialHistogram::new(window, k);
+        let mut times = Vec::new();
+        let mut t = 0u64;
+        for g in gaps {
+            t += g;
+            eh.record(t);
+            times.push(t);
+            let exact = times
+                .iter()
+                .filter(|&&e| t < window || e > t - window)
+                .count() as f64;
+            let est = eh.estimate() as f64;
+            let bound = exact / k as f64 + 1.0; // ±1 for the integer floor
+            prop_assert!(
+                (est - exact).abs() <= bound,
+                "t={} est={} exact={} bound={}", t, est, exact, bound
+            );
+        }
+    }
+
+    /// Advancing time far enough always empties the histogram.
+    #[test]
+    fn eh_total_expiry(
+        window in 1u64..100,
+        k in 1usize..8,
+        events in prop::collection::vec(1u64..1000, 0..100),
+    ) {
+        let mut eh = ExponentialHistogram::new(window, k);
+        let mut t = 0;
+        for e in events {
+            t += e;
+            eh.record(t);
+        }
+        eh.advance_to(t + window + 1);
+        prop_assert_eq!(eh.estimate(), 0);
+        prop_assert_eq!(eh.num_buckets(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Multi-window queries and state snapshots.
+//!
+//! ```sh
+//! cargo run --release --example multiwindow_snapshot
+//! ```
+//!
+//! Two extension features built on the SHE structure's age machinery:
+//!
+//! * **multi-window queries** — because group ages are spread uniformly
+//!   over the cleaning cycle, one SHE-BM answers "how many distinct keys in
+//!   the last n items?" for *any* n below `Tcycle`, not just the configured
+//!   window (`estimate_at` / `cardinality_curve`);
+//! * **snapshots** — the engine state serializes to a compact binary buffer
+//!   (`save_state`), so a monitoring daemon can restart without losing its
+//!   window.
+
+use she::core::{She, SheBitmap, SheConfig};
+use she::sketch::BloomSpec;
+use she::streams::{CaidaLike, KeyStream};
+use she::window::WindowTruth;
+
+fn main() {
+    let window = 1u64 << 15;
+    // group_cells = 256 keeps the group count G = M/w ≈ 2048 well below the
+    // smallest sub-window we will query (see `estimate_at`'s guidance).
+    let mut bm = SheBitmap::builder()
+        .window(window)
+        .memory_bytes(64 << 10)
+        .alpha(0.5)
+        .group_cells(256)
+        .seed(3)
+        .build();
+    let mut truth = WindowTruth::new((2 * window) as usize);
+
+    let mut trace = CaidaLike::new(150_000, 1.02, 17);
+    for _ in 0..6 * window {
+        let k = trace.next_key();
+        bm.insert(&k);
+        truth.insert(k);
+    }
+
+    println!("one structure, many windows (window configured = {window}):");
+    println!("{:>12} {:>12} {:>12} {:>8}", "last n", "estimate", "exact", "err%");
+    for frac in [0.25f64, 0.5, 1.0, 1.4] {
+        let n = (window as f64 * frac) as u64;
+        let est = bm.estimate_at(n, 0.25);
+        // Exact distinct count over the last n items, from the oracle.
+        let all: Vec<u64> = truth.iter_items().collect();
+        let tail: std::collections::HashSet<u64> =
+            all[all.len() - n as usize..].iter().copied().collect();
+        let exact = tail.len() as f64;
+        println!(
+            "{n:>12} {est:>12.0} {exact:>12.0} {:>7.2}%",
+            100.0 * (est - exact).abs() / exact
+        );
+    }
+
+    println!("\ncardinality-vs-age curve (first/last points of {} groups):", bm.engine().num_groups());
+    let curve = bm.cardinality_curve();
+    for (age, est) in curve.iter().take(3).chain(curve.iter().rev().take(3).rev()) {
+        println!("  age {age:>7}  F(age) ~= {est:.0}");
+    }
+
+    // --- snapshots -------------------------------------------------------
+    let cfg = SheConfig::builder().window(window).alpha(1.0).group_cells(64).build();
+    let mut engine = She::new(BloomSpec::new(1 << 16, 8, 9), cfg);
+    for i in 0..50_000u64 {
+        engine.insert(&i);
+    }
+    let snap = engine.save_state();
+    println!("\nsnapshot: {} bytes for a {}-bit SHE-BF engine", snap.len(), 1 << 16);
+
+    let mut restored = She::new(BloomSpec::new(1 << 16, 8, 9), cfg);
+    restored.load_state(&snap).expect("snapshot loads");
+    assert_eq!(restored.now(), engine.now());
+    println!("restored at t = {} — identical state, ready to continue", restored.now());
+}

@@ -1,0 +1,75 @@
+//! Parallel ingestion: multi-core sliding-window sketching.
+//!
+//! ```sh
+//! cargo run --release --example parallel_ingest
+//! ```
+//!
+//! The FPGA sustains one item per clock; on a CPU the equivalent scaling
+//! lever is key-space sharding (see `she::core::sharded`). This example
+//! ingests the same 8M-key trace serially and with crossbeam workers,
+//! compares wall-clock throughput, and verifies the sharded estimates
+//! agree with an exact oracle.
+
+use she::core::{ShardedBitmap, ShardedCountMin};
+use she::streams::{CaidaLike, KeyStream};
+use she::window::WindowTruth;
+use std::time::Instant;
+
+fn main() {
+    let window = 1u64 << 16;
+    let shards = 8;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let n = 8_000_000;
+    let keys = CaidaLike::new(400_000, 1.05, 3).take_vec(n);
+
+    // Serial ingestion (single shard, single thread).
+    let serial = ShardedBitmap::new(1, window, 64 << 10, 1);
+    let t0 = Instant::now();
+    for &k in &keys {
+        serial.insert(k);
+    }
+    let serial_mips = n as f64 / t0.elapsed().as_secs_f64() / 1e6;
+
+    // Parallel ingestion across shards.
+    let sharded = ShardedBitmap::new(shards, window, 64 << 10, 1);
+    let t0 = Instant::now();
+    sharded.0.ingest_parallel(&keys, threads);
+    let par_mips = n as f64 / t0.elapsed().as_secs_f64() / 1e6;
+
+    // Exact window cardinality for reference.
+    let mut truth = WindowTruth::new(window as usize);
+    for &k in &keys {
+        truth.insert(k);
+    }
+    let exact = truth.cardinality() as f64;
+    let est_serial = serial.estimate();
+    let est_sharded = sharded.estimate();
+
+    println!("threads available: {threads}, shards: {shards}");
+    println!("serial  ingest: {serial_mips:>7.1} Mips   estimate {est_serial:>10.0}");
+    println!("sharded ingest: {par_mips:>7.1} Mips   estimate {est_sharded:>10.0}");
+    println!("exact window cardinality:            {exact:>10.0}");
+    println!(
+        "errors: serial {:.2}%  sharded {:.2}%",
+        100.0 * (est_serial - exact).abs() / exact,
+        100.0 * (est_sharded - exact).abs() / exact
+    );
+
+    // Frequency side: sharded Count-Min answers match single-shard truth
+    // closely for heavy keys.
+    let cm = ShardedCountMin::new(shards, window, 4 << 20, 9);
+    cm.0.ingest_parallel(&keys, threads);
+    let mut shown = 0;
+    println!("\nheavy-key frequencies (sharded CM vs exact):");
+    for (key, count) in truth.iter_counts() {
+        if count > 500 {
+            println!("  key {key:#018x}: est {} true {count}", cm.query(key));
+            shown += 1;
+            if shown == 5 {
+                break;
+            }
+        }
+    }
+
+    assert!((est_sharded - exact).abs() / exact < 0.25, "sharded estimate off");
+}

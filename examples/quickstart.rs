@@ -1,0 +1,54 @@
+//! Quickstart: sliding-window membership in five lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a SHE Bloom filter over the last 100,000 items, streams a million
+//! keys through it, and shows that recent items are found while expired
+//! ones are not — with the memory footprint and the Eq. 2-derived α
+//! printed for reference.
+
+use she::core::SheBloomFilter;
+
+fn main() {
+    let window = 100_000u64;
+    let mut bf = SheBloomFilter::builder()
+        .window(window)
+        .memory_bytes(256 << 10) // 256 KB of bits: ~21 bits per window item
+        .hash_functions(8)
+        .seed(1)
+        .build();
+
+    println!(
+        "SHE-BF: window = {window} items, memory = {} KB, alpha = {:.2} (Eq. 2)",
+        bf.memory_bits() / 8 / 1024,
+        bf.engine().config().alpha()
+    );
+
+    // Stream one million distinct keys.
+    for key in 0..1_000_000u64 {
+        bf.insert(&key);
+    }
+
+    // The last `window` keys are all found — SHE-BF has no false negatives
+    // inside the window.
+    let in_window = (900_000..1_000_000u64).filter(|k| bf.contains(k)).count();
+    println!("in-window hits:   {in_window} / 100000 (expect all)");
+
+    // Keys long outside the relaxed window (1+α)·N have been cleaned away.
+    let stale = (0..100_000u64).filter(|k| bf.contains(k)).count();
+    println!("stale-key hits:   {stale} / 100000 (expect only hash-collision FPs)");
+
+    // Probe keys never inserted: the false-positive rate.
+    let fp = (2_000_000..2_100_000u64).filter(|k| bf.contains(k)).count();
+    println!("false positives:  {fp} / 100000 ({:.4}%)", fp as f64 / 1_000.0);
+
+    assert_eq!(in_window, 100_000, "no false negatives in the window");
+    // Expired keys are answered no better and no worse than keys never
+    // inserted: both hit only the hash-collision false-positive floor.
+    assert!(
+        (stale as f64) < 2.0 * (fp as f64).max(500.0),
+        "expired keys ({stale}) must look like never-inserted keys ({fp})"
+    );
+}

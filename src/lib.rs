@@ -1,0 +1,49 @@
+//! SHE — Sliding Hardware Estimator (ICPP 2022) reproduction facade.
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! * [`hash`] — hash primitives (BOBHash/lookup3 family);
+//! * [`sketch`] — the five fixed-window algorithms under the Common Sketch
+//!   Model (also the evaluation's "Ideal goal");
+//! * [`core`] — the SHE framework itself: grouped time-mark arrays,
+//!   circular/on-demand cleaning, the five SHE adapters, and the Section-5
+//!   analysis;
+//! * [`window`] — exact sliding-window substrates (ground truth,
+//!   exponential histograms);
+//! * [`baselines`] — every competitor of the evaluation (SWAMP, SHLL, CVS,
+//!   TSV, TOBF, TBF, ECM, straw-man MinHash);
+//! * [`streams`] — synthetic workload generators standing in for the
+//!   CAIDA / Campus / Webpage / IMC10 traces;
+//! * [`hwsim`] — the pipeline simulator standing in for the FPGA;
+//! * [`metrics`] — the experiment harness (FPR/RE/ARE/throughput).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use she::core::SheBloomFilter;
+//!
+//! // Track membership over the last 1,000 items with 8 KB of state.
+//! let window = 1_000;
+//! let mut bf = SheBloomFilter::builder()
+//!     .window(window)
+//!     .memory_bytes(8 << 10)
+//!     .hash_functions(8)
+//!     .seed(1)
+//!     .build();
+//!
+//! for t in 0..10_000u64 {
+//!     bf.insert(&t);
+//! }
+//! // Recent items are found; long-expired ones are not.
+//! assert!(bf.contains(&9_999u64));
+//! assert!(!bf.contains(&123u64));
+//! ```
+
+pub use she_baselines as baselines;
+pub use she_core as core;
+pub use she_hash as hash;
+pub use she_hwsim as hwsim;
+pub use she_metrics as metrics;
+pub use she_sketch as sketch;
+pub use she_streams as streams;
+pub use she_window as window;

@@ -1,0 +1,65 @@
+//! Integration tests for the hardware story: the simulated pipeline and
+//! the §2.3 constraints, checked end-to-end against `she-core` semantics.
+
+use she::hwsim::{ResourceReport, ShePipeline, SheVariant};
+
+/// The paper's exact FPGA configurations pass the full constraint audit on
+/// a long realistic stream — this is the mechanical core of Section 6.
+#[test]
+fn paper_configs_satisfy_constraints() {
+    for variant in [SheVariant::Bitmap, SheVariant::Bloom { k: 8 }] {
+        let mut p = ShePipeline::paper_config(variant);
+        let stats = p.run((0..300_000u64).map(she::hash::mix64));
+        assert_eq!(
+            stats.violations,
+            0,
+            "{variant:?} violated constraints: {:?}",
+            p.memory().violations()
+        );
+        // Fully pipelined: one item per cycle after fill.
+        assert_eq!(stats.cycles, stats.items + 3);
+    }
+}
+
+/// The simulated state matches the paper's inventory: a 1024-bit array per
+/// lane, one mark bit per 64-bit group, one 32-bit counter, zero block RAM.
+#[test]
+fn resource_inventory_matches_paper_structure() {
+    let bm = ResourceReport::for_pipeline(&ShePipeline::paper_config(SheVariant::Bitmap));
+    assert_eq!((bm.cell_bits, bm.mark_bits, bm.counter_bits), (1024, 16, 32));
+    let bf = ResourceReport::for_pipeline(&ShePipeline::paper_config(SheVariant::Bloom { k: 8 }));
+    assert_eq!((bf.cell_bits, bf.mark_bits), (8 * 1024, 8 * 16));
+    assert_eq!(bf.block_ram_bits, 0);
+    // Table 3 shape: SHE-BF clocks slightly lower, both > 200 MHz.
+    assert!(bf.clock_mhz < bm.clock_mhz);
+    assert!(bf.clock_mhz > 200.0 && bm.clock_mhz > 200.0);
+}
+
+/// The pipeline's sliding-window semantics agree with `she-core`'s
+/// SHE-BF: items inside the window are found, long-expired ones are not.
+#[test]
+fn pipeline_semantics_match_core() {
+    let window = 2_000u64;
+    let mut p = ShePipeline::new(SheVariant::Bloom { k: 4 }, 1 << 15, 64, window, 2 * window);
+    let keys: Vec<u64> = (0..10_000).map(she::hash::mix64).collect();
+    for &k in &keys {
+        p.insert(k);
+    }
+    let fn_count = keys.iter().rev().take(window as usize).filter(|&&k| !p.contains(k)).count();
+    assert_eq!(fn_count, 0, "pipeline produced false negatives in-window");
+    let stale: Vec<u64> = keys[..2_000].to_vec();
+    let stale_hits = stale.iter().filter(|&&k| p.contains(k)).count();
+    assert!(stale_hits < 600, "stale hits {stale_hits} / 2000");
+}
+
+/// The memory budget constraint triggers when a configuration would not
+/// fit the Virtex-7's SRAM.
+#[test]
+fn oversized_configuration_is_flagged() {
+    use she::hwsim::{AccessKind, MemorySystem};
+    let mut ms = MemorySystem::new(1 << 20); // 128 KB budget
+    let big = ms.register("huge_table", 2 << 20, 64);
+    assert!(!ms.violations().is_empty());
+    ms.begin_item();
+    ms.access(1, big, AccessKind::Read, 64);
+}

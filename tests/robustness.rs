@@ -1,0 +1,119 @@
+//! Robustness under adversarial workloads (the failure modes the
+//! `she_streams::adversarial` generators target).
+
+use she::core::{SheBitmap, SheBloomFilter, SheCountMin};
+use she::streams::{KeyStream, OnOffBurst, RepeatedKey, SlidingPhase};
+use she::window::WindowTruth;
+
+/// One key forever: frequency must saturate at the window size (never
+/// above), cardinality at ~1, and nothing panics as marks alias.
+#[test]
+fn repeated_key_stream() {
+    let window = 1u64 << 12;
+    let mut cm = SheCountMin::builder().window(window).memory_bytes(1 << 20).seed(1).build();
+    let mut bm = SheBitmap::builder().window(window).memory_bytes(8 << 10).seed(1).build();
+    let mut s = RepeatedKey::new(0xABCD);
+    for _ in 0..10 * window {
+        let k = s.next_key();
+        cm.insert(&k);
+        bm.insert(&k);
+    }
+    let f = cm.query(&0xABCDu64);
+    // Aged counters may hold up to (1+α)·N occurrences of the key.
+    let t_cycle = cm.engine().config().t_cycle;
+    assert!(f <= t_cycle, "frequency {f} above the cycle bound {t_cycle}");
+    assert!(f >= window, "frequency {f} below the window count {window}");
+    let c = bm.estimate();
+    assert!(c < 50.0, "cardinality {c} for a single-key stream");
+}
+
+/// Bursts separated by silence: items from a finished burst must expire
+/// even though the traffic between bursts is a single filler key.
+#[test]
+fn on_off_bursts_expire() {
+    // The window must cover one whole burst+gap period (1200 items) so the
+    // most recent completed burst is still inside it.
+    let window = 1u64 << 11;
+    let mut bf = SheBloomFilter::builder()
+        .window(window)
+        .memory_bytes(64 << 10)
+        .alpha(1.0)
+        .seed(2)
+        .build();
+    let mut gen = OnOffBurst::new(200, 1_000, 3);
+    let mut bursts: Vec<Vec<u64>> = vec![Vec::new()];
+    for _ in 0..30_000 {
+        let k = gen.next_key();
+        if k == 0x00F1_11E4 {
+            if !bursts.last().expect("non-empty").is_empty() {
+                bursts.push(Vec::new());
+            }
+        } else {
+            bursts.last_mut().expect("non-empty").push(k);
+        }
+        bf.insert(&k);
+    }
+    // The last completed burst is within the relaxed window... the most
+    // recent burst's keys are in-window and must be found.
+    let complete: Vec<&Vec<u64>> = bursts.iter().filter(|b| !b.is_empty()).collect();
+    let last = complete.last().expect("at least one burst");
+    let found = last.iter().filter(|&&k| bf.contains(&k)).count();
+    assert!(found * 10 >= last.len() * 9, "{found}/{} of the last burst found", last.len());
+    // Bursts from many cycles ago are gone (up to the collision floor).
+    let first = complete[0];
+    let stale = first.iter().filter(|&&k| bf.contains(&k)).count();
+    assert!(stale * 4 <= first.len(), "{stale}/{} of the first burst lingers", first.len());
+}
+
+/// Rotating key space: the cardinality estimate must track the moving
+/// truth at every checkpoint, not just in steady state.
+#[test]
+fn sliding_phase_tracks_moving_truth() {
+    let window = 1u64 << 12;
+    let mut bm = SheBitmap::builder().window(window).memory_bytes(16 << 10).seed(4).build();
+    let mut truth = WindowTruth::new(window as usize);
+    let mut gen = SlidingPhase::new(2_000, 8, 5);
+    let mut worst: f64 = 0.0;
+    for i in 0..12 * window {
+        let k = gen.next_key();
+        bm.insert(&k);
+        truth.insert(k);
+        if i > 3 * window && i % window == 0 {
+            let exact = truth.cardinality() as f64;
+            let est = bm.estimate();
+            worst = worst.max((est - exact).abs() / exact);
+        }
+    }
+    assert!(worst < 0.25, "worst checkpoint RE {worst}");
+}
+
+/// Clock jumps (enormous idle gaps) never panic and never resurrect
+/// expired items as long as the idle period is not an exact even multiple
+/// of the cycle (the documented §5.1 parity alias).
+#[test]
+fn giant_clock_jumps() {
+    let window = 1u64 << 10;
+    let mut bf = SheBloomFilter::builder()
+        .window(window)
+        .memory_bytes(32 << 10)
+        .alpha(1.0)
+        .seed(6)
+        .build();
+    for i in 0..window {
+        bf.insert(&i);
+    }
+    let t_cycle = bf.engine().config().t_cycle;
+    bf.advance_time(1_001 * t_cycle); // odd multiple: all marks flip
+    // Everything is cleaned; the only acceptable "hits" are the vacuous
+    // ones where all 8 hashed groups happen to be young (≈ (N/Tc)^8).
+    let survivors = (0..window).filter(|k| bf.contains(k)).count();
+    assert!(
+        survivors <= window as usize / 100,
+        "{survivors} items survived an odd-multiple idle gap"
+    );
+    // The structure keeps working normally afterwards.
+    for i in 0..window {
+        bf.insert(&(1_000_000 + i));
+    }
+    assert!(bf.contains(&1_000_000u64));
+}

@@ -1,0 +1,104 @@
+//! Time-based sliding windows (§3.1): the engine's logical clock can be
+//! driven by wall time instead of the item counter, covering the paper's
+//! time-based variant with *non-uniform* arrivals (the paper itself assumes
+//! uniform arrival and analyzes the count-based case; `advance_time` covers
+//! the gap).
+
+use she::core::{SheBloomFilter, SheCountMin};
+
+/// Items inserted in a burst expire together once the time window passes,
+/// regardless of how few items arrived since.
+#[test]
+fn burst_then_silence_expires_by_time() {
+    let window_units = 1_000u64; // time units, not items
+    let mut bf = SheBloomFilter::builder()
+        .window(window_units)
+        .memory_bytes(32 << 10)
+        .alpha(1.0)
+        .seed(1)
+        .build();
+
+    // Burst: 500 items within 500 time units (1 unit per arrival).
+    for i in 0..500u64 {
+        bf.insert(&i);
+    }
+    // All present while the window still covers the burst.
+    assert!((0..500u64).all(|ref k| bf.contains(k)));
+
+    // Slow phase: traffic drops to one arrival per two time units (the
+    // on-demand cleaning still needs *some* traffic to fire — a fully
+    // silent structure is the §5.1 failure mode, tested in engine.rs).
+    let t_cycle = bf.engine().config().t_cycle;
+    let steps = t_cycle + 300;
+    for step in 0..steps {
+        bf.advance_time(1);
+        bf.insert(&(1_000_000 + step));
+    }
+    let survivors = (0..500u64).filter(|k| bf.contains(k)).count();
+    assert!(survivors < 50, "{survivors} burst items survived past the time window");
+    // The slow phase's recent items are still present.
+    assert!(bf.contains(&(1_000_000 + steps - 1)));
+}
+
+/// Frequencies measured over a time window shrink when arrivals slow down,
+/// even without new occurrences of other keys flushing them out.
+#[test]
+fn frequency_decays_with_idle_time() {
+    let window_units = 2_000u64;
+    let mut cm = SheCountMin::builder()
+        .window(window_units)
+        .memory_bytes(1 << 20)
+        .alpha(1.0)
+        .seed(2)
+        .build();
+    for _ in 0..200 {
+        cm.insert(&7u64);
+        cm.advance_time(4); // 1 arrival per 5 time units
+    }
+    let while_active = cm.query(&7u64);
+    assert!(while_active >= 150, "active-phase estimate {while_active}");
+
+    // Idle long enough for every group to pass its cleaning deadline once.
+    let t_cycle = cm.engine().config().t_cycle;
+    cm.advance_time(t_cycle);
+    // Touch the structure with sparse unrelated traffic so queries observe
+    // the cleaned groups.
+    for i in 0..50u64 {
+        cm.insert(&(900_000 + i));
+        cm.advance_time(50);
+    }
+    let after_idle = cm.query(&7u64);
+    assert!(after_idle < while_active / 4, "estimate {after_idle} did not decay");
+}
+
+/// Uniform arrival makes time-based and count-based windows coincide — the
+/// paper's stated reduction (§5 intro).
+#[test]
+fn uniform_arrival_matches_count_based() {
+    let window = 4_096u64;
+    let mut count_based = SheBloomFilter::builder()
+        .window(window)
+        .memory_bytes(16 << 10)
+        .alpha(2.0)
+        .seed(3)
+        .build();
+    let mut time_based = SheBloomFilter::builder()
+        .window(window)
+        .memory_bytes(16 << 10)
+        .alpha(2.0)
+        .seed(3)
+        .build();
+    // Count-based: insert() ticks the clock. Time-based with 1 arrival per
+    // unit: identical sequence of (t, key).
+    for i in 0..20_000u64 {
+        count_based.insert(&i);
+        time_based.insert(&i);
+    }
+    for probe in (0..25_000u64).step_by(37) {
+        assert_eq!(
+            count_based.contains(&probe),
+            time_based.contains(&probe),
+            "divergence at {probe}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Empirical validation of §5.1 (Eq. 1): the expected number of groups
+//! that fail to be refreshed within one full cleaning cycle after their
+//! deadline matches `E = G · e^{-(1+α)·C·H / G}` under the real hash
+//! process (not just the balls-in-bins idealization the paper assumes).
+
+use she::core::{analysis, SheConfig};
+use she::sketch::{BloomSpec, CellUpdate, CsmSpec};
+
+/// Monte Carlo over the actual hashed-touch process: stream distinct keys
+/// for two cycles, record each group's touch times, and count groups that
+/// receive no touch within `(deadline, deadline + Tcycle]`.
+fn measure_unswept(g: usize, alpha: f64, h: usize, window: u64, trials: usize) -> f64 {
+    let w = 4usize; // cells per group
+    let m = g * w;
+    let cfg = SheConfig::builder().window(window).alpha(alpha).group_cells(w).build();
+    let t_cycle = cfg.t_cycle;
+    let mut total = 0usize;
+    let mut ups: Vec<CellUpdate> = Vec::new();
+    for trial in 0..trials {
+        let spec = BloomSpec::new(m, h, 7_000 + trial as u32);
+        // Deadline of group gid: its offset (first mark flip after t = 0).
+        let deadlines: Vec<u64> = (0..g)
+            .map(|gid| {
+                let ofs = ((t_cycle as u128 * gid as u128) / g as u128) as u64;
+                if ofs > 0 {
+                    ofs
+                } else {
+                    t_cycle
+                }
+            })
+            .collect();
+        let mut swept = vec![false; g];
+        for t in 1..=2 * t_cycle {
+            let key = she::hash::mix64(trial as u64 * 1_000_000_007 + t);
+            spec.updates(&key, &mut ups);
+            for u in &ups {
+                let gid = u.index / w;
+                if t > deadlines[gid] && t <= deadlines[gid] + t_cycle {
+                    swept[gid] = true;
+                }
+            }
+        }
+        total += swept.iter().filter(|&&s| !s).count();
+    }
+    total as f64 / trials as f64
+}
+
+#[test]
+fn unswept_count_tracks_equation_one() {
+    // Regime where misses are measurable: many groups, one hash,
+    // all-distinct traffic (C = N).
+    let window = 1u64 << 10;
+    let alpha = 0.5;
+    for g in [512usize, 1024, 2048] {
+        let measured = measure_unswept(g, alpha, 1, window, 8);
+        let expected = analysis::expected_unswept_groups(g, alpha, window, 1);
+        let tol = 0.35 * expected + 2.0;
+        assert!(
+            (measured - expected).abs() <= tol,
+            "G={g}: measured {measured:.2}, Eq.1 {expected:.2}"
+        );
+    }
+}
+
+#[test]
+fn more_hashes_eliminate_misses() {
+    // With H = 8 the per-cycle touch count is 8x: the paper's defaults
+    // make missed groups essentially impossible.
+    let measured = measure_unswept(1024, 0.5, 8, 1 << 10, 4);
+    let expected = analysis::expected_unswept_groups(1024, 0.5, 1 << 10, 8);
+    assert!(expected < 0.1, "Eq.1 predicts {expected}");
+    assert!(measured < 1.0, "measured {measured}");
+}
+
+#[test]
+fn miss_rate_grows_with_group_count() {
+    let window = 1u64 << 10;
+    let few = measure_unswept(256, 0.5, 1, window, 4);
+    let many = measure_unswept(4096, 0.5, 1, window, 4);
+    assert!(many > few, "few={few} many={many}");
+}
