@@ -8,9 +8,7 @@
 //! decay is also CVS's weakness — the paper (§2.2) notes the error induced
 //! by the randomness in picking counters to decrease.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use she_hash::HashFamily;
+use she_hash::{HashFamily, RandomSource, Xoshiro256};
 use she_sketch::{bitmap_mle, PackedArray};
 
 /// CVS: `m` counters with ceiling `c` emulating a window of `n` items.
@@ -19,7 +17,7 @@ pub struct CounterVectorSketch {
     counters: PackedArray,
     max_value: u64,
     family: HashFamily,
-    rng: StdRng,
+    rng: Xoshiro256,
     /// Decrements owed per insertion: `m · c / n` (may be fractional).
     decay_rate: f64,
     decay_debt: f64,
@@ -35,7 +33,7 @@ impl CounterVectorSketch {
             counters: PackedArray::new(m, bits.max(1)),
             max_value,
             family: HashFamily::new(1, seed as u32),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::new(seed),
             // A counter must receive `c` decrements over one window, so per
             // insertion the whole array owes m·c/n decrements.
             decay_rate: m as f64 * max_value as f64 / window as f64,
@@ -57,7 +55,7 @@ impl CounterVectorSketch {
         let m = self.counters.len();
         while self.decay_debt >= 1.0 {
             self.decay_debt -= 1.0;
-            let j = self.rng.gen_range(0..m);
+            let j = self.rng.next_below(m);
             let v = self.counters.get(j);
             if v > 0 {
                 self.counters.set(j, v - 1);

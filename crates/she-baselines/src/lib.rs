@@ -23,8 +23,8 @@ pub mod ecm;
 pub mod shll;
 pub mod strawman_mh;
 pub mod swamp;
-pub mod tinytable;
 pub mod tbf;
+pub mod tinytable;
 pub mod tobf;
 pub mod tsv;
 

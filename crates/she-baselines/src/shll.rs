@@ -76,11 +76,7 @@ impl SlidingHyperLogLog {
     /// (0 when empty).
     fn window_rank(&self, i: usize) -> u64 {
         let cutoff = self.now.saturating_sub(self.window);
-        self.registers[i]
-            .iter()
-            .find(|r| r.time > cutoff)
-            .map(|r| r.rank as u64)
-            .unwrap_or(0)
+        self.registers[i].iter().find(|r| r.time > cutoff).map(|r| r.rank as u64).unwrap_or(0)
     }
 
     /// Cardinality estimate over the sliding window (standard HLL

@@ -1,37 +1,43 @@
-//! Property tests for the baseline invariants.
+//! Property tests for the baseline invariants, as deterministic seeded
+//! loops over randomized cases (same invariants as the original
+//! `proptest` suite, reproducible from the fixed seeds).
 
-use proptest::prelude::*;
 use she_baselines::tinytable::TinyTable;
 use she_baselines::{Swamp, TimeOutBloomFilter, TimingBloomFilter};
+use she_hash::{RandomSource, Xoshiro256};
 
-proptest! {
-    /// SWAMP's counting table is always consistent with its queue: the
-    /// multiplicities sum to the number of held items, and membership of
-    /// every held key is positive.
-    #[test]
-    fn swamp_queue_table_consistency(
-        window in 1usize..50,
-        keys in prop::collection::vec(0u64..40, 1..300),
-    ) {
+/// SWAMP's counting table is always consistent with its queue: the
+/// multiplicities sum to the number of held items, and membership of
+/// every held key is positive.
+#[test]
+fn swamp_queue_table_consistency() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256::new(0x54A3 ^ case);
+        let window = 1 + rng.next_below(49);
+        let n = 1 + rng.next_below(299);
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_below(40) as u64).collect();
         let mut s = Swamp::new(window, 32, 1);
         for (i, &k) in keys.iter().enumerate() {
             s.insert(k);
-            prop_assert_eq!(s.len(), (i + 1).min(window));
+            assert_eq!(s.len(), (i + 1).min(window), "case {case}");
             // Every key in the current window must be reported a member.
             let lo = keys[..=i].len().saturating_sub(window);
             for &kk in &keys[lo..=i] {
-                prop_assert!(s.contains(kk));
+                assert!(s.contains(kk), "case {case}");
             }
         }
     }
+}
 
-    /// SWAMP frequency is exact (per fingerprint) with wide fingerprints:
-    /// at least the true window multiplicity.
-    #[test]
-    fn swamp_frequency_upper_bounds_truth(
-        window in 1usize..50,
-        keys in prop::collection::vec(0u64..20, 1..300),
-    ) {
+/// SWAMP frequency is exact (per fingerprint) with wide fingerprints:
+/// at least the true window multiplicity.
+#[test]
+fn swamp_frequency_upper_bounds_truth() {
+    for case in 0..48u64 {
+        let mut rng = Xoshiro256::new(0x5F8E ^ case);
+        let window = 1 + rng.next_below(49);
+        let n = 1 + rng.next_below(299);
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_below(20) as u64).collect();
         let mut s = Swamp::new(window, 32, 2);
         for &k in &keys {
             s.insert(k);
@@ -42,24 +48,27 @@ proptest! {
             *counts.entry(k).or_insert(0u32) += 1;
         }
         for (k, c) in counts {
-            prop_assert!(s.frequency(k) >= c);
+            assert!(s.frequency(k) >= c, "case {case}: key {k}");
         }
     }
+}
 
-    /// TinyTable behaves exactly like a HashMap multiset under any valid
-    /// interleaving of increments and decrements (decrements drawn from
-    /// live keys only).
-    #[test]
-    fn tinytable_matches_hashmap_model(
-        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..600),
-    ) {
+/// TinyTable behaves exactly like a HashMap multiset under any valid
+/// interleaving of increments and decrements (decrements drawn from
+/// live keys only).
+#[test]
+fn tinytable_matches_hashmap_model() {
+    for case in 0..32u64 {
+        let mut rng = Xoshiro256::new(0x717B ^ case);
+        let n_ops = 1 + rng.next_below(599);
         let mut table = TinyTable::new(128, 16);
         let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
-        for (fp, dec) in ops {
+        for _ in 0..n_ops {
+            let fp = rng.next_below(64) as u64;
+            let dec = rng.next_bool(0.5);
             if dec {
                 // Decrement some live key deterministically derived from fp.
                 if let Some((&k, _)) = model.iter().find(|(_, &c)| c > 0) {
-                    let _ = fp;
                     table.decrement(k);
                     let c = model.get_mut(&k).expect("live");
                     *c -= 1;
@@ -73,43 +82,49 @@ proptest! {
                 let fp = if fp == 0 { 1 } else { fp };
                 *model.entry(fp).or_insert(0) += 1;
             }
-            prop_assert_eq!(table.distinct(), model.len());
+            assert_eq!(table.distinct(), model.len(), "case {case}");
         }
         for (&k, &c) in &model {
-            prop_assert_eq!(table.count(k), c, "fp {}", k);
+            assert_eq!(table.count(k), c, "case {case}: fp {k}");
         }
     }
+}
 
-    /// TOBF never misses an in-window item, for any stream.
-    #[test]
-    fn tobf_no_false_negatives(
-        window in 1u64..100,
-        keys in prop::collection::vec(any::<u64>(), 1..300),
-    ) {
+/// TOBF never misses an in-window item, for any stream.
+#[test]
+fn tobf_no_false_negatives() {
+    for case in 0..48u64 {
+        let mut rng = Xoshiro256::new(0x70BF ^ case);
+        let window = rng.next_range(1, 100);
+        let n = 1 + rng.next_below(299);
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let mut f = TimeOutBloomFilter::new(1 << 10, 4, window, 3);
         for &k in &keys {
             f.insert(k);
         }
         let lo = keys.len().saturating_sub(window as usize);
         for &k in &keys[lo..] {
-            prop_assert!(f.contains(k));
+            assert!(f.contains(k), "case {case}");
         }
     }
+}
 
-    /// TBF never misses an in-window item, despite wraparound counters and
-    /// the incremental expiry sweep.
-    #[test]
-    fn tbf_no_false_negatives(
-        window in 8u64..100,
-        keys in prop::collection::vec(any::<u64>(), 1..500),
-    ) {
+/// TBF never misses an in-window item, despite wraparound counters and
+/// the incremental expiry sweep.
+#[test]
+fn tbf_no_false_negatives() {
+    for case in 0..48u64 {
+        let mut rng = Xoshiro256::new(0x7BF0 ^ case);
+        let window = rng.next_range(8, 100);
+        let n = 1 + rng.next_below(499);
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let mut f = TimingBloomFilter::new(512, 18, 4, window, 4);
         for &k in &keys {
             f.insert(k);
         }
         let lo = keys.len().saturating_sub(window as usize);
         for &k in &keys[lo..] {
-            prop_assert!(f.contains(k));
+            assert!(f.contains(k), "case {case}");
         }
     }
 }

@@ -6,7 +6,7 @@
 //!   the lazy group marks of §3.3;
 //! * α — cleaning-cycle length vs insertion cost (more mark flips).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use she_bench::harness::{black_box, Group};
 use she_core::{She, SheConfig, SoftClock};
 use she_sketch::BloomSpec;
 use she_streams::{CaidaLike, KeyStream};
@@ -14,65 +14,58 @@ use she_streams::{CaidaLike, KeyStream};
 const WINDOW: u64 = 1 << 14;
 const M_BITS: usize = 1 << 16;
 
-fn group_size_sweep(c: &mut Criterion) {
+fn group_size_sweep() {
     let keys = CaidaLike::default_trace(1).take_vec(20_000);
-    let mut g = c.benchmark_group("ablation_group_size");
-    g.sample_size(15);
+    let mut g = Group::new("ablation_group_size");
     for w in [1usize, 8, 64, 512, 4096] {
-        g.bench_function(format!("w{w}"), |b| {
-            let cfg = SheConfig::builder().window(WINDOW).alpha(0.5).group_cells(w).build();
-            let mut s = She::new(BloomSpec::new(M_BITS, 8, 1), cfg);
-            let mut i = 0usize;
-            b.iter(|| {
-                i = (i + 1) % keys.len();
-                s.insert(black_box(&keys[i]));
-            })
-        });
-    }
-    g.finish();
-}
-
-fn soft_vs_hw_cleaning(c: &mut Criterion) {
-    let keys = CaidaLike::default_trace(2).take_vec(20_000);
-    let cfg = SheConfig::builder().window(WINDOW).alpha(0.5).group_cells(64).build();
-    let mut g = c.benchmark_group("ablation_cleaning");
-    g.sample_size(15);
-    g.bench_function("hardware_marks", |b| {
+        let cfg = SheConfig::builder().window(WINDOW).alpha(0.5).group_cells(w).build();
         let mut s = She::new(BloomSpec::new(M_BITS, 8, 1), cfg);
         let mut i = 0usize;
-        b.iter(|| {
+        g.bench(&format!("w{w}"), || {
             i = (i + 1) % keys.len();
             s.insert(black_box(&keys[i]));
-        })
-    });
-    g.bench_function("software_sweep", |b| {
-        let mut s = SoftClock::new(BloomSpec::new(M_BITS, 8, 1), cfg);
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % keys.len();
-            s.insert(black_box(&keys[i]));
-        })
-    });
-    g.finish();
-}
-
-fn alpha_sweep(c: &mut Criterion) {
-    let keys = CaidaLike::default_trace(3).take_vec(20_000);
-    let mut g = c.benchmark_group("ablation_alpha");
-    g.sample_size(15);
-    for alpha in [0.1f64, 0.5, 1.0, 3.0] {
-        g.bench_function(format!("alpha{alpha}"), |b| {
-            let cfg = SheConfig::builder().window(WINDOW).alpha(alpha).group_cells(64).build();
-            let mut s = She::new(BloomSpec::new(M_BITS, 8, 1), cfg);
-            let mut i = 0usize;
-            b.iter(|| {
-                i = (i + 1) % keys.len();
-                s.insert(black_box(&keys[i]));
-            })
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, group_size_sweep, soft_vs_hw_cleaning, alpha_sweep);
-criterion_main!(benches);
+fn soft_vs_hw_cleaning() {
+    let keys = CaidaLike::default_trace(2).take_vec(20_000);
+    let cfg = SheConfig::builder().window(WINDOW).alpha(0.5).group_cells(64).build();
+    let mut g = Group::new("ablation_cleaning");
+    {
+        let mut s = She::new(BloomSpec::new(M_BITS, 8, 1), cfg);
+        let mut i = 0usize;
+        g.bench("hardware_marks", || {
+            i = (i + 1) % keys.len();
+            s.insert(black_box(&keys[i]));
+        });
+    }
+    {
+        let mut s = SoftClock::new(BloomSpec::new(M_BITS, 8, 1), cfg);
+        let mut i = 0usize;
+        g.bench("software_sweep", || {
+            i = (i + 1) % keys.len();
+            s.insert(black_box(&keys[i]));
+        });
+    }
+}
+
+fn alpha_sweep() {
+    let keys = CaidaLike::default_trace(3).take_vec(20_000);
+    let mut g = Group::new("ablation_alpha");
+    for alpha in [0.1f64, 0.5, 1.0, 3.0] {
+        let cfg = SheConfig::builder().window(WINDOW).alpha(alpha).group_cells(64).build();
+        let mut s = She::new(BloomSpec::new(M_BITS, 8, 1), cfg);
+        let mut i = 0usize;
+        g.bench(&format!("alpha{alpha}"), || {
+            i = (i + 1) % keys.len();
+            s.insert(black_box(&keys[i]));
+        });
+    }
+}
+
+fn main() {
+    group_size_sweep();
+    soft_vs_hw_cleaning();
+    alpha_sweep();
+}

@@ -1,98 +1,82 @@
-//! Criterion companion to Figs. 5–9: cost of the full
-//! feed-and-measure accuracy runs at CI scale. The numeric accuracy tables
-//! themselves come from the `fig*` binaries; here Criterion tracks that the
-//! experiment pipeline (workload generation → insertion → ground truth →
-//! checkpoint queries) stays fast enough to rerun on every change.
+//! Companion to Figs. 5–9: cost of the full feed-and-measure accuracy
+//! runs at CI scale. The numeric accuracy tables themselves come from the
+//! `fig*` binaries; here the harness tracks that the experiment pipeline
+//! (workload generation → insertion → ground truth → checkpoint queries)
+//! stays fast enough to rerun on every change.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use she_bench::harness::{black_box, Group};
 use she_metrics::*;
 use she_streams::{CaidaLike, DistinctStream, KeyStream, RelevantPair};
 
 const WINDOW: u64 = 1 << 12;
 
-fn fig9a_cardinality_run(c: &mut Criterion) {
+fn fig9a_cardinality_run() {
     let keys = CaidaLike::new(20_000, 1.05, 1).take_vec(WINDOW as usize * 6);
-    let mut g = c.benchmark_group("fig9a_run");
-    g.sample_size(10);
-    g.bench_function("she_bm_512B", |b| {
-        b.iter(|| {
-            let mut a = SheBmAdapter::sized(WINDOW, 512, 1);
-            black_box(cardinality_re(&mut a, &keys, WINDOW as usize, 2))
-        })
+    let mut g = Group::new("fig9a_run");
+    g.bench("she_bm_512B", || {
+        let mut a = SheBmAdapter::sized(WINDOW, 512, 1);
+        black_box(cardinality_re(&mut a, &keys, WINDOW as usize, 2));
     });
-    g.bench_function("swamp_512B", |b| {
-        b.iter(|| {
-            let mut a = SwampCard::sized(WINDOW, 512, 1);
-            black_box(cardinality_re(&mut a, &keys, WINDOW as usize, 2))
-        })
+    g.bench("swamp_512B", || {
+        let mut a = SwampCard::sized(WINDOW, 512, 1);
+        black_box(cardinality_re(&mut a, &keys, WINDOW as usize, 2));
     });
-    g.finish();
 }
 
-fn fig9d_membership_run(c: &mut Criterion) {
+fn fig9d_membership_run() {
     let keys = DistinctStream::new(2).take_vec(WINDOW as usize * 6);
     let guard = WINDOW as usize * 5;
-    let mut g = c.benchmark_group("fig9d_run");
-    g.sample_size(10);
-    g.bench_function("she_bf_8KB", |b| {
-        b.iter(|| {
-            let mut a = SheBfAdapter::sized(WINDOW, 8 << 10, 2);
-            black_box(membership_fpr(&mut a, &keys, guard, 2, 1_000))
-        })
+    let mut g = Group::new("fig9d_run");
+    g.bench("she_bf_8KB", || {
+        let mut a = SheBfAdapter::sized(WINDOW, 8 << 10, 2);
+        black_box(membership_fpr(&mut a, &keys, guard, 2, 1_000));
     });
-    g.bench_function("tbf_8KB", |b| {
-        b.iter(|| {
-            let mut a = TbfAdapter::sized(WINDOW, 8 << 10, 2);
-            black_box(membership_fpr(&mut a, &keys, guard, 2, 1_000))
-        })
+    g.bench("tbf_8KB", || {
+        let mut a = TbfAdapter::sized(WINDOW, 8 << 10, 2);
+        black_box(membership_fpr(&mut a, &keys, guard, 2, 1_000));
     });
-    g.finish();
 }
 
-fn fig9e_similarity_run(c: &mut Criterion) {
+fn fig9e_similarity_run() {
     let mut gen = RelevantPair::new(5_000, 0.6, 3);
     let pairs: Vec<(u64, u64)> = (0..WINDOW as usize * 5).map(|_| gen.next_pair()).collect();
-    let mut g = c.benchmark_group("fig9e_run");
-    g.sample_size(10);
-    g.bench_function("she_mh_2KB", |b| {
-        b.iter(|| {
-            let mut a = SheMhAdapter::sized(WINDOW, 2 << 10, 3);
-            black_box(similarity_re(&mut a, &pairs, WINDOW as usize, 2))
-        })
+    let mut g = Group::new("fig9e_run");
+    g.bench("she_mh_2KB", || {
+        let mut a = SheMhAdapter::sized(WINDOW, 2 << 10, 3);
+        black_box(similarity_re(&mut a, &pairs, WINDOW as usize, 2));
     });
-    g.finish();
 }
 
-fn query_paths(c: &mut Criterion) {
-    // Per-query latency of the five SHE adapters after a realistic load.
+fn query_paths() {
+    // Per-query latency of the SHE adapters after a realistic load.
     let keys = CaidaLike::new(20_000, 1.05, 4).take_vec(WINDOW as usize * 4);
-    let mut g = c.benchmark_group("she_query");
-    g.sample_size(30);
+    let mut g = Group::new("she_query");
 
     let mut bf = SheBfAdapter::sized(WINDOW, 8 << 10, 5);
     keys.iter().for_each(|&k| bf.insert(k));
     let mut i = 0u64;
-    g.bench_function("bf_contains", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(bf.query(she_hash::mix64(i)))
-        })
+    g.bench("bf_contains", || {
+        i = i.wrapping_add(1);
+        black_box(bf.query(she_hash::mix64(i)));
     });
 
     let mut bm = SheBmAdapter::sized(WINDOW, 8 << 10, 5);
     keys.iter().for_each(|&k| bm.insert(k));
-    g.bench_function("bm_estimate", |b| b.iter(|| black_box(bm.estimate())));
+    g.bench("bm_estimate", || {
+        black_box(bm.estimate());
+    });
 
     let mut cm = SheCmAdapter::sized(WINDOW, 256 << 10, 5);
     keys.iter().for_each(|&k| cm.insert(k));
-    g.bench_function("cm_query", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(cm.query(keys[(i as usize) % keys.len()]))
-        })
+    g.bench("cm_query", || {
+        i = i.wrapping_add(1);
+        black_box(cm.query(keys[(i as usize) % keys.len()]));
     });
-    g.finish();
 }
 
-criterion_group!(benches, fig9a_cardinality_run, fig9d_membership_run, fig9e_similarity_run, query_paths);
-criterion_main!(benches);
+fn main() {
+    fig9a_cardinality_run();
+    fig9d_membership_run();
+    fig9e_similarity_run();
+    query_paths();
+}

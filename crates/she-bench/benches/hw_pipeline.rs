@@ -1,41 +1,35 @@
-//! Criterion companion to Tables 2–3: simulated pipeline insertion cost and
-//! the audit overhead, for the paper's exact FPGA configuration.
+//! Companion to Tables 2–3: simulated pipeline insertion cost and the
+//! audit overhead, for the paper's exact FPGA configuration.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use she_bench::harness::{black_box, Group};
 use she_hwsim::{ShePipeline, SheVariant};
 
-fn pipeline_insert(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hw_pipeline");
-    g.sample_size(20);
+fn pipeline_insert() {
+    let mut g = Group::new("hw_pipeline");
     for (name, variant) in
         [("she_bm_1lane", SheVariant::Bitmap), ("she_bf_8lane", SheVariant::Bloom { k: 8 })]
     {
-        g.bench_function(name, |b| {
-            let mut p = ShePipeline::paper_config(variant);
-            let mut i = 0u64;
-            b.iter(|| {
-                i = i.wrapping_add(1);
-                p.insert(black_box(she_hash::mix64(i)));
-            })
+        let mut p = ShePipeline::paper_config(variant);
+        let mut i = 0u64;
+        g.bench(name, || {
+            i = i.wrapping_add(1);
+            p.insert(black_box(she_hash::mix64(i)));
         });
     }
-    g.finish();
 }
 
-fn pipeline_run_with_audit(c: &mut Criterion) {
+fn pipeline_run_with_audit() {
     let keys: Vec<u64> = (0..50_000u64).map(she_hash::mix64).collect();
-    let mut g = c.benchmark_group("hw_pipeline_run");
-    g.sample_size(10);
-    g.bench_function("bm_50k_items_audited", |b| {
-        b.iter(|| {
-            let mut p = ShePipeline::paper_config(SheVariant::Bitmap);
-            let stats = p.run(keys.iter().copied());
-            assert_eq!(stats.violations, 0);
-            black_box(stats)
-        })
+    let mut g = Group::new("hw_pipeline_run");
+    g.bench("bm_50k_items_audited", || {
+        let mut p = ShePipeline::paper_config(SheVariant::Bitmap);
+        let stats = p.run(keys.iter().copied());
+        assert_eq!(stats.violations, 0);
+        black_box(stats);
     });
-    g.finish();
 }
 
-criterion_group!(benches, pipeline_insert, pipeline_run_with_audit);
-criterion_main!(benches);
+fn main() {
+    pipeline_insert();
+    pipeline_run_with_audit();
+}

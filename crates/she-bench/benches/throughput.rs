@@ -1,11 +1,12 @@
-//! Criterion companion to Figs. 10–11: per-item insertion cost of every
-//! SHE algorithm, its fixed-window original, and the sliding baselines.
+//! Companion to Figs. 10–11: per-item insertion cost of every SHE
+//! algorithm, its fixed-window original, and the sliding baselines.
 //!
-//! Criterion reports ns/item; Mips = 1000 / (ns/item). The figure bins
-//! (`fig10_throughput`, `fig11_overhead`) print the Mips tables directly.
+//! Runs on the in-tree harness (see `she_bench::harness`), which reports
+//! ns/item; Mips = 1000 / (ns/item). The figure bins (`fig10_throughput`,
+//! `fig11_overhead`) print the Mips tables directly.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use she_baselines::{CounterVectorSketch, SlidingHyperLogLog, Swamp, TimestampVector};
+use she_bench::harness::{black_box, Group};
 use she_core::{SheBitmap, SheBloomFilter, SheCountMin, SheHyperLogLog, SheMinHash};
 use she_sketch::{Bitmap, BloomFilter, CountMin, HyperLogLog, MinHash};
 use she_streams::{CaidaLike, KeyStream};
@@ -18,102 +19,101 @@ fn keys(n: usize) -> Vec<u64> {
 }
 
 fn bench_insert<T>(
-    c: &mut Criterion,
-    group: &str,
+    g: &mut Group,
     name: &str,
-    mut make: impl FnMut() -> T,
+    make: impl Fn() -> T,
     mut insert: impl FnMut(&mut T, u64),
 ) {
     let ks = keys(10_000);
-    let mut g = c.benchmark_group(group);
-    g.sample_size(20);
-    g.bench_function(name, |b| {
-        b.iter_batched_ref(
-            &mut make,
-            |s| {
-                for &k in &ks {
-                    insert(s, black_box(k));
-                }
-            },
-            BatchSize::LargeInput,
-        )
+    let mut s = make();
+    let mut i = 0usize;
+    g.bench(name, || {
+        i += 1;
+        if i == ks.len() {
+            // Rebuild periodically so the structure never ages past the
+            // regime the figure measures (fresh-window insertion cost).
+            i = 0;
+            s = make();
+        }
+        insert(&mut s, black_box(ks[i]));
     });
-    g.finish();
 }
 
-fn fig10a_hll(c: &mut Criterion) {
-    bench_insert(c, "fig10a_hll", "ideal_hll", || HyperLogLog::with_memory(MEM, 1), |s, k| s.insert(&k));
+fn fig10a_hll() {
+    let mut g = Group::new("fig10a_hll");
+    bench_insert(&mut g, "ideal_hll", || HyperLogLog::with_memory(MEM, 1), |s, k| s.insert(&k));
     bench_insert(
-        c,
-        "fig10a_hll",
+        &mut g,
         "she_hll",
         || SheHyperLogLog::builder().window(WINDOW).memory_bytes(MEM).build(),
         |s, k| s.insert(&k),
     );
     bench_insert(
-        c,
-        "fig10a_hll",
+        &mut g,
         "shll",
         || SlidingHyperLogLog::new(MEM * 8 / (3 * 69), WINDOW, 1),
         |s, k| s.insert(k),
     );
 }
 
-fn fig10b_bitmap(c: &mut Criterion) {
-    bench_insert(c, "fig10b_bitmap", "ideal_bitmap", || Bitmap::with_memory(MEM, 2), |s, k| s.insert(&k));
+fn fig10b_bitmap() {
+    let mut g = Group::new("fig10b_bitmap");
+    bench_insert(&mut g, "ideal_bitmap", || Bitmap::with_memory(MEM, 2), |s, k| s.insert(&k));
     bench_insert(
-        c,
-        "fig10b_bitmap",
+        &mut g,
         "she_bm",
         || SheBitmap::builder().window(WINDOW).memory_bytes(MEM).build(),
         |s, k| s.insert(&k),
     );
     bench_insert(
-        c,
-        "fig10b_bitmap",
+        &mut g,
         "cvs",
         || CounterVectorSketch::with_memory(MEM, 10, WINDOW, 2),
         |s, k| s.insert(k),
     );
 }
 
-fn fig11_overhead(c: &mut Criterion) {
-    bench_insert(c, "fig11_bf", "ideal_bf", || BloomFilter::with_memory(MEM, 8, 3), |s, k| s.insert(&k));
+fn fig11_overhead() {
+    let mut g = Group::new("fig11_bf");
+    bench_insert(&mut g, "ideal_bf", || BloomFilter::with_memory(MEM, 8, 3), |s, k| s.insert(&k));
     bench_insert(
-        c,
-        "fig11_bf",
+        &mut g,
         "she_bf",
         || SheBloomFilter::builder().window(WINDOW).memory_bytes(MEM).build(),
         |s, k| s.insert(&k),
     );
-    bench_insert(c, "fig11_cm", "ideal_cm", || CountMin::with_memory(MEM * 8, 8, 4), |s, k| s.insert(&k));
+    let mut g = Group::new("fig11_cm");
+    bench_insert(&mut g, "ideal_cm", || CountMin::with_memory(MEM * 8, 8, 4), |s, k| s.insert(&k));
     bench_insert(
-        c,
-        "fig11_cm",
+        &mut g,
         "she_cm",
         || SheCountMin::builder().window(WINDOW).memory_bytes(MEM * 8).build(),
         |s, k| s.insert(&k),
     );
-    bench_insert(c, "fig11_mh", "ideal_mh", || MinHash::new(128, 5), |s, k| s.insert(&k));
+    let mut g = Group::new("fig11_mh");
+    bench_insert(&mut g, "ideal_mh", || MinHash::new(128, 5), |s, k| s.insert(&k));
     bench_insert(
-        c,
-        "fig11_mh",
+        &mut g,
         "she_mh",
         || SheMinHash::builder().window(WINDOW).num_hashes(128).build(),
         |s, k| s.insert(&k),
     );
 }
 
-fn baseline_cost(c: &mut Criterion) {
-    bench_insert(c, "baseline_insert", "swamp", || Swamp::new(WINDOW as usize, 16, 6), |s, k| s.insert(k));
+fn baseline_cost() {
+    let mut g = Group::new("baseline_insert");
+    bench_insert(&mut g, "swamp", || Swamp::new(WINDOW as usize, 16, 6), |s, k| s.insert(k));
     bench_insert(
-        c,
-        "baseline_insert",
+        &mut g,
         "tsv",
         || TimestampVector::with_memory(MEM, WINDOW, 6),
         |s, k| s.insert(k),
     );
 }
 
-criterion_group!(benches, fig10a_hll, fig10b_bitmap, fig11_overhead, baseline_cost);
-criterion_main!(benches);
+fn main() {
+    fig10a_hll();
+    fig10b_bitmap();
+    fig11_overhead();
+    baseline_cost();
+}

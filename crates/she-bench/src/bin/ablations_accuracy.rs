@@ -79,11 +79,7 @@ fn main() {
 
     header("Ablation C", "on-demand (hw) vs continuous (soft) cleaning, SHE-BF");
     {
-        let cfg = she_core::SheConfig::builder()
-            .window(w)
-            .alpha(3.0)
-            .group_cells(64)
-            .build();
+        let cfg = she_core::SheConfig::builder().window(w).alpha(3.0).group_cells(64).build();
         let mut hw = Bf(SheBloomFilter::builder()
             .window(w)
             .memory_bytes(bytes)
@@ -92,10 +88,7 @@ fn main() {
             .seed(3)
             .build());
         let r_hw = membership_fpr(&mut hw, &distinct, guard, 3, 4_000);
-        let mut soft = SoftBf(SoftClock::new(
-            she_sketch::BloomSpec::new(bytes * 8, 8, 3),
-            cfg,
-        ));
+        let mut soft = SoftBf(SoftClock::new(she_sketch::BloomSpec::new(bytes * 8, 8, 3), cfg));
         let r_soft = membership_fpr(&mut soft, &distinct, guard, 3, 4_000);
         println!("hardware marks: fpr={:.6}", r_hw.value);
         println!("software sweep: fpr={:.6}", r_soft.value);

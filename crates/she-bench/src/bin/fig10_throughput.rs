@@ -11,7 +11,7 @@ use she_bench::{header, window};
 use she_core::{SheBitmap, SheHyperLogLog};
 use she_metrics::throughput_mips;
 use she_sketch::{Bitmap, HyperLogLog};
-use she_streams::{CampusLike, CaidaLike, KeyStream, WebpageLike};
+use she_streams::{CaidaLike, CampusLike, KeyStream, WebpageLike};
 
 fn datasets(n: usize) -> Vec<(&'static str, Vec<u64>)> {
     vec![

@@ -64,7 +64,9 @@ fn main() {
         let opt = analysis::optimal_alpha_bf(bytes * 8, k, w as usize);
         let fpr_opt = fpr_absent(opt, k, bytes, 5_000);
         let fpr_fixed = fpr_absent(1.0, k, bytes, 5_000);
-        println!("k={k:2}  optimal_alpha={opt:.2}  fpr(opt)={fpr_opt:.6}  fpr(alpha=1)={fpr_fixed:.6}");
+        println!(
+            "k={k:2}  optimal_alpha={opt:.2}  fpr(opt)={fpr_opt:.6}  fpr(alpha=1)={fpr_fixed:.6}"
+        );
     }
 }
 

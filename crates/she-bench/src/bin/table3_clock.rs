@@ -9,8 +9,7 @@ use she_hwsim::{clock_frequency_mhz, throughput_mips, ShePipeline, SheVariant};
 
 fn main() {
     println!("=== Table 3: clock frequency (modeled) ===");
-    for (variant, paper_mhz) in
-        [(SheVariant::Bitmap, 544.07), (SheVariant::Bloom { k: 8 }, 468.82)]
+    for (variant, paper_mhz) in [(SheVariant::Bitmap, 544.07), (SheVariant::Bloom { k: 8 }, 468.82)]
     {
         let mut p = ShePipeline::paper_config(variant);
         let stats = p.run((0..500_000u64).map(she_hash::mix64));

@@ -1,0 +1,80 @@
+//! Minimal timing harness standing in for Criterion, so `cargo bench`
+//! works fully offline with no external crates.
+//!
+//! Each bench target is a plain `main()` (`harness = false`) that builds
+//! [`Group`]s and calls [`Group::bench`] with a closure per measured
+//! operation. The harness self-calibrates the batch size, takes the median
+//! of several timed passes, and prints ns/op plus Mops/s — the same
+//! shape the figure binaries report, so numbers are directly comparable.
+//!
+//! Knobs (environment variables):
+//! * `SHE_BENCH_MS` — target wall time per measured pass (default 60 ms);
+//! * `SHE_BENCH_PASSES` — timed passes per benchmark (default 5).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A named group of benchmarks (mirrors Criterion's `benchmark_group`).
+pub struct Group {
+    measure: Duration,
+    passes: usize,
+}
+
+impl Group {
+    /// Start a group; prints the header immediately.
+    pub fn new(name: &str) -> Self {
+        let ms = std::env::var("SHE_BENCH_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(60u64);
+        let passes =
+            std::env::var("SHE_BENCH_PASSES").ok().and_then(|s| s.parse().ok()).unwrap_or(5usize);
+        println!("## {name}");
+        Self { measure: Duration::from_millis(ms.max(1)), passes: passes.max(1) }
+    }
+
+    /// Measure `f` (one operation per call) and print one result line.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        // Calibrate: double the batch until one batch takes >= measure/4.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            if t.elapsed() >= self.measure / 4 || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Timed passes; report the median ns/op.
+        let mut per_op: Vec<f64> = (0..self.passes)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    f();
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_op.sort_by(|a, b| a.total_cmp(b));
+        let ns = per_op[per_op.len() / 2];
+        let mops = 1e3 / ns;
+        println!("  {name:<28} {ns:>10.1} ns/op {mops:>9.2} Mops/s  (batch {batch})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("SHE_BENCH_MS", "2");
+        std::env::set_var("SHE_BENCH_PASSES", "2");
+        let mut g = Group::new("smoke");
+        let mut acc = 0u64;
+        g.bench("wrapping_add", || {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(acc > 0);
+    }
+}

@@ -9,6 +9,8 @@
 
 use she_streams::{CaidaLike, KeyStream, RelevantPair};
 
+pub mod harness;
+
 /// Scale factor from the `SHE_SCALE` env var (default 1).
 pub fn scale() -> usize {
     std::env::var("SHE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1).max(1)

@@ -26,18 +26,13 @@ impl Args {
     /// Parse `tokens` (without the binary name).
     pub fn parse(tokens: &[String]) -> Result<Self, ArgError> {
         let mut it = tokens.iter();
-        let command = it
-            .next()
-            .ok_or_else(|| ArgError("missing subcommand".into()))?
-            .clone();
+        let command = it.next().ok_or_else(|| ArgError("missing subcommand".into()))?.clone();
         let mut flags = HashMap::new();
         while let Some(tok) = it.next() {
             let key = tok
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("expected --flag, got '{tok}'")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+            let value = it.next().ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
             flags.insert(key.to_string(), value.clone());
         }
         Ok(Self { command, flags })

@@ -8,6 +8,8 @@
 //! she similarity  [--window N] [--memory BYTES] [--overlap F] [--items N]
 //! she pipeline    [--variant bm|bf|cm|hll] [--items N]
 //! she analyze     [--window N] [--memory BYTES] [--hashes K] [--cardinality C]
+//! she serve       [--addr HOST:PORT] [--shards N] [--window N] [--memory BYTES] [--queue N]
+//! she loadgen     [--addr HOST:PORT] [--items N] [--queries N] [--verify yes ...]
 //! ```
 //!
 //! Sizes accept `k`/`m`/`g` suffixes. Every run prints the estimate, the

@@ -4,7 +4,7 @@ use crate::args::{ArgError, Args};
 use she_core::analysis;
 use she_hwsim::{ResourceReport, ShePipeline, SheVariant};
 use she_metrics::*;
-use she_streams::{CampusLike, CaidaLike, DistinctStream, KeyStream, RelevantPair, WebpageLike};
+use she_streams::{CaidaLike, CampusLike, DistinctStream, KeyStream, RelevantPair, WebpageLike};
 
 /// Help text.
 pub const USAGE: &str = "\
@@ -25,6 +25,15 @@ COMMANDS
                --variant bm|bf|cm|hll --items N
   analyze      closed-form parameter guidance (Eqs. 1-5)
                --window N --memory BYTES --hashes K --cardinality C
+  serve        run the TCP stream-mining server (docs/PROTOCOL.md)
+               --addr HOST:PORT --shards N --window N --memory BYTES --seed N
+               --queue N
+  loadgen      drive a running server with a Zipf workload
+               --addr HOST:PORT --items N --batch N --queries N --open RATE
+               --universe N --skew F --seed N --verify yes (+ --shards/
+               --window/--memory/--engine-seed matching the server)
+  shutdown     ask a running server to drain and stop
+               --addr HOST:PORT
 
 Sizes accept k/m/g suffixes: --memory 64k, --items 2m.
 Streams: caida (default), distinct, campus, webpage.
@@ -49,6 +58,9 @@ pub fn dispatch(a: &Args) -> Result<(), ArgError> {
         "similarity" => similarity(a),
         "pipeline" => pipeline(a),
         "analyze" => analyze(a),
+        "serve" => serve(a),
+        "loadgen" => loadgen(a),
+        "shutdown" => shutdown(a),
         other => Err(ArgError(format!("unknown command '{other}' (see `she help`)"))),
     }
 }
@@ -150,7 +162,10 @@ fn pipeline(a: &Args) -> Result<(), ArgError> {
     let mut p = ShePipeline::paper_config(variant);
     let stats = p.run((0..items).map(she_hash::mix64));
     let report = ResourceReport::for_pipeline(&p);
-    println!("{variant:?} pipeline: {} items, {} cycles, {} stages", stats.items, stats.cycles, stats.stages);
+    println!(
+        "{variant:?} pipeline: {} items, {} cycles, {} stages",
+        stats.items, stats.cycles, stats.stages
+    );
     println!("  items/cycle = {:.4}", stats.items as f64 / stats.cycles as f64);
     println!("  constraint violations: {}", stats.violations);
     for v in p.memory().violations() {
@@ -162,6 +177,98 @@ fn pipeline(a: &Args) -> Result<(), ArgError> {
         report.clock_mhz,
         report.throughput_mips
     );
+    Ok(())
+}
+
+fn engine_config(a: &Args, seed_flag: &str) -> Result<she_server::EngineConfig, ArgError> {
+    Ok(she_server::EngineConfig {
+        window: a.get_u64("window", 1 << 16)?,
+        shards: a.get_u64("shards", 4)? as usize,
+        memory_bytes: a.get_u64("memory", 64 << 10)? as usize,
+        seed: a.get_u64(seed_flag, 1)? as u32,
+    })
+}
+
+fn serve(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["addr", "shards", "window", "memory", "seed", "queue"])?;
+    let cfg = she_server::ServerConfig {
+        addr: a.get("addr", "127.0.0.1:7487"),
+        engine: engine_config(a, "seed")?,
+        queue_capacity: a.get_u64("queue", 256)? as usize,
+        ..Default::default()
+    };
+    let e = cfg.engine;
+    let server = she_server::Server::start(cfg).map_err(|err| ArgError(err.to_string()))?;
+    println!(
+        "she-server listening on {} — {} shards, window {} ({} per shard), {}B per structure",
+        server.local_addr(),
+        e.shards,
+        e.window,
+        e.window / e.shards as u64,
+        e.memory_bytes,
+    );
+    println!("(stop with the wire SHUTDOWN request, e.g. via `she loadgen` or she-server::Client)");
+    let stats = server.wait();
+    println!("she-server drained; final per-shard stats:");
+    for (i, s) in stats.iter().enumerate() {
+        println!(
+            "  shard {i}: inserts={} queries={} memory={} bits",
+            s.inserts, s.queries, s.memory_bits
+        );
+    }
+    Ok(())
+}
+
+fn loadgen(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&[
+        "addr",
+        "items",
+        "batch",
+        "queries",
+        "open",
+        "universe",
+        "skew",
+        "seed",
+        "sim-every",
+        "verify",
+        "shards",
+        "window",
+        "memory",
+        "engine-seed",
+    ])?;
+    let verify = a.get("verify", "no");
+    let cfg = she_server::LoadgenConfig {
+        addr: a.get("addr", "127.0.0.1:7487"),
+        items: a.get_u64("items", 1 << 20)?,
+        batch: a.get_u64("batch", 512)? as usize,
+        queries: a.get_u64("queries", 10_000)?,
+        mode: match a.get_f64("open", -1.0).ok().filter(|&r| r > 0.0) {
+            Some(rate) => she_server::Mode::Open { items_per_sec: rate },
+            None => she_server::Mode::Closed,
+        },
+        universe: a.get_u64("universe", 100_000)? as usize,
+        skew: a.get_f64("skew", 1.05)?,
+        seed: a.get_u64("seed", 1)?,
+        sim_every: a.get_u64("sim-every", 8)?,
+        verify: match verify.as_str() {
+            "yes" | "true" | "1" => Some(engine_config(a, "engine-seed")?),
+            _ => None,
+        },
+    };
+    let summary = she_server::loadgen::run(&cfg).map_err(|err| ArgError(err.to_string()))?;
+    summary.print();
+    if summary.mismatches > 0 {
+        return Err(ArgError(format!("verification failed: {} mismatches", summary.mismatches)));
+    }
+    Ok(())
+}
+
+fn shutdown(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["addr"])?;
+    let addr = a.get("addr", "127.0.0.1:7487");
+    let mut client = she_server::Client::connect(&addr).map_err(|err| ArgError(err.to_string()))?;
+    client.shutdown().map_err(|err| ArgError(err.to_string()))?;
+    println!("server at {addr} acknowledged shutdown");
     Ok(())
 }
 
@@ -187,20 +294,24 @@ mod tests {
 
     #[test]
     fn membership_smoke() {
-        dispatch(&args("membership --window 512 --memory 8k --items 4096 --probes 200")).expect("runs");
+        dispatch(&args("membership --window 512 --memory 8k --items 4096 --probes 200"))
+            .expect("runs");
     }
 
     #[test]
     fn cardinality_smoke_both_algos() {
         dispatch(&args("cardinality --algo bm --window 512 --memory 1k --items 4096")).expect("bm");
-        dispatch(&args("cardinality --algo hll --window 512 --memory 1k --items 4096")).expect("hll");
+        dispatch(&args("cardinality --algo hll --window 512 --memory 1k --items 4096"))
+            .expect("hll");
         assert!(dispatch(&args("cardinality --algo nope")).is_err());
     }
 
     #[test]
     fn frequency_and_similarity_smoke() {
-        dispatch(&args("frequency --window 512 --memory 64k --items 4096 --sample 50")).expect("freq");
-        dispatch(&args("similarity --window 512 --memory 2k --items 4096 --overlap 0.6")).expect("sim");
+        dispatch(&args("frequency --window 512 --memory 64k --items 4096 --sample 50"))
+            .expect("freq");
+        dispatch(&args("similarity --window 512 --memory 2k --items 4096 --overlap 0.6"))
+            .expect("sim");
     }
 
     #[test]
@@ -220,6 +331,18 @@ mod tests {
     fn bad_stream_rejected() {
         assert!(dispatch(&args("membership --stream nope --items 4096 --window 512")).is_err());
     }
+
+    #[test]
+    fn serve_and_loadgen_reject_unknown_flags() {
+        assert!(dispatch(&args("serve --bogus 1")).is_err());
+        assert!(dispatch(&args("loadgen --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn loadgen_reports_unreachable_server() {
+        // Reserved port 1 on localhost refuses connections immediately.
+        assert!(dispatch(&args("loadgen --addr 127.0.0.1:1 --items 10 --queries 0")).is_err());
+    }
 }
 
 fn analyze(a: &Args) -> Result<(), ArgError> {
@@ -234,10 +357,7 @@ fn analyze(a: &Args) -> Result<(), ArgError> {
     let alpha = analysis::optimal_alpha_bf(m_bits, k, c as usize);
     println!("inputs: window={window}, memory={memory}B ({m_bits} bits), H={k}, C={c}");
     println!("Eq.2  optimal alpha for SHE-BF: {alpha:.3}  (Q = {q:.4})");
-    println!(
-        "      predicted FPR at the optimum: {:.6}",
-        analysis::she_bf_fpr(q, alpha + 1.0, k)
-    );
+    println!("      predicted FPR at the optimum: {:.6}", analysis::she_bf_fpr(q, alpha + 1.0, k));
     let g = analysis::max_group_count(0.01, alpha, c, k);
     println!("Eq.1  max groups for <=0.01 expected unswept groups/cycle: {g}");
     println!(

@@ -180,8 +180,12 @@ mod tests {
 
     #[test]
     fn error_bounds_scale_with_alpha() {
-        assert!(she_bm_error_bound(0.4, 1 << 16, 1 << 16) > she_bm_error_bound(0.2, 1 << 16, 1 << 16));
-        assert!(she_hll_error_bound(0.2, 1 << 16, 1 << 16) >= she_bm_error_bound(0.2, 1 << 16, 1 << 16));
+        assert!(
+            she_bm_error_bound(0.4, 1 << 16, 1 << 16) > she_bm_error_bound(0.2, 1 << 16, 1 << 16)
+        );
+        assert!(
+            she_hll_error_bound(0.2, 1 << 16, 1 << 16) >= she_bm_error_bound(0.2, 1 << 16, 1 << 16)
+        );
         assert!(she_mh_error_bound(0.4, 1000, 4000) > she_mh_error_bound(0.2, 1000, 4000));
     }
 

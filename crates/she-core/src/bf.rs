@@ -169,12 +169,7 @@ mod tests {
     use super::*;
 
     fn filter(window: u64, kb: usize, alpha: f64) -> SheBloomFilter {
-        SheBloomFilter::builder()
-            .window(window)
-            .memory_bytes(kb << 10)
-            .alpha(alpha)
-            .seed(3)
-            .build()
+        SheBloomFilter::builder().window(window).memory_bytes(kb << 10).alpha(alpha).seed(3).build()
     }
 
     #[test]

@@ -269,11 +269,7 @@ mod tests {
     #[test]
     fn estimates_window_cardinality() {
         let window = 1u64 << 14;
-        let mut bm = SheBitmap::builder()
-            .window(window)
-            .memory_bytes(16 << 10)
-            .seed(5)
-            .build();
+        let mut bm = SheBitmap::builder().window(window).memory_bytes(16 << 10).seed(5).build();
         // Stream of distinct items: window cardinality = window size.
         for i in 0..6 * window {
             bm.insert(&i);
@@ -329,12 +325,8 @@ mod tests {
     #[test]
     fn cardinality_curve_is_roughly_linear_for_distinct_stream() {
         let window = 1u64 << 13;
-        let mut bm = SheBitmap::builder()
-            .window(window)
-            .memory_bytes(32 << 10)
-            .alpha(0.5)
-            .seed(10)
-            .build();
+        let mut bm =
+            SheBitmap::builder().window(window).memory_bytes(32 << 10).alpha(0.5).seed(10).build();
         for i in 0..6 * window {
             bm.insert(&i);
         }

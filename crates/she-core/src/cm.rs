@@ -220,11 +220,7 @@ mod tests {
     #[test]
     fn counts_in_window_frequencies() {
         let window = 1u64 << 14;
-        let mut cm = SheCountMin::builder()
-            .window(window)
-            .memory_bytes(1 << 20)
-            .seed(4)
-            .build();
+        let mut cm = SheCountMin::builder().window(window).memory_bytes(1 << 20).seed(4).build();
         // Steady stream where key `i % 1024` recurs every 1024 items: each
         // key appears window/1024 = 16 times per window.
         for i in 0..4 * window {

@@ -41,11 +41,7 @@ impl SheConfig {
             self.window
         );
         assert!(self.group_cells >= 1, "groups must hold at least one cell");
-        assert!(
-            self.beta > 0.0 && self.beta <= 1.0,
-            "beta must be in (0, 1], got {}",
-            self.beta
-        );
+        assert!(self.beta > 0.0 && self.beta <= 1.0, "beta must be in (0, 1], got {}", self.beta);
     }
 }
 

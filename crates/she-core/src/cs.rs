@@ -220,11 +220,8 @@ mod tests {
     #[test]
     fn estimates_can_be_negative_on_crowding() {
         // Two-sided error is preserved through the SHE wrapper.
-        let mut cs = SheCountSketch::builder()
-            .window(1 << 10)
-            .memory_bytes(256)
-            .group_cells(8)
-            .build();
+        let mut cs =
+            SheCountSketch::builder().window(1 << 10).memory_bytes(256).group_cells(8).build();
         for i in 0..20_000u64 {
             cs.insert(&i);
         }

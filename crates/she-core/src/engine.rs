@@ -57,6 +57,20 @@ pub struct She<S: CsmSpec> {
     scratch: Vec<CellUpdate>,
 }
 
+/// A counter snapshot of one engine, cheap to take and `Copy` — the unit
+/// a serving layer (`she-server`) reports per shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Logical time (items inserted so far).
+    pub now: u64,
+    /// Configured window length.
+    pub window: u64,
+    /// Number of time-mark groups `G`.
+    pub num_groups: usize,
+    /// Total footprint in bits (cells + marks + counter).
+    pub memory_bits: usize,
+}
+
 /// Per-group pipeline state packed into one word: the stored time mark
 /// (what the hardware keeps in its mark memory), a lazily-maintained cache
 /// of the *current* mark (which the FPGA computes combinationally each
@@ -75,7 +89,11 @@ impl GroupMeta {
     #[inline]
     fn new(next_flip: u64, stored_mark: bool, cur_mark: bool) -> Self {
         debug_assert!(next_flip <= FLIP_MASK, "clock exceeds 2^62");
-        Self(next_flip | if stored_mark { STORED_BIT } else { 0 } | if cur_mark { CUR_BIT } else { 0 })
+        Self(
+            next_flip
+                | if stored_mark { STORED_BIT } else { 0 }
+                | if cur_mark { CUR_BIT } else { 0 },
+        )
     }
     #[inline]
     fn next_flip(self) -> u64 {
@@ -106,9 +124,8 @@ impl<S: CsmSpec> She<S> {
             cfg.group_cells
         );
         let g = m.div_ceil(cfg.group_cells);
-        let neg_offsets: Vec<u64> = (0..g)
-            .map(|gid| ((cfg.t_cycle as u128 * gid as u128) / g as u128) as u64)
-            .collect();
+        let neg_offsets: Vec<u64> =
+            (0..g).map(|gid| ((cfg.t_cycle as u128 * gid as u128) / g as u128) as u64).collect();
         let cells = PackedArray::new(m, spec.cell_bits());
         // Stored marks start equal to the current marks at t = 0 so that the
         // zeroed cells are not spuriously "due" for cleaning. Each group's
@@ -166,6 +183,16 @@ impl<S: CsmSpec> She<S> {
     /// 32-bit item counter (the FPGA implementation's register).
     pub fn memory_bits(&self) -> usize {
         self.cells.memory_bits() + self.num_groups() + 32
+    }
+
+    /// One-call counter snapshot — what a serving layer exports per shard.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            now: self.t,
+            window: self.cfg.window,
+            num_groups: self.num_groups(),
+            memory_bits: self.memory_bits(),
+        }
     }
 
     /// Group id owning cell `index`.

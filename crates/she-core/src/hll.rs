@@ -193,11 +193,8 @@ mod tests {
     #[test]
     fn estimates_window_cardinality() {
         let window = 1u64 << 16;
-        let mut hll = SheHyperLogLog::builder()
-            .window(window)
-            .memory_bytes(8 << 10)
-            .seed(2)
-            .build();
+        let mut hll =
+            SheHyperLogLog::builder().window(window).memory_bytes(8 << 10).seed(2).build();
         for i in 0..5 * window {
             hll.insert(&i);
         }

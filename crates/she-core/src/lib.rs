@@ -50,10 +50,22 @@ pub use bm::SheBitmap;
 pub use cm::SheCountMin;
 pub use config::{SheConfig, SheConfigBuilder};
 pub use cs::SheCountSketch;
-pub use engine::{CellAge, She};
+pub use engine::{CellAge, EngineStats, She};
 pub use hll::SheHyperLogLog;
 pub use mh::SheMinHash;
 pub use sharded::{ShardedBitmap, ShardedBloomFilter, ShardedCountMin, ShardedShe};
 pub use snapshot::SnapshotError;
 pub use soft::SoftClock;
 pub use topk::SlidingTopK;
+
+// Serving layers move adapters into worker threads; keep them `Send`
+// (a regression here would only surface downstream, in she-server).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<SheBloomFilter>();
+    assert_send::<SheBitmap>();
+    assert_send::<SheCountMin>();
+    assert_send::<SheHyperLogLog>();
+    assert_send::<SheMinHash>();
+    assert_send::<SheCountSketch>();
+};

@@ -16,13 +16,20 @@
 //! * cardinality — *sum* the shard estimates (shards partition the key
 //!   space, so distinct counts add exactly).
 //!
-//! [`ShardedShe::ingest_parallel`] drives the shards from multiple threads
-//! with `crossbeam` scoped workers, each draining its own shard-local
-//! batch so a shard's lock is only ever contended momentarily.
+//! [`ShardedShe::ingest_parallel`] drives the shards from `std::thread`
+//! scoped workers, each draining its own shard-local batch so a shard's
+//! lock is only ever contended momentarily.
 
 use crate::{SheBitmap, SheBloomFilter, SheCountMin, SheHyperLogLog};
-use parking_lot::Mutex;
 use she_hash::mix64;
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a shard, recovering the guard even if a previous holder panicked
+/// (sketch state is a plain array; there is no invariant a panic can
+/// half-apply that these sketches cannot tolerate).
+fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A sketch that can live inside a shard.
 pub trait ShardSketch: Send {
@@ -99,19 +106,24 @@ impl<S: ShardSketch> ShardedShe<S> {
 
     /// Insert one key (thread-safe; locks only the key's shard).
     pub fn insert(&self, key: u64) {
-        self.shards[self.shard_of(key)].lock().insert_key(key);
+        lock_shard(&self.shards[self.shard_of(key)]).insert_key(key);
     }
 
     /// Run `f` against the key's shard.
     pub fn with_shard<R>(&self, key: u64, f: impl FnOnce(&mut S) -> R) -> R {
-        f(&mut self.shards[self.shard_of(key)].lock())
+        f(&mut lock_shard(&self.shards[self.shard_of(key)]))
     }
 
     /// Map every shard and fold the results.
-    pub fn map_reduce<R>(&self, mut map: impl FnMut(&mut S) -> R, init: R, mut fold: impl FnMut(R, R) -> R) -> R {
+    pub fn map_reduce<R>(
+        &self,
+        mut map: impl FnMut(&mut S) -> R,
+        init: R,
+        mut fold: impl FnMut(R, R) -> R,
+    ) -> R {
         let mut acc = init;
         for shard in &self.shards {
-            let r = map(&mut shard.lock());
+            let r = map(&mut lock_shard(shard));
             acc = fold(acc, r);
         }
         acc
@@ -122,7 +134,7 @@ impl<S: ShardSketch> ShardedShe<S> {
         self.map_reduce(|s| s.memory_bits(), 0, |a, b| a + b)
     }
 
-    /// Ingest a key slice with `threads` crossbeam workers.
+    /// Ingest a key slice with `threads` scoped worker threads.
     ///
     /// Keys are pre-partitioned by shard so each worker owns a disjoint
     /// set of shards and never blocks on another worker's lock. Per-shard
@@ -136,15 +148,15 @@ impl<S: ShardSketch> ShardedShe<S> {
         for &k in keys {
             per_shard[self.shard_of(k)].push(k);
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker in 0..threads {
                 let per_shard = &per_shard;
                 let shards = &self.shards;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // Worker w owns shards w, w+threads, w+2·threads, ...
                     let mut shard_idx = worker;
                     while shard_idx < shards.len() {
-                        let mut guard = shards[shard_idx].lock();
+                        let mut guard = lock_shard(&shards[shard_idx]);
                         for &k in &per_shard[shard_idx] {
                             guard.insert_key(k);
                         }
@@ -153,8 +165,7 @@ impl<S: ShardSketch> ShardedShe<S> {
                     }
                 });
             }
-        })
-        .expect("ingest worker panicked");
+        });
     }
 }
 

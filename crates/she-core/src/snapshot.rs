@@ -4,7 +4,7 @@
 //! *not* serialized (seeds are configuration, not state), so loading
 //! requires an identically-configured engine — exactly like restoring a
 //! sketch into a router after a control-plane restart. The format is a
-//! little-endian framed buffer built with the `bytes` crate:
+//! plain little-endian framed buffer:
 //!
 //! ```text
 //! magic "SHE1" | window u64 | t_cycle u64 | group_cells u64 | beta f64
@@ -12,11 +12,43 @@
 //! ```
 
 use crate::She;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use she_sketch::CsmSpec;
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"SHE1";
+
+/// Little-endian cursor over a byte slice (the workspace's dependency-free
+/// stand-in for `bytes::Buf`).
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.buf.len() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_f64_le(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.get_u64_le()?))
+    }
+}
 
 /// Why a snapshot failed to load.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,17 +81,17 @@ impl std::error::Error for SnapshotError {}
 
 impl<S: CsmSpec> She<S> {
     /// Serialize the engine state (not the hash spec) to a binary buffer.
-    pub fn save_state(&self) -> Bytes {
+    pub fn save_state(&self) -> Vec<u8> {
         let cfg = *self.config();
         let (t, marks, cells) = self.snapshot_state();
-        let mut buf = BytesMut::with_capacity(64 + marks.len() / 8 + cells.words().len() * 8);
-        buf.put_slice(MAGIC);
-        buf.put_u64_le(cfg.window);
-        buf.put_u64_le(cfg.t_cycle);
-        buf.put_u64_le(cfg.group_cells as u64);
-        buf.put_f64_le(cfg.beta);
-        buf.put_u64_le(t);
-        buf.put_u64_le(marks.len() as u64);
+        let mut buf = Vec::with_capacity(64 + marks.len() / 8 + cells.words().len() * 8);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&cfg.window.to_le_bytes());
+        buf.extend_from_slice(&cfg.t_cycle.to_le_bytes());
+        buf.extend_from_slice(&(cfg.group_cells as u64).to_le_bytes());
+        buf.extend_from_slice(&cfg.beta.to_le_bytes());
+        buf.extend_from_slice(&t.to_le_bytes());
+        buf.extend_from_slice(&(marks.len() as u64).to_le_bytes());
         for chunk in marks.chunks(8) {
             let mut byte = 0u8;
             for (i, &m) in chunk.iter().enumerate() {
@@ -67,14 +99,14 @@ impl<S: CsmSpec> She<S> {
                     byte |= 1 << i;
                 }
             }
-            buf.put_u8(byte);
+            buf.push(byte);
         }
         let words = cells.words();
-        buf.put_u64_le(words.len() as u64);
+        buf.extend_from_slice(&(words.len() as u64).to_le_bytes());
         for &w in words {
-            buf.put_u64_le(w);
+            buf.extend_from_slice(&w.to_le_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Restore state saved by [`She::save_state`] into this engine.
@@ -82,23 +114,15 @@ impl<S: CsmSpec> She<S> {
     /// The engine must have been built with the same configuration and the
     /// same spec geometry (and, for meaningful answers, the same hash
     /// seeds).
-    pub fn load_state(&mut self, mut buf: &[u8]) -> Result<(), SnapshotError> {
-        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+    pub fn load_state(&mut self, buf: &[u8]) -> Result<(), SnapshotError> {
+        if buf.len() < 4 || &buf[..4] != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
-        buf.advance(4);
-        let need = |n: usize, buf: &&[u8]| {
-            if buf.remaining() < n {
-                Err(SnapshotError::Truncated)
-            } else {
-                Ok(())
-            }
-        };
-        need(8 * 4 + 8 + 8, &buf)?;
-        let window = buf.get_u64_le();
-        let t_cycle = buf.get_u64_le();
-        let group_cells = buf.get_u64_le();
-        let beta = buf.get_f64_le();
+        let mut buf = Reader::new(&buf[4..]);
+        let window = buf.get_u64_le()?;
+        let t_cycle = buf.get_u64_le()?;
+        let group_cells = buf.get_u64_le()?;
+        let beta = buf.get_f64_le()?;
         let cfg = *self.config();
         if window != cfg.window {
             return Err(SnapshotError::ConfigMismatch { field: "window" });
@@ -112,22 +136,22 @@ impl<S: CsmSpec> She<S> {
         if beta != cfg.beta {
             return Err(SnapshotError::ConfigMismatch { field: "beta" });
         }
-        let t = buf.get_u64_le();
-        let n_marks = buf.get_u64_le() as usize;
+        let t = buf.get_u64_le()?;
+        let n_marks = buf.get_u64_le()? as usize;
         let mark_bytes = n_marks.div_ceil(8);
-        need(mark_bytes, &buf)?;
+        let mark_slice = buf.take(mark_bytes)?;
         let mut marks = Vec::with_capacity(n_marks);
-        for &byte in buf.iter().take(mark_bytes) {
+        for &byte in mark_slice {
             for bit in 0..8 {
                 if marks.len() < n_marks {
                     marks.push(byte & (1 << bit) != 0);
                 }
             }
         }
-        buf.advance(mark_bytes);
-        need(8, &buf)?;
-        let n_words = buf.get_u64_le() as usize;
-        need(n_words * 8, &buf)?;
+        let n_words = buf.get_u64_le()? as usize;
+        if buf.remaining() < n_words.saturating_mul(8) {
+            return Err(SnapshotError::Truncated);
+        }
         {
             let (_, cur_marks, cur_cells) = self.snapshot_state();
             if cur_marks.len() != n_marks || cur_cells.words().len() != n_words {
@@ -136,7 +160,7 @@ impl<S: CsmSpec> She<S> {
         }
         let mut words = Vec::with_capacity(n_words);
         for _ in 0..n_words {
-            words.push(buf.get_u64_le());
+            words.push(buf.get_u64_le()?);
         }
         self.restore_state(t, &marks, &words);
         Ok(())

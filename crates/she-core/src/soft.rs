@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn cleaner_sweeps_one_pass_per_cycle() {
         let mut s = soft(100, 0.2, 120); // Tcycle = 120, M = 120: 1 cell/unit
-        // Set every bit by hand, then advance half a cycle.
+                                         // Set every bit by hand, then advance half a cycle.
         for i in 0..120 {
             s.cells.set(i, 1);
         }

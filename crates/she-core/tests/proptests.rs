@@ -1,18 +1,23 @@
-//! Property tests for the SHE engine invariants (Sections 3.2–3.3).
+//! Property tests for the SHE engine invariants (Sections 3.2–3.3),
+//! expressed as deterministic seeded loops over randomized cases: each
+//! test replays `CASES` independently-seeded scenarios drawn from the same
+//! distributions the original `proptest` strategies used, so failures
+//! reproduce bit-exactly from the fixed seed.
 
-use proptest::prelude::*;
 use she_core::{She, SheBloomFilter, SheConfig, SheCountMin};
+use she_hash::{RandomSource, Xoshiro256};
 use she_sketch::BloomSpec;
 
-proptest! {
-    /// Group ages always lie in [0, Tcycle), for any time and geometry.
-    #[test]
-    fn ages_bounded_by_cycle(
-        window in 2u64..5000,
-        alpha_pct in 5u64..400,
-        w in 1usize..200,
-        advances in prop::collection::vec(0u64..10_000, 0..20),
-    ) {
+const CASES: u64 = 48;
+
+/// Group ages always lie in [0, Tcycle), for any time and geometry.
+#[test]
+fn ages_bounded_by_cycle() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xA6E5 ^ case);
+        let window = rng.next_range(2, 5000);
+        let alpha_pct = rng.next_range(5, 400);
+        let w = rng.next_range(1, 200) as usize;
         let cfg = SheConfig::builder()
             .window(window)
             .alpha(alpha_pct as f64 / 100.0)
@@ -20,39 +25,45 @@ proptest! {
             .build();
         let mut s = She::new(BloomSpec::new(256, 2, 1), cfg);
         let tc = s.config().t_cycle;
-        for dt in advances {
-            s.advance_time(dt);
+        let n_advances = rng.next_below(20);
+        for _ in 0..n_advances {
+            s.advance_time(rng.next_range(0, 10_000));
             for gid in 0..s.num_groups() {
-                prop_assert!(s.group_age(gid) < tc);
+                assert!(s.group_age(gid) < tc, "case {case}: age out of cycle");
             }
         }
     }
+}
 
-    /// CheckGroup is idempotent: a second call right after the first never
-    /// resets again, at any point in time.
-    #[test]
-    fn check_group_idempotent(jumps in prop::collection::vec(1u64..5_000, 1..30)) {
+/// CheckGroup is idempotent: a second call right after the first never
+/// resets again, at any point in time.
+#[test]
+fn check_group_idempotent() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xC4EC ^ case);
         let cfg = SheConfig::builder().window(100).alpha(0.5).group_cells(16).build();
         let mut s = She::new(BloomSpec::new(256, 2, 2), cfg);
-        for dt in jumps {
-            s.advance_time(dt);
+        let n_jumps = 1 + rng.next_below(29);
+        for _ in 0..n_jumps {
+            s.advance_time(rng.next_range(1, 5_000));
             for gid in 0..s.num_groups() {
                 s.check_group(gid);
-                prop_assert!(!s.check_group(gid), "second CheckGroup reset group {}", gid);
+                assert!(!s.check_group(gid), "case {case}: second CheckGroup reset group {gid}");
             }
         }
     }
+}
 
-    /// The defining SHE-BF guarantee: no false negatives for items inside
-    /// the sliding window, for any stream shape and α.
-    #[test]
-    fn she_bf_one_sided_error(
-        window_log in 6u32..10,
-        alpha_pct in 20u64..400,
-        key_universe in 1u64..5_000,
-        total_mult in 2u64..6,
-    ) {
-        let window = 1u64 << window_log;
+/// The defining SHE-BF guarantee: no false negatives for items inside
+/// the sliding window, for any stream shape and α.
+#[test]
+fn she_bf_one_sided_error() {
+    for case in 0..24 {
+        let mut rng = Xoshiro256::new(0xBF01 ^ case);
+        let window = 1u64 << rng.next_range(6, 10);
+        let alpha_pct = rng.next_range(20, 400);
+        let key_universe = rng.next_range(1, 5_000);
+        let total_mult = rng.next_range(2, 6);
         let mut bf = SheBloomFilter::builder()
             .window(window)
             .memory_bytes(16 << 10)
@@ -71,25 +82,22 @@ proptest! {
             }
         }
         for &k in &recent {
-            prop_assert!(bf.contains(&k), "false negative inside the window");
+            assert!(bf.contains(&k), "case {case}: false negative inside the window");
         }
     }
+}
 
-    /// SHE-CM never underestimates when answered from mature counters: the
-    /// estimate is at least the true in-window count for every key.
-    #[test]
-    fn she_cm_no_underestimate_with_mature_answer(
-        window_log in 6u32..9,
-        key_universe in 1u64..100,
-        total_mult in 2u64..5,
-    ) {
-        let window = 1u64 << window_log;
-        let mut cm = SheCountMin::builder()
-            .window(window)
-            .memory_bytes(1 << 20)
-            .alpha(1.0)
-            .seed(4)
-            .build();
+/// SHE-CM never underestimates when answered from mature counters: the
+/// estimate is at least the true in-window count for every key.
+#[test]
+fn she_cm_no_underestimate_with_mature_answer() {
+    for case in 0..24 {
+        let mut rng = Xoshiro256::new(0xC303 ^ case);
+        let window = 1u64 << rng.next_range(6, 9);
+        let key_universe = rng.next_range(1, 100);
+        let total_mult = rng.next_range(2, 5);
+        let mut cm =
+            SheCountMin::builder().window(window).memory_bytes(1 << 20).alpha(1.0).seed(4).build();
         let total = total_mult * window;
         let mut recent = std::collections::VecDeque::new();
         for t in 0..total {
@@ -105,28 +113,26 @@ proptest! {
             *counts.entry(k).or_insert(0u64) += 1;
         }
         for (k, c) in counts {
-            prop_assert!(cm.query(&k) >= c, "key {k} underestimated");
+            assert!(cm.query(&k) >= c, "case {case}: key {k} underestimated");
         }
     }
+}
 
-    /// Inserting never panics across arbitrary geometry corner cases
-    /// (uneven last group, w = 1, w = M, tiny windows).
-    #[test]
-    fn geometry_corner_cases(
-        m in 1usize..300,
-        w in 1usize..300,
-        window in 1u64..100,
-        n_ops in 0usize..500,
-    ) {
-        let cfg = SheConfig::builder()
-            .window(window)
-            .alpha(0.3)
-            .group_cells(w.min(m))
-            .build();
+/// Inserting never panics across arbitrary geometry corner cases
+/// (uneven last group, w = 1, w = M, tiny windows).
+#[test]
+fn geometry_corner_cases() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x6E0C ^ case);
+        let m = 1 + rng.next_below(299);
+        let w = 1 + rng.next_below(299);
+        let window = rng.next_range(1, 100);
+        let n_ops = rng.next_below(500);
+        let cfg = SheConfig::builder().window(window).alpha(0.3).group_cells(w.min(m)).build();
         let mut s = She::new(BloomSpec::new(m, 2, 5), cfg);
         for i in 0..n_ops {
             s.insert(&(i as u64));
         }
-        prop_assert_eq!(s.now(), n_ops as u64);
+        assert_eq!(s.now(), n_ops as u64, "case {case}");
     }
 }

@@ -84,9 +84,7 @@ impl Bob32 {
 
     /// Hash a byte string to 32 bits (lookup3 `hashlittle`).
     pub fn hash(&self, key: &[u8]) -> u32 {
-        let mut a = 0xdead_beef_u32
-            .wrapping_add(key.len() as u32)
-            .wrapping_add(self.seed);
+        let mut a = 0xdead_beef_u32.wrapping_add(key.len() as u32).wrapping_add(self.seed);
         let mut b = a;
         let mut c = a;
 

@@ -20,7 +20,9 @@ impl HashFamily {
     pub fn new(k: usize, seed: u32) -> Self {
         assert!(k > 0, "a hash family needs at least one function");
         let hashers = (0..k)
-            .map(|i| Bob32::new(seed.wrapping_add((i as u32).wrapping_mul(0x9E37_79B9)).wrapping_add(1)))
+            .map(|i| {
+                Bob32::new(seed.wrapping_add((i as u32).wrapping_mul(0x9E37_79B9)).wrapping_add(1))
+            })
             .collect();
         Self { hashers }
     }

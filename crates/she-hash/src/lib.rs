@@ -10,7 +10,9 @@
 //!   keys (used where a 64-bit value is needed, e.g. HyperLogLog's `Hz`);
 //! * [`HashFamily`] — `k` independent seeded hash functions with convenient
 //!   range reduction, the building block of every multi-hash sketch;
-//! * rank helpers ([`rank_of`]) used by HyperLogLog-style estimators.
+//! * rank helpers ([`rank_of`]) used by HyperLogLog-style estimators;
+//! * [`rng`] — deterministic in-tree PRNGs (SplitMix64, xoshiro256**) used
+//!   by the workload generators and the seeded-loop test suites.
 //!
 //! All hashers are deterministic: the same `(seed, key)` pair always produces
 //! the same value, which the experiment harness relies on for reproducibility.
@@ -18,10 +20,12 @@
 mod bob;
 mod family;
 mod mix;
+pub mod rng;
 
 pub use bob::Bob32;
 pub use family::HashFamily;
 pub use mix::{mix64, Mix64};
+pub use rng::{RandomSource, SplitMix64, Xoshiro256};
 
 /// A key that can be fed to the hash primitives.
 ///

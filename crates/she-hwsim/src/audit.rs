@@ -124,7 +124,12 @@ impl MemorySystem {
     /// Register a region of `total_bits` with a `port_bits`-wide port.
     /// Records an `OverBudget` violation if the running total exceeds the
     /// budget.
-    pub fn register(&mut self, name: &'static str, total_bits: usize, port_bits: usize) -> RegionId {
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        total_bits: usize,
+        port_bits: usize,
+    ) -> RegionId {
         self.regions.push(Region {
             name,
             total_bits,
@@ -184,10 +189,8 @@ impl MemorySystem {
             Some((_, n)) => {
                 *n += 1;
                 if *n > 2 {
-                    self.violations.push(ConstraintViolation::RepeatedAccess {
-                        region: r.name,
-                        stage,
-                    });
+                    self.violations
+                        .push(ConstraintViolation::RepeatedAccess { region: r.name, stage });
                 }
             }
             None => r.item_touches.push((stage, 1)),
@@ -248,7 +251,11 @@ mod tests {
         ms.access(2, cells, AccessKind::Write, 32);
         assert!(matches!(
             ms.violations()[0],
-            ConstraintViolation::MultiStageAccess { region: "cells", first_stage: 1, second_stage: 2 }
+            ConstraintViolation::MultiStageAccess {
+                region: "cells",
+                first_stage: 1,
+                second_stage: 2
+            }
         ));
     }
 

@@ -139,7 +139,13 @@ pub struct PipelineStats {
 impl ShePipeline {
     /// Build the pipeline: `m_cells` cells per lane, `group_w` cells per
     /// group, window / cleaning cycle in items.
-    pub fn new(variant: SheVariant, m_cells: usize, group_w: usize, window: u64, t_cycle: u64) -> Self {
+    pub fn new(
+        variant: SheVariant,
+        m_cells: usize,
+        group_w: usize,
+        window: u64,
+        t_cycle: u64,
+    ) -> Self {
         assert!(m_cells >= group_w && group_w >= 1);
         assert!(t_cycle > window && window > 0);
         let g = m_cells.div_ceil(group_w);
@@ -181,7 +187,9 @@ impl ShePipeline {
     /// group by default via [`ShePipeline::new`]).
     pub fn paper_config(variant: SheVariant) -> Self {
         match variant {
-            SheVariant::Bitmap | SheVariant::Bloom { .. } => Self::new(variant, 1024, 64, 600, 1024),
+            SheVariant::Bitmap | SheVariant::Bloom { .. } => {
+                Self::new(variant, 1024, 64, 600, 1024)
+            }
             // Counter variants: keep the group port at 64 bits.
             SheVariant::CountMin { counter_bits, .. } => {
                 let w = (64 / counter_bits).max(1) as usize;
@@ -400,8 +408,13 @@ mod tests {
 
     #[test]
     fn count_min_pipeline_counts() {
-        let mut p =
-            ShePipeline::new(SheVariant::CountMin { k: 4, counter_bits: 16 }, 1 << 12, 4, 1000, 2000);
+        let mut p = ShePipeline::new(
+            SheVariant::CountMin { k: 4, counter_bits: 16 },
+            1 << 12,
+            4,
+            1000,
+            2000,
+        );
         // One heavy key amid distinct traffic.
         for i in 0..900u64 {
             if i % 9 == 0 {

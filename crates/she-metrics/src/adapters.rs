@@ -9,8 +9,8 @@
 
 use crate::{CardinalitySketch, FrequencySketch, MemberSketch, SimilaritySketch};
 use she_baselines::{
-    CounterVectorSketch, EcmSketch, SlidingHyperLogLog, StrawmanMinHash, Swamp,
-    TimeOutBloomFilter, TimingBloomFilter, TimestampVector,
+    CounterVectorSketch, EcmSketch, SlidingHyperLogLog, StrawmanMinHash, Swamp, TimeOutBloomFilter,
+    TimestampVector, TimingBloomFilter,
 };
 use she_core::{SheBitmap, SheBloomFilter, SheCountMin, SheHyperLogLog, SheMinHash};
 use she_sketch::{Bitmap, BloomFilter, CountMin, HyperLogLog, MinHash};
@@ -431,7 +431,13 @@ pub struct SheCsAdapter(pub she_core::SheCountSketch);
 impl SheCsAdapter {
     /// Defaults: 5 hash pairs, α = 1, β = 0.9.
     pub fn sized(window: u64, bytes: usize, seed: u32) -> Self {
-        Self(she_core::SheCountSketch::builder().window(window).memory_bytes(bytes).seed(seed).build())
+        Self(
+            she_core::SheCountSketch::builder()
+                .window(window)
+                .memory_bytes(bytes)
+                .seed(seed)
+                .build(),
+        )
     }
 }
 

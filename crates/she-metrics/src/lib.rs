@@ -14,11 +14,18 @@
 //!   the way the paper describes (e.g. membership probes are drawn from
 //!   keys absent from the last `(1+α)·N` items).
 
+//!
+//! For the serving path (`she-server`), the [`latency`] module adds a
+//! log-bucket [`LatencyHistogram`] and per-operation [`NetReport`]
+//! throughput/latency summaries.
+
 pub mod adapters;
+pub mod latency;
 mod report;
 mod runners;
 
 pub use adapters::*;
+pub use latency::{LatencyHistogram, NetReport};
 pub use report::ResultTable;
 pub use runners::*;
 

@@ -41,7 +41,11 @@ pub fn membership_fpr(
         sketch.insert(k);
         truth.insert(k);
         let since_warm = i + 1 - warmup.min(i + 1);
-        if i + 1 > warmup && stride > 0 && since_warm.is_multiple_of(stride) && series.len() < checkpoints {
+        if i + 1 > warmup
+            && stride > 0
+            && since_warm.is_multiple_of(stride)
+            && series.len() < checkpoints
+        {
             let mut fp = 0usize;
             let mut asked = 0usize;
             let mut cand = probe_salt;
@@ -151,11 +155,8 @@ pub fn similarity_re(
 }
 
 fn finish(name: &'static str, series: Vec<f64>, memory_bits: usize) -> AccuracyResult {
-    let value = if series.is_empty() {
-        f64::NAN
-    } else {
-        series.iter().sum::<f64>() / series.len() as f64
-    };
+    let value =
+        if series.is_empty() { f64::NAN } else { series.iter().sum::<f64>() / series.len() as f64 };
     AccuracyResult { name, value, series, memory_bits }
 }
 
@@ -198,8 +199,12 @@ mod tests {
         let mut swamp = SwampMember::sized(WINDOW, 2 << 10, 7); // starved
         let swamp_res = membership_fpr(&mut swamp, &keys, guard, 4, 2_000);
         assert!(she_res.value < 0.02, "SHE-BF FPR {}", she_res.value);
-        assert!(swamp_res.value > 10.0 * she_res.value.max(1e-4),
-            "SWAMP {} vs SHE {}", swamp_res.value, she_res.value);
+        assert!(
+            swamp_res.value > 10.0 * she_res.value.max(1e-4),
+            "SWAMP {} vs SHE {}",
+            swamp_res.value,
+            she_res.value
+        );
         assert_eq!(she_res.series.len(), 4);
     }
 

@@ -1,0 +1,86 @@
+//! Load generator for a running she-server.
+//!
+//! ```text
+//! she-loadgen --addr 127.0.0.1:7487 --items 1000000 --queries 10000 \
+//!             [--batch 512] [--open RATE] [--universe N] [--skew S] [--seed K] \
+//!             [--verify --window N --shards S --mem BYTES --engine-seed K]
+//! ```
+//!
+//! `--verify` mirrors the stream through an in-process engine sized by
+//! the `--window/--shards/--mem/--engine-seed` flags (they must match the
+//! server's) and checks every query answer bit-for-bit. Exits non-zero on
+//! any mismatch or transport error.
+
+use she_server::{loadgen, EngineConfig, LoadgenConfig, Mode};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: she-loadgen --addr HOST:PORT [--items N] [--batch N] [--queries N]\n\
+         \x20                 [--open ITEMS_PER_SEC] [--universe N] [--skew F] [--seed N]\n\
+         \x20                 [--sim-every N] [--verify --window N --shards N --mem BYTES\n\
+         \x20                 --engine-seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("she-loadgen: bad or missing value for {flag}");
+        usage()
+    })
+}
+
+fn main() {
+    let mut cfg = LoadgenConfig::default();
+    let mut verify = false;
+    let mut engine = EngineConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => cfg.addr = parse(args.next(), "--addr"),
+            "--items" => cfg.items = parse(args.next(), "--items"),
+            "--batch" => cfg.batch = parse(args.next(), "--batch"),
+            "--queries" => cfg.queries = parse(args.next(), "--queries"),
+            "--open" => cfg.mode = Mode::Open { items_per_sec: parse(args.next(), "--open") },
+            "--universe" => cfg.universe = parse(args.next(), "--universe"),
+            "--skew" => cfg.skew = parse(args.next(), "--skew"),
+            "--seed" => cfg.seed = parse(args.next(), "--seed"),
+            "--sim-every" => cfg.sim_every = parse(args.next(), "--sim-every"),
+            "--verify" => verify = true,
+            "--window" => engine.window = parse(args.next(), "--window"),
+            "--shards" => engine.shards = parse(args.next(), "--shards"),
+            "--mem" => engine.memory_bytes = parse(args.next(), "--mem"),
+            "--engine-seed" => engine.seed = parse(args.next(), "--engine-seed"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("she-loadgen: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if verify {
+        cfg.verify = Some(engine);
+    }
+
+    println!(
+        "she-loadgen: {} items (batch {}), {} queries against {}{}",
+        cfg.items,
+        cfg.batch,
+        cfg.queries,
+        cfg.addr,
+        if verify { " [verify]" } else { "" }
+    );
+    match loadgen::run(&cfg) {
+        Ok(summary) => {
+            summary.print();
+            if summary.mismatches > 0 {
+                eprintln!("she-loadgen: VERIFICATION FAILED ({} mismatches)", summary.mismatches);
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("she-loadgen: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! A blocking client for the she-server wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response). `BUSY` responses to
+//! inserts are retried internally after the server's suggested delay, up
+//! to a bounded number of attempts — safe because a `BUSY` means the
+//! server enqueued nothing.
+
+use crate::codec::{read_frame, write_frame};
+use crate::protocol::{Request, Response, ShardStats, MAX_BATCH};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Attempts per insert before giving up on a persistently-full shard.
+const MAX_BUSY_RETRIES: u32 = 1000;
+
+fn bad_reply(resp: Response) -> io::Error {
+    let msg = match resp {
+        Response::Err(m) => format!("server error: {m}"),
+        other => format!("unexpected response {other:?}"),
+    };
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A connected she-server client.
+pub struct Client {
+    stream: TcpStream,
+    /// `BUSY` responses received (and retried) so far — a backpressure
+    /// gauge for load generators.
+    pub busy_retries: u64,
+}
+
+impl Client {
+    /// Connect; `addr` is anything `ToSocketAddrs` accepts.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, busy_retries: 0 })
+    }
+
+    /// One request, one response.
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Issue an insert-class request, retrying on `BUSY`.
+    fn call_insert(&mut self, req: &Request) -> io::Result<u64> {
+        for _ in 0..MAX_BUSY_RETRIES {
+            match self.call(req)? {
+                Response::Ok { accepted } => return Ok(accepted),
+                Response::Busy { retry_after_ms } => {
+                    self.busy_retries += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1) as u64));
+                }
+                other => return Err(bad_reply(other)),
+            }
+        }
+        Err(io::Error::new(io::ErrorKind::TimedOut, "server busy: retries exhausted"))
+    }
+
+    /// Insert one key into stream 0 (A) or 1 (B).
+    pub fn insert(&mut self, stream: u8, key: u64) -> io::Result<()> {
+        self.call_insert(&Request::Insert { stream, key }).map(|_| ())
+    }
+
+    /// Insert a slice of keys into one stream, splitting into wire-sized
+    /// batches as needed. Returns the number of keys accepted.
+    pub fn insert_batch(&mut self, stream: u8, keys: &[u64]) -> io::Result<u64> {
+        let mut accepted = 0;
+        for chunk in keys.chunks(MAX_BATCH) {
+            accepted += self.call_insert(&Request::InsertBatch { stream, keys: chunk.to_vec() })?;
+        }
+        Ok(accepted)
+    }
+
+    /// Sliding-window membership of `key` in stream A.
+    pub fn query_member(&mut self, key: u64) -> io::Result<bool> {
+        match self.call(&Request::QueryMember { key })? {
+            Response::Bool(v) => Ok(v),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Sliding-window cardinality of stream A.
+    pub fn query_card(&mut self) -> io::Result<f64> {
+        match self.call(&Request::QueryCard)? {
+            Response::F64(v) => Ok(v),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Sliding-window frequency of `key` in stream A.
+    pub fn query_freq(&mut self, key: u64) -> io::Result<u64> {
+        match self.call(&Request::QueryFreq { key })? {
+            Response::U64(v) => Ok(v),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Sliding-window A/B Jaccard similarity.
+    pub fn query_sim(&mut self) -> io::Result<f64> {
+        match self.call(&Request::QuerySim)? {
+            Response::F64(v) => Ok(v),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Per-shard server counters.
+    pub fn stats(&mut self) -> io::Result<Vec<ShardStats>> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(v) => Ok(v),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Ask the server to drain and stop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok { .. } => Ok(()),
+            other => Err(bad_reply(other)),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Length-prefixed framing over any `Read`/`Write` pair.
+//!
+//! A frame is `u32` little-endian payload length + payload, payload at
+//! most [`MAX_FRAME`](crate::protocol::MAX_FRAME) bytes. The codec is
+//! blocking; callers that need to poll a shutdown flag set a read timeout
+//! on the socket and treat `WouldBlock`/`TimedOut` as "no frame yet".
+
+use crate::protocol::MAX_FRAME;
+use std::io::{self, Read, Write};
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME"));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. Returns `Ok(None)` on clean EOF *before* a
+/// length prefix; EOF mid-frame is an `UnexpectedEof` error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled read_exact for the prefix so a clean EOF at a frame
+    // boundary is distinguishable from a torn frame.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof inside frame header"))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // A timeout mid-prefix would desynchronise the stream; only
+            // surface WouldBlock/TimedOut when no header byte has arrived.
+            Err(e)
+                if filled == 0
+                    && matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                return Err(e)
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof inside frame body"))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Inside a frame body a timeout just means "keep waiting": the
+            // peer has committed to sending `len` bytes.
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut c).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_header_is_an_error() {
+        let mut c = Cursor::new(vec![5u8, 0]);
+        assert_eq!(read_frame(&mut c).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn torn_body_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_frame(&mut c).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversize_prefix_rejected_without_allocation() {
+        let mut c = Cursor::new((u32::MAX).to_le_bytes().to_vec());
+        assert_eq!(read_frame(&mut c).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+}

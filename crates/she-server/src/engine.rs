@@ -1,0 +1,245 @@
+//! The per-shard mining state and its sharded composition.
+//!
+//! A [`ShardEngine`] bundles one SHE structure per supported query class
+//! (membership, cardinality, frequency, similarity) over the shard's slice
+//! of the key space. The server gives each worker thread exclusive
+//! ownership of one `ShardEngine` — no locks on the hot path — while the
+//! loadgen's `--verify` mode drives an identical [`DirectEngine`] in
+//! process, so server answers can be compared bit-for-bit.
+//!
+//! Sharding follows `she-core/src/sharded.rs`: keys route by
+//! `reduce_range(mix64(key ^ ROUTER_SEED), shards)`, each shard covers a
+//! window of `N/S` items, cardinality estimates *sum* across shards
+//! (shards partition the key space) and the Jaccard estimate *averages*
+//! across shards (the same uniform hash routes a key to the same shard in
+//! both streams, so every shard sees an unbiased sample of the pair).
+
+use crate::protocol::ShardStats;
+use she_core::{SheBitmap, SheBloomFilter, SheCountMin, SheMinHash};
+use she_hash::mix64;
+
+/// Router constant shared with `she_core::sharded` (keep in sync).
+pub const ROUTER_SEED: u64 = 0x5EED_0000_0000_0001;
+
+/// Sizing and seeding for a sharded engine. `window` and `memory_bytes`
+/// are *global*: each of the `shards` shards gets `window / shards` items
+/// and `memory_bytes / shards` bytes per structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Global sliding-window length, in items.
+    pub window: u64,
+    /// Number of shards (= server worker threads).
+    pub shards: usize,
+    /// Global memory budget per structure class, in bytes.
+    pub memory_bytes: usize,
+    /// Base seed; shard `i` uses `seed + i`.
+    pub seed: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { window: 1 << 16, shards: 4, memory_bytes: 64 << 10, seed: 1 }
+    }
+}
+
+impl EngineConfig {
+    /// The shard a key routes to.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        she_hash::reduce_range(mix64(key ^ ROUTER_SEED), self.shards)
+    }
+}
+
+/// One shard's sketches. Inserts feed every structure; stream B (tag 1)
+/// exists only for the similarity pair and feeds just its MinHash.
+pub struct ShardEngine {
+    bf: SheBloomFilter,
+    bm: SheBitmap,
+    cm: SheCountMin,
+    mh_a: SheMinHash,
+    mh_b: SheMinHash,
+    inserts: u64,
+    queries: u64,
+}
+
+impl ShardEngine {
+    /// Build shard `shard` of a `cfg`-sized engine.
+    pub fn new(cfg: &EngineConfig, shard: usize) -> Self {
+        assert!(shard < cfg.shards);
+        let window = (cfg.window / cfg.shards as u64).max(1);
+        let bytes = (cfg.memory_bytes / cfg.shards).max(64);
+        let seed = cfg.seed.wrapping_add(shard as u32);
+        Self {
+            bf: SheBloomFilter::builder().window(window).memory_bytes(bytes).seed(seed).build(),
+            bm: SheBitmap::builder().window(window).memory_bytes(bytes).seed(seed).build(),
+            cm: SheCountMin::builder().window(window).memory_bytes(bytes).seed(seed).build(),
+            // The similarity pair must share hash functions (same seed) —
+            // per-row minima are only comparable under identical hashes.
+            // Sized by hash count, not bytes: every insert touches every
+            // row, so a byte budget would make inserts O(memory).
+            mh_a: SheMinHash::builder().window(window).num_hashes(128).seed(seed).build(),
+            mh_b: SheMinHash::builder().window(window).num_hashes(128).seed(seed).build(),
+            inserts: 0,
+            queries: 0,
+        }
+    }
+
+    /// Insert a key into stream 0 (A) or 1 (B). Stream A feeds every
+    /// structure; stream B only its similarity MinHash.
+    #[inline]
+    pub fn insert(&mut self, stream: u8, key: u64) {
+        if stream == 0 {
+            self.bf.insert(&key);
+            self.bm.insert(&key);
+            self.cm.insert(&key);
+            self.mh_a.insert(&key);
+        } else {
+            self.mh_b.insert(&key);
+        }
+        self.inserts += 1;
+    }
+
+    /// Sliding-window membership in stream A.
+    pub fn member(&mut self, key: u64) -> bool {
+        self.queries += 1;
+        self.bf.contains(&key)
+    }
+
+    /// This shard's contribution to the stream-A cardinality.
+    pub fn cardinality(&mut self) -> f64 {
+        self.queries += 1;
+        self.bm.estimate()
+    }
+
+    /// Sliding-window frequency of `key` in stream A.
+    pub fn frequency(&mut self, key: u64) -> u64 {
+        self.queries += 1;
+        self.cm.query(&key)
+    }
+
+    /// This shard's A/B Jaccard estimate.
+    pub fn similarity(&mut self) -> f64 {
+        self.queries += 1;
+        self.mh_a.similarity(&mut self.mh_b)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ShardStats {
+        let bits = self.bf.memory_bits()
+            + self.bm.memory_bits()
+            + self.cm.memory_bits()
+            + self.mh_a.memory_bits()
+            + self.mh_b.memory_bits();
+        ShardStats { inserts: self.inserts, queries: self.queries, memory_bits: bits as u64 }
+    }
+}
+
+/// All shards in one place, driven serially — the in-process reference the
+/// server must agree with, and the engine behind `she-cli`'s offline mode.
+pub struct DirectEngine {
+    cfg: EngineConfig,
+    shards: Vec<ShardEngine>,
+}
+
+impl DirectEngine {
+    /// Build every shard of a `cfg`-sized engine.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let shards = (0..cfg.shards).map(|i| ShardEngine::new(&cfg, i)).collect();
+        Self { cfg, shards }
+    }
+
+    /// The sizing this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Route and insert one key.
+    #[inline]
+    pub fn insert(&mut self, stream: u8, key: u64) {
+        let s = self.cfg.shard_of(key);
+        self.shards[s].insert(stream, key);
+    }
+
+    /// Membership routes to the key's shard.
+    pub fn member(&mut self, key: u64) -> bool {
+        let s = self.cfg.shard_of(key);
+        self.shards[s].member(key)
+    }
+
+    /// Cardinality sums the shard estimates.
+    pub fn cardinality(&mut self) -> f64 {
+        self.shards.iter_mut().map(|s| s.cardinality()).sum()
+    }
+
+    /// Frequency routes to the key's shard.
+    pub fn frequency(&mut self, key: u64) -> u64 {
+        let s = self.cfg.shard_of(key);
+        self.shards[s].frequency(key)
+    }
+
+    /// Similarity averages the per-shard Jaccard estimates.
+    pub fn similarity(&mut self) -> f64 {
+        let n = self.shards.len() as f64;
+        self.shards.iter_mut().map(|s| s.similarity()).sum::<f64>() / n
+    }
+
+    /// Per-shard counters.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+}
+
+// The server moves ShardEngines into worker threads; this must stay true.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ShardEngine>();
+    assert_send::<DirectEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_matches_she_core_sharded() {
+        let cfg = EngineConfig { shards: 8, ..Default::default() };
+        let reference = she_core::ShardedBloomFilter::new(8, 1 << 12, 64 << 10, 1);
+        for k in 0..10_000u64 {
+            assert_eq!(cfg.shard_of(k), reference.0.shard_of(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn direct_engine_no_false_negatives() {
+        let mut e = DirectEngine::new(EngineConfig {
+            window: 1 << 12,
+            shards: 4,
+            memory_bytes: 64 << 10,
+            seed: 7,
+        });
+        let keys: Vec<u64> = (0..3 << 12u32).map(|i| mix64(i as u64)).collect();
+        for &k in &keys {
+            e.insert(0, k);
+        }
+        for &k in &keys[keys.len() - (1 << 11)..] {
+            assert!(e.member(k), "false negative {k:#x}");
+        }
+        assert!(e.cardinality() > 0.0);
+    }
+
+    #[test]
+    fn similarity_of_identical_streams_is_high() {
+        let mut e = DirectEngine::new(EngineConfig {
+            window: 1 << 10,
+            shards: 2,
+            memory_bytes: 16 << 10,
+            seed: 3,
+        });
+        for i in 0..4096u64 {
+            let k = mix64(i % 1000);
+            e.insert(0, k);
+            e.insert(1, k);
+        }
+        assert!(e.similarity() > 0.8, "sim {}", e.similarity());
+    }
+}

@@ -1,0 +1,37 @@
+//! she-server: a std-only concurrent stream-serving subsystem over the
+//! SHE engines.
+//!
+//! Turns the in-process sliding-window sketches of `she-core` into a
+//! network service: `S` shard worker threads each own one
+//! [`ShardEngine`](engine::ShardEngine) (membership, cardinality,
+//! frequency, and similarity structures over the shard's slice of the key
+//! space), fed through bounded queues from per-connection handler
+//! threads speaking a length-prefixed binary protocol over TCP.
+//!
+//! The crate is deliberately dependency-free beyond the workspace:
+//! `std::net` for transport, `std::thread` for workers and handlers,
+//! `std::sync::mpsc` for the queues. See `docs/PROTOCOL.md` for the wire
+//! format and module docs for the concurrency story:
+//!
+//! * [`protocol`] — message types and their binary encoding;
+//! * [`codec`] — `u32`-length-prefixed framing;
+//! * [`engine`] — the per-shard state and the serial reference engine;
+//! * [`worker`] — shard worker loop and its job queue;
+//! * [`server`] — listener, connection handling, backpressure, shutdown;
+//! * [`client`] — blocking client with `BUSY` retry;
+//! * [`loadgen`] — workload driver with latency reports and a
+//!   bit-exact verification mode.
+
+pub mod client;
+pub mod codec;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod worker;
+
+pub use client::Client;
+pub use engine::{DirectEngine, EngineConfig, ShardEngine};
+pub use loadgen::{LoadSummary, LoadgenConfig, Mode};
+pub use protocol::{ProtoError, Request, Response, ShardStats};
+pub use server::{Server, ServerConfig};

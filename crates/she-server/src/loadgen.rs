@@ -1,0 +1,226 @@
+//! Workload driver for a running she-server: batched Zipf inserts with
+//! interleaved queries, per-op latency histograms, and an optional
+//! in-process mirror engine that checks every server answer bit-for-bit.
+//!
+//! Two pacing modes:
+//!
+//! * **closed-loop** — send the next request the moment the previous
+//!   response lands; measures the server's saturated throughput.
+//! * **open-loop** — each batch has a scheduled departure at the target
+//!   rate, and latency is measured *from the schedule*, so server-side
+//!   queueing shows up in the tail instead of silently stretching the
+//!   run (coordinated-omission-safe).
+//!
+//! Verification works because everything is deterministic: one
+//! connection, FIFO shard queues, and a seeded workload mean the server
+//! applies exactly the per-shard insert order the mirror sees, so
+//! matching answers must be bit-identical, not merely close.
+
+use crate::client::Client;
+use crate::engine::{DirectEngine, EngineConfig};
+use she_metrics::{LatencyHistogram, NetReport};
+use she_streams::{CaidaLike, KeyStream};
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Pacing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Back-to-back requests.
+    Closed,
+    /// Scheduled departures at `items_per_sec` inserted items per second.
+    Open { items_per_sec: f64 },
+}
+
+/// A loadgen run description.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Total items to insert (streams A and B combined).
+    pub items: u64,
+    /// Keys per `INSERT_BATCH` frame.
+    pub batch: usize,
+    /// Total queries to interleave (cycling member/freq/card/sim).
+    pub queries: u64,
+    /// Pacing policy.
+    pub mode: Mode,
+    /// Zipf key universe.
+    pub universe: usize,
+    /// Zipf skew.
+    pub skew: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Every `sim_every`-th batch feeds stream B (0 = never).
+    pub sim_every: u64,
+    /// Mirror the stream through an in-process [`DirectEngine`] with this
+    /// sizing (must match the server's) and compare every answer.
+    pub verify: Option<EngineConfig>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7487".to_string(),
+            items: 200_000,
+            batch: 512,
+            queries: 2_000,
+            mode: Mode::Closed,
+            universe: 100_000,
+            skew: 1.05,
+            seed: 1,
+            sim_every: 8,
+            verify: None,
+        }
+    }
+}
+
+/// What a run did, with per-class latency.
+pub struct LoadSummary {
+    /// Insert-side report (ops = batches, items = keys).
+    pub insert: NetReport,
+    /// Query-side report (ops = items = queries).
+    pub query: NetReport,
+    /// Queries whose answers were checked against the mirror.
+    pub verified: u64,
+    /// Checked answers that differed (must be 0 on a healthy run).
+    pub mismatches: u64,
+    /// `BUSY` backpressure rejections absorbed by the client.
+    pub busy_retries: u64,
+    /// Whole-run wall clock.
+    pub wall: Duration,
+}
+
+impl LoadSummary {
+    /// Render the ops/s + latency table.
+    pub fn print(&self) {
+        println!("{}", NetReport::header());
+        println!("{}", self.insert.line());
+        println!("{}", self.query.line());
+        println!(
+            "wall={:.2}s  busy_retries={}  verified={}  mismatches={}",
+            self.wall.as_secs_f64(),
+            self.busy_retries,
+            self.verified,
+            self.mismatches
+        );
+    }
+}
+
+/// Book-keeping for the query side of a run.
+struct QuerySide {
+    lat: LatencyHistogram,
+    sent: u64,
+    verified: u64,
+    mismatches: u64,
+}
+
+impl QuerySide {
+    /// Issue one query (kind cycles member → freq → card → sim), check it
+    /// against the mirror when one is present, and time it.
+    fn issue(
+        &mut self,
+        client: &mut Client,
+        mirror: &mut Option<DirectEngine>,
+        key: u64,
+    ) -> io::Result<()> {
+        let t = Instant::now();
+        let (got_bits, want_bits) = match self.sent % 4 {
+            0 => {
+                let got = client.query_member(key)?;
+                (got as u64, mirror.as_mut().map(|m| m.member(key) as u64))
+            }
+            1 => {
+                let got = client.query_freq(key)?;
+                (got, mirror.as_mut().map(|m| m.frequency(key)))
+            }
+            2 => {
+                let got = client.query_card()?;
+                (got.to_bits(), mirror.as_mut().map(|m| m.cardinality().to_bits()))
+            }
+            _ => {
+                let got = client.query_sim()?;
+                (got.to_bits(), mirror.as_mut().map(|m| m.similarity().to_bits()))
+            }
+        };
+        self.lat.record(t.elapsed());
+        self.sent += 1;
+        if let Some(want) = want_bits {
+            self.verified += 1;
+            self.mismatches += (got_bits != want) as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Drive the workload against `cfg.addr`. Returns an error on transport
+/// failure; verification mismatches are *reported*, not fatal (callers
+/// check [`LoadSummary::mismatches`]).
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
+    let mut client = Client::connect(&cfg.addr)?;
+    let mut mirror = cfg.verify.map(DirectEngine::new);
+    let mut keygen = CaidaLike::new(cfg.universe.max(2), cfg.skew, cfg.seed);
+
+    let batch = cfg.batch.max(1) as u64;
+    let n_batches = cfg.items.div_ceil(batch);
+    // Interleave queries evenly: one after roughly every `stride`-th batch.
+    let stride = if cfg.queries == 0 { u64::MAX } else { n_batches.div_ceil(cfg.queries).max(1) };
+
+    let mut insert_lat = LatencyHistogram::new();
+    let mut queries =
+        QuerySide { lat: LatencyHistogram::new(), sent: 0, verified: 0, mismatches: 0 };
+    let mut sent_items = 0u64;
+    let mut last_key = 0u64;
+    let start = Instant::now();
+
+    for b in 0..n_batches {
+        let take = batch.min(cfg.items - sent_items) as usize;
+        let keys = keygen.take_vec(take);
+        last_key = *keys.last().unwrap_or(&last_key);
+        let stream =
+            if cfg.sim_every > 0 && b % cfg.sim_every == cfg.sim_every - 1 { 1u8 } else { 0u8 };
+
+        // Open-loop: wait for this batch's scheduled departure, then
+        // charge latency from the schedule, not from the actual send.
+        let op_start = match cfg.mode {
+            Mode::Closed => Instant::now(),
+            Mode::Open { items_per_sec } => {
+                let due = start + Duration::from_secs_f64(sent_items as f64 / items_per_sec);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                due
+            }
+        };
+        client.insert_batch(stream, &keys)?;
+        insert_lat.record(op_start.elapsed());
+        sent_items += take as u64;
+
+        if let Some(m) = mirror.as_mut() {
+            for &k in &keys {
+                m.insert(stream, k);
+            }
+        }
+
+        if b % stride == stride - 1 && queries.sent < cfg.queries {
+            queries.issue(&mut client, &mut mirror, last_key)?;
+        }
+    }
+
+    // Any remaining query budget runs back-to-back at the end (small
+    // `items` with large `queries` would otherwise under-deliver).
+    while queries.sent < cfg.queries {
+        queries.issue(&mut client, &mut mirror, last_key)?;
+    }
+
+    let wall = start.elapsed();
+    Ok(LoadSummary {
+        insert: NetReport::new("insert_batch", n_batches, sent_items, wall, insert_lat),
+        query: NetReport::new("query", queries.sent, queries.sent, wall, queries.lat),
+        verified: queries.verified,
+        mismatches: queries.mismatches,
+        busy_retries: client.busy_retries,
+        wall,
+    })
+}

@@ -1,0 +1,306 @@
+//! The she-server wire protocol: message types and their binary encoding.
+//!
+//! Every message travels as one *frame*: a `u32` little-endian payload
+//! length followed by the payload. The payload's first byte is an opcode;
+//! the rest is the fixed layout documented per variant (all integers
+//! little-endian). `docs/PROTOCOL.md` is the normative description; this
+//! module is its executable form.
+//!
+//! Requests carry a `stream` tag (0 = stream A, 1 = stream B) on inserts
+//! so the similarity pair can be fed over the same connection.
+
+/// Hard cap on a frame payload; anything larger is a protocol error on
+/// both ends (prevents a hostile length prefix from allocating memory).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Maximum number of keys a single `InsertBatch` can carry (fills
+/// [`MAX_FRAME`] minus the 6-byte batch header).
+pub const MAX_BATCH: usize = (MAX_FRAME - 6) / 8;
+
+pub mod opcode {
+    pub const INSERT: u8 = 0x01;
+    pub const INSERT_BATCH: u8 = 0x02;
+    pub const QUERY_MEMBER: u8 = 0x10;
+    pub const QUERY_CARD: u8 = 0x11;
+    pub const QUERY_FREQ: u8 = 0x12;
+    pub const QUERY_SIM: u8 = 0x13;
+    pub const STATS: u8 = 0x20;
+    pub const SHUTDOWN: u8 = 0x2F;
+
+    pub const OK: u8 = 0x80;
+    pub const BOOL: u8 = 0x81;
+    pub const U64: u8 = 0x82;
+    pub const F64: u8 = 0x83;
+    pub const STATS_REPLY: u8 = 0x84;
+    pub const ERR: u8 = 0xE0;
+    pub const BUSY: u8 = 0xE1;
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Insert one key into stream 0 (A) or 1 (B).
+    Insert { stream: u8, key: u64 },
+    /// Insert a batch of keys into one stream (bounded by [`MAX_BATCH`]).
+    InsertBatch { stream: u8, keys: Vec<u64> },
+    /// Sliding-window membership of `key` (answered from stream A's filter).
+    QueryMember { key: u64 },
+    /// Sliding-window cardinality of stream A (sums the shard estimates).
+    QueryCard,
+    /// Sliding-window frequency of `key` in stream A.
+    QueryFreq { key: u64 },
+    /// Sliding-window Jaccard similarity between streams A and B.
+    QuerySim,
+    /// Server / per-shard counters.
+    Stats,
+    /// Drain the queues and stop the server.
+    Shutdown,
+}
+
+/// Per-shard counters reported by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Items inserted into this shard so far.
+    pub inserts: u64,
+    /// Queries answered by this shard so far.
+    pub queries: u64,
+    /// Sketch memory held by this shard, in bits.
+    pub memory_bits: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Request applied; `accepted` items were enqueued.
+    Ok { accepted: u64 },
+    /// Boolean answer (membership).
+    Bool(bool),
+    /// Integer answer (frequency).
+    U64(u64),
+    /// Floating answer (cardinality, similarity).
+    F64(f64),
+    /// Per-shard counters.
+    Stats(Vec<ShardStats>),
+    /// The request failed; human-readable reason.
+    Err(String),
+    /// Shard queue full and nothing was enqueued — retry the whole
+    /// request after roughly this many milliseconds.
+    Busy { retry_after_ms: u32 },
+}
+
+/// Decoding failure for a frame payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Payload ended before the layout said it would.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// A declared length exceeds the frame bounds.
+    Oversize,
+    /// Payload has bytes beyond the declared layout.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtoError::Oversize => write!(f, "declared length exceeds frame"),
+            ProtoError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Little-endian cursor over a frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() < n {
+            return Err(ProtoError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes)
+        }
+    }
+}
+
+impl Request {
+    /// Encode into a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(16);
+        match self {
+            Request::Insert { stream, key } => {
+                b.push(opcode::INSERT);
+                b.push(*stream);
+                b.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::InsertBatch { stream, keys } => {
+                assert!(keys.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+                b.reserve(6 + 8 * keys.len());
+                b.push(opcode::INSERT_BATCH);
+                b.push(*stream);
+                b.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    b.extend_from_slice(&k.to_le_bytes());
+                }
+            }
+            Request::QueryMember { key } => {
+                b.push(opcode::QUERY_MEMBER);
+                b.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::QueryCard => b.push(opcode::QUERY_CARD),
+            Request::QueryFreq { key } => {
+                b.push(opcode::QUERY_FREQ);
+                b.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::QuerySim => b.push(opcode::QUERY_SIM),
+            Request::Stats => b.push(opcode::STATS),
+            Request::Shutdown => b.push(opcode::SHUTDOWN),
+        }
+        b
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8()?;
+        let req = match op {
+            opcode::INSERT => Request::Insert { stream: r.u8()?, key: r.u64()? },
+            opcode::INSERT_BATCH => {
+                let stream = r.u8()?;
+                let n = r.u32()? as usize;
+                if n > MAX_BATCH {
+                    return Err(ProtoError::Oversize);
+                }
+                let raw = r.take(8 * n)?;
+                let keys = raw
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Request::InsertBatch { stream, keys }
+            }
+            opcode::QUERY_MEMBER => Request::QueryMember { key: r.u64()? },
+            opcode::QUERY_CARD => Request::QueryCard,
+            opcode::QUERY_FREQ => Request::QueryFreq { key: r.u64()? },
+            opcode::QUERY_SIM => Request::QuerySim,
+            opcode::STATS => Request::Stats,
+            opcode::SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtoError::BadOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(16);
+        match self {
+            Response::Ok { accepted } => {
+                b.push(opcode::OK);
+                b.extend_from_slice(&accepted.to_le_bytes());
+            }
+            Response::Bool(v) => {
+                b.push(opcode::BOOL);
+                b.push(*v as u8);
+            }
+            Response::U64(v) => {
+                b.push(opcode::U64);
+                b.extend_from_slice(&v.to_le_bytes());
+            }
+            Response::F64(v) => {
+                b.push(opcode::F64);
+                b.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Response::Stats(shards) => {
+                b.reserve(5 + 24 * shards.len());
+                b.push(opcode::STATS_REPLY);
+                b.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+                for s in shards {
+                    b.extend_from_slice(&s.inserts.to_le_bytes());
+                    b.extend_from_slice(&s.queries.to_le_bytes());
+                    b.extend_from_slice(&s.memory_bits.to_le_bytes());
+                }
+            }
+            Response::Err(msg) => {
+                b.push(opcode::ERR);
+                b.extend_from_slice(msg.as_bytes());
+            }
+            Response::Busy { retry_after_ms } => {
+                b.push(opcode::BUSY);
+                b.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+        }
+        b
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8()?;
+        let resp = match op {
+            opcode::OK => Response::Ok { accepted: r.u64()? },
+            opcode::BOOL => Response::Bool(r.u8()? != 0),
+            opcode::U64 => Response::U64(r.u64()?),
+            opcode::F64 => Response::F64(r.f64()?),
+            opcode::STATS_REPLY => {
+                let n = r.u32()? as usize;
+                if n > MAX_FRAME / 24 {
+                    return Err(ProtoError::Oversize);
+                }
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shards.push(ShardStats {
+                        inserts: r.u64()?,
+                        queries: r.u64()?,
+                        memory_bits: r.u64()?,
+                    });
+                }
+                Response::Stats(shards)
+            }
+            opcode::ERR => {
+                let rest = r.take(payload.len() - 1)?;
+                return Ok(Response::Err(String::from_utf8_lossy(rest).into_owned()));
+            }
+            opcode::BUSY => Response::Busy { retry_after_ms: r.u32()? },
+            other => return Err(ProtoError::BadOpcode(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}

@@ -1,0 +1,314 @@
+//! The TCP serving loop: listener, per-connection handler threads, and
+//! the request → shard-queue routing with explicit backpressure.
+//!
+//! Threading model (all `std`):
+//!
+//! ```text
+//!  accept thread ──► handler thread per connection ──► S bounded
+//!                                                      mpsc queues ──► S shard workers
+//! ```
+//!
+//! * **Backpressure** — inserts are admitted with `try_send`; if the
+//!   target shard's queue is full *before anything was enqueued*, the
+//!   client gets `BUSY{retry_after_ms}` and nothing changes. Once any
+//!   sub-batch of a request has been enqueued the remainder uses blocking
+//!   sends, so a request is applied exactly once or not at all.
+//! * **Ordering** — one handler serves one connection serially, and the
+//!   shard queues are FIFO, so a query observes every insert the same
+//!   connection sent before it (the property the verify mode relies on).
+//! * **Shutdown** — the `SHUTDOWN` request flips a flag and self-connects
+//!   to unblock `accept`. Handlers poll the flag via a read timeout and
+//!   exit; when the last sender drops, workers drain their queues and
+//!   return their final stats.
+
+use crate::codec::{read_frame, write_frame};
+use crate::engine::{EngineConfig, ShardEngine};
+use crate::protocol::{Request, Response, ShardStats};
+use crate::worker::{run_worker, Job};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything needed to start a server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Engine sizing (window, shards, memory, seed).
+    pub engine: EngineConfig,
+    /// Bounded depth of each shard's job queue, in jobs.
+    pub queue_capacity: usize,
+    /// Hint returned with `BUSY` responses.
+    pub retry_after_ms: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig::default(),
+            queue_capacity: 256,
+            retry_after_ms: 2,
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection handler. Workers
+/// are *not* behind this — they own their engines; only their queue
+/// senders live here, and dropping the last `Shared` is what lets the
+/// workers drain and exit.
+struct Shared {
+    txs: Vec<SyncSender<Job>>,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    engine: EngineConfig,
+    retry_after_ms: u32,
+}
+
+impl Shared {
+    /// Route one decoded request; never panics on client input.
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Insert { stream, key } => {
+                self.admit(vec![(self.engine.shard_of(key), stream, vec![key])], 1)
+            }
+            Request::InsertBatch { stream, keys } => {
+                let accepted = keys.len() as u64;
+                // Partition into per-shard runs, preserving arrival order
+                // within each shard (windows are order-sensitive).
+                let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); self.txs.len()];
+                for k in keys {
+                    per_shard[self.engine.shard_of(k)].push(k);
+                }
+                let parts = per_shard
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, ks)| !ks.is_empty())
+                    .map(|(s, ks)| (s, stream, ks))
+                    .collect();
+                self.admit(parts, accepted)
+            }
+            Request::QueryMember { key } => {
+                let shard = self.engine.shard_of(key);
+                match self.ask(shard, |reply| Job::Member { key, reply }) {
+                    Some(v) => Response::Bool(v),
+                    None => shutting_down(),
+                }
+            }
+            Request::QueryCard => match self.ask_all(|reply| Job::Card { reply }) {
+                Some(parts) => Response::F64(parts.into_iter().sum()),
+                None => shutting_down(),
+            },
+            Request::QueryFreq { key } => {
+                let shard = self.engine.shard_of(key);
+                match self.ask(shard, |reply| Job::Freq { key, reply }) {
+                    Some(v) => Response::U64(v),
+                    None => shutting_down(),
+                }
+            }
+            Request::QuerySim => match self.ask_all(|reply| Job::Sim { reply }) {
+                Some(parts) => {
+                    let n = parts.len() as f64;
+                    Response::F64(parts.into_iter().sum::<f64>() / n)
+                }
+                None => shutting_down(),
+            },
+            Request::Stats => match self.ask_all(|reply| Job::Stats { reply }) {
+                Some(parts) => Response::Stats(parts),
+                None => shutting_down(),
+            },
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::Ok { accepted: 0 }
+            }
+        }
+    }
+
+    /// Admission control for inserts: `try_send` until the first part is
+    /// enqueued (full queue ⇒ `BUSY`, nothing applied), blocking sends for
+    /// the rest (the request is already partially committed).
+    fn admit(&self, parts: Vec<(usize, u8, Vec<u64>)>, accepted: u64) -> Response {
+        let mut committed = false;
+        for (shard, stream, keys) in parts {
+            let job = Job::Batch { stream, keys };
+            if committed {
+                if self.txs[shard].send(job).is_err() {
+                    return shutting_down();
+                }
+            } else {
+                match self.txs[shard].try_send(job) {
+                    Ok(()) => committed = true,
+                    Err(TrySendError::Full(_)) => {
+                        return Response::Busy { retry_after_ms: self.retry_after_ms }
+                    }
+                    Err(TrySendError::Disconnected(_)) => return shutting_down(),
+                }
+            }
+        }
+        Response::Ok { accepted }
+    }
+
+    /// Rendezvous with one shard; `None` when the worker is gone.
+    fn ask<T>(&self, shard: usize, make: impl FnOnce(SyncSender<T>) -> Job) -> Option<T> {
+        let (tx, rx) = sync_channel(1);
+        self.txs[shard].send(make(tx)).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Fan a query out to every shard, collecting answers in shard order.
+    fn ask_all<T>(&self, mut make: impl FnMut(SyncSender<T>) -> Job) -> Option<Vec<T>> {
+        let pending: Vec<_> = self
+            .txs
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = sync_channel(1);
+                tx.send(make(reply_tx)).ok()?;
+                Some(reply_rx)
+            })
+            .collect::<Option<_>>()?;
+        pending.into_iter().map(|rx| rx.recv().ok()).collect()
+    }
+
+    /// Flip the flag and poke the listener so `accept` returns.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+}
+
+fn shutting_down() -> Response {
+    Response::Err("server shutting down".to_string())
+}
+
+/// A running server. Dropping the handle does *not* stop it; call
+/// [`Server::shutdown`] (or send the wire `SHUTDOWN`) then [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_thread: JoinHandle<()>,
+    workers: Vec<JoinHandle<ShardStats>>,
+}
+
+impl Server {
+    /// Bind, spawn the shard workers and the accept loop, and return.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let mut txs = Vec::with_capacity(cfg.engine.shards);
+        let mut workers = Vec::with_capacity(cfg.engine.shards);
+        for shard in 0..cfg.engine.shards {
+            let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
+            let engine = ShardEngine::new(&cfg.engine, shard);
+            txs.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("she-shard-{shard}"))
+                    .spawn(move || run_worker(engine, rx))?,
+            );
+        }
+
+        let shared = Arc::new(Shared {
+            txs,
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            engine: cfg.engine,
+            retry_after_ms: cfg.retry_after_ms,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread =
+            std::thread::Builder::new().name("she-accept".into()).spawn(move || {
+                accept_loop(listener, accept_shared);
+            })?;
+
+        Ok(Server { shared, accept_thread, workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Ask the server to stop, as if a client sent `SHUTDOWN`.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Initiate shutdown, then wait for every connection to close and
+    /// every queue to drain; returns the final per-shard stats.
+    pub fn join(self) -> Vec<ShardStats> {
+        self.shared.begin_shutdown();
+        self.wait()
+    }
+
+    /// Block until something *else* stops the server (a wire `SHUTDOWN`
+    /// or [`Server::shutdown`] from another thread), then drain and
+    /// return the final per-shard stats.
+    pub fn wait(self) -> Vec<ShardStats> {
+        let _ = self.accept_thread.join();
+        // Last senders die with this Arc; workers then drain and exit.
+        drop(self.shared);
+        self.workers.into_iter().map(|w| w.join().unwrap_or_default()).collect()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let conn_shared = Arc::clone(&shared);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("she-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared))
+                {
+                    handlers.lock().unwrap_or_else(|p| p.into_inner()).push(h);
+                }
+            }
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        }
+    }
+    for h in handlers.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    // The timeout is the shutdown poll interval, not a client deadline.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut read_half = stream;
+    loop {
+        match read_frame(&mut read_half) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                let resp = match Request::decode(&payload) {
+                    Ok(req) => shared.handle(req),
+                    Err(e) => Response::Err(e.to_string()),
+                };
+                if write_frame(&mut write_half, &resp.encode()).is_err() {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}

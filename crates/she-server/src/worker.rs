@@ -1,0 +1,61 @@
+//! Shard worker threads: each owns one [`ShardEngine`] outright and
+//! drains a bounded job queue, so the sketch hot path takes no locks.
+//!
+//! Jobs arrive over `std::sync::mpsc` — the channel doubles as the
+//! shutdown protocol: when every connection handler (and the listener)
+//! has dropped its sender, `recv` returns `Err` *after* the queue is
+//! empty, so every enqueued insert is applied before the worker exits
+//! (drain-on-shutdown for free).
+
+use crate::engine::ShardEngine;
+use crate::protocol::ShardStats;
+use std::sync::mpsc::{Receiver, SyncSender};
+
+/// One unit of work for a shard. Queries carry a rendezvous channel for
+/// the answer; batched inserts are fire-and-forget (admission control
+/// happened at enqueue time).
+pub enum Job {
+    /// Apply a run of same-stream inserts, in order.
+    Batch { stream: u8, keys: Vec<u64> },
+    /// Membership of `key` in stream A.
+    Member { key: u64, reply: SyncSender<bool> },
+    /// This shard's cardinality contribution.
+    Card { reply: SyncSender<f64> },
+    /// Frequency of `key` in stream A.
+    Freq { key: u64, reply: SyncSender<u64> },
+    /// This shard's A/B Jaccard estimate.
+    Sim { reply: SyncSender<f64> },
+    /// Counter snapshot.
+    Stats { reply: SyncSender<ShardStats> },
+}
+
+/// Drain `rx` until every sender is gone; returns the shard's final
+/// counters. Reply sends ignore errors — a client that hung up simply
+/// doesn't get its answer.
+pub fn run_worker(mut engine: ShardEngine, rx: Receiver<Job>) -> ShardStats {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Batch { stream, keys } => {
+                for k in keys {
+                    engine.insert(stream, k);
+                }
+            }
+            Job::Member { key, reply } => {
+                let _ = reply.send(engine.member(key));
+            }
+            Job::Card { reply } => {
+                let _ = reply.send(engine.cardinality());
+            }
+            Job::Freq { key, reply } => {
+                let _ = reply.send(engine.frequency(key));
+            }
+            Job::Sim { reply } => {
+                let _ = reply.send(engine.similarity());
+            }
+            Job::Stats { reply } => {
+                let _ = reply.send(engine.stats());
+            }
+        }
+    }
+    engine.stats()
+}

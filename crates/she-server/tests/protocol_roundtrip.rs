@@ -1,0 +1,139 @@
+//! Wire-protocol coverage: every message type round-trips through
+//! encode → frame → unframe → decode, including the largest legal batch,
+//! and every truncation of every encoding is rejected instead of
+//! misparsed.
+
+use she_server::codec::{read_frame, write_frame};
+use she_server::protocol::{ProtoError, Request, Response, ShardStats, MAX_BATCH};
+use std::io::Cursor;
+
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Insert { stream: 0, key: 0 },
+        Request::Insert { stream: 1, key: u64::MAX },
+        Request::InsertBatch { stream: 0, keys: vec![] },
+        Request::InsertBatch { stream: 1, keys: vec![1, 2, 3, u64::MAX] },
+        Request::QueryMember { key: 0xDEAD_BEEF },
+        Request::QueryCard,
+        Request::QueryFreq { key: 42 },
+        Request::QuerySim,
+        Request::Stats,
+        Request::Shutdown,
+    ]
+}
+
+fn all_responses() -> Vec<Response> {
+    vec![
+        Response::Ok { accepted: 0 },
+        Response::Ok { accepted: u64::MAX },
+        Response::Bool(true),
+        Response::Bool(false),
+        Response::U64(123_456_789),
+        Response::F64(0.0),
+        Response::F64(f64::MAX),
+        Response::F64(-1.5),
+        Response::Stats(vec![]),
+        Response::Stats(vec![
+            ShardStats { inserts: 1, queries: 2, memory_bits: 3 },
+            ShardStats { inserts: u64::MAX, queries: 0, memory_bits: 1 << 40 },
+        ]),
+        Response::Err("".to_string()),
+        Response::Err("shard queue wedged".to_string()),
+        Response::Busy { retry_after_ms: 0 },
+        Response::Busy { retry_after_ms: u32::MAX },
+    ]
+}
+
+#[test]
+fn every_request_round_trips() {
+    for req in all_requests() {
+        let enc = req.encode();
+        assert_eq!(Request::decode(&enc), Ok(req.clone()), "{req:?}");
+    }
+}
+
+#[test]
+fn every_response_round_trips() {
+    for resp in all_responses() {
+        let enc = resp.encode();
+        let dec = Response::decode(&enc).unwrap_or_else(|e| panic!("{resp:?}: {e}"));
+        match (&resp, &dec) {
+            // F64 compares by bits so NaN-free payloads must be identical.
+            (Response::F64(a), Response::F64(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+            _ => assert_eq!(resp, dec),
+        }
+    }
+}
+
+#[test]
+fn max_length_batch_round_trips_through_framing() {
+    let keys: Vec<u64> = (0..MAX_BATCH as u64).collect();
+    let req = Request::InsertBatch { stream: 1, keys };
+    let enc = req.encode();
+
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &enc).expect("max batch must fit in a frame");
+    let mut cursor = Cursor::new(framed);
+    let payload = read_frame(&mut cursor).unwrap().unwrap();
+    assert_eq!(Request::decode(&payload), Ok(req));
+}
+
+#[test]
+fn oversize_batch_count_is_rejected() {
+    // Hand-craft a batch header that *declares* MAX_BATCH+1 keys.
+    let mut enc = vec![0x02u8, 0];
+    enc.extend_from_slice(&((MAX_BATCH as u32) + 1).to_le_bytes());
+    assert_eq!(Request::decode(&enc), Err(ProtoError::Oversize));
+}
+
+#[test]
+fn every_truncated_request_is_rejected() {
+    for req in all_requests() {
+        let enc = req.encode();
+        for cut in 0..enc.len() {
+            let r = Request::decode(&enc[..cut]);
+            assert!(r.is_err(), "{req:?} truncated to {cut} bytes decoded as {r:?}");
+        }
+    }
+}
+
+#[test]
+fn every_truncated_response_is_rejected() {
+    for resp in all_responses() {
+        let enc = resp.encode();
+        for cut in 0..enc.len() {
+            if matches!(resp, Response::Err(_)) && cut >= 1 {
+                // ERR's message is the frame remainder, so any prefix that
+                // keeps the opcode is a (shorter) valid ERR — skip.
+                continue;
+            }
+            let r = Response::decode(&enc[..cut]);
+            assert!(r.is_err(), "{resp:?} truncated to {cut} bytes decoded as {r:?}");
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    for req in all_requests() {
+        let mut enc = req.encode();
+        enc.push(0xAB);
+        // InsertBatch's count field means an extra byte can't silently
+        // extend the key list; it must be a decode error for every type.
+        assert!(Request::decode(&enc).is_err(), "{req:?} accepted a trailing byte");
+    }
+}
+
+#[test]
+fn unknown_opcodes_are_rejected() {
+    for op in [0x00u8, 0x03, 0x14, 0x7F, 0xFF] {
+        assert_eq!(Request::decode(&[op]), Err(ProtoError::BadOpcode(op)));
+    }
+    assert_eq!(Response::decode(&[0x00]), Err(ProtoError::BadOpcode(0x00)));
+}
+
+#[test]
+fn empty_payload_is_truncated_not_panicking() {
+    assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated));
+    assert_eq!(Response::decode(&[]), Err(ProtoError::Truncated));
+}

@@ -1,0 +1,136 @@
+//! End-to-end server tests over real localhost TCP on an ephemeral port:
+//! the served answers must be *bit-identical* to a direct in-process
+//! engine fed the same stream, and the lifecycle (backpressure, drain,
+//! shutdown) must hold up under load.
+
+use she_server::{loadgen, Client, EngineConfig, LoadgenConfig, Mode, Server, ServerConfig};
+
+fn start_server(engine: EngineConfig) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine,
+        queue_capacity: 64,
+        retry_after_ms: 1,
+    })
+    .expect("bind ephemeral port")
+}
+
+/// The acceptance-style run at test scale: 100k Zipf items, interleaved
+/// queries of all four classes, every answer checked against the mirror.
+#[test]
+fn server_matches_direct_engine_on_zipf_stream() {
+    let engine = EngineConfig { window: 1 << 14, shards: 4, memory_bytes: 64 << 10, seed: 11 };
+    let server = start_server(engine);
+    let cfg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        items: 100_000,
+        batch: 256,
+        queries: 400,
+        mode: Mode::Closed,
+        universe: 50_000,
+        skew: 1.05,
+        seed: 42,
+        sim_every: 8,
+        verify: Some(engine),
+    };
+    let summary = loadgen::run(&cfg).expect("loadgen transport");
+    assert_eq!(summary.insert.items, 100_000);
+    assert_eq!(summary.query.ops, 400);
+    assert_eq!(summary.verified, 400, "every query must be checked");
+    assert_eq!(summary.mismatches, 0, "server diverged from direct engine");
+
+    let stats = server.join();
+    assert_eq!(stats.len(), 4);
+    let total: u64 = stats.iter().map(|s| s.inserts).sum();
+    assert_eq!(total, 100_000, "drain must apply every enqueued item");
+}
+
+/// Same stream, two speakers: per-key routing means a second connection's
+/// disjoint traffic does not perturb single-connection determinism checks
+/// done *after* both connections quiesce.
+#[test]
+fn stats_reflect_all_connections() {
+    let engine = EngineConfig { window: 1 << 10, shards: 2, memory_bytes: 8 << 10, seed: 5 };
+    let server = start_server(engine);
+    let addr = server.local_addr();
+
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    a.insert_batch(0, &(0..500u64).collect::<Vec<_>>()).unwrap();
+    b.insert_batch(0, &(500..1000u64).collect::<Vec<_>>()).unwrap();
+    // A query fans out behind both connections' enqueued inserts.
+    let card = a.query_card().unwrap();
+    assert!(card > 0.0);
+    let stats = a.stats().unwrap();
+    assert_eq!(stats.iter().map(|s| s.inserts).sum::<u64>(), 1000);
+    drop(a);
+    drop(b);
+    server.join();
+}
+
+/// Wire-level shutdown: the server answers, drains, and the port closes.
+#[test]
+fn wire_shutdown_drains_and_stops() {
+    let engine = EngineConfig { window: 1 << 10, shards: 2, memory_bytes: 8 << 10, seed: 6 };
+    let server = start_server(engine);
+    let addr = server.local_addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    c.insert_batch(0, &(0..2048u64).collect::<Vec<_>>()).unwrap();
+    c.shutdown().unwrap();
+    drop(c);
+
+    let stats = server.join();
+    assert_eq!(stats.iter().map(|s| s.inserts).sum::<u64>(), 2048);
+    // The listener is gone: a fresh connection must fail (allow the OS a
+    // moment to tear the socket down).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(std::net::TcpStream::connect(addr).is_err(), "port still accepting");
+}
+
+/// Malformed frames get an ERR response, and the connection survives to
+/// serve well-formed requests afterwards.
+#[test]
+fn malformed_frame_gets_err_not_hangup() {
+    use she_server::codec::{read_frame, write_frame};
+    use she_server::protocol::{Request, Response};
+
+    let engine = EngineConfig { window: 1 << 10, shards: 1, memory_bytes: 4 << 10, seed: 7 };
+    let server = start_server(engine);
+    let mut sock = std::net::TcpStream::connect(server.local_addr()).unwrap();
+
+    write_frame(&mut sock, &[0xFFu8, 1, 2, 3]).unwrap();
+    let resp = Response::decode(&read_frame(&mut sock).unwrap().unwrap()).unwrap();
+    assert!(matches!(resp, Response::Err(_)), "got {resp:?}");
+
+    write_frame(&mut sock, &Request::QueryCard.encode()).unwrap();
+    let resp = Response::decode(&read_frame(&mut sock).unwrap().unwrap()).unwrap();
+    assert!(matches!(resp, Response::F64(_)), "got {resp:?}");
+
+    drop(sock);
+    server.join();
+}
+
+/// Open-loop pacing delivers the same items (and the same answers) as
+/// closed-loop — pacing must not change what is applied.
+#[test]
+fn open_loop_mode_applies_the_same_stream() {
+    let engine = EngineConfig { window: 1 << 12, shards: 2, memory_bytes: 16 << 10, seed: 9 };
+    let server = start_server(engine);
+    let cfg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        items: 20_000,
+        batch: 500,
+        queries: 40,
+        mode: Mode::Open { items_per_sec: 2_000_000.0 },
+        universe: 10_000,
+        skew: 1.05,
+        seed: 3,
+        sim_every: 4,
+        verify: Some(engine),
+    };
+    let summary = loadgen::run(&cfg).expect("loadgen transport");
+    assert_eq!(summary.mismatches, 0);
+    assert_eq!(summary.insert.items, 20_000);
+    server.join();
+}

@@ -133,10 +133,7 @@ mod tests {
         }
         let fpr = fp as f64 / probes as f64;
         let theory = bf.theoretical_fpr(n);
-        assert!(
-            (fpr - theory).abs() < 3.0 * theory.max(0.001),
-            "fpr={fpr} theory={theory}"
-        );
+        assert!((fpr - theory).abs() < 3.0 * theory.max(0.001), "fpr={fpr} theory={theory}");
     }
 
     #[test]

@@ -22,9 +22,7 @@ impl PackedArray {
     pub fn new(m: usize, bits: u32) -> Self {
         assert!((1..=64).contains(&bits), "cell width must be 1..=64 bits");
         assert!(m > 0, "cell array must be non-empty");
-        let total_bits = m
-            .checked_mul(bits as usize)
-            .expect("cell array size overflows");
+        let total_bits = m.checked_mul(bits as usize).expect("cell array size overflows");
         let words = vec![0u64; total_bits.div_ceil(64)];
         Self { words, m, bits }
     }

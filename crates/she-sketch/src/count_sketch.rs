@@ -39,11 +39,7 @@ impl CountSketchSpec {
     /// `m` counters, `k` hash pairs.
     pub fn new(m: usize, k: usize, seed: u32) -> Self {
         assert!(m > 0 && k > 0);
-        Self {
-            m,
-            locs: HashFamily::new(k, seed),
-            signs: HashFamily::new(k, seed ^ 0x00C0_FFEE),
-        }
+        Self { m, locs: HashFamily::new(k, seed), signs: HashFamily::new(k, seed ^ 0x00C0_FFEE) }
     }
 
     /// `+1` or `-1` for hash pair `i`.

@@ -104,10 +104,7 @@ impl CsmSpec for HllSpec {
     }
     fn updates<K: HashKey + ?Sized>(&self, key: &K, out: &mut Vec<CellUpdate>) {
         out.clear();
-        out.push(CellUpdate {
-            index: self.hc.index(0, key, self.m),
-            operand: self.rank(key),
-        });
+        out.push(CellUpdate { index: self.hc.index(0, key, self.m), operand: self.rank(key) });
     }
     fn apply(&self, operand: u64, old: u64) -> u64 {
         operand.max(old)
@@ -212,7 +209,8 @@ mod tests {
             hll.insert(&i);
         }
         // Estimate from only the even registers, scaled back to 4096.
-        let regs: Vec<u64> = (0..1 << 12).filter(|i| i % 2 == 0).map(|i| hll.inner.cells().get(i)).collect();
+        let regs: Vec<u64> =
+            (0..1 << 12).filter(|i| i % 2 == 0).map(|i| hll.inner.cells().get(i)).collect();
         let est = hll_estimate_subset(regs.into_iter(), 1 << 12);
         let re = (est - c as f64).abs() / c as f64;
         assert!(re < 0.12, "estimate {est}, relative error {re}");

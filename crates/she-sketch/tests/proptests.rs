@@ -1,37 +1,51 @@
-//! Property tests for the fixed-window sketches and the packed cell store.
+//! Property tests for the fixed-window sketches and the packed cell
+//! store, as deterministic seeded loops over randomized cases (same
+//! invariants as the original `proptest` suite, reproducible from the
+//! fixed seeds).
 
-use proptest::prelude::*;
+use she_hash::{RandomSource, Xoshiro256};
 use she_sketch::{Bitmap, BloomFilter, CountMin, HyperLogLog, MinHash, PackedArray};
 
-proptest! {
-    /// PackedArray behaves exactly like a Vec<u64> model for any cell
-    /// width and any interleaving of writes.
-    #[test]
-    fn packed_array_matches_vec_model(
-        bits in 1u32..=64,
-        ops in prop::collection::vec((0usize..200, any::<u64>()), 1..300),
-    ) {
+const CASES: u64 = 48;
+
+fn random_keys(rng: &mut Xoshiro256, min_len: usize, max_len: usize) -> Vec<u64> {
+    let n = min_len + rng.next_below(max_len - min_len);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+/// PackedArray behaves exactly like a Vec<u64> model for any cell width
+/// and any interleaving of writes.
+#[test]
+fn packed_array_matches_vec_model() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xFACC ^ case);
+        let bits = 1 + rng.next_below(64) as u32;
         let m = 200;
         let mut arr = PackedArray::new(m, bits);
         let mut model = vec![0u64; m];
         let mask = arr.max_value();
-        for (i, v) in ops {
+        let n_ops = 1 + rng.next_below(299);
+        for _ in 0..n_ops {
+            let i = rng.next_below(m);
+            let v = rng.next_u64();
             arr.set(i, v & mask);
             model[i] = v & mask;
         }
         for (i, &expected) in model.iter().enumerate() {
-            prop_assert_eq!(arr.get(i), expected);
+            assert_eq!(arr.get(i), expected, "case {case}, cell {i}");
         }
-        prop_assert_eq!(arr.count_zeros(), model.iter().filter(|&&v| v == 0).count());
+        assert_eq!(arr.count_zeros(), model.iter().filter(|&&v| v == 0).count(), "case {case}");
     }
+}
 
-    /// clear_range only affects the requested span.
-    #[test]
-    fn packed_clear_range_is_surgical(
-        bits in 1u32..=17,
-        start in 0usize..150,
-        len in 0usize..50,
-    ) {
+/// clear_range only affects the requested span.
+#[test]
+fn packed_clear_range_is_surgical() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xC1EA ^ case);
+        let bits = 1 + rng.next_below(17) as u32;
+        let start = rng.next_below(150);
+        let len = rng.next_below(50);
         let m = 200;
         let mut arr = PackedArray::new(m, bits);
         let mask = arr.max_value();
@@ -45,25 +59,34 @@ proptest! {
             } else {
                 (i as u64 + 1) & mask | 1
             };
-            prop_assert_eq!(arr.get(i), expect, "i = {}", i);
+            assert_eq!(arr.get(i), expect, "case {case}, i = {i}");
         }
     }
+}
 
-    /// Bloom filters never produce false negatives, for any key multiset.
-    #[test]
-    fn bloom_no_false_negatives(keys in prop::collection::vec(any::<u64>(), 1..500)) {
+/// Bloom filters never produce false negatives, for any key multiset.
+#[test]
+fn bloom_no_false_negatives() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xB100 ^ case);
+        let keys = random_keys(&mut rng, 1, 500);
         let mut bf = BloomFilter::new(1 << 12, 4, 7);
         for k in &keys {
             bf.insert(k);
         }
         for k in &keys {
-            prop_assert!(bf.contains(k));
+            assert!(bf.contains(k), "case {case}");
         }
     }
+}
 
-    /// Count-Min never underestimates, for any key multiset.
-    #[test]
-    fn count_min_never_underestimates(keys in prop::collection::vec(0u64..50, 1..400)) {
+/// Count-Min never underestimates, for any key multiset.
+#[test]
+fn count_min_never_underestimates() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xC096 ^ case);
+        let n = 1 + rng.next_below(399);
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_below(50) as u64).collect();
         let mut cm = CountMin::new(1 << 10, 32, 4, 3);
         let mut exact = std::collections::HashMap::new();
         for k in &keys {
@@ -71,13 +94,17 @@ proptest! {
             *exact.entry(*k).or_insert(0u64) += 1;
         }
         for (k, c) in exact {
-            prop_assert!(cm.query(&k) >= c, "key {} underestimated", k);
+            assert!(cm.query(&k) >= c, "case {case}: key {k} underestimated");
         }
     }
+}
 
-    /// Bitmap estimates are insertion-order invariant.
-    #[test]
-    fn bitmap_order_invariant(mut keys in prop::collection::vec(any::<u64>(), 1..300)) {
+/// Bitmap estimates are insertion-order invariant.
+#[test]
+fn bitmap_order_invariant() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xB17A ^ case);
+        let mut keys = random_keys(&mut rng, 1, 300);
         let mut a = Bitmap::new(4096, 1);
         for k in &keys {
             a.insert(k);
@@ -87,12 +114,16 @@ proptest! {
         for k in &keys {
             b.insert(k);
         }
-        prop_assert_eq!(a.estimate(), b.estimate());
+        assert_eq!(a.estimate(), b.estimate(), "case {case}");
     }
+}
 
-    /// HyperLogLog estimates are insertion-order and duplication invariant.
-    #[test]
-    fn hll_duplication_invariant(keys in prop::collection::vec(any::<u64>(), 1..300)) {
+/// HyperLogLog estimates are insertion-order and duplication invariant.
+#[test]
+fn hll_duplication_invariant() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x4119 ^ case);
+        let keys = random_keys(&mut rng, 1, 300);
         let mut a = HyperLogLog::new(256, 5, 2);
         let mut b = HyperLogLog::new(256, 5, 2);
         for k in &keys {
@@ -102,15 +133,17 @@ proptest! {
             b.insert(k);
             b.insert(k);
         }
-        prop_assert_eq!(a.estimate(), b.estimate());
+        assert_eq!(a.estimate(), b.estimate(), "case {case}");
     }
+}
 
-    /// MinHash similarity is symmetric and bounded in [0, 1].
-    #[test]
-    fn minhash_symmetric(
-        ka in prop::collection::vec(any::<u64>(), 1..200),
-        kb in prop::collection::vec(any::<u64>(), 1..200),
-    ) {
+/// MinHash similarity is symmetric and bounded in [0, 1].
+#[test]
+fn minhash_symmetric() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x3417 ^ case);
+        let ka = random_keys(&mut rng, 1, 200);
+        let kb = random_keys(&mut rng, 1, 200);
         let mut a = MinHash::new(64, 9);
         let mut b = MinHash::new(64, 9);
         for k in &ka {
@@ -121,19 +154,23 @@ proptest! {
         }
         let ab = a.similarity(&b);
         let ba = b.similarity(&a);
-        prop_assert_eq!(ab, ba);
-        prop_assert!((0.0..=1.0).contains(&ab));
+        assert_eq!(ab, ba, "case {case}");
+        assert!((0.0..=1.0).contains(&ab), "case {case}");
     }
+}
 
-    /// MinHash of identical multisets is exactly 1.
-    #[test]
-    fn minhash_identity(keys in prop::collection::vec(any::<u64>(), 1..200)) {
+/// MinHash of identical multisets is exactly 1.
+#[test]
+fn minhash_identity() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x1DE4 ^ case);
+        let keys = random_keys(&mut rng, 1, 200);
         let mut a = MinHash::new(64, 9);
         let mut b = MinHash::new(64, 9);
         for k in &keys {
             a.insert(k);
             b.insert(k);
         }
-        prop_assert_eq!(a.similarity(&b), 1.0);
+        assert_eq!(a.similarity(&b), 1.0, "case {case}");
     }
 }

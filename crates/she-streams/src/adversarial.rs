@@ -72,7 +72,6 @@ impl KeyStream for OnOffBurst {
     }
 }
 
-
 /// Continuously rotating key space: at step `t` the live keys are
 /// `{t/phase · width .. t/phase · width + width}`, so consecutive windows
 /// overlap partially and the stream never reaches a steady state.

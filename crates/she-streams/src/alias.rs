@@ -6,7 +6,7 @@
 //! tens of millions of samples, where the alias table's constant time and
 //! single cache line per draw matter.
 
-use rand::Rng;
+use she_hash::RandomSource;
 
 /// An alias table over `n` outcomes.
 #[derive(Debug, Clone)]
@@ -25,7 +25,10 @@ impl AliasTable {
         assert!(n > 0, "alias table needs at least one outcome");
         assert!(n <= u32::MAX as usize, "too many outcomes");
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0 && weights.iter().all(|&w| w >= 0.0), "weights must be non-negative with positive sum");
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative with positive sum"
+        );
 
         // Scaled probabilities: mean 1.0.
         let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
@@ -70,8 +73,8 @@ impl AliasTable {
 
     /// Draw one outcome.
     #[inline]
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let r: u64 = rng.gen();
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> usize {
+        let r: u64 = rng.next_u64();
         let slot = she_hash::reduce_range(r, self.prob.len());
         // Reuse the low bits as the acceptance coin (independent enough for
         // sampling once mixed; rigorous users can draw twice).
@@ -87,12 +90,11 @@ impl AliasTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use she_hash::Xoshiro256;
 
     fn empirical(weights: &[f64], draws: usize) -> Vec<f64> {
         let t = AliasTable::new(weights);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256::new(42);
         let mut counts = vec![0usize; weights.len()];
         for _ in 0..draws {
             counts[t.sample(&mut rng)] += 1;
@@ -106,11 +108,7 @@ mod tests {
         let freqs = empirical(&weights, 400_000);
         for (i, &w) in weights.iter().enumerate() {
             let expect = w / 10.0;
-            assert!(
-                (freqs[i] - expect).abs() < 0.01,
-                "outcome {i}: {} vs {expect}",
-                freqs[i]
-            );
+            assert!((freqs[i] - expect).abs() < 0.01, "outcome {i}: {} vs {expect}", freqs[i]);
         }
     }
 

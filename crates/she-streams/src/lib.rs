@@ -23,8 +23,7 @@ pub use adversarial::{OnOffBurst, RepeatedKey, SlidingPhase};
 pub use alias::AliasTable;
 pub use zipf::Zipf;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use she_hash::{RandomSource, Xoshiro256};
 
 /// A deterministic stream of `u64` keys.
 pub trait KeyStream {
@@ -47,13 +46,13 @@ pub trait KeyStream {
 #[derive(Debug, Clone)]
 pub struct CaidaLike {
     zipf: Zipf,
-    rng: StdRng,
+    rng: Xoshiro256,
 }
 
 impl CaidaLike {
     /// Stream over `universe` distinct keys with Zipf exponent `skew`.
     pub fn new(universe: usize, skew: f64, seed: u64) -> Self {
-        Self { zipf: Zipf::new(universe, skew), rng: StdRng::seed_from_u64(seed) }
+        Self { zipf: Zipf::new(universe, skew), rng: Xoshiro256::new(seed) }
     }
 
     /// The paper-shaped default: 600 K universe, skew 1.05.
@@ -99,7 +98,7 @@ impl KeyStream for DistinctStream {
 #[derive(Debug, Clone)]
 pub struct CampusLike {
     zipf: Zipf,
-    rng: StdRng,
+    rng: Xoshiro256,
     burst_key: u64,
     burst_left: u32,
 }
@@ -109,7 +108,7 @@ impl CampusLike {
     pub fn new(universe: usize, seed: u64) -> Self {
         Self {
             zipf: Zipf::new(universe, 1.2),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::new(seed),
             burst_key: 0,
             burst_left: 0,
         }
@@ -130,9 +129,9 @@ impl KeyStream for CampusLike {
         let rank = self.zipf.sample(&mut self.rng) as u64;
         let key = she_hash::mix64(rank ^ 0xCAFE);
         // 1-in-64 items start a short burst of the same key (TCP trains).
-        if self.rng.gen_range(0..64) == 0 {
+        if self.rng.next_below(64) == 0 {
             self.burst_key = key;
-            self.burst_left = self.rng.gen_range(4..16);
+            self.burst_left = self.rng.next_range(4, 16) as u32;
         }
         key
     }
@@ -143,13 +142,13 @@ impl KeyStream for CampusLike {
 #[derive(Debug, Clone)]
 pub struct WebpageLike {
     zipf: Zipf,
-    rng: StdRng,
+    rng: Xoshiro256,
 }
 
 impl WebpageLike {
     /// Stream over `universe` keys with mild skew.
     pub fn new(universe: usize, seed: u64) -> Self {
-        Self { zipf: Zipf::new(universe, 0.7), rng: StdRng::seed_from_u64(seed) }
+        Self { zipf: Zipf::new(universe, 0.7), rng: Xoshiro256::new(seed) }
     }
 
     /// Default shape: 2 M universe.
@@ -179,7 +178,7 @@ pub struct RelevantPair {
     private_a: Zipf,
     private_b: Zipf,
     overlap: f64,
-    rng: StdRng,
+    rng: Xoshiro256,
 }
 
 impl RelevantPair {
@@ -191,18 +190,18 @@ impl RelevantPair {
             private_a: Zipf::new(universe, 0.9),
             private_b: Zipf::new(universe, 0.9),
             overlap,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::new(seed),
         }
     }
 
     /// Draw the next aligned pair `(key_a, key_b)`.
     pub fn next_pair(&mut self) -> (u64, u64) {
-        let a = if self.rng.gen_bool(self.overlap) {
+        let a = if self.rng.next_bool(self.overlap) {
             she_hash::mix64(self.shared.sample(&mut self.rng) as u64)
         } else {
             she_hash::mix64(self.private_a.sample(&mut self.rng) as u64 | 1 << 62)
         };
-        let b = if self.rng.gen_bool(self.overlap) {
+        let b = if self.rng.next_bool(self.overlap) {
             she_hash::mix64(self.shared.sample(&mut self.rng) as u64)
         } else {
             she_hash::mix64(self.private_b.sample(&mut self.rng) as u64 | 1 << 63)
@@ -225,10 +224,7 @@ mod tests {
         let ratio = distinct.len() as f64 / n as f64;
         // The real trace slice is ~2%; accept a broad band since the ratio
         // depends on stream length.
-        assert!(
-            (0.005..0.30).contains(&ratio),
-            "distinct ratio {ratio} out of CAIDA-like band"
-        );
+        assert!((0.005..0.30).contains(&ratio), "distinct ratio {ratio} out of CAIDA-like band");
     }
 
     #[test]

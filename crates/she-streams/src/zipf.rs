@@ -6,7 +6,7 @@
 //! the two samplers.
 
 use crate::AliasTable;
-use rand::Rng;
+use she_hash::RandomSource;
 
 /// A Zipf distribution over ranks `0..universe` with exponent `skew`:
 /// `P(rank = r) ∝ 1 / (r + 1)^skew`.
@@ -42,14 +42,14 @@ impl Zipf {
 
     /// Draw one rank (alias method, O(1)).
     #[inline]
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> usize {
         self.alias.sample(rng)
     }
 
     /// Draw one rank by inverting the CDF (O(log n); reference path used by
     /// the sampler-equivalence test).
-    pub fn sample_cdf<R: Rng>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample_cdf<R: RandomSource>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.next_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
@@ -57,13 +57,12 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use she_hash::Xoshiro256;
 
     #[test]
     fn uniform_when_skew_zero() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::new(1);
         let mut counts = [0u32; 10];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -76,7 +75,7 @@ mod tests {
     #[test]
     fn rank_zero_dominates_with_skew() {
         let z = Zipf::new(1000, 1.2);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256::new(2);
         let mut zero = 0u32;
         let n = 100_000;
         for _ in 0..n {
@@ -92,7 +91,7 @@ mod tests {
     #[test]
     fn samples_stay_in_range() {
         let z = Zipf::new(17, 1.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256::new(3);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 17);
         }
@@ -101,7 +100,7 @@ mod tests {
     #[test]
     fn frequencies_follow_power_law() {
         let z = Zipf::new(10_000, 1.0);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256::new(4);
         let mut counts = vec![0u32; 10_000];
         for _ in 0..1_000_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -115,7 +114,7 @@ mod tests {
     fn alias_and_cdf_samplers_agree_in_distribution() {
         let z = Zipf::new(500, 1.1);
         let n = 200_000;
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256::new(5);
         let mut a = vec![0f64; 500];
         let mut c = vec![0f64; 500];
         for _ in 0..n {
@@ -127,10 +126,7 @@ mod tests {
         for r in 0..20 {
             let pa = a[r] / n as f64;
             let pc = c[r] / n as f64;
-            assert!(
-                (pa - pc).abs() < 0.01 + 0.1 * pc,
-                "rank {r}: alias {pa:.4} vs cdf {pc:.4}"
-            );
+            assert!((pa - pc).abs() < 0.01 + 0.1 * pc, "rank {r}: alias {pa:.4} vs cdf {pc:.4}");
         }
     }
 }

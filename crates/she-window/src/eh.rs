@@ -136,10 +136,7 @@ mod tests {
     /// Replay `events` (times) and compare against the exact window count
     /// at time `t`.
     fn exact_count(events: &[u64], now: u64, window: u64) -> u64 {
-        events
-            .iter()
-            .filter(|&&e| e <= now && (now < window || e > now - window))
-            .count() as u64
+        events.iter().filter(|&&e| e <= now && (now < window || e > now - window)).count() as u64
     }
 
     #[test]

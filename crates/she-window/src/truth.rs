@@ -22,11 +22,7 @@ impl WindowTruth {
     /// Track the last `window` items exactly.
     pub fn new(window: usize) -> Self {
         assert!(window > 0);
-        Self {
-            window,
-            items: VecDeque::with_capacity(window + 1),
-            counts: HashMap::new(),
-        }
+        Self { window, items: VecDeque::with_capacity(window + 1), counts: HashMap::new() }
     }
 
     /// The window size `N`.

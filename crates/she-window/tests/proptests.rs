@@ -1,38 +1,46 @@
-//! Property tests for the exact-window substrates.
+//! Property tests for the exact-window substrates, as deterministic
+//! seeded loops over randomized cases (same invariants as the original
+//! `proptest` suite, reproducible from the fixed seeds).
 
-use proptest::prelude::*;
+use she_hash::{RandomSource, Xoshiro256};
 use she_window::{ExponentialHistogram, PairTruth, WindowTruth};
 
-proptest! {
-    /// WindowTruth matches a naive O(N) recomputation for any stream.
-    #[test]
-    fn window_truth_matches_naive(
-        window in 1usize..60,
-        keys in prop::collection::vec(0u64..30, 1..400),
-    ) {
+/// WindowTruth matches a naive O(N) recomputation for any stream.
+#[test]
+fn window_truth_matches_naive() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256::new(0x717A ^ case);
+        let window = 1 + rng.next_below(59);
+        let n = 1 + rng.next_below(399);
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_below(30) as u64).collect();
         let mut w = WindowTruth::new(window);
         for (i, &k) in keys.iter().enumerate() {
             w.insert(k);
             let tail: Vec<u64> = keys[..=i].iter().rev().take(window).copied().collect();
             let distinct: std::collections::HashSet<u64> = tail.iter().copied().collect();
-            prop_assert_eq!(w.cardinality(), distinct.len());
-            prop_assert_eq!(w.len(), tail.len());
+            assert_eq!(w.cardinality(), distinct.len(), "case {case}");
+            assert_eq!(w.len(), tail.len(), "case {case}");
             for &k2 in &distinct {
-                prop_assert_eq!(
+                assert_eq!(
                     w.frequency(k2) as usize,
-                    tail.iter().filter(|&&t| t == k2).count()
+                    tail.iter().filter(|&&t| t == k2).count(),
+                    "case {case}"
                 );
-                prop_assert!(w.contains(k2));
+                assert!(w.contains(k2), "case {case}");
             }
         }
     }
+}
 
-    /// PairTruth's Jaccard matches a set-based recomputation.
-    #[test]
-    fn pair_truth_jaccard_matches_sets(
-        window in 1usize..40,
-        pairs in prop::collection::vec((0u64..20, 0u64..20), 1..200),
-    ) {
+/// PairTruth's Jaccard matches a set-based recomputation.
+#[test]
+fn pair_truth_jaccard_matches_sets() {
+    for case in 0..48u64 {
+        let mut rng = Xoshiro256::new(0x9A1C ^ case);
+        let window = 1 + rng.next_below(39);
+        let n = 1 + rng.next_below(199);
+        let pairs: Vec<(u64, u64)> =
+            (0..n).map(|_| (rng.next_below(20) as u64, rng.next_below(20) as u64)).collect();
         let mut p = PairTruth::new(window);
         for &(a, b) in &pairs {
             p.insert_a(a);
@@ -45,52 +53,53 @@ proptest! {
         let inter = tail_a.intersection(&tail_b).count();
         let union = tail_a.len() + tail_b.len() - inter;
         let expect = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
-        prop_assert!((p.jaccard() - expect).abs() < 1e-12);
+        assert!((p.jaccard() - expect).abs() < 1e-12, "case {case}");
     }
+}
 
-    /// The exponential histogram's estimate stays within its guaranteed
-    /// relative error of the exact window count, for any arrival pattern.
-    #[test]
-    fn eh_error_bound_holds(
-        window in 2u64..200,
-        k in 2usize..10,
-        gaps in prop::collection::vec(1u64..5, 1..500),
-    ) {
+/// The exponential histogram's estimate stays within its guaranteed
+/// relative error of the exact window count, for any arrival pattern.
+#[test]
+fn eh_error_bound_holds() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256::new(0xE4B0 ^ case);
+        let window = rng.next_range(2, 200);
+        let k = 2 + rng.next_below(8);
+        let n = 1 + rng.next_below(499);
         let mut eh = ExponentialHistogram::new(window, k);
         let mut times = Vec::new();
         let mut t = 0u64;
-        for g in gaps {
-            t += g;
+        for _ in 0..n {
+            t += rng.next_range(1, 5);
             eh.record(t);
             times.push(t);
-            let exact = times
-                .iter()
-                .filter(|&&e| t < window || e > t - window)
-                .count() as f64;
+            let exact = times.iter().filter(|&&e| t < window || e > t - window).count() as f64;
             let est = eh.estimate() as f64;
             let bound = exact / k as f64 + 1.0; // ±1 for the integer floor
-            prop_assert!(
+            assert!(
                 (est - exact).abs() <= bound,
-                "t={} est={} exact={} bound={}", t, est, exact, bound
+                "case {case}: t={t} est={est} exact={exact} bound={bound}"
             );
         }
     }
+}
 
-    /// Advancing time far enough always empties the histogram.
-    #[test]
-    fn eh_total_expiry(
-        window in 1u64..100,
-        k in 1usize..8,
-        events in prop::collection::vec(1u64..1000, 0..100),
-    ) {
+/// Advancing time far enough always empties the histogram.
+#[test]
+fn eh_total_expiry() {
+    for case in 0..48u64 {
+        let mut rng = Xoshiro256::new(0xE897 ^ case);
+        let window = rng.next_range(1, 100);
+        let k = 1 + rng.next_below(7);
+        let n = rng.next_below(100);
         let mut eh = ExponentialHistogram::new(window, k);
         let mut t = 0;
-        for e in events {
-            t += e;
+        for _ in 0..n {
+            t += rng.next_range(1, 1000);
             eh.record(t);
         }
         eh.advance_to(t + window + 1);
-        prop_assert_eq!(eh.estimate(), 0);
-        prop_assert_eq!(eh.num_buckets(), 0);
+        assert_eq!(eh.estimate(), 0, "case {case}");
+        assert_eq!(eh.num_buckets(), 0, "case {case}");
     }
 }

@@ -11,9 +11,7 @@
 //! then deliberately mis-designs a pipeline to show what a constraint
 //! violation looks like.
 
-use she::hwsim::{
-    AccessKind, MemorySystem, ResourceReport, ShePipeline, SheVariant,
-};
+use she::hwsim::{AccessKind, MemorySystem, ResourceReport, ShePipeline, SheVariant};
 
 fn main() {
     for variant in [SheVariant::Bitmap, SheVariant::Bloom { k: 8 }] {

@@ -49,13 +49,13 @@ fn main() {
         let tail: std::collections::HashSet<u64> =
             all[all.len() - n as usize..].iter().copied().collect();
         let exact = tail.len() as f64;
-        println!(
-            "{n:>12} {est:>12.0} {exact:>12.0} {:>7.2}%",
-            100.0 * (est - exact).abs() / exact
-        );
+        println!("{n:>12} {est:>12.0} {exact:>12.0} {:>7.2}%", 100.0 * (est - exact).abs() / exact);
     }
 
-    println!("\ncardinality-vs-age curve (first/last points of {} groups):", bm.engine().num_groups());
+    println!(
+        "\ncardinality-vs-age curve (first/last points of {} groups):",
+        bm.engine().num_groups()
+    );
     let curve = bm.cardinality_curve();
     for (age, est) in curve.iter().take(3).chain(curve.iter().rev().take(3).rev()) {
         println!("  age {age:>7}  F(age) ~= {est:.0}");

@@ -30,7 +30,10 @@ fn main() {
     let total = 10 * window;
     let attack = (4 * window, 5 * window);
 
-    println!("{:>10} {:>12} {:>12} {:>8} {:>14} {:>10}", "packet", "est_sources", "true_sources", "err%", "elephant_est", "true");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8} {:>14} {:>10}",
+        "packet", "est_sources", "true_sources", "err%", "elephant_est", "true"
+    );
     for t in 0..total {
         let key = if (attack.0..attack.1).contains(&t) {
             // Attack phase: spoofed sources + a heavy flow.
@@ -51,7 +54,8 @@ fn main() {
             let exact = truth.cardinality() as f64;
             let ele_est = cm.query(&elephant);
             let ele_true = truth.frequency(elephant);
-            let phase = if (attack.0..attack.1 + window).contains(&t) { "  <-- attack window" } else { "" };
+            let phase =
+                if (attack.0..attack.1 + window).contains(&t) { "  <-- attack window" } else { "" };
             println!(
                 "{t:>10} {est:>12.0} {exact:>12.0} {:>7.2}% {ele_est:>14} {ele_true:>10}{phase}",
                 100.0 * (est - exact).abs() / exact
@@ -63,6 +67,9 @@ fn main() {
     // and recovered after it.
     println!("\nDuring the attack the distinct-source count roughly doubles;");
     println!("after one further window it returns to the baseline — that is");
-    println!("the sliding window doing its job with {} KB + {} KB of state.",
-        hll.memory_bits() / 8 / 1024, cm.memory_bits() / 8 / 1024);
+    println!(
+        "the sliding window doing its job with {} KB + {} KB of state.",
+        hll.memory_bits() / 8 / 1024,
+        cm.memory_bits() / 8 / 1024
+    );
 }

@@ -49,9 +49,6 @@ fn main() {
 
     let final_sim = sig_primary.similarity(&mut sig_mirror);
     println!("\nfinal similarity after recovery: {final_sim:.3} (expect near 1.0)");
-    println!(
-        "signature memory: 2 x {} bytes",
-        sig_primary.memory_bits() / 8
-    );
+    println!("signature memory: 2 x {} bytes", sig_primary.memory_bits() / 8);
     assert!(final_sim > 0.8, "feeds must re-converge after the fault clears");
 }

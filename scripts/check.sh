@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Repo gate: offline release build, offline tests, formatting.
+# Everything must pass with no network (the workspace has no external
+# dependencies by design — see ROADMAP.md).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "check.sh: all green"

@@ -34,12 +34,8 @@ fn on_off_bursts_expire() {
     // The window must cover one whole burst+gap period (1200 items) so the
     // most recent completed burst is still inside it.
     let window = 1u64 << 11;
-    let mut bf = SheBloomFilter::builder()
-        .window(window)
-        .memory_bytes(64 << 10)
-        .alpha(1.0)
-        .seed(2)
-        .build();
+    let mut bf =
+        SheBloomFilter::builder().window(window).memory_bytes(64 << 10).alpha(1.0).seed(2).build();
     let mut gen = OnOffBurst::new(200, 1_000, 3);
     let mut bursts: Vec<Vec<u64>> = vec![Vec::new()];
     for _ in 0..30_000 {
@@ -93,19 +89,15 @@ fn sliding_phase_tracks_moving_truth() {
 #[test]
 fn giant_clock_jumps() {
     let window = 1u64 << 10;
-    let mut bf = SheBloomFilter::builder()
-        .window(window)
-        .memory_bytes(32 << 10)
-        .alpha(1.0)
-        .seed(6)
-        .build();
+    let mut bf =
+        SheBloomFilter::builder().window(window).memory_bytes(32 << 10).alpha(1.0).seed(6).build();
     for i in 0..window {
         bf.insert(&i);
     }
     let t_cycle = bf.engine().config().t_cycle;
     bf.advance_time(1_001 * t_cycle); // odd multiple: all marks flip
-    // Everything is cleaned; the only acceptable "hits" are the vacuous
-    // ones where all 8 hashed groups happen to be young (≈ (N/Tc)^8).
+                                      // Everything is cleaned; the only acceptable "hits" are the vacuous
+                                      // ones where all 8 hashed groups happen to be young (≈ (N/Tc)^8).
     let survivors = (0..window).filter(|k| bf.contains(k)).count();
     assert!(
         survivors <= window as usize / 100,

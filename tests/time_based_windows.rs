@@ -76,18 +76,10 @@ fn frequency_decays_with_idle_time() {
 #[test]
 fn uniform_arrival_matches_count_based() {
     let window = 4_096u64;
-    let mut count_based = SheBloomFilter::builder()
-        .window(window)
-        .memory_bytes(16 << 10)
-        .alpha(2.0)
-        .seed(3)
-        .build();
-    let mut time_based = SheBloomFilter::builder()
-        .window(window)
-        .memory_bytes(16 << 10)
-        .alpha(2.0)
-        .seed(3)
-        .build();
+    let mut count_based =
+        SheBloomFilter::builder().window(window).memory_bytes(16 << 10).alpha(2.0).seed(3).build();
+    let mut time_based =
+        SheBloomFilter::builder().window(window).memory_bytes(16 << 10).alpha(2.0).seed(3).build();
     // Count-based: insert() ticks the clock. Time-based with 1 arrival per
     // unit: identical sequence of (t, key).
     for i in 0..20_000u64 {
