@@ -9,6 +9,9 @@
 //! she pipeline    [--variant bm|bf|cm|hll] [--items N]
 //! she analyze     [--window N] [--memory BYTES] [--hashes K] [--cardinality C]
 //! she serve       [--addr HOST:PORT] [--shards N] [--window N] [--memory BYTES] [--queue N]
+//!                 [--restore DIR]
+//! she checkpoint  [--addr HOST:PORT] [--dir DIR]
+//! she query       [--addr HOST:PORT] [--op member|card|freq|sim] [--key N]
 //! she loadgen     [--addr HOST:PORT] [--items N] [--queries N] [--verify yes ...]
 //! ```
 //!

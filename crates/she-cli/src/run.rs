@@ -27,7 +27,12 @@ COMMANDS
                --window N --memory BYTES --hashes K --cardinality C
   serve        run the TCP stream-mining server (docs/PROTOCOL.md)
                --addr HOST:PORT --shards N --window N --memory BYTES --seed N
-               --queue N
+               --queue N --restore DIR (start from DIR/checkpoint.she; --shards
+               may differ from the checkpoint — rebalanced by snapshot merge)
+  checkpoint   write a running server's state to DIR/checkpoint.she
+               --addr HOST:PORT --dir DIR
+  query        one query against a running server (bit-exact output)
+               --addr HOST:PORT --op member|card|freq|sim --key N
   loadgen      drive a running server with a Zipf workload
                --addr HOST:PORT --items N --batch N --queries N --open RATE
                --universe N --skew F --seed N --verify yes (+ --shards/
@@ -59,6 +64,8 @@ pub fn dispatch(a: &Args) -> Result<(), ArgError> {
         "pipeline" => pipeline(a),
         "analyze" => analyze(a),
         "serve" => serve(a),
+        "checkpoint" => checkpoint(a),
+        "query" => query(a),
         "loadgen" => loadgen(a),
         "shutdown" => shutdown(a),
         other => Err(ArgError(format!("unknown command '{other}' (see `she help`)"))),
@@ -189,16 +196,43 @@ fn engine_config(a: &Args, seed_flag: &str) -> Result<she_server::EngineConfig, 
     })
 }
 
+/// Read and decode `DIR/checkpoint.she`. Boxing lets one error path carry
+/// both `io::Error` and `she_core::SnapshotError` (a `std::error::Error`).
+fn load_checkpoint(dir: &str) -> Result<she_server::Checkpoint, Box<dyn std::error::Error>> {
+    let path = std::path::Path::new(dir).join("checkpoint.she");
+    let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(she_server::Checkpoint::decode(&bytes)?)
+}
+
 fn serve(a: &Args) -> Result<(), ArgError> {
-    a.expect_only(&["addr", "shards", "window", "memory", "seed", "queue"])?;
-    let cfg = she_server::ServerConfig {
+    a.expect_only(&["addr", "shards", "window", "memory", "seed", "queue", "restore"])?;
+    let restore_dir = a.get("restore", "");
+    let mut cfg = she_server::ServerConfig {
         addr: a.get("addr", "127.0.0.1:7487"),
         engine: engine_config(a, "seed")?,
         queue_capacity: a.get_u64("queue", 256)? as usize,
         ..Default::default()
     };
+    // With --restore, the checkpoint's config is authoritative (rebalanced
+    // by build_engines when --shards differs); flag values are ignored.
+    let restored = if restore_dir.is_empty() {
+        None
+    } else {
+        let ckpt = load_checkpoint(&restore_dir)
+            .map_err(|err| ArgError(format!("--restore {restore_dir}: {err}")))?;
+        let shards = a.get_u64("shards", ckpt.cfg.shards as u64)? as usize;
+        let (engine, engines) = ckpt
+            .build_engines(shards)
+            .map_err(|err| ArgError(format!("--restore {restore_dir}: {err}")))?;
+        cfg.engine = engine;
+        Some(engines)
+    };
     let e = cfg.engine;
-    let server = she_server::Server::start(cfg).map_err(|err| ArgError(err.to_string()))?;
+    let server = match restored {
+        Some(engines) => she_server::Server::start_with_engines(cfg, engines),
+        None => she_server::Server::start(cfg),
+    }
+    .map_err(|err| ArgError(err.to_string()))?;
     println!(
         "she-server listening on {} — {} shards, window {} ({} per shard), {}B per structure",
         server.local_addr(),
@@ -215,6 +249,53 @@ fn serve(a: &Args) -> Result<(), ArgError> {
             "  shard {i}: inserts={} queries={} memory={} bits",
             s.inserts, s.queries, s.memory_bits
         );
+    }
+    Ok(())
+}
+
+fn checkpoint(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["addr", "dir"])?;
+    let addr = a.get("addr", "127.0.0.1:7487");
+    let dir = a.get("dir", "checkpoints");
+    let io = |err: std::io::Error| ArgError(err.to_string());
+    let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    let version = client.hello().map_err(io)?;
+    if version < 2 {
+        return Err(ArgError(format!(
+            "server at {addr} speaks protocol v{version}; SNAPSHOT_ALL needs v2"
+        )));
+    }
+    let blob = client.snapshot_all().map_err(io)?;
+    std::fs::create_dir_all(&dir).map_err(|err| ArgError(format!("{dir}: {err}")))?;
+    let path = std::path::Path::new(&dir).join("checkpoint.she");
+    std::fs::write(&path, &blob).map_err(|err| ArgError(format!("{}: {err}", path.display())))?;
+    println!("wrote {} ({} bytes)", path.display(), blob.len());
+    Ok(())
+}
+
+fn query(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["addr", "op", "key"])?;
+    let op = a.get("op", "member");
+    if !matches!(op.as_str(), "member" | "card" | "freq" | "sim") {
+        return Err(ArgError(format!("unknown --op '{op}' (member|card|freq|sim)")));
+    }
+    let addr = a.get("addr", "127.0.0.1:7487");
+    let key = a.get_u64("key", 0)?;
+    let io = |err: std::io::Error| ArgError(err.to_string());
+    let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    // f64 answers also print their raw bits so scripts can diff bit-exactly.
+    match op.as_str() {
+        "member" => println!("member {key} = {}", client.query_member(key).map_err(io)?),
+        "freq" => println!("freq {key} = {}", client.query_freq(key).map_err(io)?),
+        "card" => {
+            let v = client.query_card().map_err(io)?;
+            println!("card = {v:.6} (bits {:#018x})", v.to_bits());
+        }
+        "sim" => {
+            let v = client.query_sim().map_err(io)?;
+            println!("sim = {v:.6} (bits {:#018x})", v.to_bits());
+        }
+        _ => unreachable!(),
     }
     Ok(())
 }
@@ -336,6 +417,19 @@ mod tests {
     fn serve_and_loadgen_reject_unknown_flags() {
         assert!(dispatch(&args("serve --bogus 1")).is_err());
         assert!(dispatch(&args("loadgen --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_query_validate_flags() {
+        assert!(dispatch(&args("checkpoint --bogus 1")).is_err());
+        assert!(dispatch(&args("query --bogus 1")).is_err());
+        // Op validation happens before any connection attempt.
+        assert!(dispatch(&args("query --addr 127.0.0.1:1 --op nope")).is_err());
+    }
+
+    #[test]
+    fn serve_restore_requires_readable_checkpoint() {
+        assert!(dispatch(&args("serve --restore /nonexistent-she-checkpoint-dir")).is_err());
     }
 
     #[test]

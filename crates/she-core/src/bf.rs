@@ -146,6 +146,11 @@ impl SheBloomFilter {
         &self.engine
     }
 
+    /// Mutable engine access for the snapshot layer.
+    pub(crate) fn engine_mut(&mut self) -> &mut She<BloomSpec> {
+        &mut self.engine
+    }
+
     /// Current logical time.
     #[inline]
     pub fn now(&self) -> u64 {

@@ -244,6 +244,11 @@ impl SheBitmap {
         &self.engine
     }
 
+    /// Mutable engine access for the snapshot layer.
+    pub(crate) fn engine_mut(&mut self) -> &mut She<BitmapSpec> {
+        &mut self.engine
+    }
+
     /// Current logical time.
     #[inline]
     pub fn now(&self) -> u64 {

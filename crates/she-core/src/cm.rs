@@ -195,6 +195,11 @@ impl SheCountMin {
         &self.engine
     }
 
+    /// Mutable engine access for the snapshot layer.
+    pub(crate) fn engine_mut(&mut self) -> &mut She<CountMinSpec> {
+        &mut self.engine
+    }
+
     /// Current logical time.
     #[inline]
     pub fn now(&self) -> u64 {

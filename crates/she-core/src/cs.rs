@@ -152,6 +152,11 @@ impl SheCountSketch {
         &self.engine
     }
 
+    /// Mutable engine access for the snapshot layer.
+    pub(crate) fn engine_mut(&mut self) -> &mut She<CountSketchSpec> {
+        &mut self.engine
+    }
+
     /// Memory footprint in bits.
     #[inline]
     pub fn memory_bits(&self) -> usize {

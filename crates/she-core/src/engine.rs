@@ -363,6 +363,43 @@ impl<S: CsmSpec> She<S> {
         }
     }
 
+    /// Snapshot support: merge another engine's `(clock, stored marks,
+    /// cell words)` into this one cell-wise under `mode`.
+    ///
+    /// The clock advances to `max(t, t_other)`. Every local group is
+    /// first `CheckGroup`ed at the merged time (cleaning it if due, and
+    /// leaving its stored mark equal to its current mark); the other
+    /// state's group is then included iff *its* stored mark also equals
+    /// the current mark — a group whose mark disagrees is due for
+    /// cleaning and would contribute only expired cells. Because each
+    /// side's contribution is "its live cells, else zero" and every
+    /// [`MergeMode`] operator is commutative with zero as identity, the
+    /// merge commutes cell-for-cell.
+    pub(crate) fn merge_state(
+        &mut self,
+        t_other: u64,
+        marks_other: &[bool],
+        words_other: &[u64],
+        mode: crate::snapshot::MergeMode,
+    ) {
+        assert_eq!(marks_other.len(), self.groups.len());
+        self.t = self.t.max(t_other);
+        let mut other = PackedArray::new(self.cells.len(), self.cells.cell_bits());
+        other.copy_from_words(words_other);
+        for gid in 0..self.groups.len() {
+            self.check_group(gid);
+            let cur = self.groups[gid].stored_mark();
+            if marks_other[gid] != cur {
+                continue; // other's group is due for cleaning: all expired
+            }
+            let (start, len) = (self.group_start(gid), self.group_len(gid));
+            for i in start..start + len {
+                let merged = mode.apply(self.cells.get(i), other.get(i));
+                self.cells.set(i, merged);
+            }
+        }
+    }
+
     /// Reset to the empty state at time zero.
     pub fn clear(&mut self) {
         self.cells.clear();

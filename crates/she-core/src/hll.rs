@@ -168,6 +168,11 @@ impl SheHyperLogLog {
         &self.engine
     }
 
+    /// Mutable engine access for the snapshot layer.
+    pub(crate) fn engine_mut(&mut self) -> &mut She<HllSpec> {
+        &mut self.engine
+    }
+
     /// Current logical time.
     #[inline]
     pub fn now(&self) -> u64 {

@@ -28,8 +28,10 @@
 //! engineering extensions a deployment needs: [`sharded`] multi-core
 //! ingestion, [`SheCountSketch`] (a sixth CSM instance demonstrating the
 //! framework's genericity), multi-window queries
-//! ([`SheBitmap::estimate_at`]), and binary state snapshots
-//! ([`She::save_state`] / [`She::load_state`]).
+//! ([`SheBitmap::estimate_at`]), and a uniform persistence layer: every
+//! structure implements [`SnapshotState`] (versioned binary snapshots in
+//! the shared [`frame`] format, with cell-wise [`MergeMode`] merging for
+//! the mergeable sketches).
 
 pub mod analysis;
 mod bf;
@@ -38,6 +40,7 @@ mod cm;
 mod config;
 mod cs;
 mod engine;
+pub mod frame;
 mod hll;
 mod mh;
 pub mod sharded;
@@ -54,7 +57,7 @@ pub use engine::{CellAge, EngineStats, She};
 pub use hll::SheHyperLogLog;
 pub use mh::SheMinHash;
 pub use sharded::{ShardedBitmap, ShardedBloomFilter, ShardedCountMin, ShardedShe};
-pub use snapshot::SnapshotError;
+pub use snapshot::{MergeMode, SnapshotError, SnapshotState};
 pub use soft::SoftClock;
 pub use topk::SlidingTopK;
 

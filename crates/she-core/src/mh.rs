@@ -161,6 +161,11 @@ impl SheMinHash {
         &self.engine
     }
 
+    /// Mutable engine access for the snapshot layer.
+    pub(crate) fn engine_mut(&mut self) -> &mut She<MinHashSpec> {
+        &mut self.engine
+    }
+
     /// Current logical time.
     #[inline]
     pub fn now(&self) -> u64 {

@@ -8,6 +8,8 @@
 //! their own — a key that stops arriving sees its estimate collapse after
 //! one window and is dropped at the next compaction.
 
+use crate::frame::{self, Frame, FrameWriter, Reader};
+use crate::snapshot::{MergeMode, SnapshotError, SnapshotState};
 use crate::SheCountMin;
 use std::collections::HashMap;
 
@@ -85,6 +87,76 @@ impl SlidingTopK {
     /// Memory footprint in bits (sketch + candidate entries at 128 bits).
     pub fn memory_bits(&self) -> usize {
         self.cm.memory_bits() + self.candidates.len() * 128
+    }
+}
+
+/// Not mergeable: the candidate maps of two trackers cover different key
+/// subsets, so a merged top-k can silently miss keys heavy only in the
+/// union. Snapshot/restore only.
+impl SnapshotState for SlidingTopK {
+    const KIND: u16 = frame::kind::TOPK;
+    const MERGE: Option<MergeMode> = None;
+
+    fn save_snapshot(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(Self::KIND);
+
+        let mut sec = Vec::with_capacity(16);
+        sec.extend_from_slice(&(self.k as u64).to_le_bytes());
+        sec.extend_from_slice(&(self.cap as u64).to_le_bytes());
+        w.section(frame::tag::META, &sec);
+
+        w.section(frame::tag::SKETCH, &self.cm.save_snapshot());
+
+        // Sort by key so identical state yields identical bytes regardless
+        // of HashMap iteration order.
+        let mut entries: Vec<(u64, u64)> = self.candidates.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        sec = Vec::with_capacity(8 + entries.len() * 16);
+        sec.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (key, est) in entries {
+            sec.extend_from_slice(&key.to_le_bytes());
+            sec.extend_from_slice(&est.to_le_bytes());
+        }
+        w.section(frame::tag::CANDIDATES, &sec);
+
+        w.finish()
+    }
+
+    fn load_snapshot(&mut self, buf: &[u8]) -> Result<(), SnapshotError> {
+        let f = Frame::parse(buf)?;
+        if f.kind != Self::KIND {
+            return Err(SnapshotError::WrongKind { expected: Self::KIND, found: f.kind });
+        }
+        let section = |tag: u16| f.section(tag).ok_or(SnapshotError::MissingSection { tag });
+
+        let mut r = Reader::new(section(frame::tag::META)?);
+        if r.u64()? != self.k as u64 {
+            return Err(SnapshotError::ConfigMismatch { field: "k" });
+        }
+        if r.u64()? != self.cap as u64 {
+            return Err(SnapshotError::ConfigMismatch { field: "cap" });
+        }
+        r.finish()?;
+
+        let mut r = Reader::new(section(frame::tag::CANDIDATES)?);
+        let n = r.u64()? as usize;
+        let mut candidates = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = r.u64()?;
+            let est = r.u64()?;
+            candidates.insert(key, est);
+        }
+        r.finish()?;
+
+        // Restore the sketch last so a malformed candidate section leaves
+        // this tracker untouched.
+        self.cm.load_snapshot(section(frame::tag::SKETCH)?)?;
+        self.candidates = candidates;
+        Ok(())
+    }
+
+    fn merge_snapshot(&mut self, _buf: &[u8]) -> Result<(), SnapshotError> {
+        Err(SnapshotError::NotMergeable)
     }
 }
 

@@ -65,7 +65,7 @@ fn snapshot_loader_rejects_garbage() {
         // Half the cases lead with the magic so the header parser is also
         // exercised, not just the magic check.
         if case % 2 == 0 && bytes.len() >= 4 {
-            bytes[..4].copy_from_slice(b"SHE1");
+            bytes[..4].copy_from_slice(b"SHEF");
         }
         let cfg = SheConfig::builder().window(100).alpha(0.5).group_cells(8).build();
         let mut s = She::new(BloomSpec::new(128, 2, 1), cfg);

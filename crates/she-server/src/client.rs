@@ -7,7 +7,7 @@
 //! server enqueued nothing.
 
 use crate::codec::{read_frame, write_frame};
-use crate::protocol::{Request, Response, ShardStats, MAX_BATCH};
+use crate::protocol::{Request, Response, ShardStats, MAX_BATCH, PROTOCOL_VERSION};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -113,6 +113,41 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<Vec<ShardStats>> {
         match self.call(&Request::Stats)? {
             Response::Stats(v) => Ok(v),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Negotiate the protocol version: returns what the server will
+    /// speak. A v1 server answers `HELLO` with `ERR` (unknown opcode),
+    /// which this maps to `Ok(1)` — the downgrade, not a failure.
+    pub fn hello(&mut self) -> io::Result<u16> {
+        match self.call(&Request::Hello { version: PROTOCOL_VERSION })? {
+            Response::Hello { version } => Ok(version),
+            Response::Err(_) => Ok(1),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Fetch one shard's quiescent snapshot (v2 servers only).
+    pub fn snapshot(&mut self, shard: u32) -> io::Result<Vec<u8>> {
+        match self.call(&Request::Snapshot { shard })? {
+            Response::Blob(data) => Ok(data),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Fetch a whole-server checkpoint (v2 servers only).
+    pub fn snapshot_all(&mut self) -> io::Result<Vec<u8>> {
+        match self.call(&Request::SnapshotAll)? {
+            Response::Blob(data) => Ok(data),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Replace one shard's state with a snapshot frame (v2 servers only).
+    pub fn restore(&mut self, shard: u32, data: &[u8]) -> io::Result<()> {
+        match self.call(&Request::Restore { shard, data: data.to_vec() })? {
+            Response::Ok { .. } => Ok(()),
             other => Err(bad_reply(other)),
         }
     }

@@ -15,7 +15,8 @@
 //! both streams, so every shard sees an unbiased sample of the pair).
 
 use crate::protocol::ShardStats;
-use she_core::{SheBitmap, SheBloomFilter, SheCountMin, SheMinHash};
+use she_core::frame::{self, Frame, FrameWriter, Reader};
+use she_core::{SheBitmap, SheBloomFilter, SheCountMin, SheMinHash, SnapshotError, SnapshotState};
 use she_hash::mix64;
 
 /// Router constant shared with `she_core::sharded` (keep in sync).
@@ -32,7 +33,9 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Global memory budget per structure class, in bytes.
     pub memory_bytes: usize,
-    /// Base seed; shard `i` uses `seed + i`.
+    /// Hash seed, shared by every shard: identical hash functions are what
+    /// make shard snapshots mergeable when the shard count changes (cells
+    /// of two shards line up only under the same hashes).
     pub seed: u32,
 }
 
@@ -44,15 +47,41 @@ impl Default for EngineConfig {
 
 impl EngineConfig {
     /// The shard a key routes to.
+    ///
+    /// `reduce_range` is monotone in the hash, so each shard owns one
+    /// contiguous hash range — the property shard rebalancing relies on:
+    /// halving the shard count merges *adjacent* shards' key sets.
     #[inline]
     pub fn shard_of(&self, key: u64) -> usize {
         she_hash::reduce_range(mix64(key ^ ROUTER_SEED), self.shards)
+    }
+
+    /// Serialize for embedding in snapshot frames.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(28);
+        b.extend_from_slice(&self.window.to_le_bytes());
+        b.extend_from_slice(&(self.shards as u64).to_le_bytes());
+        b.extend_from_slice(&(self.memory_bytes as u64).to_le_bytes());
+        b.extend_from_slice(&self.seed.to_le_bytes());
+        b
+    }
+
+    /// Decode a config serialized by [`EngineConfig::encode`].
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            window: r.u64().map_err(SnapshotError::Frame)?,
+            shards: r.u64().map_err(SnapshotError::Frame)? as usize,
+            memory_bytes: r.u64().map_err(SnapshotError::Frame)? as usize,
+            seed: r.u32().map_err(SnapshotError::Frame)?,
+        })
     }
 }
 
 /// One shard's sketches. Inserts feed every structure; stream B (tag 1)
 /// exists only for the similarity pair and feeds just its MinHash.
 pub struct ShardEngine {
+    cfg: EngineConfig,
+    shard: usize,
     bf: SheBloomFilter,
     bm: SheBitmap,
     cm: SheCountMin,
@@ -68,8 +97,10 @@ impl ShardEngine {
         assert!(shard < cfg.shards);
         let window = (cfg.window / cfg.shards as u64).max(1);
         let bytes = (cfg.memory_bytes / cfg.shards).max(64);
-        let seed = cfg.seed.wrapping_add(shard as u32);
+        let seed = cfg.seed;
         Self {
+            cfg: *cfg,
+            shard,
             bf: SheBloomFilter::builder().window(window).memory_bytes(bytes).seed(seed).build(),
             bm: SheBitmap::builder().window(window).memory_bytes(bytes).seed(seed).build(),
             cm: SheCountMin::builder().window(window).memory_bytes(bytes).seed(seed).build(),
@@ -121,6 +152,115 @@ impl ShardEngine {
     pub fn similarity(&mut self) -> f64 {
         self.queries += 1;
         self.mh_a.similarity(&mut self.mh_b)
+    }
+
+    /// Serialize this shard: sizing config + counters + one nested frame
+    /// per structure, wrapped in a `SHARD` frame.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(frame::kind::SHARD);
+
+        let mut sec = self.cfg.encode();
+        sec.extend_from_slice(&(self.shard as u64).to_le_bytes());
+        w.section(frame::tag::CONFIG, &sec);
+
+        sec = Vec::with_capacity(16);
+        sec.extend_from_slice(&self.inserts.to_le_bytes());
+        sec.extend_from_slice(&self.queries.to_le_bytes());
+        w.section(frame::tag::COUNTERS, &sec);
+
+        w.section(frame::tag::STRUCT_BF, &self.bf.save_snapshot());
+        w.section(frame::tag::STRUCT_BM, &self.bm.save_snapshot());
+        w.section(frame::tag::STRUCT_CM, &self.cm.save_snapshot());
+        w.section(frame::tag::STRUCT_MH_A, &self.mh_a.save_snapshot());
+        w.section(frame::tag::STRUCT_MH_B, &self.mh_b.save_snapshot());
+        w.finish()
+    }
+
+    /// Parse a `SHARD` frame and hand its sections to `structures` —
+    /// shared by [`ShardEngine::restore`] (exact) and
+    /// [`ShardEngine::merge`] (cell-wise).
+    fn with_shard_frame(
+        &mut self,
+        buf: &[u8],
+        check_placement: bool,
+        mut structures: impl FnMut(
+            &mut Self,
+            [&[u8]; 5], // bf, bm, cm, mh_a, mh_b
+        ) -> Result<(), SnapshotError>,
+    ) -> Result<(u64, u64), SnapshotError> {
+        let f = Frame::parse(buf)?;
+        if f.kind != frame::kind::SHARD {
+            return Err(SnapshotError::WrongKind { expected: frame::kind::SHARD, found: f.kind });
+        }
+        let section = |tag: u16| f.section(tag).ok_or(SnapshotError::MissingSection { tag });
+
+        let mut r = Reader::new(section(frame::tag::CONFIG)?);
+        let cfg = EngineConfig::decode(&mut r)?;
+        let shard = r.u64().map_err(SnapshotError::Frame)? as usize;
+        r.finish().map_err(SnapshotError::Frame)?;
+        if cfg.seed != self.cfg.seed {
+            return Err(SnapshotError::ConfigMismatch { field: "seed" });
+        }
+        if check_placement {
+            if cfg != self.cfg {
+                return Err(SnapshotError::ConfigMismatch { field: "engine config" });
+            }
+            if shard != self.shard {
+                return Err(SnapshotError::ConfigMismatch { field: "shard index" });
+            }
+        }
+
+        let mut r = Reader::new(section(frame::tag::COUNTERS)?);
+        let inserts = r.u64().map_err(SnapshotError::Frame)?;
+        let queries = r.u64().map_err(SnapshotError::Frame)?;
+        r.finish().map_err(SnapshotError::Frame)?;
+
+        structures(
+            self,
+            [
+                section(frame::tag::STRUCT_BF)?,
+                section(frame::tag::STRUCT_BM)?,
+                section(frame::tag::STRUCT_CM)?,
+                section(frame::tag::STRUCT_MH_A)?,
+                section(frame::tag::STRUCT_MH_B)?,
+            ],
+        )?;
+        Ok((inserts, queries))
+    }
+
+    /// Replace this shard's state with a snapshot taken by an identically
+    /// configured shard (same config, same shard index).
+    pub fn restore(&mut self, buf: &[u8]) -> Result<(), SnapshotError> {
+        let (inserts, queries) =
+            self.with_shard_frame(buf, true, |e, [bf, bm, cm, mha, mhb]| {
+                e.bf.load_snapshot(bf)?;
+                e.bm.load_snapshot(bm)?;
+                e.cm.load_snapshot(cm)?;
+                e.mh_a.load_snapshot(mha)?;
+                e.mh_b.load_snapshot(mhb)?;
+                Ok(())
+            })?;
+        self.inserts = inserts;
+        self.queries = queries;
+        Ok(())
+    }
+
+    /// Merge another shard's snapshot into this one cell-wise (rebalance
+    /// path). Requires the same seed and the same per-structure geometry;
+    /// the source's shard index and shard count may differ.
+    pub fn merge(&mut self, buf: &[u8]) -> Result<(), SnapshotError> {
+        let (inserts, queries) =
+            self.with_shard_frame(buf, false, |e, [bf, bm, cm, mha, mhb]| {
+                e.bf.merge_snapshot(bf)?;
+                e.bm.merge_snapshot(bm)?;
+                e.cm.merge_snapshot(cm)?;
+                e.mh_a.merge_snapshot(mha)?;
+                e.mh_b.merge_snapshot(mhb)?;
+                Ok(())
+            })?;
+        self.inserts += inserts;
+        self.queries += queries;
+        Ok(())
     }
 
     /// Counter snapshot.
@@ -186,6 +326,31 @@ impl DirectEngine {
     /// Per-shard counters.
     pub fn stats(&self) -> Vec<ShardStats> {
         self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Serialize every shard into one checkpoint frame.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        crate::snapshot::Checkpoint {
+            cfg: self.cfg,
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+        }
+        .encode()
+    }
+
+    /// Rebuild an engine from a checkpoint, rebalancing to `shards` shards
+    /// if that differs from the checkpointed count (see
+    /// [`crate::snapshot::Checkpoint::build_engines`]).
+    pub fn restore(buf: &[u8], shards: Option<usize>) -> Result<Self, SnapshotError> {
+        let ckpt = crate::snapshot::Checkpoint::decode(buf)?;
+        let target = shards.unwrap_or(ckpt.cfg.shards);
+        let (cfg, engines) = ckpt.build_engines(target)?;
+        Ok(Self { cfg, shards: engines })
+    }
+
+    /// Decompose into per-shard engines (the server hands each to a
+    /// worker thread).
+    pub fn into_shards(self) -> (EngineConfig, Vec<ShardEngine>) {
+        (self.cfg, self.shards)
     }
 }
 

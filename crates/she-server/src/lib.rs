@@ -20,7 +20,9 @@
 //! * [`server`] — listener, connection handling, backpressure, shutdown;
 //! * [`client`] — blocking client with `BUSY` retry;
 //! * [`loadgen`] — workload driver with latency reports and a
-//!   bit-exact verification mode.
+//!   bit-exact verification mode;
+//! * [`snapshot`] — whole-server checkpoints and shard rebalancing
+//!   (protocol v2: `SNAPSHOT` / `SNAPSHOT_ALL` / `RESTORE`).
 
 pub mod client;
 pub mod codec;
@@ -28,10 +30,12 @@ pub mod engine;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod snapshot;
 pub mod worker;
 
 pub use client::Client;
 pub use engine::{DirectEngine, EngineConfig, ShardEngine};
 pub use loadgen::{LoadSummary, LoadgenConfig, Mode};
-pub use protocol::{ProtoError, Request, Response, ShardStats};
+pub use protocol::{ProtoError, Request, Response, ShardStats, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};
+pub use snapshot::Checkpoint;

@@ -8,23 +8,41 @@
 //!
 //! Requests carry a `stream` tag (0 = stream A, 1 = stream B) on inserts
 //! so the similarity pair can be fed over the same connection.
+//!
+//! Protocol **v2** adds snapshot transport (`HELLO`, `SNAPSHOT`,
+//! `SNAPSHOT_ALL`, `RESTORE`, `BLOB`, `HELLO_REPLY`). Version negotiation
+//! is optional and client-initiated: a v2 client may open with `HELLO`;
+//! a v1 server answers `ERR` (unknown opcode) and the client downgrades.
+//! Every v1 message is unchanged, so v1 clients work against v2 servers
+//! without negotiating.
+
+use she_core::frame::{FrameError, Reader};
+
+/// The protocol version this build speaks (reported by `HELLO`).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on a frame payload; anything larger is a protocol error on
 /// both ends (prevents a hostile length prefix from allocating memory).
-pub const MAX_FRAME: usize = 1 << 20;
+/// Raised in v2 so a `BLOB` can carry a whole-server checkpoint.
+pub const MAX_FRAME: usize = 16 << 20;
 
-/// Maximum number of keys a single `InsertBatch` can carry (fills
-/// [`MAX_FRAME`] minus the 6-byte batch header).
-pub const MAX_BATCH: usize = (MAX_FRAME - 6) / 8;
+/// Maximum number of keys a single `InsertBatch` can carry. Pinned to the
+/// v1 budget (1 MiB frames) so batches from either protocol version stay
+/// valid on the other.
+pub const MAX_BATCH: usize = ((1 << 20) - 6) / 8;
 
 pub mod opcode {
     pub const INSERT: u8 = 0x01;
     pub const INSERT_BATCH: u8 = 0x02;
+    pub const HELLO: u8 = 0x05;
     pub const QUERY_MEMBER: u8 = 0x10;
     pub const QUERY_CARD: u8 = 0x11;
     pub const QUERY_FREQ: u8 = 0x12;
     pub const QUERY_SIM: u8 = 0x13;
     pub const STATS: u8 = 0x20;
+    pub const SNAPSHOT: u8 = 0x21;
+    pub const SNAPSHOT_ALL: u8 = 0x22;
+    pub const RESTORE: u8 = 0x23;
     pub const SHUTDOWN: u8 = 0x2F;
 
     pub const OK: u8 = 0x80;
@@ -32,6 +50,8 @@ pub mod opcode {
     pub const U64: u8 = 0x82;
     pub const F64: u8 = 0x83;
     pub const STATS_REPLY: u8 = 0x84;
+    pub const BLOB: u8 = 0x85;
+    pub const HELLO_REPLY: u8 = 0x86;
     pub const ERR: u8 = 0xE0;
     pub const BUSY: u8 = 0xE1;
 }
@@ -53,6 +73,15 @@ pub enum Request {
     QuerySim,
     /// Server / per-shard counters.
     Stats,
+    /// v2: announce the client's protocol version; the server answers
+    /// [`Response::Hello`] with the version both sides will speak.
+    Hello { version: u16 },
+    /// v2: serialize one shard's engine state (quiescent, via its worker).
+    Snapshot { shard: u32 },
+    /// v2: serialize every shard into one checkpoint frame.
+    SnapshotAll,
+    /// v2: replace one shard's engine state with a shard frame.
+    Restore { shard: u32, data: Vec<u8> },
     /// Drain the queues and stop the server.
     Shutdown,
 }
@@ -81,6 +110,10 @@ pub enum Response {
     F64(f64),
     /// Per-shard counters.
     Stats(Vec<ShardStats>),
+    /// v2: opaque snapshot/checkpoint bytes (a she-core frame).
+    Blob(Vec<u8>),
+    /// v2: the protocol version the server will speak on this connection.
+    Hello { version: u16 },
     /// The request failed; human-readable reason.
     Err(String),
     /// Shard queue full and nothing was enqueued — retry the whole
@@ -114,46 +147,13 @@ impl std::fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
-/// Little-endian cursor over a frame payload.
-struct Reader<'a> {
-    buf: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Self { buf }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
-        if self.buf.len() < n {
-            return Err(ProtoError::Truncated);
-        }
-        let (head, tail) = self.buf.split_at(n);
-        self.buf = tail;
-        Ok(head)
-    }
-
-    fn u8(&mut self) -> Result<u8, ProtoError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, ProtoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, ProtoError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn f64(&mut self) -> Result<f64, ProtoError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    fn finish(self) -> Result<(), ProtoError> {
-        if self.buf.is_empty() {
-            Ok(())
-        } else {
-            Err(ProtoError::TrailingBytes)
+// Wire decoding reuses the shared little-endian cursor from
+// `she_core::frame` (one cursor implementation, both call sites).
+impl From<FrameError> for ProtoError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::TrailingBytes => ProtoError::TrailingBytes,
+            _ => ProtoError::Truncated,
         }
     }
 }
@@ -189,6 +189,22 @@ impl Request {
             }
             Request::QuerySim => b.push(opcode::QUERY_SIM),
             Request::Stats => b.push(opcode::STATS),
+            Request::Hello { version } => {
+                b.push(opcode::HELLO);
+                b.extend_from_slice(&version.to_le_bytes());
+            }
+            Request::Snapshot { shard } => {
+                b.push(opcode::SNAPSHOT);
+                b.extend_from_slice(&shard.to_le_bytes());
+            }
+            Request::SnapshotAll => b.push(opcode::SNAPSHOT_ALL),
+            Request::Restore { shard, data } => {
+                assert!(5 + data.len() <= MAX_FRAME, "restore blob exceeds MAX_FRAME");
+                b.reserve(5 + data.len());
+                b.push(opcode::RESTORE);
+                b.extend_from_slice(&shard.to_le_bytes());
+                b.extend_from_slice(data);
+            }
             Request::Shutdown => b.push(opcode::SHUTDOWN),
         }
         b
@@ -218,6 +234,15 @@ impl Request {
             opcode::QUERY_FREQ => Request::QueryFreq { key: r.u64()? },
             opcode::QUERY_SIM => Request::QuerySim,
             opcode::STATS => Request::Stats,
+            opcode::HELLO => Request::Hello { version: r.u16()? },
+            opcode::SNAPSHOT => Request::Snapshot { shard: r.u32()? },
+            opcode::SNAPSHOT_ALL => Request::SnapshotAll,
+            opcode::RESTORE => {
+                let shard = r.u32()?;
+                let n = r.remaining();
+                let data = r.take(n)?.to_vec();
+                return Ok(Request::Restore { shard, data });
+            }
             opcode::SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError::BadOpcode(other)),
         };
@@ -257,6 +282,16 @@ impl Response {
                     b.extend_from_slice(&s.memory_bits.to_le_bytes());
                 }
             }
+            Response::Blob(data) => {
+                assert!(1 + data.len() <= MAX_FRAME, "blob exceeds MAX_FRAME");
+                b.reserve(1 + data.len());
+                b.push(opcode::BLOB);
+                b.extend_from_slice(data);
+            }
+            Response::Hello { version } => {
+                b.push(opcode::HELLO_REPLY);
+                b.extend_from_slice(&version.to_le_bytes());
+            }
             Response::Err(msg) => {
                 b.push(opcode::ERR);
                 b.extend_from_slice(msg.as_bytes());
@@ -293,6 +328,11 @@ impl Response {
                 }
                 Response::Stats(shards)
             }
+            opcode::BLOB => {
+                let n = r.remaining();
+                return Ok(Response::Blob(r.take(n)?.to_vec()));
+            }
+            opcode::HELLO_REPLY => Response::Hello { version: r.u16()? },
             opcode::ERR => {
                 let rest = r.take(payload.len() - 1)?;
                 return Ok(Response::Err(String::from_utf8_lossy(rest).into_owned()));

@@ -23,7 +23,8 @@
 
 use crate::codec::{read_frame, write_frame};
 use crate::engine::{EngineConfig, ShardEngine};
-use crate::protocol::{Request, Response, ShardStats};
+use crate::protocol::{Request, Response, ShardStats, MAX_FRAME, PROTOCOL_VERSION};
+use crate::snapshot::Checkpoint;
 use crate::worker::{run_worker, Job};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -121,6 +122,53 @@ impl Shared {
                 Some(parts) => Response::Stats(parts),
                 None => shutting_down(),
             },
+            Request::Hello { version } => {
+                // Speak the lower of the two versions; v1 clients never
+                // send HELLO, and v1 servers answer it with ERR.
+                Response::Hello { version: version.min(PROTOCOL_VERSION) }
+            }
+            Request::Snapshot { shard } => {
+                let shard = shard as usize;
+                if shard >= self.txs.len() {
+                    return Response::Err(format!(
+                        "shard {shard} out of range (server has {})",
+                        self.txs.len()
+                    ));
+                }
+                match self.ask(shard, |reply| Job::Snapshot { reply }) {
+                    Some(blob) => Response::Blob(blob),
+                    None => shutting_down(),
+                }
+            }
+            Request::SnapshotAll => match self.ask_all(|reply| Job::Snapshot { reply }) {
+                Some(shards) => {
+                    let blob = Checkpoint { cfg: self.engine, shards }.encode();
+                    if 1 + blob.len() > MAX_FRAME {
+                        return Response::Err(format!(
+                            "checkpoint of {} bytes exceeds the {} byte frame cap; \
+                             fetch per-shard snapshots instead",
+                            blob.len(),
+                            MAX_FRAME
+                        ));
+                    }
+                    Response::Blob(blob)
+                }
+                None => shutting_down(),
+            },
+            Request::Restore { shard, data } => {
+                let shard = shard as usize;
+                if shard >= self.txs.len() {
+                    return Response::Err(format!(
+                        "shard {shard} out of range (server has {})",
+                        self.txs.len()
+                    ));
+                }
+                match self.ask(shard, |reply| Job::Restore { data, reply }) {
+                    Some(Ok(())) => Response::Ok { accepted: 0 },
+                    Some(Err(msg)) => Response::Err(msg),
+                    None => shutting_down(),
+                }
+            }
             Request::Shutdown => {
                 self.begin_shutdown();
                 Response::Ok { accepted: 0 }
@@ -196,14 +244,21 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the shard workers and the accept loop, and return.
     pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let engines = (0..cfg.engine.shards).map(|i| ShardEngine::new(&cfg.engine, i)).collect();
+        Server::start_with_engines(cfg, engines)
+    }
+
+    /// Like [`Server::start`], but with pre-built shard engines — the
+    /// restore path: engines come from a [`Checkpoint`] instead of empty.
+    pub fn start_with_engines(cfg: ServerConfig, engines: Vec<ShardEngine>) -> io::Result<Server> {
+        assert_eq!(engines.len(), cfg.engine.shards, "engine count must match cfg.engine.shards");
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
 
         let mut txs = Vec::with_capacity(cfg.engine.shards);
         let mut workers = Vec::with_capacity(cfg.engine.shards);
-        for shard in 0..cfg.engine.shards {
+        for (shard, engine) in engines.into_iter().enumerate() {
             let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
-            let engine = ShardEngine::new(&cfg.engine, shard);
             txs.push(tx);
             workers.push(
                 std::thread::Builder::new()

@@ -1,0 +1,132 @@
+//! Whole-server checkpoints: every shard's snapshot in one frame, plus
+//! the rebalancing logic that rebuilds the shard set at a different
+//! `--shards` count by merging — never by replaying the stream.
+//!
+//! ## Rebalancing
+//!
+//! Keys route by `reduce_range(h, S)`, which is monotone in the hash `h`:
+//! shard `j` of an `S`-shard engine owns the contiguous hash range
+//! `[j·2⁶⁴/S, (j+1)·2⁶⁴/S)`. When the old and new shard counts divide one
+//! another, every new shard's range is exactly a union of old ranges (or
+//! a sub-range of one old shard), so the new shard's state is the
+//! cell-wise merge of the old shards that overlap it — exact for the
+//! OR-mergeable bit sketches (BF/BM), a one-sided cell-wise max for CM,
+//! and the register max/min for HLL-style and MinHash cells.
+//!
+//! Per-shard sizing (`window/S`, `memory/S`) must stay constant for the
+//! nested structure configs to line up, so the rebalanced engine's
+//! *global* window and memory scale with the shard count: going from 4
+//! shards to 2 halves the global window and memory. Per-key queries
+//! (member/freq) are unaffected; whole-engine estimates (card/sim) keep
+//! their per-shard semantics. When a shard's range *splits*, every new
+//! sub-shard inherits the full old state: foreign keys only add one-sided
+//! noise (extra bits / higher counters), preserving each structure's
+//! no-false-negative / no-underestimate guarantee.
+
+use crate::engine::{EngineConfig, ShardEngine};
+use she_core::frame::{self, Frame, FrameWriter, Reader};
+use she_core::SnapshotError;
+
+/// A whole-server checkpoint: the engine sizing plus one `SHARD` frame
+/// per shard, in shard order.
+pub struct Checkpoint {
+    /// The sizing the checkpointed server ran with.
+    pub cfg: EngineConfig,
+    /// One [`ShardEngine::snapshot`] frame per shard, in shard order.
+    pub shards: Vec<Vec<u8>>,
+}
+
+impl Checkpoint {
+    /// Serialize into a `CHECKPOINT` frame.
+    pub fn encode(&self) -> Vec<u8> {
+        assert_eq!(self.shards.len(), self.cfg.shards, "shard count mismatch");
+        let mut w = FrameWriter::new(frame::kind::CHECKPOINT);
+        w.section(frame::tag::CONFIG, &self.cfg.encode());
+        for shard in &self.shards {
+            w.section(frame::tag::SHARD, shard);
+        }
+        w.finish()
+    }
+
+    /// Parse a `CHECKPOINT` frame.
+    pub fn decode(buf: &[u8]) -> Result<Self, SnapshotError> {
+        let f = Frame::parse(buf)?;
+        if f.kind != frame::kind::CHECKPOINT {
+            return Err(SnapshotError::WrongKind {
+                expected: frame::kind::CHECKPOINT,
+                found: f.kind,
+            });
+        }
+        let sec = f
+            .section(frame::tag::CONFIG)
+            .ok_or(SnapshotError::MissingSection { tag: frame::tag::CONFIG })?;
+        let mut r = Reader::new(sec);
+        let cfg = EngineConfig::decode(&mut r)?;
+        r.finish().map_err(SnapshotError::Frame)?;
+        let shards: Vec<Vec<u8>> = f.sections(frame::tag::SHARD).map(|s| s.to_vec()).collect();
+        if shards.len() != cfg.shards {
+            return Err(SnapshotError::ConfigMismatch { field: "shard count" });
+        }
+        Ok(Self { cfg, shards })
+    }
+
+    /// The config a `new_shards`-shard engine must use for its per-shard
+    /// structures to coincide with this checkpoint's (same per-shard
+    /// window and memory — the global totals scale with the shard count).
+    fn rebalanced_config(&self, new_shards: usize) -> EngineConfig {
+        let old = self.cfg;
+        EngineConfig {
+            window: (old.window / old.shards as u64).max(1) * new_shards as u64,
+            shards: new_shards,
+            memory_bytes: (old.memory_bytes / old.shards).max(64) * new_shards,
+            seed: old.seed,
+        }
+    }
+
+    /// Build the shard engines of a `new_shards`-shard server from this
+    /// checkpoint.
+    ///
+    /// * `new_shards == cfg.shards`: exact restore, bit-for-bit.
+    /// * Otherwise one count must divide the other; each new shard is the
+    ///   cell-wise merge of every old shard whose hash range overlaps its
+    ///   own (contiguous, thanks to the monotone router).
+    pub fn build_engines(
+        &self,
+        new_shards: usize,
+    ) -> Result<(EngineConfig, Vec<ShardEngine>), SnapshotError> {
+        if new_shards == self.cfg.shards {
+            let mut engines = Vec::with_capacity(new_shards);
+            for (i, blob) in self.shards.iter().enumerate() {
+                let mut e = ShardEngine::new(&self.cfg, i);
+                e.restore(blob)?;
+                engines.push(e);
+            }
+            return Ok((self.cfg, engines));
+        }
+
+        let old_shards = self.cfg.shards;
+        if new_shards == 0 || (old_shards % new_shards != 0 && new_shards % old_shards != 0) {
+            return Err(SnapshotError::ConfigMismatch { field: "shards (must divide evenly)" });
+        }
+        let cfg = self.rebalanced_config(new_shards);
+        let mut engines = Vec::with_capacity(new_shards);
+        for j in 0..new_shards {
+            let mut e = ShardEngine::new(&cfg, j);
+            if old_shards > new_shards {
+                // Merge: new shard j absorbs old shards [j·r, (j+1)·r).
+                let r = old_shards / new_shards;
+                for blob in &self.shards[j * r..(j + 1) * r] {
+                    e.merge(blob)?;
+                }
+            } else {
+                // Split: new shard j inherits its parent's full state; the
+                // keys now routed elsewhere age out of the window on their
+                // own and meanwhile only add one-sided noise.
+                let r = new_shards / old_shards;
+                e.merge(&self.shards[j / r])?;
+            }
+            engines.push(e);
+        }
+        Ok((cfg, engines))
+    }
+}

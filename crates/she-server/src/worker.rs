@@ -27,6 +27,12 @@ pub enum Job {
     Sim { reply: SyncSender<f64> },
     /// Counter snapshot.
     Stats { reply: SyncSender<ShardStats> },
+    /// Serialize this shard's state. Rides the same FIFO queue as the
+    /// inserts, so the snapshot is quiescent — it reflects every insert
+    /// enqueued before it and none after, without stalling other shards.
+    Snapshot { reply: SyncSender<Vec<u8>> },
+    /// Replace this shard's state with a snapshot frame.
+    Restore { data: Vec<u8>, reply: SyncSender<Result<(), String>> },
 }
 
 /// Drain `rx` until every sender is gone; returns the shard's final
@@ -54,6 +60,12 @@ pub fn run_worker(mut engine: ShardEngine, rx: Receiver<Job>) -> ShardStats {
             }
             Job::Stats { reply } => {
                 let _ = reply.send(engine.stats());
+            }
+            Job::Snapshot { reply } => {
+                let _ = reply.send(engine.snapshot());
+            }
+            Job::Restore { data, reply } => {
+                let _ = reply.send(engine.restore(&data).map_err(|e| e.to_string()));
             }
         }
     }

@@ -7,22 +7,26 @@
 //! generators in `she-streams` produce `u64` keys (the paper's srcIP-style
 //! 4-byte identifiers fit comfortably).
 
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Exact state of one count-based sliding window.
+///
+/// Counts live in a `BTreeMap` so iteration order is deterministic:
+/// metrics that sample `iter_counts` must give the same answer on every
+/// run (`HashMap`'s randomized ordering made sampled ARE flap).
 #[derive(Debug, Clone)]
 pub struct WindowTruth {
     window: usize,
     items: VecDeque<u64>,
-    counts: HashMap<u64, u32>,
+    counts: BTreeMap<u64, u32>,
 }
 
 impl WindowTruth {
     /// Track the last `window` items exactly.
     pub fn new(window: usize) -> Self {
         assert!(window > 0);
-        Self { window, items: VecDeque::with_capacity(window + 1), counts: HashMap::new() }
+        Self { window, items: VecDeque::with_capacity(window + 1), counts: BTreeMap::new() }
     }
 
     /// The window size `N`.

@@ -15,4 +15,60 @@ cargo test -q --offline --workspace
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== checkpoint/restore smoke test"
+# Serve, load 10k keys, checkpoint over the wire, restart --restore, and
+# assert the restored server answers the same queries bit-for-bit.
+BIN=target/release/she
+ADDR=127.0.0.1:7497
+CKDIR=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$CKDIR"
+}
+trap cleanup EXIT INT TERM
+
+wait_ready() {
+    i=0
+    until "$BIN" query --addr "$ADDR" --op card >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && { echo "server at $ADDR never came up"; exit 1; }
+        sleep 0.1
+    done
+}
+
+queries() {
+    for key in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16; do
+        "$BIN" query --addr "$ADDR" --op member --key "$key"
+        "$BIN" query --addr "$ADDR" --op freq --key "$key"
+    done
+    "$BIN" query --addr "$ADDR" --op card
+    "$BIN" query --addr "$ADDR" --op sim
+}
+
+"$BIN" serve --addr "$ADDR" --shards 4 --window 64k --memory 64k >/dev/null &
+SERVER_PID=$!
+wait_ready
+"$BIN" loadgen --addr "$ADDR" --items 10000 --queries 100 --universe 5000 \
+    --verify yes --window 64k --shards 4 --memory 64k >/dev/null
+"$BIN" checkpoint --addr "$ADDR" --dir "$CKDIR" >/dev/null
+queries >"$CKDIR/before.txt"
+"$BIN" shutdown --addr "$ADDR" >/dev/null
+wait "$SERVER_PID" || true
+SERVER_PID=
+
+"$BIN" serve --addr "$ADDR" --restore "$CKDIR" >/dev/null &
+SERVER_PID=$!
+wait_ready
+queries >"$CKDIR/after.txt"
+"$BIN" shutdown --addr "$ADDR" >/dev/null
+wait "$SERVER_PID" || true
+SERVER_PID=
+
+diff "$CKDIR/before.txt" "$CKDIR/after.txt" || {
+    echo "restored server diverged from checkpoint"
+    exit 1
+}
+echo "checkpoint/restore: bit-for-bit identical answers"
+
 echo "check.sh: all green"
