@@ -43,6 +43,11 @@ impl Args {
         self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
     }
 
+    /// Whether the flag was given at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
     /// Integer flag with a default.
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ArgError> {
         match self.flags.get(key) {

@@ -9,14 +9,19 @@
 //! she pipeline    [--variant bm|bf|cm|hll] [--items N]
 //! she analyze     [--window N] [--memory BYTES] [--hashes K] [--cardinality C]
 //! she serve       [--addr HOST:PORT] [--shards N] [--window N] [--memory BYTES] [--queue N]
-//!                 [--restore DIR]
+//!                 [--restore DIR] [--repl-log N] [--heartbeat-ms N]
+//!                 [--replica-of HOST:PORT [--anti-entropy-ms N] [--heartbeat-timeout-ms N]]
 //! she checkpoint  [--addr HOST:PORT] [--dir DIR]
 //! she query       [--addr HOST:PORT] [--op member|card|freq|sim] [--key N]
+//! she cluster-status [--addr HOST:PORT]
+//! she mirror-check   [--addr HOST:PORT] [--items N] [--batch N] [--probes N] ...
 //! she loadgen     [--addr HOST:PORT] [--items N] [--queries N] [--verify yes ...]
+//!                 [--connections N] [--read-from HOST:PORT]
 //! ```
 //!
 //! Sizes accept `k`/`m`/`g` suffixes. Every run prints the estimate, the
-//! exact ground truth, and the resulting metric.
+//! exact ground truth, and the resulting metric. Exit codes: 0 ok,
+//! 1 failure, 2 usage error, 3 connection refused.
 
 mod args;
 mod run;
@@ -39,6 +44,6 @@ fn main() {
     };
     if let Err(e) = run::dispatch(&parsed) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.code);
     }
 }

@@ -29,19 +29,34 @@ COMMANDS
                --addr HOST:PORT --shards N --window N --memory BYTES --seed N
                --queue N --restore DIR (start from DIR/checkpoint.she; --shards
                may differ from the checkpoint — rebalanced by snapshot merge)
+               --repl-log N (keep an op log of the last N insert batches so
+               replicas can join) --heartbeat-ms N
+               --replica-of HOST:PORT (start a read-only replica instead;
+               engine sizing is inherited from the primary's snapshot)
+               --anti-entropy-ms N --heartbeat-timeout-ms N (replica only)
   checkpoint   write a running server's state to DIR/checkpoint.she
                --addr HOST:PORT --dir DIR
   query        one query against a running server (bit-exact output)
                --addr HOST:PORT --op member|card|freq|sim --key N
+  cluster-status  one-line replication position of a node (docs/REPLICATION.md)
+               --addr HOST:PORT
+  mirror-check replay the loadgen workload into an in-process mirror and
+               compare a quiescent node's answers bit-for-bit
+               --addr HOST:PORT --items N --batch N --universe N --skew F
+               --seed N --sim-every N --probes N (+ --shards/--window/
+               --memory/--engine-seed matching the serving engine)
   loadgen      drive a running server with a Zipf workload
                --addr HOST:PORT --items N --batch N --queries N --open RATE
                --universe N --skew F --seed N --verify yes (+ --shards/
                --window/--memory/--engine-seed matching the server)
+               --connections N (fan out; merged latency histograms)
+               --read-from HOST:PORT (send the queries to a replica)
   shutdown     ask a running server to drain and stop
                --addr HOST:PORT
 
 Sizes accept k/m/g suffixes: --memory 64k, --items 2m.
 Streams: caida (default), distinct, campus, webpage.
+Exit codes: 0 ok, 1 failure, 2 usage error, 3 connection refused.
 ";
 
 fn make_stream(name: &str, seed: u64) -> Result<Box<dyn KeyStream>, ArgError> {
@@ -54,21 +69,62 @@ fn make_stream(name: &str, seed: u64) -> Result<Box<dyn KeyStream>, ArgError> {
     })
 }
 
+/// Exit code for "the target server is not reachable" — distinct from
+/// 1 (failed run / bad invocation) and 2 (parse error) so scripts can
+/// tell "start the server first" from "fix the command".
+pub const EXIT_UNREACHABLE: i32 = 3;
+
+/// A dispatch failure carrying the process exit code `main` should use.
+#[derive(Debug)]
+pub struct CliError {
+    /// User-facing message.
+    pub msg: String,
+    /// Suggested process exit code.
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        Self { msg: e.0, code: 1 }
+    }
+}
+
+/// Map a transport error: connection-refused gets its own exit code and
+/// a hint; everything else stays a generic failure.
+fn net_err(addr: &str, err: std::io::Error) -> CliError {
+    if err.kind() == std::io::ErrorKind::ConnectionRefused {
+        CliError {
+            msg: format!("cannot connect to {addr}: connection refused (is the server running?)"),
+            code: EXIT_UNREACHABLE,
+        }
+    } else {
+        CliError { msg: err.to_string(), code: 1 }
+    }
+}
+
 /// Route a parsed command line.
-pub fn dispatch(a: &Args) -> Result<(), ArgError> {
+pub fn dispatch(a: &Args) -> Result<(), CliError> {
     match a.command.as_str() {
-        "membership" => membership(a),
-        "cardinality" => cardinality(a),
-        "frequency" => frequency(a),
-        "similarity" => similarity(a),
-        "pipeline" => pipeline(a),
-        "analyze" => analyze(a),
+        "membership" => Ok(membership(a)?),
+        "cardinality" => Ok(cardinality(a)?),
+        "frequency" => Ok(frequency(a)?),
+        "similarity" => Ok(similarity(a)?),
+        "pipeline" => Ok(pipeline(a)?),
+        "analyze" => Ok(analyze(a)?),
         "serve" => serve(a),
         "checkpoint" => checkpoint(a),
         "query" => query(a),
+        "cluster-status" => cluster_status(a),
+        "mirror-check" => mirror_check(a),
         "loadgen" => loadgen(a),
         "shutdown" => shutdown(a),
-        other => Err(ArgError(format!("unknown command '{other}' (see `she help`)"))),
+        other => Err(ArgError(format!("unknown command '{other}' (see `she help`)")).into()),
     }
 }
 
@@ -204,13 +260,36 @@ fn load_checkpoint(dir: &str) -> Result<she_server::Checkpoint, Box<dyn std::err
     Ok(she_server::Checkpoint::decode(&bytes)?)
 }
 
-fn serve(a: &Args) -> Result<(), ArgError> {
-    a.expect_only(&["addr", "shards", "window", "memory", "seed", "queue", "restore"])?;
+fn serve(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&[
+        "addr",
+        "shards",
+        "window",
+        "memory",
+        "seed",
+        "queue",
+        "restore",
+        "repl-log",
+        "heartbeat-ms",
+        "replica-of",
+        "anti-entropy-ms",
+        "heartbeat-timeout-ms",
+    ])?;
+    if a.has("replica-of") {
+        return serve_replica(a);
+    }
+    for flag in ["anti-entropy-ms", "heartbeat-timeout-ms"] {
+        if a.has(flag) {
+            return Err(ArgError(format!("--{flag} only applies with --replica-of")).into());
+        }
+    }
     let restore_dir = a.get("restore", "");
     let mut cfg = she_server::ServerConfig {
         addr: a.get("addr", "127.0.0.1:7487"),
         engine: engine_config(a, "seed")?,
         queue_capacity: a.get_u64("queue", 256)? as usize,
+        repl_log: a.get_u64("repl-log", 0)? as usize,
+        heartbeat_ms: a.get_u64("heartbeat-ms", 500)?,
         ..Default::default()
     };
     // With --restore, the checkpoint's config is authoritative (rebalanced
@@ -228,6 +307,7 @@ fn serve(a: &Args) -> Result<(), ArgError> {
         Some(engines)
     };
     let e = cfg.engine;
+    let repl_log = cfg.repl_log;
     let server = match restored {
         Some(engines) => she_server::Server::start_with_engines(cfg, engines),
         None => she_server::Server::start(cfg),
@@ -241,29 +321,73 @@ fn serve(a: &Args) -> Result<(), ArgError> {
         e.window / e.shards as u64,
         e.memory_bytes,
     );
+    if repl_log > 0 {
+        println!(
+            "replication enabled: op log holds {repl_log} records; join replicas with \
+             `she serve --replica-of {}`",
+            server.local_addr()
+        );
+    }
     println!("(stop with the wire SHUTDOWN request, e.g. via `she loadgen` or she-server::Client)");
-    let stats = server.wait();
-    println!("she-server drained; final per-shard stats:");
+    print_shard_stats(&server.wait());
+    Ok(())
+}
+
+/// `serve --replica-of`: bootstrap from the primary's snapshot, tail its
+/// op log, and serve reads.
+fn serve_replica(a: &Args) -> Result<(), CliError> {
+    // The replica inherits the primary's engine from the bootstrap
+    // snapshot and never serves an op log of its own.
+    for flag in ["shards", "window", "memory", "seed", "restore", "repl-log", "heartbeat-ms"] {
+        if a.has(flag) {
+            return Err(ArgError(format!(
+                "--{flag} cannot be combined with --replica-of (engine sizing and the op log \
+                 come from the primary)"
+            ))
+            .into());
+        }
+    }
+    let primary = a.get("replica-of", "");
+    let cfg = she_replica::ReplicaConfig {
+        listen_addr: a.get("addr", "127.0.0.1:7488"),
+        primary: primary.clone(),
+        queue_capacity: a.get_u64("queue", 256)? as usize,
+        anti_entropy_ms: a.get_u64("anti-entropy-ms", 0)?,
+        heartbeat_timeout_ms: a.get_u64("heartbeat-timeout-ms", 2_500)?,
+        ..Default::default()
+    };
+    let replica = she_replica::Replica::start(cfg).map_err(|err| net_err(&primary, err))?;
+    println!(
+        "she-replica listening on {} — read-only, following primary {primary}",
+        replica.local_addr()
+    );
+    println!("(writes are rejected with NOT_PRIMARY; stop with the wire SHUTDOWN request)");
+    print_shard_stats(&replica.wait());
+    Ok(())
+}
+
+fn print_shard_stats(stats: &[she_server::ShardStats]) {
+    println!("drained; final per-shard stats:");
     for (i, s) in stats.iter().enumerate() {
         println!(
             "  shard {i}: inserts={} queries={} memory={} bits",
             s.inserts, s.queries, s.memory_bits
         );
     }
-    Ok(())
 }
 
-fn checkpoint(a: &Args) -> Result<(), ArgError> {
+fn checkpoint(a: &Args) -> Result<(), CliError> {
     a.expect_only(&["addr", "dir"])?;
     let addr = a.get("addr", "127.0.0.1:7487");
     let dir = a.get("dir", "checkpoints");
-    let io = |err: std::io::Error| ArgError(err.to_string());
+    let io = |err: std::io::Error| net_err(&addr, err);
     let mut client = she_server::Client::connect(&addr).map_err(io)?;
     let version = client.hello().map_err(io)?;
     if version < 2 {
         return Err(ArgError(format!(
             "server at {addr} speaks protocol v{version}; SNAPSHOT_ALL needs v2"
-        )));
+        ))
+        .into());
     }
     let blob = client.snapshot_all().map_err(io)?;
     std::fs::create_dir_all(&dir).map_err(|err| ArgError(format!("{dir}: {err}")))?;
@@ -273,15 +397,15 @@ fn checkpoint(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn query(a: &Args) -> Result<(), ArgError> {
+fn query(a: &Args) -> Result<(), CliError> {
     a.expect_only(&["addr", "op", "key"])?;
     let op = a.get("op", "member");
     if !matches!(op.as_str(), "member" | "card" | "freq" | "sim") {
-        return Err(ArgError(format!("unknown --op '{op}' (member|card|freq|sim)")));
+        return Err(ArgError(format!("unknown --op '{op}' (member|card|freq|sim)")).into());
     }
     let addr = a.get("addr", "127.0.0.1:7487");
     let key = a.get_u64("key", 0)?;
-    let io = |err: std::io::Error| ArgError(err.to_string());
+    let io = |err: std::io::Error| net_err(&addr, err);
     let mut client = she_server::Client::connect(&addr).map_err(io)?;
     // f64 answers also print their raw bits so scripts can diff bit-exactly.
     match op.as_str() {
@@ -300,7 +424,7 @@ fn query(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn loadgen(a: &Args) -> Result<(), ArgError> {
+fn loadgen(a: &Args) -> Result<(), CliError> {
     a.expect_only(&[
         "addr",
         "items",
@@ -316,8 +440,11 @@ fn loadgen(a: &Args) -> Result<(), ArgError> {
         "window",
         "memory",
         "engine-seed",
+        "read-from",
+        "connections",
     ])?;
     let verify = a.get("verify", "no");
+    let read_from = a.get("read-from", "");
     let cfg = she_server::LoadgenConfig {
         addr: a.get("addr", "127.0.0.1:7487"),
         items: a.get_u64("items", 1 << 20)?,
@@ -335,21 +462,209 @@ fn loadgen(a: &Args) -> Result<(), ArgError> {
             "yes" | "true" | "1" => Some(engine_config(a, "engine-seed")?),
             _ => None,
         },
+        read_from: if read_from.is_empty() { None } else { Some(read_from) },
+        connections: a.get_u64("connections", 1)? as usize,
     };
-    let summary = she_server::loadgen::run(&cfg).map_err(|err| ArgError(err.to_string()))?;
+    let summary = she_server::loadgen::run(&cfg).map_err(|err| net_err(&cfg.addr, err))?;
     summary.print();
     if summary.mismatches > 0 {
-        return Err(ArgError(format!("verification failed: {} mismatches", summary.mismatches)));
+        return Err(
+            ArgError(format!("verification failed: {} mismatches", summary.mismatches)).into()
+        );
     }
     Ok(())
 }
 
-fn shutdown(a: &Args) -> Result<(), ArgError> {
+fn shutdown(a: &Args) -> Result<(), CliError> {
     a.expect_only(&["addr"])?;
     let addr = a.get("addr", "127.0.0.1:7487");
-    let mut client = she_server::Client::connect(&addr).map_err(|err| ArgError(err.to_string()))?;
-    client.shutdown().map_err(|err| ArgError(err.to_string()))?;
+    let mut client = she_server::Client::connect(&addr).map_err(|err| net_err(&addr, err))?;
+    client.shutdown().map_err(|err| net_err(&addr, err))?;
     println!("server at {addr} acknowledged shutdown");
+    Ok(())
+}
+
+/// One-line replication position, `key=value` formatted for scripts.
+fn cluster_status(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&["addr"])?;
+    let addr = a.get("addr", "127.0.0.1:7487");
+    let io = |err: std::io::Error| net_err(&addr, err);
+    let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    let version = client.hello().map_err(io)?;
+    if version < 3 {
+        return Err(ArgError(format!(
+            "server at {addr} speaks protocol v{version}; CLUSTER_STATUS needs v3"
+        ))
+        .into());
+    }
+    let info = client.cluster_status().map_err(io)?;
+    if info.is_primary {
+        println!("role=primary head={} floor={} peers={}", info.head, info.floor, info.peers.len());
+        for p in &info.peers {
+            println!("  peer={} acked={}", p.addr, p.acked);
+        }
+    } else {
+        println!(
+            "role=replica primary={} connected={} applied={} boot_seq={}",
+            info.primary, info.connected, info.head, info.boot_seq
+        );
+    }
+    Ok(())
+}
+
+/// Replay the loadgen workload into an in-process [`DirectEngine`]
+/// mirror and compare a quiescent node's query answers bit-for-bit.
+///
+/// Sound because each admitted `INSERT_BATCH` is exactly one op-log
+/// record, appended in admission order — so a node whose position is
+/// `S` holds precisely the first `S` workload batches, and `she
+/// loadgen`'s keygen is deterministic from `--seed`. Queries advance
+/// lazy cleaning but cleaning is itself deterministic in the insert
+/// history, so answers are unaffected by any reads the node served
+/// earlier; the battery below makes the same calls on both sides.
+fn mirror_check(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&[
+        "addr",
+        "items",
+        "batch",
+        "universe",
+        "skew",
+        "seed",
+        "sim-every",
+        "probes",
+        "window",
+        "shards",
+        "memory",
+        "engine-seed",
+    ])?;
+    let addr = a.get("addr", "127.0.0.1:7488");
+    let items = a.get_u64("items", 1 << 20)?;
+    let batch = a.get_u64("batch", 512)?.max(1);
+    let universe = (a.get_u64("universe", 100_000)? as usize).max(2);
+    let skew = a.get_f64("skew", 1.05)?;
+    let seed = a.get_u64("seed", 1)?;
+    let sim_every = a.get_u64("sim-every", 8)?;
+    let probes = a.get_u64("probes", 64)?;
+    let engine = engine_config(a, "engine-seed")?;
+
+    let io = |err: std::io::Error| net_err(&addr, err);
+    let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    let version = client.hello().map_err(io)?;
+    if version < 3 {
+        return Err(ArgError(format!(
+            "server at {addr} speaks protocol v{version}; mirror-check needs v3"
+        ))
+        .into());
+    }
+    // The node must be quiescent: its position (primary head / replica
+    // applied) tells the mirror how many batches to replay, which only
+    // holds once it has stopped moving.
+    let first = client.cluster_status().map_err(io)?;
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    let second = client.cluster_status().map_err(io)?;
+    if first.head != second.head {
+        return Err(ArgError(format!(
+            "node at {addr} is still applying (seq {} -> {}); quiesce the stream first",
+            first.head, second.head
+        ))
+        .into());
+    }
+    let applied = second.head;
+    let n_batches = items.div_ceil(batch);
+    if applied > n_batches {
+        return Err(ArgError(format!(
+            "node is at seq {applied} but --items {items} --batch {batch} only yields \
+             {n_batches} batches; pass the flags the loadgen run used"
+        ))
+        .into());
+    }
+
+    let mut mirror = she_server::DirectEngine::new(engine);
+    let mut keygen = CaidaLike::new(universe, skew, seed);
+    let mut sent = 0u64;
+    for b in 0..applied {
+        let take = batch.min(items - sent) as usize;
+        let keys = keygen.take_vec(take);
+        let stream = if sim_every > 0 && b % sim_every == sim_every - 1 { 1u8 } else { 0u8 };
+        for &k in &keys {
+            mirror.insert(stream, k);
+        }
+        sent += take as u64;
+    }
+
+    let mut checked = 0u64;
+    let mut mismatches = 0u64;
+    for i in 0..probes {
+        let key = she_hash::mix64(seed.wrapping_add(i)) % universe as u64;
+        let got = client.query_member(key).map_err(io)?;
+        let want = mirror.member(key);
+        checked += 1;
+        if got != want {
+            mismatches += 1;
+            eprintln!("mismatch: member({key}) node={got} mirror={want}");
+        }
+        let got = client.query_freq(key).map_err(io)?;
+        let want = mirror.frequency(key);
+        checked += 1;
+        if got != want {
+            mismatches += 1;
+            eprintln!("mismatch: freq({key}) node={got} mirror={want}");
+        }
+    }
+    let got = client.query_card().map_err(io)?.to_bits();
+    let want = mirror.cardinality().to_bits();
+    checked += 1;
+    if got != want {
+        mismatches += 1;
+        eprintln!("mismatch: card node_bits={got:#018x} mirror_bits={want:#018x}");
+    }
+    let got = client.query_sim().map_err(io)?.to_bits();
+    let want = mirror.similarity().to_bits();
+    checked += 1;
+    if got != want {
+        mismatches += 1;
+        eprintln!("mismatch: sim node_bits={got:#018x} mirror_bits={want:#018x}");
+    }
+
+    println!(
+        "mirror-check {addr}: seq {applied} ({sent} items replayed), \
+         {checked} answers checked, {mismatches} mismatches"
+    );
+    if mismatches > 0 {
+        return Err(
+            ArgError(format!("mirror-check failed: {mismatches} mismatched answers")).into()
+        );
+    }
+    Ok(())
+}
+
+fn analyze(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["window", "memory", "hashes", "cardinality"])?;
+    let window = a.get_u64("window", 1 << 16)?;
+    let memory = a.get_u64("memory", 64 << 10)? as usize;
+    let k = a.get_u64("hashes", 8)? as usize;
+    let c = a.get_u64("cardinality", window)?;
+    let m_bits = memory * 8;
+
+    let q = analysis::bf_q(m_bits, k, c as usize);
+    let alpha = analysis::optimal_alpha_bf(m_bits, k, c as usize);
+    println!("inputs: window={window}, memory={memory}B ({m_bits} bits), H={k}, C={c}");
+    println!("Eq.2  optimal alpha for SHE-BF: {alpha:.3}  (Q = {q:.4})");
+    println!("      predicted FPR at the optimum: {:.6}", analysis::she_bf_fpr(q, alpha + 1.0, k));
+    let g = analysis::max_group_count(0.01, alpha, c, k);
+    println!("Eq.1  max groups for <=0.01 expected unswept groups/cycle: {g}");
+    println!(
+        "Eq.3  SHE-BM RE bound (alpha=0.2):  {:.5}",
+        analysis::she_bm_error_bound(0.2, window, c)
+    );
+    println!(
+        "Eq.4  SHE-HLL RE bound (alpha=0.2): {:.5}",
+        analysis::she_hll_error_bound(0.2, window, c)
+    );
+    println!(
+        "Eq.5  SHE-MH bias bound (alpha=0.2, S_union=2C): {:.5}",
+        analysis::she_mh_error_bound(0.2, window, 2 * c)
+    );
     Ok(())
 }
 
@@ -437,34 +752,44 @@ mod tests {
         // Reserved port 1 on localhost refuses connections immediately.
         assert!(dispatch(&args("loadgen --addr 127.0.0.1:1 --items 10 --queries 0")).is_err());
     }
-}
 
-fn analyze(a: &Args) -> Result<(), ArgError> {
-    a.expect_only(&["window", "memory", "hashes", "cardinality"])?;
-    let window = a.get_u64("window", 1 << 16)?;
-    let memory = a.get_u64("memory", 64 << 10)? as usize;
-    let k = a.get_u64("hashes", 8)? as usize;
-    let c = a.get_u64("cardinality", window)?;
-    let m_bits = memory * 8;
+    #[test]
+    fn serve_replica_rejects_engine_sizing_flags() {
+        // Validation fires before any connection attempt is made.
+        let err = dispatch(&args("serve --replica-of 127.0.0.1:1 --shards 4")).unwrap_err();
+        assert!(err.msg.contains("--shards"), "{}", err.msg);
+        let err = dispatch(&args("serve --replica-of 127.0.0.1:1 --repl-log 64")).unwrap_err();
+        assert!(err.msg.contains("--repl-log"), "{}", err.msg);
+    }
 
-    let q = analysis::bf_q(m_bits, k, c as usize);
-    let alpha = analysis::optimal_alpha_bf(m_bits, k, c as usize);
-    println!("inputs: window={window}, memory={memory}B ({m_bits} bits), H={k}, C={c}");
-    println!("Eq.2  optimal alpha for SHE-BF: {alpha:.3}  (Q = {q:.4})");
-    println!("      predicted FPR at the optimum: {:.6}", analysis::she_bf_fpr(q, alpha + 1.0, k));
-    let g = analysis::max_group_count(0.01, alpha, c, k);
-    println!("Eq.1  max groups for <=0.01 expected unswept groups/cycle: {g}");
-    println!(
-        "Eq.3  SHE-BM RE bound (alpha=0.2):  {:.5}",
-        analysis::she_bm_error_bound(0.2, window, c)
-    );
-    println!(
-        "Eq.4  SHE-HLL RE bound (alpha=0.2): {:.5}",
-        analysis::she_hll_error_bound(0.2, window, c)
-    );
-    println!(
-        "Eq.5  SHE-MH bias bound (alpha=0.2, S_union=2C): {:.5}",
-        analysis::she_mh_error_bound(0.2, window, 2 * c)
-    );
-    Ok(())
+    #[test]
+    fn replica_only_flags_require_replica_of() {
+        assert!(dispatch(&args("serve --anti-entropy-ms 50")).is_err());
+        assert!(dispatch(&args("serve --heartbeat-timeout-ms 100")).is_err());
+    }
+
+    #[test]
+    fn unreachable_server_maps_to_exit_code_3() {
+        for line in [
+            "query --addr 127.0.0.1:1 --op card",
+            "checkpoint --addr 127.0.0.1:1 --dir /tmp/she-nope",
+            "cluster-status --addr 127.0.0.1:1",
+            "mirror-check --addr 127.0.0.1:1",
+            "shutdown --addr 127.0.0.1:1",
+        ] {
+            let err = dispatch(&args(line)).unwrap_err();
+            assert_eq!(err.code, EXIT_UNREACHABLE, "{line}: {}", err.msg);
+            assert!(err.msg.contains("connection refused"), "{line}: {}", err.msg);
+        }
+    }
+
+    #[test]
+    fn bad_flags_keep_exit_code_1() {
+        let err = dispatch(&args("cluster-status --bogus 1")).unwrap_err();
+        assert_eq!(err.code, 1);
+        let err = dispatch(&args("mirror-check --bogus 1")).unwrap_err();
+        assert_eq!(err.code, 1);
+        let err = dispatch(&args("loadgen --bogus 1")).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
 }

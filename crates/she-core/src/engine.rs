@@ -386,10 +386,10 @@ impl<S: CsmSpec> She<S> {
         self.t = self.t.max(t_other);
         let mut other = PackedArray::new(self.cells.len(), self.cells.cell_bits());
         other.copy_from_words(words_other);
-        for gid in 0..self.groups.len() {
+        for (gid, &mark_other) in marks_other.iter().enumerate() {
             self.check_group(gid);
             let cur = self.groups[gid].stored_mark();
-            if marks_other[gid] != cur {
+            if mark_other != cur {
                 continue; // other's group is due for cleaning: all expired
             }
             let (start, len) = (self.group_start(gid), self.group_len(gid));

@@ -58,6 +58,10 @@ pub mod kind {
     pub const SHARD: u16 = 0x0010;
     /// A whole-server checkpoint (engine config + all shard frames).
     pub const CHECKPOINT: u16 = 0x0011;
+    /// One replication op-log record (sequence number + insert keys).
+    pub const OPLOG: u16 = 0x0012;
+    /// A replica bootstrap package (log position + nested checkpoint).
+    pub const BOOTSTRAP: u16 = 0x0013;
 }
 
 /// Section tags. Tags may repeat within a frame (e.g. one `SHARD` section
@@ -92,6 +96,8 @@ pub mod tag {
     pub const STRUCT_MH_B: u16 = 0x0014;
     /// Checkpoint frame: one nested shard frame (repeated, in shard order).
     pub const SHARD: u16 = 0x0020;
+    /// Op-log record: raw little-endian `u64` insert keys.
+    pub const KEYS: u16 = 0x0021;
 }
 
 /// Why a frame failed to parse. Every malformed input maps here — parsing

@@ -63,7 +63,7 @@ impl SlidingTopK {
         let cm = &mut self.cm;
         let mut scored: Vec<(u64, u64)> =
             self.candidates.keys().map(|&key| (key, cm.query_scaled(&key))).collect();
-        scored.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        scored.sort_unstable_by_key(|e| std::cmp::Reverse(e.1));
         scored.truncate(2 * self.k);
         self.candidates = scored.into_iter().collect();
     }

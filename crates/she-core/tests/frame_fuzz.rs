@@ -77,7 +77,7 @@ fn any_flipped_bit_fails_the_checksum() {
 fn random_garbage_never_panics() {
     for case in 0..256u64 {
         let mut rng = Xoshiro256::new(0xF422 ^ case);
-        let len = rng.next_below(512) as usize;
+        let len = rng.next_below(512);
         let mut bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         match case % 4 {
             // Raw noise.
@@ -121,7 +121,7 @@ fn structured_noise_never_panics_adapter_loads() {
         let mut w = FrameWriter::new(kinds[(case % 5) as usize]);
         for _ in 0..rng.next_below(5) {
             let tag = rng.next_below(0x30) as u16;
-            let len = rng.next_below(64) as usize;
+            let len = rng.next_below(64);
             let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             w.section(tag, &payload);
         }

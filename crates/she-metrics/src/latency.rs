@@ -118,6 +118,7 @@ pub fn fmt_ns(ns: u64) -> String {
 }
 
 /// A throughput + latency summary for one class of network operations.
+#[derive(Debug)]
 pub struct NetReport {
     /// Operation-class label (e.g. "insert_batch", "query").
     pub label: String,
@@ -129,6 +130,9 @@ pub struct NetReport {
     pub wall: Duration,
     /// Per-operation round-trip latencies.
     pub latency: LatencyHistogram,
+    /// Backpressure retries absorbed while completing `ops` (`BUSY`
+    /// responses that were retried, not surfaced).
+    pub retries: u64,
 }
 
 impl NetReport {
@@ -140,7 +144,13 @@ impl NetReport {
         wall: Duration,
         latency: LatencyHistogram,
     ) -> Self {
-        Self { label: label.to_string(), ops, items, wall, latency }
+        Self { label: label.to_string(), ops, items, wall, latency, retries: 0 }
+    }
+
+    /// Attach a backpressure-retry count (shown in the `retries` column).
+    pub fn with_retries(mut self, retries: u64) -> Self {
+        self.retries = retries;
+        self
     }
 
     /// Operations per second over the wall clock.
@@ -165,7 +175,7 @@ impl NetReport {
     pub fn line(&self) -> String {
         let h = &self.latency;
         format!(
-            "{:<14} {:>10} {:>12} {:>12.0} {:>9} {:>9} {:>9} {:>9}",
+            "{:<14} {:>10} {:>12} {:>12.0} {:>9} {:>9} {:>9} {:>9} {:>8}",
             self.label,
             self.ops,
             self.items,
@@ -174,14 +184,15 @@ impl NetReport {
             fmt_ns(h.quantile_ns(0.90)),
             fmt_ns(h.quantile_ns(0.99)),
             fmt_ns(h.max_ns()),
+            self.retries,
         )
     }
 
     /// Column header matching [`NetReport::line`].
     pub fn header() -> String {
         format!(
-            "{:<14} {:>10} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
-            "op", "ops", "items", "items/s", "p50", "p90", "p99", "max"
+            "{:<14} {:>10} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9} {:>8}",
+            "op", "ops", "items", "items/s", "p50", "p90", "p99", "max", "retries"
         )
     }
 }
@@ -201,7 +212,7 @@ mod tests {
         let p90 = h.quantile_ns(0.9);
         let p99 = h.quantile_ns(0.99);
         assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
-        assert!(p50 >= 100 && p50 <= 3200, "p50 {p50}");
+        assert!((100..=3200).contains(&p50), "p50 {p50}");
         assert!(p99 <= h.max_ns() * 2);
         assert_eq!(h.min_ns(), 100);
         assert_eq!(h.max_ns(), 1_000_000);

@@ -1,0 +1,105 @@
+//! Property test for [`LatencyHistogram::merge`]: for every quantile
+//! `q`, the merged histogram's estimate is bracketed by the two inputs'
+//! estimates,
+//!
+//! ```text
+//! min(Qa(q), Qb(q)) ≤ Qmerged(q) ≤ max(Qa(q), Qb(q))
+//! ```
+//!
+//! which is the exact mixture-quantile property specialized to shared
+//! bucket boundaries: cumulative counts add, so the merged rank-`q`
+//! bucket index lands between the inputs' rank-`q` bucket indices, and
+//! the per-bucket midpoint is monotone in the index. Randomized over
+//! sizes, magnitudes, and quantiles with a fixed-seed generator — the
+//! std-only equivalent of a proptest.
+
+use she_metrics::LatencyHistogram;
+
+/// Tiny deterministic xorshift64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A histogram with `n` samples spread over random magnitudes (1 ns to
+/// ~1 s), plus the raw samples for cross-checks.
+fn random_histogram(rng: &mut Rng, n: u64) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for _ in 0..n {
+        let magnitude = rng.below(30); // buckets up to ~1 s
+        h.record_ns((1u64 << magnitude) + rng.below(1 + (1u64 << magnitude)));
+    }
+    h
+}
+
+#[test]
+fn merged_quantiles_are_bracketed_by_the_inputs() {
+    let mut rng = Rng(0x5EED_CAFE);
+    let quantiles = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+    for case in 0..500 {
+        let na = rng.below(200);
+        let nb = 1 + rng.below(200);
+        let a = random_histogram(&mut rng, na);
+        let b = random_histogram(&mut rng, nb);
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.max_ns(), a.max_ns().max(b.max_ns()));
+        for &q in &quantiles {
+            let (qa, qb, qm) = (a.quantile_ns(q), b.quantile_ns(q), merged.quantile_ns(q));
+            let (lo, hi) = (qa.min(qb), qa.max(qb));
+            // An empty input reports 0 for every quantile; the merge is
+            // then the other histogram verbatim.
+            if a.count() == 0 {
+                assert_eq!(qm, qb, "case {case} q={q}: empty-a merge changed the quantile");
+                continue;
+            }
+            assert!(
+                lo <= qm && qm <= hi,
+                "case {case} q={q}: merged {qm} outside [{lo}, {hi}] \
+                 (counts {} + {})",
+                a.count(),
+                b.count(),
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_is_commutative_and_associative_on_quantiles() {
+    let mut rng = Rng(0x0D15_EA5E);
+    for _ in 0..100 {
+        let (na, nb, nc) = (1 + rng.below(100), 1 + rng.below(100), 1 + rng.below(100));
+        let a = random_histogram(&mut rng, na);
+        let b = random_histogram(&mut rng, nb);
+        let c = random_histogram(&mut rng, nc);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(ab.quantile_ns(q), ba.quantile_ns(q), "commutativity at q={q}");
+            assert_eq!(ab_c.quantile_ns(q), a_bc.quantile_ns(q), "associativity at q={q}");
+        }
+        assert_eq!(ab_c.count(), a.count() + b.count() + c.count());
+    }
+}

@@ -1,0 +1,453 @@
+//! she-replica: the replica-side replication runtime for she-server.
+//!
+//! A [`Replica`] is a full she-server (it answers every read in the
+//! protocol) whose state is a follower of a primary's:
+//!
+//! 1. **Bootstrap** — fetch a `REPL_BOOTSTRAP` package from the primary:
+//!    a whole-server checkpoint plus the op-log sequence number it
+//!    reflects, cut atomically on the primary. The replica rebuilds its
+//!    shard engines from the checkpoint — no replay of history.
+//! 2. **Tail** — subscribe to the primary's op log from the cut, apply
+//!    each record through the embedded server's [`Injector`] (the same
+//!    [`EngineConfig::partition`](she_server::EngineConfig::partition)
+//!    routing as the primary's own insert path, so per-shard apply order
+//!    is bit-identical), and acknowledge progress so the primary's
+//!    `CLUSTER_STATUS` can report replica lag.
+//! 3. **Recover** — if the feed drops, reconnect with capped exponential
+//!    backoff and resume from `applied + 1`. If that position has fallen
+//!    off the primary's bounded log (`LOG_TRUNCATED`, or the primary was
+//!    replaced and its log restarted), take a fresh bootstrap instead of
+//!    replaying — snapshot + delta, never full history.
+//! 4. **Anti-entropy** (optional) — periodically pull per-shard snapshot
+//!    frames from the primary and fold them in with
+//!    [`ShardEngine::reconcile`](she_server::ShardEngine::reconcile)'s
+//!    commutative, idempotent merge (cell-wise OR/max/min-nonzero,
+//!    counter max), repairing any divergence the log cannot see.
+//!
+//! Writes sent to a replica are answered `NOT_PRIMARY` naming the
+//! primary; that mapping lives in the embedded server and is driven by
+//! the [`ReplicaStatus`] this runtime keeps current. Primary loss is
+//! detected by heartbeat silence: the primary sends `REPL_HEARTBEAT` on
+//! an idle feed, and a replica that hears nothing for
+//! [`ReplicaConfig::heartbeat_timeout_ms`] declares the link dead and
+//! starts reconnecting.
+//!
+//! See `docs/REPLICATION.md` for the protocol-level story.
+
+use she_server::codec::{read_frame, write_frame};
+use she_server::protocol::{Request, Response, ShardStats};
+use she_server::repl::Record;
+use she_server::{
+    Backoff, Checkpoint, Client, Injector, ReplicaStatus, Role, Server, ServerConfig,
+};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Apply-side acknowledgement cadence, in records. Acks also go out on
+/// every heartbeat, so an idle feed still reports an exact position.
+const ACK_EVERY: u64 = 32;
+
+/// Read timeout on the feed socket — the granularity at which the tail
+/// thread notices a stop request or heartbeat silence.
+const FEED_POLL: Duration = Duration::from_millis(100);
+
+/// How a replica joins and follows its primary.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Address the replica's own server binds; port 0 for ephemeral.
+    pub listen_addr: String,
+    /// The primary's address, `host:port`.
+    pub primary: String,
+    /// Bounded depth of each local shard queue, in jobs.
+    pub queue_capacity: usize,
+    /// Hint returned with local `BUSY` responses.
+    pub retry_after_ms: u32,
+    /// Anti-entropy sweep interval in milliseconds; 0 disables sweeps.
+    pub anti_entropy_ms: u64,
+    /// Declare the primary lost after this much feed silence. Must
+    /// comfortably exceed the primary's heartbeat interval (500ms
+    /// default).
+    pub heartbeat_timeout_ms: u64,
+    /// First reconnect delay, in milliseconds.
+    pub reconnect_base_ms: u64,
+    /// Reconnect delay ceiling, in milliseconds.
+    pub reconnect_cap_ms: u64,
+    /// Connection attempts for the *initial* bootstrap before
+    /// [`Replica::start`] gives up and returns the error. Reconnects
+    /// after a successful start retry forever.
+    pub max_bootstrap_attempts: u32,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        Self {
+            listen_addr: "127.0.0.1:0".to_string(),
+            primary: String::new(),
+            queue_capacity: 256,
+            retry_after_ms: 2,
+            anti_entropy_ms: 0,
+            heartbeat_timeout_ms: 2_500,
+            reconnect_base_ms: 50,
+            reconnect_cap_ms: 2_000,
+            max_bootstrap_attempts: 10,
+        }
+    }
+}
+
+/// Why one pass over the feed socket ended.
+enum FeedEnd {
+    /// Stop was requested; unwind without reconnecting.
+    Stopped,
+    /// Connection failed or went silent; back off and reconnect.
+    Lost,
+    /// Our position is unservable (log truncated, or a new primary with
+    /// a shorter log); take a fresh bootstrap before resubscribing.
+    Resync,
+}
+
+/// A running replica: an embedded read-serving [`Server`] plus the
+/// background threads that keep it converged with the primary.
+pub struct Replica {
+    server: Server,
+    status: Arc<ReplicaStatus>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Bootstrap from `cfg.primary` and start serving reads.
+    ///
+    /// Blocks until the initial snapshot is fetched, decoded, and loaded
+    /// into freshly built shard engines (retrying up to
+    /// [`ReplicaConfig::max_bootstrap_attempts`] times), then spawns the
+    /// tail thread (and the anti-entropy thread if enabled) and returns.
+    pub fn start(cfg: ReplicaConfig) -> io::Result<Replica> {
+        let mut backoff = Backoff::from_clock(
+            Duration::from_millis(cfg.reconnect_base_ms.max(1)),
+            Duration::from_millis(cfg.reconnect_cap_ms.max(1)),
+        );
+        let (seq, ckpt) = loop {
+            match fetch_bootstrap(&cfg.primary) {
+                Ok(pair) => break pair,
+                Err(e) if backoff.attempts() + 1 >= cfg.max_bootstrap_attempts.max(1) => {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("bootstrap from {} failed: {e}", cfg.primary),
+                    ));
+                }
+                Err(_) => std::thread::sleep(backoff.next_delay()),
+            }
+        };
+        let (engine, engines) = ckpt
+            .build_engines(ckpt.cfg.shards)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+
+        let status = Arc::new(ReplicaStatus::default());
+        status.applied.store(seq, Ordering::SeqCst);
+        status.boot_seq.store(seq, Ordering::SeqCst);
+
+        let server = Server::start_with_engines(
+            ServerConfig {
+                addr: cfg.listen_addr.clone(),
+                engine,
+                queue_capacity: cfg.queue_capacity,
+                retry_after_ms: cfg.retry_after_ms,
+                role: Role::Replica { primary: cfg.primary.clone(), status: Arc::clone(&status) },
+                repl_log: 0,
+                ..Default::default()
+            },
+            engines,
+        )?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        {
+            let (cfg, injector) = (cfg.clone(), server.injector());
+            let (status, stop) = (Arc::clone(&status), Arc::clone(&stop));
+            threads.push(
+                std::thread::Builder::new()
+                    .name("she-repl-tail".into())
+                    .spawn(move || run_tail(&cfg, &injector, &status, &stop))?,
+            );
+        }
+        if cfg.anti_entropy_ms > 0 {
+            let (cfg, injector) = (cfg.clone(), server.injector());
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("she-repl-entropy".into())
+                    .spawn(move || run_anti_entropy(&cfg, &injector, &stop))?,
+            );
+        }
+
+        Ok(Replica { server, status, stop, threads })
+    }
+
+    /// The replica server's bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The live link state (applied position, connectedness, boot cut).
+    pub fn status(&self) -> &Arc<ReplicaStatus> {
+        &self.status
+    }
+
+    /// Ask the replica to stop, as if a client sent `SHUTDOWN`.
+    pub fn shutdown(&self) {
+        self.server.shutdown();
+    }
+
+    /// Block until something stops the replica (a wire `SHUTDOWN` or
+    /// [`Replica::shutdown`]), then unwind: stop the replication
+    /// threads, join them (releasing their [`Injector`]s so the shard
+    /// queues can drain), and join the embedded server.
+    pub fn wait(self) -> Vec<ShardStats> {
+        while !self.server.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.server.wait()
+    }
+
+    /// [`Replica::shutdown`] then [`Replica::wait`].
+    pub fn join(self) -> Vec<ShardStats> {
+        self.shutdown();
+        self.wait()
+    }
+}
+
+/// Fetch and decode one bootstrap package from the primary.
+fn fetch_bootstrap(primary: &str) -> io::Result<(u64, Checkpoint)> {
+    let mut client = Client::connect(primary)?;
+    let version = client.hello()?;
+    if version < 3 {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("primary speaks protocol v{version}; replication needs v3"),
+        ));
+    }
+    let (seq, bytes) = client.repl_bootstrap()?;
+    let ckpt = Checkpoint::decode(&bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((seq, ckpt))
+}
+
+/// Re-bootstrap a *live* replica in place: restore every shard through
+/// the injector, then move the applied position to the new cut.
+fn resync(primary: &str, injector: &Injector, status: &ReplicaStatus) -> io::Result<()> {
+    let (seq, ckpt) = fetch_bootstrap(primary)?;
+    if ckpt.cfg != *injector.config() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "primary engine config changed; restart the replica to re-shard",
+        ));
+    }
+    for (shard, frame) in ckpt.shards.iter().enumerate() {
+        injector.restore(shard, frame)?;
+    }
+    status.boot_seq.store(seq, Ordering::SeqCst);
+    status.applied.store(seq, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Sleep `total`, checking `stop` every few tens of milliseconds.
+fn sleep_unless_stopped(total: Duration, stop: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::SeqCst) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(20)));
+    }
+}
+
+/// The tail thread: subscribe, apply, ack; reconnect with backoff on
+/// loss; re-bootstrap on truncation. Runs until `stop`.
+fn run_tail(cfg: &ReplicaConfig, injector: &Injector, status: &ReplicaStatus, stop: &AtomicBool) {
+    let mut backoff = Backoff::from_clock(
+        Duration::from_millis(cfg.reconnect_base_ms.max(1)),
+        Duration::from_millis(cfg.reconnect_cap_ms.max(1)),
+    );
+    while !stop.load(Ordering::SeqCst) {
+        let end = feed_once(cfg, injector, status, stop, &mut backoff);
+        status.connected.store(false, Ordering::SeqCst);
+        match end {
+            FeedEnd::Stopped => break,
+            FeedEnd::Lost => sleep_unless_stopped(backoff.next_delay(), stop),
+            FeedEnd::Resync => {
+                if resync(&cfg.primary, injector, status).is_ok() {
+                    backoff.reset();
+                } else {
+                    sleep_unless_stopped(backoff.next_delay(), stop);
+                }
+            }
+        }
+    }
+    status.connected.store(false, Ordering::SeqCst);
+}
+
+/// Send one `REPL_ACK` up the feed socket.
+fn send_ack(sock: &mut TcpStream, seq: u64) -> io::Result<()> {
+    write_frame(sock, &Request::ReplAck { seq }.encode())
+}
+
+/// One connection's worth of tailing: connect, subscribe from
+/// `applied + 1`, then apply records until the feed ends.
+fn feed_once(
+    cfg: &ReplicaConfig,
+    injector: &Injector,
+    status: &ReplicaStatus,
+    stop: &AtomicBool,
+    backoff: &mut Backoff,
+) -> FeedEnd {
+    let Ok(mut client) = Client::connect(&cfg.primary) else {
+        return FeedEnd::Lost;
+    };
+    match client.hello() {
+        Ok(v) if v >= 3 => {}
+        _ => return FeedEnd::Lost,
+    }
+    let mut applied = status.applied.load(Ordering::SeqCst);
+    let Ok(mut sock) = client.subscribe(applied + 1) else {
+        return FeedEnd::Lost;
+    };
+    if sock.set_read_timeout(Some(FEED_POLL)).is_err() {
+        return FeedEnd::Lost;
+    }
+
+    let timeout = Duration::from_millis(cfg.heartbeat_timeout_ms.max(1));
+    let mut last_heard = Instant::now();
+    let mut unacked = 0u64;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return FeedEnd::Stopped;
+        }
+        match read_frame(&mut sock) {
+            Ok(Some(payload)) => {
+                last_heard = Instant::now();
+                let Ok(resp) = Response::decode(&payload) else {
+                    return FeedEnd::Lost;
+                };
+                match resp {
+                    Response::ReplOp(data) => {
+                        let Ok(rec) = Record::decode(&data) else {
+                            return FeedEnd::Lost;
+                        };
+                        if rec.seq <= applied {
+                            continue; // duplicate after a reconnect race
+                        }
+                        if rec.seq != applied + 1 {
+                            return FeedEnd::Resync; // gap: the log moved under us
+                        }
+                        if injector.apply(rec.stream, &rec.keys).is_err() {
+                            return FeedEnd::Stopped; // local server unwinding
+                        }
+                        applied = rec.seq;
+                        status.applied.store(applied, Ordering::SeqCst);
+                        status.connected.store(true, Ordering::SeqCst);
+                        backoff.reset();
+                        unacked += 1;
+                        if unacked >= ACK_EVERY {
+                            if send_ack(&mut sock, applied).is_err() {
+                                return FeedEnd::Lost;
+                            }
+                            unacked = 0;
+                        }
+                    }
+                    Response::ReplHeartbeat { .. } => {
+                        status.connected.store(true, Ordering::SeqCst);
+                        backoff.reset();
+                        if send_ack(&mut sock, applied).is_err() {
+                            return FeedEnd::Lost;
+                        }
+                        unacked = 0;
+                    }
+                    Response::LogTruncated { .. } => return FeedEnd::Resync,
+                    // The primary refuses this position (e.g. a replacement
+                    // primary whose fresh log is shorter than our history):
+                    // a snapshot is the only way back in sync.
+                    Response::Err(_) => return FeedEnd::Resync,
+                    _ => return FeedEnd::Lost,
+                }
+            }
+            Ok(None) => return FeedEnd::Lost, // primary hung up
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if last_heard.elapsed() >= timeout {
+                    return FeedEnd::Lost; // heartbeat silence: primary is gone
+                }
+            }
+            Err(_) => return FeedEnd::Lost,
+        }
+    }
+}
+
+/// The anti-entropy thread: every `anti_entropy_ms`, pull each shard's
+/// snapshot from the primary and reconcile it in. Failures (primary
+/// down, mid-sweep disconnect) are dropped on the floor — the next sweep
+/// retries, and the op-log tail remains the primary sync mechanism.
+fn run_anti_entropy(cfg: &ReplicaConfig, injector: &Injector, stop: &AtomicBool) {
+    let interval = Duration::from_millis(cfg.anti_entropy_ms.max(1));
+    while !stop.load(Ordering::SeqCst) {
+        sleep_unless_stopped(interval, stop);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = sweep(&cfg.primary, injector);
+    }
+}
+
+/// One anti-entropy pass over every shard.
+fn sweep(primary: &str, injector: &Injector) -> io::Result<()> {
+    let mut client = Client::connect(primary)?;
+    if client.hello()? < 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "primary does not serve snapshots (protocol v1)",
+        ));
+    }
+    for shard in 0..injector.config().shards {
+        let frame = client.snapshot(shard as u32)?;
+        injector.merge(shard, &frame)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ReplicaConfig::default();
+        assert!(cfg.heartbeat_timeout_ms > 500, "timeout must exceed the heartbeat interval");
+        assert!(cfg.reconnect_base_ms <= cfg.reconnect_cap_ms);
+        assert!(cfg.max_bootstrap_attempts >= 1);
+    }
+
+    #[test]
+    fn bootstrap_against_nothing_fails_fast() {
+        // A refused connection must come back as an error, not a hang.
+        let cfg = ReplicaConfig {
+            primary: "127.0.0.1:1".to_string(),
+            max_bootstrap_attempts: 2,
+            reconnect_base_ms: 1,
+            reconnect_cap_ms: 2,
+            ..Default::default()
+        };
+        let err = match Replica::start(cfg) {
+            Ok(_) => panic!("bootstrap against a closed port must fail"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("bootstrap from 127.0.0.1:1 failed"), "{err}");
+    }
+}

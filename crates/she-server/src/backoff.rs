@@ -1,0 +1,96 @@
+//! Capped exponential backoff with jitter — shared by the client's
+//! `BUSY` retry loop and the replica's reconnect loop.
+//!
+//! Delays double from `base` up to `cap`, each multiplied by a uniform
+//! jitter in `[0.5, 1.5)` so a fleet of retriers doesn't thunder in
+//! lockstep. The jitter source is a tiny in-tree xorshift (the workspace
+//! is std-only by design).
+
+use std::time::Duration;
+
+/// A capped exponential backoff schedule.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, doubling up to `cap`, jittered by
+    /// `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self { base, cap, attempt: 0, rng: seed | 1 }
+    }
+
+    /// A schedule seeded from the clock (fine for independent retriers).
+    pub fn from_clock(base: Duration, cap: Duration) -> Self {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        Self::new(base, cap, seed)
+    }
+
+    /// Attempts taken since the last [`Backoff::reset`].
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay: `min(cap, base · 2^attempt)` times a jitter in
+    /// `[0.5, 1.5)`. Advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << self.attempt.min(16));
+        let capped = exp.min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        // xorshift64 step, then map the top bits to [0.5, 1.5).
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let jitter = 0.5 + (self.rng >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_secs_f64(capped.as_secs_f64() * jitter)
+    }
+
+    /// Back to the base delay (call after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let base = Duration::from_millis(2);
+        let cap = Duration::from_millis(64);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut prev_raw = Duration::ZERO;
+        for i in 0..12 {
+            let d = b.next_delay();
+            // Jitter bounds: [0.5 · raw, 1.5 · raw] where raw ≤ cap.
+            assert!(d <= cap.mul_f64(1.5), "attempt {i}: {d:?} above cap");
+            assert!(d >= base.mul_f64(0.5), "attempt {i}: {d:?} below base");
+            if i >= 6 {
+                // Past the cap, raw delays stop growing.
+                assert!(d.as_secs_f64() >= cap.as_secs_f64() * 0.49, "attempt {i} uncapped");
+            }
+            prev_raw = prev_raw.max(d);
+        }
+        assert_eq!(b.attempts(), 12);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() <= base.mul_f64(1.5));
+    }
+
+    #[test]
+    fn jitter_varies() {
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_millis(100), 3);
+        let a = b.next_delay();
+        b.reset();
+        let c = b.next_delay();
+        assert_ne!(a, c, "jitter must differ between draws");
+    }
+}

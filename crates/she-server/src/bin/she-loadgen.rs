@@ -17,8 +17,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: she-loadgen --addr HOST:PORT [--items N] [--batch N] [--queries N]\n\
          \x20                 [--open ITEMS_PER_SEC] [--universe N] [--skew F] [--seed N]\n\
-         \x20                 [--sim-every N] [--verify --window N --shards N --mem BYTES\n\
-         \x20                 --engine-seed N]"
+         \x20                 [--sim-every N] [--connections N] [--read-from HOST:PORT]\n\
+         \x20                 [--verify --window N --shards N --mem BYTES --engine-seed N]\n\
+         \n\
+         --read-from sends the interleaved queries to a second address (a\n\
+         replica) while inserts go to --addr (the primary); --connections\n\
+         fans the workload out over N sockets and merges their latency\n\
+         histograms. Neither combines with --verify."
     );
     std::process::exit(2);
 }
@@ -46,6 +51,8 @@ fn main() {
             "--skew" => cfg.skew = parse(args.next(), "--skew"),
             "--seed" => cfg.seed = parse(args.next(), "--seed"),
             "--sim-every" => cfg.sim_every = parse(args.next(), "--sim-every"),
+            "--connections" => cfg.connections = parse(args.next(), "--connections"),
+            "--read-from" => cfg.read_from = Some(parse(args.next(), "--read-from")),
             "--verify" => verify = true,
             "--window" => engine.window = parse(args.next(), "--window"),
             "--shards" => engine.shards = parse(args.next(), "--shards"),

@@ -2,22 +2,33 @@
 //!
 //! One [`Client`] wraps one TCP connection and issues one request at a
 //! time (the protocol is strictly request/response). `BUSY` responses to
-//! inserts are retried internally after the server's suggested delay, up
-//! to a bounded number of attempts — safe because a `BUSY` means the
-//! server enqueued nothing.
+//! inserts are retried internally with capped exponential backoff plus
+//! jitter, up to a bounded number of attempts — safe because a `BUSY`
+//! means the server enqueued nothing, and the jitter keeps a fleet of
+//! blocked clients from hammering the queue in lockstep.
 
+use crate::backoff::Backoff;
 use crate::codec::{read_frame, write_frame};
-use crate::protocol::{Request, Response, ShardStats, MAX_BATCH, PROTOCOL_VERSION};
+use crate::protocol::{
+    ClusterStatusInfo, Request, Response, ShardStats, MAX_BATCH, PROTOCOL_VERSION,
+};
+use crate::repl::Bootstrap;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Attempts per insert before giving up on a persistently-full shard.
-const MAX_BUSY_RETRIES: u32 = 1000;
+const MAX_BUSY_RETRIES: u32 = 64;
+
+/// Ceiling on one backoff sleep while a shard queue stays full.
+const BUSY_BACKOFF_CAP: Duration = Duration::from_millis(64);
 
 fn bad_reply(resp: Response) -> io::Error {
     let msg = match resp {
         Response::Err(m) => format!("server error: {m}"),
+        Response::NotPrimary { primary } => {
+            format!("server is a read-only replica; writes go to the primary at {primary}")
+        }
         other => format!("unexpected response {other:?}"),
     };
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -47,14 +58,20 @@ impl Client {
         Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
-    /// Issue an insert-class request, retrying on `BUSY`.
+    /// Issue an insert-class request, retrying `BUSY` with capped
+    /// exponential backoff + jitter seeded from the server's hint.
     fn call_insert(&mut self, req: &Request) -> io::Result<u64> {
+        let mut backoff: Option<Backoff> = None;
         for _ in 0..MAX_BUSY_RETRIES {
             match self.call(req)? {
                 Response::Ok { accepted } => return Ok(accepted),
                 Response::Busy { retry_after_ms } => {
                     self.busy_retries += 1;
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1) as u64));
+                    let b = backoff.get_or_insert_with(|| {
+                        let base = Duration::from_millis(retry_after_ms.max(1) as u64);
+                        Backoff::from_clock(base.min(BUSY_BACKOFF_CAP), BUSY_BACKOFF_CAP)
+                    });
+                    std::thread::sleep(b.next_delay());
                 }
                 other => return Err(bad_reply(other)),
             }
@@ -150,6 +167,36 @@ impl Client {
             Response::Ok { .. } => Ok(()),
             other => Err(bad_reply(other)),
         }
+    }
+
+    /// Fetch a replica bootstrap package from a primary (v3): the op-log
+    /// cut sequence number plus the checkpoint bytes at that cut.
+    pub fn repl_bootstrap(&mut self) -> io::Result<(u64, Vec<u8>)> {
+        match self.call(&Request::ReplBootstrap)? {
+            Response::Blob(data) => {
+                let boot = Bootstrap::decode(&data)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                Ok((boot.seq, boot.checkpoint))
+            }
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// The node's replication role and positions (v3).
+    pub fn cluster_status(&mut self) -> io::Result<ClusterStatusInfo> {
+        match self.call(&Request::ClusterStatus)? {
+            Response::ClusterStatus(info) => Ok(info),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Turn this connection into a replication feed starting at
+    /// `from_seq`, returning the raw socket (v3). The caller reads
+    /// `REPL_OP`/`REPL_HEARTBEAT` frames and writes `REPL_ACK`s with the
+    /// codec; the request/response discipline no longer applies.
+    pub fn subscribe(mut self, from_seq: u64) -> io::Result<TcpStream> {
+        write_frame(&mut self.stream, &Request::ReplSubscribe { from_seq }.encode())?;
+        Ok(self.stream)
     }
 
     /// Ask the server to drain and stop.

@@ -56,6 +56,18 @@ impl EngineConfig {
         she_hash::reduce_range(mix64(key ^ ROUTER_SEED), self.shards)
     }
 
+    /// Partition `keys` into per-shard runs, preserving arrival order
+    /// within each shard (windows are order-sensitive). Shared by the
+    /// server's insert path and the replica's op-log apply path so both
+    /// feed shards the identical per-shard key order.
+    pub fn partition(&self, keys: &[u64]) -> Vec<(usize, Vec<u64>)> {
+        let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); self.shards];
+        for &k in keys {
+            per_shard[self.shard_of(k)].push(k);
+        }
+        per_shard.into_iter().enumerate().filter(|(_, ks)| !ks.is_empty()).collect()
+    }
+
     /// Serialize for embedding in snapshot frames.
     pub(crate) fn encode(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(28);
@@ -260,6 +272,27 @@ impl ShardEngine {
             })?;
         self.inserts += inserts;
         self.queries += queries;
+        Ok(())
+    }
+
+    /// Anti-entropy merge: fold a same-placement snapshot of this shard
+    /// (taken on another node) into this one cell-wise. Unlike
+    /// [`ShardEngine::merge`] (the rebalance path, which *sums* counters
+    /// because its sources partition the key space), reconcile takes the
+    /// counter **max** — the two sides are copies of the *same* shard, so
+    /// repeated passes are idempotent and counters never inflate.
+    pub fn reconcile(&mut self, buf: &[u8]) -> Result<(), SnapshotError> {
+        let (inserts, queries) =
+            self.with_shard_frame(buf, true, |e, [bf, bm, cm, mha, mhb]| {
+                e.bf.merge_snapshot(bf)?;
+                e.bm.merge_snapshot(bm)?;
+                e.cm.merge_snapshot(cm)?;
+                e.mh_a.merge_snapshot(mha)?;
+                e.mh_b.merge_snapshot(mhb)?;
+                Ok(())
+            })?;
+        self.inserts = self.inserts.max(inserts);
+        self.queries = self.queries.max(queries);
         Ok(())
     }
 

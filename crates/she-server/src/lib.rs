@@ -18,24 +18,34 @@
 //! * [`engine`] — the per-shard state and the serial reference engine;
 //! * [`worker`] — shard worker loop and its job queue;
 //! * [`server`] — listener, connection handling, backpressure, shutdown;
-//! * [`client`] — blocking client with `BUSY` retry;
+//! * [`client`] — blocking client with backoff-based `BUSY` retry;
 //! * [`loadgen`] — workload driver with latency reports and a
 //!   bit-exact verification mode;
 //! * [`snapshot`] — whole-server checkpoints and shard rebalancing
-//!   (protocol v2: `SNAPSHOT` / `SNAPSHOT_ALL` / `RESTORE`).
+//!   (protocol v2: `SNAPSHOT` / `SNAPSHOT_ALL` / `RESTORE`);
+//! * [`repl`] — the primary's op log, record/bootstrap codecs, and peer
+//!   registry (protocol v3; see `docs/REPLICATION.md`);
+//! * [`backoff`] — capped exponential backoff with jitter, shared by the
+//!   client's retry loop and the replica's reconnects.
 
+pub mod backoff;
 pub mod client;
 pub mod codec;
 pub mod engine;
 pub mod loadgen;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 pub mod snapshot;
 pub mod worker;
 
+pub use backoff::Backoff;
 pub use client::Client;
 pub use engine::{DirectEngine, EngineConfig, ShardEngine};
 pub use loadgen::{LoadSummary, LoadgenConfig, Mode};
-pub use protocol::{ProtoError, Request, Response, ShardStats, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig};
+pub use protocol::{
+    ClusterStatusInfo, PeerStatus, ProtoError, Request, Response, ShardStats, PROTOCOL_VERSION,
+};
+pub use repl::{Bootstrap, Record, ReplLog};
+pub use server::{Injector, ReplicaStatus, Role, Server, ServerConfig};
 pub use snapshot::Checkpoint;

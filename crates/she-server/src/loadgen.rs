@@ -56,6 +56,13 @@ pub struct LoadgenConfig {
     /// Mirror the stream through an in-process [`DirectEngine`] with this
     /// sizing (must match the server's) and compare every answer.
     pub verify: Option<EngineConfig>,
+    /// Send queries to this address instead of `addr` — the read-scaling
+    /// pattern: inserts go to the primary, reads to a replica.
+    pub read_from: Option<String>,
+    /// Concurrent connections. Above 1 the run fans out over threads,
+    /// each driving its own slice of the workload on its own connection,
+    /// and the summary merges their latency histograms.
+    pub connections: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -71,11 +78,14 @@ impl Default for LoadgenConfig {
             seed: 1,
             sim_every: 8,
             verify: None,
+            read_from: None,
+            connections: 1,
         }
     }
 }
 
 /// What a run did, with per-class latency.
+#[derive(Debug)]
 pub struct LoadSummary {
     /// Insert-side report (ops = batches, items = keys).
     pub insert: NetReport,
@@ -153,11 +163,78 @@ impl QuerySide {
     }
 }
 
-/// Drive the workload against `cfg.addr`. Returns an error on transport
-/// failure; verification mismatches are *reported*, not fatal (callers
-/// check [`LoadSummary::mismatches`]).
+/// Drive the workload against `cfg.addr` (queries against
+/// `cfg.read_from` when set), fanning out over `cfg.connections`
+/// threads. Returns an error on transport failure; verification
+/// mismatches are *reported*, not fatal (callers check
+/// [`LoadSummary::mismatches`]).
 pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
+    if cfg.connections <= 1 {
+        return run_single(cfg);
+    }
+    if cfg.verify.is_some() {
+        // Bit-for-bit verification needs one connection's FIFO order.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "--verify requires a single connection",
+        ));
+    }
+    let conns = cfg.connections as u64;
+    let handles: Vec<_> = (0..conns)
+        .map(|i| {
+            let mut sub = cfg.clone();
+            sub.connections = 1;
+            // Each connection drives its own slice of the item and query
+            // budgets with a distinct workload seed and a fair share of
+            // the open-loop rate.
+            sub.items = cfg.items / conns + u64::from(i < cfg.items % conns);
+            sub.queries = cfg.queries / conns + u64::from(i < cfg.queries % conns);
+            sub.seed = cfg.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).max(1);
+            if let Mode::Open { items_per_sec } = cfg.mode {
+                sub.mode = Mode::Open { items_per_sec: items_per_sec / conns as f64 };
+            }
+            std::thread::spawn(move || run_single(&sub))
+        })
+        .collect();
+
+    let mut insert = NetReport::new("insert_batch", 0, 0, Duration::ZERO, LatencyHistogram::new());
+    let mut query = NetReport::new("query", 0, 0, Duration::ZERO, LatencyHistogram::new());
+    let (mut verified, mut mismatches, mut busy, mut wall) = (0, 0, 0, Duration::ZERO);
+    for h in handles {
+        let s = h.join().map_err(|_| io::Error::other("loadgen connection thread panicked"))??;
+        insert.ops += s.insert.ops;
+        insert.items += s.insert.items;
+        insert.latency.merge(&s.insert.latency);
+        query.ops += s.query.ops;
+        query.items += s.query.items;
+        query.latency.merge(&s.query.latency);
+        verified += s.verified;
+        mismatches += s.mismatches;
+        busy += s.busy_retries;
+        wall = wall.max(s.wall);
+    }
+    insert.wall = wall;
+    query.wall = wall;
+    insert.retries = busy;
+    Ok(LoadSummary { insert, query, verified, mismatches, busy_retries: busy, wall })
+}
+
+/// One connection's worth of [`run`].
+fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
     let mut client = Client::connect(&cfg.addr)?;
+    // Reads may go to a different node (a replica); the mirror cannot
+    // vouch for a lagging replica, so the combination is refused.
+    let mut query_client = match &cfg.read_from {
+        Some(addr) if cfg.verify.is_some() => {
+            let _ = addr;
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--verify compares against the write connection; it cannot read from a replica",
+            ));
+        }
+        Some(addr) => Some(Client::connect(addr)?),
+        None => None,
+    };
     let mut mirror = cfg.verify.map(DirectEngine::new);
     let mut keygen = CaidaLike::new(cfg.universe.max(2), cfg.skew, cfg.seed);
 
@@ -204,19 +281,20 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
         }
 
         if b % stride == stride - 1 && queries.sent < cfg.queries {
-            queries.issue(&mut client, &mut mirror, last_key)?;
+            queries.issue(query_client.as_mut().unwrap_or(&mut client), &mut mirror, last_key)?;
         }
     }
 
     // Any remaining query budget runs back-to-back at the end (small
     // `items` with large `queries` would otherwise under-deliver).
     while queries.sent < cfg.queries {
-        queries.issue(&mut client, &mut mirror, last_key)?;
+        queries.issue(query_client.as_mut().unwrap_or(&mut client), &mut mirror, last_key)?;
     }
 
     let wall = start.elapsed();
     Ok(LoadSummary {
-        insert: NetReport::new("insert_batch", n_batches, sent_items, wall, insert_lat),
+        insert: NetReport::new("insert_batch", n_batches, sent_items, wall, insert_lat)
+            .with_retries(client.busy_retries),
         query: NetReport::new("query", queries.sent, queries.sent, wall, queries.lat),
         verified: queries.verified,
         mismatches: queries.mismatches,

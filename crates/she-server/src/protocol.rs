@@ -15,11 +15,16 @@
 //! a v1 server answers `ERR` (unknown opcode) and the client downgrades.
 //! Every v1 message is unchanged, so v1 clients work against v2 servers
 //! without negotiating.
+//!
+//! Protocol **v3** adds replication (`REPL_BOOTSTRAP`, `REPL_SUBSCRIBE`,
+//! `REPL_ACK`, `CLUSTER_STATUS` and their responses, plus the
+//! `NOT_PRIMARY` / `LOG_TRUNCATED` errors). Like v2, every earlier
+//! message is unchanged, so v1/v2 clients keep working unmodified.
 
 use she_core::frame::{FrameError, Reader};
 
 /// The protocol version this build speaks (reported by `HELLO`).
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Hard cap on a frame payload; anything larger is a protocol error on
 /// both ends (prevents a hostile length prefix from allocating memory).
@@ -44,6 +49,10 @@ pub mod opcode {
     pub const SNAPSHOT_ALL: u8 = 0x22;
     pub const RESTORE: u8 = 0x23;
     pub const SHUTDOWN: u8 = 0x2F;
+    pub const REPL_BOOTSTRAP: u8 = 0x30;
+    pub const REPL_SUBSCRIBE: u8 = 0x31;
+    pub const REPL_ACK: u8 = 0x32;
+    pub const CLUSTER_STATUS: u8 = 0x33;
 
     pub const OK: u8 = 0x80;
     pub const BOOL: u8 = 0x81;
@@ -52,8 +61,13 @@ pub mod opcode {
     pub const STATS_REPLY: u8 = 0x84;
     pub const BLOB: u8 = 0x85;
     pub const HELLO_REPLY: u8 = 0x86;
+    pub const REPL_OP: u8 = 0x87;
+    pub const REPL_HEARTBEAT: u8 = 0x88;
+    pub const CLUSTER_STATUS_REPLY: u8 = 0x89;
     pub const ERR: u8 = 0xE0;
     pub const BUSY: u8 = 0xE1;
+    pub const NOT_PRIMARY: u8 = 0xE2;
+    pub const LOG_TRUNCATED: u8 = 0xE3;
 }
 
 /// A client → server message.
@@ -82,6 +96,20 @@ pub enum Request {
     SnapshotAll,
     /// v2: replace one shard's engine state with a shard frame.
     Restore { shard: u32, data: Vec<u8> },
+    /// v3: capture a replica bootstrap package — a quiescent checkpoint
+    /// plus the op-log sequence number it reflects (answered with
+    /// [`Response::Blob`] carrying a `BOOTSTRAP` frame).
+    ReplBootstrap,
+    /// v3: turn this connection into a replication feed starting at
+    /// `from_seq` (the first record the subscriber has *not* applied).
+    /// The server answers with a stream of [`Response::ReplOp`] /
+    /// [`Response::ReplHeartbeat`] instead of one response.
+    ReplSubscribe { from_seq: u64 },
+    /// v3: sent *by the subscriber* on a replication feed — everything
+    /// up to `seq` has been applied (flow-control / cluster-status only).
+    ReplAck { seq: u64 },
+    /// v3: this node's replication role, log positions, and peers.
+    ClusterStatus,
     /// Drain the queues and stop the server.
     Shutdown,
 }
@@ -114,11 +142,54 @@ pub enum Response {
     Blob(Vec<u8>),
     /// v2: the protocol version the server will speak on this connection.
     Hello { version: u16 },
+    /// v3: one replication record (an `OPLOG` frame) on a feed.
+    ReplOp(Vec<u8>),
+    /// v3: feed keep-alive carrying the primary's current log head.
+    ReplHeartbeat { head: u64 },
+    /// v3: answer to [`Request::ClusterStatus`].
+    ClusterStatus(ClusterStatusInfo),
     /// The request failed; human-readable reason.
     Err(String),
     /// Shard queue full and nothing was enqueued — retry the whole
     /// request after roughly this many milliseconds.
     Busy { retry_after_ms: u32 },
+    /// v3: a write was sent to a replica; `primary` is where writes go.
+    NotPrimary { primary: String },
+    /// v3: the requested subscription position fell off the bounded op
+    /// log; the subscriber must re-bootstrap (`floor` = oldest retained).
+    LogTruncated { floor: u64 },
+}
+
+/// One subscribed replica as seen by the primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerStatus {
+    /// The peer's address (as reported by `accept`).
+    pub addr: String,
+    /// Highest sequence number the peer has acknowledged.
+    pub acked: u64,
+}
+
+/// Answer to [`Request::ClusterStatus`]: the node's role plus log and
+/// replication positions. Primaries report `head`/`floor` of their op log
+/// and the subscribed `peers`; replicas report `head` = highest applied
+/// sequence number, `boot_seq` = where their bootstrap snapshot cut, and
+/// `primary`/`connected` for the upstream link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStatusInfo {
+    /// True when this node is a primary (accepts writes).
+    pub is_primary: bool,
+    /// Replica only: whether the upstream feed is currently connected.
+    pub connected: bool,
+    /// Primary: op-log head. Replica: highest applied sequence number.
+    pub head: u64,
+    /// Primary: oldest sequence number still in the log. Replica: 0.
+    pub floor: u64,
+    /// Replica: the sequence number its bootstrap snapshot reflected.
+    pub boot_seq: u64,
+    /// Replica: the primary's address. Empty on a primary.
+    pub primary: String,
+    /// Primary: currently subscribed replicas.
+    pub peers: Vec<PeerStatus>,
 }
 
 /// Decoding failure for a frame payload.
@@ -205,6 +276,16 @@ impl Request {
                 b.extend_from_slice(&shard.to_le_bytes());
                 b.extend_from_slice(data);
             }
+            Request::ReplBootstrap => b.push(opcode::REPL_BOOTSTRAP),
+            Request::ReplSubscribe { from_seq } => {
+                b.push(opcode::REPL_SUBSCRIBE);
+                b.extend_from_slice(&from_seq.to_le_bytes());
+            }
+            Request::ReplAck { seq } => {
+                b.push(opcode::REPL_ACK);
+                b.extend_from_slice(&seq.to_le_bytes());
+            }
+            Request::ClusterStatus => b.push(opcode::CLUSTER_STATUS),
             Request::Shutdown => b.push(opcode::SHUTDOWN),
         }
         b
@@ -243,6 +324,10 @@ impl Request {
                 let data = r.take(n)?.to_vec();
                 return Ok(Request::Restore { shard, data });
             }
+            opcode::REPL_BOOTSTRAP => Request::ReplBootstrap,
+            opcode::REPL_SUBSCRIBE => Request::ReplSubscribe { from_seq: r.u64()? },
+            opcode::REPL_ACK => Request::ReplAck { seq: r.u64()? },
+            opcode::CLUSTER_STATUS => Request::ClusterStatus,
             opcode::SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError::BadOpcode(other)),
         };
@@ -283,7 +368,7 @@ impl Response {
                 }
             }
             Response::Blob(data) => {
-                assert!(1 + data.len() <= MAX_FRAME, "blob exceeds MAX_FRAME");
+                assert!(data.len() < MAX_FRAME, "blob exceeds MAX_FRAME");
                 b.reserve(1 + data.len());
                 b.push(opcode::BLOB);
                 b.extend_from_slice(data);
@@ -292,6 +377,34 @@ impl Response {
                 b.push(opcode::HELLO_REPLY);
                 b.extend_from_slice(&version.to_le_bytes());
             }
+            Response::ReplOp(data) => {
+                assert!(data.len() < MAX_FRAME, "op-log record exceeds MAX_FRAME");
+                b.reserve(1 + data.len());
+                b.push(opcode::REPL_OP);
+                b.extend_from_slice(data);
+            }
+            Response::ReplHeartbeat { head } => {
+                b.push(opcode::REPL_HEARTBEAT);
+                b.extend_from_slice(&head.to_le_bytes());
+            }
+            Response::ClusterStatus(info) => {
+                b.push(opcode::CLUSTER_STATUS_REPLY);
+                b.push(info.is_primary as u8);
+                b.push(info.connected as u8);
+                b.extend_from_slice(&info.head.to_le_bytes());
+                b.extend_from_slice(&info.floor.to_le_bytes());
+                b.extend_from_slice(&info.boot_seq.to_le_bytes());
+                assert!(info.primary.len() <= u16::MAX as usize, "primary addr too long");
+                b.extend_from_slice(&(info.primary.len() as u16).to_le_bytes());
+                b.extend_from_slice(info.primary.as_bytes());
+                b.extend_from_slice(&(info.peers.len() as u32).to_le_bytes());
+                for p in &info.peers {
+                    b.extend_from_slice(&p.acked.to_le_bytes());
+                    assert!(p.addr.len() <= u16::MAX as usize, "peer addr too long");
+                    b.extend_from_slice(&(p.addr.len() as u16).to_le_bytes());
+                    b.extend_from_slice(p.addr.as_bytes());
+                }
+            }
             Response::Err(msg) => {
                 b.push(opcode::ERR);
                 b.extend_from_slice(msg.as_bytes());
@@ -299,6 +412,14 @@ impl Response {
             Response::Busy { retry_after_ms } => {
                 b.push(opcode::BUSY);
                 b.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            Response::NotPrimary { primary } => {
+                b.push(opcode::NOT_PRIMARY);
+                b.extend_from_slice(primary.as_bytes());
+            }
+            Response::LogTruncated { floor } => {
+                b.push(opcode::LOG_TRUNCATED);
+                b.extend_from_slice(&floor.to_le_bytes());
             }
         }
         b
@@ -333,11 +454,52 @@ impl Response {
                 return Ok(Response::Blob(r.take(n)?.to_vec()));
             }
             opcode::HELLO_REPLY => Response::Hello { version: r.u16()? },
+            opcode::REPL_OP => {
+                let n = r.remaining();
+                return Ok(Response::ReplOp(r.take(n)?.to_vec()));
+            }
+            opcode::REPL_HEARTBEAT => Response::ReplHeartbeat { head: r.u64()? },
+            opcode::CLUSTER_STATUS_REPLY => {
+                let is_primary = r.u8()? != 0;
+                let connected = r.u8()? != 0;
+                let head = r.u64()?;
+                let floor = r.u64()?;
+                let boot_seq = r.u64()?;
+                let plen = r.u16()? as usize;
+                let primary = String::from_utf8_lossy(r.take(plen)?).into_owned();
+                let n = r.u32()? as usize;
+                if n > MAX_FRAME / 10 {
+                    return Err(ProtoError::Oversize);
+                }
+                let mut peers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let acked = r.u64()?;
+                    let alen = r.u16()? as usize;
+                    let addr = String::from_utf8_lossy(r.take(alen)?).into_owned();
+                    peers.push(PeerStatus { addr, acked });
+                }
+                Response::ClusterStatus(ClusterStatusInfo {
+                    is_primary,
+                    connected,
+                    head,
+                    floor,
+                    boot_seq,
+                    primary,
+                    peers,
+                })
+            }
             opcode::ERR => {
                 let rest = r.take(payload.len() - 1)?;
                 return Ok(Response::Err(String::from_utf8_lossy(rest).into_owned()));
             }
             opcode::BUSY => Response::Busy { retry_after_ms: r.u32()? },
+            opcode::NOT_PRIMARY => {
+                let rest = r.take(payload.len() - 1)?;
+                return Ok(Response::NotPrimary {
+                    primary: String::from_utf8_lossy(rest).into_owned(),
+                });
+            }
+            opcode::LOG_TRUNCATED => Response::LogTruncated { floor: r.u64()? },
             other => return Err(ProtoError::BadOpcode(other)),
         };
         r.finish()?;

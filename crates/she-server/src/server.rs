@@ -23,16 +23,47 @@
 
 use crate::codec::{read_frame, write_frame};
 use crate::engine::{EngineConfig, ShardEngine};
-use crate::protocol::{Request, Response, ShardStats, MAX_FRAME, PROTOCOL_VERSION};
+use crate::protocol::{
+    ClusterStatusInfo, Request, Response, ShardStats, MAX_FRAME, PROTOCOL_VERSION,
+};
+use crate::repl::{Bootstrap, ReplHub, ReplLog, Tail};
 use crate::snapshot::Checkpoint;
 use crate::worker::{run_worker, Job};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Live replica-side link state, shared between the embedded server
+/// (which answers `CLUSTER_STATUS` and `NOT_PRIMARY` from it) and the
+/// `she-replica` runtime that updates it.
+#[derive(Debug, Default)]
+pub struct ReplicaStatus {
+    /// Highest op-log sequence number applied locally.
+    pub applied: AtomicU64,
+    /// Whether the feed from the primary is currently connected.
+    pub connected: AtomicBool,
+    /// The sequence number the bootstrap snapshot reflected.
+    pub boot_seq: AtomicU64,
+}
+
+/// Whether this server accepts writes or follows a primary.
+#[derive(Debug, Clone, Default)]
+pub enum Role {
+    /// Accepts writes; replicates them when `repl_log > 0`.
+    #[default]
+    Primary,
+    /// Serves reads only; writes are answered `NOT_PRIMARY`.
+    Replica {
+        /// Where writes should go (returned in `NOT_PRIMARY`).
+        primary: String,
+        /// Link state maintained by the replication runtime.
+        status: Arc<ReplicaStatus>,
+    },
+}
 
 /// Everything needed to start a server.
 #[derive(Debug, Clone)]
@@ -45,6 +76,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Hint returned with `BUSY` responses.
     pub retry_after_ms: u32,
+    /// Primary (default) or replica.
+    pub role: Role,
+    /// Op-log capacity in records; 0 disables replication serving.
+    pub repl_log: usize,
+    /// Idle keep-alive interval on replication feeds, in milliseconds.
+    pub heartbeat_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +91,9 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             queue_capacity: 256,
             retry_after_ms: 2,
+            role: Role::Primary,
+            repl_log: 0,
+            heartbeat_ms: 500,
         }
     }
 }
@@ -68,31 +108,18 @@ struct Shared {
     local_addr: SocketAddr,
     engine: EngineConfig,
     retry_after_ms: u32,
+    role: Role,
+    log: Option<ReplLog>,
+    hub: ReplHub,
+    heartbeat_ms: u64,
 }
 
 impl Shared {
     /// Route one decoded request; never panics on client input.
     fn handle(&self, req: Request) -> Response {
         match req {
-            Request::Insert { stream, key } => {
-                self.admit(vec![(self.engine.shard_of(key), stream, vec![key])], 1)
-            }
-            Request::InsertBatch { stream, keys } => {
-                let accepted = keys.len() as u64;
-                // Partition into per-shard runs, preserving arrival order
-                // within each shard (windows are order-sensitive).
-                let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); self.txs.len()];
-                for k in keys {
-                    per_shard[self.engine.shard_of(k)].push(k);
-                }
-                let parts = per_shard
-                    .into_iter()
-                    .enumerate()
-                    .filter(|(_, ks)| !ks.is_empty())
-                    .map(|(s, ks)| (s, stream, ks))
-                    .collect();
-                self.admit(parts, accepted)
-            }
+            Request::Insert { stream, key } => self.ingest(stream, vec![key]),
+            Request::InsertBatch { stream, keys } => self.ingest(stream, keys),
             Request::QueryMember { key } => {
                 let shard = self.engine.shard_of(key);
                 match self.ask(shard, |reply| Job::Member { key, reply }) {
@@ -156,6 +183,9 @@ impl Shared {
                 None => shutting_down(),
             },
             Request::Restore { shard, data } => {
+                if let Role::Replica { primary, .. } = &self.role {
+                    return Response::NotPrimary { primary: primary.clone() };
+                }
                 let shard = shard as usize;
                 if shard >= self.txs.len() {
                     return Response::Err(format!(
@@ -169,10 +199,99 @@ impl Shared {
                     None => shutting_down(),
                 }
             }
+            Request::ReplBootstrap => self.bootstrap(),
+            Request::ClusterStatus => Response::ClusterStatus(self.cluster_status()),
+            // Valid only *on* a feed; `handle_connection` intercepts the
+            // subscribe before it can reach here.
+            Request::ReplSubscribe { .. } | Request::ReplAck { .. } => {
+                Response::Err("replication feed messages outside a feed".to_string())
+            }
             Request::Shutdown => {
                 self.begin_shutdown();
                 Response::Ok { accepted: 0 }
             }
+        }
+    }
+
+    /// The write path: reject on replicas, then admit onto the shard
+    /// queues — appending to the op log atomically when one is kept, so
+    /// replicas replay the identical per-shard insert order.
+    fn ingest(&self, stream: u8, keys: Vec<u64>) -> Response {
+        if let Role::Replica { primary, .. } = &self.role {
+            return Response::NotPrimary { primary: primary.clone() };
+        }
+        let accepted = keys.len() as u64;
+        let parts: Vec<(usize, u8, Vec<u64>)> =
+            self.engine.partition(&keys).into_iter().map(|(s, ks)| (s, stream, ks)).collect();
+        match &self.log {
+            Some(log) => log.ingest(stream, &keys, || {
+                let resp = self.admit(parts, accepted);
+                let ok = matches!(resp, Response::Ok { .. });
+                (resp, ok)
+            }),
+            None => self.admit(parts, accepted),
+        }
+    }
+
+    /// Capture a bootstrap package: snapshot jobs enqueued under the log
+    /// lock (an exact cut), answers collected outside it.
+    fn bootstrap(&self) -> Response {
+        if let Role::Replica { primary, .. } = &self.role {
+            return Response::NotPrimary { primary: primary.clone() };
+        }
+        let Some(log) = &self.log else {
+            return Response::Err(
+                "replication is disabled on this server (serve with --repl-log N)".to_string(),
+            );
+        };
+        let mut rxs = Vec::with_capacity(self.txs.len());
+        let mut wedged = false;
+        let seq = log.cut(|| {
+            for tx in &self.txs {
+                let (reply, rx) = sync_channel(1);
+                wedged |= tx.send(Job::Snapshot { reply }).is_err();
+                rxs.push(rx);
+            }
+        });
+        if wedged {
+            return shutting_down();
+        }
+        let shards: Option<Vec<Vec<u8>>> = rxs.into_iter().map(|rx| rx.recv().ok()).collect();
+        let Some(shards) = shards else {
+            return shutting_down();
+        };
+        let checkpoint = Checkpoint { cfg: self.engine, shards }.encode();
+        let blob = Bootstrap { seq, checkpoint }.encode();
+        if blob.len() >= MAX_FRAME {
+            return Response::Err(format!(
+                "bootstrap of {} bytes exceeds the {MAX_FRAME} byte frame cap",
+                blob.len()
+            ));
+        }
+        Response::Blob(blob)
+    }
+
+    /// Role, log positions, and peers for `CLUSTER_STATUS`.
+    fn cluster_status(&self) -> ClusterStatusInfo {
+        match &self.role {
+            Role::Primary => ClusterStatusInfo {
+                is_primary: true,
+                connected: true,
+                head: self.log.as_ref().map_or(0, |l| l.head()),
+                floor: self.log.as_ref().map_or(0, |l| l.floor()),
+                boot_seq: 0,
+                primary: String::new(),
+                peers: self.hub.status(),
+            },
+            Role::Replica { primary, status } => ClusterStatusInfo {
+                is_primary: false,
+                connected: status.connected.load(Ordering::SeqCst),
+                head: status.applied.load(Ordering::SeqCst),
+                floor: 0,
+                boot_seq: status.boot_seq.load(Ordering::SeqCst),
+                primary: primary.clone(),
+                peers: Vec::new(),
+            },
         }
     }
 
@@ -267,12 +386,22 @@ impl Server {
             );
         }
 
+        // Replicas apply the primary's op log locally instead of keeping
+        // their own (chained replication would need a replica-side log).
+        let log = match cfg.role {
+            Role::Primary if cfg.repl_log > 0 => Some(ReplLog::new(cfg.repl_log)),
+            _ => None,
+        };
         let shared = Arc::new(Shared {
             txs,
             shutdown: AtomicBool::new(false),
             local_addr,
             engine: cfg.engine,
             retry_after_ms: cfg.retry_after_ms,
+            role: cfg.role,
+            log,
+            hub: ReplHub::new(),
+            heartbeat_ms: cfg.heartbeat_ms,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -287,6 +416,20 @@ impl Server {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.local_addr
+    }
+
+    /// A handle that feeds this server's shard queues directly, bypassing
+    /// the wire — the replica runtime's apply path. Holding an [`Injector`]
+    /// keeps the shard workers alive: drop it before expecting
+    /// [`Server::wait`] to finish draining.
+    pub fn injector(&self) -> Injector {
+        Injector { txs: self.shared.txs.clone(), cfg: self.shared.engine }
+    }
+
+    /// Whether shutdown has been requested (poll-friendly; does not block
+    /// or consume the handle).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
     }
 
     /// Ask the server to stop, as if a client sent `SHUTDOWN`.
@@ -350,6 +493,12 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
         match read_frame(&mut read_half) {
             Ok(None) => break,
             Ok(Some(payload)) => {
+                // A subscribe turns the connection into a replication
+                // feed for the rest of its life.
+                if let Ok(Request::ReplSubscribe { from_seq }) = Request::decode(&payload) {
+                    serve_subscription(&mut read_half, &mut write_half, &shared, from_seq);
+                    break;
+                }
                 let resp = match Request::decode(&payload) {
                     Ok(req) => shared.handle(req),
                     Err(e) => Response::Err(e.to_string()),
@@ -364,6 +513,142 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 }
             }
             Err(_) => break,
+        }
+    }
+}
+
+/// Stream the op log to one subscriber: records as they arrive, ordered,
+/// starting at `from_seq`; heartbeats when idle; `LOG_TRUNCATED` (then
+/// hang up) when the position has fallen off the bounded log. `REPL_ACK`s
+/// flow back on the same socket and update the hub for `CLUSTER_STATUS`.
+fn serve_subscription(read: &mut TcpStream, write: &mut TcpStream, shared: &Shared, from_seq: u64) {
+    let Some(log) = &shared.log else {
+        let _ = write_frame(
+            write,
+            &Response::Err(
+                "replication is disabled on this server (serve with --repl-log N)".to_string(),
+            )
+            .encode(),
+        );
+        return;
+    };
+    let head = log.head();
+    let mut next = from_seq.max(1);
+    if next > head + 1 {
+        let _ = write_frame(
+            write,
+            &Response::Err(format!("subscribe position {next} is past the log head {head}"))
+                .encode(),
+        );
+        return;
+    }
+    // Ack reads are a sub-millisecond poll between streaming rounds.
+    let _ = read.set_read_timeout(Some(Duration::from_millis(1)));
+    let peer = read.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".to_string());
+    let id = shared.hub.register(peer);
+    let heartbeat = Duration::from_millis(shared.heartbeat_ms.max(1));
+    let mut last_sent = Instant::now();
+    if write_frame(write, &Response::ReplHeartbeat { head }.encode()).is_err() {
+        shared.hub.deregister(id);
+        return;
+    }
+    'feed: while !shared.shutdown.load(Ordering::SeqCst) {
+        // Drain whatever acks have arrived.
+        loop {
+            match read_frame(read) {
+                Ok(None) => break 'feed,
+                Ok(Some(p)) => match Request::decode(&p) {
+                    Ok(Request::ReplAck { seq }) => shared.hub.ack(id, seq),
+                    _ => break 'feed, // anything else on a feed is a violation
+                },
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    break
+                }
+                Err(_) => break 'feed,
+            }
+        }
+        match log.wait_from(next, 64, Duration::from_millis(100)) {
+            Tail::Records(records) => {
+                for r in records {
+                    if write_frame(write, &Response::ReplOp(r.encode()).encode()).is_err() {
+                        break 'feed;
+                    }
+                    next = r.seq + 1;
+                }
+                last_sent = Instant::now();
+            }
+            Tail::Truncated { floor } => {
+                let _ = write_frame(write, &Response::LogTruncated { floor }.encode());
+                break 'feed;
+            }
+            Tail::Timeout => {
+                if last_sent.elapsed() >= heartbeat {
+                    let hb = Response::ReplHeartbeat { head: log.head() };
+                    if write_frame(write, &hb.encode()).is_err() {
+                        break 'feed;
+                    }
+                    last_sent = Instant::now();
+                }
+            }
+        }
+    }
+    shared.hub.deregister(id);
+}
+
+/// Direct, wire-free access to a running server's shard queues — how the
+/// replica runtime applies bootstrap state and op-log records. Uses the
+/// same [`EngineConfig::partition`] as the server's own insert path, so
+/// the per-shard apply order is identical to the primary's.
+pub struct Injector {
+    txs: Vec<SyncSender<Job>>,
+    cfg: EngineConfig,
+}
+
+impl Injector {
+    /// The engine sizing of the server behind this injector.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Apply one op-log record's keys (blocking sends; order-preserving).
+    pub fn apply(&self, stream: u8, keys: &[u64]) -> io::Result<()> {
+        for (shard, ks) in self.cfg.partition(keys) {
+            self.txs[shard]
+                .send(Job::Batch { stream, keys: ks })
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
+        }
+        Ok(())
+    }
+
+    /// Replace one shard's state with a snapshot frame (bootstrap path).
+    pub fn restore(&self, shard: usize, frame: &[u8]) -> io::Result<()> {
+        self.shard_op(shard, |reply| Job::Restore { data: frame.to_vec(), reply })
+    }
+
+    /// Fold a same-placement shard snapshot into the current state
+    /// (anti-entropy path; idempotent).
+    pub fn merge(&self, shard: usize, frame: &[u8]) -> io::Result<()> {
+        self.shard_op(shard, |reply| Job::Merge { data: frame.to_vec(), reply })
+    }
+
+    fn shard_op(
+        &self,
+        shard: usize,
+        make: impl FnOnce(SyncSender<Result<(), String>>) -> Job,
+    ) -> io::Result<()> {
+        if shard >= self.txs.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "shard out of range"));
+        }
+        let (reply, rx) = sync_channel(1);
+        self.txs[shard]
+            .send(make(reply))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
+        match rx.recv() {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(msg)) => Err(io::Error::new(io::ErrorKind::InvalidData, msg)),
+            Err(_) => Err(io::Error::new(io::ErrorKind::BrokenPipe, "server stopped")),
         }
     }
 }

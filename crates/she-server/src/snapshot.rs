@@ -105,7 +105,9 @@ impl Checkpoint {
         }
 
         let old_shards = self.cfg.shards;
-        if new_shards == 0 || (old_shards % new_shards != 0 && new_shards % old_shards != 0) {
+        if new_shards == 0
+            || (!old_shards.is_multiple_of(new_shards) && !new_shards.is_multiple_of(old_shards))
+        {
             return Err(SnapshotError::ConfigMismatch { field: "shards (must divide evenly)" });
         }
         let cfg = self.rebalanced_config(new_shards);

@@ -33,6 +33,9 @@ pub enum Job {
     Snapshot { reply: SyncSender<Vec<u8>> },
     /// Replace this shard's state with a snapshot frame.
     Restore { data: Vec<u8>, reply: SyncSender<Result<(), String>> },
+    /// Anti-entropy: fold a same-placement snapshot of this shard into
+    /// the current state (cell-wise merge, counter max — idempotent).
+    Merge { data: Vec<u8>, reply: SyncSender<Result<(), String>> },
 }
 
 /// Drain `rx` until every sender is gone; returns the shard's final
@@ -66,6 +69,9 @@ pub fn run_worker(mut engine: ShardEngine, rx: Receiver<Job>) -> ShardStats {
             }
             Job::Restore { data, reply } => {
                 let _ = reply.send(engine.restore(&data).map_err(|e| e.to_string()));
+            }
+            Job::Merge { data, reply } => {
+                let _ = reply.send(engine.reconcile(&data).map_err(|e| e.to_string()));
             }
         }
     }

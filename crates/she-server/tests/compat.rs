@@ -1,0 +1,112 @@
+//! Cross-version compatibility: a protocol-v1 client against a v3
+//! server. A v1 client never sends `HELLO` — it opens the socket and
+//! speaks the original opcode set directly — and every v1 opcode's
+//! encoding is unchanged in v3, so the server must answer each one
+//! exactly as a v1 server would. Table-driven: one row per v1 request,
+//! with the response shape it must produce.
+
+use she_server::codec::{read_frame, write_frame};
+use she_server::protocol::{Request, Response};
+use she_server::{EngineConfig, Server, ServerConfig};
+use std::net::TcpStream;
+
+/// What a v1 client may observe for one request.
+#[derive(Debug)]
+enum Expect {
+    OkAccepted(u64),
+    Bool,
+    U64,
+    F64,
+    Stats,
+}
+
+fn expect_matches(exp: &Expect, resp: &Response) -> bool {
+    match (exp, resp) {
+        (Expect::OkAccepted(n), Response::Ok { accepted }) => accepted == n,
+        // BUSY is a legal v1 answer to any insert under backpressure.
+        (Expect::OkAccepted(_), Response::Busy { .. }) => true,
+        (Expect::Bool, Response::Bool(_)) => true,
+        (Expect::U64, Response::U64(_)) => true,
+        (Expect::F64, Response::F64(_)) => true,
+        (Expect::Stats, Response::Stats(_)) => true,
+        _ => false,
+    }
+}
+
+/// A raw v1 client: frames on a socket, no `HELLO`, no retry logic.
+struct V1Client(TcpStream);
+
+impl V1Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_nodelay(true).unwrap();
+        V1Client(s)
+    }
+
+    fn call(&mut self, req: &Request) -> Response {
+        write_frame(&mut self.0, &req.encode()).expect("write");
+        let payload = read_frame(&mut self.0).expect("read").expect("server closed");
+        Response::decode(&payload).expect("decode")
+    }
+}
+
+#[test]
+fn v1_client_round_trips_against_v3_server() {
+    let server = Server::start(ServerConfig {
+        engine: EngineConfig { window: 1 << 10, shards: 2, memory_bytes: 8 << 10, seed: 5 },
+        // Replication enabled: v1 clients must be oblivious to it.
+        repl_log: 64,
+        ..Default::default()
+    })
+    .expect("start");
+    let mut client = V1Client::connect(server.local_addr());
+
+    let table: Vec<(Request, Expect)> = vec![
+        (Request::Insert { stream: 0, key: 7 }, Expect::OkAccepted(1)),
+        (Request::Insert { stream: 1, key: 7 }, Expect::OkAccepted(1)),
+        (Request::InsertBatch { stream: 0, keys: (0..100).collect() }, Expect::OkAccepted(100)),
+        (Request::InsertBatch { stream: 0, keys: vec![] }, Expect::OkAccepted(0)),
+        (Request::QueryMember { key: 7 }, Expect::Bool),
+        (Request::QueryCard, Expect::F64),
+        (Request::QueryFreq { key: 7 }, Expect::U64),
+        (Request::QuerySim, Expect::F64),
+        (Request::Stats, Expect::Stats),
+    ];
+    for (req, exp) in &table {
+        let resp = client.call(req);
+        assert!(expect_matches(exp, &resp), "{req:?} answered {resp:?}, wanted {exp:?}");
+    }
+
+    // Semantics, not just shapes: the inserted key is visible.
+    assert_eq!(client.call(&Request::QueryMember { key: 7 }), Response::Bool(true));
+    match client.call(&Request::QueryFreq { key: 42 }) {
+        Response::U64(n) => assert!(n >= 1, "key 42 was inserted by the batch"),
+        other => panic!("freq answered {other:?}"),
+    }
+
+    // v1's shutdown still works on a replicating v3 server.
+    assert!(matches!(client.call(&Request::Shutdown), Response::Ok { .. }));
+    server.wait();
+}
+
+#[test]
+fn v3_opcodes_do_not_collide_with_v1_decoding() {
+    // Every v3-only message must decode as itself — never as some v1
+    // message — and v1 messages must survive a re-decode unchanged, so a
+    // mixed fleet can share one wire format.
+    let v3_requests = [
+        Request::Hello { version: 3 },
+        Request::ReplBootstrap,
+        Request::ReplSubscribe { from_seq: 9 },
+        Request::ReplAck { seq: 9 },
+        Request::ClusterStatus,
+    ];
+    for req in &v3_requests {
+        assert_eq!(Request::decode(&req.encode()).as_ref(), Ok(req));
+    }
+    let v1_requests =
+        [Request::Insert { stream: 0, key: 1 }, Request::QueryMember { key: 1 }, Request::Stats];
+    for req in &v1_requests {
+        assert_eq!(Request::decode(&req.encode()).as_ref(), Ok(req));
+    }
+}

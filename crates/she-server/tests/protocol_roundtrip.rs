@@ -4,7 +4,9 @@
 //! misparsed.
 
 use she_server::codec::{read_frame, write_frame};
-use she_server::protocol::{ProtoError, Request, Response, ShardStats, MAX_BATCH};
+use she_server::protocol::{
+    ClusterStatusInfo, PeerStatus, ProtoError, Request, Response, ShardStats, MAX_BATCH,
+};
 use std::io::Cursor;
 
 fn all_requests() -> Vec<Request> {
@@ -24,6 +26,11 @@ fn all_requests() -> Vec<Request> {
         Request::SnapshotAll,
         Request::Restore { shard: 3, data: vec![] },
         Request::Restore { shard: 0, data: b"SHEF-opaque-shard-bytes".to_vec() },
+        Request::ReplBootstrap,
+        Request::ReplSubscribe { from_seq: 0 },
+        Request::ReplSubscribe { from_seq: u64::MAX },
+        Request::ReplAck { seq: 12_345 },
+        Request::ClusterStatus,
         Request::Shutdown,
     ]
 }
@@ -51,6 +58,34 @@ fn all_responses() -> Vec<Response> {
         Response::Err("shard queue wedged".to_string()),
         Response::Busy { retry_after_ms: 0 },
         Response::Busy { retry_after_ms: u32::MAX },
+        Response::ReplOp(vec![]),
+        Response::ReplOp(b"SHEF-opaque-oplog-record".to_vec()),
+        Response::ReplHeartbeat { head: 0 },
+        Response::ReplHeartbeat { head: u64::MAX },
+        Response::NotPrimary { primary: "".to_string() },
+        Response::NotPrimary { primary: "10.0.0.1:7070".to_string() },
+        Response::LogTruncated { floor: 99 },
+        Response::ClusterStatus(ClusterStatusInfo {
+            is_primary: true,
+            connected: true,
+            head: 1_000,
+            floor: 900,
+            boot_seq: 0,
+            primary: "".to_string(),
+            peers: vec![
+                PeerStatus { addr: "10.0.0.2:4321".to_string(), acked: 998 },
+                PeerStatus { addr: "10.0.0.3:4321".to_string(), acked: 1_000 },
+            ],
+        }),
+        Response::ClusterStatus(ClusterStatusInfo {
+            is_primary: false,
+            connected: false,
+            head: 7,
+            floor: 0,
+            boot_seq: 5,
+            primary: "10.0.0.1:7070".to_string(),
+            peers: vec![],
+        }),
     ]
 }
 
@@ -117,10 +152,18 @@ fn every_truncated_response_is_rejected() {
     for resp in all_responses() {
         let enc = resp.encode();
         for cut in 0..enc.len() {
-            if matches!(resp, Response::Err(_) | Response::Blob(_)) && cut >= 1 {
-                // ERR's message and BLOB's bytes are the frame remainder,
-                // so any prefix that keeps the opcode is a (shorter) valid
-                // message — skip.
+            if matches!(
+                resp,
+                Response::Err(_)
+                    | Response::Blob(_)
+                    | Response::ReplOp(_)
+                    | Response::NotPrimary { .. }
+            ) && cut >= 1
+            {
+                // These payloads are the frame remainder, so any prefix
+                // that keeps the opcode is a (shorter) valid message —
+                // skip. (NOT_PRIMARY prefixes stay valid because the test
+                // addresses are ASCII.)
                 continue;
             }
             let r = Response::decode(&enc[..cut]);

@@ -11,6 +11,7 @@ fn start_server(engine: EngineConfig) -> Server {
         engine,
         queue_capacity: 64,
         retry_after_ms: 1,
+        ..Default::default()
     })
     .expect("bind ephemeral port")
 }
@@ -32,6 +33,7 @@ fn server_matches_direct_engine_on_zipf_stream() {
         seed: 42,
         sim_every: 8,
         verify: Some(engine),
+        ..Default::default()
     };
     let summary = loadgen::run(&cfg).expect("loadgen transport");
     assert_eq!(summary.insert.items, 100_000);
@@ -128,9 +130,67 @@ fn open_loop_mode_applies_the_same_stream() {
         seed: 3,
         sim_every: 4,
         verify: Some(engine),
+        ..Default::default()
     };
     let summary = loadgen::run(&cfg).expect("loadgen transport");
     assert_eq!(summary.mismatches, 0);
     assert_eq!(summary.insert.items, 20_000);
+    server.join();
+}
+
+/// Multi-connection fan-out delivers the full item and query budgets,
+/// counts every connection's backpressure retries, and merges the
+/// per-connection latency histograms into one report.
+#[test]
+fn multi_connection_loadgen_aggregates() {
+    let engine = EngineConfig { window: 1 << 12, shards: 2, memory_bytes: 16 << 10, seed: 13 };
+    let server = start_server(engine);
+    let cfg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        // Not divisible by 3: the remainder must still be delivered.
+        items: 10_001,
+        batch: 128,
+        queries: 50,
+        universe: 10_000,
+        seed: 21,
+        connections: 3,
+        // Reads from a second address — here the same server, standing in
+        // for a replica (the read-scaling path is exercised end to end in
+        // scripts/check.sh with a real replica).
+        read_from: Some(server.local_addr().to_string()),
+        ..Default::default()
+    };
+    let summary = loadgen::run(&cfg).expect("loadgen transport");
+    assert_eq!(summary.insert.items, 10_001);
+    assert_eq!(summary.query.ops, 50);
+    assert_eq!(summary.insert.latency.count(), summary.insert.ops);
+    assert_eq!(summary.query.latency.count(), 50);
+    assert_eq!(summary.insert.retries, summary.busy_retries);
+
+    let stats = server.join();
+    assert_eq!(stats.iter().map(|s| s.inserts).sum::<u64>(), 10_001);
+}
+
+/// Verification is a single-connection contract.
+#[test]
+fn verify_refuses_fanout_and_replica_reads() {
+    let engine = EngineConfig { window: 1 << 10, shards: 2, memory_bytes: 8 << 10, seed: 5 };
+    let server = start_server(engine);
+    let base = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        items: 100,
+        queries: 4,
+        verify: Some(engine),
+        ..Default::default()
+    };
+
+    let fanout = LoadgenConfig { connections: 4, ..base.clone() };
+    let err = loadgen::run(&fanout).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{err}");
+
+    let replica_reads = LoadgenConfig { read_from: Some(server.local_addr().to_string()), ..base };
+    let err = loadgen::run(&replica_reads).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{err}");
+
     server.join();
 }

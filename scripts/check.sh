@@ -12,6 +12,9 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "== cargo clippy --offline --workspace -- -D warnings"
+cargo clippy --offline --workspace -- -D warnings
+
 echo "== cargo fmt --check"
 cargo fmt --check
 
@@ -70,5 +73,118 @@ diff "$CKDIR/before.txt" "$CKDIR/after.txt" || {
     exit 1
 }
 echo "checkpoint/restore: bit-for-bit identical answers"
+
+echo "== replication smoke test"
+# Primary + replica, 120k items streamed open-loop; a second replica
+# joins mid-stream (snapshot bootstrap + log tail, boot_seq > 0); the
+# primary is then killed -9 and both replicas must answer bit-for-bit
+# against an in-process mirror of everything the primary acknowledged.
+PADDR=127.0.0.1:7498
+R1ADDR=127.0.0.1:7499
+R2ADDR=127.0.0.1:7500
+ITEMS=120000
+BATCH=256
+N_BATCHES=$(( (ITEMS + BATCH - 1) / BATCH ))
+R1_PID=
+R2_PID=
+cleanup2() {
+    for pid in $SERVER_PID $R1_PID $R2_PID; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$CKDIR"
+}
+trap cleanup2 EXIT INT TERM
+
+# Non-mutating readiness probe (queries would advance lazy cleaning).
+wait_status() {
+    i=0
+    until "$BIN" cluster-status --addr "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && { echo "node at $1 never came up"; exit 1; }
+        sleep 0.1
+    done
+}
+
+# Poll until the node at $1 reports applied=$2.
+wait_applied() {
+    i=0
+    until "$BIN" cluster-status --addr "$1" 2>/dev/null | grep -q "applied=$2 "; do
+        i=$((i + 1))
+        [ "$i" -ge 200 ] && {
+            echo "replica at $1 never converged to seq $2:"
+            "$BIN" cluster-status --addr "$1" || true
+            exit 1
+        }
+        sleep 0.1
+    done
+}
+
+"$BIN" serve --addr "$PADDR" --shards 4 --window 64k --memory 64k \
+    --repl-log 4096 >/dev/null &
+SERVER_PID=$!
+wait_status "$PADDR"
+
+"$BIN" serve --addr "$R1ADDR" --replica-of "$PADDR" >/dev/null &
+R1_PID=$!
+wait_status "$R1ADDR"
+
+# Open-loop stream in the background (~3s at 40k items/s), no queries so
+# the log position maps 1:1 onto workload batches.
+"$BIN" loadgen --addr "$PADDR" --items "$ITEMS" --batch "$BATCH" --queries 0 \
+    --open 40000 --universe 5000 >/dev/null &
+LOADGEN_PID=$!
+
+# Second replica joins mid-stream: it must bootstrap from a snapshot cut
+# past sequence 0 and then tail the log, not replay from scratch.
+sleep 1
+"$BIN" serve --addr "$R2ADDR" --replica-of "$PADDR" >/dev/null &
+R2_PID=$!
+wait_status "$R2ADDR"
+BOOT_SEQ=$("$BIN" cluster-status --addr "$R2ADDR" | sed -n 's/.*boot_seq=\([0-9]*\).*/\1/p')
+[ "$BOOT_SEQ" -gt 0 ] || {
+    echo "mid-stream join did not bootstrap from a snapshot (boot_seq=$BOOT_SEQ)"
+    exit 1
+}
+echo "mid-stream join bootstrapped at seq $BOOT_SEQ"
+
+wait "$LOADGEN_PID" || { echo "loadgen failed"; exit 1; }
+wait_applied "$R1ADDR" "$N_BATCHES"
+wait_applied "$R2ADDR" "$N_BATCHES"
+
+# Read scaling: queries fan out to the replica while the primary owns
+# writes (--items 0 keeps the op log untouched for the mirror check).
+"$BIN" loadgen --addr "$PADDR" --items 0 --queries 200 --connections 2 \
+    --read-from "$R1ADDR" >/dev/null
+
+# Writes to a replica are rejected, naming the primary.
+if OUT=$("$BIN" loadgen --addr "$R1ADDR" --items 100 --queries 0 2>&1); then
+    echo "replica accepted a write:"; echo "$OUT"; exit 1
+fi
+echo "$OUT" | grep -q "read-only replica" || {
+    echo "replica write rejection did not name the primary:"; echo "$OUT"; exit 1
+}
+
+# Kill the primary without ceremony; the replicas keep serving at the
+# last acknowledged sequence number.
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
+for R in "$R1ADDR" "$R2ADDR"; do
+    "$BIN" mirror-check --addr "$R" --items "$ITEMS" --batch "$BATCH" \
+        --universe 5000 --sim-every 8 --probes 32 \
+        --window 64k --shards 4 --memory 64k || {
+        echo "replica at $R diverged from the mirror"
+        exit 1
+    }
+done
+echo "replication: both replicas bit-for-bit at seq $N_BATCHES after primary kill -9"
+
+"$BIN" shutdown --addr "$R1ADDR" >/dev/null
+"$BIN" shutdown --addr "$R2ADDR" >/dev/null
+wait "$R1_PID" || true
+wait "$R2_PID" || true
+R1_PID=
+R2_PID=
 
 echo "check.sh: all green"
