@@ -1,0 +1,171 @@
+//! Crash-safe file writes, plus the fault-injecting FS shim that proves
+//! they are crash-safe.
+//!
+//! [`atomic_write`] is the production path (used by `she checkpoint` and
+//! anything else that persists engine state): write a temp file in the
+//! destination directory, `sync_all`, then atomically rename over the
+//! target. A crash at any point leaves either the old file or the new
+//! file — never a torn mix.
+//!
+//! [`ChaosFs`] wraps both the atomic path and the legacy bare-write path
+//! with injected `ENOSPC` and torn-write faults, so tests can assert the
+//! atomic path's invariant (target intact after any injected failure)
+//! and demonstrate the failure mode the bare path invites.
+
+use crate::fault::{Faults, FileFault};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling temp path a write stages through.
+fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write `bytes` to `path` crash-safely: temp file in the same directory,
+/// `sync_all`, atomic rename, then a best-effort directory sync so the
+/// rename itself is durable. On any error the target is untouched and
+/// the temp file is cleaned up.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = temp_path(path);
+    let staged = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    })();
+    if let Err(e) = staged {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Durability of the rename needs the directory synced; opening a
+    // directory read-only works on Linux and is best-effort elsewhere.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn injected_enospc() -> io::Error {
+    io::Error::new(io::ErrorKind::WriteZero, "injected ENOSPC: no space left on device")
+}
+
+fn injected_crash() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, "injected crash mid-write (torn write)")
+}
+
+/// A file-writing shim with injected disk faults.
+pub struct ChaosFs {
+    faults: Faults,
+}
+
+impl ChaosFs {
+    /// A shim drawing from `faults`.
+    pub fn new(faults: Faults) -> Self {
+        Self { faults }
+    }
+
+    /// The shared fault tallies.
+    pub fn counters(&self) -> std::sync::Arc<she_metrics::FaultCounters> {
+        self.faults.counters()
+    }
+
+    /// [`atomic_write`] under fault injection. An injected `ENOSPC`
+    /// writes nothing; an injected torn write leaves a *temp* file with a
+    /// prefix (the simulated crash happens before the rename). Either
+    /// way the destination keeps its previous contents — the invariant
+    /// the chaos soak asserts.
+    pub fn atomic_write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.faults.file_fault(bytes.len()) {
+            FileFault::Enospc => Err(injected_enospc()),
+            FileFault::Torn { keep } => {
+                // The crash strikes after a prefix reached the temp file;
+                // it is deliberately left behind, as a real crash would.
+                let _ = fs::write(temp_path(path), &bytes[..keep.min(bytes.len())]);
+                Err(injected_crash())
+            }
+            FileFault::None => atomic_write(path, bytes),
+        }
+    }
+
+    /// The legacy single-`fs::write` path under fault injection: a torn
+    /// fault tears the *destination itself*, which is exactly why the
+    /// serving path moved to [`ChaosFs::atomic_write`].
+    pub fn bare_write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.faults.file_fault(bytes.len()) {
+            FileFault::Enospc => Err(injected_enospc()),
+            FileFault::Torn { keep } => {
+                fs::write(path, &bytes[..keep.min(bytes.len())])?;
+                Err(injected_crash())
+            }
+            FileFault::None => fs::write(path, bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("she-chaos-fs-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let dir = scratch("roundtrip");
+        let p = dir.join("state.bin");
+        atomic_write(&p, b"v1").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"v1");
+        atomic_write(&p, b"v2 longer").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"v2 longer");
+        assert!(!temp_path(&p).exists(), "temp staging file must not linger");
+    }
+
+    #[test]
+    fn injected_enospc_leaves_target_untouched() {
+        let dir = scratch("enospc");
+        let p = dir.join("state.bin");
+        atomic_write(&p, b"previous").unwrap();
+        let shim = ChaosFs::new(Faults::new(FaultConfig { enospc: 1.0, ..FaultConfig::quiet(1) }));
+        assert!(shim.atomic_write(&p, b"next").is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"previous");
+        assert_eq!(shim.counters().snapshot().enospc, 1);
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_target_untouched_on_atomic_path() {
+        let dir = scratch("torn-atomic");
+        let p = dir.join("state.bin");
+        atomic_write(&p, b"previous").unwrap();
+        let shim =
+            ChaosFs::new(Faults::new(FaultConfig { torn_write: 1.0, ..FaultConfig::quiet(2) }));
+        assert!(shim.atomic_write(&p, b"the replacement contents").is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"previous", "atomic path never tears the target");
+        assert_eq!(shim.counters().snapshot().torn_writes, 1);
+    }
+
+    #[test]
+    fn injected_torn_write_tears_target_on_bare_path() {
+        let dir = scratch("torn-bare");
+        let p = dir.join("state.bin");
+        let shim =
+            ChaosFs::new(Faults::new(FaultConfig { torn_write: 1.0, ..FaultConfig::quiet(3) }));
+        let full = b"the full contents that should have landed";
+        assert!(shim.bare_write(&p, full).is_err());
+        let got = fs::read(&p).unwrap();
+        assert!(got.len() < full.len(), "bare path leaves a torn prefix");
+        assert_eq!(&full[..got.len()], &got[..]);
+    }
+}

@@ -1,0 +1,183 @@
+//! [`ChaosStream`]: a `Read`/`Write` wrapper that applies one injector's
+//! fault schedule to every operation passing through it.
+//!
+//! The wrapper is transparent when the schedule says [`WireFault::None`]
+//! and otherwise perturbs exactly one thing per operation: the length
+//! (partial), the timing (delay), the data (bit flip), or the connection
+//! itself (reset). Partial transfers always move ≥ 1 byte, so a caller
+//! looping on `read`/`write_all` still terminates — the faults model a
+//! flaky network, not a wedged one.
+//!
+//! On the read side the fault is drawn *after* bytes arrive: a read that
+//! returns an error (notably a poll timeout on an idle link) or EOF
+//! consumes nothing from the schedule, so the decision sequence is a
+//! function of the data stream, not of how often a pump thread polled.
+//! Bytes withheld by a `Partial` fault are stashed and served to the
+//! next read before the wrapped transport is touched again.
+
+use crate::fault::{Faults, WireFault};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+
+/// A fault-injecting transport wrapper. `S` is typically a `TcpStream`
+/// (or one half of a proxy pipe), but any `Read + Write` works — tests
+/// wrap in-memory buffers.
+pub struct ChaosStream<S> {
+    inner: S,
+    faults: Faults,
+    /// Bytes already read from `inner` but withheld by a `Partial`
+    /// fault; served to subsequent reads fault-free.
+    stash: VecDeque<u8>,
+}
+
+impl<S> ChaosStream<S> {
+    /// Wrap `inner`, drawing faults from `faults`.
+    pub fn new(inner: S, faults: Faults) -> Self {
+        Self { inner, faults, stash: VecDeque::new() }
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+fn injected_reset() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, "injected connection reset")
+}
+
+impl<S: Read> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        if !self.stash.is_empty() {
+            let n = buf.len().min(self.stash.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = self.stash.pop_front().expect("stash length checked");
+            }
+            return Ok(n);
+        }
+        // Draw only once bytes are in hand: errors (poll timeouts on an
+        // idle link) and EOF consume nothing from the schedule.
+        let n = self.inner.read(buf)?;
+        if n == 0 {
+            return Ok(0);
+        }
+        match self.faults.wire_fault(n) {
+            WireFault::None => Ok(n),
+            WireFault::Partial { keep } => {
+                let keep = keep.min(n).max(1);
+                self.stash.extend(&buf[keep..n]);
+                Ok(keep)
+            }
+            WireFault::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(n)
+            }
+            // The n bytes in hand are dropped, as a real reset drops
+            // whatever was in flight.
+            WireFault::Reset => Err(injected_reset()),
+            WireFault::BitFlip { byte, bit } => {
+                buf[byte % n] ^= 1 << (bit % 8);
+                Ok(n)
+            }
+        }
+    }
+}
+
+impl<S: Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        match self.faults.wire_fault(buf.len()) {
+            WireFault::None => self.inner.write(buf),
+            WireFault::Partial { keep } => {
+                let keep = keep.min(buf.len()).max(1);
+                self.inner.write(&buf[..keep])
+            }
+            WireFault::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            WireFault::Reset => Err(injected_reset()),
+            WireFault::BitFlip { byte, bit } => {
+                let mut corrupted = buf.to_vec();
+                let i = byte % corrupted.len();
+                corrupted[i] ^= 1 << (bit % 8);
+                self.inner.write(&corrupted)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use std::io::Cursor;
+
+    #[test]
+    fn quiet_stream_is_transparent() {
+        let mut out = ChaosStream::new(Vec::new(), Faults::new(FaultConfig::quiet(1)));
+        out.write_all(b"hello chaos").unwrap();
+        assert_eq!(out.get_ref(), b"hello chaos");
+
+        let mut inp = ChaosStream::new(
+            Cursor::new(b"hello chaos".to_vec()),
+            Faults::new(FaultConfig::quiet(1)),
+        );
+        let mut got = Vec::new();
+        inp.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"hello chaos");
+    }
+
+    #[test]
+    fn partial_writes_still_complete_under_write_all() {
+        let cfg = FaultConfig { partial_io: 0.9, ..FaultConfig::quiet(3) };
+        let mut out = ChaosStream::new(Vec::new(), Faults::new(cfg));
+        let payload: Vec<u8> = (0..4096u32).map(|i| i as u8).collect();
+        out.write_all(&payload).unwrap();
+        assert_eq!(out.get_ref(), &payload);
+        assert!(out.faults.counters().snapshot().partial_io > 0);
+    }
+
+    #[test]
+    fn partial_reads_still_complete_under_read_exact() {
+        let cfg = FaultConfig { partial_io: 0.9, ..FaultConfig::quiet(4) };
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i * 7) as u8).collect();
+        let mut inp = ChaosStream::new(Cursor::new(payload.clone()), Faults::new(cfg));
+        let mut got = vec![0u8; payload.len()];
+        inp.read_exact(&mut got).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn bitflips_corrupt_exactly_one_bit() {
+        let cfg = FaultConfig { bitflip: 1.0, ..FaultConfig::quiet(5) };
+        let mut out = ChaosStream::new(Vec::new(), Faults::new(cfg));
+        let payload = vec![0u8; 64];
+        let n = out.write(&payload).unwrap();
+        assert_eq!(n, 64);
+        let ones: u32 = out.get_ref().iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn resets_surface_as_connection_reset() {
+        let cfg = FaultConfig { reset: 1.0, ..FaultConfig::quiet(6) };
+        let mut out = ChaosStream::new(Vec::new(), Faults::new(cfg));
+        let err = out.write(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+}

@@ -35,11 +35,15 @@ COMMANDS
                engine sizing is inherited from the primary's snapshot)
                --anti-entropy-ms N --heartbeat-timeout-ms N (replica only)
   checkpoint   write a running server's state to DIR/checkpoint.she
-               --addr HOST:PORT --dir DIR
+               (crash-safe: temp file + fsync + atomic rename)
+               --addr HOST:PORT --dir DIR --timeout-ms N
   query        one query against a running server (bit-exact output)
-               --addr HOST:PORT --op member|card|freq|sim --key N
+               --addr HOST:PORT --op member|card|freq|sim --key N --timeout-ms N
   cluster-status  one-line replication position of a node (docs/REPLICATION.md)
-               --addr HOST:PORT
+               --addr HOST:PORT --timeout-ms N
+  chaos-soak   deterministic fault-injection soak: primary + replica under a
+               fault proxy, kill/restart cycles, bit-for-bit mirror verdict
+               (docs/ROBUSTNESS.md) --seed N --cycles N --keys N --dir DIR
   mirror-check replay the loadgen workload into an in-process mirror and
                compare a quiescent node's answers bit-for-bit
                --addr HOST:PORT --items N --batch N --universe N --skew F
@@ -56,7 +60,10 @@ COMMANDS
 
 Sizes accept k/m/g suffixes: --memory 64k, --items 2m.
 Streams: caida (default), distinct, campus, webpage.
-Exit codes: 0 ok, 1 failure, 2 usage error, 3 connection refused.
+--timeout-ms bounds the whole request (connect to final reply, retries
+included); default 10000, 0 waits forever.
+Exit codes: 0 ok, 1 failure, 2 usage error, 3 connection refused,
+4 deadline exceeded.
 ";
 
 fn make_stream(name: &str, seed: u64) -> Result<Box<dyn KeyStream>, ArgError> {
@@ -73,6 +80,11 @@ fn make_stream(name: &str, seed: u64) -> Result<Box<dyn KeyStream>, ArgError> {
 /// 1 (failed run / bad invocation) and 2 (parse error) so scripts can
 /// tell "start the server first" from "fix the command".
 pub const EXIT_UNREACHABLE: i32 = 3;
+
+/// Exit code for "the request deadline elapsed" — the server is there
+/// but slow, wedged, or shedding; distinct from [`EXIT_UNREACHABLE`] so
+/// scripts can retry with backoff instead of starting a server.
+pub const EXIT_DEADLINE: i32 = 4;
 
 /// A dispatch failure carrying the process exit code `main` should use.
 #[derive(Debug)]
@@ -98,14 +110,24 @@ impl From<ArgError> for CliError {
 /// Map a transport error: connection-refused gets its own exit code and
 /// a hint; everything else stays a generic failure.
 fn net_err(addr: &str, err: std::io::Error) -> CliError {
-    if err.kind() == std::io::ErrorKind::ConnectionRefused {
-        CliError {
+    match err.kind() {
+        std::io::ErrorKind::ConnectionRefused => CliError {
             msg: format!("cannot connect to {addr}: connection refused (is the server running?)"),
             code: EXIT_UNREACHABLE,
-        }
-    } else {
-        CliError { msg: err.to_string(), code: 1 }
+        },
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => CliError {
+            msg: format!("request to {addr} timed out: {err} (raise --timeout-ms?)"),
+            code: EXIT_DEADLINE,
+        },
+        _ => CliError { msg: err.to_string(), code: 1 },
     }
+}
+
+/// Parse `--timeout-ms` into the client's per-operation deadline;
+/// 0 disables it.
+fn op_timeout(a: &Args) -> Result<Option<std::time::Duration>, ArgError> {
+    let ms = a.get_u64("timeout-ms", 10_000)?;
+    Ok((ms > 0).then(|| std::time::Duration::from_millis(ms)))
 }
 
 /// Route a parsed command line.
@@ -121,6 +143,7 @@ pub fn dispatch(a: &Args) -> Result<(), CliError> {
         "checkpoint" => checkpoint(a),
         "query" => query(a),
         "cluster-status" => cluster_status(a),
+        "chaos-soak" => chaos_soak(a),
         "mirror-check" => mirror_check(a),
         "loadgen" => loadgen(a),
         "shutdown" => shutdown(a),
@@ -254,10 +277,31 @@ fn engine_config(a: &Args, seed_flag: &str) -> Result<she_server::EngineConfig, 
 
 /// Read and decode `DIR/checkpoint.she`. Boxing lets one error path carry
 /// both `io::Error` and `she_core::SnapshotError` (a `std::error::Error`).
+///
+/// A file that *reads* but does not *decode* (torn write, bit rot) is
+/// quarantined: moved aside to `checkpoint.she.corrupt` so the next
+/// `she checkpoint` can write a fresh one, and reported as a clean error
+/// — corruption must never panic or be restored from silently.
 fn load_checkpoint(dir: &str) -> Result<she_server::Checkpoint, Box<dyn std::error::Error>> {
     let path = std::path::Path::new(dir).join("checkpoint.she");
     let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-    Ok(she_server::Checkpoint::decode(&bytes)?)
+    match she_server::Checkpoint::decode(&bytes) {
+        Ok(ckpt) => Ok(ckpt),
+        Err(e) => {
+            let quarantine = std::path::Path::new(dir).join("checkpoint.she.corrupt");
+            let moved = std::fs::rename(&path, &quarantine).is_ok();
+            Err(format!(
+                "{}: corrupt checkpoint ({e}){}",
+                path.display(),
+                if moved {
+                    format!("; quarantined to {}", quarantine.display())
+                } else {
+                    String::new()
+                }
+            )
+            .into())
+        }
+    }
 }
 
 fn serve(a: &Args) -> Result<(), CliError> {
@@ -377,11 +421,12 @@ fn print_shard_stats(stats: &[she_server::ShardStats]) {
 }
 
 fn checkpoint(a: &Args) -> Result<(), CliError> {
-    a.expect_only(&["addr", "dir"])?;
+    a.expect_only(&["addr", "dir", "timeout-ms"])?;
     let addr = a.get("addr", "127.0.0.1:7487");
     let dir = a.get("dir", "checkpoints");
     let io = |err: std::io::Error| net_err(&addr, err);
     let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    client.set_op_timeout(op_timeout(a)?).map_err(io)?;
     let version = client.hello().map_err(io)?;
     if version < 2 {
         return Err(ArgError(format!(
@@ -392,13 +437,49 @@ fn checkpoint(a: &Args) -> Result<(), CliError> {
     let blob = client.snapshot_all().map_err(io)?;
     std::fs::create_dir_all(&dir).map_err(|err| ArgError(format!("{dir}: {err}")))?;
     let path = std::path::Path::new(&dir).join("checkpoint.she");
-    std::fs::write(&path, &blob).map_err(|err| ArgError(format!("{}: {err}", path.display())))?;
+    // Crash-safe: a failure at any point (full disk, crash mid-write)
+    // leaves the previous checkpoint intact, never a torn file.
+    she_chaos::atomic_write(&path, &blob)
+        .map_err(|err| ArgError(format!("{}: {err}", path.display())))?;
     println!("wrote {} ({} bytes)", path.display(), blob.len());
     Ok(())
 }
 
+/// Run the deterministic chaos soak (docs/ROBUSTNESS.md): a real primary
+/// and replica in this process, faults injected on the replication path,
+/// scripted disconnects and replica kills, and a bit-for-bit comparison
+/// against an in-process mirror at the end. Exit 0 means every check
+/// held; on failure the seed is printed for an exact replay.
+fn chaos_soak(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&["seed", "cycles", "keys", "dir"])?;
+    let defaults = she_chaos::SoakConfig::default();
+    let cfg = she_chaos::SoakConfig {
+        seed: a.get_u64("seed", defaults.seed)?,
+        cycles: a.get_u64("cycles", u64::from(defaults.cycles))? as u32,
+        keys_per_cycle: a.get_u64("keys", defaults.keys_per_cycle as u64)? as usize,
+        dir: match a.get("dir", "").as_str() {
+            "" => defaults.dir,
+            d => std::path::PathBuf::from(d),
+        },
+    };
+    println!(
+        "chaos soak starting: seed={} cycles={} keys-per-cycle={}",
+        cfg.seed, cfg.cycles, cfg.keys_per_cycle
+    );
+    match she_chaos::soak::run(&cfg) {
+        Ok(report) => {
+            println!("{report}");
+            Ok(())
+        }
+        Err(e) => Err(CliError {
+            msg: format!("chaos soak FAILED (replay with --seed {}): {e}", cfg.seed),
+            code: 1,
+        }),
+    }
+}
+
 fn query(a: &Args) -> Result<(), CliError> {
-    a.expect_only(&["addr", "op", "key"])?;
+    a.expect_only(&["addr", "op", "key", "timeout-ms"])?;
     let op = a.get("op", "member");
     if !matches!(op.as_str(), "member" | "card" | "freq" | "sim") {
         return Err(ArgError(format!("unknown --op '{op}' (member|card|freq|sim)")).into());
@@ -407,6 +488,7 @@ fn query(a: &Args) -> Result<(), CliError> {
     let key = a.get_u64("key", 0)?;
     let io = |err: std::io::Error| net_err(&addr, err);
     let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    client.set_op_timeout(op_timeout(a)?).map_err(io)?;
     // f64 answers also print their raw bits so scripts can diff bit-exactly.
     match op.as_str() {
         "member" => println!("member {key} = {}", client.query_member(key).map_err(io)?),
@@ -486,10 +568,11 @@ fn shutdown(a: &Args) -> Result<(), CliError> {
 
 /// One-line replication position, `key=value` formatted for scripts.
 fn cluster_status(a: &Args) -> Result<(), CliError> {
-    a.expect_only(&["addr"])?;
+    a.expect_only(&["addr", "timeout-ms"])?;
     let addr = a.get("addr", "127.0.0.1:7487");
     let io = |err: std::io::Error| net_err(&addr, err);
     let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    client.set_op_timeout(op_timeout(a)?).map_err(io)?;
     let version = client.hello().map_err(io)?;
     if version < 3 {
         return Err(ArgError(format!(
@@ -745,6 +828,27 @@ mod tests {
     #[test]
     fn serve_restore_requires_readable_checkpoint() {
         assert!(dispatch(&args("serve --restore /nonexistent-she-checkpoint-dir")).is_err());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_quarantined_with_a_clean_error() {
+        let dir = std::env::temp_dir().join("she-cli-corrupt-ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("checkpoint.she"), b"SHEF but torn mid-frame").unwrap();
+        let err = dispatch(&args(&format!("serve --restore {}", dir.display()))).unwrap_err();
+        assert!(err.msg.contains("corrupt checkpoint"), "{}", err.msg);
+        assert!(err.msg.contains("quarantined"), "{}", err.msg);
+        assert!(dir.join("checkpoint.she.corrupt").exists(), "sidecar written");
+        assert!(!dir.join("checkpoint.she").exists(), "corrupt original moved aside");
+    }
+
+    #[test]
+    fn unreadable_checkpoint_is_not_quarantined() {
+        // A missing file is an I/O problem, not corruption: nothing to
+        // move aside, and the error says what failed.
+        let err = dispatch(&args("serve --restore /nonexistent-she-checkpoint-dir")).unwrap_err();
+        assert!(!err.msg.contains("quarantined"), "{}", err.msg);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Robustness counters for the serving path: lock-free tallies of the
+//! events that matter when things go wrong — evicted connections, shed
+//! reads, refused connections, and (under `she-chaos`) injected faults.
+//!
+//! Two families:
+//!
+//! * [`ServeCounters`] — what the *server* did to protect itself
+//!   (evictions, sheds, connection-cap refusals);
+//! * [`FaultCounters`] — what a fault injector *did to* the system
+//!   (partial I/O, delays, resets, bit flips, file-write faults).
+//!
+//! Both are plain `AtomicU64` bundles meant to be shared behind an `Arc`
+//! and snapshotted for reports; increments use relaxed ordering (counts,
+//! not synchronization).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Self-protection event counts for a running server.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Connections closed because a started frame (or a pending response)
+    /// did not complete within the per-connection deadline.
+    pub evicted_conns: AtomicU64,
+    /// Read queries rejected with `OVERLOADED` because the target shard
+    /// queue was full (reads shed before writes).
+    pub shed_reads: AtomicU64,
+    /// Connections refused with `OVERLOADED` at the connection cap.
+    pub refused_conns: AtomicU64,
+}
+
+impl ServeCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump a counter by one (relaxed; these are statistics).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for reporting.
+    pub fn snapshot(&self) -> ServeCountersSnapshot {
+        ServeCountersSnapshot {
+            evicted_conns: self.evicted_conns.load(Ordering::Relaxed),
+            shed_reads: self.shed_reads.load(Ordering::Relaxed),
+            refused_conns: self.refused_conns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeCountersSnapshot {
+    /// See [`ServeCounters::evicted_conns`].
+    pub evicted_conns: u64,
+    /// See [`ServeCounters::shed_reads`].
+    pub shed_reads: u64,
+    /// See [`ServeCounters::refused_conns`].
+    pub refused_conns: u64,
+}
+
+impl std::fmt::Display for ServeCountersSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "evicted={} shed_reads={} refused={}",
+            self.evicted_conns, self.shed_reads, self.refused_conns
+        )
+    }
+}
+
+/// Injected-fault counts for a fault injector (`she-chaos`).
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Reads/writes deliberately cut short.
+    pub partial_io: AtomicU64,
+    /// Injected delays.
+    pub delays: AtomicU64,
+    /// Injected connection resets.
+    pub resets: AtomicU64,
+    /// Injected single-bit flips.
+    pub bitflips: AtomicU64,
+    /// File writes failed with a simulated full disk.
+    pub enospc: AtomicU64,
+    /// File writes torn (a prefix written, then failed).
+    pub torn_writes: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A point-in-time copy for reporting.
+    pub fn snapshot(&self) -> FaultCountersSnapshot {
+        FaultCountersSnapshot {
+            partial_io: self.partial_io.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+            bitflips: self.bitflips.load(Ordering::Relaxed),
+            enospc: self.enospc.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FaultCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCountersSnapshot {
+    /// See [`FaultCounters::partial_io`].
+    pub partial_io: u64,
+    /// See [`FaultCounters::delays`].
+    pub delays: u64,
+    /// See [`FaultCounters::resets`].
+    pub resets: u64,
+    /// See [`FaultCounters::bitflips`].
+    pub bitflips: u64,
+    /// See [`FaultCounters::enospc`].
+    pub enospc: u64,
+    /// See [`FaultCounters::torn_writes`].
+    pub torn_writes: u64,
+}
+
+impl FaultCountersSnapshot {
+    /// Total faults injected, all kinds.
+    pub fn total(&self) -> u64 {
+        self.partial_io + self.delays + self.resets + self.bitflips + self.enospc + self.torn_writes
+    }
+}
+
+impl std::fmt::Display for FaultCountersSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partial={} delays={} resets={} bitflips={} enospc={} torn={}",
+            self.partial_io, self.delays, self.resets, self.bitflips, self.enospc, self.torn_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_capture_increments() {
+        let c = ServeCounters::new();
+        ServeCounters::bump(&c.evicted_conns);
+        ServeCounters::bump(&c.shed_reads);
+        ServeCounters::bump(&c.shed_reads);
+        let s = c.snapshot();
+        assert_eq!(s.evicted_conns, 1);
+        assert_eq!(s.shed_reads, 2);
+        assert_eq!(s.refused_conns, 0);
+        assert!(s.to_string().contains("shed_reads=2"));
+    }
+
+    #[test]
+    fn fault_totals_sum_all_kinds() {
+        let c = FaultCounters::new();
+        c.bitflips.fetch_add(3, Ordering::Relaxed);
+        c.resets.fetch_add(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.total(), 5);
+        assert!(s.to_string().contains("bitflips=3"));
+    }
+}

@@ -17,14 +17,18 @@
 //!
 //! For the serving path (`she-server`), the [`latency`] module adds a
 //! log-bucket [`LatencyHistogram`] and per-operation [`NetReport`]
-//! throughput/latency summaries.
+//! throughput/latency summaries, and the [`counters`] module adds
+//! robustness tallies ([`ServeCounters`] for server self-protection
+//! events, [`FaultCounters`] for injected faults under `she-chaos`).
 
 pub mod adapters;
+pub mod counters;
 pub mod latency;
 mod report;
 mod runners;
 
 pub use adapters::*;
+pub use counters::{FaultCounters, FaultCountersSnapshot, ServeCounters, ServeCountersSnapshot};
 pub use latency::{LatencyHistogram, NetReport};
 pub use report::ResultTable;
 pub use runners::*;

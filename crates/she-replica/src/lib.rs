@@ -80,6 +80,11 @@ pub struct ReplicaConfig {
     /// [`Replica::start`] gives up and returns the error. Reconnects
     /// after a successful start retry forever.
     pub max_bootstrap_attempts: u32,
+    /// Total deadline for each control-plane request to the primary
+    /// (bootstrap fetch, anti-entropy snapshot), in milliseconds. Keeps
+    /// a half-open primary from wedging a bootstrap or sweep forever.
+    /// 0 disables the deadline.
+    pub op_timeout_ms: u64,
 }
 
 impl Default for ReplicaConfig {
@@ -94,6 +99,7 @@ impl Default for ReplicaConfig {
             reconnect_base_ms: 50,
             reconnect_cap_ms: 2_000,
             max_bootstrap_attempts: 10,
+            op_timeout_ms: 10_000,
         }
     }
 }
@@ -131,7 +137,7 @@ impl Replica {
             Duration::from_millis(cfg.reconnect_cap_ms.max(1)),
         );
         let (seq, ckpt) = loop {
-            match fetch_bootstrap(&cfg.primary) {
+            match fetch_bootstrap(&cfg.primary, cfg.op_timeout_ms) {
                 Ok(pair) => break pair,
                 Err(e) if backoff.attempts() + 1 >= cfg.max_bootstrap_attempts.max(1) => {
                     return Err(io::Error::new(
@@ -226,8 +232,9 @@ impl Replica {
 }
 
 /// Fetch and decode one bootstrap package from the primary.
-fn fetch_bootstrap(primary: &str) -> io::Result<(u64, Checkpoint)> {
+fn fetch_bootstrap(primary: &str, op_timeout_ms: u64) -> io::Result<(u64, Checkpoint)> {
     let mut client = Client::connect(primary)?;
+    client.set_op_timeout(op_timeout(op_timeout_ms))?;
     let version = client.hello()?;
     if version < 3 {
         return Err(io::Error::new(
@@ -243,8 +250,13 @@ fn fetch_bootstrap(primary: &str) -> io::Result<(u64, Checkpoint)> {
 
 /// Re-bootstrap a *live* replica in place: restore every shard through
 /// the injector, then move the applied position to the new cut.
-fn resync(primary: &str, injector: &Injector, status: &ReplicaStatus) -> io::Result<()> {
-    let (seq, ckpt) = fetch_bootstrap(primary)?;
+fn resync(
+    primary: &str,
+    op_timeout_ms: u64,
+    injector: &Injector,
+    status: &ReplicaStatus,
+) -> io::Result<()> {
+    let (seq, ckpt) = fetch_bootstrap(primary, op_timeout_ms)?;
     if ckpt.cfg != *injector.config() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -285,7 +297,7 @@ fn run_tail(cfg: &ReplicaConfig, injector: &Injector, status: &ReplicaStatus, st
             FeedEnd::Stopped => break,
             FeedEnd::Lost => sleep_unless_stopped(backoff.next_delay(), stop),
             FeedEnd::Resync => {
-                if resync(&cfg.primary, injector, status).is_ok() {
+                if resync(&cfg.primary, cfg.op_timeout_ms, injector, status).is_ok() {
                     backoff.reset();
                 } else {
                     sleep_unless_stopped(backoff.next_delay(), stop);
@@ -402,13 +414,19 @@ fn run_anti_entropy(cfg: &ReplicaConfig, injector: &Injector, stop: &AtomicBool)
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let _ = sweep(&cfg.primary, injector);
+        let _ = sweep(&cfg.primary, cfg.op_timeout_ms, injector);
     }
 }
 
+/// The per-request deadline as a `Duration`, if enabled.
+fn op_timeout(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
 /// One anti-entropy pass over every shard.
-fn sweep(primary: &str, injector: &Injector) -> io::Result<()> {
+fn sweep(primary: &str, op_timeout_ms: u64, injector: &Injector) -> io::Result<()> {
     let mut client = Client::connect(primary)?;
+    client.set_op_timeout(op_timeout(op_timeout_ms))?;
     if client.hello()? < 2 {
         return Err(io::Error::new(
             io::ErrorKind::Unsupported,

@@ -2,32 +2,50 @@
 //!
 //! One [`Client`] wraps one TCP connection and issues one request at a
 //! time (the protocol is strictly request/response). `BUSY` responses to
-//! inserts are retried internally with capped exponential backoff plus
-//! jitter, up to a bounded number of attempts — safe because a `BUSY`
-//! means the server enqueued nothing, and the jitter keeps a fleet of
-//! blocked clients from hammering the queue in lockstep.
+//! inserts — and `OVERLOADED` responses to any request — are retried
+//! internally with capped exponential backoff plus jitter, up to a
+//! bounded number of attempts — safe because both mean the server
+//! applied nothing, and the jitter keeps a fleet of blocked clients from
+//! hammering the queue in lockstep.
+//!
+//! An optional *operation timeout* ([`Client::set_op_timeout`]) bounds
+//! each logical operation end to end: the response read, a stalled
+//! server, and the whole retry loop all count against one deadline,
+//! surfaced as `TimedOut`.
 
 use crate::backoff::Backoff;
-use crate::codec::{read_frame, write_frame};
+use crate::codec::{read_frame, read_frame_deadline, write_frame, FrameIn};
 use crate::protocol::{
     ClusterStatusInfo, Request, Response, ShardStats, MAX_BATCH, PROTOCOL_VERSION,
 };
 use crate::repl::Bootstrap;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Attempts per insert before giving up on a persistently-full shard.
+/// Attempts per operation before giving up on a persistently-full shard
+/// (`BUSY`) or persistently-shedding server (`OVERLOADED`).
 const MAX_BUSY_RETRIES: u32 = 64;
 
 /// Ceiling on one backoff sleep while a shard queue stays full.
 const BUSY_BACKOFF_CAP: Duration = Duration::from_millis(64);
+
+/// Socket read-timeout tick used while an operation deadline is armed;
+/// the poll interval at which the deadline is re-checked.
+const DEADLINE_TICK: Duration = Duration::from_millis(20);
+
+fn deadline_exceeded() -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, "operation deadline exceeded")
+}
 
 fn bad_reply(resp: Response) -> io::Error {
     let msg = match resp {
         Response::Err(m) => format!("server error: {m}"),
         Response::NotPrimary { primary } => {
             format!("server is a read-only replica; writes go to the primary at {primary}")
+        }
+        Response::Overloaded { retry_after_ms } => {
+            format!("server overloaded; retry after {retry_after_ms} ms")
         }
         other => format!("unexpected response {other:?}"),
     };
@@ -40,6 +58,11 @@ pub struct Client {
     /// `BUSY` responses received (and retried) so far — a backpressure
     /// gauge for load generators.
     pub busy_retries: u64,
+    /// `OVERLOADED` responses received (and retried) so far — the
+    /// server-side shed gauge.
+    pub shed_retries: u64,
+    /// Total per-operation deadline; `None` = wait forever (the default).
+    op_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -47,36 +70,104 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, busy_retries: 0 })
+        Ok(Client { stream, busy_retries: 0, shed_retries: 0, op_timeout: None })
     }
 
-    /// One request, one response.
-    fn call(&mut self, req: &Request) -> io::Result<Response> {
-        write_frame(&mut self.stream, &req.encode())?;
-        let payload = read_frame(&mut self.stream)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+    /// Bound every subsequent operation — request write, response read,
+    /// and the whole `BUSY`/`OVERLOADED` retry loop — by `timeout` total.
+    /// Exceeding it surfaces as `TimedOut`. `None` restores the default
+    /// (wait forever).
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        // The read timeout is a short tick so the deadline is re-checked
+        // even while the server is silent; writes get the full budget.
+        let tick = timeout.map(|t| t.min(DEADLINE_TICK).max(Duration::from_millis(1)));
+        self.stream.set_read_timeout(tick)?;
+        self.stream.set_write_timeout(timeout)?;
+        self.op_timeout = timeout;
+        Ok(())
+    }
+
+    /// When the next operation must be finished, given the timeout.
+    fn op_deadline(&self) -> Option<Instant> {
+        self.op_timeout.map(|t| Instant::now() + t)
+    }
+
+    /// One request, one response, optionally bounded by an absolute
+    /// deadline.
+    fn call_by(&mut self, req: &Request, by: Option<Instant>) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode()).map_err(|e| {
+            if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                deadline_exceeded()
+            } else {
+                e
+            }
+        })?;
+        let payload = match by {
+            None => read_frame(&mut self.stream)?
+                .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?,
+            Some(by) => loop {
+                let left = by.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(deadline_exceeded());
+                }
+                match read_frame_deadline(&mut self.stream, left)? {
+                    FrameIn::Frame(p) => break p,
+                    FrameIn::Eof => {
+                        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+                    }
+                    FrameIn::Idle => continue,
+                    FrameIn::Stalled => return Err(deadline_exceeded()),
+                }
+            },
+        };
         Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
-    /// Issue an insert-class request, retrying `BUSY` with capped
-    /// exponential backoff + jitter seeded from the server's hint.
-    fn call_insert(&mut self, req: &Request) -> io::Result<u64> {
+    /// One request, one response, under this client's operation timeout.
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        let by = self.op_deadline();
+        self.call_by(req, by)
+    }
+
+    /// Issue a request, retrying `BUSY` and `OVERLOADED` with capped
+    /// exponential backoff + jitter seeded from the server's hint. The
+    /// operation deadline (when set) spans the entire retry loop.
+    fn call_retrying(&mut self, req: &Request) -> io::Result<Response> {
+        let by = self.op_deadline();
         let mut backoff: Option<Backoff> = None;
         for _ in 0..MAX_BUSY_RETRIES {
-            match self.call(req)? {
-                Response::Ok { accepted } => return Ok(accepted),
+            let retry_after_ms = match self.call_by(req, by)? {
                 Response::Busy { retry_after_ms } => {
                     self.busy_retries += 1;
-                    let b = backoff.get_or_insert_with(|| {
-                        let base = Duration::from_millis(retry_after_ms.max(1) as u64);
-                        Backoff::from_clock(base.min(BUSY_BACKOFF_CAP), BUSY_BACKOFF_CAP)
-                    });
-                    std::thread::sleep(b.next_delay());
+                    retry_after_ms
                 }
-                other => return Err(bad_reply(other)),
+                Response::Overloaded { retry_after_ms } => {
+                    self.shed_retries += 1;
+                    retry_after_ms
+                }
+                other => return Ok(other),
+            };
+            let b = backoff.get_or_insert_with(|| {
+                let base = Duration::from_millis(retry_after_ms.max(1) as u64);
+                Backoff::from_clock(base.min(BUSY_BACKOFF_CAP), BUSY_BACKOFF_CAP)
+            });
+            let delay = b.next_delay();
+            if let Some(by) = by {
+                if Instant::now() + delay >= by {
+                    return Err(deadline_exceeded());
+                }
             }
+            std::thread::sleep(delay);
         }
         Err(io::Error::new(io::ErrorKind::TimedOut, "server busy: retries exhausted"))
+    }
+
+    /// Issue an insert-class request (retrying backpressure responses).
+    fn call_insert(&mut self, req: &Request) -> io::Result<u64> {
+        match self.call_retrying(req)? {
+            Response::Ok { accepted } => Ok(accepted),
+            other => Err(bad_reply(other)),
+        }
     }
 
     /// Insert one key into stream 0 (A) or 1 (B).
@@ -94,9 +185,10 @@ impl Client {
         Ok(accepted)
     }
 
-    /// Sliding-window membership of `key` in stream A.
+    /// Sliding-window membership of `key` in stream A. Shed reads
+    /// (`OVERLOADED`) are retried like `BUSY` writes.
     pub fn query_member(&mut self, key: u64) -> io::Result<bool> {
-        match self.call(&Request::QueryMember { key })? {
+        match self.call_retrying(&Request::QueryMember { key })? {
             Response::Bool(v) => Ok(v),
             other => Err(bad_reply(other)),
         }
@@ -104,7 +196,7 @@ impl Client {
 
     /// Sliding-window cardinality of stream A.
     pub fn query_card(&mut self) -> io::Result<f64> {
-        match self.call(&Request::QueryCard)? {
+        match self.call_retrying(&Request::QueryCard)? {
             Response::F64(v) => Ok(v),
             other => Err(bad_reply(other)),
         }
@@ -112,7 +204,7 @@ impl Client {
 
     /// Sliding-window frequency of `key` in stream A.
     pub fn query_freq(&mut self, key: u64) -> io::Result<u64> {
-        match self.call(&Request::QueryFreq { key })? {
+        match self.call_retrying(&Request::QueryFreq { key })? {
             Response::U64(v) => Ok(v),
             other => Err(bad_reply(other)),
         }
@@ -120,7 +212,7 @@ impl Client {
 
     /// Sliding-window A/B Jaccard similarity.
     pub fn query_sim(&mut self) -> io::Result<f64> {
-        match self.call(&Request::QuerySim)? {
+        match self.call_retrying(&Request::QuerySim)? {
             Response::F64(v) => Ok(v),
             other => Err(bad_reply(other)),
         }

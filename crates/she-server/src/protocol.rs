@@ -68,6 +68,7 @@ pub mod opcode {
     pub const BUSY: u8 = 0xE1;
     pub const NOT_PRIMARY: u8 = 0xE2;
     pub const LOG_TRUNCATED: u8 = 0xE3;
+    pub const OVERLOADED: u8 = 0xE4;
 }
 
 /// A client → server message.
@@ -158,6 +159,12 @@ pub enum Response {
     /// v3: the requested subscription position fell off the bounded op
     /// log; the subscriber must re-bootstrap (`floor` = oldest retained).
     LogTruncated { floor: u64 },
+    /// The server is shedding load: either the connection cap was hit
+    /// (sent once, then the connection is closed) or a read query was
+    /// rejected because its shard queue is saturated (reads are shed
+    /// before writes). Distinct from [`Response::Busy`], which is the
+    /// per-request write backpressure signal.
+    Overloaded { retry_after_ms: u32 },
 }
 
 /// One subscribed replica as seen by the primary.
@@ -421,6 +428,10 @@ impl Response {
                 b.push(opcode::LOG_TRUNCATED);
                 b.extend_from_slice(&floor.to_le_bytes());
             }
+            Response::Overloaded { retry_after_ms } => {
+                b.push(opcode::OVERLOADED);
+                b.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
         }
         b
     }
@@ -500,6 +511,7 @@ impl Response {
                 });
             }
             opcode::LOG_TRUNCATED => Response::LogTruncated { floor: r.u64()? },
+            opcode::OVERLOADED => Response::Overloaded { retry_after_ms: r.u32()? },
             other => return Err(ProtoError::BadOpcode(other)),
         };
         r.finish()?;

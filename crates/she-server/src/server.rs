@@ -20,8 +20,15 @@
 //!   to unblock `accept`. Handlers poll the flag via a read timeout and
 //!   exit; when the last sender drops, workers drain their queues and
 //!   return their final stats.
+//! * **Self-protection** — a connection cap refuses excess clients with
+//!   `OVERLOADED` before a handler thread is spawned; a per-connection
+//!   deadline evicts peers that stall mid-frame (read side) or stop
+//!   draining their socket (write side); read queries are shed with
+//!   `OVERLOADED` when their shard queue is saturated, so writes keep
+//!   their `BUSY`-with-nothing-applied guarantee while reads degrade
+//!   first. All three are counted in [`ServeCounters`].
 
-use crate::codec::{read_frame, write_frame};
+use crate::codec::{read_frame, read_frame_deadline, write_frame, FrameIn};
 use crate::engine::{EngineConfig, ShardEngine};
 use crate::protocol::{
     ClusterStatusInfo, Request, Response, ShardStats, MAX_FRAME, PROTOCOL_VERSION,
@@ -29,9 +36,10 @@ use crate::protocol::{
 use crate::repl::{Bootstrap, ReplHub, ReplLog, Tail};
 use crate::snapshot::Checkpoint;
 use crate::worker::{run_worker, Job};
+use she_metrics::ServeCounters;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -82,6 +90,13 @@ pub struct ServerConfig {
     pub repl_log: usize,
     /// Idle keep-alive interval on replication feeds, in milliseconds.
     pub heartbeat_ms: u64,
+    /// Per-connection deadline in milliseconds: a frame that starts but
+    /// does not complete within this budget, or a response write that
+    /// stalls this long, evicts the connection. 0 disables eviction.
+    pub client_deadline_ms: u64,
+    /// Maximum simultaneously served connections; excess clients get one
+    /// `OVERLOADED` frame and are closed without spawning a handler.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +109,8 @@ impl Default for ServerConfig {
             role: Role::Primary,
             repl_log: 0,
             heartbeat_ms: 500,
+            client_deadline_ms: 10_000,
+            max_connections: 1024,
         }
     }
 }
@@ -112,6 +129,21 @@ struct Shared {
     log: Option<ReplLog>,
     hub: ReplHub,
     heartbeat_ms: u64,
+    /// `None` when eviction is disabled (`client_deadline_ms = 0`).
+    client_deadline: Option<Duration>,
+    max_connections: usize,
+    conns: AtomicUsize,
+    counters: Arc<ServeCounters>,
+}
+
+/// How a shed-capable read query resolved.
+enum ReadAnswer<T> {
+    /// The shard(s) answered.
+    Value(T),
+    /// A shard queue was full; the query was rejected without waiting.
+    Shed,
+    /// A worker is gone (shutdown).
+    Gone,
 }
 
 impl Shared {
@@ -122,28 +154,32 @@ impl Shared {
             Request::InsertBatch { stream, keys } => self.ingest(stream, keys),
             Request::QueryMember { key } => {
                 let shard = self.engine.shard_of(key);
-                match self.ask(shard, |reply| Job::Member { key, reply }) {
-                    Some(v) => Response::Bool(v),
-                    None => shutting_down(),
+                match self.ask_read(shard, |reply| Job::Member { key, reply }) {
+                    ReadAnswer::Value(v) => Response::Bool(v),
+                    ReadAnswer::Shed => self.shed(),
+                    ReadAnswer::Gone => shutting_down(),
                 }
             }
-            Request::QueryCard => match self.ask_all(|reply| Job::Card { reply }) {
-                Some(parts) => Response::F64(parts.into_iter().sum()),
-                None => shutting_down(),
+            Request::QueryCard => match self.ask_read_all(|reply| Job::Card { reply }) {
+                ReadAnswer::Value(parts) => Response::F64(parts.into_iter().sum()),
+                ReadAnswer::Shed => self.shed(),
+                ReadAnswer::Gone => shutting_down(),
             },
             Request::QueryFreq { key } => {
                 let shard = self.engine.shard_of(key);
-                match self.ask(shard, |reply| Job::Freq { key, reply }) {
-                    Some(v) => Response::U64(v),
-                    None => shutting_down(),
+                match self.ask_read(shard, |reply| Job::Freq { key, reply }) {
+                    ReadAnswer::Value(v) => Response::U64(v),
+                    ReadAnswer::Shed => self.shed(),
+                    ReadAnswer::Gone => shutting_down(),
                 }
             }
-            Request::QuerySim => match self.ask_all(|reply| Job::Sim { reply }) {
-                Some(parts) => {
+            Request::QuerySim => match self.ask_read_all(|reply| Job::Sim { reply }) {
+                ReadAnswer::Value(parts) => {
                     let n = parts.len() as f64;
                     Response::F64(parts.into_iter().sum::<f64>() / n)
                 }
-                None => shutting_down(),
+                ReadAnswer::Shed => self.shed(),
+                ReadAnswer::Gone => shutting_down(),
             },
             Request::Stats => match self.ask_all(|reply| Job::Stats { reply }) {
                 Some(parts) => Response::Stats(parts),
@@ -326,6 +362,48 @@ impl Shared {
         rx.recv().ok()
     }
 
+    /// Count a shed read and answer `OVERLOADED`.
+    fn shed(&self) -> Response {
+        ServeCounters::bump(&self.counters.shed_reads);
+        Response::Overloaded { retry_after_ms: self.retry_after_ms }
+    }
+
+    /// Like [`Shared::ask`], but non-blocking at the queue: a full shard
+    /// queue sheds the read instead of waiting behind the write backlog.
+    /// Reads degrade before writes — an insert that reaches `admit` can
+    /// still claim the next free slot.
+    fn ask_read<T>(&self, shard: usize, make: impl FnOnce(SyncSender<T>) -> Job) -> ReadAnswer<T> {
+        let (tx, rx) = sync_channel(1);
+        match self.txs[shard].try_send(make(tx)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => return ReadAnswer::Shed,
+            Err(TrySendError::Disconnected(_)) => return ReadAnswer::Gone,
+        }
+        match rx.recv() {
+            Ok(v) => ReadAnswer::Value(v),
+            Err(_) => ReadAnswer::Gone,
+        }
+    }
+
+    /// Fan a read out to every shard with `try_send`. If any queue is
+    /// full the whole query is shed; jobs already enqueued answer into
+    /// dropped channels (workers ignore failed reply sends).
+    fn ask_read_all<T>(&self, mut make: impl FnMut(SyncSender<T>) -> Job) -> ReadAnswer<Vec<T>> {
+        let mut pending = Vec::with_capacity(self.txs.len());
+        for tx in &self.txs {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            match tx.try_send(make(reply_tx)) {
+                Ok(()) => pending.push(reply_rx),
+                Err(TrySendError::Full(_)) => return ReadAnswer::Shed,
+                Err(TrySendError::Disconnected(_)) => return ReadAnswer::Gone,
+            }
+        }
+        match pending.into_iter().map(|rx| rx.recv().ok()).collect::<Option<Vec<T>>>() {
+            Some(parts) => ReadAnswer::Value(parts),
+            None => ReadAnswer::Gone,
+        }
+    }
+
     /// Fan a query out to every shard, collecting answers in shard order.
     fn ask_all<T>(&self, mut make: impl FnMut(SyncSender<T>) -> Job) -> Option<Vec<T>> {
         let pending: Vec<_> = self
@@ -402,6 +480,11 @@ impl Server {
             log,
             hub: ReplHub::new(),
             heartbeat_ms: cfg.heartbeat_ms,
+            client_deadline: (cfg.client_deadline_ms > 0)
+                .then(|| Duration::from_millis(cfg.client_deadline_ms)),
+            max_connections: cfg.max_connections.max(1),
+            conns: AtomicUsize::new(0),
+            counters: Arc::new(ServeCounters::new()),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -430,6 +513,13 @@ impl Server {
     /// or consume the handle).
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Live self-protection counters (evictions, shed reads, refused
+    /// connections). The handle can be cloned out and read after
+    /// [`Server::join`] via the returned `Arc`.
+    pub fn counters(&self) -> Arc<ServeCounters> {
+        Arc::clone(&self.shared.counters)
     }
 
     /// Ask the server to stop, as if a client sent `SHUTDOWN`.
@@ -463,12 +553,28 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
+                // Connection cap: refuse with one OVERLOADED frame before
+                // spending a handler thread. The count is reserved here
+                // and released by the handler's ConnGuard.
+                if shared.conns.fetch_add(1, Ordering::SeqCst) >= shared.max_connections {
+                    shared.conns.fetch_sub(1, Ordering::SeqCst);
+                    ServeCounters::bump(&shared.counters.refused_conns);
+                    let mut stream = stream;
+                    let refuse =
+                        Response::Overloaded { retry_after_ms: shared.retry_after_ms.max(1) * 10 };
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = write_frame(&mut stream, &refuse.encode());
+                    continue;
+                }
                 let conn_shared = Arc::clone(&shared);
-                if let Ok(h) = std::thread::Builder::new()
+                match std::thread::Builder::new()
                     .name("she-conn".into())
                     .spawn(move || handle_connection(stream, conn_shared))
                 {
-                    handlers.lock().unwrap_or_else(|p| p.into_inner()).push(h);
+                    Ok(h) => handlers.lock().unwrap_or_else(|p| p.into_inner()).push(h),
+                    Err(_) => {
+                        shared.conns.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
             }
             Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
@@ -480,19 +586,35 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// Releases a connection-cap reservation when the handler exits, however
+/// it exits.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _guard = ConnGuard(Arc::clone(&shared));
     let _ = stream.set_nodelay(true);
-    // The timeout is the shutdown poll interval, not a client deadline.
+    // The read timeout is the shutdown poll interval; the per-frame
+    // deadline (eviction) is layered on top by `read_frame_deadline`.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    // A peer that stops draining its socket stalls our response writes;
+    // bound them with the same deadline so the handler can't be pinned.
+    let _ = stream.set_write_timeout(shared.client_deadline);
+    let deadline = shared.client_deadline.unwrap_or(Duration::MAX);
     let mut write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
     let mut read_half = stream;
     loop {
-        match read_frame(&mut read_half) {
-            Ok(None) => break,
-            Ok(Some(payload)) => {
+        match read_frame_deadline(&mut read_half, deadline) {
+            Ok(FrameIn::Eof) => break,
+            Ok(FrameIn::Frame(payload)) => {
                 // A subscribe turns the connection into a replication
                 // feed for the rest of its life.
                 if let Ok(Request::ReplSubscribe { from_seq }) = Request::decode(&payload) {
@@ -503,14 +625,23 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                     Ok(req) => shared.handle(req),
                     Err(e) => Response::Err(e.to_string()),
                 };
-                if write_frame(&mut write_half, &resp.encode()).is_err() {
+                if let Err(e) = write_frame(&mut write_half, &resp.encode()) {
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                        ServeCounters::bump(&shared.counters.evicted_conns);
+                    }
                     break;
                 }
             }
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+            Ok(FrameIn::Idle) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
+            }
+            Ok(FrameIn::Stalled) => {
+                // The peer started a frame and went quiet past the
+                // deadline: the stream is desynchronised, drop it.
+                ServeCounters::bump(&shared.counters.evicted_conns);
+                break;
             }
             Err(_) => break,
         }

@@ -1,0 +1,158 @@
+//! Overload-degradation and connection-hygiene tests: reads shed with
+//! `OVERLOADED` when a shard queue is saturated, excess connections are
+//! refused at the door, and a client stalled mid-frame is evicted within
+//! the configured deadline instead of pinning a handler thread forever.
+
+use she_server::codec::{read_frame, write_frame};
+use she_server::protocol::{Request, Response};
+use she_server::{Client, EngineConfig, Server, ServerConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn small_engine() -> EngineConfig {
+    EngineConfig { window: 1 << 12, shards: 1, memory_bytes: 16 << 10, seed: 1 }
+}
+
+/// Raw request/response round trip over an existing socket (the typed
+/// `Client` retries `BUSY`/`OVERLOADED`, which would mask what this file
+/// is testing).
+fn raw_call(sock: &mut TcpStream, req: &Request) -> Response {
+    write_frame(sock, &req.encode()).unwrap();
+    let payload = read_frame(sock).unwrap().expect("server closed unexpectedly");
+    Response::decode(&payload).unwrap()
+}
+
+/// With one shard, a queue of depth 1, and the worker wedged on a huge
+/// batch, a read must come back `OVERLOADED` immediately — not block
+/// behind the write backlog, not `BUSY` (that's the write-side answer).
+#[test]
+fn saturated_queue_sheds_reads_as_overloaded() {
+    let server = Server::start(ServerConfig {
+        engine: small_engine(),
+        queue_capacity: 1,
+        retry_after_ms: 7,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+
+    // Batch A: admitted, worker starts chewing (hundreds of ms in a
+    // debug build). Batch B: fills the queue's single slot. (Batches are
+    // bounded by MAX_BATCH ≈ 131k keys.)
+    let big: Vec<u64> = (0..120_000u64).collect();
+    for _ in 0..2 {
+        let resp = raw_call(&mut sock, &Request::InsertBatch { stream: 0, keys: big.clone() });
+        assert!(matches!(resp, Response::Ok { .. }), "{resp:?}");
+    }
+    // The queue is now full: the read must shed, with the configured
+    // retry hint, while the insert path still owns the next free slot.
+    let t0 = Instant::now();
+    let resp = raw_call(&mut sock, &Request::QueryMember { key: 1 });
+    assert!(
+        matches!(resp, Response::Overloaded { retry_after_ms: 7 }),
+        "expected OVERLOADED with the retry hint, got {resp:?}"
+    );
+    assert!(t0.elapsed() < Duration::from_millis(100), "shed must not block behind the backlog");
+    assert_eq!(server.counters().snapshot().shed_reads, 1);
+
+    server.shutdown();
+    server.join();
+}
+
+/// The typed client's retry loop turns a shed read into a correct answer
+/// once the backlog drains — callers see latency, not failure.
+#[test]
+fn client_retries_shed_reads_to_completion() {
+    let server = Server::start(ServerConfig {
+        engine: small_engine(),
+        queue_capacity: 1,
+        retry_after_ms: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set_op_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Small enough that the backlog drains inside the client's bounded
+    // retry budget, big enough that the first read usually sheds.
+    let big: Vec<u64> = (0..40_000u64).collect();
+    client.insert_batch(0, &big).unwrap();
+    client.insert_batch(0, &big).unwrap();
+    // The answer reflects every admitted insert, shed retries included.
+    // Query the stream's last key — early keys have slid out of the
+    // 4096-item window by now.
+    let last = *big.last().unwrap();
+    assert!(client.query_member(last).unwrap(), "key {last} is inside the sliding window");
+    server.shutdown();
+    server.join();
+}
+
+/// Connections past `max_connections` get one `OVERLOADED` frame and a
+/// close — they never tie up a handler thread.
+#[test]
+fn connection_cap_refuses_with_overloaded() {
+    let server = Server::start(ServerConfig {
+        engine: small_engine(),
+        max_connections: 1,
+        retry_after_ms: 3,
+        ..Default::default()
+    })
+    .unwrap();
+    // First connection: completes a round trip, so its handler (and the
+    // accept-loop bookkeeping) is live before the second connect.
+    let mut first = Client::connect(server.local_addr()).unwrap();
+    first.hello().unwrap();
+
+    let mut second = TcpStream::connect(server.local_addr()).unwrap();
+    second.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let payload = read_frame(&mut second).unwrap().expect("expected a refusal frame, got EOF");
+    let resp = Response::decode(&payload).unwrap();
+    assert!(matches!(resp, Response::Overloaded { .. }), "{resp:?}");
+    // And the socket is closed right after.
+    assert!(matches!(read_frame(&mut second), Ok(None) | Err(_)));
+    assert_eq!(server.counters().snapshot().refused_conns, 1);
+
+    // When the first client leaves, the slot frees up.
+    drop(first);
+    let ok = (0..50).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        Client::connect(server.local_addr()).and_then(|mut c| c.hello()).is_ok()
+    });
+    assert!(ok, "slot must be released when a connection ends");
+
+    server.shutdown();
+    server.join();
+}
+
+/// A client that announces a frame and goes silent is evicted within the
+/// deadline; an idle client (no frame started) is left alone.
+#[test]
+fn stalled_client_is_evicted_but_idle_client_is_not() {
+    let server = Server::start(ServerConfig {
+        engine: small_engine(),
+        client_deadline_ms: 300,
+        ..Default::default()
+    })
+    .unwrap();
+
+    // Idle connection: never sends a byte. Must still be alive later.
+    let mut idle = Client::connect(server.local_addr()).unwrap();
+
+    // Stalled connection: 4-byte header promising 100 bytes, then nothing.
+    let mut stalled = TcpStream::connect(server.local_addr()).unwrap();
+    stalled.write_all(&100u32.to_le_bytes()).unwrap();
+    stalled.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let t0 = Instant::now();
+    // The server closes the connection: read returns EOF (or a reset).
+    let got = read_frame(&mut stalled);
+    assert!(matches!(got, Ok(None) | Err(_)), "expected eviction, got {got:?}");
+    let waited = t0.elapsed();
+    assert!(waited < Duration::from_secs(5), "eviction took {waited:?}, deadline is 300ms");
+    assert_eq!(server.counters().snapshot().evicted_conns, 1);
+
+    // The idle client was not evicted and still works.
+    assert!(idle.hello().is_ok(), "idle connection must survive");
+
+    server.shutdown();
+    server.join();
+}

@@ -58,6 +58,8 @@ fn all_responses() -> Vec<Response> {
         Response::Err("shard queue wedged".to_string()),
         Response::Busy { retry_after_ms: 0 },
         Response::Busy { retry_after_ms: u32::MAX },
+        Response::Overloaded { retry_after_ms: 0 },
+        Response::Overloaded { retry_after_ms: u32::MAX },
         Response::ReplOp(vec![]),
         Response::ReplOp(b"SHEF-opaque-oplog-record".to_vec()),
         Response::ReplHeartbeat { head: 0 },

@@ -184,7 +184,33 @@ echo "replication: both replicas bit-for-bit at seq $N_BATCHES after primary kil
 "$BIN" shutdown --addr "$R2ADDR" >/dev/null
 wait "$R1_PID" || true
 wait "$R2_PID" || true
+ALL_PIDS="$R1_PID $R2_PID"
 R1_PID=
 R2_PID=
+
+# Smokes must not leak server processes: everything we spawned has been
+# waited on above; a survivor here means a shutdown path regressed.
+for pid in $ALL_PIDS; do
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "LEAKED PROCESS: pid $pid survived its smoke test"
+        kill -9 "$pid" 2>/dev/null || true
+        exit 1
+    fi
+done
+
+echo "== chaos soak smoke test (docs/ROBUSTNESS.md)"
+# Deterministic fault-injection soak: primary + replica through a fault
+# proxy, 3 disconnect/kill-restart cycles, bit-for-bit mirror verdict,
+# stalled-client eviction, torn-checkpoint detection. Runs in-process —
+# nothing to leak. Fixed seed; a failure prints it for an exact replay.
+CHAOS_SEED=3405691582
+CHAOS_DIR=$(mktemp -d)
+"$BIN" chaos-soak --seed "$CHAOS_SEED" --cycles 3 --keys 2000 \
+    --dir "$CHAOS_DIR" || {
+    echo "chaos soak FAILED — replay with: she chaos-soak --seed $CHAOS_SEED"
+    rm -rf "$CHAOS_DIR"
+    exit 1
+}
+rm -rf "$CHAOS_DIR"
 
 echo "check.sh: all green"
