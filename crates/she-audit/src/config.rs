@@ -1,0 +1,194 @@
+//! Audit configuration: which crates each rule polices, the lock-rank
+//! manifest, and the ratchet baseline — plus the tiny TOML-subset parser
+//! that reads the two committed manifest files.
+//!
+//! The subset is deliberately small: `[section]` headers, `key = value`
+//! lines (values: bare integers or quoted strings), `#` comments, blank
+//! lines. Anything else is a hard error — manifests are committed files,
+//! so strictness beats leniency.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything the rule engine needs to know beyond the source tree.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// Crates where the panic-path rule applies to non-test code.
+    pub panic_crates: Vec<String>,
+    /// Crates where the truncating-cast rule applies to non-test code.
+    pub cast_crates: Vec<String>,
+    /// Crates where the lock-order rule applies (raw `Mutex::new` banned,
+    /// `OrderedMutex` names cross-checked against the manifest).
+    pub lock_crates: Vec<String>,
+    /// Named lock ranks from `audit-locks.toml` (name → rank).
+    pub locks: BTreeMap<String, u16>,
+    /// Ratchet baseline from `audit-ratchet.toml`: `"rule/crate"` → count.
+    /// Crates absent from the map have an implicit baseline of zero.
+    pub ratchet: BTreeMap<String, u64>,
+    /// Protocol-drift inputs: (path to protocol.rs, path to PROTOCOL.md).
+    /// `None` disables the rule (used by fixture self-tests for other rules).
+    pub protocol: Option<(PathBuf, PathBuf)>,
+}
+
+impl RuleConfig {
+    /// The repo's production configuration, anchored at the workspace
+    /// root. Reads both manifests; missing manifest files are an error —
+    /// the gate must not silently run unratcheted.
+    pub fn for_workspace(root: &Path) -> io::Result<Self> {
+        let locks_doc = parse_toml_file(&root.join("audit-locks.toml"))?;
+        let ratchet_doc = parse_toml_file(&root.join("audit-ratchet.toml"))?;
+
+        let mut locks = BTreeMap::new();
+        for ((section, key), value) in &locks_doc {
+            if section != "locks" {
+                return Err(bad(format!("audit-locks.toml: unknown section [{section}]")));
+            }
+            let Value::Int(rank) = value else {
+                return Err(bad(format!("audit-locks.toml: rank for {key} must be an integer")));
+            };
+            let rank = u16::try_from(*rank)
+                .map_err(|_| bad(format!("audit-locks.toml: rank for {key} out of u16 range")))?;
+            locks.insert(key.clone(), rank);
+        }
+
+        let mut ratchet = BTreeMap::new();
+        for ((section, key), value) in &ratchet_doc {
+            if section != "panic" && section != "cast" {
+                return Err(bad(format!("audit-ratchet.toml: unknown section [{section}]")));
+            }
+            let Value::Int(n) = value else {
+                return Err(bad(format!("audit-ratchet.toml: {section}.{key} must be an integer")));
+            };
+            let n = u64::try_from(*n)
+                .map_err(|_| bad(format!("audit-ratchet.toml: {section}.{key} is negative")))?;
+            ratchet.insert(format!("{section}/{key}"), n);
+        }
+
+        Ok(RuleConfig {
+            panic_crates: vec![
+                "she-server".into(),
+                "she-replica".into(),
+                "she-core".into(),
+                "she-chaos".into(),
+                "she-cli".into(),
+            ],
+            cast_crates: vec![
+                "she-core".into(),
+                "she-sketch".into(),
+                "she-server".into(),
+                "she-replica".into(),
+            ],
+            lock_crates: vec![
+                "she-server".into(),
+                "she-replica".into(),
+                "she-core".into(),
+                "she-chaos".into(),
+            ],
+            locks,
+            ratchet,
+            protocol: Some((
+                root.join("crates/she-server/src/protocol.rs"),
+                root.join("docs/PROTOCOL.md"),
+            )),
+        })
+    }
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A bare integer.
+    Int(i64),
+    /// A double-quoted string (no escape processing).
+    Str(String),
+}
+
+/// A parsed manifest entry: `(section, key)` mapped to its value, in
+/// file order.
+pub type TomlEntry = ((String, String), Value);
+
+/// Parse a manifest file into ((section, key) → value), preserving order.
+pub fn parse_toml_file(path: &Path) -> io::Result<Vec<TomlEntry>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+    parse_toml(&text).map_err(|msg| bad(format!("{}: {msg}", path.display())))
+}
+
+/// Parse TOML-subset text. Returns `Err(message)` on anything outside the
+/// subset; `message` includes the 1-based line number.
+pub fn parse_toml(text: &str) -> Result<Vec<TomlEntry>, String> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            // A '#' inside a quoted value is part of the value, not a
+            // comment; only strip when it isn't inside quotes.
+            Some(h) if raw[..h].matches('"').count() % 2 == 0 => &raw[..h],
+            _ => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(format!("line {lineno}: empty section header"));
+            }
+            section = name.to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if key.is_empty() {
+            return Err(format!("line {lineno}: empty key"));
+        }
+        let parsed = if let Some(s) = value.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+            Value::Str(s.to_string())
+        } else if let Ok(n) = value.parse::<i64>() {
+            Value::Int(n)
+        } else {
+            return Err(format!(
+                "line {lineno}: value `{value}` is neither an integer nor a quoted string"
+            ));
+        };
+        out.push(((section.clone(), key.to_string()), parsed));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_comments() {
+        let doc =
+            parse_toml("# ranks\n[locks]\nrepl-log = 10 # the log\n\n[other]\nname = \"x # y\"\n")
+                .expect("parses");
+        assert_eq!(
+            doc,
+            vec![
+                (("locks".into(), "repl-log".into()), Value::Int(10)),
+                (("other".into(), "name".into()), Value::Str("x # y".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_toml("just words\n").is_err());
+        assert!(parse_toml("[locks]\nk = [1, 2]\n").is_err());
+        assert!(parse_toml("[]\n").is_err());
+        assert!(parse_toml(" = 3\n").is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! # she-audit — the workspace's static-analysis gate
+//!
+//! A dependency-free auditor that lexes every Rust source file in the
+//! workspace and enforces repo-specific invariants `cargo clippy` cannot
+//! express. Four rules ship today (see [`rules`]):
+//!
+//! | rule       | invariant |
+//! |------------|-----------|
+//! | `panic`    | no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test serving code |
+//! | `cast`     | no narrowing `as` casts in cell-index / frame-length math |
+//! | `lock`     | every mutex is a ranked `OrderedMutex`; manifest and source agree |
+//! | `protocol` | opcode constants and `docs/PROTOCOL.md` tables agree |
+//!
+//! `panic` and `cast` are **ratcheted**: `audit-ratchet.toml` commits a
+//! per-crate finding count, and the gate fails when the live count moves
+//! in *either* direction — growth is a regression, shrinkage must be
+//! banked by tightening the committed number so it can never grow back.
+//! `lock` and `protocol` findings, and malformed `audit:allow`
+//! annotations, fail the gate unconditionally.
+//!
+//! The entry point is [`audit`]; `she audit` (in `she-cli`) is a thin
+//! wrapper that prints [`Audit::findings`] and exits nonzero when
+//! [`Audit::ok`] is false. See `docs/ANALYSIS.md` for the rule
+//! catalogue, the annotation syntax, and the ratchet workflow.
+
+mod config;
+mod lexer;
+mod walk;
+
+pub mod rules;
+
+pub use config::{parse_toml, parse_toml_file, RuleConfig, TomlEntry, Value};
+pub use lexer::{lex, Lexed, TokKind, Token};
+pub use rules::Finding;
+pub use walk::{discover, SourceFile};
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use rules::lock_order::LockScan;
+
+/// The result of one audit run.
+#[derive(Debug)]
+pub struct Audit {
+    /// Every finding, in deterministic (path, line) order — including
+    /// ratcheted findings that are at (not above) their baseline.
+    pub findings: Vec<Finding>,
+    /// One line per gate violation; empty means the gate passes.
+    pub gate_failures: Vec<String>,
+    /// Every `.lock()` call site, for `she audit --list-locks`.
+    pub lock_sites: Vec<String>,
+    /// Number of source files lexed.
+    pub files_scanned: usize,
+}
+
+impl Audit {
+    /// Does the tree pass the gate?
+    pub fn ok(&self) -> bool {
+        self.gate_failures.is_empty()
+    }
+
+    /// The findings in rules that are currently failing the gate — the
+    /// list worth printing when the gate trips (at-baseline ratcheted
+    /// findings are noise on an unrelated failure).
+    pub fn failing_findings(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| {
+                self.gate_failures.iter().any(|g| {
+                    g.starts_with(&format!("{}:", f.rule))
+                        && (f.crate_name.is_empty() || g.contains(&f.crate_name))
+                })
+            })
+            .collect()
+    }
+}
+
+/// Run every rule over the workspace rooted at `root`.
+pub fn audit(root: &Path, cfg: &RuleConfig) -> io::Result<Audit> {
+    let files = discover(root)?;
+    let mut findings = Vec::new();
+    let mut lock_scan = LockScan::default();
+    let mut files_scanned = 0usize;
+
+    for file in &files {
+        let policed = !file.test_only
+            && (cfg.panic_crates.contains(&file.crate_name)
+                || cfg.cast_crates.contains(&file.crate_name)
+                || cfg.lock_crates.contains(&file.crate_name));
+        if !policed {
+            continue;
+        }
+        let src = std::fs::read_to_string(&file.abs_path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", file.rel_path)))?;
+        let lx = lexer::lex(&src);
+        files_scanned += 1;
+
+        for &line in &lx.malformed_allows {
+            findings.push(Finding {
+                rule: "allow",
+                crate_name: file.crate_name.clone(),
+                file: file.rel_path.clone(),
+                line,
+                msg: "malformed audit:allow annotation (syntax: `// audit:allow(<rule>): <reason>`, reason required)".to_string(),
+            });
+        }
+        if cfg.panic_crates.contains(&file.crate_name) {
+            findings.extend(rules::panic_path::check(&file.crate_name, &file.rel_path, &lx));
+        }
+        if cfg.cast_crates.contains(&file.crate_name) {
+            findings.extend(rules::cast::check(&file.crate_name, &file.rel_path, &lx));
+        }
+        if cfg.lock_crates.contains(&file.crate_name) {
+            lock_scan.scan_file(&file.crate_name, &file.rel_path, &lx);
+        }
+    }
+
+    let (lock_findings, lock_sites) = lock_scan.finish(&cfg.locks);
+    findings.extend(lock_findings);
+
+    if let Some((rs, md)) = &cfg.protocol {
+        findings.extend(rules::protocol_drift::check(rs, md)?);
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    let gate_failures = evaluate_gate(&findings, cfg);
+    Ok(Audit { findings, gate_failures, lock_sites, files_scanned })
+}
+
+/// Ratchet + hard-rule gate semantics.
+fn evaluate_gate(findings: &[Finding], cfg: &RuleConfig) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    // Hard rules: any finding fails the gate.
+    for (rule, label) in
+        [("lock", "lock-order"), ("protocol", "protocol-drift"), ("allow", "allow-syntax")]
+    {
+        let n = findings.iter().filter(|f| f.rule == rule).count();
+        if n > 0 {
+            failures.push(format!("{rule}: {n} {label} finding(s)"));
+        }
+    }
+
+    // Ratcheted rules: per-crate counts must equal the committed baseline.
+    for (rule, crates) in [("panic", &cfg.panic_crates), ("cast", &cfg.cast_crates)] {
+        let mut counts: BTreeMap<&str, u64> = crates.iter().map(|c| (c.as_str(), 0)).collect();
+        for f in findings.iter().filter(|f| f.rule == rule) {
+            if let Some(n) = counts.get_mut(f.crate_name.as_str()) {
+                *n += 1;
+            }
+        }
+        // A ratchet entry for a crate the rule doesn't police is a
+        // config bug — surface it instead of silently ignoring it.
+        for key in cfg.ratchet.keys() {
+            if let Some(crate_name) = key.strip_prefix(&format!("{rule}/")) {
+                if !counts.contains_key(crate_name) {
+                    failures.push(format!(
+                        "{rule}: ratchet entry for unknown crate `{crate_name}` in audit-ratchet.toml"
+                    ));
+                }
+            }
+        }
+        for (crate_name, &count) in &counts {
+            let baseline = cfg.ratchet.get(&format!("{rule}/{crate_name}")).copied().unwrap_or(0);
+            if count > baseline {
+                failures.push(format!(
+                    "{rule}: {crate_name} has {count} finding(s), baseline {baseline} — fix them or annotate with a reason"
+                ));
+            } else if count < baseline {
+                failures.push(format!(
+                    "{rule}: {crate_name} improved to {count} finding(s), baseline {baseline} — tighten audit-ratchet.toml so the gains can't regress"
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_for(ratchet: &[(&str, u64)]) -> RuleConfig {
+        RuleConfig {
+            panic_crates: vec!["demo".into()],
+            cast_crates: vec!["demo".into()],
+            lock_crates: vec!["demo".into()],
+            locks: BTreeMap::new(),
+            ratchet: ratchet.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            protocol: None,
+        }
+    }
+
+    fn tree(name: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+        let tmp = std::env::temp_dir().join(format!("she-audit-{name}-{}", std::process::id()));
+        for (p, body) in files {
+            let f = tmp.join(p);
+            std::fs::create_dir_all(f.parent().expect("parent")).expect("mkdir");
+            std::fs::write(&f, body).expect("write");
+        }
+        tmp
+    }
+
+    #[test]
+    fn ratchet_fails_on_growth_and_on_unbanked_shrinkage() {
+        let tmp = tree(
+            "ratchet",
+            &[("crates/demo/src/lib.rs", "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n")],
+        );
+        // Baseline 0: one finding over → gate fails with "fix them".
+        let cfg = cfg_for(&[]);
+        let a = audit(&tmp, &cfg).expect("audit");
+        assert!(!a.ok());
+        assert!(a.gate_failures.iter().any(|g| g.contains("baseline 0") && g.contains("fix")));
+
+        // Baseline 1: at baseline → gate passes, finding still listed.
+        let cfg = cfg_for(&[("panic/demo", 1)]);
+        let a = audit(&tmp, &cfg).expect("audit");
+        assert!(a.ok(), "{:?}", a.gate_failures);
+        assert_eq!(a.findings.len(), 1);
+
+        // Baseline 2: below baseline → gate demands tightening.
+        let cfg = cfg_for(&[("panic/demo", 2)]);
+        let a = audit(&tmp, &cfg).expect("audit");
+        assert!(a.gate_failures.iter().any(|g| g.contains("tighten")));
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn ratchet_entry_for_unknown_crate_is_flagged() {
+        let tmp = tree("unknown", &[("crates/demo/src/lib.rs", "pub fn f() {}\n")]);
+        let cfg = cfg_for(&[("panic/ghost", 3)]);
+        let a = audit(&tmp, &cfg).expect("audit");
+        assert!(a.gate_failures.iter().any(|g| g.contains("unknown crate `ghost`")));
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn unpoliced_crates_and_test_files_are_skipped() {
+        let tmp = tree(
+            "skip",
+            &[
+                ("crates/other/src/lib.rs", "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n"),
+                ("crates/demo/tests/it.rs", "fn t(x: Option<u8>) -> u8 { x.unwrap() }\n"),
+            ],
+        );
+        let cfg = cfg_for(&[]);
+        let a = audit(&tmp, &cfg).expect("audit");
+        assert!(a.ok(), "{:?}", a.gate_failures);
+        assert!(a.findings.is_empty());
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

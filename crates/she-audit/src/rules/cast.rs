@@ -1,0 +1,71 @@
+//! **truncating-cast** — non-test code in the policed crates must not use
+//! narrowing `as` casts (`as u8/u16/u32/i8/i16/i32`). On the serving path
+//! a silently truncated cell index or frame length corrupts data without
+//! an error; use `try_from` or the checked helpers in `she-core::convert`
+//! instead. Sites with a proven bound carry
+//! `// audit:allow(cast): <reason>`.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::rules::Finding;
+
+const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Run the rule over one lexed non-test-only file.
+pub fn check(crate_name: &str, file: &str, lx: &Lexed) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else { continue };
+        if target.kind != TokKind::Ident || !NARROW.contains(&target.text.as_str()) {
+            continue;
+        }
+        // `use path as u8` can't happen (keywords), so any `as <narrow>`
+        // is a cast expression. Skip numeric-literal suffix-style casts
+        // like `0xFF as u8`: the value is constant and visible, the cast
+        // cannot truncate at runtime.
+        if i > 0 && toks[i - 1].kind == TokKind::Num {
+            continue;
+        }
+        if lx.in_test(t.line) || lx.allowed("cast", t.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "cast",
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            line: t.line,
+            msg: format!("narrowing `as {}` cast (use try_from/checked helpers, or annotate `// audit:allow(cast): <reason>`)", target.text),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lines(src: &str) -> Vec<u32> {
+        check("c", "f.rs", &lex(src)).into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn flags_narrowing_casts_only() {
+        let src = "fn f(n: usize) {\n    let a = n as u32;\n    let b = n as u64;\n    let c = n as u16;\n    let d = n as usize;\n    let e = n as f64;\n}";
+        assert_eq!(lines(src), [2, 4]);
+    }
+
+    #[test]
+    fn constant_literal_casts_are_fine() {
+        assert!(lines("const M: u8 = 0xFF as u8; fn f() { let x = 300 as u16; }").is_empty());
+    }
+
+    #[test]
+    fn allow_and_tests_suppress() {
+        let src = "fn f(n: usize) {\n    let a = n as u32; // audit:allow(cast): n < SHARDS <= 256\n}\n#[cfg(test)]\nmod t {\n    fn g(n: usize) -> u8 { n as u8 }\n}";
+        assert!(lines(src).is_empty());
+    }
+}

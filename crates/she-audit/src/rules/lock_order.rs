@@ -1,0 +1,214 @@
+//! **lock-order** — every mutex in the policed crates must be a named
+//! [`OrderedMutex`](../../../she-core/src/ordered.rs) whose name has a
+//! rank in the committed `audit-locks.toml` manifest. The wrapper panics
+//! (debug/test builds) when a lock is acquired while holding one of equal
+//! or higher rank, turning a potential deadlock into a deterministic test
+//! failure; this rule keeps the manifest and the source in lock-step:
+//!
+//! * raw `Mutex::new(...)` in non-test code is a finding (annotate
+//!   `// audit:allow(lock): <reason>` for the wrapper's own internals);
+//! * an `OrderedMutex::new("name", ...)` whose name is missing from the
+//!   manifest is a finding;
+//! * a manifest entry no source file uses is a stale finding;
+//! * two manifest entries sharing a rank is a finding (ranks are a total
+//!   order).
+//!
+//! `.lock()` call sites are also collected, for `she audit --list-locks`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, TokKind};
+use crate::rules::Finding;
+
+/// Cross-file scan state; feed every policed file, then call
+/// [`LockScan::finish`].
+#[derive(Debug, Default)]
+pub struct LockScan {
+    findings: Vec<Finding>,
+    used_names: BTreeSet<String>,
+    /// `file:line — crate` for every `.lock()` call site (tests included;
+    /// the listing is for humans mapping the lock graph).
+    pub sites: Vec<String>,
+}
+
+impl LockScan {
+    /// Scan one lexed file from a policed crate.
+    pub fn scan_file(&mut self, crate_name: &str, file: &str, lx: &Lexed) {
+        let toks = &lx.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let path_new = |name: &str| -> bool {
+                t.text == name
+                    && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|a| a.is_ident("new"))
+            };
+            if path_new("Mutex") && !lx.in_test(t.line) && !lx.allowed("lock", t.line) {
+                self.findings.push(Finding {
+                    rule: "lock",
+                    crate_name: crate_name.to_string(),
+                    file: file.to_string(),
+                    line: t.line,
+                    msg: "raw Mutex::new in a lock-order-policed crate (use she_core::OrderedMutex with a rank in audit-locks.toml)".to_string(),
+                });
+            }
+            // Tests may construct OrderedMutexes with any manifest name
+            // (e.g. to prove out-of-rank acquisition panics); only
+            // non-test constructions bind the manifest.
+            if path_new("OrderedMutex") && !lx.in_test(t.line) {
+                match toks.get(i + 5) {
+                    Some(arg)
+                        if arg.kind == TokKind::Str
+                            && toks.get(i + 4).is_some_and(|a| a.is_punct('(')) =>
+                    {
+                        self.used_names.insert(arg.text.clone());
+                        // Unknown names are reported in finish(), where
+                        // the manifest is in hand.
+                        self.findings.push(Finding {
+                            rule: "lock",
+                            crate_name: crate_name.to_string(),
+                            file: file.to_string(),
+                            line: t.line,
+                            msg: format!("__name__:{}", arg.text),
+                        });
+                    }
+                    _ => self.findings.push(Finding {
+                        rule: "lock",
+                        crate_name: crate_name.to_string(),
+                        file: file.to_string(),
+                        line: t.line,
+                        msg: "OrderedMutex::new without a string-literal name (the audit must be able to read the name statically)".to_string(),
+                    }),
+                }
+            }
+            if t.is_ident("lock")
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                self.sites.push(format!("{file}:{} — {crate_name}", t.line));
+            }
+        }
+    }
+
+    /// Resolve name placeholders against the manifest and check the
+    /// manifest itself. Consumes the scan.
+    pub fn finish(self, manifest: &BTreeMap<String, u16>) -> (Vec<Finding>, Vec<String>) {
+        let mut out = Vec::new();
+        for f in self.findings {
+            if let Some(name) = f.msg.strip_prefix("__name__:") {
+                if !manifest.contains_key(name) {
+                    out.push(Finding {
+                        msg: format!(
+                            "OrderedMutex name \"{name}\" has no rank in audit-locks.toml"
+                        ),
+                        ..f
+                    });
+                }
+            } else {
+                out.push(f);
+            }
+        }
+        for name in manifest.keys() {
+            if !self.used_names.contains(name) {
+                out.push(Finding {
+                    rule: "lock",
+                    crate_name: String::new(),
+                    file: "audit-locks.toml".to_string(),
+                    line: 0,
+                    msg: format!(
+                        "stale manifest entry: no OrderedMutex named \"{name}\" in the source tree"
+                    ),
+                });
+            }
+        }
+        let mut by_rank: BTreeMap<u16, Vec<&String>> = BTreeMap::new();
+        for (name, rank) in manifest {
+            by_rank.entry(*rank).or_default().push(name);
+        }
+        for (rank, names) in by_rank {
+            if names.len() > 1 {
+                out.push(Finding {
+                    rule: "lock",
+                    crate_name: String::new(),
+                    file: "audit-locks.toml".to_string(),
+                    line: 0,
+                    msg: format!(
+                        "duplicate rank {rank} for locks {:?} (ranks must be a total order)",
+                        names
+                    ),
+                });
+            }
+        }
+        (out, self.sites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(srcs: &[&str], manifest: &[(&str, u16)]) -> Vec<String> {
+        let mut scan = LockScan::default();
+        for (i, src) in srcs.iter().enumerate() {
+            scan.scan_file("c", &format!("f{i}.rs"), &lex(src));
+        }
+        let m: BTreeMap<String, u16> = manifest.iter().map(|(n, r)| (n.to_string(), *r)).collect();
+        scan.finish(&m).0.into_iter().map(|f| f.msg).collect()
+    }
+
+    #[test]
+    fn raw_mutex_is_flagged_ordered_is_not() {
+        let msgs = run(
+            &["fn f() { let m = Mutex::new(0); let o = OrderedMutex::new(\"a\", 0); }"],
+            &[("a", 10)],
+        );
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("raw Mutex::new"));
+    }
+
+    #[test]
+    fn allow_suppresses_raw_mutex() {
+        let msgs = run(
+            &["// audit:allow(lock): this IS the wrapper\nfn f() { let m = Mutex::new(0); }"],
+            &[],
+        );
+        assert!(msgs.is_empty());
+    }
+
+    #[test]
+    fn unknown_name_and_stale_entry_are_findings() {
+        let msgs =
+            run(&["fn f() { let o = OrderedMutex::new(\"mystery\", 0); }"], &[("listed", 10)]);
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs.iter().any(|m| m.contains("\"mystery\" has no rank")));
+        assert!(msgs.iter().any(|m| m.contains("stale manifest entry") && m.contains("listed")));
+    }
+
+    #[test]
+    fn duplicate_rank_is_a_finding() {
+        let msgs = run(
+            &["fn f() { OrderedMutex::new(\"a\", 0); OrderedMutex::new(\"b\", 0); }"],
+            &[("a", 7), ("b", 7)],
+        );
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("duplicate rank 7"));
+    }
+
+    #[test]
+    fn non_literal_name_is_flagged() {
+        let msgs = run(&["fn f(n: &str) { OrderedMutex::new(n, 0); }"], &[]);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("without a string-literal name"));
+    }
+
+    #[test]
+    fn lock_sites_are_collected() {
+        let mut scan = LockScan::default();
+        scan.scan_file("c", "f.rs", &lex("fn f() { m.lock(); g.lock.poisoned; }"));
+        assert_eq!(scan.sites, ["f.rs:1 — c"]);
+    }
+}

@@ -1,0 +1,36 @@
+//! The audit rules. Each rule consumes lexed files and produces
+//! [`Finding`]s; the engine in `lib.rs` layers the ratchet and gate
+//! semantics on top.
+
+pub mod cast;
+pub mod lock_order;
+pub mod panic_path;
+pub mod protocol_drift;
+
+use std::fmt;
+
+/// One audit finding: a rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule key: `panic`, `cast`, `lock`, or `protocol`.
+    pub rule: &'static str,
+    /// Crate the finding is in (empty for cross-file protocol findings).
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 when the finding has no single line, e.g. a
+    /// manifest entry with no source counterpart).
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.msg)
+        } else {
+            write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! **panic-path** — non-test code in the policed crates must not contain
+//! `.unwrap()`, `.expect(...)`, `panic!(...)`, or `unreachable!(...)`.
+//! A panic on the serving path kills a shard worker or a connection
+//! handler; the chaos soak proved that is a real availability bug, not a
+//! style nit. Sites that are provably safe carry
+//! `// audit:allow(panic): <reason>` and are skipped (the reason is
+//! mandatory — a malformed annotation is itself a finding).
+
+use crate::lexer::{Lexed, TokKind};
+use crate::rules::Finding;
+
+/// Run the rule over one lexed non-test-only file.
+pub fn check(crate_name: &str, file: &str, lx: &Lexed) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            // Method calls: require a leading `.` so definitions and
+            // mentions (e.g. `Option::unwrap` in a doc path) don't fire,
+            // and a trailing `(` so field names don't.
+            "unwrap" | "expect" => {
+                let dotted = i > 0 && toks[i - 1].is_punct('.');
+                let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if dotted && called {
+                    format!(".{}()", t.text)
+                } else {
+                    continue;
+                }
+            }
+            // Macros: `panic !` / `unreachable !`.
+            "panic" | "unreachable" => {
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    format!("{}!", t.text)
+                } else {
+                    continue;
+                }
+            }
+            _ => continue,
+        };
+        if lx.in_test(t.line) || lx.allowed("panic", t.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "panic",
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            line: t.line,
+            msg: format!("{what} in non-test code (annotate `// audit:allow(panic): <reason>` if provably safe)"),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(src: &str) -> Vec<(u32, String)> {
+        check("c", "f.rs", &lex(src)).into_iter().map(|f| (f.line, f.msg)).collect()
+    }
+
+    #[test]
+    fn flags_the_four_forms() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n    unreachable!();\n}";
+        let got = findings(src);
+        assert_eq!(got.len(), 4);
+        assert!(got[0].1.contains(".unwrap()"));
+        assert!(got[1].1.contains(".expect()"));
+        assert!(got[2].1.contains("panic!"));
+        assert!(got[3].1.contains("unreachable!"));
+    }
+
+    #[test]
+    fn skips_tests_allows_and_lookalikes() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or(0) // not unwrap()\n}\nfn g() {\n    q.unwrap(); // audit:allow(panic): queue is non-empty by the check above\n}\n#[cfg(test)]\nmod tests {\n    fn t() { z.unwrap(); }\n}";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn allow_for_a_different_rule_does_not_suppress() {
+        let src = "fn g() {\n    q.unwrap(); // audit:allow(cast): wrong key\n}";
+        assert_eq!(findings(src).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_invisible() {
+        let src = "fn f() {\n    let s = \"x.unwrap()\";\n    // y.unwrap()\n    let r = r#\"panic!()\"#;\n}";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Workspace source discovery: find every `.rs` file, attribute it to a
+//! crate, and mark files that are test-only by location (`tests/`,
+//! `benches/`, `examples/` directories are integration-test surface; the
+//! rules skip them entirely).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for auditing.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Crate the file belongs to (directory name under `crates/`, or the
+    /// workspace root package's name for `src/` at the root).
+    pub crate_name: String,
+    /// Path relative to the workspace root (for reporting).
+    pub rel_path: String,
+    /// Absolute path (for reading).
+    pub abs_path: PathBuf,
+    /// True when the file lives under `tests/`, `benches/`, or
+    /// `examples/` — audited rules skip it wholesale.
+    pub test_only: bool,
+}
+
+/// Discover the workspace's Rust sources: `<root>/src/**.rs` plus
+/// `<root>/crates/*/{src,tests,benches,examples}/**.rs`. `target/` and
+/// hidden directories are never entered. Results are sorted by path so
+/// findings are deterministic.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect(&root_src, root, "she", false, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let Some(name) = dir.file_name().and_then(|n| n.to_str()) else { continue };
+            let crate_name = name.to_string();
+            for (sub, test_only) in
+                [("src", false), ("tests", true), ("benches", true), ("examples", true)]
+            {
+                let d = dir.join(sub);
+                if d.is_dir() {
+                    collect(&d, root, &crate_name, test_only, &mut out)?;
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn collect(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    test_only: bool,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect(&path, root, crate_name, test_only, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+            out.push(SourceFile {
+                crate_name: crate_name.to_string(),
+                rel_path: rel,
+                abs_path: path,
+                test_only,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_and_classifies() {
+        let tmp = std::env::temp_dir().join(format!("she-audit-walk-{}", std::process::id()));
+        let mk = |p: &str| {
+            let f = tmp.join(p);
+            std::fs::create_dir_all(f.parent().expect("parent")).expect("mkdir");
+            std::fs::write(&f, "fn x() {}\n").expect("write");
+        };
+        mk("src/main.rs");
+        mk("crates/she-core/src/lib.rs");
+        mk("crates/she-core/src/rules/deep.rs");
+        mk("crates/she-core/tests/it.rs");
+        mk("crates/she-core/benches/b.rs");
+        let files = discover(&tmp).expect("discover");
+        std::fs::remove_dir_all(&tmp).ok();
+
+        let rels: Vec<(&str, &str, bool)> = files
+            .iter()
+            .map(|f| (f.crate_name.as_str(), f.rel_path.as_str(), f.test_only))
+            .collect();
+        assert_eq!(
+            rels,
+            vec![
+                ("she-core", "crates/she-core/benches/b.rs", true),
+                ("she-core", "crates/she-core/src/lib.rs", false),
+                ("she-core", "crates/she-core/src/rules/deep.rs", false),
+                ("she-core", "crates/she-core/tests/it.rs", true),
+                ("she", "src/main.rs", false),
+            ]
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Deliberately rule-violating fixture. Never compiled — only lexed by
+//! `tests/audit_self.rs`, which asserts every audit rule fires on this
+//! file. If you add a rule to she-audit, add a violation here.
+
+use std::sync::Mutex;
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn last(v: &[u32]) -> u32 {
+    *v.last().expect("non-empty")
+}
+
+pub fn low_half(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn raw_lock() -> Mutex<u32> {
+    Mutex::new(0)
+}
+
+pub fn ghost_lock() {
+    let _m = she_core::OrderedMutex::new("ghost", 0u8);
+}
+
+// audit:allow(panic)
+pub fn malformed_allow_above() {
+    panic!("the allow above has no reason, so it is itself a finding");
+}
+
+pub fn boom() -> ! {
+    unreachable!("unannotated")
+}

@@ -1,0 +1,36 @@
+//! Rule-clean fixture. Never compiled — only lexed by
+//! `tests/audit_self.rs`, which asserts the audit reports zero findings
+//! here: checked conversions instead of casts, a ranked OrderedMutex
+//! instead of a raw mutex, a properly-annotated allow, and unwraps only
+//! inside test code.
+
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn low_half(x: u64) -> u32 {
+    u32::try_from(x & 0xFFFF_FFFF).unwrap_or(u32::MAX)
+}
+
+pub fn ranked_lock() -> u32 {
+    let m = she_core::OrderedMutex::new("listed", 7u32);
+    *m.lock()
+}
+
+pub fn annotated() -> u32 {
+    // audit:allow(panic): fixture exercising a well-formed allow
+    [1u32].first().copied().unwrap()
+}
+
+// A string mentioning Mutex::new must not confuse the lexer:
+pub const DOC: &str = "call Mutex::new(0) and x as u32 here";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        assert_eq!(super::first(&[3]).unwrap(), 3);
+        let v: u32 = u32::try_from(5u64).unwrap();
+        assert_eq!(v, 5);
+    }
+}

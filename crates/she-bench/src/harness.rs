@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// A named group of benchmarks (mirrors Criterion's `benchmark_group`).
+#[derive(Debug)]
 pub struct Group {
     measure: Duration,
     passes: usize,

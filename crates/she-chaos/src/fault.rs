@@ -2,9 +2,10 @@
 //! *deterministic schedule* of it. Every decision is drawn from a seeded
 //! [`Xoshiro256`], so a failing run replays bit-for-bit from its seed.
 
+use she_core::{OrderedGuard, OrderedMutex};
 use she_hash::{mix64, RandomSource, Xoshiro256};
 use she_metrics::FaultCounters;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Fault probabilities (per I/O operation) plus the master seed.
@@ -111,9 +112,10 @@ pub enum FileFault {
 /// thread timing, or any other injector. [`Faults::derive`] hands out
 /// per-connection injectors that share the counters but not the RNG, so
 /// concurrent connections stay individually reproducible.
+#[derive(Debug)]
 pub struct Faults {
     cfg: FaultConfig,
-    rng: Mutex<Xoshiro256>,
+    rng: OrderedMutex<Xoshiro256>,
     counters: Arc<FaultCounters>,
 }
 
@@ -125,7 +127,11 @@ impl Faults {
 
     /// A root injector tallying into existing counters.
     pub fn with_counters(cfg: FaultConfig, counters: Arc<FaultCounters>) -> Self {
-        Self { cfg, rng: Mutex::new(Xoshiro256::new(mix64(cfg.seed))), counters }
+        Self {
+            cfg,
+            rng: OrderedMutex::new("chaos-rng", Xoshiro256::new(mix64(cfg.seed))),
+            counters,
+        }
     }
 
     /// A child injector whose schedule depends only on `(seed, salt)`,
@@ -133,7 +139,10 @@ impl Faults {
     pub fn derive(&self, salt: u64) -> Faults {
         Faults {
             cfg: self.cfg,
-            rng: Mutex::new(Xoshiro256::new(mix64(self.cfg.seed ^ mix64(salt)))),
+            rng: OrderedMutex::new(
+                "chaos-rng",
+                Xoshiro256::new(mix64(self.cfg.seed ^ mix64(salt))),
+            ),
             counters: Arc::clone(&self.counters),
         }
     }
@@ -148,8 +157,8 @@ impl Faults {
         &self.cfg
     }
 
-    fn rng(&self) -> std::sync::MutexGuard<'_, Xoshiro256> {
-        self.rng.lock().unwrap_or_else(|p| p.into_inner())
+    fn rng(&self) -> OrderedGuard<'_, Xoshiro256> {
+        self.rng.lock()
     }
 
     /// Decide the fault (if any) for one read/write of `len` bytes.

@@ -62,6 +62,7 @@ fn injected_crash() -> io::Error {
 }
 
 /// A file-writing shim with injected disk faults.
+#[derive(Debug)]
 pub struct ChaosFs {
     faults: Faults,
 }

@@ -11,26 +11,29 @@
 
 use crate::fault::{FaultConfig, Faults};
 use crate::stream::ChaosStream;
+use she_core::OrderedMutex;
 use she_metrics::FaultCounters;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How often pump threads wake to poll the stop flag.
 const PUMP_POLL: Duration = Duration::from_millis(50);
 
+#[derive(Debug)]
 struct ProxyShared {
     stop: AtomicBool,
     /// Raw sockets of live links, kept so `sever` can cut them all.
-    links: Mutex<Vec<TcpStream>>,
-    pumps: Mutex<Vec<JoinHandle<()>>>,
+    links: OrderedMutex<Vec<TcpStream>>,
+    pumps: OrderedMutex<Vec<JoinHandle<()>>>,
     conn_seq: AtomicU64,
 }
 
 /// A running fault proxy; see the module docs.
+#[derive(Debug)]
 pub struct ChaosProxy {
     local_addr: SocketAddr,
     shared: Arc<ProxyShared>,
@@ -46,8 +49,8 @@ impl ChaosProxy {
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ProxyShared {
             stop: AtomicBool::new(false),
-            links: Mutex::new(Vec::new()),
-            pumps: Mutex::new(Vec::new()),
+            links: OrderedMutex::new("chaos-links", Vec::new()),
+            pumps: OrderedMutex::new("chaos-pumps", Vec::new()),
             conn_seq: AtomicU64::new(0),
         });
         let faults = Arc::new(Faults::new(cfg));
@@ -73,7 +76,7 @@ impl ChaosProxy {
     /// Cut every live link (both directions). New connections are still
     /// accepted — this is a blip, not an outage.
     pub fn sever(&self) {
-        let mut links = self.shared.links.lock().unwrap_or_else(|p| p.into_inner());
+        let mut links = self.shared.links.lock();
         for s in links.drain(..) {
             let _ = s.shutdown(Shutdown::Both);
         }
@@ -86,7 +89,7 @@ impl ChaosProxy {
         self.sever();
         let _ = self.accept_thread.join();
         let pumps = {
-            let mut g = self.shared.pumps.lock().unwrap_or_else(|p| p.into_inner());
+            let mut g = self.shared.pumps.lock();
             std::mem::take(&mut *g)
         };
         for p in pumps {
@@ -125,7 +128,7 @@ fn accept_loop(
             continue;
         };
         {
-            let mut links = shared.links.lock().unwrap_or_else(|p| p.into_inner());
+            let mut links = shared.links.lock();
             if let (Ok(cl), Ok(sl)) = (client.try_clone(), server.try_clone()) {
                 links.push(cl);
                 links.push(sl);
@@ -150,7 +153,7 @@ fn accept_loop(
         {
             handles.push(h);
         }
-        shared.pumps.lock().unwrap_or_else(|p| p.into_inner()).extend(handles);
+        shared.pumps.lock().extend(handles);
     }
 }
 

@@ -22,6 +22,7 @@ use std::io::{self, Read, Write};
 /// A fault-injecting transport wrapper. `S` is typically a `TcpStream`
 /// (or one half of a proxy pipe), but any `Read + Write` works — tests
 /// wrap in-memory buffers.
+#[derive(Debug)]
 pub struct ChaosStream<S> {
     inner: S,
     faults: Faults,
@@ -58,8 +59,8 @@ impl<S: Read> Read for ChaosStream<S> {
         }
         if !self.stash.is_empty() {
             let n = buf.len().min(self.stash.len());
-            for slot in buf.iter_mut().take(n) {
-                *slot = self.stash.pop_front().expect("stash length checked");
+            for (slot, b) in buf.iter_mut().zip(self.stash.drain(..n)) {
+                *slot = b;
             }
             return Ok(n);
         }

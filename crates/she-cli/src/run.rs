@@ -57,6 +57,9 @@ COMMANDS
                --read-from HOST:PORT (send the queries to a replica)
   shutdown     ask a running server to drain and stop
                --addr HOST:PORT
+  audit        run the workspace static-analysis gate (docs/ANALYSIS.md):
+               panic-path, truncating-cast, lock-order, protocol-drift
+               --root DIR (workspace root, default .) --list-locks yes
 
 Sizes accept k/m/g suffixes: --memory 64k, --items 2m.
 Streams: caida (default), distinct, campus, webpage.
@@ -147,6 +150,7 @@ pub fn dispatch(a: &Args) -> Result<(), CliError> {
         "mirror-check" => mirror_check(a),
         "loadgen" => loadgen(a),
         "shutdown" => shutdown(a),
+        "audit" => audit(a),
         other => Err(ArgError(format!("unknown command '{other}' (see `she help`)")).into()),
     }
 }
@@ -478,32 +482,85 @@ fn chaos_soak(a: &Args) -> Result<(), CliError> {
     }
 }
 
+/// The four wire queries `she query --op` can issue. Parsing the flag
+/// into a type (instead of validating a string twice) keeps the dispatch
+/// below exhaustive — there is no "impossible" arm left to panic in.
+#[derive(Debug, Clone, Copy)]
+enum QueryOp {
+    Member,
+    Card,
+    Freq,
+    Sim,
+}
+
+impl QueryOp {
+    fn parse(op: &str) -> Result<Self, ArgError> {
+        match op {
+            "member" => Ok(QueryOp::Member),
+            "card" => Ok(QueryOp::Card),
+            "freq" => Ok(QueryOp::Freq),
+            "sim" => Ok(QueryOp::Sim),
+            other => Err(ArgError(format!("unknown --op '{other}' (member|card|freq|sim)"))),
+        }
+    }
+}
+
 fn query(a: &Args) -> Result<(), CliError> {
     a.expect_only(&["addr", "op", "key", "timeout-ms"])?;
-    let op = a.get("op", "member");
-    if !matches!(op.as_str(), "member" | "card" | "freq" | "sim") {
-        return Err(ArgError(format!("unknown --op '{op}' (member|card|freq|sim)")).into());
-    }
+    let op = QueryOp::parse(&a.get("op", "member"))?;
     let addr = a.get("addr", "127.0.0.1:7487");
     let key = a.get_u64("key", 0)?;
     let io = |err: std::io::Error| net_err(&addr, err);
     let mut client = she_server::Client::connect(&addr).map_err(io)?;
     client.set_op_timeout(op_timeout(a)?).map_err(io)?;
     // f64 answers also print their raw bits so scripts can diff bit-exactly.
-    match op.as_str() {
-        "member" => println!("member {key} = {}", client.query_member(key).map_err(io)?),
-        "freq" => println!("freq {key} = {}", client.query_freq(key).map_err(io)?),
-        "card" => {
+    match op {
+        QueryOp::Member => println!("member {key} = {}", client.query_member(key).map_err(io)?),
+        QueryOp::Freq => println!("freq {key} = {}", client.query_freq(key).map_err(io)?),
+        QueryOp::Card => {
             let v = client.query_card().map_err(io)?;
             println!("card = {v:.6} (bits {:#018x})", v.to_bits());
         }
-        "sim" => {
+        QueryOp::Sim => {
             let v = client.query_sim().map_err(io)?;
             println!("sim = {v:.6} (bits {:#018x})", v.to_bits());
         }
-        _ => unreachable!(),
     }
     Ok(())
+}
+
+/// `she audit` — run the static-analysis gate over the workspace and
+/// exit nonzero on any gate failure (new finding above a ratchet
+/// baseline, unbanked improvement, lock-manifest drift, protocol drift,
+/// or a malformed allow annotation). See `docs/ANALYSIS.md`.
+fn audit(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&["root", "list-locks"])?;
+    let root = std::path::PathBuf::from(a.get("root", "."));
+    let fail = |msg: String| CliError { msg, code: 1 };
+    let cfg = she_audit::RuleConfig::for_workspace(&root).map_err(|e| fail(e.to_string()))?;
+    let report = she_audit::audit(&root, &cfg).map_err(|e| fail(e.to_string()))?;
+    if a.get("list-locks", "no") == "yes" {
+        println!("{} lock() site(s):", report.lock_sites.len());
+        for site in &report.lock_sites {
+            println!("  {site}");
+        }
+        return Ok(());
+    }
+    if report.ok() {
+        println!(
+            "she audit: OK — {} files scanned, {} finding(s), all at committed baselines",
+            report.files_scanned,
+            report.findings.len()
+        );
+        return Ok(());
+    }
+    for f in report.failing_findings() {
+        eprintln!("{f}");
+    }
+    for g in &report.gate_failures {
+        eprintln!("audit gate: {g}");
+    }
+    Err(fail(format!("she audit: {} gate failure(s)", report.gate_failures.len())))
 }
 
 fn loadgen(a: &Args) -> Result<(), CliError> {

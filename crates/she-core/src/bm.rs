@@ -196,7 +196,9 @@ impl SheBitmap {
             }
         });
         if legal_bits == 0 {
-            let (_, bits, zs) = nearest.expect("at least one group exists");
+            // `nearest` is Some whenever the structure has >= 1 group;
+            // an impossible empty layout degrades to "no bits set".
+            let Some((_, bits, zs)) = nearest else { return 0.0 };
             legal_bits = bits;
             zeros = zs;
         }

@@ -149,6 +149,7 @@ pub fn checksum(bytes: &[u8]) -> u64 {
 /// Little-endian cursor over a byte slice — the workspace's single,
 /// dependency-free stand-in for `bytes::Buf`, shared by the snapshot
 /// codec and the she-server wire protocol.
+#[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
 }
@@ -179,19 +180,28 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Consume exactly `N` bytes as an array (the checked core of the
+    /// fixed-width readers: the length test lives in `take`, so no
+    /// panicking conversion is needed afterwards).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], FrameError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Consume a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, FrameError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     /// Consume a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Consume a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, FrameError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Consume a little-endian `f64` (bit pattern).
@@ -210,6 +220,7 @@ impl<'a> Reader<'a> {
 }
 
 /// Incremental frame builder: header, sections, then checksum.
+#[derive(Debug)]
 pub struct FrameWriter {
     buf: Vec<u8>,
     sections: u16,
@@ -226,13 +237,19 @@ impl FrameWriter {
         Self { buf, sections: 0 }
     }
 
-    /// Append one section.
+    /// Append one section. Panics (via the asserts) on a payload over
+    /// `u32::MAX` bytes or a 65536th section — both are structurally
+    /// impossible for the fixed section layouts the codecs emit, and a
+    /// programming error rather than an input error if ever hit.
     pub fn section(&mut self, tag: u16, payload: &[u8]) {
-        assert!(payload.len() <= u32::MAX as usize, "section exceeds u32 length");
-        self.sections = self.sections.checked_add(1).expect("too many sections");
+        let len = u32::try_from(payload.len());
+        assert!(len.is_ok(), "section exceeds u32 length");
+        let next = self.sections.checked_add(1);
+        assert!(next.is_some(), "too many sections");
+        self.sections = next.unwrap_or(u16::MAX); // audit:allow(panic): asserted Some above
         self.buf.reserve(6 + payload.len());
         self.buf.extend_from_slice(&tag.to_le_bytes());
-        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&len.unwrap_or(u32::MAX).to_le_bytes()); // audit:allow(panic): asserted Ok above
         self.buf.extend_from_slice(payload);
     }
 
@@ -266,22 +283,24 @@ impl<'a> Frame<'a> {
         if buf.len() < HEADER + CHECKSUM {
             return Err(FrameError::Truncated);
         }
-        let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        let mut hdr = Reader::new(&buf[4..HEADER]);
+        let version = hdr.u16().map_err(|_| FrameError::Truncated)?;
         if version != VERSION {
             return Err(FrameError::BadVersion { found: version });
         }
         let body = &buf[..buf.len() - CHECKSUM];
-        let stored = u64::from_le_bytes(buf[buf.len() - CHECKSUM..].try_into().unwrap());
+        let mut tail = Reader::new(&buf[buf.len() - CHECKSUM..]);
+        let stored = tail.u64().map_err(|_| FrameError::Truncated)?;
         if checksum(body) != stored {
             return Err(FrameError::BadChecksum);
         }
-        let kind = u16::from_le_bytes(buf[6..8].try_into().unwrap());
-        let n = u16::from_le_bytes(buf[8..10].try_into().unwrap());
+        let kind = hdr.u16().map_err(|_| FrameError::Truncated)?;
+        let n = hdr.u16().map_err(|_| FrameError::Truncated)?;
         let mut r = Reader::new(&body[HEADER..]);
-        let mut sections = Vec::with_capacity(n as usize);
+        let mut sections = Vec::with_capacity(usize::from(n));
         for _ in 0..n {
             let tag = r.u16()?;
-            let len = r.u32()? as usize;
+            let len = crate::convert::usize_of(u64::from(r.u32()?));
             sections.push((tag, r.take(len)?));
         }
         r.finish()?;

@@ -38,11 +38,13 @@ mod bf;
 mod bm;
 mod cm;
 mod config;
+pub mod convert;
 mod cs;
 mod engine;
 pub mod frame;
 mod hll;
 mod mh;
+pub mod ordered;
 pub mod sharded;
 mod snapshot;
 mod soft;
@@ -56,6 +58,7 @@ pub use cs::SheCountSketch;
 pub use engine::{CellAge, EngineStats, She};
 pub use hll::SheHyperLogLog;
 pub use mh::SheMinHash;
+pub use ordered::{OrderedGuard, OrderedMutex};
 pub use sharded::{ShardedBitmap, ShardedBloomFilter, ShardedCountMin, ShardedShe};
 pub use snapshot::{MergeMode, SnapshotError, SnapshotState};
 pub use soft::SoftClock;

@@ -20,15 +20,18 @@
 //! scoped workers, each draining its own shard-local batch so a shard's
 //! lock is only ever contended momentarily.
 
+use crate::ordered::{OrderedGuard, OrderedMutex};
 use crate::{SheBitmap, SheBloomFilter, SheCountMin, SheHyperLogLog};
 use she_hash::mix64;
-use std::sync::{Mutex, MutexGuard};
+use std::fmt;
 
-/// Lock a shard, recovering the guard even if a previous holder panicked
-/// (sketch state is a plain array; there is no invariant a panic can
-/// half-apply that these sketches cannot tolerate).
-fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+/// Lock a shard. `OrderedMutex` recovers the guard even if a previous
+/// holder panicked (sketch state is a plain array; there is no invariant
+/// a panic can half-apply that these sketches cannot tolerate), and in
+/// debug builds enforces that shard locks are never nested — every path
+/// here takes exactly one shard at a time.
+fn lock_shard<T>(m: &OrderedMutex<T>) -> OrderedGuard<'_, T> {
+    m.lock()
 }
 
 /// A sketch that can live inside a shard.
@@ -77,8 +80,17 @@ impl ShardSketch for SheHyperLogLog {
 
 /// `S` independent SHE structures routed by key hash.
 pub struct ShardedShe<S: ShardSketch> {
-    shards: Vec<Mutex<S>>,
+    shards: Vec<OrderedMutex<S>>,
     router_seed: u64,
+}
+
+impl<S: ShardSketch> fmt::Debug for ShardedShe<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedShe")
+            .field("shards", &self.shards.len())
+            .field("router_seed", &self.router_seed)
+            .finish()
+    }
 }
 
 impl<S: ShardSketch> ShardedShe<S> {
@@ -88,7 +100,7 @@ impl<S: ShardSketch> ShardedShe<S> {
         assert!(shards >= 1);
         let mut make = make;
         Self {
-            shards: (0..shards).map(|i| Mutex::new(make(i))).collect(),
+            shards: (0..shards).map(|i| OrderedMutex::new("sharded-shard", make(i))).collect(),
             router_seed: 0x5EED_0000_0000_0001,
         }
     }
@@ -170,6 +182,7 @@ impl<S: ShardSketch> ShardedShe<S> {
 }
 
 /// Sharded sliding-window Bloom filter (membership routes to one shard).
+#[derive(Debug)]
 pub struct ShardedBloomFilter(pub ShardedShe<SheBloomFilter>);
 
 impl ShardedBloomFilter {
@@ -199,6 +212,7 @@ impl ShardedBloomFilter {
 }
 
 /// Sharded sliding-window Count-Min (frequency routes to one shard).
+#[derive(Debug)]
 pub struct ShardedCountMin(pub ShardedShe<SheCountMin>);
 
 impl ShardedCountMin {
@@ -229,6 +243,7 @@ impl ShardedCountMin {
 
 /// Sharded sliding-window cardinality over bitmaps (estimates add across
 /// shards because the shards partition the key space).
+#[derive(Debug)]
 pub struct ShardedBitmap(pub ShardedShe<SheBitmap>);
 
 impl ShardedBitmap {

@@ -14,6 +14,7 @@ use crate::SheCountMin;
 use std::collections::HashMap;
 
 /// Top-k frequent keys over a sliding window.
+#[derive(Debug)]
 pub struct SlidingTopK {
     cm: SheCountMin,
     k: usize,

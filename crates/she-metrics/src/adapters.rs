@@ -21,6 +21,7 @@ use she_window::{PairTruth, WindowTruth};
 // ---------------------------------------------------------------------------
 
 /// SHE-BF under the membership harness.
+#[derive(Debug)]
 pub struct SheBfAdapter(pub SheBloomFilter);
 
 impl SheBfAdapter {
@@ -53,6 +54,7 @@ impl MemberSketch for SheBfAdapter {
 }
 
 /// SWAMP's `ISMEMBER` under the membership harness.
+#[derive(Debug)]
 pub struct SwampMember(pub Swamp);
 
 impl SwampMember {
@@ -78,6 +80,7 @@ impl MemberSketch for SwampMember {
 }
 
 /// TOBF under the membership harness.
+#[derive(Debug)]
 pub struct TobfAdapter(pub TimeOutBloomFilter);
 
 impl TobfAdapter {
@@ -103,6 +106,7 @@ impl MemberSketch for TobfAdapter {
 }
 
 /// TBF under the membership harness.
+#[derive(Debug)]
 pub struct TbfAdapter(pub TimingBloomFilter);
 
 impl TbfAdapter {
@@ -129,6 +133,7 @@ impl MemberSketch for TbfAdapter {
 
 /// Ideal membership: a fresh fixed-window Bloom filter over the exact
 /// window contents.
+#[derive(Debug)]
 pub struct IdealBloom {
     truth: WindowTruth,
     bytes: usize,
@@ -172,6 +177,7 @@ impl MemberSketch for IdealBloom {
 // ---------------------------------------------------------------------------
 
 /// SHE-BM under the cardinality harness.
+#[derive(Debug)]
 pub struct SheBmAdapter(pub SheBitmap);
 
 impl SheBmAdapter {
@@ -197,6 +203,7 @@ impl CardinalitySketch for SheBmAdapter {
 }
 
 /// SHE-HLL under the cardinality harness.
+#[derive(Debug)]
 pub struct SheHllAdapter(pub SheHyperLogLog);
 
 impl SheHllAdapter {
@@ -222,6 +229,7 @@ impl CardinalitySketch for SheHllAdapter {
 }
 
 /// SWAMP's `DISTINCT` MLE under the cardinality harness.
+#[derive(Debug)]
 pub struct SwampCard(pub Swamp);
 
 impl SwampCard {
@@ -247,6 +255,7 @@ impl CardinalitySketch for SwampCard {
 }
 
 /// TSV under the cardinality harness.
+#[derive(Debug)]
 pub struct TsvAdapter(pub TimestampVector);
 
 impl TsvAdapter {
@@ -272,6 +281,7 @@ impl CardinalitySketch for TsvAdapter {
 }
 
 /// CVS under the cardinality harness.
+#[derive(Debug)]
 pub struct CvsAdapter(pub CounterVectorSketch);
 
 impl CvsAdapter {
@@ -302,6 +312,7 @@ impl CardinalitySketch for CvsAdapter {
 /// the paper's observation of a few LPFM records per register
 /// (`bytes / (3 · 69 bits)` registers), and `memory_bits` reports the live
 /// usage.
+#[derive(Debug)]
 pub struct ShllAdapter(pub SlidingHyperLogLog);
 
 impl ShllAdapter {
@@ -328,6 +339,7 @@ impl CardinalitySketch for ShllAdapter {
 }
 
 /// Ideal cardinality via a fixed-window Bitmap over the exact window.
+#[derive(Debug)]
 pub struct IdealBitmap {
     truth: WindowTruth,
     bytes: usize,
@@ -361,6 +373,7 @@ impl CardinalitySketch for IdealBitmap {
 }
 
 /// Ideal cardinality via a fixed-window HyperLogLog over the exact window.
+#[derive(Debug)]
 pub struct IdealHll {
     truth: WindowTruth,
     bytes: usize,
@@ -398,6 +411,7 @@ impl CardinalitySketch for IdealHll {
 // ---------------------------------------------------------------------------
 
 /// SHE-CM under the frequency harness.
+#[derive(Debug)]
 pub struct SheCmAdapter(pub SheCountMin);
 
 impl SheCmAdapter {
@@ -426,6 +440,7 @@ impl FrequencySketch for SheCmAdapter {
 ///
 /// Negative estimates (count sketch has two-sided error) clamp to zero for
 /// the ARE metric, as is standard when the true frequencies are counts.
+#[derive(Debug)]
 pub struct SheCsAdapter(pub she_core::SheCountSketch);
 
 impl SheCsAdapter {
@@ -457,6 +472,7 @@ impl FrequencySketch for SheCsAdapter {
 }
 
 /// SWAMP's fingerprint-multiplicity frequency under the harness.
+#[derive(Debug)]
 pub struct SwampFreq(pub Swamp);
 
 impl SwampFreq {
@@ -482,6 +498,7 @@ impl FrequencySketch for SwampFreq {
 }
 
 /// ECM under the frequency harness.
+#[derive(Debug)]
 pub struct EcmAdapter(pub EcmSketch);
 
 impl EcmAdapter {
@@ -507,6 +524,7 @@ impl FrequencySketch for EcmAdapter {
 }
 
 /// Ideal frequency via a fixed-window Count-Min over the exact window.
+#[derive(Debug)]
 pub struct IdealCm {
     truth: WindowTruth,
     bytes: usize,
@@ -549,6 +567,7 @@ impl FrequencySketch for IdealCm {
 // ---------------------------------------------------------------------------
 
 /// SHE-MH pair under the similarity harness.
+#[derive(Debug)]
 pub struct SheMhAdapter {
     a: SheMinHash,
     b: SheMinHash,
@@ -579,6 +598,7 @@ impl SimilaritySketch for SheMhAdapter {
 }
 
 /// Straw-man MinHash pair under the similarity harness.
+#[derive(Debug)]
 pub struct StrawmanMhAdapter {
     a: StrawmanMinHash,
     b: StrawmanMinHash,
@@ -613,6 +633,7 @@ impl SimilaritySketch for StrawmanMhAdapter {
 
 /// Ideal similarity via fixed-window MinHash signatures over the exact
 /// windows.
+#[derive(Debug)]
 pub struct IdealMh {
     truth: PairTruth,
     bytes: usize,

@@ -34,6 +34,11 @@
 //!
 //! See `docs/REPLICATION.md` for the protocol-level story.
 
+// The serving path must never truncate a length or a count silently:
+// `she audit`'s cast rule holds this crate at a zero baseline, and the
+// compiler enforces the same contract on every new cast.
+#![deny(clippy::cast_possible_truncation)]
+
 use she_server::codec::{read_frame, write_frame};
 use she_server::protocol::{Request, Response, ShardStats};
 use she_server::repl::Record;
@@ -117,6 +122,7 @@ enum FeedEnd {
 
 /// A running replica: an embedded read-serving [`Server`] plus the
 /// background threads that keep it converged with the primary.
+#[derive(Debug)]
 pub struct Replica {
     server: Server,
     status: Arc<ReplicaStatus>,
@@ -434,7 +440,9 @@ fn sweep(primary: &str, op_timeout_ms: u64, injector: &Injector) -> io::Result<(
         ));
     }
     for shard in 0..injector.config().shards {
-        let frame = client.snapshot(shard as u32)?;
+        let shard_id = u32::try_from(shard)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "shard index exceeds u32"))?;
+        let frame = client.snapshot(shard_id)?;
         injector.merge(shard, &frame)?;
     }
     Ok(())

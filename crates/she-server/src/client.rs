@@ -53,6 +53,7 @@ fn bad_reply(resp: Response) -> io::Error {
 }
 
 /// A connected she-server client.
+#[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     /// `BUSY` responses received (and retried) so far — a backpressure

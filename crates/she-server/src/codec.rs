@@ -6,15 +6,46 @@
 //! on the socket and treat `WouldBlock`/`TimedOut` as "no frame yet".
 
 use crate::protocol::MAX_FRAME;
+use she_core::convert::usize_of;
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
+/// A payload too large for the `u32` length prefix / `MAX_FRAME` cap.
+///
+/// Carried as the source of the `InvalidInput` error [`write_frame`]
+/// returns, so callers can downcast and distinguish "you built an
+/// impossible frame" from transport failures. Before this type existed
+/// the length was cast with `as u32` — a payload over 4 GiB would have
+/// written a silently truncated prefix and desynchronised the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The rejected payload length in bytes.
+    pub len: usize,
+}
+
+impl fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame payload of {} bytes exceeds MAX_FRAME ({MAX_FRAME})", self.len)
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
 /// Write one frame (length prefix + payload) and flush.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    if payload.len() > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME"));
-    }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    // MAX_FRAME < u32::MAX, so a length that passes the cap check always
+    // fits the prefix; try_from (not `as`) keeps that connection checked.
+    let len = match u32::try_from(payload.len()) {
+        Ok(len) if payload.len() <= MAX_FRAME => len,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                FrameTooLarge { len: payload.len() },
+            ))
+        }
+    };
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
@@ -97,7 +128,7 @@ pub fn read_frame_deadline<R: Read>(r: &mut R, deadline: Duration) -> io::Result
         }
     }
     let started = started.unwrap_or_else(Instant::now);
-    let len = u32::from_le_bytes(len_buf) as usize;
+    let len = usize_of(u64::from(u32::from_le_bytes(len_buf)));
     if len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
     }
@@ -137,6 +168,19 @@ mod tests {
         assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"hello");
         assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"");
         assert!(read_frame(&mut c).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversize_payload_is_a_typed_error_not_a_truncated_prefix() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let inner = err.get_ref().expect("typed source");
+        let too_large = inner.downcast_ref::<FrameTooLarge>().expect("FrameTooLarge");
+        assert_eq!(too_large.len, MAX_FRAME + 1);
+        // Nothing — not even a length prefix — reached the stream.
+        assert!(buf.is_empty());
     }
 
     #[test]

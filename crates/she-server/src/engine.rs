@@ -15,6 +15,7 @@
 //! both streams, so every shard sees an unbiased sample of the pair).
 
 use crate::protocol::ShardStats;
+use she_core::convert::usize_of;
 use she_core::frame::{self, Frame, FrameWriter, Reader};
 use she_core::{SheBitmap, SheBloomFilter, SheCountMin, SheMinHash, SnapshotError, SnapshotState};
 use she_hash::mix64;
@@ -82,8 +83,8 @@ impl EngineConfig {
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
         Ok(Self {
             window: r.u64().map_err(SnapshotError::Frame)?,
-            shards: r.u64().map_err(SnapshotError::Frame)? as usize,
-            memory_bytes: r.u64().map_err(SnapshotError::Frame)? as usize,
+            shards: usize_of(r.u64().map_err(SnapshotError::Frame)?),
+            memory_bytes: usize_of(r.u64().map_err(SnapshotError::Frame)?),
             seed: r.u32().map_err(SnapshotError::Frame)?,
         })
     }
@@ -91,6 +92,7 @@ impl EngineConfig {
 
 /// One shard's sketches. Inserts feed every structure; stream B (tag 1)
 /// exists only for the similarity pair and feeds just its MinHash.
+#[derive(Debug)]
 pub struct ShardEngine {
     cfg: EngineConfig,
     shard: usize,
@@ -208,7 +210,7 @@ impl ShardEngine {
 
         let mut r = Reader::new(section(frame::tag::CONFIG)?);
         let cfg = EngineConfig::decode(&mut r)?;
-        let shard = r.u64().map_err(SnapshotError::Frame)? as usize;
+        let shard = usize_of(r.u64().map_err(SnapshotError::Frame)?);
         r.finish().map_err(SnapshotError::Frame)?;
         if cfg.seed != self.cfg.seed {
             return Err(SnapshotError::ConfigMismatch { field: "seed" });
@@ -309,6 +311,7 @@ impl ShardEngine {
 
 /// All shards in one place, driven serially — the in-process reference the
 /// server must agree with, and the engine behind `she-cli`'s offline mode.
+#[derive(Debug)]
 pub struct DirectEngine {
     cfg: EngineConfig,
     shards: Vec<ShardEngine>,

@@ -28,6 +28,11 @@
 //! * [`backoff`] — capped exponential backoff with jitter, shared by the
 //!   client's retry loop and the replica's reconnects.
 
+// The serving path must never truncate a length or a count silently:
+// `she audit`'s cast rule holds this crate at a zero baseline, and the
+// compiler enforces the same contract on every new cast.
+#![deny(clippy::cast_possible_truncation)]
+
 pub mod backoff;
 pub mod client;
 pub mod codec;

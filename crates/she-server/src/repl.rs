@@ -21,10 +21,11 @@
 //! draining regardless.
 
 use crate::protocol::PeerStatus;
+use she_core::convert::{le_u64s, usize_of};
 use she_core::frame::{self, Frame, FrameWriter, Reader};
-use she_core::SnapshotError;
+use she_core::{OrderedMutex, SnapshotError};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::Duration;
 
 /// One replicated insert: the keys of a single `INSERT`/`INSERT_BATCH`
@@ -74,13 +75,14 @@ impl Record {
         if !raw.len().is_multiple_of(8) {
             return Err(SnapshotError::Frame(frame::FrameError::Truncated));
         }
-        let keys = raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let keys = le_u64s(raw);
         Ok(Record { seq, stream, keys })
     }
 }
 
 /// A replica bootstrap package: the op-log position of the snapshot cut
 /// plus the whole-server checkpoint taken at that cut.
+#[derive(Debug)]
 pub struct Bootstrap {
     /// Sequence number of the last record the checkpoint reflects.
     pub seq: u64,
@@ -120,6 +122,7 @@ impl Bootstrap {
     }
 }
 
+#[derive(Debug)]
 struct Inner {
     /// Highest sequence number ever appended (0 = none).
     head: u64,
@@ -128,6 +131,7 @@ struct Inner {
 }
 
 /// What [`ReplLog::wait_from`] found at a subscription position.
+#[derive(Debug)]
 pub enum Tail {
     /// Records from the requested position, oldest first.
     Records(Vec<Arc<Record>>),
@@ -141,8 +145,9 @@ pub enum Tail {
 }
 
 /// The primary's bounded, in-memory op log (see module docs).
+#[derive(Debug)]
 pub struct ReplLog {
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
     grew: Condvar,
     cap: usize,
 }
@@ -151,7 +156,7 @@ impl ReplLog {
     /// An empty log retaining at most `cap` records.
     pub fn new(cap: usize) -> Self {
         Self {
-            inner: Mutex::new(Inner { head: 0, records: VecDeque::new() }),
+            inner: OrderedMutex::new("repl-log", Inner { head: 0, records: VecDeque::new() }),
             grew: Condvar::new(),
             cap: cap.max(1),
         }
@@ -161,7 +166,7 @@ impl ReplLog {
     /// append the op as the next record — both under the log lock, so log
     /// order equals apply order. Returns `enqueue`'s response unchanged.
     pub fn ingest<R>(&self, stream: u8, keys: &[u64], enqueue: impl FnOnce() -> (R, bool)) -> R {
-        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut g = self.inner.lock();
         let (resp, accepted) = enqueue();
         if accepted {
             g.head += 1;
@@ -180,44 +185,41 @@ impl ReplLog {
     /// return the head at that instant: the checkpoint the jobs produce
     /// reflects exactly the records with `seq <=` the returned cut.
     pub fn cut(&self, enqueue: impl FnOnce()) -> u64 {
-        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let g = self.inner.lock();
         enqueue();
         g.head
     }
 
     /// Highest appended sequence number (0 = empty).
     pub fn head(&self) -> u64 {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner()).head
+        self.inner.lock().head
     }
 
     /// Oldest retained sequence number (0 = empty log).
     pub fn floor(&self) -> u64 {
-        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let g = self.inner.lock();
         g.records.front().map_or(0, |r| r.seq)
     }
 
     /// Collect up to `max` records starting at `next`, blocking up to
     /// `timeout` for the first one. `next` may be `head + 1` (caught up).
     pub fn wait_from(&self, next: u64, max: usize, timeout: Duration) -> Tail {
-        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut g = self.inner.lock();
         loop {
             if let Some(front) = g.records.front() {
                 if next < front.seq {
                     return Tail::Truncated { floor: front.seq };
                 }
                 if next <= g.head {
-                    let skip = (next - front.seq) as usize;
+                    let skip = usize_of(next - front.seq);
                     let out: Vec<Arc<Record>> =
                         g.records.iter().skip(skip).take(max).map(Arc::clone).collect();
                     return Tail::Records(out);
                 }
             }
-            let (g2, res) = match self.grew.wait_timeout(g, timeout) {
-                Ok(x) => x,
-                Err(p) => p.into_inner(),
-            };
+            let (g2, timed_out) = g.wait_timeout(&self.grew, timeout);
             g = g2;
-            if res.timed_out() && g.head < next {
+            if timed_out && g.head < next {
                 return Tail::Timeout;
             }
         }
@@ -227,31 +229,40 @@ impl ReplLog {
 /// The primary's registry of live replication subscribers, for
 /// `CLUSTER_STATUS`. Entries are added when a feed starts and removed
 /// when it ends; `acked` tracks the peer's `REPL_ACK`s.
-#[derive(Default)]
+#[derive(Debug)]
 pub struct ReplHub {
-    peers: Mutex<Vec<(u64, String, u64)>>, // (id, addr, acked)
-    next_id: Mutex<u64>,
+    peers: OrderedMutex<Vec<(u64, String, u64)>>, // (id, addr, acked)
+    next_id: OrderedMutex<u64>,
+}
+
+impl Default for ReplHub {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ReplHub {
     /// An empty registry.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            peers: OrderedMutex::new("repl-hub-peers", Vec::new()),
+            next_id: OrderedMutex::new("repl-hub-ids", 0),
+        }
     }
 
     /// Register a subscriber; returns its registry id.
     pub fn register(&self, addr: String) -> u64 {
-        let mut id_g = self.next_id.lock().unwrap_or_else(|p| p.into_inner());
+        let mut id_g = self.next_id.lock();
         *id_g += 1;
         let id = *id_g;
         drop(id_g);
-        self.peers.lock().unwrap_or_else(|p| p.into_inner()).push((id, addr, 0));
+        self.peers.lock().push((id, addr, 0));
         id
     }
 
     /// Record an acknowledged sequence number for a subscriber.
     pub fn ack(&self, id: u64, seq: u64) {
-        let mut g = self.peers.lock().unwrap_or_else(|p| p.into_inner());
+        let mut g = self.peers.lock();
         if let Some(p) = g.iter_mut().find(|(pid, _, _)| *pid == id) {
             p.2 = p.2.max(seq);
         }
@@ -259,13 +270,13 @@ impl ReplHub {
 
     /// Remove a subscriber (its feed ended).
     pub fn deregister(&self, id: u64) {
-        let mut g = self.peers.lock().unwrap_or_else(|p| p.into_inner());
+        let mut g = self.peers.lock();
         g.retain(|(pid, _, _)| *pid != id);
     }
 
     /// Snapshot the registry for `CLUSTER_STATUS`.
     pub fn status(&self) -> Vec<PeerStatus> {
-        let g = self.peers.lock().unwrap_or_else(|p| p.into_inner());
+        let g = self.peers.lock();
         g.iter().map(|(_, addr, acked)| PeerStatus { addr: addr.clone(), acked: *acked }).collect()
     }
 }

@@ -41,7 +41,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -119,6 +119,7 @@ impl Default for ServerConfig {
 /// are *not* behind this — they own their engines; only their queue
 /// senders live here, and dropping the last `Shared` is what lets the
 /// workers drain and exit.
+#[derive(Debug)]
 struct Shared {
     txs: Vec<SyncSender<Job>>,
     shutdown: AtomicBool,
@@ -432,6 +433,7 @@ fn shutting_down() -> Response {
 
 /// A running server. Dropping the handle does *not* stop it; call
 /// [`Server::shutdown`] (or send the wire `SHUTDOWN`) then [`Server::join`].
+#[derive(Debug)]
 pub struct Server {
     shared: Arc<Shared>,
     accept_thread: JoinHandle<()>,
@@ -546,7 +548,8 @@ impl Server {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    // Only this thread pushes or drains; no lock needed.
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -571,7 +574,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     .name("she-conn".into())
                     .spawn(move || handle_connection(stream, conn_shared))
                 {
-                    Ok(h) => handlers.lock().unwrap_or_else(|p| p.into_inner()).push(h),
+                    Ok(h) => handlers.push(h),
                     Err(_) => {
                         shared.conns.fetch_sub(1, Ordering::SeqCst);
                     }
@@ -581,7 +584,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             Err(_) => continue,
         }
     }
-    for h in handlers.into_inner().unwrap_or_else(|p| p.into_inner()) {
+    for h in handlers {
         let _ = h.join();
     }
 }
@@ -732,6 +735,7 @@ fn serve_subscription(read: &mut TcpStream, write: &mut TcpStream, shared: &Shar
 /// replica runtime applies bootstrap state and op-log records. Uses the
 /// same [`EngineConfig::partition`] as the server's own insert path, so
 /// the per-shard apply order is identical to the primary's.
+#[derive(Debug)]
 pub struct Injector {
     txs: Vec<SyncSender<Job>>,
     cfg: EngineConfig,

@@ -29,6 +29,7 @@ use she_core::SnapshotError;
 
 /// A whole-server checkpoint: the engine sizing plus one `SHARD` frame
 /// per shard, in shard order.
+#[derive(Debug)]
 pub struct Checkpoint {
     /// The sizing the checkpointed server ran with.
     pub cfg: EngineConfig,

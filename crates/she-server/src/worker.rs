@@ -14,6 +14,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 /// One unit of work for a shard. Queries carry a rendezvous channel for
 /// the answer; batched inserts are fire-and-forget (admission control
 /// happened at enqueue time).
+#[derive(Debug)]
 pub enum Job {
     /// Apply a run of same-stream inserts, in order.
     Batch { stream: u8, keys: Vec<u64> },

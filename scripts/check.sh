@@ -18,6 +18,12 @@ cargo clippy --offline --workspace -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== she audit"
+# Workspace-wide static-analysis gate (docs/ANALYSIS.md): panic-path and
+# cast ratchets, lock-order manifest, protocol drift. Hard gate — any
+# finding above a committed baseline fails the build.
+target/release/she audit --root .
+
 echo "== checkpoint/restore smoke test"
 # Serve, load 10k keys, checkpoint over the wire, restart --restore, and
 # assert the restored server answers the same queries bit-for-bit.
