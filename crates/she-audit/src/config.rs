@@ -18,6 +18,8 @@ pub struct RuleConfig {
     pub panic_crates: Vec<String>,
     /// Crates where the truncating-cast rule applies to non-test code.
     pub cast_crates: Vec<String>,
+    /// Crates where the unbounded-growth rule applies to non-test code.
+    pub growth_crates: Vec<String>,
     /// Crates where the lock-order rule applies (raw `Mutex::new` banned,
     /// `OrderedMutex` names cross-checked against the manifest).
     pub lock_crates: Vec<String>,
@@ -54,7 +56,7 @@ impl RuleConfig {
 
         let mut ratchet = BTreeMap::new();
         for ((section, key), value) in &ratchet_doc {
-            if section != "panic" && section != "cast" {
+            if section != "panic" && section != "cast" && section != "growth" {
                 return Err(bad(format!("audit-ratchet.toml: unknown section [{section}]")));
             }
             let Value::Int(n) = value else {
@@ -69,6 +71,7 @@ impl RuleConfig {
             panic_crates: vec![
                 "she-server".into(),
                 "she-replica".into(),
+                "she-cluster".into(),
                 "she-core".into(),
                 "she-chaos".into(),
                 "she-cli".into(),
@@ -78,10 +81,18 @@ impl RuleConfig {
                 "she-sketch".into(),
                 "she-server".into(),
                 "she-replica".into(),
+                "she-cluster".into(),
+            ],
+            growth_crates: vec![
+                "she-server".into(),
+                "she-replica".into(),
+                "she-cluster".into(),
+                "she-core".into(),
             ],
             lock_crates: vec![
                 "she-server".into(),
                 "she-replica".into(),
+                "she-cluster".into(),
                 "she-core".into(),
                 "she-chaos".into(),
             ],

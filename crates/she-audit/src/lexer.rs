@@ -9,7 +9,10 @@
 //!
 //! * **allow annotations** — `// audit:allow(<rule>): <reason>` comments.
 //!   A finding on the annotation's line or the line directly below it is
-//!   suppressed. An annotation without a reason is itself reported: the
+//!   suppressed; when either of those lines opens a brace block, the
+//!   annotation is span-aware and covers through the matching close
+//!   brace, so one annotation above a loop or match arm covers the whole
+//!   block. An annotation without a reason is itself reported: the
 //!   reason is the point.
 //! * **test regions** — line ranges covered by `#[cfg(test)]` /
 //!   `#[test]` / `#[should_panic]` items. Rules only police non-test
@@ -64,8 +67,9 @@ impl Token {
 pub struct Lexed {
     /// All tokens in source order (comments and whitespace dropped).
     pub tokens: Vec<Token>,
-    /// `audit:allow(<rule>)` annotations: rule key → lines that carry one.
-    pub allows: BTreeMap<String, Vec<u32>>,
+    /// `audit:allow(<rule>)` annotations: rule key → inclusive line
+    /// ranges each one covers (see [`Lexed::allowed`]).
+    pub allows: BTreeMap<String, Vec<(u32, u32)>>,
     /// Lines with an `audit:allow` annotation missing its `: reason`.
     pub malformed_allows: Vec<u32>,
     /// Line ranges (inclusive) covered by test-only items.
@@ -75,9 +79,10 @@ pub struct Lexed {
 impl Lexed {
     /// Is a finding at `line` suppressed by an allow for `rule`?
     /// Annotations cover their own line (trailing comment) and the line
-    /// directly below (comment-above style).
+    /// directly below (comment-above style); when either line opens a
+    /// brace block, coverage extends to the matching close brace.
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows.get(rule).is_some_and(|ls| ls.iter().any(|&l| l == line || l + 1 == line))
+        self.allows.get(rule).is_some_and(|ls| ls.iter().any(|&(lo, hi)| (lo..=hi).contains(&line)))
     }
 
     /// Is `line` inside a test-only region?
@@ -94,7 +99,38 @@ pub fn lex(src: &str) -> Lexed {
     lx.run();
     let ranges = test_regions(&lx.out.tokens);
     lx.out.test_ranges = ranges;
+    extend_allow_spans(&lx.out.tokens, &mut lx.out.allows);
     lx.out
+}
+
+/// Make annotations span-aware: if the annotation's own line or the line
+/// directly below opens a brace block, extend its coverage to the line of
+/// the matching close brace. An unterminated block extends to EOF, which
+/// errs on the suppressing side only inside code the compiler would
+/// reject anyway.
+fn extend_allow_spans(tokens: &[Token], allows: &mut BTreeMap<String, Vec<(u32, u32)>>) {
+    for ranges in allows.values_mut() {
+        for range in ranges.iter_mut() {
+            let (lo, hi) = *range;
+            let Some(open) =
+                tokens.iter().position(|t| t.is_punct('{') && (t.line == lo || t.line == lo + 1))
+            else {
+                continue;
+            };
+            let mut depth = 1usize;
+            let mut i = open + 1;
+            while i < tokens.len() && depth > 0 {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                }
+                i += 1;
+            }
+            let end = tokens.get(i.saturating_sub(1)).map_or(hi, |t| t.line);
+            range.1 = hi.max(end);
+        }
+    }
 }
 
 struct Lexer {
@@ -202,7 +238,7 @@ impl Lexer {
             self.out.malformed_allows.push(line);
             return;
         }
-        self.out.allows.entry(rule).or_default().push(line);
+        self.out.allows.entry(rule).or_default().push((line, line + 1));
     }
 
     /// `"` strings with escapes; `hashes` > 0 means raw (no escapes, ends
@@ -531,6 +567,32 @@ mod tests {
         assert!(!lx.allowed("panic", 3));
         assert!(!lx.allowed("cast", 1)); // rule-keyed
         assert!(lx.malformed_allows.is_empty());
+    }
+
+    #[test]
+    fn allow_above_a_block_covers_the_whole_block() {
+        let src = "// audit:allow(growth): bounded by batch len\nfor x in batch {\n    buf.push(x);\n    more(x);\n}\nafter();";
+        let lx = lex(src);
+        assert!(lx.allowed("growth", 2)); // the opener line
+        assert!(lx.allowed("growth", 3)); // inside the block
+        assert!(lx.allowed("growth", 5)); // the close-brace line
+        assert!(!lx.allowed("growth", 6)); // past the block
+    }
+
+    #[test]
+    fn trailing_allow_on_an_opener_covers_the_block() {
+        let src = "fn f() { // audit:allow(panic): fixture\n    x.unwrap();\n    y.unwrap();\n}\nz.unwrap();";
+        let lx = lex(src);
+        assert!(lx.allowed("panic", 3));
+        assert!(!lx.allowed("panic", 5));
+    }
+
+    #[test]
+    fn allow_without_a_block_still_covers_two_lines() {
+        let src = "// audit:allow(cast): reviewed\nlet a = n as u32;\nlet b = n as u32;";
+        let lx = lex(src);
+        assert!(lx.allowed("cast", 2));
+        assert!(!lx.allowed("cast", 3));
     }
 
     #[test]

@@ -2,16 +2,17 @@
 //!
 //! A dependency-free auditor that lexes every Rust source file in the
 //! workspace and enforces repo-specific invariants `cargo clippy` cannot
-//! express. Four rules ship today (see [`rules`]):
+//! express. Five rules ship today (see [`rules`]):
 //!
 //! | rule       | invariant |
 //! |------------|-----------|
 //! | `panic`    | no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test serving code |
 //! | `cast`     | no narrowing `as` casts in cell-index / frame-length math |
+//! | `growth`   | no `Vec`/`VecDeque` `push`/`extend` without a nearby cap check |
 //! | `lock`     | every mutex is a ranked `OrderedMutex`; manifest and source agree |
 //! | `protocol` | opcode constants and `docs/PROTOCOL.md` tables agree |
 //!
-//! `panic` and `cast` are **ratcheted**: `audit-ratchet.toml` commits a
+//! `panic`, `cast`, and `growth` are **ratcheted**: `audit-ratchet.toml` commits a
 //! per-crate finding count, and the gate fails when the live count moves
 //! in *either* direction — growth is a regression, shrinkage must be
 //! banked by tightening the committed number so it can never grow back.
@@ -87,6 +88,7 @@ pub fn audit(root: &Path, cfg: &RuleConfig) -> io::Result<Audit> {
         let policed = !file.test_only
             && (cfg.panic_crates.contains(&file.crate_name)
                 || cfg.cast_crates.contains(&file.crate_name)
+                || cfg.growth_crates.contains(&file.crate_name)
                 || cfg.lock_crates.contains(&file.crate_name));
         if !policed {
             continue;
@@ -110,6 +112,9 @@ pub fn audit(root: &Path, cfg: &RuleConfig) -> io::Result<Audit> {
         }
         if cfg.cast_crates.contains(&file.crate_name) {
             findings.extend(rules::cast::check(&file.crate_name, &file.rel_path, &lx));
+        }
+        if cfg.growth_crates.contains(&file.crate_name) {
+            findings.extend(rules::growth::check(&file.crate_name, &file.rel_path, &lx));
         }
         if cfg.lock_crates.contains(&file.crate_name) {
             lock_scan.scan_file(&file.crate_name, &file.rel_path, &lx);
@@ -144,7 +149,9 @@ fn evaluate_gate(findings: &[Finding], cfg: &RuleConfig) -> Vec<String> {
     }
 
     // Ratcheted rules: per-crate counts must equal the committed baseline.
-    for (rule, crates) in [("panic", &cfg.panic_crates), ("cast", &cfg.cast_crates)] {
+    for (rule, crates) in
+        [("panic", &cfg.panic_crates), ("cast", &cfg.cast_crates), ("growth", &cfg.growth_crates)]
+    {
         let mut counts: BTreeMap<&str, u64> = crates.iter().map(|c| (c.as_str(), 0)).collect();
         for f in findings.iter().filter(|f| f.rule == rule) {
             if let Some(n) = counts.get_mut(f.crate_name.as_str()) {
@@ -186,6 +193,7 @@ mod tests {
         RuleConfig {
             panic_crates: vec!["demo".into()],
             cast_crates: vec!["demo".into()],
+            growth_crates: vec!["demo".into()],
             lock_crates: vec!["demo".into()],
             locks: BTreeMap::new(),
             ratchet: ratchet.iter().map(|(k, v)| (k.to_string(), *v)).collect(),

@@ -1,0 +1,126 @@
+//! **unbounded-growth** — non-test code in the policed crates must not
+//! grow a `Vec`/`VecDeque` without a visible cap. A `push`/`extend` on
+//! the serving path with no nearby length check or eviction is how a
+//! slow consumer turns into an OOM kill; bounded buffers must either
+//! check `len()`/`capacity()` (or evict with `truncate`/`drain`/`pop_*`)
+//! within a few lines of the growth site, or carry
+//! `// audit:allow(growth): <reason>` stating the bound.
+//!
+//! The rule is a heuristic and is ratcheted: sites whose bound lives
+//! further away than the scan window are banked in `audit-ratchet.toml`
+//! or annotated, and the committed count can only shrink.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::rules::Finding;
+
+/// Method names that grow a collection.
+const GROWERS: [&str; 6] =
+    ["push", "push_back", "push_front", "extend", "extend_from_slice", "append"];
+
+/// Identifiers that signal a bound near the growth site: a length or
+/// capacity check, an eviction, or an explicit pre-sized allocation.
+const BOUNDERS: [&str; 12] = [
+    "len",
+    "capacity",
+    "with_capacity",
+    "truncate",
+    "drain",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "remove",
+    "retain",
+    "clear",
+    "split_off",
+];
+
+/// How many lines on either side of a growth call the rule scans for a
+/// bound signal.
+const BOUND_WINDOW: u32 = 8;
+
+/// Run the rule over one lexed non-test-only file.
+pub fn check(crate_name: &str, file: &str, lx: &Lexed) -> Vec<Finding> {
+    let toks = &lx.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !GROWERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Only method calls count: `.push(` — a fn named `push` or a
+        // bare path does not grow a collection here.
+        let is_call =
+            i > 0 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !is_call {
+            continue;
+        }
+        if lx.in_test(t.line) || lx.allowed("growth", t.line) {
+            continue;
+        }
+        let lo = t.line.saturating_sub(BOUND_WINDOW);
+        let hi = t.line + BOUND_WINDOW;
+        let bounded = toks.iter().any(|b| {
+            b.kind == TokKind::Ident
+                && (lo..=hi).contains(&b.line)
+                && BOUNDERS.contains(&b.text.as_str())
+        });
+        if bounded {
+            continue;
+        }
+        out.push(Finding {
+            rule: "growth",
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            line: t.line,
+            msg: format!(
+                "`.{}(` grows a collection with no cap check in sight (bound it nearby, or annotate `// audit:allow(growth): <reason>`)",
+                t.text
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lines(src: &str) -> Vec<u32> {
+        check("c", "f.rs", &lex(src)).into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn flags_uncapped_growth() {
+        let src = "fn f(log: &mut Vec<u32>, x: u32) {\n    log.push(x);\n}";
+        assert_eq!(lines(src), [2]);
+    }
+
+    #[test]
+    fn nearby_cap_check_suppresses() {
+        let src = "fn f(log: &mut Vec<u32>, x: u32, cap: usize) {\n    if log.len() >= cap {\n        log.remove(0);\n    }\n    log.push(x);\n}";
+        assert!(lines(src).is_empty());
+    }
+
+    #[test]
+    fn eviction_after_push_suppresses() {
+        let src = "fn f(q: &mut std::collections::VecDeque<u32>, x: u32) {\n    q.push_back(x);\n    while q.len() > 16 {\n        q.pop_front();\n    }\n}";
+        assert!(lines(src).is_empty());
+    }
+
+    #[test]
+    fn non_method_push_is_ignored() {
+        assert!(lines("fn push(x: u32) {}\nfn f() { push(1); }").is_empty());
+    }
+
+    #[test]
+    fn allow_and_tests_suppress() {
+        let src = "fn f(v: &mut Vec<u32>) {\n    v.push(1); // audit:allow(growth): bounded by caller\n}\n#[cfg(test)]\nmod t {\n    fn g(v: &mut Vec<u32>) { v.push(2); }\n}";
+        assert!(lines(src).is_empty());
+    }
+
+    #[test]
+    fn block_allow_covers_a_loop_of_pushes() {
+        let src = "fn f(v: &mut Vec<u32>, batch: &[u32]) {\n    // audit:allow(growth): one element per batch entry\n    for &x in batch {\n        v.push(x);\n        v.push(x + 1);\n    }\n}";
+        assert!(lines(src).is_empty());
+    }
+}

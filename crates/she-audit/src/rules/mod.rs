@@ -3,6 +3,7 @@
 //! semantics on top.
 
 pub mod cast;
+pub mod growth;
 pub mod lock_order;
 pub mod panic_path;
 pub mod protocol_drift;
@@ -12,7 +13,7 @@ use std::fmt;
 /// One audit finding: a rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule key: `panic`, `cast`, `lock`, or `protocol`.
+    /// Rule key: `panic`, `cast`, `growth`, `lock`, or `protocol`.
     pub rule: &'static str,
     /// Crate the finding is in (empty for cross-file protocol findings).
     pub crate_name: String,

@@ -23,6 +23,7 @@ fn demo_cfg() -> RuleConfig {
     RuleConfig {
         panic_crates: vec!["demo".into()],
         cast_crates: vec!["demo".into()],
+        growth_crates: vec!["demo".into()],
         lock_crates: vec!["demo".into()],
         locks: [("listed".to_string(), 10u16)].into_iter().collect(),
         ratchet: BTreeMap::new(),
@@ -41,18 +42,19 @@ fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
 fn known_bad_fixture_fires_every_rule() {
     let report = audit(&fixture("known-bad"), &demo_cfg()).expect("audit runs");
     assert!(!report.ok(), "known-bad fixture must fail the gate");
-    assert_eq!(rules_fired(&report.findings), ["allow", "cast", "lock", "panic"]);
+    assert_eq!(rules_fired(&report.findings), ["allow", "cast", "growth", "lock", "panic"]);
 
     let msgs: Vec<&str> = report.findings.iter().map(|f| f.msg.as_str()).collect();
     assert!(msgs.iter().any(|m| m.contains("unwrap")), "unwrap finding: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("narrowing `as u32`")), "cast finding: {msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("grows a collection")), "growth finding: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("raw Mutex::new")), "raw mutex finding: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("\"ghost\" has no rank")), "unknown name: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("stale manifest entry")), "stale entry: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("malformed audit:allow")), "malformed allow: {msgs:?}");
 
     // The gate lines must cover both hard rules and both ratcheted rules.
-    for rule in ["panic:", "cast:", "lock:", "allow:"] {
+    for rule in ["panic:", "cast:", "growth:", "lock:", "allow:"] {
         assert!(
             report.gate_failures.iter().any(|g| g.starts_with(rule)),
             "missing {rule} gate failure in {:?}",
@@ -100,6 +102,7 @@ fn protocol_audit(label: &str, mutate: impl Fn(String, String) -> (String, Strin
     let cfg = RuleConfig {
         panic_crates: vec![],
         cast_crates: vec![],
+        growth_crates: vec![],
         lock_crates: vec![],
         locks: BTreeMap::new(),
         ratchet: BTreeMap::new(),

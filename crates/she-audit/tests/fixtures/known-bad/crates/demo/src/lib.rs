@@ -32,3 +32,7 @@ pub fn malformed_allow_above() {
 pub fn boom() -> ! {
     unreachable!("unannotated")
 }
+
+pub fn hoard(log: &mut Vec<u32>, x: u32) {
+    log.push(x);
+}

@@ -22,6 +22,20 @@ pub fn annotated() -> u32 {
     [1u32].first().copied().unwrap()
 }
 
+pub fn bounded_log(log: &mut Vec<u32>, x: u32, cap: usize) {
+    if log.len() >= cap {
+        log.remove(0);
+    }
+    log.push(x);
+}
+
+pub fn annotated_growth(v: &mut Vec<u32>, batch: &[u32]) {
+    // audit:allow(growth): grows by at most one element per batch entry
+    for &x in batch {
+        v.push(x);
+    }
+}
+
 // A string mentioning Mutex::new must not confuse the lexer:
 pub const DOC: &str = "call Mutex::new(0) and x as u32 here";
 

@@ -1,0 +1,262 @@
+//! The kill-primary failover drill: a partitioned cluster under a seeded
+//! workload loses one primary outright, the surviving nodes must elect
+//! and converge on a new map within the failover budget, and a
+//! scatter-gather battery through a surviving coordinator must stay
+//! bit-for-bit identical to a single in-process mirror of the full
+//! stream.
+//!
+//! The drill is the cluster-layer counterpart of [`crate::soak`]: the
+//! soak fires faults at one replication link, the drill removes a whole
+//! node and checks the *membership* machinery — deterministic election
+//! (lowest-id live replica holder), gossip convergence, and query
+//! re-routing — end to end against real servers.
+
+use she_cluster::{ClusterNode, NodeConfig};
+use she_hash::{mix64, RandomSource, Xoshiro256};
+use she_server::protocol::Response;
+use she_server::{cluster_op, Client, ClusterMap, DirectEngine, EngineConfig, NodeRef};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// Everything the drill needs; [`ClusterDrillConfig::default`] is the
+/// check.sh configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterDrillConfig {
+    /// Master seed for the workload and probe set.
+    pub seed: u64,
+    /// Cluster size (one partition per node; ≥ 3 so a kill leaves a
+    /// functioning majority of untouched partitions).
+    pub nodes: usize,
+    /// Keys inserted before the kill.
+    pub keys: usize,
+    /// Cluster-wide window, in items.
+    pub window: u64,
+    /// Cluster-wide memory budget per structure.
+    pub memory_bytes: usize,
+    /// Heartbeat timeout after which a silent peer is declared dead.
+    pub heartbeat_timeout_ms: u64,
+}
+
+impl Default for ClusterDrillConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xFA11_0E5A_D411,
+            nodes: 3,
+            keys: 3_000,
+            window: 6 * 1024,
+            memory_bytes: 12 * 1024,
+            heartbeat_timeout_ms: 800,
+        }
+    }
+}
+
+/// What the drill observed. A report implies every check passed; the
+/// fields feed the human-readable summary.
+#[derive(Debug, Clone)]
+pub struct ClusterDrillReport {
+    /// Cluster size at start.
+    pub nodes: usize,
+    /// Keys inserted (cluster and mirror alike).
+    pub inserted: u64,
+    /// Node id of the killed primary.
+    pub killed: u64,
+    /// Node id promoted to own the orphaned partition.
+    pub promoted: u64,
+    /// Wall-clock from kill to every survivor serving the new map.
+    pub failover_ms: u64,
+    /// Battery answers compared bit-for-bit after failover.
+    pub battery: usize,
+}
+
+impl std::fmt::Display for ClusterDrillReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cluster drill: {} nodes, {} keys, killed primary {} — node {} promoted in {}ms",
+            self.nodes, self.inserted, self.killed, self.promoted, self.failover_ms
+        )?;
+        write!(f, "  post-failover scatter-gather: {} answers, bit-for-bit vs mirror", self.battery)
+    }
+}
+
+/// Outer bound on any single wait inside the drill.
+const DRILL_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn ctx<E: std::fmt::Display>(what: &str) -> impl FnOnce(E) -> String + '_ {
+    move |e| format!("{what}: {e}")
+}
+
+/// Grab `n` distinct loopback ports by binding and immediately releasing
+/// them; the tiny reuse window is acceptable in a drill.
+fn reserve_addrs(n: usize) -> Result<Vec<String>, String> {
+    let mut listeners = Vec::with_capacity(n);
+    for _ in 0..n {
+        listeners.push(TcpListener::bind("127.0.0.1:0").map_err(ctx("reserve port"))?);
+    }
+    let mut addrs = Vec::with_capacity(n);
+    for l in &listeners {
+        addrs.push(l.local_addr().map_err(ctx("read reserved port"))?.to_string());
+    }
+    Ok(addrs)
+}
+
+fn connect_v4(addr: &str) -> Result<Client, String> {
+    let mut c = Client::connect_timeout(addr, Duration::from_secs(5))
+        .map_err(ctx("connect to cluster node"))?;
+    let v = c.hello().map_err(ctx("hello"))?;
+    if v < 4 {
+        return Err(format!("node {addr} negotiated protocol v{v}, need v4"));
+    }
+    Ok(c)
+}
+
+/// Run the drill; `Err` carries the first failed check (the caller
+/// prints the seed for replay).
+pub fn run(cfg: &ClusterDrillConfig) -> Result<ClusterDrillReport, String> {
+    if cfg.nodes < 3 {
+        return Err("cluster drill needs at least 3 nodes".to_string());
+    }
+    let addrs = reserve_addrs(cfg.nodes)?;
+    let roster: Vec<NodeRef> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| NodeRef {
+            node_id: u64::try_from(i).unwrap_or(u64::MAX) + 1,
+            addr: a.clone(),
+        })
+        .collect();
+
+    let mut nodes: Vec<ClusterNode> = Vec::with_capacity(cfg.nodes);
+    for r in &roster {
+        nodes.push(
+            ClusterNode::start(NodeConfig {
+                node_id: r.node_id,
+                roster: roster.clone(),
+                window: cfg.window,
+                memory_bytes: cfg.memory_bytes,
+                seed: 7,
+                gossip_ms: 50,
+                heartbeat_timeout_ms: cfg.heartbeat_timeout_ms,
+                ..Default::default()
+            })
+            .map_err(ctx("start cluster node"))?,
+        );
+    }
+    let map = nodes[0].directory().get();
+
+    // ---- seeded workload, routed like a cluster-aware writer ----------
+    let mut mirror = DirectEngine::new(EngineConfig {
+        window: cfg.window,
+        shards: cfg.nodes,
+        memory_bytes: cfg.memory_bytes,
+        seed: 7,
+    });
+    let mut rng = Xoshiro256::new(mix64(cfg.seed ^ 0xD1CE_D1CE));
+    let mut inserted = 0u64;
+    for stream in [0u8, 1u8] {
+        let count = if stream == 0 { cfg.keys } else { cfg.keys / 4 };
+        let keys: Vec<u64> = (0..count).map(|_| rng.next_range(0, 4_096)).collect();
+        for &k in &keys {
+            mirror.insert(stream, k);
+        }
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); cfg.nodes];
+        for &k in &keys {
+            // audit:allow(growth): one entry per workload key
+            buckets[map.partition_of(k)].push(k);
+        }
+        for (p, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut c = connect_v4(&map.partitions[p].primary.addr)?;
+            inserted += c.insert_batch(stream, bucket).map_err(ctx("insert on partition"))?;
+        }
+    }
+
+    // ---- drain every partition's replica before the kill --------------
+    // The primary knows its subscriber's acked sequence; a kill before
+    // the tail drains would be testing data loss, not failover.
+    let drain_by = Instant::now() + DRILL_TIMEOUT;
+    for part in &map.partitions {
+        loop {
+            let info = connect_v4(&part.primary.addr)?
+                .cluster_status()
+                .map_err(ctx("partition cluster status"))?;
+            if info.head == 0 || info.peers.iter().any(|p| p.acked >= info.head) {
+                break;
+            }
+            if Instant::now() >= drain_by {
+                return Err(format!(
+                    "partition {} replica never drained (head {}, peers {:?})",
+                    part.primary.node_id, info.head, info.peers
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // ---- kill partition 0's primary -----------------------------------
+    let killed = map.partitions[0].primary.node_id;
+    let victim_addr = map.partitions[0].primary.addr.clone();
+    let victim_at = nodes
+        .iter()
+        .position(|n| n.local_addr().to_string() == victim_addr)
+        .ok_or_else(|| format!("node {killed} not found in the started set"))?;
+    let victim = nodes.remove(victim_at);
+    let killed_at = Instant::now();
+    victim.shutdown();
+    victim.wait();
+
+    // ---- every survivor must converge on the promoted map -------------
+    let deadline = killed_at + DRILL_TIMEOUT;
+    let new_map: ClusterMap = loop {
+        let mut views: Vec<ClusterMap> = nodes.iter().map(|n| n.directory().get()).collect();
+        let settled = views.iter().all(|v| {
+            v.epoch > map.epoch && v.partitions[0].primary.node_id != killed && v == &views[0]
+        });
+        if settled {
+            break views.remove(0);
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "failover did not converge within {}s (epochs: {:?})",
+                DRILL_TIMEOUT.as_secs(),
+                views.iter().map(|v| v.epoch).collect::<Vec<_>>()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let failover_ms = u64::try_from(killed_at.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let promoted = new_map.partitions[0].primary.node_id;
+
+    // ---- post-failover battery, bit-for-bit vs the mirror -------------
+    let coordinator = nodes.last().ok_or("no survivors")?.local_addr().to_string();
+    let mut c = connect_v4(&coordinator)?;
+    let probes: Vec<u64> = (0..64).map(|_| rng.next_range(0, 4_096)).collect();
+    let mut battery = 0usize;
+    for &k in &probes {
+        match c.cluster_query(cluster_op::MEMBER, k).map_err(ctx("cluster member"))? {
+            Response::Bool(b) if b == mirror.member(k) => battery += 1,
+            other => return Err(format!("member({k}) diverged after failover: {other:?}")),
+        }
+        match c.cluster_query(cluster_op::FREQ, k).map_err(ctx("cluster freq"))? {
+            Response::U64(n) if n == mirror.frequency(k) => battery += 1,
+            other => return Err(format!("freq({k}) diverged after failover: {other:?}")),
+        }
+    }
+    match c.cluster_query(cluster_op::CARD, 0).map_err(ctx("cluster card"))? {
+        Response::F64(v) if v.to_bits() == mirror.cardinality().to_bits() => battery += 1,
+        other => return Err(format!("cardinality diverged after failover: {other:?}")),
+    }
+    match c.cluster_query(cluster_op::SIM, 0).map_err(ctx("cluster sim"))? {
+        Response::F64(v) if v.to_bits() == mirror.similarity().to_bits() => battery += 1,
+        other => return Err(format!("similarity diverged after failover: {other:?}")),
+    }
+
+    for n in nodes {
+        n.shutdown();
+        n.wait();
+    }
+
+    Ok(ClusterDrillReport { nodes: cfg.nodes, inserted, killed, promoted, failover_ms, battery })
+}

@@ -23,15 +23,22 @@
 //!   real connection through fault injection; [`ChaosProxy::sever`] is
 //!   the scripted network blip.
 //! - [`soak`] — the end-to-end scenario: primary + replica under the
-//!   proxy, kill/restart cycles, and a bit-for-bit verdict against an
-//!   in-process mirror. `scripts/check.sh` runs it with a fixed seed.
+//!   proxy, kill/restart cycles, checkpoint corruption with generation
+//!   fallback, and a bit-for-bit verdict against an in-process mirror.
+//!   `scripts/check.sh` runs it with a fixed seed.
+//! - [`drill`] — the cluster failover drill: a partitioned cluster loses
+//!   one primary outright; election, gossip convergence, and
+//!   scatter-gather re-routing must keep answers bit-for-bit identical
+//!   to a single-engine mirror.
 
+pub mod drill;
 pub mod fault;
 pub mod fs;
 pub mod proxy;
 pub mod soak;
 pub mod stream;
 
+pub use drill::{ClusterDrillConfig, ClusterDrillReport};
 pub use fault::{FaultConfig, Faults, FileFault, WireFault};
 pub use fs::{atomic_write, ChaosFs};
 pub use proxy::ChaosProxy;

@@ -31,7 +31,10 @@ use crate::proxy::ChaosProxy;
 use she_hash::{mix64, RandomSource, Xoshiro256};
 use she_metrics::{FaultCountersSnapshot, ServeCountersSnapshot};
 use she_replica::{Replica, ReplicaConfig};
-use she_server::{Checkpoint, Client, DirectEngine, EngineConfig, Server, ServerConfig};
+use she_server::{
+    Checkpoint, CheckpointStore, Client, DirectEngine, EngineConfig, LoadOutcome, Server,
+    ServerConfig,
+};
 use std::io::Write;
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -79,6 +82,9 @@ pub struct SoakReport {
     pub stalled_client_evicted: bool,
     /// A torn checkpoint was detected at decode with a clean error.
     pub torn_checkpoint_detected: bool,
+    /// Corrupting the latest checkpoint generation triggered automatic
+    /// fallback to the previous generation, bit-for-bit.
+    pub checkpoint_fallback_bit_for_bit: bool,
 }
 
 impl std::fmt::Display for SoakReport {
@@ -91,7 +97,12 @@ impl std::fmt::Display for SoakReport {
         writeln!(f, "  wire faults injected: {}", self.wire_faults)?;
         writeln!(f, "  primary self-protection: {}", self.primary_serve)?;
         writeln!(f, "  stalled client evicted: {}", self.stalled_client_evicted)?;
-        write!(f, "  torn checkpoint detected at restore: {}", self.torn_checkpoint_detected)
+        writeln!(f, "  torn checkpoint detected at restore: {}", self.torn_checkpoint_detected)?;
+        write!(
+            f,
+            "  corrupt-latest fallback recovered bit-for-bit: {}",
+            self.checkpoint_fallback_bit_for_bit
+        )
     }
 }
 
@@ -141,6 +152,7 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakReport, String> {
         reconnect_cap_ms: 100,
         max_bootstrap_attempts: 200,
         op_timeout_ms: 5_000,
+        ..Default::default()
     };
     let mut replica = Replica::start(replica_cfg.clone()).map_err(ctx("start replica"))?;
 
@@ -275,6 +287,44 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakReport, String> {
         ));
     }
 
+    // ---- corruption drill: corrupt latest, fall back bit-for-bit ---------
+    // Two real generations: the battery-verified checkpoint, then a
+    // strictly newer one after more traffic. Mangling the newer one must
+    // make the store quarantine it and serve the older generation
+    // unchanged — the "one flipped bit, zero data loss" contract.
+    let store = CheckpointStore::new(cfg.dir.join("store"));
+    let _ = std::fs::remove_dir_all(store.dir());
+    store.save(&blob).map_err(ctx("save checkpoint generation 1"))?;
+    let extra: Vec<u64> = (0..256).map(|_| rng.next_range(0, 6_000)).collect();
+    client.insert_batch(0, &extra).map_err(ctx("insert post-checkpoint batch"))?;
+    let blob2 = client.snapshot_all().map_err(ctx("fetch checkpoint generation 2"))?;
+    if blob2 == blob {
+        return Err("generation 2 checkpoint identical to generation 1 — drill is vacuous".into());
+    }
+    store.save(&blob2).map_err(ctx("save checkpoint generation 2"))?;
+    let mut mangled = std::fs::read(store.latest_path()).map_err(ctx("read latest generation"))?;
+    let mid = mangled.len() / 2;
+    mangled[mid] ^= 0xFF;
+    std::fs::write(store.latest_path(), &mangled).map_err(ctx("corrupt latest generation"))?;
+    let (recovered, outcome) =
+        store.load().map_err(|e| format!("fallback load after corruption failed: {e}"))?;
+    match outcome {
+        LoadOutcome::FellBack { quarantined } => {
+            if !quarantined.exists() {
+                return Err("corrupt generation was not kept in quarantine".to_string());
+            }
+        }
+        LoadOutcome::Latest => {
+            return Err("corrupt latest generation decoded as valid — fallback never ran".into());
+        }
+    }
+    if recovered.encode() != blob {
+        return Err(
+            "fallback recovery is not bit-for-bit identical to the previous generation".into()
+        );
+    }
+    let checkpoint_fallback_bit_for_bit = true;
+
     // ---- teardown ---------------------------------------------------------
     let primary_serve = counters.snapshot();
     let wire_faults = proxy.counters().snapshot();
@@ -289,6 +339,7 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakReport, String> {
         primary_serve,
         stalled_client_evicted,
         torn_checkpoint_detected,
+        checkpoint_fallback_bit_for_bit,
     })
 }
 

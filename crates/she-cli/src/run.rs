@@ -35,26 +35,57 @@ COMMANDS
                engine sizing is inherited from the primary's snapshot)
                --anti-entropy-ms N --heartbeat-timeout-ms N (replica only)
   checkpoint   write a running server's state to DIR/checkpoint.she
-               (crash-safe: temp file + fsync + atomic rename)
+               (crash-safe: temp file + atomic rename; the prior file is
+               rotated to checkpoint.prev.she so a corrupt latest falls
+               back automatically on restore)
                --addr HOST:PORT --dir DIR --timeout-ms N
   query        one query against a running server (bit-exact output)
                --addr HOST:PORT --op member|card|freq|sim --key N --timeout-ms N
+  cluster-serve  run one node of a partitioned cluster (docs/CLUSTER.md):
+               partition primary + ring-predecessor replica + gossip
+               failover monitor
+               --node-id N --roster \"1@H:P,2@H:P,...\" --window N --memory B
+               --seed N --queue N --repl-log N --gossip-ms N
+               --heartbeat-timeout-ms N
+  cluster-map  print a node's cluster map, one grep-friendly line per
+               partition --addr HOST:PORT --timeout-ms N
+  cluster-query  scatter-gather one query across the cluster via a
+               coordinator node (bit-exact output, same formats as query)
+               --addr HOST:PORT --op member|card|freq|sim --key N --timeout-ms N
+  cluster-rebalance  live-migrate a running server's partition state to
+               another running server, resharding in flight (bulk snapshot
+               + op-log delta replay)
+               --from HOST:PORT --to HOST:PORT --shards N --timeout-ms N
   cluster-status  one-line replication position of a node (docs/REPLICATION.md)
                --addr HOST:PORT --timeout-ms N
   chaos-soak   deterministic fault-injection soak: primary + replica under a
-               fault proxy, kill/restart cycles, bit-for-bit mirror verdict
+               fault proxy, kill/restart cycles, checkpoint corruption with
+               generation fallback, bit-for-bit mirror verdict
                (docs/ROBUSTNESS.md) --seed N --cycles N --keys N --dir DIR
+  chaos-cluster  kill-primary failover drill: seeded workload on a real
+               partitioned cluster, one primary killed, survivors must
+               converge and keep scatter-gather answers bit-for-bit
+               (docs/CLUSTER.md) --seed N --nodes N --keys N
+               --heartbeat-timeout-ms N
   mirror-check replay the loadgen workload into an in-process mirror and
                compare a quiescent node's answers bit-for-bit
                --addr HOST:PORT --items N --batch N --universe N --skew F
                --seed N --sim-every N --probes N (+ --shards/--window/
                --memory/--engine-seed matching the serving engine)
+               --cluster yes (treat --addr as a coordinator: answers come
+               from CLUSTER_QUERY scatter-gather, --shards must equal the
+               partition count, and the whole --items stream must be
+               applied cluster-wide)
   loadgen      drive a running server with a Zipf workload
                --addr HOST:PORT --items N --batch N --queries N --open RATE
                --universe N --skew F --seed N --verify yes (+ --shards/
                --window/--memory/--engine-seed matching the server)
                --connections N (fan out; merged latency histograms)
                --read-from HOST:PORT (send the queries to a replica)
+               --cluster yes (treat --addr as a cluster seed node: writes
+               route per partition, queries scatter-gather, and the map is
+               refreshed through failovers) --offset N (skip the first N
+               items of the seeded stream — continue an interrupted run)
   shutdown     ask a running server to drain and stop
                --addr HOST:PORT
   audit        run the workspace static-analysis gate (docs/ANALYSIS.md):
@@ -145,8 +176,13 @@ pub fn dispatch(a: &Args) -> Result<(), CliError> {
         "serve" => serve(a),
         "checkpoint" => checkpoint(a),
         "query" => query(a),
+        "cluster-serve" => cluster_serve(a),
+        "cluster-map" => cluster_map(a),
+        "cluster-query" => cluster_query(a),
+        "cluster-rebalance" => cluster_rebalance(a),
         "cluster-status" => cluster_status(a),
         "chaos-soak" => chaos_soak(a),
+        "chaos-cluster" => chaos_cluster(a),
         "mirror-check" => mirror_check(a),
         "loadgen" => loadgen(a),
         "shutdown" => shutdown(a),
@@ -279,33 +315,26 @@ fn engine_config(a: &Args, seed_flag: &str) -> Result<she_server::EngineConfig, 
     })
 }
 
-/// Read and decode `DIR/checkpoint.she`. Boxing lets one error path carry
-/// both `io::Error` and `she_core::SnapshotError` (a `std::error::Error`).
+/// Read and decode the newest intact checkpoint generation in `DIR` via
+/// [`she_server::CheckpointStore`].
 ///
-/// A file that *reads* but does not *decode* (torn write, bit rot) is
-/// quarantined: moved aside to `checkpoint.she.corrupt` so the next
-/// `she checkpoint` can write a fresh one, and reported as a clean error
-/// — corruption must never panic or be restored from silently.
+/// A latest file that *reads* but does not *decode* (torn write, bit rot)
+/// is quarantined — moved aside to `checkpoint.she.corrupt` — and the
+/// store falls back to the previous generation if one is intact; only
+/// when no generation survives does the restore fail, with a clean error.
+/// Corruption must never panic or be restored from silently, so a
+/// fallback is reported on stderr.
 fn load_checkpoint(dir: &str) -> Result<she_server::Checkpoint, Box<dyn std::error::Error>> {
-    let path = std::path::Path::new(dir).join("checkpoint.she");
-    let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-    match she_server::Checkpoint::decode(&bytes) {
-        Ok(ckpt) => Ok(ckpt),
-        Err(e) => {
-            let quarantine = std::path::Path::new(dir).join("checkpoint.she.corrupt");
-            let moved = std::fs::rename(&path, &quarantine).is_ok();
-            Err(format!(
-                "{}: corrupt checkpoint ({e}){}",
-                path.display(),
-                if moved {
-                    format!("; quarantined to {}", quarantine.display())
-                } else {
-                    String::new()
-                }
-            )
-            .into())
-        }
+    let store = she_server::CheckpointStore::new(dir);
+    let (ckpt, outcome) = store.load()?;
+    if let she_server::LoadOutcome::FellBack { quarantined } = outcome {
+        eprintln!(
+            "warning: {} was corrupt (quarantined to {}); restored the previous generation",
+            store.latest_path().display(),
+            quarantined.display()
+        );
     }
+    Ok(ckpt)
 }
 
 fn serve(a: &Args) -> Result<(), CliError> {
@@ -482,6 +511,39 @@ fn chaos_soak(a: &Args) -> Result<(), CliError> {
     }
 }
 
+/// Run the kill-primary cluster failover drill (docs/CLUSTER.md): a real
+/// partitioned cluster in this process, a seeded workload routed by the
+/// cluster map, one primary killed outright, and a post-failover
+/// scatter-gather battery compared bit-for-bit against an in-process
+/// mirror. Exit 0 means every check held; on failure the seed is printed
+/// for an exact replay.
+fn chaos_cluster(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&["seed", "nodes", "keys", "window", "memory", "heartbeat-timeout-ms"])?;
+    let defaults = she_chaos::ClusterDrillConfig::default();
+    let cfg = she_chaos::ClusterDrillConfig {
+        seed: a.get_u64("seed", defaults.seed)?,
+        nodes: a.get_u64("nodes", defaults.nodes as u64)? as usize,
+        keys: a.get_u64("keys", defaults.keys as u64)? as usize,
+        window: a.get_u64("window", defaults.window)?,
+        memory_bytes: a.get_u64("memory", defaults.memory_bytes as u64)? as usize,
+        heartbeat_timeout_ms: a.get_u64("heartbeat-timeout-ms", defaults.heartbeat_timeout_ms)?,
+    };
+    println!(
+        "cluster drill starting: seed={} nodes={} keys={} heartbeat-timeout-ms={}",
+        cfg.seed, cfg.nodes, cfg.keys, cfg.heartbeat_timeout_ms
+    );
+    match she_chaos::drill::run(&cfg) {
+        Ok(report) => {
+            println!("{report}");
+            Ok(())
+        }
+        Err(e) => Err(CliError {
+            msg: format!("cluster drill FAILED (replay with --seed {}): {e}", cfg.seed),
+            code: 1,
+        }),
+    }
+}
+
 /// The four wire queries `she query --op` can issue. Parsing the flag
 /// into a type (instead of validating a string twice) keeps the dispatch
 /// below exhaustive — there is no "impossible" arm left to panic in.
@@ -581,11 +643,15 @@ fn loadgen(a: &Args) -> Result<(), CliError> {
         "engine-seed",
         "read-from",
         "connections",
+        "cluster",
+        "offset",
     ])?;
     let verify = a.get("verify", "no");
     let read_from = a.get("read-from", "");
+    let addr = a.get("addr", "127.0.0.1:7487");
+    let cluster = matches!(a.get("cluster", "no").as_str(), "yes" | "true" | "1");
     let cfg = she_server::LoadgenConfig {
-        addr: a.get("addr", "127.0.0.1:7487"),
+        addr: addr.clone(),
         items: a.get_u64("items", 1 << 20)?,
         batch: a.get_u64("batch", 512)? as usize,
         queries: a.get_u64("queries", 10_000)?,
@@ -603,6 +669,8 @@ fn loadgen(a: &Args) -> Result<(), CliError> {
         },
         read_from: if read_from.is_empty() { None } else { Some(read_from) },
         connections: a.get_u64("connections", 1)? as usize,
+        cluster: cluster.then(|| addr.clone()),
+        offset: a.get_u64("offset", 0)?,
     };
     let summary = she_server::loadgen::run(&cfg).map_err(|err| net_err(&cfg.addr, err))?;
     summary.print();
@@ -652,6 +720,169 @@ fn cluster_status(a: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `she cluster-serve` — run one node of a partitioned cluster: the
+/// partition primary, the ring-predecessor replica, and the gossip
+/// failover monitor (docs/CLUSTER.md).
+fn cluster_serve(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&[
+        "node-id",
+        "roster",
+        "window",
+        "memory",
+        "seed",
+        "queue",
+        "repl-log",
+        "gossip-ms",
+        "heartbeat-timeout-ms",
+    ])?;
+    let roster = she_cluster::parse_roster(&a.get("roster", "")).map_err(ArgError)?;
+    let n = roster.len();
+    let defaults = she_cluster::NodeConfig::default();
+    let cfg = she_cluster::NodeConfig {
+        node_id: a.get_u64("node-id", 1)?,
+        roster,
+        window: a.get_u64("window", defaults.window)?,
+        memory_bytes: a.get_u64("memory", defaults.memory_bytes as u64)? as usize,
+        seed: a.get_u64("seed", u64::from(defaults.seed))? as u32,
+        queue_capacity: a.get_u64("queue", defaults.queue_capacity as u64)? as usize,
+        repl_log: a.get_u64("repl-log", defaults.repl_log as u64)? as usize,
+        gossip_ms: a.get_u64("gossip-ms", defaults.gossip_ms)?,
+        heartbeat_timeout_ms: a.get_u64("heartbeat-timeout-ms", defaults.heartbeat_timeout_ms)?,
+    };
+    let node_id = cfg.node_id;
+    let node = she_cluster::ClusterNode::start(cfg).map_err(|err| ArgError(err.to_string()))?;
+    println!(
+        "she-cluster node {node_id} listening on {} — {n} partition(s); \
+         replica of its ring predecessor; gossip failover armed",
+        node.local_addr()
+    );
+    println!("(stop with the wire SHUTDOWN request)");
+    print_shard_stats(&node.wait());
+    Ok(())
+}
+
+/// `she cluster-map` — print a node's current cluster map, one
+/// grep-friendly line per partition.
+fn cluster_map(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&["addr", "timeout-ms"])?;
+    let addr = a.get("addr", "127.0.0.1:7487");
+    let io = |err: std::io::Error| net_err(&addr, err);
+    let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    client.set_op_timeout(op_timeout(a)?).map_err(io)?;
+    let version = client.hello().map_err(io)?;
+    if version < 4 {
+        return Err(ArgError(format!(
+            "server at {addr} speaks protocol v{version}; CLUSTER_MAP needs v4"
+        ))
+        .into());
+    }
+    let map = client.cluster_map().map_err(io)?;
+    println!("epoch={} partitions={}", map.epoch, map.partitions.len());
+    for (p, pm) in map.partitions.iter().enumerate() {
+        let replicas: Vec<String> =
+            pm.replicas.iter().map(|r| format!("{}@{}", r.node_id, r.addr)).collect();
+        println!(
+            "partition={p} primary={}@{} replicas={}",
+            pm.primary.node_id,
+            pm.primary.addr,
+            replicas.join(",")
+        );
+    }
+    Ok(())
+}
+
+/// `she cluster-query` — one scatter-gather query through a coordinator
+/// node; output formats match `she query` so scripts can diff the two.
+fn cluster_query(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&["addr", "op", "key", "timeout-ms"])?;
+    let op = QueryOp::parse(&a.get("op", "member"))?;
+    let addr = a.get("addr", "127.0.0.1:7487");
+    let key = a.get_u64("key", 0)?;
+    let io = |err: std::io::Error| net_err(&addr, err);
+    let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    client.set_op_timeout(op_timeout(a)?).map_err(io)?;
+    let version = client.hello().map_err(io)?;
+    if version < 4 {
+        return Err(ArgError(format!(
+            "server at {addr} speaks protocol v{version}; CLUSTER_QUERY needs v4"
+        ))
+        .into());
+    }
+    let wire_op = match op {
+        QueryOp::Member => she_server::cluster_op::MEMBER,
+        QueryOp::Card => she_server::cluster_op::CARD,
+        QueryOp::Freq => she_server::cluster_op::FREQ,
+        QueryOp::Sim => she_server::cluster_op::SIM,
+    };
+    let reply = client.cluster_query(wire_op, key).map_err(io)?;
+    match reply {
+        she_server::protocol::Response::Bool(v) => println!("member {key} = {v}"),
+        she_server::protocol::Response::U64(v) => println!("freq {key} = {v}"),
+        she_server::protocol::Response::F64(v) => match op {
+            QueryOp::Card => println!("card = {v:.6} (bits {:#018x})", v.to_bits()),
+            _ => println!("sim = {v:.6} (bits {:#018x})", v.to_bits()),
+        },
+        other => return Err(ArgError(format!("unexpected CLUSTER_QUERY reply {other:?}")).into()),
+    }
+    Ok(())
+}
+
+/// `she cluster-rebalance` — live-migrate a running server's state to
+/// another running server, optionally resharding in flight.
+fn cluster_rebalance(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&["from", "to", "shards", "timeout-ms"])?;
+    let from = a.get("from", "");
+    let to = a.get("to", "");
+    if from.is_empty() || to.is_empty() {
+        return Err(ArgError("cluster-rebalance needs --from and --to".to_string()).into());
+    }
+    let shards = a.get_u64("shards", 0)? as usize;
+    // migrate() needs a finite convergence bound; 0 gets a generous hour.
+    let timeout = op_timeout(a)?.unwrap_or_else(|| std::time::Duration::from_secs(3_600));
+    let report =
+        she_cluster::migrate(&from, &to, shards, timeout).map_err(|err| net_err(&from, err))?;
+    println!(
+        "migrated {from} -> {to}: bulk checkpoint cut at seq {}, {} delta record(s) replayed \
+         to seq {}, rebuilt at {} shard(s)",
+        report.cut, report.records, report.applied, report.dst_shards
+    );
+    Ok(())
+}
+
+/// One mirror-check probe: plain query to the node, or scatter-gather
+/// `CLUSTER_QUERY` through it when `cluster` is set.
+fn probe_bool(c: &mut she_server::Client, cluster: bool, key: u64) -> std::io::Result<bool> {
+    if !cluster {
+        return c.query_member(key);
+    }
+    match c.cluster_query(she_server::cluster_op::MEMBER, key)? {
+        she_server::protocol::Response::Bool(v) => Ok(v),
+        other => Err(std::io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
+    }
+}
+
+/// See [`probe_bool`].
+fn probe_freq(c: &mut she_server::Client, cluster: bool, key: u64) -> std::io::Result<u64> {
+    if !cluster {
+        return c.query_freq(key);
+    }
+    match c.cluster_query(she_server::cluster_op::FREQ, key)? {
+        she_server::protocol::Response::U64(v) => Ok(v),
+        other => Err(std::io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
+    }
+}
+
+/// See [`probe_bool`]; `op` is `cluster_op::CARD` or `cluster_op::SIM`.
+fn probe_f64(c: &mut she_server::Client, cluster: bool, op: u8) -> std::io::Result<f64> {
+    if !cluster {
+        return if op == she_server::cluster_op::CARD { c.query_card() } else { c.query_sim() };
+    }
+    match c.cluster_query(op, 0)? {
+        she_server::protocol::Response::F64(v) => Ok(v),
+        other => Err(std::io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
+    }
+}
+
 /// Replay the loadgen workload into an in-process [`DirectEngine`]
 /// mirror and compare a quiescent node's query answers bit-for-bit.
 ///
@@ -676,6 +907,7 @@ fn mirror_check(a: &Args) -> Result<(), CliError> {
         "shards",
         "memory",
         "engine-seed",
+        "cluster",
     ])?;
     let addr = a.get("addr", "127.0.0.1:7488");
     let items = a.get_u64("items", 1 << 20)?;
@@ -685,39 +917,61 @@ fn mirror_check(a: &Args) -> Result<(), CliError> {
     let seed = a.get_u64("seed", 1)?;
     let sim_every = a.get_u64("sim-every", 8)?;
     let probes = a.get_u64("probes", 64)?;
+    let cluster = matches!(a.get("cluster", "no").as_str(), "yes" | "true" | "1");
     let engine = engine_config(a, "engine-seed")?;
 
     let io = |err: std::io::Error| net_err(&addr, err);
     let mut client = she_server::Client::connect(&addr).map_err(io)?;
     let version = client.hello().map_err(io)?;
-    if version < 3 {
+    let need = if cluster { 4 } else { 3 };
+    if version < need {
         return Err(ArgError(format!(
-            "server at {addr} speaks protocol v{version}; mirror-check needs v3"
+            "server at {addr} speaks protocol v{version}; mirror-check needs v{need}"
         ))
         .into());
     }
-    // The node must be quiescent: its position (primary head / replica
-    // applied) tells the mirror how many batches to replay, which only
-    // holds once it has stopped moving.
-    let first = client.cluster_status().map_err(io)?;
-    std::thread::sleep(std::time::Duration::from_millis(250));
-    let second = client.cluster_status().map_err(io)?;
-    if first.head != second.head {
-        return Err(ArgError(format!(
-            "node at {addr} is still applying (seq {} -> {}); quiesce the stream first",
-            first.head, second.head
-        ))
-        .into());
-    }
-    let applied = second.head;
     let n_batches = items.div_ceil(batch);
-    if applied > n_batches {
-        return Err(ArgError(format!(
-            "node is at seq {applied} but --items {items} --batch {batch} only yields \
-             {n_batches} batches; pass the flags the loadgen run used"
-        ))
-        .into());
-    }
+    let applied = if cluster {
+        // Cluster mode: answers come from CLUSTER_QUERY scatter-gather,
+        // so the mirror must hold the *whole* stream — the caller is
+        // responsible for having applied all --items cluster-wide. The
+        // merge runs in partition order, so the mirror's shard count
+        // must equal the partition count.
+        let map = client.cluster_map().map_err(io)?;
+        if engine.shards != map.partitions.len() {
+            return Err(ArgError(format!(
+                "--shards {} but the cluster has {} partitions; the scatter-gather merge \
+                 runs in partition order, so the mirror must shard identically",
+                engine.shards,
+                map.partitions.len()
+            ))
+            .into());
+        }
+        n_batches
+    } else {
+        // The node must be quiescent: its position (primary head /
+        // replica applied) tells the mirror how many batches to replay,
+        // which only holds once it has stopped moving.
+        let first = client.cluster_status().map_err(io)?;
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let second = client.cluster_status().map_err(io)?;
+        if first.head != second.head {
+            return Err(ArgError(format!(
+                "node at {addr} is still applying (seq {} -> {}); quiesce the stream first",
+                first.head, second.head
+            ))
+            .into());
+        }
+        if second.head > n_batches {
+            return Err(ArgError(format!(
+                "node is at seq {} but --items {items} --batch {batch} only yields \
+                 {n_batches} batches; pass the flags the loadgen run used",
+                second.head
+            ))
+            .into());
+        }
+        second.head
+    };
 
     let mut mirror = she_server::DirectEngine::new(engine);
     let mut keygen = CaidaLike::new(universe, skew, seed);
@@ -736,14 +990,14 @@ fn mirror_check(a: &Args) -> Result<(), CliError> {
     let mut mismatches = 0u64;
     for i in 0..probes {
         let key = she_hash::mix64(seed.wrapping_add(i)) % universe as u64;
-        let got = client.query_member(key).map_err(io)?;
+        let got = probe_bool(&mut client, cluster, key).map_err(io)?;
         let want = mirror.member(key);
         checked += 1;
         if got != want {
             mismatches += 1;
             eprintln!("mismatch: member({key}) node={got} mirror={want}");
         }
-        let got = client.query_freq(key).map_err(io)?;
+        let got = probe_freq(&mut client, cluster, key).map_err(io)?;
         let want = mirror.frequency(key);
         checked += 1;
         if got != want {
@@ -751,14 +1005,14 @@ fn mirror_check(a: &Args) -> Result<(), CliError> {
             eprintln!("mismatch: freq({key}) node={got} mirror={want}");
         }
     }
-    let got = client.query_card().map_err(io)?.to_bits();
+    let got = probe_f64(&mut client, cluster, she_server::cluster_op::CARD).map_err(io)?.to_bits();
     let want = mirror.cardinality().to_bits();
     checked += 1;
     if got != want {
         mismatches += 1;
         eprintln!("mismatch: card node_bits={got:#018x} mirror_bits={want:#018x}");
     }
-    let got = client.query_sim().map_err(io)?.to_bits();
+    let got = probe_f64(&mut client, cluster, she_server::cluster_op::SIM).map_err(io)?.to_bits();
     let want = mirror.similarity().to_bits();
     checked += 1;
     if got != want {

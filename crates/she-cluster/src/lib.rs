@@ -1,0 +1,639 @@
+//! she-cluster: a partitioned multi-primary cluster over she-server.
+//!
+//! A cluster of `N` nodes serves `N` key-space *partitions*. Each node
+//! runs, inside one [`ClusterNode`]:
+//!
+//! * a **primary server** for its own partition — a single-shard
+//!   she-server sized `window/N`, `memory/N`, exactly how shard `p` of an
+//!   `N`-shard engine is sized, which is what makes cluster-wide answers
+//!   bit-for-bit identical to one `N`-shard single-process engine (see
+//!   `docs/CLUSTER.md`);
+//! * a **replica** of its ring predecessor's partition, reusing the
+//!   `she-replica` bootstrap + op-log tail runtime;
+//! * a **gossip/failover monitor**: every `gossip_ms` it exchanges
+//!   cluster maps with every peer (`CLUSTER_JOIN` push-pull, adopting
+//!   whichever view is newer under the total order), tracks which peers
+//!   answered recently, and when a partition's primary falls silent past
+//!   `heartbeat_timeout_ms` runs the deterministic election
+//!   ([`ClusterMap::elect`]: lowest-id live replica holder wins). A node
+//!   that wins a partition promotes its local replica
+//!   ([`she_replica::Replica::promote`]), rewrites the map entry with the
+//!   promoted server's real address, and installs the epoch+1 map; every
+//!   other node — and every cluster-aware client — picks the new map up
+//!   through gossip and re-routes without restarting.
+//!
+//! Failover convergence is the point of the design: the election is a
+//! pure function of `(map, alive)` and maps are totally ordered, so any
+//! gossip schedule drives every surviving node to the same view — the
+//! seeded property test below drives random heartbeat-loss sequences
+//! through random gossip orders and asserts exactly that.
+//!
+//! [`migrate`] moves one partition between *running* servers: the bulk
+//! travels as a `REPL_BOOTSTRAP` checkpoint rebuilt at the destination's
+//! shard count (any count — the range-overlap merge in
+//! `she_server::snapshot` retired the divisible-only restriction), and
+//! the delta replays from the source's op log until the destination has
+//! caught the head.
+
+use she_core::OrderedMutex;
+use she_replica::{Replica, ReplicaConfig};
+use she_server::codec::read_frame;
+use she_server::protocol::Response;
+use she_server::repl::Record;
+use she_server::{
+    Checkpoint, Client, ClusterDirectory, ClusterMap, EngineConfig, NodeRef, PartitionMap, Server,
+    ServerConfig,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Connect/op deadline for one gossip exchange — short, so one dead peer
+/// cannot stall the whole round past the heartbeat budget.
+const GOSSIP_OP_TIMEOUT: Duration = Duration::from_millis(1_000);
+
+/// How a node joins a cluster.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's cluster-unique id; elections break ties toward the
+    /// lowest id, so ids are placement policy, not just names.
+    pub node_id: u64,
+    /// Every node in the cluster — including this one — as `id ⇒ addr`.
+    /// All nodes must be started with the same roster: the epoch-1 map
+    /// is computed from it deterministically, no coordinator involved.
+    pub roster: Vec<NodeRef>,
+    /// Cluster-wide window, in items; each partition gets `window/N`.
+    pub window: u64,
+    /// Cluster-wide memory budget per structure; each partition gets
+    /// `memory/N`.
+    pub memory_bytes: usize,
+    /// Sketch seed, identical across the cluster.
+    pub seed: u32,
+    /// Bounded depth of each server's shard queue, in jobs.
+    pub queue_capacity: usize,
+    /// Op-log depth on every server (primary *and* replica, so a promoted
+    /// replica can feed successors). Must be nonzero: replication is what
+    /// failover promotes.
+    pub repl_log: usize,
+    /// Gossip round interval, in milliseconds.
+    pub gossip_ms: u64,
+    /// Declare a peer dead after this much gossip silence. Must
+    /// comfortably exceed `gossip_ms`.
+    pub heartbeat_timeout_ms: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self {
+            node_id: 1,
+            roster: Vec::new(),
+            window: 1 << 16,
+            memory_bytes: 64 << 10,
+            seed: 1,
+            queue_capacity: 256,
+            repl_log: 4_096,
+            gossip_ms: 250,
+            heartbeat_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// Parse a `1@127.0.0.1:7501,2@127.0.0.1:7502` roster string.
+pub fn parse_roster(s: &str) -> Result<Vec<NodeRef>, String> {
+    let mut roster = Vec::new();
+    for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let Some((id, addr)) = part.split_once('@') else {
+            return Err(format!("roster entry `{part}` is not `id@host:port`"));
+        };
+        let node_id =
+            id.parse::<u64>().map_err(|e| format!("roster entry `{part}`: bad id: {e}"))?;
+        if addr.is_empty() {
+            return Err(format!("roster entry `{part}` has an empty address"));
+        }
+        // audit:allow(growth): one entry per roster argument
+        roster.push(NodeRef { node_id, addr: addr.to_string() });
+    }
+    if roster.is_empty() {
+        return Err("roster is empty".to_string());
+    }
+    Ok(roster)
+}
+
+/// The per-partition engine sizing: shard `p` of an `N`-shard engine.
+fn partition_engine(cfg: &NodeConfig, n: usize) -> EngineConfig {
+    EngineConfig {
+        window: (cfg.window / n as u64).max(1),
+        shards: 1,
+        memory_bytes: (cfg.memory_bytes / n).max(64),
+        seed: cfg.seed,
+    }
+}
+
+/// One running cluster node: the partition primary, the ring-predecessor
+/// replica, and the gossip/failover monitor.
+#[derive(Debug)]
+pub struct ClusterNode {
+    server: Server,
+    directory: Arc<ClusterDirectory>,
+    replica: Arc<OrderedMutex<Option<Replica>>>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ClusterNode {
+    /// Start this node's share of the cluster described by `cfg`.
+    ///
+    /// The primary server binds immediately; the replica bootstraps in
+    /// the background (peers boot in arbitrary order, so the ring
+    /// predecessor may not be up yet) and keeps retrying until it
+    /// succeeds or the node stops.
+    pub fn start(cfg: NodeConfig) -> io::Result<ClusterNode> {
+        let mut roster = cfg.roster.clone();
+        roster.sort_by_key(|r| r.node_id);
+        let n = roster.len();
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty cluster roster"));
+        }
+        if roster.windows(2).any(|w| w[0].node_id == w[1].node_id) {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "duplicate node id in roster"));
+        }
+        let Some(me) = roster.iter().position(|r| r.node_id == cfg.node_id) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("node id {} is not in the roster", cfg.node_id),
+            ));
+        };
+        if cfg.repl_log == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cluster nodes need a nonzero repl-log (failover promotes replicas)",
+            ));
+        }
+
+        let directory = Arc::new(ClusterDirectory::new(ClusterMap::initial(&roster)));
+        let server = Server::start(ServerConfig {
+            addr: roster[me].addr.clone(),
+            engine: partition_engine(&cfg, n),
+            queue_capacity: cfg.queue_capacity,
+            repl_log: cfg.repl_log,
+            cluster: Some(Arc::clone(&directory)),
+            ..Default::default()
+        })?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let replica = Arc::new(OrderedMutex::new("cluster-node-replica", None));
+        let mut threads = Vec::new();
+
+        // Partition `p` is replicated on `roster[p+1 mod n]`, so node
+        // index `me` holds the replica of its ring predecessor.
+        let replica_partition = (me + n - 1) % n;
+        if n > 1 {
+            let rc = ReplicaConfig {
+                listen_addr: ephemeral_on_same_host(&roster[me].addr),
+                primary: roster[replica_partition].addr.clone(),
+                queue_capacity: cfg.queue_capacity,
+                heartbeat_timeout_ms: cfg.heartbeat_timeout_ms,
+                repl_log: cfg.repl_log,
+                cluster: Some(Arc::clone(&directory)),
+                max_bootstrap_attempts: 5,
+                ..Default::default()
+            };
+            let (slot, stop) = (Arc::clone(&replica), Arc::clone(&stop));
+            // audit:allow(growth): fixed worker set — one replica-bootstrap thread per node
+            threads.push(std::thread::Builder::new().name("she-cluster-replica".into()).spawn(
+                move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match Replica::start(rc.clone()) {
+                            Ok(r) => {
+                                *slot.lock() = Some(r);
+                                return;
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(200)),
+                        }
+                    }
+                },
+            )?);
+        }
+
+        {
+            let (directory, slot) = (Arc::clone(&directory), Arc::clone(&replica));
+            let stop = Arc::clone(&stop);
+            let (roster, my_id) = (roster.clone(), cfg.node_id);
+            let gossip = Duration::from_millis(cfg.gossip_ms.max(10));
+            let timeout = Duration::from_millis(cfg.heartbeat_timeout_ms.max(1));
+            // audit:allow(growth): fixed worker set — one gossip/failover monitor per node
+            threads.push(std::thread::Builder::new().name("she-cluster-gossip".into()).spawn(
+                move || {
+                    run_monitor(
+                        &directory,
+                        &slot,
+                        &stop,
+                        &roster,
+                        my_id,
+                        replica_partition,
+                        gossip,
+                        timeout,
+                    );
+                },
+            )?);
+        }
+
+        Ok(ClusterNode { server, directory, replica, stop, threads })
+    }
+
+    /// The primary server's bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The node's live view of the cluster map.
+    pub fn directory(&self) -> &Arc<ClusterDirectory> {
+        &self.directory
+    }
+
+    /// Ask the node to stop, as if a client sent `SHUTDOWN`.
+    pub fn shutdown(&self) {
+        self.server.shutdown();
+    }
+
+    /// Block until something stops the node (a wire `SHUTDOWN` or
+    /// [`ClusterNode::shutdown`]), then unwind: gossip and bootstrap
+    /// threads first, then the replica, then the primary server.
+    pub fn wait(mut self) -> Vec<she_server::protocol::ShardStats> {
+        while !self.server.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let replica = self.replica.lock().take();
+        if let Some(r) = replica {
+            r.join();
+        }
+        self.server.wait()
+    }
+}
+
+/// `host:port` → `host:0`, so the replica binds an ephemeral port on the
+/// same interface its node serves on.
+fn ephemeral_on_same_host(addr: &str) -> String {
+    match addr.rsplit_once(':') {
+        Some((host, _)) => format!("{host}:0"),
+        None => "127.0.0.1:0".to_string(),
+    }
+}
+
+/// The gossip + failover loop (one thread per node).
+#[allow(clippy::too_many_arguments)]
+fn run_monitor(
+    directory: &ClusterDirectory,
+    slot: &OrderedMutex<Option<Replica>>,
+    stop: &AtomicBool,
+    roster: &[NodeRef],
+    my_id: u64,
+    replica_partition: usize,
+    gossip: Duration,
+    timeout: Duration,
+) {
+    // Grace period: every peer counts as just-seen at start, so a node
+    // that boots first does not instantly elect itself over peers that
+    // are still coming up.
+    let mut last_seen: BTreeMap<u64, Instant> =
+        roster.iter().map(|r| (r.node_id, Instant::now())).collect();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(gossip);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+
+        // Push-pull round: offer my view, adopt any newer reply.
+        let my_view = directory.get();
+        for peer in roster.iter().filter(|r| r.node_id != my_id) {
+            if let Ok(mut c) = Client::connect_timeout(&peer.addr, GOSSIP_OP_TIMEOUT) {
+                if let Ok(reply) = c.cluster_join(my_id, &my_view) {
+                    directory.observe(&reply);
+                    last_seen.insert(peer.node_id, Instant::now());
+                }
+            }
+        }
+
+        let now = Instant::now();
+        let alive: BTreeSet<u64> = std::iter::once(my_id)
+            .chain(
+                last_seen
+                    .iter()
+                    .filter(|(_, t)| now.duration_since(**t) < timeout)
+                    .map(|(id, _)| *id),
+            )
+            .collect();
+
+        let cur = directory.get();
+        let Some(cand) = cur.elect(&alive) else { continue };
+        // Install nothing unless *this node* won its partition: the
+        // candidate's address for any winner is still the roster
+        // placeholder, and only the winner knows where its promoted
+        // server actually listens. Losers converge by hearing the
+        // winner's map through gossip.
+        let p = replica_partition;
+        if cand.partitions[p].primary.node_id != my_id || cur.partitions[p].primary.node_id == my_id
+        {
+            continue;
+        }
+        let promoted = { slot.lock().as_mut().map(Replica::promote) };
+        let Some(addr) = promoted else { continue }; // replica not up yet; retry next round
+        let mut next = cur.clone();
+        next.epoch = cur.epoch + 1;
+        next.partitions[p] = PartitionMap {
+            primary: NodeRef { node_id: my_id, addr: addr.to_string() },
+            replicas: cand.partitions[p].replicas.clone(),
+        };
+        directory.observe(&next);
+    }
+}
+
+/// What [`migrate`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Op-log position the bulk checkpoint was cut at.
+    pub cut: u64,
+    /// Last op-log record replayed into the destination.
+    pub applied: u64,
+    /// Delta records replayed after the bulk restore.
+    pub records: u64,
+    /// Shard count the state was rebuilt at on the destination.
+    pub dst_shards: usize,
+}
+
+/// Move a running server's state to another running server, live:
+///
+/// 1. **Bulk** — fetch a `REPL_BOOTSTRAP` package from `src` (checkpoint
+///    plus the op-log cut it reflects), rebuild it at `dst_shards` via
+///    the range-overlap snapshot merge (any shard count, divisible or
+///    not), and `RESTORE` each rebuilt shard into `dst`.
+/// 2. **Delta** — subscribe to `src`'s op log from the cut and replay
+///    every record into `dst` as a normal insert (routed by `dst`'s own
+///    shard map), until a heartbeat confirms the destination has caught
+///    the source's head.
+///
+/// `dst` must be a running server with `dst_shards` shards and the
+/// matching rebalanced per-shard sizing (the `RESTORE` frames carry their
+/// config, so a mismatch fails cleanly rather than corrupting). Pass
+/// `dst_shards == src`'s count for a plain move, or a different count to
+/// reshard in flight — this is what retired the "divisible shard-count
+/// only" rebalancing restriction.
+pub fn migrate(
+    src: &str,
+    dst: &str,
+    dst_shards: usize,
+    op_timeout: Duration,
+) -> io::Result<MigrationReport> {
+    let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+
+    let mut sc = Client::connect_timeout(src, op_timeout)?;
+    if sc.hello()? < 3 {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "migration source does not serve REPL_BOOTSTRAP (needs protocol v3)",
+        ));
+    }
+    let (cut, bytes) = sc.repl_bootstrap()?;
+    let ckpt = Checkpoint::decode(&bytes).map_err(|e| invalid(e.to_string()))?;
+    let target = if dst_shards == 0 { ckpt.cfg.shards } else { dst_shards };
+    let (cfg, engines) = ckpt.build_engines(target).map_err(|e| invalid(e.to_string()))?;
+
+    let mut dc = Client::connect_timeout(dst, op_timeout)?;
+    dc.hello()?;
+    for (j, e) in engines.iter().enumerate() {
+        let shard = u32::try_from(j).map_err(|_| invalid("shard index exceeds u32".into()))?;
+        dc.restore(shard, &e.snapshot())?;
+    }
+
+    // Delta replay: tail the source's log from the cut; a heartbeat whose
+    // head we have already applied means the destination is caught up.
+    let mut tail = Client::connect_timeout(src, op_timeout)?;
+    tail.hello()?;
+    let mut sock = tail.subscribe(cut + 1)?;
+    sock.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut applied = cut;
+    let mut records = 0u64;
+    let deadline = Instant::now() + op_timeout;
+    loop {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("migration delta did not converge within {op_timeout:?}"),
+            ));
+        }
+        match read_frame(&mut sock) {
+            Ok(Some(payload)) => {
+                let resp = Response::decode(&payload).map_err(|e| invalid(format!("{e:?}")))?;
+                match resp {
+                    Response::ReplOp(data) => {
+                        let rec = Record::decode(&data).map_err(|e| invalid(format!("{e:?}")))?;
+                        if rec.seq <= applied {
+                            continue;
+                        }
+                        if rec.seq != applied + 1 {
+                            return Err(invalid(format!(
+                                "op-log gap during migration: expected {}, got {}",
+                                applied + 1,
+                                rec.seq
+                            )));
+                        }
+                        dc.insert_batch(rec.stream, &rec.keys)?;
+                        applied = rec.seq;
+                        records += 1;
+                    }
+                    Response::ReplHeartbeat { head } if head <= applied => break,
+                    Response::ReplHeartbeat { .. } => {}
+                    Response::LogTruncated { .. } => {
+                        return Err(invalid("source log truncated under the migration".into()));
+                    }
+                    Response::Err(e) => return Err(invalid(format!("source refused tail: {e}"))),
+                    other => return Err(invalid(format!("unexpected feed frame {other:?}"))),
+                }
+            }
+            Ok(None) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "source hung up mid-migration",
+                ));
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(MigrationReport { cut, applied, records, dst_shards: cfg.shards })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: u64) -> NodeRef {
+        NodeRef { node_id: id, addr: format!("127.0.0.1:{}", 7000 + id) }
+    }
+
+    #[test]
+    fn roster_parses_and_rejects() {
+        let r = parse_roster("1@127.0.0.1:7501, 2@127.0.0.1:7502").expect("parse");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].node_id, 1);
+        assert_eq!(r[1].addr, "127.0.0.1:7502");
+        assert!(parse_roster("").is_err());
+        assert!(parse_roster("1-127.0.0.1:7501").is_err());
+        assert!(parse_roster("x@127.0.0.1:7501").is_err());
+        assert!(parse_roster("1@").is_err());
+    }
+
+    #[test]
+    fn partition_sizing_matches_sharded_engine() {
+        let cfg = NodeConfig { window: 1 << 16, memory_bytes: 64 << 10, ..Default::default() };
+        let per = partition_engine(&cfg, 3);
+        assert_eq!(per.shards, 1);
+        assert_eq!(per.window, (1u64 << 16) / 3);
+        assert_eq!(per.memory_bytes, (64 << 10) / 3);
+    }
+
+    #[test]
+    fn start_validates_the_roster() {
+        let bad = NodeConfig { node_id: 9, roster: vec![node(1), node(2)], ..Default::default() };
+        assert!(ClusterNode::start(bad).is_err(), "id not in roster");
+        let dup = NodeConfig { node_id: 1, roster: vec![node(1), node(1)], ..Default::default() };
+        assert!(ClusterNode::start(dup).is_err(), "duplicate ids");
+        let nolog =
+            NodeConfig { node_id: 1, roster: vec![node(1)], repl_log: 0, ..Default::default() };
+        assert!(ClusterNode::start(nolog).is_err(), "repl_log 0");
+    }
+
+    /// A tiny deterministic RNG (xorshift64*) for the convergence test.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn below(&mut self, n: usize) -> usize {
+            she_hash::reduce_range(self.next(), n)
+        }
+    }
+
+    /// What one node's monitor does with an election win, network-free:
+    /// install only its own partition's change, with its own (simulated)
+    /// promoted address — the exact rule `run_monitor` applies.
+    fn apply_local_election(view: &ClusterMap, my_id: u64, alive: &BTreeSet<u64>) -> ClusterMap {
+        let Some(cand) = view.elect(alive) else {
+            return view.clone();
+        };
+        for (p, pm) in cand.partitions.iter().enumerate() {
+            if pm.primary.node_id == my_id && view.partitions[p].primary.node_id != my_id {
+                let mut next = view.clone();
+                next.epoch = view.epoch + 1;
+                next.partitions[p] = PartitionMap {
+                    primary: NodeRef { node_id: my_id, addr: format!("promoted-{my_id}-p{p}") },
+                    replicas: pm.replicas.clone(),
+                };
+                return next;
+            }
+        }
+        view.clone()
+    }
+
+    /// Satellite: any sequence of heartbeat losses converges every
+    /// surviving node to the same cluster map.
+    ///
+    /// Simulates the full protocol without sockets: each node keeps its
+    /// own view; on every step a random live node dies, every survivor
+    /// elects locally (installing only its own wins, as `run_monitor`
+    /// does), and random pairwise push-pull gossip rounds run until no
+    /// view changes. All views must then be identical, and every
+    /// partition with a surviving ring successor must have a live
+    /// primary.
+    #[test]
+    fn seeded_heartbeat_losses_converge_all_views() {
+        for seed in 1..=20u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            let n = 3 + (seed as usize % 4); // 3..=6 nodes
+            let roster: Vec<NodeRef> = (1..=n as u64).map(node).collect();
+            let initial = ClusterMap::initial(&roster);
+            let mut views: BTreeMap<u64, ClusterMap> =
+                roster.iter().map(|r| (r.node_id, initial.clone())).collect();
+            let mut live: BTreeSet<u64> = roster.iter().map(|r| r.node_id).collect();
+
+            while live.len() > 1 {
+                // One heartbeat loss: a random live node dies.
+                let victims: Vec<u64> = live.iter().copied().collect();
+                let dead = victims[rng.below(victims.len())];
+                live.remove(&dead);
+                views.remove(&dead);
+
+                // Survivors elect locally, then gossip in random pair
+                // order until the views reach a fixpoint.
+                loop {
+                    let ids: Vec<u64> = live.iter().copied().collect();
+                    let mut changed = false;
+                    for &id in &ids {
+                        let next = apply_local_election(&views[&id], id, &live);
+                        if next != views[&id] {
+                            views.insert(id, next);
+                            changed = true;
+                        }
+                    }
+                    for _ in 0..ids.len() * ids.len() {
+                        let (a, b) = (ids[rng.below(ids.len())], ids[rng.below(ids.len())]);
+                        if a == b {
+                            continue;
+                        }
+                        // Push-pull: both sides adopt the newer view.
+                        let (va, vb) = (views[&a].clone(), views[&b].clone());
+                        if va.supersedes(&vb) {
+                            views.insert(b, va);
+                            changed = true;
+                        } else if vb.supersedes(&va) {
+                            views.insert(a, vb);
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+
+                let mut iter = live.iter();
+                if let Some(first) = iter.next() {
+                    for other in iter {
+                        assert_eq!(
+                            views[first], views[other],
+                            "seed {seed}: views diverged after killing {dead}"
+                        );
+                    }
+                    // Every partition whose replica holder survived must
+                    // now be served by a live primary.
+                    let settled = &views[first];
+                    for (p, pm) in settled.partitions.iter().enumerate() {
+                        let holder_survived = pm.primary.node_id
+                            == initial.partitions[p].primary.node_id
+                            && live.contains(&pm.primary.node_id)
+                            || initial.partitions[p]
+                                .replicas
+                                .iter()
+                                .any(|r| live.contains(&r.node_id));
+                        if holder_survived {
+                            assert!(
+                                live.contains(&pm.primary.node_id),
+                                "seed {seed}: partition {p} left with dead primary {}",
+                                pm.primary.node_id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

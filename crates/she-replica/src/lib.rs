@@ -43,7 +43,8 @@ use she_server::codec::{read_frame, write_frame};
 use she_server::protocol::{Request, Response, ShardStats};
 use she_server::repl::Record;
 use she_server::{
-    Backoff, Checkpoint, Client, Injector, ReplicaStatus, Role, Server, ServerConfig,
+    Backoff, Checkpoint, Client, ClusterDirectory, Injector, ReplicaStatus, Role, Server,
+    ServerConfig,
 };
 use std::io;
 use std::net::TcpStream;
@@ -90,6 +91,17 @@ pub struct ReplicaConfig {
     /// a half-open primary from wedging a bootstrap or sweep forever.
     /// 0 disables the deadline.
     pub op_timeout_ms: u64,
+    /// Depth of the embedded server's own op log, in records. The log
+    /// stays empty while the replica follows (the injector bypasses it)
+    /// and starts filling after [`Replica::promote`], so a promoted
+    /// replica can bootstrap and feed replicas of its own. 0 keeps the
+    /// pre-cluster behaviour: no log, promotion serves but cannot
+    /// replicate onward.
+    pub repl_log: usize,
+    /// Cluster membership directory shared with the node's other
+    /// servers, so the embedded server answers the v4
+    /// `CLUSTER_JOIN`/`CLUSTER_MAP`/`CLUSTER_QUERY` ops too.
+    pub cluster: Option<Arc<ClusterDirectory>>,
 }
 
 impl Default for ReplicaConfig {
@@ -105,6 +117,8 @@ impl Default for ReplicaConfig {
             reconnect_cap_ms: 2_000,
             max_bootstrap_attempts: 10,
             op_timeout_ms: 10_000,
+            repl_log: 0,
+            cluster: None,
         }
     }
 }
@@ -169,7 +183,8 @@ impl Replica {
                 queue_capacity: cfg.queue_capacity,
                 retry_after_ms: cfg.retry_after_ms,
                 role: Role::Replica { primary: cfg.primary.clone(), status: Arc::clone(&status) },
-                repl_log: 0,
+                repl_log: cfg.repl_log,
+                cluster: cfg.cluster.clone(),
                 ..Default::default()
             },
             engines,
@@ -181,6 +196,7 @@ impl Replica {
         {
             let (cfg, injector) = (cfg.clone(), server.injector());
             let (status, stop) = (Arc::clone(&status), Arc::clone(&stop));
+            // audit:allow(growth): fixed worker set — one tail thread per replica
             threads.push(
                 std::thread::Builder::new()
                     .name("she-repl-tail".into())
@@ -190,6 +206,7 @@ impl Replica {
         if cfg.anti_entropy_ms > 0 {
             let (cfg, injector) = (cfg.clone(), server.injector());
             let stop = Arc::clone(&stop);
+            // audit:allow(growth): fixed worker set — at most one anti-entropy thread
             threads.push(
                 std::thread::Builder::new()
                     .name("she-repl-entropy".into())
@@ -213,6 +230,24 @@ impl Replica {
     /// Ask the replica to stop, as if a client sent `SHUTDOWN`.
     pub fn shutdown(&self) {
         self.server.shutdown();
+    }
+
+    /// Promote this replica to a serving primary: stop following (the
+    /// tail and anti-entropy threads are joined, so no stale record can
+    /// arrive after the flip), then switch the embedded server to accept
+    /// writes. Returns the address the promoted server serves on, for
+    /// the new cluster map.
+    ///
+    /// The replica's state at the flip is exactly the records it
+    /// acknowledged — deterministic failover needs callers to quiesce or
+    /// accept the acknowledged cut as the new history.
+    pub fn promote(&mut self) -> std::net::SocketAddr {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.server.promote();
+        self.local_addr()
     }
 
     /// Block until something stops the replica (a wire `SHUTDOWN` or

@@ -14,6 +14,7 @@
 //! surfaced as `TimedOut`.
 
 use crate::backoff::Backoff;
+use crate::cluster::ClusterMap;
 use crate::codec::{read_frame, read_frame_deadline, write_frame, FrameIn};
 use crate::protocol::{
     ClusterStatusInfo, Request, Response, ShardStats, MAX_BATCH, PROTOCOL_VERSION,
@@ -72,6 +73,21 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client { stream, busy_retries: 0, shed_retries: 0, op_timeout: None })
+    }
+
+    /// Connect with a bound on the connect itself *and* on every
+    /// subsequent operation (see [`Client::set_op_timeout`]) — the
+    /// scatter-gather and gossip paths, where a dead peer must fail the
+    /// leg quickly instead of wedging the caller.
+    pub fn connect_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+        let sa = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let stream = TcpStream::connect_timeout(&sa, timeout)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client { stream, busy_retries: 0, shed_retries: 0, op_timeout: None };
+        client.set_op_timeout(Some(timeout))?;
+        Ok(client)
     }
 
     /// Bound every subsequent operation — request write, response read,
@@ -279,6 +295,34 @@ impl Client {
     pub fn cluster_status(&mut self) -> io::Result<ClusterStatusInfo> {
         match self.call(&Request::ClusterStatus)? {
             Response::ClusterStatus(info) => Ok(info),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Push-pull gossip (v4): offer `map` as node `from_node`; the peer
+    /// adopts it if newer and answers with its own current view.
+    pub fn cluster_join(&mut self, from_node: u64, map: &ClusterMap) -> io::Result<ClusterMap> {
+        match self.call(&Request::ClusterJoin { from_node, map: map.clone() })? {
+            Response::ClusterMapReply(m) => Ok(m),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Fetch the node's current cluster map (v4) — how clients re-route
+    /// after a failover without restarting.
+    pub fn cluster_map(&mut self) -> io::Result<ClusterMap> {
+        match self.call(&Request::ClusterMapGet)? {
+            Response::ClusterMapReply(m) => Ok(m),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Scatter-gather query (v4): the server coordinates across every
+    /// partition and merges. Returns the merged `Bool`/`U64`/`F64`
+    /// answer; callers match on the variant their `op` implies.
+    pub fn cluster_query(&mut self, op: u8, key: u64) -> io::Result<Response> {
+        match self.call_retrying(&Request::ClusterQuery { op, key })? {
+            r @ (Response::Bool(_) | Response::U64(_) | Response::F64(_)) => Ok(r),
             other => Err(bad_reply(other)),
         }
     }

@@ -1,0 +1,422 @@
+//! Cluster membership and partition routing (protocol v4).
+//!
+//! A cluster is a set of nodes, each serving one single-shard *partition*
+//! engine. Keys route to partitions with the same monotone
+//! `reduce_range(mix64(key ^ ROUTER_SEED), P)` the sharded engine uses,
+//! and every partition is sized `window/P`, `memory/P` — exactly how
+//! [`crate::engine::ShardEngine`] sizes shard `p` of a `P`-shard engine.
+//! A `P`-partition cluster therefore answers every query bit-for-bit like
+//! one `P`-shard single-process engine of the same global sizing: member
+//! and freq route to the owning partition, cardinality *sums* partition
+//! estimates in partition order, similarity *averages* them (see
+//! `docs/CLUSTER.md`).
+//!
+//! The membership table is a [`ClusterMap`]: an epoch plus, per
+//! partition, the primary and its replica set. Maps spread by push-pull
+//! gossip (`CLUSTER_JOIN` carries the sender's view, the reply carries
+//! the receiver's) and every node adopts whichever view is *newer* under
+//! a total order — `(epoch, encoded bytes)` lexicographically — so
+//! concurrent promotions converge without coordination. Failover is the
+//! deterministic [`ClusterMap::elect`] rule: for each partition whose
+//! primary left the live set, the lowest-id live replica holder wins.
+
+use crate::engine::ROUTER_SEED;
+use crate::protocol::{ProtoError, Response};
+use she_core::convert::usize_of;
+use she_core::frame::Reader;
+use she_core::OrderedMutex;
+use she_hash::{mix64, reduce_range};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Sanity cap on partitions in a decoded map (a map is a few hundred
+/// bytes per partition; this bounds hostile counts, not real clusters).
+const MAX_PARTITIONS: usize = 1 << 16;
+
+/// Sanity cap on replicas per partition in a decoded map.
+const MAX_REPLICAS: usize = 1 << 10;
+
+/// Longest address string a map entry may carry.
+const MAX_ADDR: usize = 256;
+
+/// The merge operations `CLUSTER_QUERY` can scatter (the wire `op` byte).
+pub mod cluster_op {
+    /// Membership: routed to the key's owning partition.
+    pub const MEMBER: u8 = 0;
+    /// Cardinality: per-partition estimates summed in partition order.
+    pub const CARD: u8 = 1;
+    /// Frequency: routed to the key's owning partition.
+    pub const FREQ: u8 = 2;
+    /// Similarity: per-partition Jaccard estimates averaged.
+    pub const SIM: u8 = 3;
+}
+
+/// One node as named in a cluster map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeRef {
+    /// Operator-assigned, cluster-unique id; ties in the election break
+    /// toward the lowest id.
+    pub node_id: u64,
+    /// Where the node's serving endpoint for this role listens.
+    pub addr: String,
+}
+
+/// One partition's placement: who accepts its writes, who replicates it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    /// The node serving this partition's writes (and scatter reads).
+    pub primary: NodeRef,
+    /// Nodes tailing this partition's op log, promotion candidates.
+    pub replicas: Vec<NodeRef>,
+}
+
+/// The cluster membership table: an epoch plus per-partition placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMap {
+    /// Monotone map version; bumped by every election.
+    pub epoch: u64,
+    /// Placement, indexed by partition.
+    pub partitions: Vec<PartitionMap>,
+}
+
+impl ClusterMap {
+    /// The partition a key routes to. Matches
+    /// [`crate::engine::EngineConfig::shard_of`] with `shards` =
+    /// partition count, which is what makes cluster answers coincide with
+    /// a single sharded engine's.
+    #[inline]
+    pub fn partition_of(&self, key: u64) -> usize {
+        reduce_range(mix64(key ^ ROUTER_SEED), self.partitions.len())
+    }
+
+    /// The deterministic initial map for a fresh roster: partition `p` is
+    /// primary on `roster[p]`, replicated on `roster[p+1 mod n]` (no
+    /// replicas in a single-node roster). Every node computes the same
+    /// epoch-1 map from the same `--peers` list, so a cluster boots
+    /// without a coordinator. Requires one partition per roster node.
+    pub fn initial(roster: &[NodeRef]) -> ClusterMap {
+        let n = roster.len();
+        let partitions = (0..n)
+            .map(|p| PartitionMap {
+                primary: roster[p].clone(),
+                replicas: if n > 1 { vec![roster[(p + 1) % n].clone()] } else { Vec::new() },
+            })
+            .collect();
+        ClusterMap { epoch: 1, partitions }
+    }
+
+    /// The deterministic failover rule. For every partition whose primary
+    /// is not in `alive`, the *lowest-id live replica holder* becomes the
+    /// new primary and leaves the replica set (dead replicas are pruned
+    /// with it); partitions with a live primary, and partitions with no
+    /// live replica at all, are untouched. Returns the epoch+1 successor
+    /// map, or `None` when nothing changed.
+    ///
+    /// The rule is a pure function of `(map, alive)`, so any two nodes
+    /// that agree on those inputs elect identically — the convergence
+    /// property the seeded test below exercises. The winner's `addr` in
+    /// the returned map is still the *replica-role* placeholder; only the
+    /// winning node installs the map, after rewriting its own entry with
+    /// the promoted server's real address.
+    pub fn elect(&self, alive: &BTreeSet<u64>) -> Option<ClusterMap> {
+        let mut changed = false;
+        let partitions = self
+            .partitions
+            .iter()
+            .map(|p| {
+                if alive.contains(&p.primary.node_id) {
+                    return p.clone();
+                }
+                let Some(winner) = p
+                    .replicas
+                    .iter()
+                    .filter(|r| alive.contains(&r.node_id))
+                    .min_by_key(|r| r.node_id)
+                else {
+                    return p.clone();
+                };
+                changed = true;
+                PartitionMap {
+                    primary: winner.clone(),
+                    replicas: p
+                        .replicas
+                        .iter()
+                        .filter(|r| r.node_id != winner.node_id && alive.contains(&r.node_id))
+                        .cloned()
+                        .collect(),
+                }
+            })
+            .collect();
+        changed.then_some(ClusterMap { epoch: self.epoch + 1, partitions })
+    }
+
+    /// Total order over maps: higher epoch wins, ties break on the
+    /// encoded bytes. Any set of nodes adopting the greater of two maps
+    /// pairwise converges to the one global maximum.
+    pub fn supersedes(&self, other: &ClusterMap) -> bool {
+        (self.epoch, self.encode()) > (other.epoch, other.encode())
+    }
+
+    /// Wire encoding (shared by `CLUSTER_JOIN` and `CLUSTER_MAP_REPLY`):
+    /// `epoch u64 | n_partitions u32 | n × (primary ref | n_replicas u16 |
+    /// replica refs)`, each ref `node_id u64 | addr_len u16 | addr`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(16 + 64 * self.partitions.len());
+        self.encode_into(&mut b);
+        b
+    }
+
+    /// Append the wire encoding to `b` (see [`ClusterMap::encode`]).
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
+        fn node_ref(b: &mut Vec<u8>, r: &NodeRef) {
+            b.extend_from_slice(&r.node_id.to_le_bytes());
+            assert!(r.addr.len() <= MAX_ADDR, "cluster addr too long");
+            b.extend_from_slice(&u16::try_from(r.addr.len()).unwrap_or(u16::MAX).to_le_bytes());
+            b.extend_from_slice(r.addr.as_bytes());
+        }
+        assert!(self.partitions.len() <= MAX_PARTITIONS, "too many partitions");
+        b.extend_from_slice(&self.epoch.to_le_bytes());
+        b.extend_from_slice(
+            &u32::try_from(self.partitions.len()).unwrap_or(u32::MAX).to_le_bytes(),
+        );
+        for p in &self.partitions {
+            node_ref(b, &p.primary);
+            assert!(p.replicas.len() <= MAX_REPLICAS, "too many replicas");
+            b.extend_from_slice(&u16::try_from(p.replicas.len()).unwrap_or(u16::MAX).to_le_bytes());
+            for r in &p.replicas {
+                node_ref(b, r);
+            }
+        }
+    }
+
+    /// Decode a map from the reader's current position.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<ClusterMap, ProtoError> {
+        fn node_ref(r: &mut Reader<'_>) -> Result<NodeRef, ProtoError> {
+            let node_id = r.u64()?;
+            let len = usize::from(r.u16()?);
+            if len > MAX_ADDR {
+                return Err(ProtoError::Oversize);
+            }
+            let addr = String::from_utf8_lossy(r.take(len)?).into_owned();
+            Ok(NodeRef { node_id, addr })
+        }
+        let epoch = r.u64()?;
+        let n = usize_of(u64::from(r.u32()?));
+        if n > MAX_PARTITIONS {
+            return Err(ProtoError::Oversize);
+        }
+        let mut partitions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let primary = node_ref(r)?;
+            let n_replicas = usize::from(r.u16()?);
+            if n_replicas > MAX_REPLICAS {
+                return Err(ProtoError::Oversize);
+            }
+            let mut replicas = Vec::with_capacity(n_replicas);
+            for _ in 0..n_replicas {
+                replicas.push(node_ref(r)?);
+            }
+            partitions.push(PartitionMap { primary, replicas });
+        }
+        Ok(ClusterMap { epoch, partitions })
+    }
+}
+
+/// The shared, adopt-if-newer view of the cluster map. One directory is
+/// shared by every server running on a node (the partition primary and
+/// any promoted replicas), so a map installed by the failover monitor is
+/// immediately what `CLUSTER_MAP` and `CLUSTER_QUERY` serve.
+#[derive(Debug)]
+pub struct ClusterDirectory {
+    map: OrderedMutex<ClusterMap>,
+}
+
+impl ClusterDirectory {
+    /// Start from `initial` (normally [`ClusterMap::initial`]).
+    pub fn new(initial: ClusterMap) -> Self {
+        ClusterDirectory { map: OrderedMutex::new("cluster-map", initial) }
+    }
+
+    /// A snapshot of the current view.
+    pub fn get(&self) -> ClusterMap {
+        self.map.lock().clone()
+    }
+
+    /// The current epoch (cheaper than cloning the whole map).
+    pub fn epoch(&self) -> u64 {
+        self.map.lock().epoch
+    }
+
+    /// Adopt `candidate` iff it supersedes the current view (see
+    /// [`ClusterMap::supersedes`]). Returns whether it was adopted.
+    pub fn observe(&self, candidate: &ClusterMap) -> bool {
+        let mut cur = self.map.lock();
+        if candidate.supersedes(&cur) {
+            *cur = candidate.clone();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Scatter one `CLUSTER_QUERY` across `map` and merge the partial
+/// answers: member/freq go to the key's owning partition, cardinality
+/// sums every partition's estimate in partition order, similarity
+/// averages them — the exact merge a `P`-shard
+/// [`crate::engine::DirectEngine`] applies to its own shards, which is
+/// what makes the scatter-gather answer bit-for-bit mirrorable.
+///
+/// Partitions are visited serially so the f64 merge order is fixed. Any
+/// unreachable partition fails the whole query (a partial merge would be
+/// silently wrong).
+pub fn scatter_query(map: &ClusterMap, op: u8, key: u64, op_timeout: Duration) -> Response {
+    if map.partitions.is_empty() {
+        return Response::Err("cluster map has no partitions".to_string());
+    }
+    let leg = |part: usize| -> Result<crate::client::Client, String> {
+        let addr = &map.partitions[part].primary.addr;
+        crate::client::Client::connect_timeout(addr, op_timeout)
+            .map_err(|e| format!("partition {part} at {addr}: {e}"))
+    };
+    match op {
+        cluster_op::MEMBER => {
+            let part = map.partition_of(key);
+            match leg(part)
+                .and_then(|mut c| c.query_member(key).map_err(|e| format!("partition {part}: {e}")))
+            {
+                Ok(v) => Response::Bool(v),
+                Err(e) => Response::Err(e),
+            }
+        }
+        cluster_op::FREQ => {
+            let part = map.partition_of(key);
+            match leg(part)
+                .and_then(|mut c| c.query_freq(key).map_err(|e| format!("partition {part}: {e}")))
+            {
+                Ok(v) => Response::U64(v),
+                Err(e) => Response::Err(e),
+            }
+        }
+        cluster_op::CARD | cluster_op::SIM => {
+            let mut sum = 0.0f64;
+            for part in 0..map.partitions.len() {
+                let est = leg(part).and_then(|mut c| {
+                    let r = if op == cluster_op::CARD { c.query_card() } else { c.query_sim() };
+                    r.map_err(|e| format!("partition {part}: {e}"))
+                });
+                match est {
+                    Ok(v) => sum += v,
+                    Err(e) => return Response::Err(e),
+                }
+            }
+            if op == cluster_op::SIM {
+                sum /= map.partitions.len() as f64;
+            }
+            Response::F64(sum)
+        }
+        other => Response::Err(format!("unknown cluster query op {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn node(id: u64) -> NodeRef {
+        NodeRef { node_id: id, addr: format!("127.0.0.1:{}", 7000 + id) }
+    }
+
+    fn roster(n: u64) -> Vec<NodeRef> {
+        (1..=n).map(node).collect()
+    }
+
+    fn alive(ids: &[u64]) -> BTreeSet<u64> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let map = ClusterMap::initial(&roster(3));
+        let bytes = map.encode();
+        let mut r = Reader::new(&bytes);
+        let back = ClusterMap::decode_from(&mut r).expect("decode");
+        assert!(r.finish().is_ok());
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn partition_of_matches_shard_of() {
+        let map = ClusterMap::initial(&roster(5));
+        let cfg = EngineConfig { shards: 5, ..Default::default() };
+        for k in 0..10_000u64 {
+            assert_eq!(map.partition_of(k), cfg.shard_of(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn initial_map_is_a_rotated_ring() {
+        let map = ClusterMap::initial(&roster(3));
+        assert_eq!(map.epoch, 1);
+        for (p, pm) in map.partitions.iter().enumerate() {
+            assert_eq!(pm.primary.node_id, p as u64 + 1);
+            assert_eq!(pm.replicas.len(), 1);
+            assert_eq!(pm.replicas[0].node_id, (p as u64 + 1) % 3 + 1);
+        }
+        assert!(ClusterMap::initial(&roster(1)).partitions[0].replicas.is_empty());
+    }
+
+    #[test]
+    fn elect_promotes_lowest_id_live_replica() {
+        let mut map = ClusterMap::initial(&roster(3));
+        map.partitions[0].replicas.push(node(3)); // partition 0: primary 1, replicas {2, 3}
+        let next = map.elect(&alive(&[2, 3])).expect("changed");
+        assert_eq!(next.epoch, 2);
+        assert_eq!(next.partitions[0].primary.node_id, 2);
+        assert_eq!(
+            next.partitions[0].replicas.iter().map(|r| r.node_id).collect::<Vec<_>>(),
+            vec![3]
+        );
+        // Partition 2 (primary 3) is untouched; partition 1 (primary 2) too.
+        assert_eq!(next.partitions[1].primary.node_id, 2);
+        assert_eq!(next.partitions[2].primary.node_id, 3);
+    }
+
+    #[test]
+    fn elect_is_a_noop_when_all_primaries_live_or_no_replica_survives() {
+        let map = ClusterMap::initial(&roster(3));
+        assert!(map.elect(&alive(&[1, 2, 3])).is_none());
+        // Node 1 and its replica holder (node 2 backs partition 0? no —
+        // partition 0 is replicated on node 2) both dead: partition 0 has
+        // no live replica, partitions 1/2 elect nothing either way.
+        let next = map.elect(&alive(&[3])).expect("partition 1 fails over to 3");
+        assert_eq!(next.partitions[0].primary.node_id, 1, "no live replica: unchanged");
+        assert_eq!(next.partitions[1].primary.node_id, 3);
+    }
+
+    #[test]
+    fn supersedes_is_a_total_order() {
+        let a = ClusterMap::initial(&roster(3));
+        let b = a.elect(&alive(&[2, 3])).expect("changed");
+        assert!(b.supersedes(&a));
+        assert!(!a.supersedes(&b));
+        assert!(!a.supersedes(&a.clone()));
+        // Same epoch, different content: exactly one side wins.
+        let mut c = a.clone();
+        c.partitions[0].primary.addr = "127.0.0.1:9999".to_string();
+        assert_ne!(a.supersedes(&c), c.supersedes(&a));
+    }
+
+    #[test]
+    fn directory_adopts_only_newer() {
+        let a = ClusterMap::initial(&roster(3));
+        let b = a.elect(&alive(&[2, 3])).expect("changed");
+        let dir = ClusterDirectory::new(a.clone());
+        assert!(!dir.observe(&a), "same map is not newer");
+        assert!(dir.observe(&b));
+        assert_eq!(dir.epoch(), 2);
+        assert!(!dir.observe(&a), "older map is rejected");
+        assert_eq!(dir.get(), b);
+    }
+}

@@ -25,6 +25,11 @@
 //!   (protocol v2: `SNAPSHOT` / `SNAPSHOT_ALL` / `RESTORE`);
 //! * [`repl`] — the primary's op log, record/bootstrap codecs, and peer
 //!   registry (protocol v3; see `docs/REPLICATION.md`);
+//! * [`cluster`] — the partition map, deterministic failover election,
+//!   and scatter-gather query merge (protocol v4; see
+//!   `docs/CLUSTER.md`);
+//! * [`store`] — generation-rotating checkpoint store with corrupt-file
+//!   quarantine and automatic fallback;
 //! * [`backoff`] — capped exponential backoff with jitter, shared by the
 //!   client's retry loop and the replica's reconnects.
 
@@ -35,6 +40,7 @@
 
 pub mod backoff;
 pub mod client;
+pub mod cluster;
 pub mod codec;
 pub mod engine;
 pub mod loadgen;
@@ -42,10 +48,12 @@ pub mod protocol;
 pub mod repl;
 pub mod server;
 pub mod snapshot;
+pub mod store;
 pub mod worker;
 
 pub use backoff::Backoff;
 pub use client::Client;
+pub use cluster::{cluster_op, ClusterDirectory, ClusterMap, NodeRef, PartitionMap};
 pub use engine::{DirectEngine, EngineConfig, ShardEngine};
 pub use loadgen::{LoadSummary, LoadgenConfig, Mode};
 pub use protocol::{
@@ -54,3 +62,4 @@ pub use protocol::{
 pub use repl::{Bootstrap, Record, ReplLog};
 pub use server::{Injector, ReplicaStatus, Role, Server, ServerConfig};
 pub use snapshot::Checkpoint;
+pub use store::{CheckpointStore, LoadOutcome};

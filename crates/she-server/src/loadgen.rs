@@ -17,7 +17,9 @@
 //! matching answers must be bit-identical, not merely close.
 
 use crate::client::Client;
+use crate::cluster::{cluster_op, ClusterMap};
 use crate::engine::{DirectEngine, EngineConfig};
+use crate::protocol::Response;
 use she_core::convert::usize_of;
 use she_metrics::{LatencyHistogram, NetReport};
 use she_streams::{CaidaLike, KeyStream};
@@ -64,6 +66,17 @@ pub struct LoadgenConfig {
     /// each driving its own slice of the workload on its own connection,
     /// and the summary merges their latency histograms.
     pub connections: usize,
+    /// Cluster mode: fetch the partition map from this seed node, route
+    /// each batch's keys to their owning partition primary, and issue
+    /// queries as scatter-gather `CLUSTER_QUERY`s. On a leg failure the
+    /// map is re-fetched and the op retried, so the run rides through a
+    /// failover without restarting. `addr` is ignored.
+    pub cluster: Option<String>,
+    /// Skip the first `offset` workload items (must be a multiple of
+    /// `batch`): the keygen is fast-forwarded and the batch numbering
+    /// continues, so a second run with `offset` picks up the exact same
+    /// global stream where the first run's `items` left off.
+    pub offset: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -81,6 +94,8 @@ impl Default for LoadgenConfig {
             verify: None,
             read_from: None,
             connections: 1,
+            cluster: None,
+            offset: 0,
         }
     }
 }
@@ -118,6 +133,199 @@ impl LoadSummary {
     }
 }
 
+/// Per-leg connect/op timeout in cluster mode: a dead primary must fail
+/// the op quickly so the reroute loop can fetch a newer map.
+const CLUSTER_LEG_TIMEOUT: Duration = Duration::from_secs(5);
+/// How long a cluster op keeps rerouting before giving up — generously
+/// above the cluster's heartbeat timeout so a failover completes within
+/// the window.
+const CLUSTER_REROUTE_WINDOW: Duration = Duration::from_secs(30);
+
+/// Cluster-mode connection set: the partition map plus one lazily-opened
+/// connection per partition primary.
+///
+/// Inserts are routed per key (order preserved within each partition, so
+/// the per-shard suborder matches what a single sharded engine would
+/// see); queries go out as `CLUSTER_QUERY` through the partition-0
+/// primary acting as coordinator. Any leg failure drops the connections,
+/// re-fetches the map from every node still known, and retries until
+/// [`CLUSTER_REROUTE_WINDOW`] expires — which is how the loadgen keeps
+/// verifying straight through a primary kill. Insert retries are
+/// at-least-once per *leg* (never the whole batch), so a retry after a
+/// failed connect cannot double-apply keys on the legs that already took
+/// theirs.
+struct ClusterConns {
+    seed: String,
+    map: ClusterMap,
+    legs: Vec<Option<Client>>,
+    /// `busy_retries` harvested from legs already dropped by reroutes.
+    retired_busy: u64,
+}
+
+impl ClusterConns {
+    fn connect(seed: &str) -> io::Result<ClusterConns> {
+        let mut c = Client::connect_timeout(seed, CLUSTER_LEG_TIMEOUT)?;
+        let map = c.cluster_map()?;
+        if map.partitions.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "cluster map is empty"));
+        }
+        let legs = (0..map.partitions.len()).map(|_| None).collect();
+        Ok(ClusterConns { seed: seed.to_string(), map, legs, retired_busy: 0 })
+    }
+
+    fn leg(&mut self, p: usize) -> io::Result<&mut Client> {
+        if self.legs[p].is_none() {
+            let addr = &self.map.partitions[p].primary.addr;
+            self.legs[p] = Some(Client::connect_timeout(addr, CLUSTER_LEG_TIMEOUT)?);
+        }
+        match self.legs[p].as_mut() {
+            Some(c) => Ok(c),
+            None => Err(io::Error::other("cluster leg vanished")),
+        }
+    }
+
+    /// Drop every connection and adopt the newest map any reachable node
+    /// will hand over (the seed stays in the candidate list even when it
+    /// has fallen out of the map).
+    fn refresh(&mut self) {
+        for leg in &mut self.legs {
+            if let Some(c) = leg.take() {
+                self.retired_busy += c.busy_retries;
+            }
+        }
+        let mut addrs: Vec<String> = vec![self.seed.clone()];
+        // audit:allow(growth): one candidate address per cluster-map entry
+        for part in &self.map.partitions {
+            addrs.push(part.primary.addr.clone());
+            for r in &part.replicas {
+                addrs.push(r.addr.clone());
+            }
+        }
+        for addr in addrs {
+            if let Ok(mut c) = Client::connect_timeout(&addr, CLUSTER_LEG_TIMEOUT) {
+                if let Ok(m) = c.cluster_map() {
+                    if m.supersedes(&self.map) {
+                        self.map = m;
+                    }
+                }
+            }
+        }
+        self.legs = (0..self.map.partitions.len()).map(|_| None).collect();
+    }
+
+    /// Run `f` until it succeeds or the reroute window closes, refreshing
+    /// the map between attempts.
+    fn retrying<T>(&mut self, mut f: impl FnMut(&mut Self) -> io::Result<T>) -> io::Result<T> {
+        let deadline = Instant::now() + CLUSTER_REROUTE_WINDOW;
+        loop {
+            match f(self) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                    self.refresh();
+                }
+            }
+        }
+    }
+
+    fn insert_batch(&mut self, stream: u8, keys: &[u64]) -> io::Result<()> {
+        let parts = self.map.partitions.len();
+        let mut by_part: Vec<Vec<u64>> = vec![Vec::new(); parts];
+        for &k in keys {
+            // Bounded by the batch size: every key lands in exactly one
+            // partition bucket.
+            by_part[self.map.partition_of(k)].push(k); // audit:allow(growth): batch-bounded scatter buffer
+        }
+        for (p, sub) in by_part.iter().enumerate() {
+            if !sub.is_empty() {
+                self.retrying(|me| me.leg(p)?.insert_batch(stream, sub))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn query(&mut self, op: u8, key: u64) -> io::Result<Response> {
+        self.retrying(|me| me.leg(0)?.cluster_query(op, key))
+    }
+
+    fn busy_retries(&self) -> u64 {
+        self.retired_busy + self.legs.iter().flatten().map(|c| c.busy_retries).sum::<u64>()
+    }
+}
+
+/// Where a run's requests go: one server (optionally with a separate
+/// read connection) or a whole cluster.
+enum Sink {
+    Single { client: Client, reads: Option<Client> },
+    Cluster(ClusterConns),
+}
+
+impl Sink {
+    fn insert_batch(&mut self, stream: u8, keys: &[u64]) -> io::Result<()> {
+        match self {
+            Sink::Single { client, .. } => client.insert_batch(stream, keys).map(|_| ()),
+            Sink::Cluster(c) => c.insert_batch(stream, keys),
+        }
+    }
+
+    fn read_conn<'a>(client: &'a mut Client, reads: &'a mut Option<Client>) -> &'a mut Client {
+        match reads {
+            Some(r) => r,
+            None => client,
+        }
+    }
+
+    fn query_member(&mut self, key: u64) -> io::Result<bool> {
+        match self {
+            Sink::Single { client, reads } => Self::read_conn(client, reads).query_member(key),
+            Sink::Cluster(c) => match c.query(cluster_op::MEMBER, key)? {
+                Response::Bool(b) => Ok(b),
+                other => Err(io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
+            },
+        }
+    }
+
+    fn query_freq(&mut self, key: u64) -> io::Result<u64> {
+        match self {
+            Sink::Single { client, reads } => Self::read_conn(client, reads).query_freq(key),
+            Sink::Cluster(c) => match c.query(cluster_op::FREQ, key)? {
+                Response::U64(v) => Ok(v),
+                other => Err(io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
+            },
+        }
+    }
+
+    fn query_card(&mut self) -> io::Result<f64> {
+        match self {
+            Sink::Single { client, reads } => Self::read_conn(client, reads).query_card(),
+            Sink::Cluster(c) => match c.query(cluster_op::CARD, 0)? {
+                Response::F64(v) => Ok(v),
+                other => Err(io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
+            },
+        }
+    }
+
+    fn query_sim(&mut self) -> io::Result<f64> {
+        match self {
+            Sink::Single { client, reads } => Self::read_conn(client, reads).query_sim(),
+            Sink::Cluster(c) => match c.query(cluster_op::SIM, 0)? {
+                Response::F64(v) => Ok(v),
+                other => Err(io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
+            },
+        }
+    }
+
+    fn busy_retries(&self) -> u64 {
+        match self {
+            Sink::Single { client, .. } => client.busy_retries,
+            Sink::Cluster(c) => c.busy_retries(),
+        }
+    }
+}
+
 /// Book-keeping for the query side of a run.
 struct QuerySide {
     lat: LatencyHistogram,
@@ -131,26 +339,26 @@ impl QuerySide {
     /// against the mirror when one is present, and time it.
     fn issue(
         &mut self,
-        client: &mut Client,
+        sink: &mut Sink,
         mirror: &mut Option<DirectEngine>,
         key: u64,
     ) -> io::Result<()> {
         let t = Instant::now();
         let (got_bits, want_bits) = match self.sent % 4 {
             0 => {
-                let got = client.query_member(key)?;
+                let got = sink.query_member(key)?;
                 (got as u64, mirror.as_mut().map(|m| m.member(key) as u64))
             }
             1 => {
-                let got = client.query_freq(key)?;
+                let got = sink.query_freq(key)?;
                 (got, mirror.as_mut().map(|m| m.frequency(key)))
             }
             2 => {
-                let got = client.query_card()?;
+                let got = sink.query_card()?;
                 (got.to_bits(), mirror.as_mut().map(|m| m.cardinality().to_bits()))
             }
             _ => {
-                let got = client.query_sim()?;
+                let got = sink.query_sim()?;
                 (got.to_bits(), mirror.as_mut().map(|m| m.similarity().to_bits()))
             }
         };
@@ -178,6 +386,14 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             "--verify requires a single connection",
+        ));
+    }
+    if cfg.offset > 0 {
+        // --offset continues one deterministic stream; fanned-out threads
+        // each reseed, so there is no single stream to continue.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "--offset requires a single connection",
         ));
     }
     let conns = cfg.connections as u64;
@@ -222,24 +438,63 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
 
 /// One connection's worth of [`run`].
 fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
-    let mut client = Client::connect(&cfg.addr)?;
-    // Reads may go to a different node (a replica); the mirror cannot
-    // vouch for a lagging replica, so the combination is refused.
-    let mut query_client = match &cfg.read_from {
-        Some(addr) if cfg.verify.is_some() => {
-            let _ = addr;
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "--verify compares against the write connection; it cannot read from a replica",
-            ));
+    let batch = cfg.batch.max(1) as u64;
+    if !cfg.offset.is_multiple_of(batch) {
+        // Batch numbering (and with it the A/B stream cycle) must line up
+        // with the run that produced the first `offset` items.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "--offset must be a multiple of --batch",
+        ));
+    }
+    let mut sink = match &cfg.cluster {
+        Some(seed) => {
+            if cfg.read_from.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "--read-from does not apply in cluster mode (queries scatter-gather)",
+                ));
+            }
+            let conns = ClusterConns::connect(seed)?;
+            if let Some(v) = &cfg.verify {
+                // The scatter-gather merge runs in partition order; the
+                // mirror's shard order must be the same order.
+                if v.shards != conns.map.partitions.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "--verify in cluster mode needs --shards == partition count",
+                    ));
+                }
+            }
+            Sink::Cluster(conns)
         }
-        Some(addr) => Some(Client::connect(addr)?),
-        None => None,
+        None => {
+            let client = Client::connect(&cfg.addr)?;
+            // Reads may go to a different node (a replica); the mirror
+            // cannot vouch for a lagging replica, so the combination is
+            // refused.
+            let reads = match &cfg.read_from {
+                Some(addr) if cfg.verify.is_some() => {
+                    let _ = addr;
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "--verify compares against the write connection; it cannot read from a replica",
+                    ));
+                }
+                Some(addr) => Some(Client::connect(addr)?),
+                None => None,
+            };
+            Sink::Single { client, reads }
+        }
     };
     let mut mirror = cfg.verify.map(DirectEngine::new);
     let mut keygen = CaidaLike::new(cfg.universe.max(2), cfg.skew, cfg.seed);
+    for _ in 0..cfg.offset {
+        // Fast-forward past the items a previous run already sent.
+        keygen.next_key();
+    }
 
-    let batch = cfg.batch.max(1) as u64;
+    let first_batch = cfg.offset / batch;
     let n_batches = cfg.items.div_ceil(batch);
     // Interleave queries evenly: one after roughly every `stride`-th batch.
     let stride = if cfg.queries == 0 { u64::MAX } else { n_batches.div_ceil(cfg.queries).max(1) };
@@ -255,8 +510,11 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
         let take = usize_of(batch.min(cfg.items - sent_items));
         let keys = keygen.take_vec(take);
         last_key = *keys.last().unwrap_or(&last_key);
+        // Stream selection runs on the *global* batch number so an
+        // offset continuation keeps the same A/B cycle.
+        let gb = first_batch + b;
         let stream =
-            if cfg.sim_every > 0 && b % cfg.sim_every == cfg.sim_every - 1 { 1u8 } else { 0u8 };
+            if cfg.sim_every > 0 && gb % cfg.sim_every == cfg.sim_every - 1 { 1u8 } else { 0u8 };
 
         // Open-loop: wait for this batch's scheduled departure, then
         // charge latency from the schedule, not from the actual send.
@@ -271,7 +529,7 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
                 due
             }
         };
-        client.insert_batch(stream, &keys)?;
+        sink.insert_batch(stream, &keys)?;
         insert_lat.record(op_start.elapsed());
         sent_items += take as u64;
 
@@ -282,24 +540,25 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
         }
 
         if b % stride == stride - 1 && queries.sent < cfg.queries {
-            queries.issue(query_client.as_mut().unwrap_or(&mut client), &mut mirror, last_key)?;
+            queries.issue(&mut sink, &mut mirror, last_key)?;
         }
     }
 
     // Any remaining query budget runs back-to-back at the end (small
     // `items` with large `queries` would otherwise under-deliver).
     while queries.sent < cfg.queries {
-        queries.issue(query_client.as_mut().unwrap_or(&mut client), &mut mirror, last_key)?;
+        queries.issue(&mut sink, &mut mirror, last_key)?;
     }
 
     let wall = start.elapsed();
+    let busy_retries = sink.busy_retries();
     Ok(LoadSummary {
         insert: NetReport::new("insert_batch", n_batches, sent_items, wall, insert_lat)
-            .with_retries(client.busy_retries),
+            .with_retries(busy_retries),
         query: NetReport::new("query", queries.sent, queries.sent, wall, queries.lat),
         verified: queries.verified,
         mismatches: queries.mismatches,
-        busy_retries: client.busy_retries,
+        busy_retries,
         wall,
     })
 }

@@ -20,12 +20,19 @@
 //! `REPL_ACK`, `CLUSTER_STATUS` and their responses, plus the
 //! `NOT_PRIMARY` / `LOG_TRUNCATED` errors). Like v2, every earlier
 //! message is unchanged, so v1/v2 clients keep working unmodified.
+//!
+//! Protocol **v4** adds the partitioned cluster (`CLUSTER_JOIN`,
+//! `CLUSTER_MAP`, `CLUSTER_QUERY`, `CLUSTER_MAP_REPLY`): push-pull gossip
+//! of the membership map and coordinator-side scatter-gather queries (see
+//! `crate::cluster` and `docs/CLUSTER.md`). As before, every earlier
+//! message is unchanged and older clients keep working unmodified.
 
+use crate::cluster::ClusterMap;
 use she_core::convert::{le_u64s, usize_of};
 use she_core::frame::{FrameError, Reader};
 
 /// The protocol version this build speaks (reported by `HELLO`).
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Hard cap on a frame payload; anything larger is a protocol error on
 /// both ends (prevents a hostile length prefix from allocating memory).
@@ -54,6 +61,9 @@ pub mod opcode {
     pub const REPL_SUBSCRIBE: u8 = 0x31;
     pub const REPL_ACK: u8 = 0x32;
     pub const CLUSTER_STATUS: u8 = 0x33;
+    pub const CLUSTER_JOIN: u8 = 0x34;
+    pub const CLUSTER_MAP: u8 = 0x35;
+    pub const CLUSTER_QUERY: u8 = 0x36;
 
     pub const OK: u8 = 0x80;
     pub const BOOL: u8 = 0x81;
@@ -65,6 +75,7 @@ pub mod opcode {
     pub const REPL_OP: u8 = 0x87;
     pub const REPL_HEARTBEAT: u8 = 0x88;
     pub const CLUSTER_STATUS_REPLY: u8 = 0x89;
+    pub const CLUSTER_MAP_REPLY: u8 = 0x8A;
     pub const ERR: u8 = 0xE0;
     pub const BUSY: u8 = 0xE1;
     pub const NOT_PRIMARY: u8 = 0xE2;
@@ -112,6 +123,28 @@ pub enum Request {
     ReplAck { seq: u64 },
     /// v3: this node's replication role, log positions, and peers.
     ClusterStatus,
+    /// v4: push-pull gossip — the sender offers its view of the cluster
+    /// map; the receiver adopts it if newer and answers
+    /// [`Response::ClusterMapReply`] with its own (possibly just-updated)
+    /// view. `from_node` identifies the gossiping node for diagnostics.
+    ClusterJoin {
+        /// The sender's cluster node id.
+        from_node: u64,
+        /// The sender's current view of the map.
+        map: ClusterMap,
+    },
+    /// v4: fetch this node's current cluster map (client re-routing).
+    ClusterMapGet,
+    /// v4: scatter-gather query, merged by the coordinator (this node)
+    /// across every partition: `op` is one of
+    /// [`crate::cluster::cluster_op`], `key` is ignored by the
+    /// whole-stream ops (card, sim).
+    ClusterQuery {
+        /// The merge operation (`cluster_op::{MEMBER, CARD, FREQ, SIM}`).
+        op: u8,
+        /// The key, for the routed ops (member, freq).
+        key: u64,
+    },
     /// Drain the queues and stop the server.
     Shutdown,
 }
@@ -150,6 +183,9 @@ pub enum Response {
     ReplHeartbeat { head: u64 },
     /// v3: answer to [`Request::ClusterStatus`].
     ClusterStatus(ClusterStatusInfo),
+    /// v4: the node's current cluster map (answers
+    /// [`Request::ClusterJoin`] and [`Request::ClusterMapGet`]).
+    ClusterMapReply(ClusterMap),
     /// The request failed; human-readable reason.
     Err(String),
     /// Shard queue full and nothing was enqueued — retry the whole
@@ -254,6 +290,7 @@ impl Request {
     /// Encode into a frame payload (no length prefix).
     pub fn encode(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(16);
+        // audit:allow(growth): frame encoder — payload capped at MAX_FRAME by the asserts above each variable-length variant
         match self {
             Request::Insert { stream, key } => {
                 b.push(opcode::INSERT);
@@ -307,6 +344,17 @@ impl Request {
                 b.extend_from_slice(&seq.to_le_bytes());
             }
             Request::ClusterStatus => b.push(opcode::CLUSTER_STATUS),
+            Request::ClusterJoin { from_node, map } => {
+                b.push(opcode::CLUSTER_JOIN);
+                b.extend_from_slice(&from_node.to_le_bytes());
+                map.encode_into(&mut b);
+            }
+            Request::ClusterMapGet => b.push(opcode::CLUSTER_MAP),
+            Request::ClusterQuery { op, key } => {
+                b.push(opcode::CLUSTER_QUERY);
+                b.push(*op);
+                b.extend_from_slice(&key.to_le_bytes());
+            }
             Request::Shutdown => b.push(opcode::SHUTDOWN),
         }
         b
@@ -345,6 +393,13 @@ impl Request {
             opcode::REPL_SUBSCRIBE => Request::ReplSubscribe { from_seq: r.u64()? },
             opcode::REPL_ACK => Request::ReplAck { seq: r.u64()? },
             opcode::CLUSTER_STATUS => Request::ClusterStatus,
+            opcode::CLUSTER_JOIN => {
+                let from_node = r.u64()?;
+                let map = ClusterMap::decode_from(&mut r)?;
+                Request::ClusterJoin { from_node, map }
+            }
+            opcode::CLUSTER_MAP => Request::ClusterMapGet,
+            opcode::CLUSTER_QUERY => Request::ClusterQuery { op: r.u8()?, key: r.u64()? },
             opcode::SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError::BadOpcode(other)),
         };
@@ -357,6 +412,7 @@ impl Response {
     /// Encode into a frame payload (no length prefix).
     pub fn encode(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(16);
+        // audit:allow(growth): frame encoder — payload capped at MAX_FRAME by the asserts above each variable-length variant
         match self {
             Response::Ok { accepted } => {
                 b.push(opcode::OK);
@@ -421,6 +477,10 @@ impl Response {
                     b.extend_from_slice(&len_u16(p.addr.len()).to_le_bytes());
                     b.extend_from_slice(p.addr.as_bytes());
                 }
+            }
+            Response::ClusterMapReply(map) => {
+                b.push(opcode::CLUSTER_MAP_REPLY);
+                map.encode_into(&mut b);
             }
             Response::Err(msg) => {
                 b.push(opcode::ERR);
@@ -508,6 +568,9 @@ impl Response {
                     primary,
                     peers,
                 })
+            }
+            opcode::CLUSTER_MAP_REPLY => {
+                Response::ClusterMapReply(ClusterMap::decode_from(&mut r)?)
             }
             opcode::ERR => {
                 let rest = r.take(payload.len() - 1)?;

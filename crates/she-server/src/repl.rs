@@ -256,6 +256,7 @@ impl ReplHub {
         *id_g += 1;
         let id = *id_g;
         drop(id_g);
+        // audit:allow(growth): one entry per live subscriber; the accept loop caps connections
         self.peers.lock().push((id, addr, 0));
         id
     }

@@ -28,6 +28,7 @@
 //!   their `BUSY`-with-nothing-applied guarantee while reads degrade
 //!   first. All three are counted in [`ServeCounters`].
 
+use crate::cluster::{scatter_query, ClusterDirectory};
 use crate::codec::{read_frame, read_frame_deadline, write_frame, FrameIn};
 use crate::engine::{EngineConfig, ShardEngine};
 use crate::protocol::{
@@ -97,6 +98,10 @@ pub struct ServerConfig {
     /// Maximum simultaneously served connections; excess clients get one
     /// `OVERLOADED` frame and are closed without spawning a handler.
     pub max_connections: usize,
+    /// v4: the node's shared cluster-map view. `Some` makes this server a
+    /// cluster member: it answers `CLUSTER_JOIN` / `CLUSTER_MAP` from the
+    /// directory and coordinates `CLUSTER_QUERY` scatter-gathers.
+    pub cluster: Option<Arc<ClusterDirectory>>,
 }
 
 impl Default for ServerConfig {
@@ -111,9 +116,13 @@ impl Default for ServerConfig {
             heartbeat_ms: 500,
             client_deadline_ms: 10_000,
             max_connections: 1024,
+            cluster: None,
         }
     }
 }
+
+/// End-to-end budget for one scatter-gather leg to a peer partition.
+const CLUSTER_LEG_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// State shared by the accept loop and every connection handler. Workers
 /// are *not* behind this — they own their engines; only their queue
@@ -135,6 +144,11 @@ struct Shared {
     max_connections: usize,
     conns: AtomicUsize,
     counters: Arc<ServeCounters>,
+    cluster: Option<Arc<ClusterDirectory>>,
+    /// v4 failover: a replica-role server that won a partition election
+    /// flips this and serves writes from then on (its own op log starts
+    /// at its promotion point; followers re-bootstrap from it).
+    promoted: AtomicBool,
 }
 
 /// How a shed-capable read query resolved.
@@ -220,8 +234,8 @@ impl Shared {
                 None => shutting_down(),
             },
             Request::Restore { shard, data } => {
-                if let Role::Replica { primary, .. } = &self.role {
-                    return Response::NotPrimary { primary: primary.clone() };
+                if let Some(primary) = self.write_refusal() {
+                    return Response::NotPrimary { primary };
                 }
                 let shard = shard as usize;
                 if shard >= self.txs.len() {
@@ -238,6 +252,24 @@ impl Shared {
             }
             Request::ReplBootstrap => self.bootstrap(),
             Request::ClusterStatus => Response::ClusterStatus(self.cluster_status()),
+            Request::ClusterJoin { from_node: _, map } => match &self.cluster {
+                Some(dir) => {
+                    dir.observe(&map);
+                    Response::ClusterMapReply(dir.get())
+                }
+                None => not_a_cluster_node(),
+            },
+            Request::ClusterMapGet => match &self.cluster {
+                Some(dir) => Response::ClusterMapReply(dir.get()),
+                None => not_a_cluster_node(),
+            },
+            Request::ClusterQuery { op, key } => match &self.cluster {
+                // The scatter legs are plain QUERY_* requests (never a
+                // nested CLUSTER_QUERY), so coordinators cannot recurse;
+                // the self-leg loops back through our own accept loop.
+                Some(dir) => scatter_query(&dir.get(), op, key, CLUSTER_LEG_TIMEOUT),
+                None => not_a_cluster_node(),
+            },
             // Valid only *on* a feed; `handle_connection` intercepts the
             // subscribe before it can reach here.
             Request::ReplSubscribe { .. } | Request::ReplAck { .. } => {
@@ -250,12 +282,24 @@ impl Shared {
         }
     }
 
+    /// `Some(primary)` when this server must refuse writes: a replica
+    /// that has not been promoted. A promoted replica serves writes like
+    /// a primary (its op log begins at the promotion point).
+    fn write_refusal(&self) -> Option<String> {
+        match &self.role {
+            Role::Replica { primary, .. } if !self.promoted.load(Ordering::SeqCst) => {
+                Some(primary.clone())
+            }
+            _ => None,
+        }
+    }
+
     /// The write path: reject on replicas, then admit onto the shard
     /// queues — appending to the op log atomically when one is kept, so
     /// replicas replay the identical per-shard insert order.
     fn ingest(&self, stream: u8, keys: Vec<u64>) -> Response {
-        if let Role::Replica { primary, .. } = &self.role {
-            return Response::NotPrimary { primary: primary.clone() };
+        if let Some(primary) = self.write_refusal() {
+            return Response::NotPrimary { primary };
         }
         let accepted = keys.len() as u64;
         let parts: Vec<(usize, u8, Vec<u64>)> =
@@ -273,8 +317,8 @@ impl Shared {
     /// Capture a bootstrap package: snapshot jobs enqueued under the log
     /// lock (an exact cut), answers collected outside it.
     fn bootstrap(&self) -> Response {
-        if let Role::Replica { primary, .. } = &self.role {
-            return Response::NotPrimary { primary: primary.clone() };
+        if let Some(primary) = self.write_refusal() {
+            return Response::NotPrimary { primary };
         }
         let Some(log) = &self.log else {
             return Response::Err(
@@ -308,8 +352,21 @@ impl Shared {
         Response::Blob(blob)
     }
 
-    /// Role, log positions, and peers for `CLUSTER_STATUS`.
+    /// Role, log positions, and peers for `CLUSTER_STATUS`. A promoted
+    /// replica reports like a primary (its feed is gone for good; what
+    /// matters now is its own log head and subscribers).
     fn cluster_status(&self) -> ClusterStatusInfo {
+        if self.promoted.load(Ordering::SeqCst) {
+            return ClusterStatusInfo {
+                is_primary: true,
+                connected: true,
+                head: self.log.as_ref().map_or(0, |l| l.head()),
+                floor: self.log.as_ref().map_or(0, |l| l.floor()),
+                boot_seq: 0,
+                primary: String::new(),
+                peers: self.hub.status(),
+            };
+        }
         match &self.role {
             Role::Primary => ClusterStatusInfo {
                 is_primary: true,
@@ -431,6 +488,10 @@ fn shutting_down() -> Response {
     Response::Err("server shutting down".to_string())
 }
 
+fn not_a_cluster_node() -> Response {
+    Response::Err("not a cluster node (serve with `she cluster-serve`)".to_string())
+}
+
 /// A running server. Dropping the handle does *not* stop it; call
 /// [`Server::shutdown`] (or send the wire `SHUTDOWN`) then [`Server::join`].
 #[derive(Debug)]
@@ -466,12 +527,10 @@ impl Server {
             );
         }
 
-        // Replicas apply the primary's op log locally instead of keeping
-        // their own (chained replication would need a replica-side log).
-        let log = match cfg.role {
-            Role::Primary if cfg.repl_log > 0 => Some(ReplLog::new(cfg.repl_log)),
-            _ => None,
-        };
+        // Any server with `repl_log > 0` keeps a log — including a
+        // replica, whose log stays empty while it follows but lets it
+        // serve subscribers of its own the moment it is promoted.
+        let log = (cfg.repl_log > 0).then(|| ReplLog::new(cfg.repl_log));
         let shared = Arc::new(Shared {
             txs,
             shutdown: AtomicBool::new(false),
@@ -487,6 +546,8 @@ impl Server {
             max_connections: cfg.max_connections.max(1),
             conns: AtomicUsize::new(0),
             counters: Arc::new(ServeCounters::new()),
+            cluster: cfg.cluster,
+            promoted: AtomicBool::new(false),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -522,6 +583,15 @@ impl Server {
     /// [`Server::join`] via the returned `Arc`.
     pub fn counters(&self) -> Arc<ServeCounters> {
         Arc::clone(&self.shared.counters)
+    }
+
+    /// Promote a replica-role server to serve writes (v4 failover). From
+    /// here on it accepts inserts, answers `REPL_BOOTSTRAP`, and reports
+    /// as a primary in `CLUSTER_STATUS`; its op log (present when the
+    /// server was started with `repl_log > 0`) begins at the promotion
+    /// point. Idempotent; a no-op on a server that is already a primary.
+    pub fn promote(&self) {
+        self.shared.promoted.store(true, Ordering::SeqCst);
     }
 
     /// Ask the server to stop, as if a client sent `SHUTDOWN`.
@@ -574,7 +644,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     .name("she-conn".into())
                     .spawn(move || handle_connection(stream, conn_shared))
                 {
-                    Ok(h) => handlers.push(h),
+                    Ok(h) => {
+                        handlers.retain(|j| !j.is_finished());
+                        handlers.push(h);
+                    }
                     Err(_) => {
                         shared.conns.fetch_sub(1, Ordering::SeqCst);
                     }

@@ -6,22 +6,24 @@
 //!
 //! Keys route by `reduce_range(h, S)`, which is monotone in the hash `h`:
 //! shard `j` of an `S`-shard engine owns the contiguous hash range
-//! `[j·2⁶⁴/S, (j+1)·2⁶⁴/S)`. When the old and new shard counts divide one
-//! another, every new shard's range is exactly a union of old ranges (or
-//! a sub-range of one old shard), so the new shard's state is the
-//! cell-wise merge of the old shards that overlap it — exact for the
+//! `[⌈j·2⁶⁴/S⌉, ⌈(j+1)·2⁶⁴/S⌉)`. Because both the old and the new layout
+//! cut the same `[0, 2⁶⁴)` line into contiguous ranges, every new shard's
+//! range is covered by the (one or more) old shards it overlaps, for
+//! *any* pair of shard counts — so each new shard is the cell-wise merge
+//! of exactly its overlapping old shards. The merge is exact for the
 //! OR-mergeable bit sketches (BF/BM), a one-sided cell-wise max for CM,
-//! and the register max/min for HLL-style and MinHash cells.
+//! and the register max/min for HLL-style and MinHash cells. Where an old
+//! shard's range spills past the new shard's boundary (non-divisible
+//! counts, or a split), the foreign keys it carries in only add one-sided
+//! noise — extra bits / higher counters — preserving each structure's
+//! no-false-negative / no-underestimate guarantee.
 //!
 //! Per-shard sizing (`window/S`, `memory/S`) must stay constant for the
 //! nested structure configs to line up, so the rebalanced engine's
 //! *global* window and memory scale with the shard count: going from 4
 //! shards to 2 halves the global window and memory. Per-key queries
 //! (member/freq) are unaffected; whole-engine estimates (card/sim) keep
-//! their per-shard semantics. When a shard's range *splits*, every new
-//! sub-shard inherits the full old state: foreign keys only add one-sided
-//! noise (extra bits / higher counters), preserving each structure's
-//! no-false-negative / no-underestimate guarantee.
+//! their per-shard semantics.
 
 use crate::engine::{EngineConfig, ShardEngine};
 use she_core::frame::{self, Frame, FrameWriter, Reader};
@@ -88,9 +90,12 @@ impl Checkpoint {
     /// checkpoint.
     ///
     /// * `new_shards == cfg.shards`: exact restore, bit-for-bit.
-    /// * Otherwise one count must divide the other; each new shard is the
+    /// * Otherwise — *any* nonzero count — each new shard is the
     ///   cell-wise merge of every old shard whose hash range overlaps its
-    ///   own (contiguous, thanks to the monotone router).
+    ///   own (contiguous, thanks to the monotone router). For divisible
+    ///   counts this degenerates to the exact union/split of PR 2; for
+    ///   non-divisible counts boundary shards carry one-sided extra
+    ///   state, never less.
     pub fn build_engines(
         &self,
         new_shards: usize,
@@ -106,28 +111,24 @@ impl Checkpoint {
         }
 
         let old_shards = self.cfg.shards;
-        if new_shards == 0
-            || (!old_shards.is_multiple_of(new_shards) && !new_shards.is_multiple_of(old_shards))
-        {
-            return Err(SnapshotError::ConfigMismatch { field: "shards (must divide evenly)" });
+        if new_shards == 0 {
+            return Err(SnapshotError::ConfigMismatch { field: "shards (must be nonzero)" });
         }
+        // Shard i of n owns hashes [lo(i, n), lo(i+1, n)): the preimage of
+        // `reduce_range(h, n) == i`, with lo the ceiling division below.
+        let lo = |i: usize, n: usize| ((i as u128) << 64).div_ceil(n as u128);
         let cfg = self.rebalanced_config(new_shards);
         let mut engines = Vec::with_capacity(new_shards);
         for j in 0..new_shards {
             let mut e = ShardEngine::new(&cfg, j);
-            if old_shards > new_shards {
-                // Merge: new shard j absorbs old shards [j·r, (j+1)·r).
-                let r = old_shards / new_shards;
-                for blob in &self.shards[j * r..(j + 1) * r] {
+            let (new_lo, new_hi) = (lo(j, new_shards), lo(j + 1, new_shards));
+            for (i, blob) in self.shards.iter().enumerate() {
+                let (old_lo, old_hi) = (lo(i, old_shards), lo(i + 1, old_shards));
+                if old_lo < new_hi && new_lo < old_hi {
                     e.merge(blob)?;
                 }
-            } else {
-                // Split: new shard j inherits its parent's full state; the
-                // keys now routed elsewhere age out of the window on their
-                // own and meanwhile only add one-sided noise.
-                let r = new_shards / old_shards;
-                e.merge(&self.shards[j / r])?;
             }
+            // audit:allow(growth): exactly one engine per destination shard
             engines.push(e);
         }
         Ok((cfg, engines))

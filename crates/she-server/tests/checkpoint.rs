@@ -43,10 +43,10 @@ fn answers(client: &mut Client) -> Vec<(String, u64)> {
 }
 
 #[test]
-fn hello_negotiates_v3() {
+fn hello_negotiates_v4() {
     let server = Server::start(test_cfg(2)).expect("start");
     let mut client = Client::connect(server.local_addr()).expect("connect");
-    assert_eq!(client.hello().expect("hello"), 3);
+    assert_eq!(client.hello().expect("hello"), 4);
     client.shutdown().expect("shutdown");
     server.wait();
 }
@@ -173,18 +173,33 @@ fn rebalance_split_2_to_4_preserves_guarantees() {
 }
 
 #[test]
-fn rebalance_rejects_non_divisible_counts() {
-    let direct = DirectEngine::new(EngineConfig {
+fn rebalance_handles_arbitrary_counts() {
+    let mut direct = DirectEngine::new(EngineConfig {
         window: 1 << 12,
         shards: 4,
         memory_bytes: 16 << 10,
         seed: 1,
     });
+    let keys: Vec<u64> = (0..512u64).map(mix64).collect();
+    for &k in &keys {
+        direct.insert(0, k);
+    }
     let ckpt = direct.checkpoint();
-    assert!(DirectEngine::restore(&ckpt, Some(3)).is_err(), "4 -> 3 must be rejected");
     assert!(DirectEngine::restore(&ckpt, Some(0)).is_err(), "0 shards must be rejected");
     assert!(DirectEngine::restore(&ckpt, Some(8)).is_ok(), "4 -> 8 must split");
     assert!(DirectEngine::restore(&ckpt, Some(1)).is_ok(), "4 -> 1 must merge");
+    // Non-divisible counts rebalance too (PR 6): each new shard merges
+    // every old shard its hash range overlaps, so the one-sided
+    // guarantees survive in both directions.
+    for new in [3usize, 5, 7] {
+        let mut r = DirectEngine::restore(&ckpt, Some(new))
+            .unwrap_or_else(|e| panic!("4 -> {new} rebalance failed: {e}"));
+        assert_eq!(r.config().shards, new);
+        for &k in &keys[keys.len() - 64..] {
+            assert!(r.member(k), "4 -> {new} lost member {k:#x}");
+            assert!(r.frequency(k) >= 1, "4 -> {new} underestimated {k:#x}");
+        }
+    }
 }
 
 #[test]

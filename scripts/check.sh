@@ -204,6 +204,130 @@ for pid in $ALL_PIDS; do
     fi
 done
 
+echo "== cluster failover smoke test (docs/CLUSTER.md)"
+# Three cluster nodes (each a partition primary + ring-predecessor
+# replica + gossip monitor); a cluster-aware loadgen verifies
+# scatter-gather answers against an in-process mirror; partition 0's
+# primary is then killed -9, the lowest-id live replica holder must be
+# promoted and gossiped, writes continue against the new map, and a
+# final mirror-check proves the whole cluster is still bit-for-bit
+# identical to one single-process engine of the same global sizing.
+C1=127.0.0.1:7601
+C2=127.0.0.1:7602
+C3=127.0.0.1:7603
+ROSTER="1@$C1,2@$C2,3@$C3"
+CWIN=65536
+CMEM=65536
+CITEMS=30720     # 120 batches of 256
+CMORE=10240      # 40 more after failover (offset stays batch-aligned)
+CTOTAL=$((CITEMS + CMORE))
+N1_PID=
+N2_PID=
+N3_PID=
+cleanup3() {
+    for pid in $N1_PID $N2_PID $N3_PID; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup3 EXIT INT TERM
+
+"$BIN" cluster-serve --node-id 1 --roster "$ROSTER" --window "$CWIN" \
+    --memory "$CMEM" --gossip-ms 100 --heartbeat-timeout-ms 1000 >/dev/null &
+N1_PID=$!
+"$BIN" cluster-serve --node-id 2 --roster "$ROSTER" --window "$CWIN" \
+    --memory "$CMEM" --gossip-ms 100 --heartbeat-timeout-ms 1000 >/dev/null &
+N2_PID=$!
+"$BIN" cluster-serve --node-id 3 --roster "$ROSTER" --window "$CWIN" \
+    --memory "$CMEM" --gossip-ms 100 --heartbeat-timeout-ms 1000 >/dev/null &
+N3_PID=$!
+for C in "$C1" "$C2" "$C3"; do
+    wait_status "$C"
+done
+
+# Cluster-aware load with interleaved verified scatter-gather queries.
+"$BIN" loadgen --addr "$C1" --cluster yes --items "$CITEMS" --batch 256 \
+    --queries 60 --universe 5000 --sim-every 8 --seed 1 \
+    --verify yes --window "$CWIN" --shards 3 --memory "$CMEM" >/dev/null
+
+# Drain: each primary's replica must have acked the log head before the
+# kill (a kill before the tail drains would test data loss, not failover).
+wait_drained() {
+    i=0
+    while :; do
+        OUT=$("$BIN" cluster-status --addr "$1" 2>/dev/null) || OUT=""
+        HEAD=$(echo "$OUT" | sed -n 's/^role=primary head=\([0-9]*\) .*/\1/p')
+        if [ -n "$HEAD" ]; then
+            if [ "$HEAD" = "0" ] || echo "$OUT" | grep -q "acked=$HEAD\$"; then
+                break
+            fi
+        fi
+        i=$((i + 1))
+        [ "$i" -ge 200 ] && {
+            echo "replica of the primary at $1 never drained:"
+            echo "$OUT"
+            exit 1
+        }
+        sleep 0.1
+    done
+}
+for C in "$C1" "$C2" "$C3"; do
+    wait_drained "$C"
+done
+
+# Kill partition 0's primary (node 1) without ceremony.
+kill -9 "$N1_PID" 2>/dev/null || true
+wait "$N1_PID" 2>/dev/null || true
+N1_PID=
+
+# The survivors must gossip their way to a map where partition 0 is
+# served by the promoted replica (node 2: the lowest-id live holder).
+i=0
+until "$BIN" cluster-map --addr "$C2" 2>/dev/null \
+        | grep "^partition=0 " | grep -qv "primary=1@"; do
+    i=$((i + 1))
+    [ "$i" -ge 200 ] && {
+        echo "failover never converged:"
+        "$BIN" cluster-map --addr "$C2" || true
+        exit 1
+    }
+    sleep 0.1
+done
+"$BIN" cluster-map --addr "$C2" | grep "^partition=0 " | grep -q "primary=2@" || {
+    echo "wrong node promoted for partition 0:"
+    "$BIN" cluster-map --addr "$C2"
+    exit 1
+}
+echo "partition 0 failed over to node 2"
+
+# Writes keep flowing against the new map (offset continues the keygen
+# exactly where the pre-kill run stopped).
+"$BIN" loadgen --addr "$C2" --cluster yes --items "$CMORE" --offset "$CITEMS" \
+    --batch 256 --queries 0 --universe 5000 --sim-every 8 --seed 1 >/dev/null
+
+# The whole cluster — promoted replica included — must still equal one
+# single-process engine of the same global sizing, bit-for-bit.
+"$BIN" mirror-check --addr "$C2" --cluster yes --items "$CTOTAL" --batch 256 \
+    --universe 5000 --sim-every 8 --seed 1 --probes 32 \
+    --window "$CWIN" --shards 3 --memory "$CMEM" || {
+    echo "cluster diverged from the single-engine mirror after failover"
+    exit 1
+}
+echo "cluster failover: bit-for-bit vs single engine after kill -9 + promotion"
+
+"$BIN" shutdown --addr "$C2" >/dev/null
+"$BIN" shutdown --addr "$C3" >/dev/null
+wait "$N2_PID" || true
+wait "$N3_PID" || true
+for pid in $N2_PID $N3_PID; do
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "LEAKED PROCESS: cluster node pid $pid survived its smoke test"
+        kill -9 "$pid" 2>/dev/null || true
+        exit 1
+    fi
+done
+N2_PID=
+N3_PID=
+
 echo "== chaos soak smoke test (docs/ROBUSTNESS.md)"
 # Deterministic fault-injection soak: primary + replica through a fault
 # proxy, 3 disconnect/kill-restart cycles, bit-for-bit mirror verdict,
@@ -218,5 +342,15 @@ CHAOS_DIR=$(mktemp -d)
     exit 1
 }
 rm -rf "$CHAOS_DIR"
+
+echo "== cluster kill-primary drill (docs/CLUSTER.md)"
+# In-process failover drill: seeded workload on a real 3-node cluster,
+# replicas drained, one primary killed, survivors must converge and the
+# post-failover scatter-gather battery must match the mirror bit-for-bit.
+DRILL_SEED=274951162221585
+"$BIN" chaos-cluster --seed "$DRILL_SEED" || {
+    echo "cluster drill FAILED — replay with: she chaos-cluster --seed $DRILL_SEED"
+    exit 1
+}
 
 echo "check.sh: all green"
