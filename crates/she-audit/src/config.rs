@@ -23,6 +23,9 @@ pub struct RuleConfig {
     /// Crates where the lock-order rule applies (raw `Mutex::new` banned,
     /// `OrderedMutex` names cross-checked against the manifest).
     pub lock_crates: Vec<String>,
+    /// Workspace-relative path suffixes of files on the epoll reactor
+    /// path, where blocking I/O calls are a hard gate failure.
+    pub blocking_files: Vec<String>,
     /// Named lock ranks from `audit-locks.toml` (name → rank).
     pub locks: BTreeMap<String, u16>,
     /// Ratchet baseline from `audit-ratchet.toml`: `"rule/crate"` → count.
@@ -95,6 +98,11 @@ impl RuleConfig {
                 "she-cluster".into(),
                 "she-core".into(),
                 "she-chaos".into(),
+            ],
+            blocking_files: vec![
+                "she-server/src/reactor.rs".into(),
+                "she-server/src/conn.rs".into(),
+                "she-server/src/sys.rs".into(),
             ],
             locks,
             ratchet,

@@ -2,7 +2,7 @@
 //!
 //! A dependency-free auditor that lexes every Rust source file in the
 //! workspace and enforces repo-specific invariants `cargo clippy` cannot
-//! express. Five rules ship today (see [`rules`]):
+//! express. Six rules ship today (see [`rules`]):
 //!
 //! | rule       | invariant |
 //! |------------|-----------|
@@ -10,14 +10,15 @@
 //! | `cast`     | no narrowing `as` casts in cell-index / frame-length math |
 //! | `growth`   | no `Vec`/`VecDeque` `push`/`extend` without a nearby cap check |
 //! | `lock`     | every mutex is a ranked `OrderedMutex`; manifest and source agree |
+//! | `blocking` | no blocking I/O calls in files on the epoll reactor path |
 //! | `protocol` | opcode constants and `docs/PROTOCOL.md` tables agree |
 //!
 //! `panic`, `cast`, and `growth` are **ratcheted**: `audit-ratchet.toml` commits a
 //! per-crate finding count, and the gate fails when the live count moves
 //! in *either* direction — growth is a regression, shrinkage must be
 //! banked by tightening the committed number so it can never grow back.
-//! `lock` and `protocol` findings, and malformed `audit:allow`
-//! annotations, fail the gate unconditionally.
+//! `lock`, `protocol`, and `blocking` findings, and malformed
+//! `audit:allow` annotations, fail the gate unconditionally.
 //!
 //! The entry point is [`audit`]; `she audit` (in `she-cli`) is a thin
 //! wrapper that prints [`Audit::findings`] and exits nonzero when
@@ -85,11 +86,14 @@ pub fn audit(root: &Path, cfg: &RuleConfig) -> io::Result<Audit> {
     let mut files_scanned = 0usize;
 
     for file in &files {
+        let on_reactor_path =
+            cfg.blocking_files.iter().any(|suffix| file.rel_path.ends_with(suffix.as_str()));
         let policed = !file.test_only
             && (cfg.panic_crates.contains(&file.crate_name)
                 || cfg.cast_crates.contains(&file.crate_name)
                 || cfg.growth_crates.contains(&file.crate_name)
-                || cfg.lock_crates.contains(&file.crate_name));
+                || cfg.lock_crates.contains(&file.crate_name)
+                || on_reactor_path);
         if !policed {
             continue;
         }
@@ -116,6 +120,9 @@ pub fn audit(root: &Path, cfg: &RuleConfig) -> io::Result<Audit> {
         if cfg.growth_crates.contains(&file.crate_name) {
             findings.extend(rules::growth::check(&file.crate_name, &file.rel_path, &lx));
         }
+        if on_reactor_path {
+            findings.extend(rules::blocking_io::check(&file.crate_name, &file.rel_path, &lx));
+        }
         if cfg.lock_crates.contains(&file.crate_name) {
             lock_scan.scan_file(&file.crate_name, &file.rel_path, &lx);
         }
@@ -139,12 +146,29 @@ fn evaluate_gate(findings: &[Finding], cfg: &RuleConfig) -> Vec<String> {
     let mut failures = Vec::new();
 
     // Hard rules: any finding fails the gate.
-    for (rule, label) in
-        [("lock", "lock-order"), ("protocol", "protocol-drift"), ("allow", "allow-syntax")]
-    {
+    for (rule, label) in [
+        ("lock", "lock-order"),
+        ("protocol", "protocol-drift"),
+        ("allow", "allow-syntax"),
+        ("blocking", "blocking-io"),
+    ] {
         let n = findings.iter().filter(|f| f.rule == rule).count();
         if n > 0 {
-            failures.push(format!("{rule}: {n} {label} finding(s)"));
+            // Name the offending crates so `failing_findings` (which
+            // matches gate lines by crate) lists the details.
+            let mut crates: Vec<&str> = findings
+                .iter()
+                .filter(|f| f.rule == rule && !f.crate_name.is_empty())
+                .map(|f| f.crate_name.as_str())
+                .collect();
+            crates.sort_unstable();
+            crates.dedup();
+            let along = if crates.is_empty() {
+                String::new()
+            } else {
+                format!(" in {}", crates.join(", "))
+            };
+            failures.push(format!("{rule}: {n} {label} finding(s){along}"));
         }
     }
 
@@ -195,6 +219,7 @@ mod tests {
             cast_crates: vec!["demo".into()],
             growth_crates: vec!["demo".into()],
             lock_crates: vec!["demo".into()],
+            blocking_files: Vec::new(),
             locks: BTreeMap::new(),
             ratchet: ratchet.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             protocol: None,

@@ -1,0 +1,117 @@
+//! **blocking-io** — files on the epoll reactor path must not call
+//! blocking I/O primitives. The reactor thread multiplexes every client
+//! connection; one call that parks it on a socket read, a full write, or
+//! an unbounded channel wait stalls *all* of them at once. The serving
+//! path must stay event-driven: nonblocking sockets, readiness from
+//! epoll, and `try_recv`/`try_send` on channels.
+//!
+//! The rule polices an explicit file list (`RuleConfig::blocking_files`)
+//! rather than whole crates: the same crate legitimately hosts blocking
+//! helpers for clients, feed threads, and workers. A policed file that
+//! must block deliberately — e.g. handing a connection off to a
+//! dedicated thread — carries `// audit:allow(blocking): <reason>`
+//! stating which thread actually blocks. Findings are a hard gate
+//! failure, not ratcheted: a blocking call on the reactor is never a
+//! baseline to preserve.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::rules::Finding;
+
+/// Calls that park the calling thread on I/O or an unbounded wait.
+/// Covers the repo's own frame codec (`read_frame` and friends are
+/// blocking by design), the std blocking read/write combinators, socket
+/// timeout configuration (only meaningful on blocking sockets), and
+/// blocking channel receives.
+const BLOCKERS: [&str; 10] = [
+    "read_frame",
+    "read_frame_deadline",
+    "write_frame",
+    "read_exact",
+    "read_to_end",
+    "write_all",
+    "recv",
+    "recv_timeout",
+    "set_read_timeout",
+    "set_write_timeout",
+];
+
+/// Run the rule over one lexed policed file.
+pub fn check(crate_name: &str, file: &str, lx: &Lexed) -> Vec<Finding> {
+    let toks = &lx.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !BLOCKERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Only calls count — `.read_exact(`, `read_frame(`, or
+        // `codec::read_frame(` — not definitions (`fn read_frame(`) or
+        // imports (`use codec::read_frame;`).
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn" {
+            continue;
+        }
+        if lx.in_test(t.line) || lx.allowed("blocking", t.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "blocking",
+            crate_name: crate_name.to_string(),
+            file: file.to_string(),
+            line: t.line,
+            msg: format!(
+                "`{}(` blocks the calling thread on a reactor-path file (go through epoll \
+                 readiness, or annotate `// audit:allow(blocking): <reason>` naming the \
+                 thread that actually blocks)",
+                t.text
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lines(src: &str) -> Vec<u32> {
+        check("c", "f.rs", &lex(src)).into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn flags_method_and_free_function_calls() {
+        let src = "fn f(s: &mut TcpStream) {\n    s.read_exact(&mut buf)?;\n    \
+                   let p = read_frame(s)?;\n    codec::write_frame(s, &p)?;\n}";
+        assert_eq!(lines(src), [2, 3, 4]);
+    }
+
+    #[test]
+    fn definitions_and_imports_are_not_calls() {
+        let src = "use crate::codec::{read_frame, write_frame};\n\
+                   fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {\n    todo()\n}";
+        assert!(lines(src).is_empty());
+    }
+
+    #[test]
+    fn channel_receives_and_timeout_config_are_flagged() {
+        let src = "fn f(rx: &Receiver<u32>, s: &TcpStream) {\n    let v = rx.recv();\n    \
+                   s.set_read_timeout(None);\n}";
+        assert_eq!(lines(src), [2, 3]);
+    }
+
+    #[test]
+    fn try_recv_is_not_recv() {
+        assert!(lines("fn f(rx: &Receiver<u32>) { while let Ok(v) = rx.try_recv() {} }").is_empty());
+    }
+
+    #[test]
+    fn allow_and_tests_suppress() {
+        let src = "fn f(s: &mut TcpStream) {\n    \
+                   // audit:allow(blocking): runs on the detached feed thread\n    \
+                   s.write_all(&out);\n}\n\
+                   #[cfg(test)]\nmod t {\n    fn g(s: &mut TcpStream) { s.write_all(&[1]); }\n}";
+        assert!(lines(src).is_empty());
+    }
+}

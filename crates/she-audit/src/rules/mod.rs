@@ -2,6 +2,7 @@
 //! [`Finding`]s; the engine in `lib.rs` layers the ratchet and gate
 //! semantics on top.
 
+pub mod blocking_io;
 pub mod cast;
 pub mod growth;
 pub mod lock_order;
@@ -13,7 +14,8 @@ use std::fmt;
 /// One audit finding: a rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule key: `panic`, `cast`, `growth`, `lock`, or `protocol`.
+    /// Rule key: `panic`, `cast`, `growth`, `lock`, `blocking`, or
+    /// `protocol`.
     pub rule: &'static str,
     /// Crate the finding is in (empty for cross-file protocol findings).
     pub crate_name: String,

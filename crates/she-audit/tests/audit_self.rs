@@ -25,6 +25,7 @@ fn demo_cfg() -> RuleConfig {
         cast_crates: vec!["demo".into()],
         growth_crates: vec!["demo".into()],
         lock_crates: vec!["demo".into()],
+        blocking_files: vec!["demo/src/lib.rs".into()],
         locks: [("listed".to_string(), 10u16)].into_iter().collect(),
         ratchet: BTreeMap::new(),
         protocol: None,
@@ -42,7 +43,10 @@ fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
 fn known_bad_fixture_fires_every_rule() {
     let report = audit(&fixture("known-bad"), &demo_cfg()).expect("audit runs");
     assert!(!report.ok(), "known-bad fixture must fail the gate");
-    assert_eq!(rules_fired(&report.findings), ["allow", "cast", "growth", "lock", "panic"]);
+    assert_eq!(
+        rules_fired(&report.findings),
+        ["allow", "blocking", "cast", "growth", "lock", "panic"]
+    );
 
     let msgs: Vec<&str> = report.findings.iter().map(|f| f.msg.as_str()).collect();
     assert!(msgs.iter().any(|m| m.contains("unwrap")), "unwrap finding: {msgs:?}");
@@ -52,9 +56,10 @@ fn known_bad_fixture_fires_every_rule() {
     assert!(msgs.iter().any(|m| m.contains("\"ghost\" has no rank")), "unknown name: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("stale manifest entry")), "stale entry: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("malformed audit:allow")), "malformed allow: {msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("blocks the calling thread")), "blocking: {msgs:?}");
 
     // The gate lines must cover both hard rules and both ratcheted rules.
-    for rule in ["panic:", "cast:", "growth:", "lock:", "allow:"] {
+    for rule in ["panic:", "cast:", "growth:", "lock:", "allow:", "blocking:"] {
         assert!(
             report.gate_failures.iter().any(|g| g.starts_with(rule)),
             "missing {rule} gate failure in {:?}",
@@ -104,6 +109,7 @@ fn protocol_audit(label: &str, mutate: impl Fn(String, String) -> (String, Strin
         cast_crates: vec![],
         growth_crates: vec![],
         lock_crates: vec![],
+        blocking_files: vec![],
         locks: BTreeMap::new(),
         ratchet: BTreeMap::new(),
         protocol: Some((dir.join("protocol.rs"), dir.join("PROTOCOL.md"))),

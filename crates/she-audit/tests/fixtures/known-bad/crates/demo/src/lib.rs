@@ -36,3 +36,7 @@ pub fn boom() -> ! {
 pub fn hoard(log: &mut Vec<u32>, x: u32) {
     log.push(x);
 }
+
+pub fn stall_the_reactor(s: &mut std::net::TcpStream, buf: &mut [u8]) {
+    s.read_exact(buf).unwrap();
+}

@@ -36,6 +36,11 @@ pub fn annotated_growth(v: &mut Vec<u32>, batch: &[u32]) {
     }
 }
 
+pub fn hand_off(s: &mut std::net::TcpStream, out: &[u8]) -> std::io::Result<()> {
+    // audit:allow(blocking): runs on the detached per-connection thread
+    s.write_all(out)
+}
+
 // A string mentioning Mutex::new must not confuse the lexer:
 pub const DOC: &str = "call Mutex::new(0) and x as u32 here";
 

@@ -76,6 +76,11 @@ COMMANDS
                from CLUSTER_QUERY scatter-gather, --shards must equal the
                partition count, and the whole --items stream must be
                applied cluster-wide)
+               --from-log yes (replay the node's own op log into the
+               mirror via a replication subscription instead of re-running
+               the keygen — sound for workloads from many concurrent
+               connections; the node must run with --repl-log and retain
+               the log from sequence 1)
   loadgen      drive a running server with a Zipf workload
                --addr HOST:PORT --items N --batch N --queries N --open RATE
                --universe N --skew F --seed N --verify yes (+ --shards/
@@ -86,6 +91,12 @@ COMMANDS
                route per partition, queries scatter-gather, and the map is
                refreshed through failovers) --offset N (skip the first N
                items of the seeded stream — continue an interrupted run)
+               --query-batch N (batch member/freq probes N keys per round
+               trip via QUERY_BATCH / CLUSTER_QUERY_BATCH)
+               --faults yes --fault-seed N (route traffic through an
+               in-process fault proxy — partial writes, delays, resets —
+               riding each fault with reconnect + op-log-head resync, so
+               --verify stays bit-for-bit; server must run --repl-log)
   shutdown     ask a running server to drain and stop
                --addr HOST:PORT
   audit        run the workspace static-analysis gate (docs/ANALYSIS.md):
@@ -645,12 +656,16 @@ fn loadgen(a: &Args) -> Result<(), CliError> {
         "connections",
         "cluster",
         "offset",
+        "query-batch",
+        "faults",
+        "fault-seed",
     ])?;
     let verify = a.get("verify", "no");
     let read_from = a.get("read-from", "");
     let addr = a.get("addr", "127.0.0.1:7487");
     let cluster = matches!(a.get("cluster", "no").as_str(), "yes" | "true" | "1");
-    let cfg = she_server::LoadgenConfig {
+    let faults = matches!(a.get("faults", "no").as_str(), "yes" | "true" | "1");
+    let mut cfg = she_server::LoadgenConfig {
         addr: addr.clone(),
         items: a.get_u64("items", 1 << 20)?,
         batch: a.get_u64("batch", 512)? as usize,
@@ -671,8 +686,38 @@ fn loadgen(a: &Args) -> Result<(), CliError> {
         connections: a.get_u64("connections", 1)? as usize,
         cluster: cluster.then(|| addr.clone()),
         offset: a.get_u64("offset", 0)?,
+        query_batch: a.get_u64("query-batch", 0)? as usize,
+        resync_addr: None,
     };
-    let summary = she_server::loadgen::run(&cfg).map_err(|err| net_err(&cfg.addr, err))?;
+    let proxy = if faults {
+        if cluster {
+            return Err(ArgError(
+                "--faults applies to a single server, not a cluster (cluster mode \
+                 has its own reroute-based fault tolerance)"
+                    .into(),
+            )
+            .into());
+        }
+        // All traffic detours through a seeded in-process fault proxy;
+        // the loadgen resyncs against the server's *direct* address after
+        // each injected fault. Bit flips stay off: inserts carry no
+        // checksum, so a flipped key would corrupt the run silently
+        // instead of failing it.
+        let mut fault_cfg = she_chaos::FaultConfig::wire(a.get_u64("fault-seed", 1)?);
+        fault_cfg.bitflip = 0.0;
+        let proxy = she_chaos::ChaosProxy::start(addr.clone(), fault_cfg)
+            .map_err(|e| CliError { msg: format!("fault proxy failed to start: {e}"), code: 1 })?;
+        cfg.resync_addr = Some(addr.clone());
+        cfg.addr = proxy.local_addr().to_string();
+        Some(proxy)
+    } else {
+        None
+    };
+    let summary = she_server::loadgen::run(&cfg).map_err(|err| net_err(&cfg.addr, err));
+    if let Some(p) = proxy {
+        p.stop();
+    }
+    let summary = summary?;
     summary.print();
     if summary.mismatches > 0 {
         return Err(
@@ -883,6 +928,73 @@ fn probe_f64(c: &mut she_server::Client, cluster: bool, op: u8) -> std::io::Resu
     }
 }
 
+/// Replay a quiescent node's own op log into the mirror by subscribing
+/// to its replication feed from sequence 1. Each `REPL_OP` carries one
+/// admitted insert batch in admission order, so the mirror ends up with
+/// exactly the server's insert history no matter how many connections
+/// produced it. Returns the number of items replayed. The node must
+/// retain its log from sequence 1 (no checkpoint truncation).
+fn replay_feed(
+    addr: &str,
+    head: u64,
+    mirror: &mut she_server::DirectEngine,
+) -> std::io::Result<u64> {
+    use she_server::codec::{read_frame_deadline, FrameIn};
+    use she_server::protocol::Response;
+    let feed_err = |msg: String| std::io::Error::other(msg);
+    let sub = she_server::Client::connect(addr)?;
+    let mut feed = sub.subscribe(1)?;
+    feed.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    let mut applied = 0u64;
+    let mut items = 0u64;
+    let mut last_progress = std::time::Instant::now();
+    while applied < head {
+        match read_frame_deadline(&mut feed, std::time::Duration::from_secs(30))? {
+            FrameIn::Frame(payload) => {
+                last_progress = std::time::Instant::now();
+                match Response::decode(&payload) {
+                    Ok(Response::ReplOp(data)) => {
+                        let rec = she_server::Record::decode(&data)
+                            .map_err(|e| feed_err(format!("feed record undecodable: {e:?}")))?;
+                        if rec.seq != applied + 1 {
+                            return Err(feed_err(format!(
+                                "feed jumped from seq {applied} to {} — the log no longer \
+                                 reaches back to sequence 1 (checkpoint truncation?)",
+                                rec.seq
+                            )));
+                        }
+                        for &k in &rec.keys {
+                            mirror.insert(rec.stream, k);
+                        }
+                        items += rec.keys.len() as u64;
+                        applied = rec.seq;
+                    }
+                    Ok(Response::ReplHeartbeat { .. }) => {}
+                    Ok(Response::Err(msg)) => {
+                        return Err(feed_err(format!("server refused the feed: {msg}")))
+                    }
+                    Ok(other) => {
+                        return Err(feed_err(format!("unexpected frame on the feed: {other:?}")))
+                    }
+                    Err(e) => return Err(feed_err(format!("feed frame undecodable: {e:?}"))),
+                }
+            }
+            FrameIn::Idle => {
+                if last_progress.elapsed() > std::time::Duration::from_secs(30) {
+                    return Err(feed_err(format!("feed went quiet at seq {applied} of {head}")));
+                }
+            }
+            FrameIn::Eof => {
+                return Err(feed_err(format!("feed closed at seq {applied} of {head}")))
+            }
+            FrameIn::Stalled => {
+                return Err(feed_err(format!("feed stalled mid-frame at seq {applied}")))
+            }
+        }
+    }
+    Ok(items)
+}
+
 /// Replay the loadgen workload into an in-process [`DirectEngine`]
 /// mirror and compare a quiescent node's query answers bit-for-bit.
 ///
@@ -908,8 +1020,10 @@ fn mirror_check(a: &Args) -> Result<(), CliError> {
         "memory",
         "engine-seed",
         "cluster",
+        "from-log",
     ])?;
     let addr = a.get("addr", "127.0.0.1:7488");
+    let from_log = matches!(a.get("from-log", "no").as_str(), "yes" | "true" | "1");
     let items = a.get_u64("items", 1 << 20)?;
     let batch = a.get_u64("batch", 512)?.max(1);
     let universe = (a.get_u64("universe", 100_000)? as usize).max(2);
@@ -928,6 +1042,14 @@ fn mirror_check(a: &Args) -> Result<(), CliError> {
         return Err(ArgError(format!(
             "server at {addr} speaks protocol v{version}; mirror-check needs v{need}"
         ))
+        .into());
+    }
+    if from_log && cluster {
+        return Err(ArgError(
+            "--from-log replays one node's replication feed; it does not apply in \
+             cluster mode"
+                .into(),
+        )
         .into());
     }
     let n_batches = items.div_ceil(batch);
@@ -962,7 +1084,7 @@ fn mirror_check(a: &Args) -> Result<(), CliError> {
             ))
             .into());
         }
-        if second.head > n_batches {
+        if !from_log && second.head > n_batches {
             return Err(ArgError(format!(
                 "node is at seq {} but --items {items} --batch {batch} only yields \
                  {n_batches} batches; pass the flags the loadgen run used",
@@ -974,16 +1096,23 @@ fn mirror_check(a: &Args) -> Result<(), CliError> {
     };
 
     let mut mirror = she_server::DirectEngine::new(engine);
-    let mut keygen = CaidaLike::new(universe, skew, seed);
     let mut sent = 0u64;
-    for b in 0..applied {
-        let take = batch.min(items - sent) as usize;
-        let keys = keygen.take_vec(take);
-        let stream = if sim_every > 0 && b % sim_every == sim_every - 1 { 1u8 } else { 0u8 };
-        for &k in &keys {
-            mirror.insert(stream, k);
+    if from_log {
+        // The log is the admission order itself, so this replay stays
+        // sound for workloads produced by many concurrent connections —
+        // where no keygen rerun could reproduce the interleaving.
+        sent = replay_feed(&addr, applied, &mut mirror).map_err(io)?;
+    } else {
+        let mut keygen = CaidaLike::new(universe, skew, seed);
+        for b in 0..applied {
+            let take = batch.min(items - sent) as usize;
+            let keys = keygen.take_vec(take);
+            let stream = if sim_every > 0 && b % sim_every == sim_every - 1 { 1u8 } else { 0u8 };
+            for &k in &keys {
+                mirror.insert(stream, k);
+            }
+            sent += take as u64;
         }
-        sent += take as u64;
     }
 
     let mut checked = 0u64;

@@ -235,6 +235,26 @@ impl Client {
         }
     }
 
+    /// Batch point query (v4): one `u64` answer per key, in key order
+    /// (`op` is `cluster_op::MEMBER` — answers 0/1 — or
+    /// `cluster_op::FREQ`). Splits into wire-sized batches as needed.
+    pub fn query_batch(&mut self, op: u8, keys: &[u64]) -> io::Result<Vec<u64>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for chunk in keys.chunks(MAX_BATCH.max(1)) {
+            match self.call_retrying(&Request::QueryBatch { op, keys: chunk.to_vec() })? {
+                Response::U64s(values) if values.len() == chunk.len() => out.extend(values),
+                Response::U64s(values) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("batch answered {} values for {} keys", values.len(), chunk.len()),
+                    ))
+                }
+                other => return Err(bad_reply(other)),
+            }
+        }
+        Ok(out)
+    }
+
     /// Per-shard server counters.
     pub fn stats(&mut self) -> io::Result<Vec<ShardStats>> {
         match self.call(&Request::Stats)? {
@@ -325,6 +345,25 @@ impl Client {
             r @ (Response::Bool(_) | Response::U64(_) | Response::F64(_)) => Ok(r),
             other => Err(bad_reply(other)),
         }
+    }
+
+    /// Scatter-gather batch query (v4): N member/freq keys per scatter
+    /// round-trip, answered in key order.
+    pub fn cluster_query_batch(&mut self, op: u8, keys: &[u64]) -> io::Result<Vec<u64>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for chunk in keys.chunks(MAX_BATCH.max(1)) {
+            match self.call_retrying(&Request::ClusterQueryBatch { op, keys: chunk.to_vec() })? {
+                Response::U64s(values) if values.len() == chunk.len() => out.extend(values),
+                Response::U64s(values) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("batch answered {} values for {} keys", values.len(), chunk.len()),
+                    ))
+                }
+                other => return Err(bad_reply(other)),
+            }
+        }
+        Ok(out)
     }
 
     /// Turn this connection into a replication feed starting at

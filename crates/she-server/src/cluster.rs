@@ -319,6 +319,70 @@ pub fn scatter_query(map: &ClusterMap, op: u8, key: u64, op_timeout: Duration) -
     }
 }
 
+/// Scatter one `CLUSTER_QUERY_BATCH` across `map`: keys are grouped by
+/// owning partition, each involved partition gets **one** `QUERY_BATCH`
+/// leg (N keys per scatter round-trip instead of N round-trips), and the
+/// per-key answers are reassembled into request order. Only the per-key
+/// ops are batchable; the whole-stream merges (card, sim) have no per-key
+/// answer to reorder. Like [`scatter_query`], any unreachable partition
+/// fails the whole query.
+pub fn scatter_query_batch(
+    map: &ClusterMap,
+    op: u8,
+    keys: &[u64],
+    op_timeout: Duration,
+) -> Response {
+    if op != cluster_op::MEMBER && op != cluster_op::FREQ {
+        return Response::Err(format!(
+            "cluster batch query op {op} must be member ({}) or freq ({})",
+            cluster_op::MEMBER,
+            cluster_op::FREQ
+        ));
+    }
+    if map.partitions.is_empty() {
+        return Response::Err("cluster map has no partitions".to_string());
+    }
+    if keys.is_empty() {
+        return Response::U64s(Vec::new());
+    }
+    // Group keys by partition, remembering each key's request position.
+    let mut per: Vec<(Vec<u64>, Vec<usize>)> = vec![(Vec::new(), Vec::new()); map.partitions.len()];
+    for (i, &key) in keys.iter().enumerate() {
+        let part = map.partition_of(key);
+        // audit:allow(growth): per-partition split of one batch, total bounded by MAX_BATCH at decode
+        per[part].0.push(key);
+        // audit:allow(growth): position index of the same bounded batch
+        per[part].1.push(i);
+    }
+    let mut out = vec![0u64; keys.len()];
+    for (part, (part_keys, positions)) in per.into_iter().enumerate() {
+        if part_keys.is_empty() {
+            continue;
+        }
+        let addr = &map.partitions[part].primary.addr;
+        let leg = crate::client::Client::connect_timeout(addr, op_timeout)
+            .map_err(|e| format!("partition {part} at {addr}: {e}"))
+            .and_then(|mut c| {
+                c.query_batch(op, &part_keys).map_err(|e| format!("partition {part}: {e}"))
+            });
+        let values = match leg {
+            Ok(v) => v,
+            Err(e) => return Response::Err(e),
+        };
+        if values.len() != positions.len() {
+            return Response::Err(format!(
+                "partition {part}: batch answered {} values for {} keys",
+                values.len(),
+                positions.len()
+            ));
+        }
+        for (pos, value) in positions.into_iter().zip(values) {
+            out[pos] = value;
+        }
+    }
+    Response::U64s(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,19 +5,22 @@
 //! network service: `S` shard worker threads each own one
 //! [`ShardEngine`](engine::ShardEngine) (membership, cardinality,
 //! frequency, and similarity structures over the shard's slice of the key
-//! space), fed through bounded queues from per-connection handler
-//! threads speaking a length-prefixed binary protocol over TCP.
+//! space), fed through bounded queues from a single epoll reactor thread
+//! speaking a length-prefixed binary protocol over TCP.
 //!
 //! The crate is deliberately dependency-free beyond the workspace:
-//! `std::net` for transport, `std::thread` for workers and handlers,
-//! `std::sync::mpsc` for the queues. See `docs/PROTOCOL.md` for the wire
-//! format and module docs for the concurrency story:
+//! `std::net` for transport, `std::thread` for workers, `std::sync::mpsc`
+//! for the queues, and four raw `epoll` syscalls ([`sys`]) for readiness.
+//! See `docs/PROTOCOL.md` for the wire format, `docs/SERVER.md` for the
+//! serving tier, and module docs for the concurrency story:
 //!
 //! * [`protocol`] — message types and their binary encoding;
-//! * [`codec`] — `u32`-length-prefixed framing;
+//! * [`codec`] — `u32`-length-prefixed framing (blocking I/O form);
+//! * [`conn`] — the sans-IO per-connection protocol state machine;
+//! * [`sys`] — minimal epoll FFI shims and the reactor waker;
 //! * [`engine`] — the per-shard state and the serial reference engine;
-//! * [`worker`] — shard worker loop and its job queue;
-//! * [`server`] — listener, connection handling, backpressure, shutdown;
+//! * [`worker`] — shard worker loop and its batch-drained job queue;
+//! * [`server`] — server lifecycle, dispatch, backpressure, shutdown;
 //! * [`client`] — blocking client with backoff-based `BUSY` retry;
 //! * [`loadgen`] — workload driver with latency reports and a
 //!   bit-exact verification mode;
@@ -42,14 +45,19 @@ pub mod backoff;
 pub mod client;
 pub mod cluster;
 pub mod codec;
+pub mod conn;
 pub mod engine;
 pub mod loadgen;
 pub mod protocol;
+pub(crate) mod reactor;
 pub mod repl;
 pub mod server;
 pub mod snapshot;
 pub mod store;
+pub mod sys;
 pub mod worker;
+
+pub use conn::{Connection, Event, FrameEvent};
 
 pub use backoff::Backoff;
 pub use client::Client;

@@ -19,8 +19,9 @@
 use crate::client::Client;
 use crate::cluster::{cluster_op, ClusterMap};
 use crate::engine::{DirectEngine, EngineConfig};
-use crate::protocol::Response;
+use crate::protocol::{Response, MAX_BATCH};
 use she_core::convert::usize_of;
+use she_hash::mix64;
 use she_metrics::{LatencyHistogram, NetReport};
 use she_streams::{CaidaLike, KeyStream};
 use std::io;
@@ -77,6 +78,19 @@ pub struct LoadgenConfig {
     /// continues, so a second run with `offset` picks up the exact same
     /// global stream where the first run's `items` left off.
     pub offset: u64,
+    /// Issue point queries (member/freq) in batches of this many keys per
+    /// round trip — `QUERY_BATCH` against one server,
+    /// `CLUSTER_QUERY_BATCH` in cluster mode. 0 keeps them one-per-frame.
+    /// Card/sim queries stay single either way.
+    pub query_batch: usize,
+    /// Fault-injection mode: `addr` is assumed to be a flaky path (a
+    /// chaos proxy) to the server *really* listening here. On an insert
+    /// transport error the run reconnects and uses this address's op-log
+    /// head to decide, exactly-once, whether the batch landed before the
+    /// fault or must be resent — so `--verify` stays bit-for-bit sound
+    /// through injected resets. Requires a single connection and a server
+    /// running with `--repl-log` (the head is the ledger).
+    pub resync_addr: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -96,6 +110,8 @@ impl Default for LoadgenConfig {
             connections: 1,
             cluster: None,
             offset: 0,
+            query_batch: 0,
+            resync_addr: None,
         }
     }
 }
@@ -113,6 +129,8 @@ pub struct LoadSummary {
     pub mismatches: u64,
     /// `BUSY` backpressure rejections absorbed by the client.
     pub busy_retries: u64,
+    /// Reconnects performed while riding through injected faults.
+    pub reconnects: u64,
     /// Whole-run wall clock.
     pub wall: Duration,
 }
@@ -124,9 +142,10 @@ impl LoadSummary {
         println!("{}", self.insert.line());
         println!("{}", self.query.line());
         println!(
-            "wall={:.2}s  busy_retries={}  verified={}  mismatches={}",
+            "wall={:.2}s  busy_retries={}  reconnects={}  verified={}  mismatches={}",
             self.wall.as_secs_f64(),
             self.busy_retries,
+            self.reconnects,
             self.verified,
             self.mismatches
         );
@@ -251,36 +270,185 @@ impl ClusterConns {
         self.retrying(|me| me.leg(0)?.cluster_query(op, key))
     }
 
+    fn query_batch(&mut self, op: u8, keys: &[u64]) -> io::Result<Vec<u64>> {
+        self.retrying(|me| me.leg(0)?.cluster_query_batch(op, keys))
+    }
+
     fn busy_retries(&self) -> u64 {
         self.retired_busy + self.legs.iter().flatten().map(|c| c.busy_retries).sum::<u64>()
     }
 }
 
+/// How many reconnect-and-resync laps a faulted op gets before the run
+/// gives up. With [`FAULT_BACKOFF`] this tolerates a couple of seconds of
+/// continuous chaos per op.
+const FAULT_RETRIES: usize = 40;
+/// Pause between fault-recovery laps — also the grace the server gets to
+/// finish applying a frame that was delivered right before the fault, so
+/// the head poll observes its final verdict.
+const FAULT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Ask the server (over a *direct*, non-flaky connection) for its op-log
+/// head. A fresh connection per poll: the whole point is that the usual
+/// path is unreliable.
+fn poll_head(status_addr: &str) -> io::Result<u64> {
+    let mut c = Client::connect_timeout(status_addr, Duration::from_secs(5))?;
+    Ok(c.cluster_status()?.head)
+}
+
+/// Exactly-once insert recovery over a flaky transport.
+///
+/// The server's op log assigns one sequence number per applied
+/// `INSERT_BATCH` frame, so `head - head0` is a ledger of how many of our
+/// frames actually landed (the run must own the server exclusively and
+/// the server must run with an op log). When an insert errors mid-flight
+/// the response is lost but the outcome is not ambiguous: reconnect, poll
+/// the head over the direct address, and either the frame applied (count
+/// it, move on) or it did not (resend it). Calls larger than `MAX_BATCH`
+/// split into several frames client-side; the head tells us how many
+/// landed, so only the missing tail is resent.
+struct Resilient {
+    /// The flaky (proxied) address all real traffic uses.
+    addr: String,
+    /// The server's direct address, used only for head polls.
+    status_addr: String,
+    /// Op-log head before this run sent anything.
+    head0: u64,
+    /// Frames known applied by the server on our behalf.
+    committed: u64,
+    /// `busy_retries` harvested from connections dropped mid-run.
+    retired_busy: u64,
+    /// Reconnects performed so far.
+    reconnects: u64,
+}
+
+impl Resilient {
+    fn new(flaky_addr: &str, status_addr: &str) -> io::Result<Resilient> {
+        let head0 = poll_head(status_addr)?;
+        Ok(Resilient {
+            addr: flaky_addr.to_string(),
+            status_addr: status_addr.to_string(),
+            head0,
+            committed: 0,
+            retired_busy: 0,
+            reconnects: 0,
+        })
+    }
+
+    /// Replace a dead flaky connection with a fresh one, keeping its
+    /// busy-retry tally. Returns false when even the connect faulted.
+    fn reconnect(&mut self, client: &mut Client) -> bool {
+        match Client::connect_timeout(&self.addr, Duration::from_secs(5)) {
+            Ok(fresh) => {
+                let dead = std::mem::replace(client, fresh);
+                self.retired_busy += dead.busy_retries;
+                self.reconnects += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn insert_batch(&mut self, client: &mut Client, stream: u8, keys: &[u64]) -> io::Result<()> {
+        // Frames this call produces on the wire (the client splits
+        // oversize key sets).
+        let frames = keys.len().div_ceil(MAX_BATCH.max(1)).max(1) as u64;
+        let first = match client.insert_batch(stream, keys) {
+            Ok(_) => {
+                self.committed += frames;
+                return Ok(());
+            }
+            Err(e) => e,
+        };
+        for _ in 0..FAULT_RETRIES {
+            std::thread::sleep(FAULT_BACKOFF);
+            if !self.reconnect(client) {
+                continue;
+            }
+            let head = match poll_head(&self.status_addr) {
+                Ok(h) => h,
+                Err(_) => continue,
+            };
+            let Some(applied) = head.checked_sub(self.head0 + self.committed) else {
+                return Err(io::Error::other(format!(
+                    "op-log head went backwards under faults: head {head}, committed {} ({first})",
+                    self.head0 + self.committed
+                )));
+            };
+            if applied > frames {
+                return Err(io::Error::other(format!(
+                    "op-log head diverged under faults: {applied} frames applied, \
+                     at most {frames} in flight ({first})"
+                )));
+            }
+            if applied == frames {
+                // Every frame landed; only the response was lost.
+                self.committed += frames;
+                return Ok(());
+            }
+            // Resend the frames the ledger says are missing. Another
+            // fault here just means the next lap re-reads the head.
+            let resend = &keys[(usize_of(applied) * MAX_BATCH.max(1)).min(keys.len())..];
+            if client.insert_batch(stream, resend).is_ok() {
+                self.committed += frames;
+                return Ok(());
+            }
+        }
+        Err(io::Error::other(format!(
+            "insert did not recover after {FAULT_RETRIES} reconnect attempts ({first})"
+        )))
+    }
+}
+
+/// Run a read-only op on the flaky connection, reconnect-retrying it when
+/// fault recovery is armed (queries are idempotent, so plain resend is
+/// sound — no ledger needed).
+fn read_retry<T>(
+    client: &mut Client,
+    faulted: &mut Option<Resilient>,
+    f: impl Fn(&mut Client) -> io::Result<T>,
+) -> io::Result<T> {
+    let first = match f(client) {
+        Ok(v) => return Ok(v),
+        Err(e) => e,
+    };
+    let Some(r) = faulted.as_mut() else { return Err(first) };
+    for _ in 0..FAULT_RETRIES {
+        std::thread::sleep(FAULT_BACKOFF);
+        if !r.reconnect(client) {
+            continue;
+        }
+        if let Ok(v) = f(client) {
+            return Ok(v);
+        }
+    }
+    Err(io::Error::other(format!(
+        "query did not recover after {FAULT_RETRIES} reconnect attempts ({first})"
+    )))
+}
+
 /// Where a run's requests go: one server (optionally with a separate
-/// read connection) or a whole cluster.
+/// read connection, optionally with fault recovery) or a whole cluster.
 enum Sink {
-    Single { client: Client, reads: Option<Client> },
+    Single { client: Client, reads: Option<Client>, faulted: Option<Resilient> },
     Cluster(ClusterConns),
 }
 
 impl Sink {
     fn insert_batch(&mut self, stream: u8, keys: &[u64]) -> io::Result<()> {
         match self {
+            Sink::Single { client, faulted: Some(r), .. } => r.insert_batch(client, stream, keys),
             Sink::Single { client, .. } => client.insert_batch(stream, keys).map(|_| ()),
             Sink::Cluster(c) => c.insert_batch(stream, keys),
         }
     }
 
-    fn read_conn<'a>(client: &'a mut Client, reads: &'a mut Option<Client>) -> &'a mut Client {
-        match reads {
-            Some(r) => r,
-            None => client,
-        }
-    }
-
     fn query_member(&mut self, key: u64) -> io::Result<bool> {
         match self {
-            Sink::Single { client, reads } => Self::read_conn(client, reads).query_member(key),
+            Sink::Single { client, reads, faulted } => match reads.as_mut() {
+                Some(r) => r.query_member(key),
+                None => read_retry(client, faulted, |c| c.query_member(key)),
+            },
             Sink::Cluster(c) => match c.query(cluster_op::MEMBER, key)? {
                 Response::Bool(b) => Ok(b),
                 other => Err(io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
@@ -290,7 +458,10 @@ impl Sink {
 
     fn query_freq(&mut self, key: u64) -> io::Result<u64> {
         match self {
-            Sink::Single { client, reads } => Self::read_conn(client, reads).query_freq(key),
+            Sink::Single { client, reads, faulted } => match reads.as_mut() {
+                Some(r) => r.query_freq(key),
+                None => read_retry(client, faulted, |c| c.query_freq(key)),
+            },
             Sink::Cluster(c) => match c.query(cluster_op::FREQ, key)? {
                 Response::U64(v) => Ok(v),
                 other => Err(io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
@@ -300,7 +471,10 @@ impl Sink {
 
     fn query_card(&mut self) -> io::Result<f64> {
         match self {
-            Sink::Single { client, reads } => Self::read_conn(client, reads).query_card(),
+            Sink::Single { client, reads, faulted } => match reads.as_mut() {
+                Some(r) => r.query_card(),
+                None => read_retry(client, faulted, |c| c.query_card()),
+            },
             Sink::Cluster(c) => match c.query(cluster_op::CARD, 0)? {
                 Response::F64(v) => Ok(v),
                 other => Err(io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
@@ -310,7 +484,10 @@ impl Sink {
 
     fn query_sim(&mut self) -> io::Result<f64> {
         match self {
-            Sink::Single { client, reads } => Self::read_conn(client, reads).query_sim(),
+            Sink::Single { client, reads, faulted } => match reads.as_mut() {
+                Some(r) => r.query_sim(),
+                None => read_retry(client, faulted, |c| c.query_sim()),
+            },
             Sink::Cluster(c) => match c.query(cluster_op::SIM, 0)? {
                 Response::F64(v) => Ok(v),
                 other => Err(io::Error::other(format!("unexpected CLUSTER_QUERY reply {other:?}"))),
@@ -318,10 +495,32 @@ impl Sink {
         }
     }
 
+    /// Batched point queries: one round trip for N keys — `QUERY_BATCH`
+    /// against one server, `CLUSTER_QUERY_BATCH` through the coordinator
+    /// in cluster mode.
+    fn query_batch(&mut self, op: u8, keys: &[u64]) -> io::Result<Vec<u64>> {
+        match self {
+            Sink::Single { client, reads, faulted } => match reads.as_mut() {
+                Some(r) => r.query_batch(op, keys),
+                None => read_retry(client, faulted, |c| c.query_batch(op, keys)),
+            },
+            Sink::Cluster(c) => c.query_batch(op, keys),
+        }
+    }
+
     fn busy_retries(&self) -> u64 {
         match self {
-            Sink::Single { client, .. } => client.busy_retries,
+            Sink::Single { client, faulted, .. } => {
+                client.busy_retries + faulted.as_ref().map_or(0, |r| r.retired_busy)
+            }
             Sink::Cluster(c) => c.busy_retries(),
+        }
+    }
+
+    fn reconnects(&self) -> u64 {
+        match self {
+            Sink::Single { faulted, .. } => faulted.as_ref().map_or(0, |r| r.reconnects),
+            Sink::Cluster(_) => 0,
         }
     }
 }
@@ -370,6 +569,65 @@ impl QuerySide {
         }
         Ok(())
     }
+
+    /// Like [`QuerySide::issue`], but when `cfg.query_batch > 0` the two
+    /// point-query slots of the member → freq → card → sim cycle go out
+    /// as one batched round trip over `cfg.query_batch` derived keys.
+    /// Card/sim have no batched form and keep their single frames.
+    fn issue_any(
+        &mut self,
+        sink: &mut Sink,
+        mirror: &mut Option<DirectEngine>,
+        key: u64,
+        cfg: &LoadgenConfig,
+    ) -> io::Result<()> {
+        if cfg.query_batch == 0 {
+            return self.issue(sink, mirror, key);
+        }
+        match self.sent % 4 {
+            0 => self.issue_batch(sink, mirror, key, cluster_op::MEMBER, cfg),
+            1 => self.issue_batch(sink, mirror, key, cluster_op::FREQ, cfg),
+            _ => self.issue(sink, mirror, key),
+        }
+    }
+
+    /// One batched point query: `cfg.query_batch` keys derived
+    /// deterministically from the anchor key and the query counter (so
+    /// every connection and every rerun probes the same key set), each
+    /// answer checked against the mirror when one is present.
+    fn issue_batch(
+        &mut self,
+        sink: &mut Sink,
+        mirror: &mut Option<DirectEngine>,
+        key: u64,
+        op: u8,
+        cfg: &LoadgenConfig,
+    ) -> io::Result<()> {
+        let universe = cfg.universe.max(2) as u64;
+        let keys: Vec<u64> = (0..cfg.query_batch as u64)
+            .map(|j| mix64(key ^ (self.sent << 32) ^ j) % universe)
+            .collect();
+        let t = Instant::now();
+        let got = sink.query_batch(op, &keys)?;
+        self.lat.record(t.elapsed());
+        self.sent += 1;
+        if got.len() != keys.len() {
+            return Err(io::Error::other(format!(
+                "batched query returned {} values for {} keys",
+                got.len(),
+                keys.len()
+            )));
+        }
+        if let Some(m) = mirror.as_mut() {
+            for (&k, &g) in keys.iter().zip(&got) {
+                let want =
+                    if op == cluster_op::MEMBER { u64::from(m.member(k)) } else { m.frequency(k) };
+                self.verified += 1;
+                self.mismatches += (g != want) as u64;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Drive the workload against `cfg.addr` (queries against
@@ -396,6 +654,15 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
             "--offset requires a single connection",
         ));
     }
+    if cfg.resync_addr.is_some() {
+        // Head-based recovery attributes every op-log advance to the one
+        // connection it owns; concurrent writers would make the ledger
+        // ambiguous.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "fault injection requires a single connection",
+        ));
+    }
     let conns = cfg.connections as u64;
     let handles: Vec<_> = (0..conns)
         .map(|i| {
@@ -416,7 +683,8 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
 
     let mut insert = NetReport::new("insert_batch", 0, 0, Duration::ZERO, LatencyHistogram::new());
     let mut query = NetReport::new("query", 0, 0, Duration::ZERO, LatencyHistogram::new());
-    let (mut verified, mut mismatches, mut busy, mut wall) = (0, 0, 0, Duration::ZERO);
+    let (mut verified, mut mismatches, mut busy, mut reconnects, mut wall) =
+        (0, 0, 0, 0, Duration::ZERO);
     for h in handles {
         let s = h.join().map_err(|_| io::Error::other("loadgen connection thread panicked"))??;
         insert.ops += s.insert.ops;
@@ -428,12 +696,13 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
         verified += s.verified;
         mismatches += s.mismatches;
         busy += s.busy_retries;
+        reconnects += s.reconnects;
         wall = wall.max(s.wall);
     }
     insert.wall = wall;
     query.wall = wall;
     insert.retries = busy;
-    Ok(LoadSummary { insert, query, verified, mismatches, busy_retries: busy, wall })
+    Ok(LoadSummary { insert, query, verified, mismatches, busy_retries: busy, reconnects, wall })
 }
 
 /// One connection's worth of [`run`].
@@ -453,6 +722,14 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidInput,
                     "--read-from does not apply in cluster mode (queries scatter-gather)",
+                ));
+            }
+            if cfg.resync_addr.is_some() {
+                // Cluster mode already rides through faults with its own
+                // reroute loop; head-based recovery is single-server.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "fault injection applies to a single server, not a cluster",
                 ));
             }
             let conns = ClusterConns::connect(seed)?;
@@ -484,7 +761,19 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
                 Some(addr) => Some(Client::connect(addr)?),
                 None => None,
             };
-            Sink::Single { client, reads }
+            let faulted = match &cfg.resync_addr {
+                Some(status_addr) => {
+                    if reads.is_some() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "fault injection keeps reads on the write connection (--read-from refused)",
+                        ));
+                    }
+                    Some(Resilient::new(&cfg.addr, status_addr)?)
+                }
+                None => None,
+            };
+            Sink::Single { client, reads, faulted }
         }
     };
     let mut mirror = cfg.verify.map(DirectEngine::new);
@@ -540,14 +829,14 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
         }
 
         if b % stride == stride - 1 && queries.sent < cfg.queries {
-            queries.issue(&mut sink, &mut mirror, last_key)?;
+            queries.issue_any(&mut sink, &mut mirror, last_key, cfg)?;
         }
     }
 
     // Any remaining query budget runs back-to-back at the end (small
     // `items` with large `queries` would otherwise under-deliver).
     while queries.sent < cfg.queries {
-        queries.issue(&mut sink, &mut mirror, last_key)?;
+        queries.issue_any(&mut sink, &mut mirror, last_key, cfg)?;
     }
 
     let wall = start.elapsed();
@@ -559,6 +848,7 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
         verified: queries.verified,
         mismatches: queries.mismatches,
         busy_retries,
+        reconnects: sink.reconnects(),
         wall,
     })
 }

@@ -24,8 +24,11 @@
 //! Protocol **v4** adds the partitioned cluster (`CLUSTER_JOIN`,
 //! `CLUSTER_MAP`, `CLUSTER_QUERY`, `CLUSTER_MAP_REPLY`): push-pull gossip
 //! of the membership map and coordinator-side scatter-gather queries (see
-//! `crate::cluster` and `docs/CLUSTER.md`). As before, every earlier
-//! message is unchanged and older clients keep working unmodified.
+//! `crate::cluster` and `docs/CLUSTER.md`), plus the batch point queries
+//! (`QUERY_BATCH`, `CLUSTER_QUERY_BATCH`, `U64S`): N member/freq keys per
+//! round-trip, grouped per partition on the scatter path. As before,
+//! every earlier message is unchanged and older clients keep working
+//! unmodified.
 
 use crate::cluster::ClusterMap;
 use she_core::convert::{le_u64s, usize_of};
@@ -52,6 +55,7 @@ pub mod opcode {
     pub const QUERY_CARD: u8 = 0x11;
     pub const QUERY_FREQ: u8 = 0x12;
     pub const QUERY_SIM: u8 = 0x13;
+    pub const QUERY_BATCH: u8 = 0x14;
     pub const STATS: u8 = 0x20;
     pub const SNAPSHOT: u8 = 0x21;
     pub const SNAPSHOT_ALL: u8 = 0x22;
@@ -64,6 +68,7 @@ pub mod opcode {
     pub const CLUSTER_JOIN: u8 = 0x34;
     pub const CLUSTER_MAP: u8 = 0x35;
     pub const CLUSTER_QUERY: u8 = 0x36;
+    pub const CLUSTER_QUERY_BATCH: u8 = 0x37;
 
     pub const OK: u8 = 0x80;
     pub const BOOL: u8 = 0x81;
@@ -76,6 +81,7 @@ pub mod opcode {
     pub const REPL_HEARTBEAT: u8 = 0x88;
     pub const CLUSTER_STATUS_REPLY: u8 = 0x89;
     pub const CLUSTER_MAP_REPLY: u8 = 0x8A;
+    pub const U64S: u8 = 0x8B;
     pub const ERR: u8 = 0xE0;
     pub const BUSY: u8 = 0xE1;
     pub const NOT_PRIMARY: u8 = 0xE2;
@@ -98,6 +104,17 @@ pub enum Request {
     QueryFreq { key: u64 },
     /// Sliding-window Jaccard similarity between streams A and B.
     QuerySim,
+    /// v4: answer one point query per key in a single round-trip. `op` is
+    /// one of the per-key [`crate::cluster::cluster_op`] codes (`MEMBER`
+    /// or `FREQ`); the answer is [`Response::U64s`], one value per key in
+    /// request order (membership encodes as 0/1). Bounded by
+    /// [`MAX_BATCH`] like `InsertBatch`.
+    QueryBatch {
+        /// The per-key operation (`cluster_op::{MEMBER, FREQ}`).
+        op: u8,
+        /// The keys, answered in order.
+        keys: Vec<u64>,
+    },
     /// Server / per-shard counters.
     Stats,
     /// v2: announce the client's protocol version; the server answers
@@ -145,6 +162,17 @@ pub enum Request {
         /// The key, for the routed ops (member, freq).
         key: u64,
     },
+    /// v4: scatter-gather batch query — N keys per scatter round-trip.
+    /// The coordinator groups the keys by owning partition, sends one
+    /// [`Request::QueryBatch`] leg per involved partition, and reassembles
+    /// the answers into one [`Response::U64s`] in request order. Only the
+    /// per-key ops (`cluster_op::{MEMBER, FREQ}`) are valid.
+    ClusterQueryBatch {
+        /// The per-key operation (`cluster_op::{MEMBER, FREQ}`).
+        op: u8,
+        /// The keys, answered in order.
+        keys: Vec<u64>,
+    },
     /// Drain the queues and stop the server.
     Shutdown,
 }
@@ -171,6 +199,8 @@ pub enum Response {
     U64(u64),
     /// Floating answer (cardinality, similarity).
     F64(f64),
+    /// v4: one `u64` answer per key of a batch query, in request order.
+    U64s(Vec<u64>),
     /// Per-shard counters.
     Stats(Vec<ShardStats>),
     /// v2: opaque snapshot/checkpoint bytes (a she-core frame).
@@ -317,6 +347,16 @@ impl Request {
                 b.extend_from_slice(&key.to_le_bytes());
             }
             Request::QuerySim => b.push(opcode::QUERY_SIM),
+            Request::QueryBatch { op, keys } => {
+                assert!(keys.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+                b.reserve(6 + 8 * keys.len());
+                b.push(opcode::QUERY_BATCH);
+                b.push(*op);
+                b.extend_from_slice(&len_u32(keys.len()).to_le_bytes());
+                for k in keys {
+                    b.extend_from_slice(&k.to_le_bytes());
+                }
+            }
             Request::Stats => b.push(opcode::STATS),
             Request::Hello { version } => {
                 b.push(opcode::HELLO);
@@ -355,6 +395,16 @@ impl Request {
                 b.push(*op);
                 b.extend_from_slice(&key.to_le_bytes());
             }
+            Request::ClusterQueryBatch { op, keys } => {
+                assert!(keys.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+                b.reserve(6 + 8 * keys.len());
+                b.push(opcode::CLUSTER_QUERY_BATCH);
+                b.push(*op);
+                b.extend_from_slice(&len_u32(keys.len()).to_le_bytes());
+                for k in keys {
+                    b.extend_from_slice(&k.to_le_bytes());
+                }
+            }
             Request::Shutdown => b.push(opcode::SHUTDOWN),
         }
         b
@@ -379,6 +429,15 @@ impl Request {
             opcode::QUERY_CARD => Request::QueryCard,
             opcode::QUERY_FREQ => Request::QueryFreq { key: r.u64()? },
             opcode::QUERY_SIM => Request::QuerySim,
+            opcode::QUERY_BATCH => {
+                let op = r.u8()?;
+                let n = usize_of(u64::from(r.u32()?));
+                if n > MAX_BATCH {
+                    return Err(ProtoError::Oversize);
+                }
+                let keys = le_u64s(r.take(8 * n)?);
+                Request::QueryBatch { op, keys }
+            }
             opcode::STATS => Request::Stats,
             opcode::HELLO => Request::Hello { version: r.u16()? },
             opcode::SNAPSHOT => Request::Snapshot { shard: r.u32()? },
@@ -400,6 +459,15 @@ impl Request {
             }
             opcode::CLUSTER_MAP => Request::ClusterMapGet,
             opcode::CLUSTER_QUERY => Request::ClusterQuery { op: r.u8()?, key: r.u64()? },
+            opcode::CLUSTER_QUERY_BATCH => {
+                let op = r.u8()?;
+                let n = usize_of(u64::from(r.u32()?));
+                if n > MAX_BATCH {
+                    return Err(ProtoError::Oversize);
+                }
+                let keys = le_u64s(r.take(8 * n)?);
+                Request::ClusterQueryBatch { op, keys }
+            }
             opcode::SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError::BadOpcode(other)),
         };
@@ -429,6 +497,15 @@ impl Response {
             Response::F64(v) => {
                 b.push(opcode::F64);
                 b.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Response::U64s(values) => {
+                assert!(5 + 8 * values.len() <= MAX_FRAME, "batch answer exceeds MAX_FRAME");
+                b.reserve(5 + 8 * values.len());
+                b.push(opcode::U64S);
+                b.extend_from_slice(&len_u32(values.len()).to_le_bytes());
+                for v in values {
+                    b.extend_from_slice(&v.to_le_bytes());
+                }
             }
             Response::Stats(shards) => {
                 b.reserve(5 + 24 * shards.len());
@@ -515,6 +592,13 @@ impl Response {
             opcode::BOOL => Response::Bool(r.u8()? != 0),
             opcode::U64 => Response::U64(r.u64()?),
             opcode::F64 => Response::F64(r.f64()?),
+            opcode::U64S => {
+                let n = usize_of(u64::from(r.u32()?));
+                if n > MAX_FRAME / 8 {
+                    return Err(ProtoError::Oversize);
+                }
+                Response::U64s(le_u64s(r.take(8 * n)?))
+            }
             opcode::STATS_REPLY => {
                 let n = usize_of(u64::from(r.u32()?));
                 if n > MAX_FRAME / 24 {

@@ -1,44 +1,57 @@
-//! The TCP serving loop: listener, per-connection handler threads, and
-//! the request → shard-queue routing with explicit backpressure.
+//! The serving tier: an epoll reactor front end over shard worker
+//! threads, with explicit backpressure.
 //!
-//! Threading model (all `std`):
+//! Threading model (all `std`; see `docs/SERVER.md` for the full story):
 //!
 //! ```text
-//!  accept thread ──► handler thread per connection ──► S bounded
-//!                                                      mpsc queues ──► S shard workers
+//!  epoll reactor thread ──► S bounded mpsc queues ──► S shard workers
+//!        │    ▲                        (batch-drained per wakeup)
+//!        │    └── completion queue + waker (query answers return)
+//!        ├──► offload pool (snapshots, stats, scatter-gather legs)
+//!        └──► feed threads (replication subscriptions)
 //! ```
+//!
+//! One reactor thread owns every client socket non-blockingly (the
+//! sans-IO [`crate::conn::Connection`] state machine per connection, the
+//! epoll shims from [`crate::sys`]); queries are dispatched to the shard
+//! queues with a completion sink and answered when the worker posts back,
+//! so thousands of idle or slow connections cost no threads.
 //!
 //! * **Backpressure** — inserts are admitted with `try_send`; if the
 //!   target shard's queue is full *before anything was enqueued*, the
 //!   client gets `BUSY{retry_after_ms}` and nothing changes. Once any
 //!   sub-batch of a request has been enqueued the remainder uses blocking
 //!   sends, so a request is applied exactly once or not at all.
-//! * **Ordering** — one handler serves one connection serially, and the
+//! * **Ordering** — the reactor parses one connection's frames in order
+//!   and dispatches at most one request per connection at a time, and the
 //!   shard queues are FIFO, so a query observes every insert the same
 //!   connection sent before it (the property the verify mode relies on).
-//! * **Shutdown** — the `SHUTDOWN` request flips a flag and self-connects
-//!   to unblock `accept`. Handlers poll the flag via a read timeout and
-//!   exit; when the last sender drops, workers drain their queues and
-//!   return their final stats.
+//! * **Shutdown** — the `SHUTDOWN` request flips a flag and wakes the
+//!   reactor, which closes the listener immediately, grace-flushes
+//!   in-flight answers, joins its feed threads, and exits; when the last
+//!   queue sender drops, workers drain their queues and return their
+//!   final stats.
 //! * **Self-protection** — a connection cap refuses excess clients with
-//!   `OVERLOADED` before a handler thread is spawned; a per-connection
-//!   deadline evicts peers that stall mid-frame (read side) or stop
-//!   draining their socket (write side); read queries are shed with
-//!   `OVERLOADED` when their shard queue is saturated, so writes keep
-//!   their `BUSY`-with-nothing-applied guarantee while reads degrade
-//!   first. All three are counted in [`ServeCounters`].
+//!   `OVERLOADED` at accept time; a per-connection deadline evicts peers
+//!   that stall mid-frame (read side) or stop draining their socket
+//!   (write side); read queries are shed with `OVERLOADED` when their
+//!   shard queue is saturated, so writes keep their `BUSY`-with-nothing-
+//!   applied guarantee while reads degrade first. All three are counted
+//!   in [`ServeCounters`].
 
-use crate::cluster::{scatter_query, ClusterDirectory};
-use crate::codec::{read_frame, read_frame_deadline, write_frame, FrameIn};
+use crate::cluster::{cluster_op, scatter_query, scatter_query_batch, ClusterDirectory};
+use crate::codec::{read_frame, write_frame};
 use crate::engine::{EngineConfig, ShardEngine};
 use crate::protocol::{
     ClusterStatusInfo, Request, Response, ShardStats, MAX_FRAME, PROTOCOL_VERSION,
 };
+use crate::reactor::spawn_reactor;
 use crate::repl::{Bootstrap, ReplHub, ReplLog, Tail};
 use crate::snapshot::Checkpoint;
-use crate::worker::{run_worker, Job};
+use crate::sys::{waker_pair, Waker};
+use crate::worker::{run_worker, Answer, Job, QuerySink};
 use she_metrics::ServeCounters;
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
@@ -96,7 +109,7 @@ pub struct ServerConfig {
     /// stalls this long, evicts the connection. 0 disables eviction.
     pub client_deadline_ms: u64,
     /// Maximum simultaneously served connections; excess clients get one
-    /// `OVERLOADED` frame and are closed without spawning a handler.
+    /// `OVERLOADED` frame and are closed.
     pub max_connections: usize,
     /// v4: the node's shared cluster-map view. `Some` makes this server a
     /// cluster member: it answers `CLUSTER_JOIN` / `CLUSTER_MAP` from the
@@ -122,29 +135,31 @@ impl Default for ServerConfig {
 }
 
 /// End-to-end budget for one scatter-gather leg to a peer partition.
-const CLUSTER_LEG_TIMEOUT: Duration = Duration::from_secs(10);
+pub(crate) const CLUSTER_LEG_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// State shared by the accept loop and every connection handler. Workers
-/// are *not* behind this — they own their engines; only their queue
-/// senders live here, and dropping the last `Shared` is what lets the
-/// workers drain and exit.
+/// State shared by the reactor, the offload pool, and the feed threads.
+/// Workers are *not* behind this — they own their engines; only their
+/// queue senders live here, and dropping the last `Shared` is what lets
+/// the workers drain and exit.
 #[derive(Debug)]
-struct Shared {
-    txs: Vec<SyncSender<Job>>,
-    shutdown: AtomicBool,
-    local_addr: SocketAddr,
-    engine: EngineConfig,
-    retry_after_ms: u32,
-    role: Role,
-    log: Option<ReplLog>,
-    hub: ReplHub,
-    heartbeat_ms: u64,
+pub(crate) struct Shared {
+    pub(crate) txs: Vec<SyncSender<Job>>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) engine: EngineConfig,
+    pub(crate) retry_after_ms: u32,
+    pub(crate) role: Role,
+    pub(crate) log: Option<ReplLog>,
+    pub(crate) hub: ReplHub,
+    pub(crate) heartbeat_ms: u64,
     /// `None` when eviction is disabled (`client_deadline_ms = 0`).
-    client_deadline: Option<Duration>,
-    max_connections: usize,
-    conns: AtomicUsize,
-    counters: Arc<ServeCounters>,
-    cluster: Option<Arc<ClusterDirectory>>,
+    pub(crate) client_deadline: Option<Duration>,
+    pub(crate) max_connections: usize,
+    pub(crate) conns: AtomicUsize,
+    pub(crate) counters: Arc<ServeCounters>,
+    pub(crate) cluster: Option<Arc<ClusterDirectory>>,
+    /// Wakes the reactor out of `epoll_wait` (shutdown, completions).
+    pub(crate) waker: Arc<Waker>,
     /// v4 failover: a replica-role server that won a partition election
     /// flips this and serves writes from then on (its own op log starts
     /// at its promotion point; followers re-bootstrap from it).
@@ -152,7 +167,7 @@ struct Shared {
 }
 
 /// How a shed-capable read query resolved.
-enum ReadAnswer<T> {
+pub(crate) enum ReadAnswer<T> {
     /// The shard(s) answered.
     Value(T),
     /// A shard queue was full; the query was rejected without waiting.
@@ -161,41 +176,100 @@ enum ReadAnswer<T> {
     Gone,
 }
 
+/// Validate a batch-query op byte (only the per-key ops batch).
+pub(crate) fn batch_op_check(op: u8) -> Result<(), Response> {
+    if op == cluster_op::MEMBER || op == cluster_op::FREQ {
+        Ok(())
+    } else {
+        Err(Response::Err(format!(
+            "batch query op {op} must be member ({}) or freq ({})",
+            cluster_op::MEMBER,
+            cluster_op::FREQ
+        )))
+    }
+}
+
+/// Split a batch query's keys by owning shard, remembering each key's
+/// position in the request (`u32` — positions are bounded by `MAX_BATCH`).
+pub(crate) fn partition_batch(
+    engine: &EngineConfig,
+    keys: &[u64],
+    shards: usize,
+) -> Vec<(Vec<u64>, Vec<u32>)> {
+    let mut per: Vec<(Vec<u64>, Vec<u32>)> = vec![(Vec::new(), Vec::new()); shards];
+    for (i, &key) in keys.iter().enumerate() {
+        let shard = engine.shard_of(key);
+        // audit:allow(growth): per-shard split of one batch, total bounded by MAX_BATCH at decode
+        per[shard].0.push(key);
+        // audit:allow(growth): position index of the same bounded batch
+        per[shard].1.push(u32::try_from(i).unwrap_or(u32::MAX));
+    }
+    per
+}
+
+pub(crate) fn answer_mismatch() -> Response {
+    Response::Err("internal: query answered with the wrong type".to_string())
+}
+
+/// Sum f64 answers in shard order; `None` on a type mismatch.
+fn sum_f64(parts: Vec<Answer>) -> Option<f64> {
+    let mut sum = 0.0f64;
+    for a in parts {
+        match a {
+            Answer::F64(v) => sum += v,
+            _ => return None,
+        }
+    }
+    Some(sum)
+}
+
 impl Shared {
-    /// Route one decoded request; never panics on client input.
-    fn handle(&self, req: Request) -> Response {
+    /// Route one decoded request; never panics on client input. This is
+    /// the *blocking* path — the offload pool, feed threads, and tests.
+    /// The reactor answers the per-key queries natively (completion-based)
+    /// and routes everything else here.
+    pub(crate) fn handle(&self, req: Request) -> Response {
         match req {
             Request::Insert { stream, key } => self.ingest(stream, vec![key]),
             Request::InsertBatch { stream, keys } => self.ingest(stream, keys),
             Request::QueryMember { key } => {
                 let shard = self.engine.shard_of(key);
-                match self.ask_read(shard, |reply| Job::Member { key, reply }) {
-                    ReadAnswer::Value(v) => Response::Bool(v),
+                match self.ask_read(shard, |sink| Job::Member { key, sink }) {
+                    ReadAnswer::Value(Answer::Bool(v)) => Response::Bool(v),
+                    ReadAnswer::Value(_) => answer_mismatch(),
                     ReadAnswer::Shed => self.shed(),
                     ReadAnswer::Gone => shutting_down(),
                 }
             }
-            Request::QueryCard => match self.ask_read_all(|reply| Job::Card { reply }) {
-                ReadAnswer::Value(parts) => Response::F64(parts.into_iter().sum()),
+            Request::QueryCard => match self.ask_read_all(|sink| Job::Card { sink }) {
+                ReadAnswer::Value(parts) => match sum_f64(parts) {
+                    Some(sum) => Response::F64(sum),
+                    None => answer_mismatch(),
+                },
                 ReadAnswer::Shed => self.shed(),
                 ReadAnswer::Gone => shutting_down(),
             },
             Request::QueryFreq { key } => {
                 let shard = self.engine.shard_of(key);
-                match self.ask_read(shard, |reply| Job::Freq { key, reply }) {
-                    ReadAnswer::Value(v) => Response::U64(v),
+                match self.ask_read(shard, |sink| Job::Freq { key, sink }) {
+                    ReadAnswer::Value(Answer::U64(v)) => Response::U64(v),
+                    ReadAnswer::Value(_) => answer_mismatch(),
                     ReadAnswer::Shed => self.shed(),
                     ReadAnswer::Gone => shutting_down(),
                 }
             }
-            Request::QuerySim => match self.ask_read_all(|reply| Job::Sim { reply }) {
+            Request::QuerySim => match self.ask_read_all(|sink| Job::Sim { sink }) {
                 ReadAnswer::Value(parts) => {
                     let n = parts.len() as f64;
-                    Response::F64(parts.into_iter().sum::<f64>() / n)
+                    match sum_f64(parts) {
+                        Some(sum) => Response::F64(sum / n),
+                        None => answer_mismatch(),
+                    }
                 }
                 ReadAnswer::Shed => self.shed(),
                 ReadAnswer::Gone => shutting_down(),
             },
+            Request::QueryBatch { op, keys } => self.query_batch(op, keys),
             Request::Stats => match self.ask_all(|reply| Job::Stats { reply }) {
                 Some(parts) => Response::Stats(parts),
                 None => shutting_down(),
@@ -266,11 +340,15 @@ impl Shared {
             Request::ClusterQuery { op, key } => match &self.cluster {
                 // The scatter legs are plain QUERY_* requests (never a
                 // nested CLUSTER_QUERY), so coordinators cannot recurse;
-                // the self-leg loops back through our own accept loop.
+                // the self-leg loops back through our own reactor.
                 Some(dir) => scatter_query(&dir.get(), op, key, CLUSTER_LEG_TIMEOUT),
                 None => not_a_cluster_node(),
             },
-            // Valid only *on* a feed; `handle_connection` intercepts the
+            Request::ClusterQueryBatch { op, keys } => match &self.cluster {
+                Some(dir) => scatter_query_batch(&dir.get(), op, &keys, CLUSTER_LEG_TIMEOUT),
+                None => not_a_cluster_node(),
+            },
+            // Valid only *on* a feed; the reactor intercepts the
             // subscribe before it can reach here.
             Request::ReplSubscribe { .. } | Request::ReplAck { .. } => {
                 Response::Err("replication feed messages outside a feed".to_string())
@@ -282,10 +360,50 @@ impl Shared {
         }
     }
 
+    /// Channel-blocking batch point query (the offload/test path; the
+    /// reactor runs the same split through its completion queue instead).
+    pub(crate) fn query_batch(&self, op: u8, keys: Vec<u64>) -> Response {
+        if let Err(resp) = batch_op_check(op) {
+            return resp;
+        }
+        if keys.is_empty() {
+            return Response::U64s(Vec::new());
+        }
+        let parts = partition_batch(&self.engine, &keys, self.txs.len());
+        let mut rxs = Vec::with_capacity(self.txs.len());
+        for (shard, (shard_keys, pos)) in parts.into_iter().enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let (tx, rx) = sync_channel(1);
+            let job = Job::QueryBatch { op, keys: shard_keys, pos, sink: QuerySink::Channel(tx) };
+            match self.txs[shard].try_send(job) {
+                Ok(()) => rxs.push(rx),
+                Err(TrySendError::Full(_)) => return self.shed(),
+                Err(TrySendError::Disconnected(_)) => return shutting_down(),
+            }
+        }
+        let mut out = vec![0u64; keys.len()];
+        for rx in rxs {
+            match rx.recv() {
+                Ok(Answer::Slots(slots)) => {
+                    for (pos, value) in slots {
+                        if let Some(o) = out.get_mut(she_core::convert::usize_of(u64::from(pos))) {
+                            *o = value;
+                        }
+                    }
+                }
+                Ok(_) => return answer_mismatch(),
+                Err(_) => return shutting_down(),
+            }
+        }
+        Response::U64s(out)
+    }
+
     /// `Some(primary)` when this server must refuse writes: a replica
     /// that has not been promoted. A promoted replica serves writes like
     /// a primary (its op log begins at the promotion point).
-    fn write_refusal(&self) -> Option<String> {
+    pub(crate) fn write_refusal(&self) -> Option<String> {
         match &self.role {
             Role::Replica { primary, .. } if !self.promoted.load(Ordering::SeqCst) => {
                 Some(primary.clone())
@@ -297,7 +415,7 @@ impl Shared {
     /// The write path: reject on replicas, then admit onto the shard
     /// queues — appending to the op log atomically when one is kept, so
     /// replicas replay the identical per-shard insert order.
-    fn ingest(&self, stream: u8, keys: Vec<u64>) -> Response {
+    pub(crate) fn ingest(&self, stream: u8, keys: Vec<u64>) -> Response {
         if let Some(primary) = self.write_refusal() {
             return Response::NotPrimary { primary };
         }
@@ -421,7 +539,7 @@ impl Shared {
     }
 
     /// Count a shed read and answer `OVERLOADED`.
-    fn shed(&self) -> Response {
+    pub(crate) fn shed(&self) -> Response {
         ServeCounters::bump(&self.counters.shed_reads);
         Response::Overloaded { retry_after_ms: self.retry_after_ms }
     }
@@ -430,9 +548,9 @@ impl Shared {
     /// queue sheds the read instead of waiting behind the write backlog.
     /// Reads degrade before writes — an insert that reaches `admit` can
     /// still claim the next free slot.
-    fn ask_read<T>(&self, shard: usize, make: impl FnOnce(SyncSender<T>) -> Job) -> ReadAnswer<T> {
+    fn ask_read(&self, shard: usize, make: impl FnOnce(QuerySink) -> Job) -> ReadAnswer<Answer> {
         let (tx, rx) = sync_channel(1);
-        match self.txs[shard].try_send(make(tx)) {
+        match self.txs[shard].try_send(make(QuerySink::Channel(tx))) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => return ReadAnswer::Shed,
             Err(TrySendError::Disconnected(_)) => return ReadAnswer::Gone,
@@ -445,18 +563,18 @@ impl Shared {
 
     /// Fan a read out to every shard with `try_send`. If any queue is
     /// full the whole query is shed; jobs already enqueued answer into
-    /// dropped channels (workers ignore failed reply sends).
-    fn ask_read_all<T>(&self, mut make: impl FnMut(SyncSender<T>) -> Job) -> ReadAnswer<Vec<T>> {
+    /// dropped channels (workers ignore failed sink sends).
+    fn ask_read_all(&self, mut make: impl FnMut(QuerySink) -> Job) -> ReadAnswer<Vec<Answer>> {
         let mut pending = Vec::with_capacity(self.txs.len());
         for tx in &self.txs {
             let (reply_tx, reply_rx) = sync_channel(1);
-            match tx.try_send(make(reply_tx)) {
+            match tx.try_send(make(QuerySink::Channel(reply_tx))) {
                 Ok(()) => pending.push(reply_rx),
                 Err(TrySendError::Full(_)) => return ReadAnswer::Shed,
                 Err(TrySendError::Disconnected(_)) => return ReadAnswer::Gone,
             }
         }
-        match pending.into_iter().map(|rx| rx.recv().ok()).collect::<Option<Vec<T>>>() {
+        match pending.into_iter().map(|rx| rx.recv().ok()).collect::<Option<Vec<Answer>>>() {
             Some(parts) => ReadAnswer::Value(parts),
             None => ReadAnswer::Gone,
         }
@@ -476,19 +594,19 @@ impl Shared {
         pending.into_iter().map(|rx| rx.recv().ok()).collect()
     }
 
-    /// Flip the flag and poke the listener so `accept` returns.
-    fn begin_shutdown(&self) {
+    /// Flip the flag and wake the reactor out of `epoll_wait`.
+    pub(crate) fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            let _ = TcpStream::connect(self.local_addr);
+            self.waker.wake();
         }
     }
 }
 
-fn shutting_down() -> Response {
+pub(crate) fn shutting_down() -> Response {
     Response::Err("server shutting down".to_string())
 }
 
-fn not_a_cluster_node() -> Response {
+pub(crate) fn not_a_cluster_node() -> Response {
     Response::Err("not a cluster node (serve with `she cluster-serve`)".to_string())
 }
 
@@ -497,12 +615,13 @@ fn not_a_cluster_node() -> Response {
 #[derive(Debug)]
 pub struct Server {
     shared: Arc<Shared>,
-    accept_thread: JoinHandle<()>,
+    reactor: JoinHandle<()>,
+    offload: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<ShardStats>>,
 }
 
 impl Server {
-    /// Bind, spawn the shard workers and the accept loop, and return.
+    /// Bind, spawn the shard workers and the reactor, and return.
     pub fn start(cfg: ServerConfig) -> io::Result<Server> {
         let engines = (0..cfg.engine.shards).map(|i| ShardEngine::new(&cfg.engine, i)).collect();
         Server::start_with_engines(cfg, engines)
@@ -514,6 +633,7 @@ impl Server {
         assert_eq!(engines.len(), cfg.engine.shards, "engine count must match cfg.engine.shards");
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
 
         let mut txs = Vec::with_capacity(cfg.engine.shards);
         let mut workers = Vec::with_capacity(cfg.engine.shards);
@@ -526,6 +646,8 @@ impl Server {
                     .spawn(move || run_worker(engine, rx))?,
             );
         }
+
+        let (waker, waker_rx) = waker_pair()?;
 
         // Any server with `repl_log > 0` keeps a log — including a
         // replica, whose log stays empty while it follows but lets it
@@ -547,16 +669,12 @@ impl Server {
             conns: AtomicUsize::new(0),
             counters: Arc::new(ServeCounters::new()),
             cluster: cfg.cluster,
+            waker: Arc::new(waker),
             promoted: AtomicBool::new(false),
         });
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread =
-            std::thread::Builder::new().name("she-accept".into()).spawn(move || {
-                accept_loop(listener, accept_shared);
-            })?;
-
-        Ok(Server { shared, accept_thread, workers })
+        let (reactor, offload) = spawn_reactor(listener, waker_rx, Arc::clone(&shared))?;
+        Ok(Server { shared, reactor, offload, workers })
     }
 
     /// The bound address (resolves port 0).
@@ -610,61 +728,22 @@ impl Server {
     /// or [`Server::shutdown`] from another thread), then drain and
     /// return the final per-shard stats.
     pub fn wait(self) -> Vec<ShardStats> {
-        let _ = self.accept_thread.join();
-        // Last senders die with this Arc; workers then drain and exit.
+        // The reactor exits on the shutdown flag, joining its feed
+        // threads on the way out; its death drops the offload senders,
+        // which lets the offload threads drain and exit.
+        let _ = self.reactor.join();
+        for h in self.offload {
+            let _ = h.join();
+        }
+        // Last queue senders die with this Arc; workers then drain.
         drop(self.shared);
         self.workers.into_iter().map(|w| w.join().unwrap_or_default()).collect()
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    // Only this thread pushes or drains; no lock needed.
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                // Connection cap: refuse with one OVERLOADED frame before
-                // spending a handler thread. The count is reserved here
-                // and released by the handler's ConnGuard.
-                if shared.conns.fetch_add(1, Ordering::SeqCst) >= shared.max_connections {
-                    shared.conns.fetch_sub(1, Ordering::SeqCst);
-                    ServeCounters::bump(&shared.counters.refused_conns);
-                    let mut stream = stream;
-                    let refuse =
-                        Response::Overloaded { retry_after_ms: shared.retry_after_ms.max(1) * 10 };
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-                    let _ = write_frame(&mut stream, &refuse.encode());
-                    continue;
-                }
-                let conn_shared = Arc::clone(&shared);
-                match std::thread::Builder::new()
-                    .name("she-conn".into())
-                    .spawn(move || handle_connection(stream, conn_shared))
-                {
-                    Ok(h) => {
-                        handlers.retain(|j| !j.is_finished());
-                        handlers.push(h);
-                    }
-                    Err(_) => {
-                        shared.conns.fetch_sub(1, Ordering::SeqCst);
-                    }
-                }
-            }
-            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
-            Err(_) => continue,
-        }
-    }
-    for h in handlers {
-        let _ = h.join();
-    }
-}
-
-/// Releases a connection-cap reservation when the handler exits, however
+/// Releases a connection-cap reservation when its holder exits, however
 /// it exits.
-struct ConnGuard(Arc<Shared>);
+pub(crate) struct ConnGuard(pub(crate) Arc<Shared>);
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
@@ -672,63 +751,28 @@ impl Drop for ConnGuard {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let _guard = ConnGuard(Arc::clone(&shared));
-    let _ = stream.set_nodelay(true);
-    // The read timeout is the shutdown poll interval; the per-frame
-    // deadline (eviction) is layered on top by `read_frame_deadline`.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    // A peer that stops draining its socket stalls our response writes;
-    // bound them with the same deadline so the handler can't be pinned.
-    let _ = stream.set_write_timeout(shared.client_deadline);
-    let deadline = shared.client_deadline.unwrap_or(Duration::MAX);
-    let mut write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut read_half = stream;
-    loop {
-        match read_frame_deadline(&mut read_half, deadline) {
-            Ok(FrameIn::Eof) => break,
-            Ok(FrameIn::Frame(payload)) => {
-                // A subscribe turns the connection into a replication
-                // feed for the rest of its life.
-                if let Ok(Request::ReplSubscribe { from_seq }) = Request::decode(&payload) {
-                    serve_subscription(&mut read_half, &mut write_half, &shared, from_seq);
-                    break;
-                }
-                let resp = match Request::decode(&payload) {
-                    Ok(req) => shared.handle(req),
-                    Err(e) => Response::Err(e.to_string()),
-                };
-                if let Err(e) = write_frame(&mut write_half, &resp.encode()) {
-                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
-                        ServeCounters::bump(&shared.counters.evicted_conns);
-                    }
-                    break;
-                }
-            }
-            Ok(FrameIn::Idle) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Ok(FrameIn::Stalled) => {
-                // The peer started a frame and went quiet past the
-                // deadline: the stream is desynchronised, drop it.
-                ServeCounters::bump(&shared.counters.evicted_conns);
-                break;
-            }
-            Err(_) => break,
-        }
-    }
+/// Run one replication feed on its own thread: the reactor hands over
+/// the (re-blocking) socket plus any bytes it had already read past the
+/// `REPL_SUBSCRIBE` frame.
+pub(crate) fn serve_feed(stream: TcpStream, leftover: Vec<u8>, shared: &Shared, from_seq: u64) {
+    let Ok(mut write) = stream.try_clone() else { return };
+    // Ack reads are a sub-millisecond poll between streaming rounds.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+    let mut read = io::Cursor::new(leftover).chain(stream);
+    serve_subscription(&mut read, &mut write, shared, from_seq);
 }
 
 /// Stream the op log to one subscriber: records as they arrive, ordered,
 /// starting at `from_seq`; heartbeats when idle; `LOG_TRUNCATED` (then
 /// hang up) when the position has fallen off the bounded log. `REPL_ACK`s
 /// flow back on the same socket and update the hub for `CLUSTER_STATUS`.
-fn serve_subscription(read: &mut TcpStream, write: &mut TcpStream, shared: &Shared, from_seq: u64) {
+/// The reader must carry a finite read timeout (see [`serve_feed`]).
+fn serve_subscription<R: Read>(
+    read: &mut R,
+    write: &mut TcpStream,
+    shared: &Shared,
+    from_seq: u64,
+) {
     let Some(log) = &shared.log else {
         let _ = write_frame(
             write,
@@ -749,9 +793,7 @@ fn serve_subscription(read: &mut TcpStream, write: &mut TcpStream, shared: &Shar
         );
         return;
     }
-    // Ack reads are a sub-millisecond poll between streaming rounds.
-    let _ = read.set_read_timeout(Some(Duration::from_millis(1)));
-    let peer = read.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".to_string());
+    let peer = write.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".to_string());
     let id = shared.hub.register(peer);
     let heartbeat = Duration::from_millis(shared.heartbeat_ms.max(1));
     let mut last_sent = Instant::now();

@@ -2,30 +2,120 @@
 //! drains a bounded job queue, so the sketch hot path takes no locks.
 //!
 //! Jobs arrive over `std::sync::mpsc` — the channel doubles as the
-//! shutdown protocol: when every connection handler (and the listener)
-//! has dropped its sender, `recv` returns `Err` *after* the queue is
+//! shutdown protocol: when every sender (the reactor, the injector, any
+//! offload thread) has dropped, `recv` returns `Err` *after* the queue is
 //! empty, so every enqueued insert is applied before the worker exits
 //! (drain-on-shutdown for free).
+//!
+//! Each wakeup drains a **batch** of queued jobs (up to
+//! [`DRAIN_BATCH`]) instead of one, amortizing the channel rendezvous
+//! over a run of ops when the queue is deep — the per-shard batch
+//! dispatch half of the reactor rewrite.
 
+use crate::cluster::cluster_op;
 use crate::engine::ShardEngine;
-use crate::protocol::ShardStats;
-use std::sync::mpsc::{Receiver, SyncSender};
+use crate::protocol::{Response, ShardStats};
+use crate::sys::Waker;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
 
-/// One unit of work for a shard. Queries carry a rendezvous channel for
-/// the answer; batched inserts are fire-and-forget (admission control
+/// How many queued jobs one worker wakeup drains before checking the
+/// channel again. Bounds the latency a just-enqueued query can hide
+/// behind while still amortizing wakeups under load.
+pub const DRAIN_BATCH: usize = 64;
+
+/// One query answer, typed by the query that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// Membership.
+    Bool(bool),
+    /// Frequency.
+    U64(u64),
+    /// Cardinality / similarity contribution.
+    F64(f64),
+    /// Batch query: `(request position, value)` per key this shard owns.
+    Slots(Vec<(u32, u64)>),
+    /// A full response computed off the reactor (offloaded ops).
+    Resp(Response),
+}
+
+/// A completed query headed back to the reactor: `slot`/`gen` name the
+/// connection, `token` names the request (a connection's dispatch
+/// counter — a stale completion whose token no longer matches is
+/// dropped), `shard` indexes multi-shard gathers.
+#[derive(Debug)]
+pub struct Completion {
+    /// Connection slab slot.
+    pub slot: u32,
+    /// Slot generation at dispatch time.
+    pub gen: u32,
+    /// Connection request counter at dispatch time.
+    pub token: u64,
+    /// Which shard answered (orders f64 merges).
+    pub shard: usize,
+    /// The answer.
+    pub answer: Answer,
+}
+
+/// Where a query's answer goes: a rendezvous channel (blocking callers —
+/// the injector, offloaded ops, tests) or the reactor's completion queue
+/// plus its waker.
+#[derive(Debug, Clone)]
+pub enum QuerySink {
+    /// Blocking rendezvous.
+    Channel(SyncSender<Answer>),
+    /// Post a [`Completion`] and wake the reactor.
+    Reactor {
+        /// The reactor's completion queue.
+        tx: Sender<Completion>,
+        /// Wakes the reactor's `epoll_wait`.
+        waker: Arc<Waker>,
+        /// Connection slab slot.
+        slot: u32,
+        /// Slot generation at dispatch time.
+        gen: u32,
+        /// Connection request counter at dispatch time.
+        token: u64,
+        /// Which shard this sink is answering for.
+        shard: usize,
+    },
+}
+
+impl QuerySink {
+    /// Deliver the answer. Send failures are ignored — a connection that
+    /// went away simply doesn't get its answer.
+    pub fn send(self, answer: Answer) {
+        match self {
+            QuerySink::Channel(tx) => {
+                let _ = tx.send(answer);
+            }
+            QuerySink::Reactor { tx, waker, slot, gen, token, shard } => {
+                let _ = tx.send(Completion { slot, gen, token, shard, answer });
+                waker.wake();
+            }
+        }
+    }
+}
+
+/// One unit of work for a shard. Queries carry a [`QuerySink`] for the
+/// answer; batched inserts are fire-and-forget (admission control
 /// happened at enqueue time).
 #[derive(Debug)]
 pub enum Job {
     /// Apply a run of same-stream inserts, in order.
     Batch { stream: u8, keys: Vec<u64> },
-    /// Membership of `key` in stream A.
-    Member { key: u64, reply: SyncSender<bool> },
-    /// This shard's cardinality contribution.
-    Card { reply: SyncSender<f64> },
-    /// Frequency of `key` in stream A.
-    Freq { key: u64, reply: SyncSender<u64> },
-    /// This shard's A/B Jaccard estimate.
-    Sim { reply: SyncSender<f64> },
+    /// Membership of `key` in stream A (answers [`Answer::Bool`]).
+    Member { key: u64, sink: QuerySink },
+    /// This shard's cardinality contribution (answers [`Answer::F64`]).
+    Card { sink: QuerySink },
+    /// Frequency of `key` in stream A (answers [`Answer::U64`]).
+    Freq { key: u64, sink: QuerySink },
+    /// This shard's A/B Jaccard estimate (answers [`Answer::F64`]).
+    Sim { sink: QuerySink },
+    /// Batch point query over this shard's slice of the keys: `op` is
+    /// `cluster_op::{MEMBER, FREQ}`, `pos[i]` is `keys[i]`'s position in
+    /// the original request (answers [`Answer::Slots`]).
+    QueryBatch { op: u8, keys: Vec<u64>, pos: Vec<u32>, sink: QuerySink },
     /// Counter snapshot.
     Stats { reply: SyncSender<ShardStats> },
     /// Serialize this shard's state. Rides the same FIFO queue as the
@@ -39,40 +129,55 @@ pub enum Job {
     Merge { data: Vec<u8>, reply: SyncSender<Result<(), String>> },
 }
 
+fn apply(engine: &mut ShardEngine, job: Job) {
+    match job {
+        Job::Batch { stream, keys } => {
+            for k in keys {
+                engine.insert(stream, k);
+            }
+        }
+        Job::Member { key, sink } => sink.send(Answer::Bool(engine.member(key))),
+        Job::Card { sink } => sink.send(Answer::F64(engine.cardinality())),
+        Job::Freq { key, sink } => sink.send(Answer::U64(engine.frequency(key))),
+        Job::Sim { sink } => sink.send(Answer::F64(engine.similarity())),
+        Job::QueryBatch { op, keys, pos, sink } => {
+            let mut slots = Vec::with_capacity(keys.len());
+            for (k, p) in keys.into_iter().zip(pos) {
+                let v = if op == cluster_op::MEMBER {
+                    u64::from(engine.member(k))
+                } else {
+                    engine.frequency(k)
+                };
+                slots.push((p, v));
+            }
+            sink.send(Answer::Slots(slots));
+        }
+        Job::Stats { reply } => {
+            let _ = reply.send(engine.stats());
+        }
+        Job::Snapshot { reply } => {
+            let _ = reply.send(engine.snapshot());
+        }
+        Job::Restore { data, reply } => {
+            let _ = reply.send(engine.restore(&data).map_err(|e| e.to_string()));
+        }
+        Job::Merge { data, reply } => {
+            let _ = reply.send(engine.reconcile(&data).map_err(|e| e.to_string()));
+        }
+    }
+}
+
 /// Drain `rx` until every sender is gone; returns the shard's final
-/// counters. Reply sends ignore errors — a client that hung up simply
-/// doesn't get its answer.
+/// counters. Each blocking `recv` is followed by a `try_recv` drain of up
+/// to [`DRAIN_BATCH`]` - 1` more jobs, so a deep queue is consumed in
+/// batches per wakeup rather than one rendezvous per job.
 pub fn run_worker(mut engine: ShardEngine, rx: Receiver<Job>) -> ShardStats {
-    while let Ok(job) = rx.recv() {
-        match job {
-            Job::Batch { stream, keys } => {
-                for k in keys {
-                    engine.insert(stream, k);
-                }
-            }
-            Job::Member { key, reply } => {
-                let _ = reply.send(engine.member(key));
-            }
-            Job::Card { reply } => {
-                let _ = reply.send(engine.cardinality());
-            }
-            Job::Freq { key, reply } => {
-                let _ = reply.send(engine.frequency(key));
-            }
-            Job::Sim { reply } => {
-                let _ = reply.send(engine.similarity());
-            }
-            Job::Stats { reply } => {
-                let _ = reply.send(engine.stats());
-            }
-            Job::Snapshot { reply } => {
-                let _ = reply.send(engine.snapshot());
-            }
-            Job::Restore { data, reply } => {
-                let _ = reply.send(engine.restore(&data).map_err(|e| e.to_string()));
-            }
-            Job::Merge { data, reply } => {
-                let _ = reply.send(engine.reconcile(&data).map_err(|e| e.to_string()));
+    'serve: while let Ok(first) = rx.recv() {
+        apply(&mut engine, first);
+        for _ in 1..DRAIN_BATCH {
+            match rx.try_recv() {
+                Ok(job) => apply(&mut engine, job),
+                Err(_) => continue 'serve,
             }
         }
     }

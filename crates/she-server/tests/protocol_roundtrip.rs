@@ -192,7 +192,7 @@ fn trailing_bytes_are_rejected() {
 
 #[test]
 fn unknown_opcodes_are_rejected() {
-    for op in [0x00u8, 0x03, 0x14, 0x7F, 0xFF] {
+    for op in [0x00u8, 0x03, 0x15, 0x7F, 0xFF] {
         assert_eq!(Request::decode(&[op]), Err(ProtoError::BadOpcode(op)));
     }
     assert_eq!(Response::decode(&[0x00]), Err(ProtoError::BadOpcode(0x00)));

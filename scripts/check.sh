@@ -353,4 +353,52 @@ DRILL_SEED=274951162221585
     exit 1
 }
 
+echo "== epoll reactor smoke test (docs/SERVER.md)"
+# The event-driven serving tier under its two hardest loads, one server:
+# (1) a verified loadgen run rides injected transport faults (resets,
+# partial/torn writes, delays) via reconnect + op-log-head resync, and
+# must stay bit-for-bit despite the chaos; (2) 1024 concurrent
+# connections hammer the same reactor with batched queries interleaved;
+# (3) a from-log mirror-check subscribes to the server's own op log,
+# replays the union of both workloads in admission order, and must match
+# bit-for-bit.
+EADDR=127.0.0.1:7501
+E_PID=
+cleanup4() { [ -n "$E_PID" ] && kill "$E_PID" 2>/dev/null || true; }
+trap cleanup4 EXIT INT TERM
+
+"$BIN" serve --addr "$EADDR" --shards 4 --window 64k --memory 64k \
+    --repl-log 8192 >/dev/null &
+E_PID=$!
+wait_status "$EADDR"
+
+"$BIN" loadgen --addr "$EADDR" --items 20000 --batch 128 --queries 400 \
+    --query-batch 16 --universe 5000 --seed 7 --faults yes --fault-seed 3 \
+    --verify yes --window 64k --shards 4 --memory 64k >/dev/null || {
+    echo "fault-riding verified loadgen failed"
+    exit 1
+}
+
+"$BIN" loadgen --addr "$EADDR" --items 65536 --batch 64 --queries 1024 \
+    --query-batch 8 --connections 1024 --universe 5000 --seed 11 >/dev/null || {
+    echo "1024-connection loadgen failed"
+    exit 1
+}
+
+"$BIN" mirror-check --addr "$EADDR" --from-log yes --universe 5000 --seed 7 \
+    --probes 64 --window 64k --shards 4 --memory 64k || {
+    echo "reactor diverged from its own op log"
+    exit 1
+}
+echo "reactor: fault-riding verify + 1024 connections, log replay bit-for-bit"
+
+"$BIN" shutdown --addr "$EADDR" >/dev/null
+wait "$E_PID" || true
+if kill -0 "$E_PID" 2>/dev/null; then
+    echo "LEAKED PROCESS: reactor smoke server pid $E_PID survived"
+    kill -9 "$E_PID" 2>/dev/null || true
+    exit 1
+fi
+E_PID=
+
 echo "check.sh: all green"
