@@ -78,6 +78,7 @@ impl RuleConfig {
                 "she-core".into(),
                 "she-chaos".into(),
                 "she-cli".into(),
+                "she-readpath".into(),
             ],
             cast_crates: vec![
                 "she-core".into(),
@@ -85,12 +86,14 @@ impl RuleConfig {
                 "she-server".into(),
                 "she-replica".into(),
                 "she-cluster".into(),
+                "she-readpath".into(),
             ],
             growth_crates: vec![
                 "she-server".into(),
                 "she-replica".into(),
                 "she-cluster".into(),
                 "she-core".into(),
+                "she-readpath".into(),
             ],
             lock_crates: vec![
                 "she-server".into(),
@@ -98,6 +101,7 @@ impl RuleConfig {
                 "she-cluster".into(),
                 "she-core".into(),
                 "she-chaos".into(),
+                "she-readpath".into(),
             ],
             blocking_files: vec![
                 "she-server/src/reactor.rs".into(),

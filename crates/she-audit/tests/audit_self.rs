@@ -171,6 +171,37 @@ fn undocumented_opcode_fails_the_gate() {
     );
 }
 
+#[test]
+fn version_bump_without_doc_section_fails_the_gate() {
+    // Negotiating v6 without a `## Protocol v6` section is drift: the
+    // doc is the normative spec for every negotiated revision.
+    let failures = protocol_audit("verbump", |rs, md| {
+        assert!(rs.contains("pub const PROTOCOL_VERSION: u16 = "), "fixture drifted");
+        let bumped = rs.replacen(
+            "pub const PROTOCOL_VERSION: u16 = 5;",
+            "pub const PROTOCOL_VERSION: u16 = 6;",
+            1,
+        );
+        assert_ne!(bumped, rs, "version constant moved off 5; update this fixture");
+        (bumped, md)
+    });
+    assert!(
+        failures.iter().any(|g| g.starts_with("protocol:")),
+        "a version bump without a doc section must trip protocol drift: {failures:?}"
+    );
+}
+
+#[test]
+fn doc_section_beyond_negotiated_version_fails_the_gate() {
+    let failures = protocol_audit("verfuture", |rs, md| {
+        (rs, format!("{md}\n## Protocol v9: speculative extensions\n\nNot negotiated.\n"))
+    });
+    assert!(
+        failures.iter().any(|g| g.starts_with("protocol:")),
+        "documenting an unnegotiated version must trip protocol drift: {failures:?}"
+    );
+}
+
 /// The gate behind the gate: `cargo test` fails if the tree this test
 /// compiled from does not pass its own audit with the committed
 /// manifests — including the zero baseline for the serving path.

@@ -1,0 +1,284 @@
+//! Versioned performance snapshot + regression ratchet.
+//!
+//! ```text
+//! bench_snapshot [--out BENCH_YYYY-MM-DD.json] [--check bench-ratchet.toml]
+//!                [--items N] [--seed N]
+//! ```
+//!
+//! Three measurements, the serving two through a *real* in-process
+//! she-server (epoll reactor, shard workers, op log, read path):
+//!
+//! 1. **ingest** — raw single-thread insert throughput (Mops/s) of each
+//!    SHE sketch adapter on the CAIDA-like trace;
+//! 2. **serve** — insert-batch and `QUERY_FAST` latency (p50/p99) under
+//!    the canonical 95/5 zipfian read-heavy loadgen profile;
+//! 3. **readpath** — the mark cache's server-side hit rate over that run.
+//!
+//! `--out` writes the snapshot as hand-rolled JSON (no dependencies);
+//! `--check` gates the same fresh measurements against the floors in
+//! `bench-ratchet.toml` and exits 1 on a breach. The floors are
+//! deliberately loose (roughly an order of magnitude below typical
+//! numbers) so the gate catches structural regressions — an accidental
+//! O(n) in the hot loop, a read path that stopped caching — rather than
+//! machine-to-machine noise.
+
+use she_metrics::{
+    FrequencySketch, MemberSketch, SheBfAdapter, SheBmAdapter, SheCmAdapter, SheHllAdapter,
+};
+use she_server::{loadgen, LoadgenConfig, Mode, ReadPathConfig, Server, ServerConfig};
+use she_streams::{CaidaLike, KeyStream};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_snapshot [--out PATH.json] [--check bench-ratchet.toml]\n\
+         \x20                     [--items N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("bench_snapshot: bad or missing value for {flag}");
+        usage()
+    })
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, via the civil-from-days algorithm
+/// (no time-zone database, no dependencies).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days, adjusted to the 0000-03-01 epoch.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Measure one adapter's insert throughput in Mops/s.
+fn ingest_mops(label: &str, trace: &[u64], mut insert: impl FnMut(u64)) -> (String, f64) {
+    let t = Instant::now();
+    for &k in trace {
+        insert(k);
+    }
+    let mops = trace.len() as f64 / t.elapsed().as_secs_f64() / 1e6;
+    (label.to_string(), mops)
+}
+
+struct Snapshot {
+    date: String,
+    ingest: Vec<(String, f64)>,
+    serve_insert_p50_us: f64,
+    serve_insert_p99_us: f64,
+    fast_p50_us: f64,
+    fast_p99_us: f64,
+    serve_insert_kitems_per_s: f64,
+    fast_reads: u64,
+    hit_rate: Option<f64>,
+}
+
+impl Snapshot {
+    fn to_json(&self) -> String {
+        let ingest: Vec<String> =
+            self.ingest.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")).collect();
+        let hit = match self.hit_rate {
+            Some(r) => format!("{r:.4}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"schema\": 1,\n  \"date\": \"{}\",\n  \"ingest_mops\": {{\n{}\n  }},\n  \
+             \"serve\": {{\n    \"insert_p50_us\": {:.1},\n    \"insert_p99_us\": {:.1},\n    \
+             \"fast_p50_us\": {:.1},\n    \"fast_p99_us\": {:.1},\n    \
+             \"insert_kitems_per_s\": {:.1}\n  }},\n  \"readpath\": {{\n    \
+             \"fast_reads\": {},\n    \"hit_rate\": {}\n  }}\n}}\n",
+            self.date,
+            ingest.join(",\n"),
+            self.serve_insert_p50_us,
+            self.serve_insert_p99_us,
+            self.fast_p50_us,
+            self.fast_p99_us,
+            self.serve_insert_kitems_per_s,
+            self.fast_reads,
+            hit
+        )
+    }
+}
+
+/// Parse `key = value` floats out of a flat ratchet file, ignoring
+/// comments and section headers.
+fn parse_ratchet(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('['))
+        .filter_map(|l| {
+            let (k, v) = l.split_once('=')?;
+            Some((k.trim().to_string(), v.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+fn check(snap: &Snapshot, path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read ratchet {path}: {e}"))?;
+    let floors = parse_ratchet(&text);
+    if floors.is_empty() {
+        return Err(format!("ratchet {path} holds no `key = value` entries"));
+    }
+    let worst_ingest = self::min_f64(snap.ingest.iter().map(|(_, v)| *v)).unwrap_or(f64::INFINITY);
+    let mut failures = Vec::new();
+    for (key, bound) in &floors {
+        let breach = match key.as_str() {
+            "ingest_mops_min" => (worst_ingest < *bound)
+                .then(|| format!("slowest ingest adapter {worst_ingest:.3} Mops/s < {bound}")),
+            "serve_insert_p99_us_max" => (snap.serve_insert_p99_us > *bound)
+                .then(|| format!("insert p99 {:.1} us > {bound}", snap.serve_insert_p99_us)),
+            "fast_p99_us_max" => (snap.fast_p99_us > *bound)
+                .then(|| format!("QUERY_FAST p99 {:.1} us > {bound}", snap.fast_p99_us)),
+            "readpath_hit_rate_min" => match snap.hit_rate {
+                Some(r) if r >= *bound => None,
+                Some(r) => Some(format!("read-path hit rate {r:.4} < {bound}")),
+                None => Some("read path reported no hit rate".to_string()),
+            },
+            other => Some(format!("unknown ratchet key '{other}'")),
+        };
+        if let Some(msg) = breach {
+            failures.push(msg);
+        }
+    }
+    if failures.is_empty() {
+        println!("bench ratchet OK: {} floor(s) held", floors.len());
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn min_f64(it: impl Iterator<Item = f64>) -> Option<f64> {
+    it.fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+fn measure(items: u64, seed: u64) -> Result<Snapshot, String> {
+    // --- ingest: raw adapter insert rates on the paper's trace shape.
+    let (window, memory) = (1u64 << 14, 64usize << 10);
+    let trace = CaidaLike::new(100_000, 1.05, seed).take_vec(400_000);
+    let mut bf = SheBfAdapter::sized(window, memory, seed as u32);
+    let mut bm = SheBmAdapter::sized(window, memory, seed as u32);
+    let mut cm = SheCmAdapter::sized(window, memory, seed as u32);
+    let mut hll = SheHllAdapter::sized(window, memory, seed as u32);
+    let ingest = vec![
+        ingest_mops("she_bf", &trace, |k| MemberSketch::insert(&mut bf, k)),
+        ingest_mops("she_bm", &trace, |k| bm.0.insert(&k)),
+        ingest_mops("she_cm", &trace, |k| FrequencySketch::insert(&mut cm, k)),
+        ingest_mops("she_hll", &trace, |k| hll.0.insert(&k)),
+    ];
+
+    // --- serve: a real server with the read path on, driven by the
+    // canonical 95/5 zipfian profile.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        repl_log: 8_192,
+        readpath: Some(ReadPathConfig::default()),
+        ..Default::default()
+    })
+    .map_err(|e| format!("server start: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let cfg = LoadgenConfig {
+        addr: addr.clone(),
+        items,
+        batch: 256,
+        queries: 0,
+        mode: Mode::Closed,
+        universe: 20_000,
+        skew: 1.05,
+        seed,
+        read_ratio: 0.95,
+        read_skew: 1.1,
+        ..Default::default()
+    };
+    let summary = loadgen::run(&cfg).map_err(|e| format!("loadgen: {e}"))?;
+    let mut c = she_server::Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    server.wait();
+
+    let us = |ns: u64| ns as f64 / 1e3;
+    Ok(Snapshot {
+        date: today_utc(),
+        ingest,
+        serve_insert_p50_us: us(summary.insert.latency.quantile_ns(0.5)),
+        serve_insert_p99_us: us(summary.insert.latency.quantile_ns(0.99)),
+        fast_p50_us: us(summary.fast.latency.quantile_ns(0.5)),
+        fast_p99_us: us(summary.fast.latency.quantile_ns(0.99)),
+        serve_insert_kitems_per_s: summary.insert.items_per_sec() / 1e3,
+        fast_reads: summary.fast.ops,
+        hit_rate: summary.fast_hit_rate,
+    })
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut ratchet: Option<String> = None;
+    let mut items = 10_000u64;
+    let mut seed = 1u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = Some(parse(args.next(), "--out")),
+            "--check" => ratchet = Some(parse(args.next(), "--check")),
+            "--items" => items = parse(args.next(), "--items"),
+            "--seed" => seed = parse(args.next(), "--seed"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("bench_snapshot: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let snap = match measure(items, seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_snapshot: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (k, v) in &snap.ingest {
+        println!("ingest {k:<8} {v:>8.2} Mops/s");
+    }
+    println!(
+        "serve  insert p50={:.1}us p99={:.1}us ({:.1} kitems/s)  fast p50={:.1}us p99={:.1}us",
+        snap.serve_insert_p50_us,
+        snap.serve_insert_p99_us,
+        snap.serve_insert_kitems_per_s,
+        snap.fast_p50_us,
+        snap.fast_p99_us
+    );
+    match snap.hit_rate {
+        Some(r) => println!("readpath {} fast reads, hit rate {r:.4}", snap.fast_reads),
+        None => println!("readpath {} fast reads, no hit rate reported", snap.fast_reads),
+    }
+
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("bench_snapshot: write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &ratchet {
+        if let Err(e) = check(&snap, path) {
+            eprintln!("bench_snapshot: RATCHET BREACH: {e}");
+            std::process::exit(1);
+        }
+    }
+}

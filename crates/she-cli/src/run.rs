@@ -31,6 +31,9 @@ COMMANDS
                may differ from the checkpoint — rebalanced by snapshot merge)
                --repl-log N (keep an op log of the last N insert batches so
                replicas can join) --heartbeat-ms N
+               --readpath yes (serve v5 QUERY_FAST inline on the reactor
+               from a mark-cached read mirror; a primary needs --repl-log,
+               the mirror tails the op log — docs/READPATH.md)
                --replica-of HOST:PORT (start a read-only replica instead;
                engine sizing is inherited from the primary's snapshot)
                --anti-entropy-ms N --heartbeat-timeout-ms N (replica only)
@@ -56,8 +59,16 @@ COMMANDS
                another running server, resharding in flight (bulk snapshot
                + op-log delta replay)
                --from HOST:PORT --to HOST:PORT --shards N --timeout-ms N
-  cluster-status  one-line replication position of a node (docs/REPLICATION.md)
+  cluster-status  one-line replication position of a node, plus per-shard
+               queue depths and read-path cache counters (docs/REPLICATION.md)
                --addr HOST:PORT --timeout-ms N
+  fastcheck    verify a quiescent --readpath server: warm cached answers
+               must respect the staleness bound (member-true still true,
+               freq never above QUERY), then after a cache flush every
+               fresh fill must match QUERY bit-for-bit and every repeat
+               ask must hit (docs/READPATH.md)
+               --addr HOST:PORT --keys N --universe N --skew F --seed N
+               --timeout-ms N
   chaos-soak   deterministic fault-injection soak: primary + replica under a
                fault proxy, kill/restart cycles, checkpoint corruption with
                generation fallback, bit-for-bit mirror verdict
@@ -93,6 +104,11 @@ COMMANDS
                items of the seeded stream — continue an interrupted run)
                --query-batch N (batch member/freq probes N keys per round
                trip via QUERY_BATCH / CLUSTER_QUERY_BATCH)
+               --read-ratio F (interleave v5 QUERY_FAST reads at F reads
+               per read+item — 0.95 is the 95/5 read-heavy profile; needs
+               a --readpath server; prints the server-side cache hit rate)
+               --zipf F (Zipf exponent of the fast-read key draw, seeded
+               from --seed; default 1.1)
                --faults yes --fault-seed N (route traffic through an
                in-process fault proxy — partial writes, delays, resets —
                riding each fault with reconnect + op-log-head resync, so
@@ -192,6 +208,7 @@ pub fn dispatch(a: &Args) -> Result<(), CliError> {
         "cluster-query" => cluster_query(a),
         "cluster-rebalance" => cluster_rebalance(a),
         "cluster-status" => cluster_status(a),
+        "fastcheck" => fastcheck(a),
         "chaos-soak" => chaos_soak(a),
         "chaos-cluster" => chaos_cluster(a),
         "mirror-check" => mirror_check(a),
@@ -359,6 +376,7 @@ fn serve(a: &Args) -> Result<(), CliError> {
         "restore",
         "repl-log",
         "heartbeat-ms",
+        "readpath",
         "replica-of",
         "anti-entropy-ms",
         "heartbeat-timeout-ms",
@@ -372,14 +390,24 @@ fn serve(a: &Args) -> Result<(), CliError> {
         }
     }
     let restore_dir = a.get("restore", "");
+    let readpath = matches!(a.get("readpath", "no").as_str(), "yes" | "true" | "1");
     let mut cfg = she_server::ServerConfig {
         addr: a.get("addr", "127.0.0.1:7487"),
         engine: engine_config(a, "seed")?,
         queue_capacity: a.get_u64("queue", 256)? as usize,
         repl_log: a.get_u64("repl-log", 0)? as usize,
         heartbeat_ms: a.get_u64("heartbeat-ms", 500)?,
+        readpath: readpath.then(she_server::ReadPathConfig::default),
         ..Default::default()
     };
+    if readpath && cfg.repl_log == 0 {
+        return Err(ArgError(
+            "--readpath on a primary needs --repl-log: the read mirror stays fresh by \
+             tailing the op log"
+                .into(),
+        )
+        .into());
+    }
     // With --restore, the checkpoint's config is authoritative (rebalanced
     // by build_engines when --shards differs); flag values are ignored.
     let restored = if restore_dir.is_empty() {
@@ -416,6 +444,13 @@ fn serve(a: &Args) -> Result<(), CliError> {
             server.local_addr()
         );
     }
+    if readpath {
+        println!(
+            "read path enabled: QUERY_FAST served inline from the mark-cached mirror \
+             (verify with `she fastcheck --addr {}`)",
+            server.local_addr()
+        );
+    }
     println!("(stop with the wire SHUTDOWN request, e.g. via `she loadgen` or she-server::Client)");
     print_shard_stats(&server.wait());
     Ok(())
@@ -436,12 +471,14 @@ fn serve_replica(a: &Args) -> Result<(), CliError> {
         }
     }
     let primary = a.get("replica-of", "");
+    let readpath = matches!(a.get("readpath", "no").as_str(), "yes" | "true" | "1");
     let cfg = she_replica::ReplicaConfig {
         listen_addr: a.get("addr", "127.0.0.1:7488"),
         primary: primary.clone(),
         queue_capacity: a.get_u64("queue", 256)? as usize,
         anti_entropy_ms: a.get_u64("anti-entropy-ms", 0)?,
         heartbeat_timeout_ms: a.get_u64("heartbeat-timeout-ms", 2_500)?,
+        readpath: readpath.then(she_server::ReadPathConfig::default),
         ..Default::default()
     };
     let replica = she_replica::Replica::start(cfg).map_err(|err| net_err(&primary, err))?;
@@ -449,6 +486,9 @@ fn serve_replica(a: &Args) -> Result<(), CliError> {
         "she-replica listening on {} — read-only, following primary {primary}",
         replica.local_addr()
     );
+    if readpath {
+        println!("read path enabled: QUERY_FAST tracks the applied replication position");
+    }
     println!("(writes are rejected with NOT_PRIMARY; stop with the wire SHUTDOWN request)");
     print_shard_stats(&replica.wait());
     Ok(())
@@ -659,6 +699,8 @@ fn loadgen(a: &Args) -> Result<(), CliError> {
         "query-batch",
         "faults",
         "fault-seed",
+        "read-ratio",
+        "zipf",
     ])?;
     let verify = a.get("verify", "no");
     let read_from = a.get("read-from", "");
@@ -688,6 +730,8 @@ fn loadgen(a: &Args) -> Result<(), CliError> {
         offset: a.get_u64("offset", 0)?,
         query_batch: a.get_u64("query-batch", 0)? as usize,
         resync_addr: None,
+        read_ratio: a.get_f64("read-ratio", 0.0)?,
+        read_skew: a.get_f64("zipf", 1.1)?,
     };
     let proxy = if faults {
         if cluster {
@@ -761,6 +805,169 @@ fn cluster_status(a: &Args) -> Result<(), CliError> {
             "role=replica primary={} connected={} applied={} boot_seq={}",
             info.primary, info.connected, info.head, info.boot_seq
         );
+    }
+    if !info.queue_depths.is_empty() {
+        let depths: Vec<String> = info.queue_depths.iter().map(u64::to_string).collect();
+        println!("queue_depths={}", depths.join(","));
+    }
+    let rp = &info.readpath;
+    if rp.enabled {
+        println!(
+            "readpath=enabled hits={} misses={} fills={} invalidations={} seq={}",
+            rp.hits, rp.misses, rp.fills, rp.invalidations, rp.seq
+        );
+    } else {
+        println!("readpath=disabled");
+    }
+    Ok(())
+}
+
+/// `she fastcheck` — verify both halves of a quiescent `--readpath`
+/// server's contract (docs/READPATH.md):
+///
+/// 1. **Bound phase** (cache as-is): entries filled mid-stream stay
+///    valid until a relevant time-mark flips, so they may lag inserts —
+///    but never outside the bound: a fast `member = true` must be
+///    authoritatively true, and a fast frequency can never *exceed* the
+///    authoritative estimate.
+/// 2. **Exact phase** (after a cache flush): at quiescence the mirror's
+///    applied position has reached the op-log head and the window clock
+///    is frozen, so a *fresh fill* is the frozen-read answer on the same
+///    insert history the workers hold — bit-for-bit. Each key is asked
+///    twice back-to-back (fill path, then the signature-checked hit
+///    path; authoritative queries touch the workers, never the mirror,
+///    so the signature cannot move in between), so N keys must advance
+///    the hit counter by at least 2N.
+fn fastcheck(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&["addr", "keys", "universe", "skew", "seed", "timeout-ms"])?;
+    let addr = a.get("addr", "127.0.0.1:7487");
+    let keys = a.get_u64("keys", 256)?.max(1);
+    let universe = (a.get_u64("universe", 100_000)? as usize).max(2);
+    let skew = a.get_f64("skew", 1.1)?;
+    let seed = a.get_u64("seed", 1)?;
+    let io = |err: std::io::Error| net_err(&addr, err);
+    let mut client = she_server::Client::connect(&addr).map_err(io)?;
+    client.set_op_timeout(op_timeout(a)?).map_err(io)?;
+    let version = client.hello().map_err(io)?;
+    if version < 5 {
+        return Err(ArgError(format!(
+            "server at {addr} speaks protocol v{version}; QUERY_FAST needs v5"
+        ))
+        .into());
+    }
+
+    // Wait for quiescence: the op-log head must stop moving AND the read
+    // path must have applied up to it (on a primary the refresher tails
+    // the log; on a replica the injector is synchronous).
+    let before = {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let first = client.cluster_status().map_err(io)?;
+            if !first.readpath.enabled {
+                return Err(ArgError(format!(
+                    "server at {addr} serves without --readpath; nothing to fastcheck"
+                ))
+                .into());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            let second = client.cluster_status().map_err(io)?;
+            if first.head == second.head && second.readpath.seq >= second.head {
+                break second;
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(ArgError(format!(
+                    "server at {addr} did not quiesce: head {} -> {}, readpath seq {}",
+                    first.head, second.head, second.readpath.seq
+                ))
+                .into());
+            }
+        }
+    };
+
+    // The same seeded Zipf draw + mix64 permutation the loadgen's
+    // read-heavy profile uses, so the probe set is hot keys by default —
+    // keys a prior 95/5 run left warm in the cache.
+    let probe_keys: Vec<u64> = {
+        let zipf = she_streams::Zipf::new(universe, skew);
+        let mut rng = she_hash::Xoshiro256::new(seed ^ 0xFA57_4EAD_5EED);
+        (0..keys).map(|_| she_hash::mix64(zipf.sample(&mut rng) as u64)).collect()
+    };
+
+    // Phase 1 — the staleness bound on whatever the cache holds.
+    let mut checked = 0u64;
+    let mut violations = 0u64;
+    for &key in &probe_keys {
+        let fast = client.fast_member(key).map_err(io)?;
+        let auth = client.query_member(key).map_err(io)?;
+        checked += 1;
+        if fast && !auth {
+            violations += 1;
+            eprintln!("bound violation: fast member({key}) = true, QUERY says false");
+        }
+        let fast = client.fast_freq(key).map_err(io)?;
+        let auth = client.query_freq(key).map_err(io)?;
+        checked += 1;
+        if fast > auth {
+            violations += 1;
+            eprintln!("bound violation: fast freq({key}) = {fast} exceeds QUERY's {auth}");
+        }
+    }
+
+    // Phase 2 — flush, then every fresh fill must be bit-for-bit and
+    // every immediate repeat ask must hit.
+    client.fast_flush().map_err(io)?;
+    let mut mismatches = 0u64;
+    for &key in &probe_keys {
+        for round in 0..2 {
+            let fast = client.fast_member(key).map_err(io)?;
+            let auth = client.query_member(key).map_err(io)?;
+            checked += 1;
+            if fast != auth {
+                mismatches += 1;
+                eprintln!("mismatch: fast member({key}) = {fast}, QUERY says {auth} (ask {round})");
+            }
+        }
+        for round in 0..2 {
+            let fast = client.fast_freq(key).map_err(io)?;
+            let auth = client.query_freq(key).map_err(io)?;
+            checked += 1;
+            if fast != auth {
+                mismatches += 1;
+                eprintln!("mismatch: fast freq({key}) = {fast}, QUERY says {auth} (ask {round})");
+            }
+        }
+    }
+
+    let after = client.cluster_status().map_err(io)?;
+    let hits = after.readpath.hits.saturating_sub(before.readpath.hits);
+    let misses = after.readpath.misses.saturating_sub(before.readpath.misses);
+    println!(
+        "fastcheck {addr}: {checked} fast answers checked at seq {}, {violations} bound \
+         violation(s), {mismatches} post-flush mismatch(es), cache {hits} hit(s) / {misses} \
+         miss(es) over the probe window",
+        after.readpath.seq
+    );
+    if violations > 0 {
+        return Err(ArgError(format!(
+            "fastcheck failed: {violations} staleness-bound violations on the warm cache"
+        ))
+        .into());
+    }
+    if mismatches > 0 {
+        return Err(ArgError(format!(
+            "fastcheck failed: {mismatches} mismatched answers after a cache flush"
+        ))
+        .into());
+    }
+    // Post-flush, each key's repeat asks (2 per op class) must hit: the
+    // signature cannot move at quiescence.
+    let floor = 2 * keys;
+    if hits < floor {
+        return Err(ArgError(format!(
+            "fastcheck failed: the mark cache served {hits} hit(s), expected at least {floor} \
+             (every post-flush repeat ask should hit)"
+        ))
+        .into());
     }
     Ok(())
 }

@@ -9,7 +9,7 @@
 
 use crate::{analysis, She, SheConfig};
 use she_hash::HashKey;
-use she_sketch::{BloomSpec, CellUpdate};
+use she_sketch::{BloomSpec, CellUpdate, CsmSpec};
 
 /// Sliding-window Bloom filter (hardware version of SHE).
 #[derive(Debug, Clone)]
@@ -134,6 +134,39 @@ impl SheBloomFilter {
         present
     }
 
+    /// Sliding-window membership, **frozen read**: answers exactly what
+    /// [`SheBloomFilter::contains`] would on the same state, without
+    /// running `CheckGroup` — a hashed bit whose group is due for
+    /// cleaning reads as zero ([`She::peek_cell_effective`]), and
+    /// maturity is observed purely. Because nothing mutates, two engines
+    /// with identical *insert* histories answer identically regardless
+    /// of how differently they have been queried — the property the
+    /// read-path mirror relies on.
+    pub fn contains_frozen<K: HashKey + ?Sized>(&self, key: &K) -> bool {
+        let mut ups = Vec::with_capacity(self.engine.spec().k());
+        self.engine.updates_for(key, &mut ups);
+        for u in &ups {
+            let gid = u.group(self.engine.config().group_cells);
+            if !self.engine.observe_mature(gid) {
+                continue; // young bit: ignored (age-sensitive selection)
+            }
+            if self.engine.peek_cell_effective(u.index) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Time-mark signature of the groups `key` hashes to (see
+    /// [`She::mark_sig_of`]): changes iff one of those groups' marks
+    /// flips, i.e. iff a future [`SheBloomFilter::contains`] could see a
+    /// cleaning this key's cached answer predates. Pure.
+    pub fn mark_sig<K: HashKey + ?Sized>(&self, key: &K) -> u64 {
+        let mut ups = Vec::with_capacity(self.engine.spec().k());
+        self.engine.updates_for(key, &mut ups);
+        self.engine.mark_sig_of(&ups)
+    }
+
     /// Advance logical time without inserting.
     #[inline]
     pub fn advance_time(&mut self, dt: u64) {
@@ -224,6 +257,49 @@ mod tests {
         let bf = SheBloomFilter::builder().window(1 << 12).memory_bytes(8 << 10).build();
         let alpha = bf.engine().config().alpha();
         assert!(alpha > 0.0 && alpha < 50.0, "alpha {alpha} out of sane range");
+    }
+
+    #[test]
+    fn frozen_contains_matches_mutating_contains() {
+        // Seeded random insert history; at every probe point the frozen
+        // read must equal what contains() answers on a same-history twin
+        // (probing the twin first so its query-time cleanings cannot
+        // influence the comparison).
+        let mut a = filter(1 << 10, 8, 1.5);
+        let mut b = filter(1 << 10, 8, 1.5);
+        let mut x = 0x9E37_79B9u64;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = x % 4096;
+            a.insert(&key);
+            b.insert(&key);
+            if i % 257 == 0 {
+                for probe in [key, x % 8192, i] {
+                    assert_eq!(
+                        a.contains_frozen(&probe),
+                        b.contains(&probe),
+                        "probe {probe} at step {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_reads_never_mutate() {
+        let mut bf = filter(1 << 10, 8, 1.5);
+        for i in 0..5_000u64 {
+            bf.insert(&i);
+        }
+        bf.advance_time(bf.engine().config().t_cycle / 2);
+        let before: Vec<u64> = (0..64).map(|i| bf.engine().peek_cell(i)).collect();
+        for probe in 0..2_000u64 {
+            let _ = bf.contains_frozen(&probe);
+            let _ = bf.mark_sig(&probe);
+        }
+        let after: Vec<u64> = (0..64).map(|i| bf.engine().peek_cell(i)).collect();
+        assert_eq!(before, after);
+        assert_eq!(bf.now(), 5_000 + bf.engine().config().t_cycle / 2);
     }
 
     #[test]

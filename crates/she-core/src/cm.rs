@@ -10,7 +10,7 @@
 
 use crate::{She, SheConfig};
 use she_hash::HashKey;
-use she_sketch::{CellUpdate, CountMinSpec};
+use she_sketch::{CellUpdate, CountMinSpec, CsmSpec};
 
 /// Sliding-window Count-Min sketch (hardware version of SHE).
 ///
@@ -151,6 +151,38 @@ impl SheCountMin {
         mature_min.or(any_min).unwrap_or(0)
     }
 
+    /// Estimated frequency, **frozen read**: answers exactly what
+    /// [`SheCountMin::query`] would on the same state, without running
+    /// `CheckGroup` — a counter whose group is due for cleaning reads as
+    /// zero ([`She::peek_cell_effective`]), and maturity is observed
+    /// purely. Nothing mutates, so identical insert histories answer
+    /// identically regardless of query history (the read-path mirror's
+    /// bit-for-bit property).
+    pub fn query_frozen<K: HashKey + ?Sized>(&self, key: &K) -> u64 {
+        let mut ups = Vec::with_capacity(self.engine.spec().k());
+        self.engine.updates_for(key, &mut ups);
+        let mut mature_min: Option<u64> = None;
+        let mut any_min: Option<u64> = None;
+        for u in &ups {
+            let gid = u.group(self.engine.config().group_cells);
+            let v = self.engine.peek_cell_effective(u.index);
+            any_min = Some(any_min.map_or(v, |m| m.min(v)));
+            if self.engine.observe_mature(gid) {
+                mature_min = Some(mature_min.map_or(v, |m| m.min(v)));
+            }
+        }
+        mature_min.or(any_min).unwrap_or(0)
+    }
+
+    /// Time-mark signature of the groups `key` hashes to (see
+    /// [`She::mark_sig_of`]): changes iff one of those groups' marks
+    /// flips. Pure.
+    pub fn mark_sig<K: HashKey + ?Sized>(&self, key: &K) -> u64 {
+        let mut ups = Vec::with_capacity(self.engine.spec().k());
+        self.engine.updates_for(key, &mut ups);
+        self.engine.mark_sig_of(&ups)
+    }
+
     /// Age-normalized frequency estimate.
     ///
     /// [`SheCountMin::query`] (the paper's estimator) returns the minimum
@@ -265,6 +297,29 @@ mod tests {
             cm.insert(&i);
         }
         assert!(cm.query(&0xdead_beef_dead_beefu64) <= 4);
+    }
+
+    #[test]
+    fn frozen_query_matches_mutating_query() {
+        let window = 1u64 << 10;
+        let mut a = SheCountMin::builder().window(window).memory_bytes(64 << 10).seed(9).build();
+        let mut b = SheCountMin::builder().window(window).memory_bytes(64 << 10).seed(9).build();
+        let mut x = 0xDEAD_BEEFu64;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = x % 512;
+            a.insert(&key);
+            b.insert(&key);
+            if i % 193 == 0 {
+                for probe in [key, x % 2048] {
+                    assert_eq!(
+                        a.query_frozen(&probe),
+                        b.query(&probe),
+                        "probe {probe} at step {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -231,6 +231,78 @@ impl<S: CsmSpec> She<S> {
         shifted.rem_euclid(tc) as u64
     }
 
+    /// The group's **mark epoch**: how many mark flips group `gid` has
+    /// scheduled up to (and including) the current clock, counted from
+    /// `t = 0`. The epoch increments by exactly one at each flip instant
+    /// `t = ofs_gid + j·Tcycle`, so two observations with equal epochs
+    /// bracket *no* flip of this group — the invariant the read path's
+    /// [`MarkCache`](crate) signatures rest on. Pure: never cleans.
+    #[inline]
+    pub fn mark_epoch(&self, gid: usize) -> u64 {
+        let tc = self.cfg.t_cycle;
+        // ofs < Tcycle, so t + tc - ofs never underflows; equals
+        // floor((t - ofs)/Tcycle) + 1 for every t ≥ 0 (also t < ofs).
+        (self.t + tc - self.neg_offsets[gid]) / tc
+    }
+
+    /// Observe the group's *current* mark without mutating anything —
+    /// the pure counterpart of the cached mark [`She::check_group`]
+    /// refreshes. Equal to `current_mark(gid)` on every state.
+    #[inline]
+    pub fn observe_mark(&self, gid: usize) -> bool {
+        self.mark_epoch(gid).is_multiple_of(2)
+    }
+
+    /// Whether group `gid` is **due** for cleaning: its stored mark
+    /// disagrees with the observed current mark, so the next
+    /// [`She::check_group`] will zero its cells. Pure.
+    #[inline]
+    pub fn group_due(&self, gid: usize) -> bool {
+        self.groups[gid].stored_mark() != self.observe_mark(gid)
+    }
+
+    /// Whether the group is mature (`age ≥ N`) — the pure half of
+    /// [`She::check_mature`]: maturity depends only on the clock, never
+    /// on whether the lazy cleaning has run yet.
+    #[inline]
+    pub fn observe_mature(&self, gid: usize) -> bool {
+        self.group_age(gid) >= self.cfg.window
+    }
+
+    /// Read a cell *as the next `check_group` would leave it*: zero when
+    /// the owning group is due for cleaning, the raw stored value
+    /// otherwise. Pure — frozen-read query variants use this so two
+    /// engines with identical insert histories answer identically no
+    /// matter how differently they have been queried.
+    #[inline]
+    pub fn peek_cell_effective(&self, index: usize) -> u64 {
+        if self.group_due(self.group_of(index)) {
+            0
+        } else {
+            self.cells.get(index)
+        }
+    }
+
+    /// Fold a 64-bit **time-mark signature** over the groups the hashed
+    /// cells of `updates` touch. The signature changes whenever any
+    /// touched group's *observation context* changes: its
+    /// [`She::mark_epoch`] steps (a cleaning the answer predates becomes
+    /// possible) or its [`She::observe_mature`] bit flips (the query's
+    /// age-sensitive cell selection changes). Between those instants it is
+    /// stable no matter how many inserts land — the invalidation key of
+    /// the read path's `MarkCache`. A wrapping sum of per-group mixes, so
+    /// a group hashed twice still contributes. Pure.
+    pub fn mark_sig_of(&self, updates: &[CellUpdate]) -> u64 {
+        let mut sig = 0u64;
+        for u in updates {
+            let gid = u.group(self.cfg.group_cells);
+            let epoch = (self.mark_epoch(gid) << 1) | u64::from(self.observe_mature(gid));
+            sig = sig
+                .wrapping_add(she_hash::mix64(crate::convert::u64_of(gid).rotate_left(32) ^ epoch));
+        }
+        sig
+    }
+
     /// Age of the group owning `index` (cells share their group's age).
     #[inline]
     pub fn cell_age(&self, index: usize) -> u64 {
@@ -555,6 +627,94 @@ mod tests {
         s.advance_time(2 * s.config().t_cycle + 1);
         // Must not panic when clearing the short group.
         s.check_group(1);
+    }
+
+    #[test]
+    fn observe_mark_matches_current_mark_everywhere() {
+        let mut s = tiny(100, 0.5, 512, 64); // Tcycle = 150, G = 8
+        for step in 0..700u64 {
+            for gid in 0..s.num_groups() {
+                assert_eq!(s.observe_mark(gid), s.current_mark(gid), "gid {gid} at t {}", s.now());
+            }
+            s.advance_time(1 + step % 3);
+        }
+    }
+
+    #[test]
+    fn mark_epoch_increments_exactly_at_flips() {
+        let mut s = tiny(100, 0.5, 512, 64);
+        for gid in 0..s.num_groups() {
+            let mut prev_epoch = s.mark_epoch(gid);
+            let mut prev_mark = s.current_mark(gid);
+            for _ in 0..600 {
+                s.advance_time(1);
+                let e = s.mark_epoch(gid);
+                let m = s.current_mark(gid);
+                assert!(e == prev_epoch || e == prev_epoch + 1);
+                assert_eq!(e != prev_epoch, m != prev_mark, "epoch must step iff mark flips");
+                prev_epoch = e;
+                prev_mark = m;
+            }
+            s.clear();
+        }
+    }
+
+    #[test]
+    fn effective_cell_predicts_check_group() {
+        let mut s = tiny(100, 0.5, 512, 64);
+        s.insert(&7u64);
+        let mut ups = Vec::new();
+        s.updates_for(&7u64, &mut ups);
+        let idx = ups[0].index;
+        let gid = s.group_of(idx);
+        // Not yet due: effective = stored.
+        assert!(!s.group_due(gid));
+        assert_eq!(s.peek_cell_effective(idx), s.peek_cell(idx));
+        // One cycle later the group is due: effective reads zero while the
+        // stored bit is still set, and check_group then agrees.
+        s.advance_time(s.config().t_cycle);
+        assert!(s.group_due(gid));
+        assert_eq!(s.peek_cell_effective(idx), 0);
+        assert_eq!(s.peek_cell(idx), 1);
+        s.check_group(gid);
+        assert_eq!(s.peek_cell(idx), 0);
+        assert!(!s.group_due(gid));
+    }
+
+    #[test]
+    fn mark_sig_changes_iff_observation_context_changes() {
+        let mut s = tiny(100, 0.5, 512, 64);
+        let mut ups = Vec::new();
+        s.updates_for(&99u64, &mut ups);
+        let context = |s: &She<BloomSpec>| -> Vec<(u64, bool)> {
+            ups.iter()
+                .map(|u| {
+                    let gid = s.group_of(u.index);
+                    (s.mark_epoch(gid), s.observe_mature(gid))
+                })
+                .collect()
+        };
+        // Reading twice without advancing the clock is stable.
+        assert_eq!(s.mark_sig_of(&ups), s.mark_sig_of(&ups));
+        // Step the clock one unit at a time across a full cycle: the
+        // signature must change exactly when some touched group's
+        // (epoch, maturity) context changes — flips and maturity
+        // crossings — and hold steady otherwise.
+        let mut prev_ctx = context(&s);
+        let mut prev_sig = s.mark_sig_of(&ups);
+        let mut changes = 0;
+        for _ in 0..s.config().t_cycle {
+            s.advance_time(1);
+            let ctx = context(&s);
+            let sig = s.mark_sig_of(&ups);
+            assert_eq!(ctx != prev_ctx, sig != prev_sig, "sig must track context");
+            if sig != prev_sig {
+                changes += 1;
+            }
+            prev_ctx = ctx;
+            prev_sig = sig;
+        }
+        assert!(changes >= 2, "a full cycle crosses flips and maturity edges");
     }
 
     #[test]

@@ -70,6 +70,82 @@ impl std::fmt::Display for ServeCountersSnapshot {
     }
 }
 
+/// Read-path cache statistics: what the two-stage read acceleration
+/// (`she-readpath`) did with `QUERY_FAST` traffic. Hits answered from the
+/// mark cache; misses recomputed from the fast summary; invalidations are
+/// entries dropped because a group time-mark flipped since fill.
+#[derive(Debug, Default)]
+pub struct ReadpathCounters {
+    /// `QUERY_FAST` answers served straight from the mark cache.
+    pub hits: AtomicU64,
+    /// `QUERY_FAST` answers recomputed from the fast summary.
+    pub misses: AtomicU64,
+    /// Cache entries written (every miss refills its slot).
+    pub fills: AtomicU64,
+    /// Cache entries dropped because a relevant time-mark flipped.
+    pub invalidations: AtomicU64,
+}
+
+impl ReadpathCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump a counter by one (relaxed; these are statistics).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for reporting.
+    pub fn snapshot(&self) -> ReadpathCountersSnapshot {
+        ReadpathCountersSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fills: self.fills.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ReadpathCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadpathCountersSnapshot {
+    /// See [`ReadpathCounters::hits`].
+    pub hits: u64,
+    /// See [`ReadpathCounters::misses`].
+    pub misses: u64,
+    /// See [`ReadpathCounters::fills`].
+    pub fills: u64,
+    /// See [`ReadpathCounters::invalidations`].
+    pub invalidations: u64,
+}
+
+impl ReadpathCountersSnapshot {
+    /// Fraction of fast reads served from cache (0 when no reads yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for ReadpathCountersSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} fills={} invalidations={} hit_rate={:.3}",
+            self.hits,
+            self.misses,
+            self.fills,
+            self.invalidations,
+            self.hit_rate()
+        )
+    }
+}
+
 /// Injected-fault counts for a fault injector (`she-chaos`).
 #[derive(Debug, Default)]
 pub struct FaultCounters {
@@ -155,6 +231,18 @@ mod tests {
         assert_eq!(s.shed_reads, 2);
         assert_eq!(s.refused_conns, 0);
         assert!(s.to_string().contains("shed_reads=2"));
+    }
+
+    #[test]
+    fn readpath_hit_rate_and_display() {
+        let c = ReadpathCounters::new();
+        assert_eq!(c.snapshot().hit_rate(), 0.0);
+        c.hits.fetch_add(3, Ordering::Relaxed);
+        c.misses.fetch_add(1, Ordering::Relaxed);
+        ReadpathCounters::bump(&c.invalidations);
+        let s = c.snapshot();
+        assert_eq!(s.hit_rate(), 0.75);
+        assert!(s.to_string().contains("invalidations=1"));
     }
 
     #[test]

@@ -28,7 +28,10 @@ mod report;
 mod runners;
 
 pub use adapters::*;
-pub use counters::{FaultCounters, FaultCountersSnapshot, ServeCounters, ServeCountersSnapshot};
+pub use counters::{
+    FaultCounters, FaultCountersSnapshot, ReadpathCounters, ReadpathCountersSnapshot,
+    ServeCounters, ServeCountersSnapshot,
+};
 pub use latency::{LatencyHistogram, NetReport};
 pub use report::ResultTable;
 pub use runners::*;

@@ -1,0 +1,105 @@
+//! The fast summary: stage one of the read path.
+//!
+//! In the SF-sketch spirit (fast sketch synchronized from the slow
+//! authoritative one), a [`FastSummary`] bundles an [`Authority`] — a
+//! read-optimized mirror of the authoritative sketches, refreshed from the
+//! op stream and read **frozen** (never mutated by queries) — with a
+//! compact [`SlidingTopK`] ranking summary the authoritative tier does not
+//! maintain at all. Membership and frequency answers are bit-for-bit what
+//! the authoritative engines would answer on the same insert history (the
+//! frozen-read equivalence of `she-core`); top-k answers come from the
+//! summary's own scaled Count-Min ranking.
+
+use she_core::{SlidingTopK, SnapshotError};
+
+/// The read path's view of the mirrored authoritative state.
+///
+/// Implementors hold sketch state fed the *same per-shard key order* as
+/// the authoritative engines (op-log order guarantees this) and answer
+/// queries with the frozen-read variants, so answers match the
+/// authoritative tier bit-for-bit without mutating on reads.
+pub trait Authority: Send {
+    /// Apply one op-stream record: insert `keys` into stream `stream`
+    /// (0 = A, 1 = B), in order.
+    fn apply(&mut self, stream: u8, keys: &[u64]);
+
+    /// Frozen sliding-window membership of `key` in stream A.
+    fn member_frozen(&self, key: u64) -> bool;
+
+    /// Frozen sliding-window frequency of `key` in stream A.
+    fn frequency_frozen(&self, key: u64) -> u64;
+
+    /// Mark signature of the groups `key` hashes to under `op`'s sketch
+    /// (see [`she_core::She::mark_sig_of`]). Changes iff a time-mark one
+    /// of those groups depends on flips.
+    fn mark_sig(&self, op: u8, key: u64) -> u64;
+
+    /// Replace (`merge = false`) or cell-wise merge (`merge = true`) one
+    /// mirrored shard from a snapshot frame — the resync/anti-entropy
+    /// path. Implementors without snapshot support may no-op.
+    fn load(&mut self, shard: usize, frame: &[u8], merge: bool) -> Result<(), SnapshotError>;
+}
+
+/// Stage one of the read path: frozen mirror + compact top-k summary.
+pub struct FastSummary {
+    authority: Box<dyn Authority>,
+    topk: SlidingTopK,
+}
+
+impl std::fmt::Debug for FastSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastSummary").field("topk", &self.topk).finish_non_exhaustive()
+    }
+}
+
+impl FastSummary {
+    /// Wrap a mirror authority and a ranking summary. The `topk` summary
+    /// must be sized to the same window as the authority's sketches; the
+    /// caller builds both from one config.
+    pub fn new(authority: Box<dyn Authority>, topk: SlidingTopK) -> Self {
+        Self { authority, topk }
+    }
+
+    /// Apply one op-stream record to both stages. Stream B feeds only the
+    /// mirror (the ranking tracks stream A, like the frequency sketch).
+    pub fn apply(&mut self, stream: u8, keys: &[u64]) {
+        self.authority.apply(stream, keys);
+        if stream == 0 {
+            for &k in keys {
+                self.topk.insert(k);
+            }
+        }
+    }
+
+    /// Frozen membership answer.
+    #[inline]
+    pub fn member(&self, key: u64) -> bool {
+        self.authority.member_frozen(key)
+    }
+
+    /// Frozen frequency answer.
+    #[inline]
+    pub fn frequency(&self, key: u64) -> u64 {
+        self.authority.frequency_frozen(key)
+    }
+
+    /// Current mark signature for `(op, key)`.
+    #[inline]
+    pub fn mark_sig(&self, op: u8, key: u64) -> u64 {
+        self.authority.mark_sig(op, key)
+    }
+
+    /// The `n` heaviest in-window keys with their scaled frequency
+    /// estimates, heaviest first (capped at the summary's tracked `k`).
+    pub fn topk(&mut self, n: usize) -> Vec<(u64, u64)> {
+        let mut top = self.topk.top();
+        top.truncate(n);
+        top
+    }
+
+    /// Load one mirrored shard from a snapshot frame (see
+    /// [`Authority::load`]).
+    pub fn load(&mut self, shard: usize, frame: &[u8], merge: bool) -> Result<(), SnapshotError> {
+        self.authority.load(shard, frame, merge)
+    }
+}

@@ -43,8 +43,8 @@ use she_server::codec::{read_frame, write_frame};
 use she_server::protocol::{Request, Response, ShardStats};
 use she_server::repl::Record;
 use she_server::{
-    Backoff, Checkpoint, Client, ClusterDirectory, Injector, ReplicaStatus, Role, Server,
-    ServerConfig,
+    Backoff, Checkpoint, Client, ClusterDirectory, Injector, ReadPathConfig, ReplicaStatus, Role,
+    Server, ServerConfig,
 };
 use std::io;
 use std::net::TcpStream;
@@ -102,6 +102,11 @@ pub struct ReplicaConfig {
     /// servers, so the embedded server answers the v4
     /// `CLUSTER_JOIN`/`CLUSTER_MAP`/`CLUSTER_QUERY` ops too.
     pub cluster: Option<Arc<ClusterDirectory>>,
+    /// Enable the v5 `QUERY_FAST` read path on the embedded server. The
+    /// replica's injector feeds the mirror synchronously alongside the
+    /// shard queues, so fast reads track the applied position exactly;
+    /// after a promotion the refresher takes over from the local log.
+    pub readpath: Option<ReadPathConfig>,
 }
 
 impl Default for ReplicaConfig {
@@ -119,6 +124,7 @@ impl Default for ReplicaConfig {
             op_timeout_ms: 10_000,
             repl_log: 0,
             cluster: None,
+            readpath: None,
         }
     }
 }
@@ -185,6 +191,7 @@ impl Replica {
                 role: Role::Replica { primary: cfg.primary.clone(), status: Arc::clone(&status) },
                 repl_log: cfg.repl_log,
                 cluster: cfg.cluster.clone(),
+                readpath: cfg.readpath,
                 ..Default::default()
             },
             engines,

@@ -18,8 +18,13 @@ fn usage() -> ! {
         "usage: she-loadgen --addr HOST:PORT [--items N] [--batch N] [--queries N]\n\
          \x20                 [--open ITEMS_PER_SEC] [--universe N] [--skew F] [--seed N]\n\
          \x20                 [--sim-every N] [--connections N] [--read-from HOST:PORT]\n\
+         \x20                 [--read-ratio F] [--zipf F]\n\
          \x20                 [--verify --window N --shards N --mem BYTES --engine-seed N]\n\
          \n\
+         --read-ratio F interleaves v5 QUERY_FAST reads at F reads per\n\
+         (reads + items) — 0.95 is the canonical 95/5 read-heavy mix —\n\
+         with read keys drawn Zipf(--zipf) from the write universe;\n\
+         needs a server running with --readpath.\n\
          --read-from sends the interleaved queries to a second address (a\n\
          replica) while inserts go to --addr (the primary); --connections\n\
          fans the workload out over N sockets and merges their latency\n\
@@ -53,6 +58,8 @@ fn main() {
             "--sim-every" => cfg.sim_every = parse(args.next(), "--sim-every"),
             "--connections" => cfg.connections = parse(args.next(), "--connections"),
             "--read-from" => cfg.read_from = Some(parse(args.next(), "--read-from")),
+            "--read-ratio" => cfg.read_ratio = parse(args.next(), "--read-ratio"),
+            "--zipf" => cfg.read_skew = parse(args.next(), "--zipf"),
             "--verify" => verify = true,
             "--window" => engine.window = parse(args.next(), "--window"),
             "--shards" => engine.shards = parse(args.next(), "--shards"),

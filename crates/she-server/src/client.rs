@@ -255,6 +255,55 @@ impl Client {
         Ok(out)
     }
 
+    /// Accelerated point query (v5): answered inline on the reactor from
+    /// the read path's mark cache + fast summary, never queued or shed.
+    /// `op` is [`fast_op::MEMBER`](crate::fast_op::MEMBER) (→ `Bool`),
+    /// [`fast_op::FREQ`](crate::fast_op::FREQ) (→ `U64`), or
+    /// [`fast_op::TOPK`](crate::fast_op::TOPK) (→ `U64s`; `key` carries
+    /// the requested length). Servers without `--readpath` answer `ERR`.
+    pub fn query_fast(&mut self, op: u8, key: u64) -> io::Result<Response> {
+        match self.call(&Request::QueryFast { op, key })? {
+            r @ (Response::Bool(_) | Response::U64(_) | Response::U64s(_)) => Ok(r),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Fast membership (v5): [`Client::query_fast`] with the `MEMBER` op.
+    pub fn fast_member(&mut self, key: u64) -> io::Result<bool> {
+        match self.query_fast(crate::fast_op::MEMBER, key)? {
+            Response::Bool(v) => Ok(v),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Fast frequency (v5): [`Client::query_fast`] with the `FREQ` op.
+    pub fn fast_freq(&mut self, key: u64) -> io::Result<u64> {
+        match self.query_fast(crate::fast_op::FREQ, key)? {
+            Response::U64(v) => Ok(v),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Drop every cached fast answer (v5): subsequent fast reads refill
+    /// from the mirror at its applied position.
+    pub fn fast_flush(&mut self) -> io::Result<()> {
+        match self.query_fast(crate::fast_op::FLUSH, 0)? {
+            Response::Bool(true) => Ok(()),
+            other => Err(bad_reply(other)),
+        }
+    }
+
+    /// Fast top-k (v5): up to `n` `(key, frequency estimate)` pairs,
+    /// heaviest first.
+    pub fn fast_topk(&mut self, n: u64) -> io::Result<Vec<(u64, u64)>> {
+        match self.query_fast(crate::fast_op::TOPK, n)? {
+            Response::U64s(flat) => {
+                Ok(flat.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect())
+            }
+            other => Err(bad_reply(other)),
+        }
+    }
+
     /// Per-shard server counters.
     pub fn stats(&mut self) -> io::Result<Vec<ShardStats>> {
         match self.call(&Request::Stats)? {

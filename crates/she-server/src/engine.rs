@@ -168,6 +168,32 @@ impl ShardEngine {
         self.mh_a.similarity(&mut self.mh_b)
     }
 
+    /// Frozen membership: answers exactly what [`ShardEngine::member`]
+    /// would on this state, without mutating anything (no lazy clears, no
+    /// counter bump) — the read-path mirror's query primitive.
+    pub fn member_frozen(&self, key: u64) -> bool {
+        self.bf.contains_frozen(&key)
+    }
+
+    /// Frozen frequency: the non-mutating twin of
+    /// [`ShardEngine::frequency`].
+    pub fn frequency_frozen(&self, key: u64) -> u64 {
+        self.cm.query_frozen(&key)
+    }
+
+    /// Observation-context signature of the cells `key`'s answer depends
+    /// on (`freq` selects the Count-Min sketch, otherwise the Bloom
+    /// filter). The signature changes iff one of those cells' groups
+    /// flips its time mark or crosses maturity — the mark cache's
+    /// invalidation predicate.
+    pub fn mark_sig(&self, freq: bool, key: u64) -> u64 {
+        if freq {
+            self.cm.mark_sig(&key)
+        } else {
+            self.bf.mark_sig(&key)
+        }
+    }
+
     /// Serialize this shard: sizing config + counters + one nested frame
     /// per structure, wrapped in a `SHARD` frame.
     pub fn snapshot(&self) -> Vec<u8> {

@@ -31,6 +31,10 @@
 //! * [`cluster`] — the partition map, deterministic failover election,
 //!   and scatter-gather query merge (protocol v4; see
 //!   `docs/CLUSTER.md`);
+//! * `readpath` — the QUERY_FAST accelerator's server glue: a sharded
+//!   read-only mirror behind `she-readpath`'s fast summary + mark cache,
+//!   refreshed from the op-log tail (protocol v5; see
+//!   `docs/READPATH.md`);
 //! * [`store`] — generation-rotating checkpoint store with corrupt-file
 //!   quarantine and automatic fallback;
 //! * [`backoff`] — capped exponential backoff with jitter, shared by the
@@ -50,6 +54,7 @@ pub mod engine;
 pub mod loadgen;
 pub mod protocol;
 pub(crate) mod reactor;
+pub(crate) mod readpath;
 pub mod repl;
 pub mod server;
 pub mod snapshot;
@@ -65,9 +70,11 @@ pub use cluster::{cluster_op, ClusterDirectory, ClusterMap, NodeRef, PartitionMa
 pub use engine::{DirectEngine, EngineConfig, ShardEngine};
 pub use loadgen::{LoadSummary, LoadgenConfig, Mode};
 pub use protocol::{
-    ClusterStatusInfo, PeerStatus, ProtoError, Request, Response, ShardStats, PROTOCOL_VERSION,
+    ClusterStatusInfo, PeerStatus, ProtoError, ReadpathStatus, Request, Response, ShardStats,
+    PROTOCOL_VERSION,
 };
 pub use repl::{Bootstrap, Record, ReplLog};
 pub use server::{Injector, ReplicaStatus, Role, Server, ServerConfig};
+pub use she_readpath::{op as fast_op, FastAnswer, ReadPath, ReadPathConfig};
 pub use snapshot::Checkpoint;
 pub use store::{CheckpointStore, LoadOutcome};

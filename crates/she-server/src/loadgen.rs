@@ -19,11 +19,12 @@
 use crate::client::Client;
 use crate::cluster::{cluster_op, ClusterMap};
 use crate::engine::{DirectEngine, EngineConfig};
-use crate::protocol::{Response, MAX_BATCH};
+use crate::protocol::{ReadpathStatus, Response, MAX_BATCH};
 use she_core::convert::usize_of;
-use she_hash::mix64;
+use she_hash::{mix64, Xoshiro256};
 use she_metrics::{LatencyHistogram, NetReport};
-use she_streams::{CaidaLike, KeyStream};
+use she_readpath::op as fast_op;
+use she_streams::{CaidaLike, KeyStream, Zipf};
 use std::io;
 use std::time::{Duration, Instant};
 
@@ -91,6 +92,23 @@ pub struct LoadgenConfig {
     /// through injected resets. Requires a single connection and a server
     /// running with `--repl-log` (the head is the ledger).
     pub resync_addr: Option<String>,
+    /// Fraction of operations issued as v5 `QUERY_FAST` reads, by item
+    /// count: after each insert batch the run owes
+    /// `items * ratio / (1 - ratio)` fast reads, so `0.95` yields the
+    /// canonical 95/5 read-heavy mix. 0 disables the profile. Fast-read
+    /// keys come from a *separate* seeded Zipf([`read_skew`][s]) draw
+    /// over the same universe and key permutation as the writes, so the
+    /// whole profile is reproducible from `seed` alone. Incompatible
+    /// with `--verify` (fast answers are cache-served and only
+    /// *bounded*-stale mid-stream) and with cluster mode (`QUERY_FAST`
+    /// is single-server).
+    ///
+    /// [s]: LoadgenConfig::read_skew
+    pub read_ratio: f64,
+    /// Zipf exponent of the fast-read key distribution. Hot-key
+    /// repetition is what exercises the server's mark cache; higher skew
+    /// means higher hit rates.
+    pub read_skew: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -112,6 +130,8 @@ impl Default for LoadgenConfig {
             offset: 0,
             query_batch: 0,
             resync_addr: None,
+            read_ratio: 0.0,
+            read_skew: 1.1,
         }
     }
 }
@@ -123,6 +143,13 @@ pub struct LoadSummary {
     pub insert: NetReport,
     /// Query-side report (ops = items = queries).
     pub query: NetReport,
+    /// Fast-read report (ops = items = `QUERY_FAST`s; all zero unless
+    /// the run used `read_ratio`).
+    pub fast: NetReport,
+    /// Server-side mark-cache hit rate over this run's window, from
+    /// `CLUSTER_STATUS` counter deltas — `None` when the profile was off,
+    /// the server's read path is disabled, or no fast read was counted.
+    pub fast_hit_rate: Option<f64>,
     /// Queries whose answers were checked against the mirror.
     pub verified: u64,
     /// Checked answers that differed (must be 0 on a healthy run).
@@ -141,13 +168,21 @@ impl LoadSummary {
         println!("{}", NetReport::header());
         println!("{}", self.insert.line());
         println!("{}", self.query.line());
+        if self.fast.ops > 0 {
+            println!("{}", self.fast.line());
+        }
+        let hit_rate = match self.fast_hit_rate {
+            Some(r) => format!("  fast_hit_rate={r:.3}"),
+            None => String::new(),
+        };
         println!(
-            "wall={:.2}s  busy_retries={}  reconnects={}  verified={}  mismatches={}",
+            "wall={:.2}s  busy_retries={}  reconnects={}  verified={}  mismatches={}{}",
             self.wall.as_secs_f64(),
             self.busy_retries,
             self.reconnects,
             self.verified,
-            self.mismatches
+            self.mismatches,
+            hit_rate
         );
     }
 }
@@ -508,6 +543,22 @@ impl Sink {
         }
     }
 
+    /// One `QUERY_FAST` (v5), on the read connection when one is open.
+    /// The answer value is discarded — the read-heavy profile measures
+    /// latency and server-side cache behaviour, not correctness (that is
+    /// `she fastcheck`'s job, at quiescence where the bound is exact).
+    fn query_fast(&mut self, op: u8, key: u64) -> io::Result<()> {
+        match self {
+            Sink::Single { client, reads, faulted } => match reads.as_mut() {
+                Some(r) => r.query_fast(op, key).map(|_| ()),
+                None => read_retry(client, faulted, |c| c.query_fast(op, key)).map(|_| ()),
+            },
+            Sink::Cluster(_) => {
+                Err(io::Error::new(io::ErrorKind::InvalidInput, "QUERY_FAST is single-server"))
+            }
+        }
+    }
+
     fn busy_retries(&self) -> u64 {
         match self {
             Sink::Single { client, faulted, .. } => {
@@ -630,15 +681,61 @@ impl QuerySide {
     }
 }
 
+/// Read the server's read-path counters (v5), or `None` when the server
+/// is unreachable or serves without `--readpath`.
+fn poll_readpath(addr: &str) -> Option<ReadpathStatus> {
+    let mut c = Client::connect_timeout(addr, Duration::from_secs(5)).ok()?;
+    let info = c.cluster_status().ok()?;
+    info.readpath.enabled.then_some(info.readpath)
+}
+
 /// Drive the workload against `cfg.addr` (queries against
 /// `cfg.read_from` when set), fanning out over `cfg.connections`
 /// threads. Returns an error on transport failure; verification
 /// mismatches are *reported*, not fatal (callers check
 /// [`LoadSummary::mismatches`]).
 pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
-    if cfg.connections <= 1 {
-        return run_single(cfg);
+    if cfg.read_ratio != 0.0 {
+        if !(0.0..1.0).contains(&cfg.read_ratio) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--read-ratio must be in [0, 1)",
+            ));
+        }
+        if cfg.verify.is_some() {
+            // Mid-stream fast answers are cache-served under a staleness
+            // *bound*, not bit-for-bit; `she fastcheck` verifies them at
+            // quiescence instead.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--verify checks authoritative answers; it cannot run with --read-ratio",
+            ));
+        }
+        if cfg.cluster.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--read-ratio drives single-server QUERY_FAST, not a cluster",
+            ));
+        }
     }
+    // Hit rate is a server-side delta so it stays exact across fanned-out
+    // connections (each thread's own before/after windows would overlap).
+    let status_addr = cfg.read_from.as_deref().unwrap_or(&cfg.addr);
+    let before = if cfg.read_ratio > 0.0 { poll_readpath(status_addr) } else { None };
+    let mut summary = if cfg.connections <= 1 { run_single(cfg) } else { run_fanout(cfg) }?;
+    if let (Some(b), Some(a)) = (&before, before.as_ref().and_then(|_| poll_readpath(status_addr)))
+    {
+        let hits = a.hits.saturating_sub(b.hits);
+        let misses = a.misses.saturating_sub(b.misses);
+        if hits + misses > 0 {
+            summary.fast_hit_rate = Some(hits as f64 / (hits + misses) as f64);
+        }
+    }
+    Ok(summary)
+}
+
+/// The `connections > 1` path of [`run`]: per-thread workload slices.
+fn run_fanout(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
     if cfg.verify.is_some() {
         // Bit-for-bit verification needs one connection's FIFO order.
         return Err(io::Error::new(
@@ -683,6 +780,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
 
     let mut insert = NetReport::new("insert_batch", 0, 0, Duration::ZERO, LatencyHistogram::new());
     let mut query = NetReport::new("query", 0, 0, Duration::ZERO, LatencyHistogram::new());
+    let mut fast = NetReport::new("query_fast", 0, 0, Duration::ZERO, LatencyHistogram::new());
     let (mut verified, mut mismatches, mut busy, mut reconnects, mut wall) =
         (0, 0, 0, 0, Duration::ZERO);
     for h in handles {
@@ -693,6 +791,9 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
         query.ops += s.query.ops;
         query.items += s.query.items;
         query.latency.merge(&s.query.latency);
+        fast.ops += s.fast.ops;
+        fast.items += s.fast.items;
+        fast.latency.merge(&s.fast.latency);
         verified += s.verified;
         mismatches += s.mismatches;
         busy += s.busy_retries;
@@ -701,8 +802,19 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
     }
     insert.wall = wall;
     query.wall = wall;
+    fast.wall = wall;
     insert.retries = busy;
-    Ok(LoadSummary { insert, query, verified, mismatches, busy_retries: busy, reconnects, wall })
+    Ok(LoadSummary {
+        insert,
+        query,
+        fast,
+        fast_hit_rate: None,
+        verified,
+        mismatches,
+        busy_retries: busy,
+        reconnects,
+        wall,
+    })
 }
 
 /// One connection's worth of [`run`].
@@ -791,6 +903,14 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
     let mut insert_lat = LatencyHistogram::new();
     let mut queries =
         QuerySide { lat: LatencyHistogram::new(), sent: 0, verified: 0, mismatches: 0 };
+    // The read-heavy profile: a separate, identically seeded Zipf draw
+    // over the same universe + mix64 permutation the writes use, so the
+    // fast reads probe real (mostly hot) keys deterministically.
+    let read_zipf = (cfg.read_ratio > 0.0).then(|| Zipf::new(cfg.universe.max(2), cfg.read_skew));
+    let mut read_rng = Xoshiro256::new(cfg.seed ^ 0xFA57_4EAD_5EED);
+    let mut read_debt = 0.0f64;
+    let mut fast_lat = LatencyHistogram::new();
+    let mut fast_sent = 0u64;
     let mut sent_items = 0u64;
     let mut last_key = 0u64;
     let start = Instant::now();
@@ -828,6 +948,21 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
             }
         }
 
+        if let Some(z) = &read_zipf {
+            // Keep reads/(reads + items) at the ratio: each inserted item
+            // accrues ratio/(1-ratio) fast reads, fractional debt carried.
+            read_debt += take as f64 * cfg.read_ratio / (1.0 - cfg.read_ratio);
+            while read_debt >= 1.0 {
+                read_debt -= 1.0;
+                let key = mix64(z.sample(&mut read_rng) as u64);
+                let op = if fast_sent.is_multiple_of(2) { fast_op::MEMBER } else { fast_op::FREQ };
+                let t = Instant::now();
+                sink.query_fast(op, key)?;
+                fast_lat.record(t.elapsed());
+                fast_sent += 1;
+            }
+        }
+
         if b % stride == stride - 1 && queries.sent < cfg.queries {
             queries.issue_any(&mut sink, &mut mirror, last_key, cfg)?;
         }
@@ -845,6 +980,8 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
         insert: NetReport::new("insert_batch", n_batches, sent_items, wall, insert_lat)
             .with_retries(busy_retries),
         query: NetReport::new("query", queries.sent, queries.sent, wall, queries.lat),
+        fast: NetReport::new("query_fast", fast_sent, fast_sent, wall, fast_lat),
+        fast_hit_rate: None,
         verified: queries.verified,
         mismatches: queries.mismatches,
         busy_retries,

@@ -29,13 +29,21 @@
 //! round-trip, grouped per partition on the scatter path. As before,
 //! every earlier message is unchanged and older clients keep working
 //! unmodified.
+//!
+//! Protocol **v5** adds the accelerated read path (`QUERY_FAST`): point
+//! queries answered inline on the reactor from the `she-readpath` fast
+//! summary and mark cache, never queued to a shard worker. It also
+//! extends `CLUSTER_STATUS_REPLY` with per-shard queue depths and the
+//! read-path counters; the extension rides at the end of the payload, so
+//! v3/v4 decoders that stop at the peer list keep working and a v5
+//! decoder reading a v4 reply fills the tail with zeros.
 
 use crate::cluster::ClusterMap;
 use she_core::convert::{le_u64s, usize_of};
 use she_core::frame::{FrameError, Reader};
 
 /// The protocol version this build speaks (reported by `HELLO`).
-pub const PROTOCOL_VERSION: u16 = 4;
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Hard cap on a frame payload; anything larger is a protocol error on
 /// both ends (prevents a hostile length prefix from allocating memory).
@@ -56,6 +64,7 @@ pub mod opcode {
     pub const QUERY_FREQ: u8 = 0x12;
     pub const QUERY_SIM: u8 = 0x13;
     pub const QUERY_BATCH: u8 = 0x14;
+    pub const QUERY_FAST: u8 = 0x15;
     pub const STATS: u8 = 0x20;
     pub const SNAPSHOT: u8 = 0x21;
     pub const SNAPSHOT_ALL: u8 = 0x22;
@@ -114,6 +123,19 @@ pub enum Request {
         op: u8,
         /// The keys, answered in order.
         keys: Vec<u64>,
+    },
+    /// v5: accelerated point query, answered inline on the reactor from
+    /// the read path (fast summary + mark cache) without queuing to a
+    /// shard worker. `op` is a `she-readpath` op code (`MEMBER` → [`
+    /// Response::Bool`], `FREQ` → [`Response::U64`], `TOPK` →
+    /// [`Response::U64s`] as alternating key/estimate pairs, with `key`
+    /// carrying `n`). Servers without `--readpath` answer
+    /// [`Response::Err`].
+    QueryFast {
+        /// The read-path operation (`she_readpath::op::{MEMBER, FREQ, TOPK}`).
+        op: u8,
+        /// The key (or `n` for `TOPK`).
+        key: u64,
     },
     /// Server / per-shard counters.
     Stats,
@@ -264,6 +286,31 @@ pub struct ClusterStatusInfo {
     pub primary: String,
     /// Primary: currently subscribed replicas.
     pub peers: Vec<PeerStatus>,
+    /// v5: pending jobs per shard worker queue at reply time — lets an
+    /// operator tell overload (deep queues) from cache-miss storms
+    /// (read-path misses with idle queues) in one call. Empty when
+    /// talking to a pre-v5 server.
+    pub queue_depths: Vec<u64>,
+    /// v5: read-path cache state; disabled/zeroed without `--readpath`.
+    pub readpath: ReadpathStatus,
+}
+
+/// Read-path section of [`ClusterStatusInfo`] (all zeros when the read
+/// path is off or the server predates v5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadpathStatus {
+    /// Whether this node serves `QUERY_FAST`.
+    pub enabled: bool,
+    /// Cache hits (see `she_metrics::ReadpathCounters`).
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Cache fills.
+    pub fills: u64,
+    /// Mark-flip invalidations.
+    pub invalidations: u64,
+    /// Highest op-log sequence applied to the fast summary.
+    pub seq: u64,
 }
 
 /// Decoding failure for a frame payload.
@@ -357,6 +404,11 @@ impl Request {
                     b.extend_from_slice(&k.to_le_bytes());
                 }
             }
+            Request::QueryFast { op, key } => {
+                b.push(opcode::QUERY_FAST);
+                b.push(*op);
+                b.extend_from_slice(&key.to_le_bytes());
+            }
             Request::Stats => b.push(opcode::STATS),
             Request::Hello { version } => {
                 b.push(opcode::HELLO);
@@ -438,6 +490,7 @@ impl Request {
                 let keys = le_u64s(r.take(8 * n)?);
                 Request::QueryBatch { op, keys }
             }
+            opcode::QUERY_FAST => Request::QueryFast { op: r.u8()?, key: r.u64()? },
             opcode::STATS => Request::Stats,
             opcode::HELLO => Request::Hello { version: r.u16()? },
             opcode::SNAPSHOT => Request::Snapshot { shard: r.u32()? },
@@ -554,6 +607,17 @@ impl Response {
                     b.extend_from_slice(&len_u16(p.addr.len()).to_le_bytes());
                     b.extend_from_slice(p.addr.as_bytes());
                 }
+                // v5 tail: queue depths + read-path counters. Pre-v5
+                // decoders stop at the peer list and never see it.
+                b.extend_from_slice(&len_u32(info.queue_depths.len()).to_le_bytes());
+                for d in &info.queue_depths {
+                    b.extend_from_slice(&d.to_le_bytes());
+                }
+                let rp = &info.readpath;
+                b.push(u8::from(rp.enabled));
+                for v in [rp.hits, rp.misses, rp.fills, rp.invalidations, rp.seq] {
+                    b.extend_from_slice(&v.to_le_bytes());
+                }
             }
             Response::ClusterMapReply(map) => {
                 b.push(opcode::CLUSTER_MAP_REPLY);
@@ -643,6 +707,24 @@ impl Response {
                     let addr = String::from_utf8_lossy(r.take(alen)?).into_owned();
                     peers.push(PeerStatus { addr, acked });
                 }
+                // v5 tail (absent from pre-v5 servers: default to zeros).
+                let mut queue_depths = Vec::new();
+                let mut readpath = ReadpathStatus::default();
+                if r.remaining() > 0 {
+                    let d = usize_of(u64::from(r.u32()?));
+                    if d > MAX_FRAME / 8 {
+                        return Err(ProtoError::Oversize);
+                    }
+                    queue_depths = le_u64s(r.take(8 * d)?);
+                    readpath = ReadpathStatus {
+                        enabled: r.u8()? != 0,
+                        hits: r.u64()?,
+                        misses: r.u64()?,
+                        fills: r.u64()?,
+                        invalidations: r.u64()?,
+                        seq: r.u64()?,
+                    };
+                }
                 Response::ClusterStatus(ClusterStatusInfo {
                     is_primary,
                     connected,
@@ -651,6 +733,8 @@ impl Response {
                     boot_seq,
                     primary,
                     peers,
+                    queue_depths,
+                    readpath,
                 })
             }
             opcode::CLUSTER_MAP_REPLY => {

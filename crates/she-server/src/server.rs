@@ -43,14 +43,15 @@ use crate::cluster::{cluster_op, scatter_query, scatter_query_batch, ClusterDire
 use crate::codec::{read_frame, write_frame};
 use crate::engine::{EngineConfig, ShardEngine};
 use crate::protocol::{
-    ClusterStatusInfo, Request, Response, ShardStats, MAX_FRAME, PROTOCOL_VERSION,
+    ClusterStatusInfo, ReadpathStatus, Request, Response, ShardStats, MAX_FRAME, PROTOCOL_VERSION,
 };
 use crate::reactor::spawn_reactor;
 use crate::repl::{Bootstrap, ReplHub, ReplLog, Tail};
 use crate::snapshot::Checkpoint;
 use crate::sys::{waker_pair, Waker};
-use crate::worker::{run_worker, Answer, Job, QuerySink};
+use crate::worker::{run_worker, Answer, Job, QuerySink, ShardQueue};
 use she_metrics::ServeCounters;
+use she_readpath::{FastAnswer, ReadPath, ReadPathConfig};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -115,6 +116,10 @@ pub struct ServerConfig {
     /// cluster member: it answers `CLUSTER_JOIN` / `CLUSTER_MAP` from the
     /// directory and coordinates `CLUSTER_QUERY` scatter-gathers.
     pub cluster: Option<Arc<ClusterDirectory>>,
+    /// v5: `Some` enables the two-stage read path (fast mirror + mark
+    /// cache) behind `QUERY_FAST`. On a primary this requires
+    /// `repl_log > 0` — the mirror refreshes from the op-log tail.
+    pub readpath: Option<ReadPathConfig>,
 }
 
 impl Default for ServerConfig {
@@ -130,6 +135,7 @@ impl Default for ServerConfig {
             client_deadline_ms: 10_000,
             max_connections: 1024,
             cluster: None,
+            readpath: None,
         }
     }
 }
@@ -143,7 +149,7 @@ pub(crate) const CLUSTER_LEG_TIMEOUT: Duration = Duration::from_secs(10);
 /// the workers drain and exit.
 #[derive(Debug)]
 pub(crate) struct Shared {
-    pub(crate) txs: Vec<SyncSender<Job>>,
+    pub(crate) txs: Vec<ShardQueue>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) local_addr: SocketAddr,
     pub(crate) engine: EngineConfig,
@@ -158,6 +164,9 @@ pub(crate) struct Shared {
     pub(crate) conns: AtomicUsize,
     pub(crate) counters: Arc<ServeCounters>,
     pub(crate) cluster: Option<Arc<ClusterDirectory>>,
+    /// v5: the QUERY_FAST accelerator (fast mirror + mark cache), when
+    /// the server was started with a read-path config.
+    pub(crate) readpath: Option<Arc<ReadPath>>,
     /// Wakes the reactor out of `epoll_wait` (shutdown, completions).
     pub(crate) waker: Arc<Waker>,
     /// v4 failover: a replica-role server that won a partition election
@@ -177,15 +186,15 @@ pub(crate) enum ReadAnswer<T> {
 }
 
 /// Validate a batch-query op byte (only the per-key ops batch).
-pub(crate) fn batch_op_check(op: u8) -> Result<(), Response> {
+pub(crate) fn batch_op_check(op: u8) -> Result<(), Box<Response>> {
     if op == cluster_op::MEMBER || op == cluster_op::FREQ {
         Ok(())
     } else {
-        Err(Response::Err(format!(
+        Err(Box::new(Response::Err(format!(
             "batch query op {op} must be member ({}) or freq ({})",
             cluster_op::MEMBER,
             cluster_op::FREQ
-        )))
+        ))))
     }
 }
 
@@ -270,6 +279,30 @@ impl Shared {
                 ReadAnswer::Gone => shutting_down(),
             },
             Request::QueryBatch { op, keys } => self.query_batch(op, keys),
+            // Served inline (mutex + compute, never a shard queue): the
+            // reactor's catch-all routes it here without a completion.
+            Request::QueryFast { op, key } => match &self.readpath {
+                Some(rp) => match rp.query(op, key) {
+                    Some(FastAnswer::Bool(v)) => Response::Bool(v),
+                    Some(FastAnswer::Count(v)) => Response::U64(v),
+                    Some(FastAnswer::Ranked(pairs)) => {
+                        let mut flat = Vec::with_capacity(pairs.len() * 2);
+                        for (k, est) in pairs {
+                            flat.push(k);
+                            flat.push(est);
+                        }
+                        Response::U64s(flat)
+                    }
+                    None => Response::Err(format!(
+                        "unknown fast op {op} (member {}, freq {}, topk {}, flush {})",
+                        she_readpath::op::MEMBER,
+                        she_readpath::op::FREQ,
+                        she_readpath::op::TOPK,
+                        she_readpath::op::FLUSH
+                    )),
+                },
+                None => Response::Err("read path disabled (serve with --readpath)".to_string()),
+            },
             Request::Stats => match self.ask_all(|reply| Job::Stats { reply }) {
                 Some(parts) => Response::Stats(parts),
                 None => shutting_down(),
@@ -318,8 +351,18 @@ impl Shared {
                         self.txs.len()
                     ));
                 }
+                // Restores bypass the op log, so the read-path mirror
+                // must be fed the same frame directly or it diverges.
+                let mirror = self.readpath.as_ref().map(|rp| (Arc::clone(rp), data.clone()));
                 match self.ask(shard, |reply| Job::Restore { data, reply }) {
-                    Some(Ok(())) => Response::Ok { accepted: 0 },
+                    Some(Ok(())) => {
+                        if let Some((rp, frame)) = mirror {
+                            if rp.load(shard, &frame, false).is_err() {
+                                rp.invalidate_all();
+                            }
+                        }
+                        Response::Ok { accepted: 0 }
+                    }
                     Some(Err(msg)) => Response::Err(msg),
                     None => shutting_down(),
                 }
@@ -364,7 +407,7 @@ impl Shared {
     /// reactor runs the same split through its completion queue instead).
     pub(crate) fn query_batch(&self, op: u8, keys: Vec<u64>) -> Response {
         if let Err(resp) = batch_op_check(op) {
-            return resp;
+            return *resp;
         }
         if keys.is_empty() {
             return Response::U64s(Vec::new());
@@ -470,6 +513,32 @@ impl Shared {
         Response::Blob(blob)
     }
 
+    /// Live per-shard queue backlog, in shard order.
+    fn queue_depths(&self) -> Vec<u64> {
+        self.txs.iter().map(ShardQueue::depth).collect()
+    }
+
+    /// Read-path counters for `CLUSTER_STATUS`. On a following replica
+    /// the mirror is fed synchronously by the injector (its own log is
+    /// empty, so the refresher's watermark stays 0); `floor_seq` carries
+    /// the replica's applied position so the report stays truthful.
+    fn readpath_status(&self, floor_seq: u64) -> ReadpathStatus {
+        match &self.readpath {
+            Some(rp) => {
+                let s = rp.counters().snapshot();
+                ReadpathStatus {
+                    enabled: true,
+                    hits: s.hits,
+                    misses: s.misses,
+                    fills: s.fills,
+                    invalidations: s.invalidations,
+                    seq: rp.seq().max(floor_seq),
+                }
+            }
+            None => ReadpathStatus::default(),
+        }
+    }
+
     /// Role, log positions, and peers for `CLUSTER_STATUS`. A promoted
     /// replica reports like a primary (its feed is gone for good; what
     /// matters now is its own log head and subscribers).
@@ -483,6 +552,8 @@ impl Shared {
                 boot_seq: 0,
                 primary: String::new(),
                 peers: self.hub.status(),
+                queue_depths: self.queue_depths(),
+                readpath: self.readpath_status(0),
             };
         }
         match &self.role {
@@ -494,16 +565,23 @@ impl Shared {
                 boot_seq: 0,
                 primary: String::new(),
                 peers: self.hub.status(),
+                queue_depths: self.queue_depths(),
+                readpath: self.readpath_status(0),
             },
-            Role::Replica { primary, status } => ClusterStatusInfo {
-                is_primary: false,
-                connected: status.connected.load(Ordering::SeqCst),
-                head: status.applied.load(Ordering::SeqCst),
-                floor: 0,
-                boot_seq: status.boot_seq.load(Ordering::SeqCst),
-                primary: primary.clone(),
-                peers: Vec::new(),
-            },
+            Role::Replica { primary, status } => {
+                let applied = status.applied.load(Ordering::SeqCst);
+                ClusterStatusInfo {
+                    is_primary: false,
+                    connected: status.connected.load(Ordering::SeqCst),
+                    head: applied,
+                    floor: 0,
+                    boot_seq: status.boot_seq.load(Ordering::SeqCst),
+                    primary: primary.clone(),
+                    peers: Vec::new(),
+                    queue_depths: self.queue_depths(),
+                    readpath: self.readpath_status(applied),
+                }
+            }
         }
     }
 
@@ -617,6 +695,7 @@ pub struct Server {
     shared: Arc<Shared>,
     reactor: JoinHandle<()>,
     offload: Vec<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<ShardStats>>,
 }
 
@@ -631,19 +710,34 @@ impl Server {
     /// restore path: engines come from a [`Checkpoint`] instead of empty.
     pub fn start_with_engines(cfg: ServerConfig, engines: Vec<ShardEngine>) -> io::Result<Server> {
         assert_eq!(engines.len(), cfg.engine.shards, "engine count must match cfg.engine.shards");
+        if cfg.readpath.is_some() && cfg.repl_log == 0 && matches!(cfg.role, Role::Primary) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--readpath on a primary requires --repl-log N: the fast mirror refreshes \
+                 from the op-log tail",
+            ));
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        // Seed the read-path mirror from the engines *before* they move
+        // into the worker threads — a restored server's fast reads must
+        // start from the restored state, not empty.
+        let readpath = match cfg.readpath {
+            Some(rcfg) => Some(crate::readpath::build(&cfg.engine, rcfg, &engines)?),
+            None => None,
+        };
+
         let mut txs = Vec::with_capacity(cfg.engine.shards);
         let mut workers = Vec::with_capacity(cfg.engine.shards);
         for (shard, engine) in engines.into_iter().enumerate() {
-            let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
-            txs.push(tx);
+            let (queue, rx, depth) = ShardQueue::new(cfg.queue_capacity.max(1));
+            txs.push(queue);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("she-shard-{shard}"))
-                    .spawn(move || run_worker(engine, rx))?,
+                    .spawn(move || run_worker(engine, rx, depth))?,
             );
         }
 
@@ -669,12 +763,30 @@ impl Server {
             conns: AtomicUsize::new(0),
             counters: Arc::new(ServeCounters::new()),
             cluster: cfg.cluster,
+            readpath,
             waker: Arc::new(waker),
             promoted: AtomicBool::new(false),
         });
 
         let (reactor, offload) = spawn_reactor(listener, waker_rx, Arc::clone(&shared))?;
-        Ok(Server { shared, reactor, offload, workers })
+
+        // The refresher tails the op log into the fast mirror. On a
+        // replica the local log stays empty while following (the
+        // injector feeds the mirror instead), so the thread idles until
+        // a promotion starts filling the log — then it takes over.
+        let refresher = match &shared.readpath {
+            Some(rp) if shared.log.is_some() => {
+                let shared = Arc::clone(&shared);
+                let rp = Arc::clone(rp);
+                Some(
+                    std::thread::Builder::new()
+                        .name("she-readpath-refresh".to_string())
+                        .spawn(move || crate::readpath::run_refresher(&shared, &rp))?,
+                )
+            }
+            _ => None,
+        };
+        Ok(Server { shared, reactor, offload, refresher, workers })
     }
 
     /// The bound address (resolves port 0).
@@ -687,7 +799,17 @@ impl Server {
     /// keeps the shard workers alive: drop it before expecting
     /// [`Server::wait`] to finish draining.
     pub fn injector(&self) -> Injector {
-        Injector { txs: self.shared.txs.clone(), cfg: self.shared.engine }
+        Injector {
+            txs: self.shared.txs.clone(),
+            cfg: self.shared.engine,
+            readpath: self.shared.readpath.clone(),
+        }
+    }
+
+    /// The QUERY_FAST accelerator, when enabled — how embedding runtimes
+    /// and tests reach its counters and applied-sequence watermark.
+    pub fn readpath(&self) -> Option<Arc<ReadPath>> {
+        self.shared.readpath.clone()
     }
 
     /// Whether shutdown has been requested (poll-friendly; does not block
@@ -733,6 +855,12 @@ impl Server {
         // which lets the offload threads drain and exit.
         let _ = self.reactor.join();
         for h in self.offload {
+            let _ = h.join();
+        }
+        // The refresher exits on the shutdown flag within one poll; it
+        // must be joined before the Shared drop below, because it holds
+        // its own Arc<Shared> (and with it, queue senders).
+        if let Some(h) = self.refresher {
             let _ = h.join();
         }
         // Last queue senders die with this Arc; workers then drain.
@@ -852,8 +980,13 @@ fn serve_subscription<R: Read>(
 /// the per-shard apply order is identical to the primary's.
 #[derive(Debug)]
 pub struct Injector {
-    txs: Vec<SyncSender<Job>>,
+    txs: Vec<ShardQueue>,
     cfg: EngineConfig,
+    /// The server's read path, fed in lockstep with the shard queues so
+    /// a replica's fast mirror tracks its authoritative engines (the
+    /// replica's own op log stays empty while it follows, so the
+    /// refresher can't do it).
+    readpath: Option<Arc<ReadPath>>,
 }
 
 impl Injector {
@@ -869,18 +1002,33 @@ impl Injector {
                 .send(Job::Batch { stream, keys: ks })
                 .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
         }
+        if let Some(rp) = &self.readpath {
+            rp.apply(stream, keys);
+        }
         Ok(())
     }
 
     /// Replace one shard's state with a snapshot frame (bootstrap path).
     pub fn restore(&self, shard: usize, frame: &[u8]) -> io::Result<()> {
-        self.shard_op(shard, |reply| Job::Restore { data: frame.to_vec(), reply })
+        self.shard_op(shard, |reply| Job::Restore { data: frame.to_vec(), reply })?;
+        if let Some(rp) = &self.readpath {
+            if rp.load(shard, frame, false).is_err() {
+                rp.invalidate_all();
+            }
+        }
+        Ok(())
     }
 
     /// Fold a same-placement shard snapshot into the current state
     /// (anti-entropy path; idempotent).
     pub fn merge(&self, shard: usize, frame: &[u8]) -> io::Result<()> {
-        self.shard_op(shard, |reply| Job::Merge { data: frame.to_vec(), reply })
+        self.shard_op(shard, |reply| Job::Merge { data: frame.to_vec(), reply })?;
+        if let Some(rp) = &self.readpath {
+            if rp.load(shard, frame, true).is_err() {
+                rp.invalidate_all();
+            }
+        }
+        Ok(())
     }
 
     fn shard_op(

@@ -16,7 +16,8 @@ use crate::cluster::cluster_op;
 use crate::engine::ShardEngine;
 use crate::protocol::{Response, ShardStats};
 use crate::sys::Waker;
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SendError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 
 /// How many queued jobs one worker wakeup drains before checking the
@@ -129,6 +130,56 @@ pub enum Job {
     Merge { data: Vec<u8>, reply: SyncSender<Result<(), String>> },
 }
 
+/// A shard's bounded job queue plus a live depth gauge: every send bumps
+/// the gauge before the job is enqueued and the worker decrements it as
+/// jobs are dequeued, so `CLUSTER_STATUS` can report per-shard backlog
+/// without touching the queues themselves.
+#[derive(Debug, Clone)]
+pub struct ShardQueue {
+    tx: SyncSender<Job>,
+    depth: Arc<AtomicU64>,
+}
+
+impl ShardQueue {
+    /// Build a bounded queue of `capacity` jobs; returns the sending
+    /// half, the worker's receiver, and the worker's decrement handle.
+    pub fn new(capacity: usize) -> (ShardQueue, Receiver<Job>, Arc<AtomicU64>) {
+        let (tx, rx) = sync_channel(capacity);
+        let depth = Arc::new(AtomicU64::new(0));
+        (ShardQueue { tx, depth: Arc::clone(&depth) }, rx, depth)
+    }
+
+    /// Blocking send. The job counts toward the depth from just before
+    /// enqueue until the worker dequeues it.
+    pub fn send(&self, job: Job) -> Result<(), SendError<Job>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.send(job) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Non-blocking send (the admission-control / read-shed path).
+    pub fn try_send(&self, job: Job) -> Result<(), TrySendError<Job>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Jobs currently enqueued (or mid-rendezvous) for this shard.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
 fn apply(engine: &mut ShardEngine, job: Job) {
     match job {
         Job::Batch { stream, keys } => {
@@ -170,13 +221,18 @@ fn apply(engine: &mut ShardEngine, job: Job) {
 /// Drain `rx` until every sender is gone; returns the shard's final
 /// counters. Each blocking `recv` is followed by a `try_recv` drain of up
 /// to [`DRAIN_BATCH`]` - 1` more jobs, so a deep queue is consumed in
-/// batches per wakeup rather than one rendezvous per job.
-pub fn run_worker(mut engine: ShardEngine, rx: Receiver<Job>) -> ShardStats {
+/// batches per wakeup rather than one rendezvous per job. `depth` is the
+/// paired [`ShardQueue`]'s gauge, decremented once per dequeued job.
+pub fn run_worker(mut engine: ShardEngine, rx: Receiver<Job>, depth: Arc<AtomicU64>) -> ShardStats {
     'serve: while let Ok(first) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
         apply(&mut engine, first);
         for _ in 1..DRAIN_BATCH {
             match rx.try_recv() {
-                Ok(job) => apply(&mut engine, job),
+                Ok(job) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    apply(&mut engine, job);
+                }
                 Err(_) => continue 'serve,
             }
         }

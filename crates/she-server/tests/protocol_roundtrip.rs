@@ -5,7 +5,8 @@
 
 use she_server::codec::{read_frame, write_frame};
 use she_server::protocol::{
-    ClusterStatusInfo, PeerStatus, ProtoError, Request, Response, ShardStats, MAX_BATCH,
+    ClusterStatusInfo, PeerStatus, ProtoError, ReadpathStatus, Request, Response, ShardStats,
+    MAX_BATCH,
 };
 use std::io::Cursor;
 
@@ -19,6 +20,8 @@ fn all_requests() -> Vec<Request> {
         Request::QueryCard,
         Request::QueryFreq { key: 42 },
         Request::QuerySim,
+        Request::QueryFast { op: 0, key: 7 },
+        Request::QueryFast { op: 4, key: u64::MAX },
         Request::Stats,
         Request::Hello { version: 2 },
         Request::Snapshot { shard: 0 },
@@ -78,6 +81,15 @@ fn all_responses() -> Vec<Response> {
                 PeerStatus { addr: "10.0.0.2:4321".to_string(), acked: 998 },
                 PeerStatus { addr: "10.0.0.3:4321".to_string(), acked: 1_000 },
             ],
+            queue_depths: vec![0, 3, 17, u64::MAX],
+            readpath: ReadpathStatus {
+                enabled: true,
+                hits: 9_000,
+                misses: 41,
+                fills: 41,
+                invalidations: 5,
+                seq: 1_000,
+            },
         }),
         Response::ClusterStatus(ClusterStatusInfo {
             is_primary: false,
@@ -87,6 +99,8 @@ fn all_responses() -> Vec<Response> {
             boot_seq: 5,
             primary: "10.0.0.1:7070".to_string(),
             peers: vec![],
+            queue_depths: vec![],
+            readpath: ReadpathStatus::default(),
         }),
     ]
 }
@@ -168,6 +182,15 @@ fn every_truncated_response_is_rejected() {
                 // addresses are ASCII.)
                 continue;
             }
+            if let Response::ClusterStatus(info) = &resp {
+                // The v5 tail (depth count + depths + enabled flag + five
+                // counters) is optional by design — a cut at exactly the
+                // v4 boundary is a valid pre-v5 status, not an error.
+                let tail = 4 + 8 * info.queue_depths.len() + 1 + 40;
+                if cut == enc.len() - tail {
+                    continue;
+                }
+            }
             let r = Response::decode(&enc[..cut]);
             assert!(r.is_err(), "{resp:?} truncated to {cut} bytes decoded as {r:?}");
         }
@@ -192,7 +215,7 @@ fn trailing_bytes_are_rejected() {
 
 #[test]
 fn unknown_opcodes_are_rejected() {
-    for op in [0x00u8, 0x03, 0x15, 0x7F, 0xFF] {
+    for op in [0x00u8, 0x03, 0x16, 0x7F, 0xFF] {
         assert_eq!(Request::decode(&[op]), Err(ProtoError::BadOpcode(op)));
     }
     assert_eq!(Response::decode(&[0x00]), Err(ProtoError::BadOpcode(0x00)));

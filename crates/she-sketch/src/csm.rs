@@ -26,6 +26,17 @@ pub struct CellUpdate {
     pub operand: u64,
 }
 
+impl CellUpdate {
+    /// The time-mark group owning this cell when the array is split into
+    /// groups of `group_cells` cells — the unit whose mark a sliding
+    /// engine observes. Exposed at the CSM layer so read paths can map
+    /// hashed locations to groups without reaching into engine state.
+    #[inline]
+    pub fn group(&self, group_cells: usize) -> usize {
+        self.index / group_cells.max(1)
+    }
+}
+
 /// A fixed-window algorithm expressed as the paper's `<C, K, F>` triple.
 pub trait CsmSpec {
     /// Human-readable algorithm name (used by the experiment harness).

@@ -401,4 +401,57 @@ if kill -0 "$E_PID" 2>/dev/null; then
 fi
 E_PID=
 
+echo "== read-path smoke test (docs/READPATH.md)"
+# Serve with the mark-cached read mirror on, drive the canonical 95/5
+# zipfian read-heavy profile (hit rate measured server-side, must be
+# non-zero), then `she fastcheck` verifies the staleness bound at
+# quiescence: every fast answer bit-for-bit vs the authoritative path,
+# second asks all cache hits.
+FADDR=127.0.0.1:7502
+F_PID=
+cleanup5() { [ -n "$F_PID" ] && kill "$F_PID" 2>/dev/null || true; }
+trap cleanup5 EXIT INT TERM
+
+"$BIN" serve --addr "$FADDR" --shards 4 --window 64k --memory 64k \
+    --repl-log 8192 --readpath yes >/dev/null &
+F_PID=$!
+wait_status "$FADDR"
+
+OUT=$("$BIN" loadgen --addr "$FADDR" --items 20000 --batch 256 --queries 0 \
+    --universe 5000 --seed 7 --read-ratio 0.95 --zipf 1.1) || {
+    echo "read-heavy loadgen failed:"; echo "$OUT"; exit 1
+}
+RATE=$(echo "$OUT" | sed -n 's/.*fast_hit_rate=\([0-9.]*\).*/\1/p')
+[ -n "$RATE" ] || { echo "loadgen reported no fast_hit_rate:"; echo "$OUT"; exit 1; }
+case "$RATE" in
+    0 | 0.000) echo "read path never hit (rate $RATE)"; exit 1 ;;
+esac
+echo "read-heavy 95/5 profile: cache hit rate $RATE"
+
+"$BIN" fastcheck --addr "$FADDR" --keys 256 --universe 5000 --skew 1.1 --seed 7 || {
+    echo "fastcheck found a staleness-bound violation"
+    exit 1
+}
+
+"$BIN" shutdown --addr "$FADDR" >/dev/null
+wait "$F_PID" || true
+if kill -0 "$F_PID" 2>/dev/null; then
+    echo "LEAKED PROCESS: read-path smoke server pid $F_PID survived"
+    kill -9 "$F_PID" 2>/dev/null || true
+    exit 1
+fi
+F_PID=
+
+echo "== bench ratchet (bench-ratchet.toml)"
+# A committed BENCH_<date>.json records the numbers; the ratchet gates a
+# fresh measurement against deliberately loose structural floors.
+ls BENCH_*.json >/dev/null 2>&1 || {
+    echo "no committed BENCH_<date>.json snapshot at the repo root"
+    exit 1
+}
+target/release/bench_snapshot --check bench-ratchet.toml || {
+    echo "bench ratchet breached — a structural perf regression"
+    exit 1
+}
+
 echo "check.sh: all green"
