@@ -173,16 +173,16 @@ fn undocumented_opcode_fails_the_gate() {
 
 #[test]
 fn version_bump_without_doc_section_fails_the_gate() {
-    // Negotiating v6 without a `## Protocol v6` section is drift: the
+    // Negotiating v7 without a `## Protocol v7` section is drift: the
     // doc is the normative spec for every negotiated revision.
     let failures = protocol_audit("verbump", |rs, md| {
         assert!(rs.contains("pub const PROTOCOL_VERSION: u16 = "), "fixture drifted");
         let bumped = rs.replacen(
-            "pub const PROTOCOL_VERSION: u16 = 5;",
             "pub const PROTOCOL_VERSION: u16 = 6;",
+            "pub const PROTOCOL_VERSION: u16 = 7;",
             1,
         );
-        assert_ne!(bumped, rs, "version constant moved off 5; update this fixture");
+        assert_ne!(bumped, rs, "version constant moved off 6; update this fixture");
         (bumped, md)
     });
     assert!(

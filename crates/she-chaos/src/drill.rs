@@ -1,20 +1,30 @@
-//! The kill-primary failover drill: a partitioned cluster under a seeded
-//! workload loses one primary outright, the surviving nodes must elect
-//! and converge on a new map within the failover budget, and a
-//! scatter-gather battery through a surviving coordinator must stay
-//! bit-for-bit identical to a single in-process mirror of the full
-//! stream.
+//! The kill-primary failover drill: a quorum-replicated cluster under a
+//! seeded workload loses primaries outright — by default the partition-0
+//! primary and then the node just promoted in its place — while every
+//! `CLUSTER_JOIN` gossip exchange is routed through a fault proxy
+//! (partial reads, delays, mid-frame resets, duplicated deliveries). The
+//! surviving nodes must elect and converge on a new map within the
+//! failover budget after every kill, acknowledged writes must continue
+//! from the correct offset, and a scatter-gather battery through a
+//! surviving coordinator must stay bit-for-bit identical to a single
+//! in-process mirror of the full stream.
 //!
 //! The drill is the cluster-layer counterpart of [`crate::soak`]: the
-//! soak fires faults at one replication link, the drill removes a whole
-//! node and checks the *membership* machinery — deterministic election
-//! (lowest-id live replica holder), gossip convergence, and query
-//! re-routing — end to end against real servers.
+//! soak fires faults at one replication link, the drill removes whole
+//! nodes and checks the *membership* machinery — deterministic election
+//! over the full holder set (lowest-id live holder), replica top-up back
+//! toward the replication factor, gossip convergence through a hostile
+//! network, and query re-routing — end to end against real servers.
 
+use crate::fault::FaultConfig;
+use crate::proxy::ChaosProxy;
 use she_cluster::{ClusterNode, NodeConfig};
 use she_hash::{mix64, RandomSource, Xoshiro256};
 use she_server::protocol::Response;
-use she_server::{cluster_op, Client, ClusterMap, DirectEngine, EngineConfig, NodeRef};
+use she_server::{
+    cluster_op, Client, ClusterMap, DirectEngine, EngineConfig, NodeRef, PartitionMap,
+};
+use std::collections::BTreeMap;
 use std::net::TcpListener;
 use std::time::{Duration, Instant};
 
@@ -22,12 +32,14 @@ use std::time::{Duration, Instant};
 /// check.sh configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterDrillConfig {
-    /// Master seed for the workload and probe set.
+    /// Master seed for the workload, the probe set, and the gossip fault
+    /// schedules.
     pub seed: u64,
     /// Cluster size (one partition per node; ≥ 3 so a kill leaves a
     /// functioning majority of untouched partitions).
     pub nodes: usize,
-    /// Keys inserted before the kill.
+    /// Keys inserted before the first kill; each later round inserts a
+    /// quarter more.
     pub keys: usize,
     /// Cluster-wide window, in items.
     pub window: u64,
@@ -35,6 +47,16 @@ pub struct ClusterDrillConfig {
     pub memory_bytes: usize,
     /// Heartbeat timeout after which a silent peer is declared dead.
     pub heartbeat_timeout_ms: u64,
+    /// Replication factor: holders per partition, primary included.
+    pub replication: u16,
+    /// Primaries to kill, one per round: each round kills partition 0's
+    /// *current* primary, so round two takes out the freshly promoted
+    /// node. Must leave at least one survivor.
+    pub kills: usize,
+    /// Route every gossip exchange through a [`ChaosProxy`] drawing from
+    /// [`FaultConfig::gossip`] (drops, delays, mid-frame resets,
+    /// duplicated deliveries).
+    pub gossip_faults: bool,
 }
 
 impl Default for ClusterDrillConfig {
@@ -46,6 +68,9 @@ impl Default for ClusterDrillConfig {
             window: 6 * 1024,
             memory_bytes: 12 * 1024,
             heartbeat_timeout_ms: 800,
+            replication: 2,
+            kills: 2,
+            gossip_faults: true,
         }
     }
 }
@@ -56,15 +81,19 @@ impl Default for ClusterDrillConfig {
 pub struct ClusterDrillReport {
     /// Cluster size at start.
     pub nodes: usize,
-    /// Keys inserted (cluster and mirror alike).
+    /// Replication factor the cluster ran at.
+    pub replication: u16,
+    /// Keys inserted (cluster and mirror alike), all rounds.
     pub inserted: u64,
-    /// Node id of the killed primary.
-    pub killed: u64,
-    /// Node id promoted to own the orphaned partition.
-    pub promoted: u64,
-    /// Wall-clock from kill to every survivor serving the new map.
-    pub failover_ms: u64,
-    /// Battery answers compared bit-for-bit after failover.
+    /// Node ids killed, in order.
+    pub killed: Vec<u64>,
+    /// Partition 0's primary after each kill.
+    pub promoted: Vec<u64>,
+    /// Wall-clock from each kill to every survivor serving the new map.
+    pub failover_ms: Vec<u64>,
+    /// Faults the gossip proxies injected (0 when faults were off).
+    pub gossip_faults: u64,
+    /// Battery answers compared bit-for-bit after the last failover.
     pub battery: usize,
 }
 
@@ -72,9 +101,15 @@ impl std::fmt::Display for ClusterDrillReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "cluster drill: {} nodes, {} keys, killed primary {} — node {} promoted in {}ms",
-            self.nodes, self.inserted, self.killed, self.promoted, self.failover_ms
+            "cluster drill: {} nodes at RF={}, {} keys, killed {:?} — promoted {:?} in {:?}ms",
+            self.nodes,
+            self.replication,
+            self.inserted,
+            self.killed,
+            self.promoted,
+            self.failover_ms
         )?;
+        writeln!(f, "  gossip faults injected: {}", self.gossip_faults)?;
         write!(f, "  post-failover scatter-gather: {} answers, bit-for-bit vs mirror", self.battery)
     }
 }
@@ -110,11 +145,74 @@ fn connect_v4(addr: &str) -> Result<Client, String> {
     Ok(c)
 }
 
+/// Block until every replica the map lists for this partition has acked
+/// the primary's log head. Replicas subscribe with their node id, so the
+/// primary's peer list carries `id@addr` labels we can match holders
+/// against. A kill before the holders drain would be testing data loss,
+/// not failover.
+fn drain_partition(part: &PartitionMap, deadline: Instant) -> Result<(), String> {
+    loop {
+        let info = connect_v4(&part.primary.addr)?
+            .cluster_status()
+            .map_err(ctx("partition cluster status"))?;
+        let caught = |id: u64| {
+            let tag = format!("{id}@");
+            info.peers.iter().any(|p| p.addr.starts_with(&tag) && p.acked >= info.head)
+        };
+        if info.head == 0 || part.replicas.iter().all(|r| caught(r.node_id)) {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "partition of primary {} never drained (head {}, peers {:?}, want {:?})",
+                part.primary.node_id,
+                info.head,
+                info.peers,
+                part.replicas.iter().map(|r| r.node_id).collect::<Vec<_>>()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Route one batch of keys into the cluster the way a map-aware writer
+/// would, mirroring every key into the in-process engine first.
+fn insert_routed(
+    map: &ClusterMap,
+    mirror: &mut DirectEngine,
+    stream: u8,
+    keys: &[u64],
+) -> Result<u64, String> {
+    for &k in keys {
+        mirror.insert(stream, k);
+    }
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); map.partitions.len()];
+    for &k in keys {
+        // audit:allow(growth): one entry per workload key
+        buckets[map.partition_of(k)].push(k);
+    }
+    let mut inserted = 0u64;
+    for (p, bucket) in buckets.iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        let mut c = connect_v4(&map.partitions[p].primary.addr)?;
+        inserted += c.insert_batch(stream, bucket).map_err(ctx("insert on partition"))?;
+    }
+    Ok(inserted)
+}
+
 /// Run the drill; `Err` carries the first failed check (the caller
 /// prints the seed for replay).
 pub fn run(cfg: &ClusterDrillConfig) -> Result<ClusterDrillReport, String> {
     if cfg.nodes < 3 {
         return Err("cluster drill needs at least 3 nodes".to_string());
+    }
+    if cfg.kills >= cfg.nodes {
+        return Err(format!(
+            "cluster drill needs a survivor: kills {} must stay below nodes {}",
+            cfg.kills, cfg.nodes
+        ));
     }
     let addrs = reserve_addrs(cfg.nodes)?;
     let roster: Vec<NodeRef> = addrs
@@ -126,9 +224,26 @@ pub fn run(cfg: &ClusterDrillConfig) -> Result<ClusterDrillReport, String> {
         })
         .collect();
 
-    let mut nodes: Vec<ClusterNode> = Vec::with_capacity(cfg.nodes);
+    // Every CLUSTER_JOIN dial goes through a per-peer fault proxy; the
+    // data plane (inserts, queries, replication, anti-entropy) keeps the
+    // real addresses — the drill attacks membership, not payloads.
+    let mut proxies: Vec<ChaosProxy> = Vec::with_capacity(cfg.nodes);
+    let mut gossip_via: BTreeMap<u64, String> = BTreeMap::new();
+    if cfg.gossip_faults {
+        for r in &roster {
+            let proxy =
+                ChaosProxy::start(r.addr.clone(), FaultConfig::gossip(cfg.seed ^ mix64(r.node_id)))
+                    .map_err(ctx("start gossip proxy"))?;
+            gossip_via.insert(r.node_id, proxy.local_addr().to_string());
+            // audit:allow(growth): one proxy per node
+            proxies.push(proxy);
+        }
+    }
+
+    let mut nodes: Vec<(u64, ClusterNode)> = Vec::with_capacity(cfg.nodes);
     for r in &roster {
-        nodes.push(
+        nodes.push((
+            r.node_id,
             ClusterNode::start(NodeConfig {
                 node_id: r.node_id,
                 roster: roster.clone(),
@@ -137,12 +252,15 @@ pub fn run(cfg: &ClusterDrillConfig) -> Result<ClusterDrillReport, String> {
                 seed: 7,
                 gossip_ms: 50,
                 heartbeat_timeout_ms: cfg.heartbeat_timeout_ms,
+                replication: cfg.replication,
+                anti_entropy_ms: 500,
+                gossip_via: gossip_via.clone(),
                 ..Default::default()
             })
             .map_err(ctx("start cluster node"))?,
-        );
+        ));
     }
-    let map = nodes[0].directory().get();
+    let map = nodes[0].1.directory().get();
 
     // ---- seeded workload, routed like a cluster-aware writer ----------
     let mut mirror = DirectEngine::new(EngineConfig {
@@ -156,81 +274,73 @@ pub fn run(cfg: &ClusterDrillConfig) -> Result<ClusterDrillReport, String> {
     for stream in [0u8, 1u8] {
         let count = if stream == 0 { cfg.keys } else { cfg.keys / 4 };
         let keys: Vec<u64> = (0..count).map(|_| rng.next_range(0, 4_096)).collect();
-        for &k in &keys {
-            mirror.insert(stream, k);
-        }
-        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); cfg.nodes];
-        for &k in &keys {
-            // audit:allow(growth): one entry per workload key
-            buckets[map.partition_of(k)].push(k);
-        }
-        for (p, bucket) in buckets.iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let mut c = connect_v4(&map.partitions[p].primary.addr)?;
-            inserted += c.insert_batch(stream, bucket).map_err(ctx("insert on partition"))?;
-        }
+        inserted += insert_routed(&map, &mut mirror, stream, &keys)?;
     }
 
-    // ---- drain every partition's replica before the kill --------------
-    // The primary knows its subscriber's acked sequence; a kill before
-    // the tail drains would be testing data loss, not failover.
+    // ---- drain every partition's holders before the first kill --------
     let drain_by = Instant::now() + DRILL_TIMEOUT;
     for part in &map.partitions {
-        loop {
-            let info = connect_v4(&part.primary.addr)?
-                .cluster_status()
-                .map_err(ctx("partition cluster status"))?;
-            if info.head == 0 || info.peers.iter().any(|p| p.acked >= info.head) {
-                break;
+        drain_partition(part, drain_by)?;
+    }
+
+    // ---- kill rounds: partition 0's current primary, each time --------
+    let mut killed: Vec<u64> = Vec::with_capacity(cfg.kills);
+    let mut promoted: Vec<u64> = Vec::with_capacity(cfg.kills);
+    let mut failover_ms: Vec<u64> = Vec::with_capacity(cfg.kills);
+    let mut cur = map;
+    for _round in 0..cfg.kills {
+        let victim_id = cur.partitions[0].primary.node_id;
+        let at = nodes
+            .iter()
+            .position(|(id, _)| *id == victim_id)
+            .ok_or_else(|| format!("node {victim_id} not found in the started set"))?;
+        let (_, victim) = nodes.remove(at);
+        let killed_at = Instant::now();
+        victim.shutdown();
+        victim.wait();
+        // audit:allow(growth): one entry per kill round
+        killed.push(victim_id);
+
+        // Every survivor must converge on one map in which every
+        // partition — not just partition 0; the victim may have held or
+        // served others — is led by a live node.
+        let deadline = killed_at + DRILL_TIMEOUT;
+        let new_map: ClusterMap = loop {
+            let mut views: Vec<ClusterMap> =
+                nodes.iter().map(|(_, n)| n.directory().get()).collect();
+            let settled = views.iter().all(|v| v == &views[0])
+                && views[0].partitions.iter().all(|p| !killed.contains(&p.primary.node_id));
+            if settled {
+                break views.remove(0);
             }
-            if Instant::now() >= drain_by {
+            if Instant::now() >= deadline {
                 return Err(format!(
-                    "partition {} replica never drained (head {}, peers {:?})",
-                    part.primary.node_id, info.head, info.peers
+                    "failover did not converge within {}s after killing {victim_id} \
+                     (epochs: {:?})",
+                    DRILL_TIMEOUT.as_secs(),
+                    views.iter().map(|v| v.epoch).collect::<Vec<_>>()
                 ));
             }
             std::thread::sleep(Duration::from_millis(20));
+        };
+        failover_ms.push(u64::try_from(killed_at.elapsed().as_millis()).unwrap_or(u64::MAX));
+        promoted.push(new_map.partitions[0].primary.node_id);
+
+        // Acknowledged writes must continue from the correct offset:
+        // route a fresh slice of the workload by the new map, then drain
+        // the (topped-up) holder sets so the next kill finds every
+        // surviving holder caught up.
+        let extra: Vec<u64> = (0..cfg.keys / 4).map(|_| rng.next_range(0, 4_096)).collect();
+        inserted += insert_routed(&new_map, &mut mirror, 0, &extra)?;
+        let drain_by = Instant::now() + DRILL_TIMEOUT;
+        for part in &new_map.partitions {
+            drain_partition(part, drain_by)?;
         }
+        cur = new_map;
     }
 
-    // ---- kill partition 0's primary -----------------------------------
-    let killed = map.partitions[0].primary.node_id;
-    let victim_addr = map.partitions[0].primary.addr.clone();
-    let victim_at = nodes
-        .iter()
-        .position(|n| n.local_addr().to_string() == victim_addr)
-        .ok_or_else(|| format!("node {killed} not found in the started set"))?;
-    let victim = nodes.remove(victim_at);
-    let killed_at = Instant::now();
-    victim.shutdown();
-    victim.wait();
-
-    // ---- every survivor must converge on the promoted map -------------
-    let deadline = killed_at + DRILL_TIMEOUT;
-    let new_map: ClusterMap = loop {
-        let mut views: Vec<ClusterMap> = nodes.iter().map(|n| n.directory().get()).collect();
-        let settled = views.iter().all(|v| {
-            v.epoch > map.epoch && v.partitions[0].primary.node_id != killed && v == &views[0]
-        });
-        if settled {
-            break views.remove(0);
-        }
-        if Instant::now() >= deadline {
-            return Err(format!(
-                "failover did not converge within {}s (epochs: {:?})",
-                DRILL_TIMEOUT.as_secs(),
-                views.iter().map(|v| v.epoch).collect::<Vec<_>>()
-            ));
-        }
-        std::thread::sleep(Duration::from_millis(20));
-    };
-    let failover_ms = u64::try_from(killed_at.elapsed().as_millis()).unwrap_or(u64::MAX);
-    let promoted = new_map.partitions[0].primary.node_id;
-
     // ---- post-failover battery, bit-for-bit vs the mirror -------------
-    let coordinator = nodes.last().ok_or("no survivors")?.local_addr().to_string();
+    let coordinator = nodes.last().ok_or("no survivors")?.1.local_addr().to_string();
     let mut c = connect_v4(&coordinator)?;
     let probes: Vec<u64> = (0..64).map(|_| rng.next_range(0, 4_096)).collect();
     let mut battery = 0usize;
@@ -253,10 +363,27 @@ pub fn run(cfg: &ClusterDrillConfig) -> Result<ClusterDrillReport, String> {
         other => return Err(format!("similarity diverged after failover: {other:?}")),
     }
 
-    for n in nodes {
+    let gossip_fault_total: u64 = proxies.iter().map(|p| p.counters().snapshot().total()).sum();
+    if cfg.gossip_faults && gossip_fault_total == 0 {
+        return Err("gossip proxies injected nothing — the chaos leg did not engage".to_string());
+    }
+
+    for (_, n) in nodes {
         n.shutdown();
         n.wait();
     }
+    for p in proxies {
+        p.stop();
+    }
 
-    Ok(ClusterDrillReport { nodes: cfg.nodes, inserted, killed, promoted, failover_ms, battery })
+    Ok(ClusterDrillReport {
+        nodes: cfg.nodes,
+        replication: cfg.replication,
+        inserted,
+        killed,
+        promoted,
+        failover_ms,
+        gossip_faults: gossip_fault_total,
+        battery,
+    })
 }

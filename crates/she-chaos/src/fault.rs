@@ -29,6 +29,9 @@ pub struct FaultConfig {
     pub reset: f64,
     /// P(a single bit of the transferred bytes is flipped).
     pub bitflip: f64,
+    /// P(the transferred bytes are delivered twice — the duplicated
+    /// delivery a retrying network or a confused middlebox produces).
+    pub duplicate: f64,
     /// P(a file write fails as if the disk were full, writing nothing).
     pub enospc: f64,
     /// P(a file write is torn: a prefix lands, then the "process dies").
@@ -45,6 +48,7 @@ impl FaultConfig {
             delay_ms: 0,
             reset: 0.0,
             bitflip: 0.0,
+            duplicate: 0.0,
             enospc: 0.0,
             torn_write: 0.0,
         }
@@ -60,6 +64,22 @@ impl FaultConfig {
             delay_ms: 5,
             reset: 0.001,
             bitflip: 0.002,
+            ..Self::quiet(seed)
+        }
+    }
+
+    /// A gossip-link preset: short reads, delays, mid-frame resets, and
+    /// duplicated deliveries — everything a flaky network does to a
+    /// `CLUSTER_JOIN` push-pull exchange. Deliberately no bit flips:
+    /// cluster maps carry no checksum, so a flipped byte could decode as
+    /// a *valid* poisoned map instead of a detectable transport error.
+    pub fn gossip(seed: u64) -> Self {
+        Self {
+            partial_io: 0.08,
+            delay: 0.02,
+            delay_ms: 5,
+            reset: 0.02,
+            duplicate: 0.04,
             ..Self::quiet(seed)
         }
     }
@@ -89,6 +109,8 @@ pub enum WireFault {
     Reset,
     /// Flip bit `bit` of byte `byte % transferred_len`.
     BitFlip { byte: usize, bit: u8 },
+    /// Deliver the transferred bytes twice.
+    Duplicate,
 }
 
 /// One file-write fault decision.
@@ -196,6 +218,12 @@ impl Faults {
             self.counters.partial_io.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return WireFault::Partial { keep };
         }
+        edge += c.duplicate;
+        if draw < edge {
+            drop(rng);
+            self.counters.duplicates.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return WireFault::Duplicate;
+        }
         WireFault::None
     }
 
@@ -260,7 +288,7 @@ mod tests {
 
     #[test]
     fn counters_match_the_schedule() {
-        let f = Faults::new(FaultConfig::wire(11));
+        let f = Faults::new(FaultConfig { duplicate: 0.01, ..FaultConfig::wire(11) });
         let sched = schedule(&f, 2000);
         let snap = f.counters().snapshot();
         let count = |pred: fn(&WireFault) -> bool| sched.iter().filter(|w| pred(w)).count() as u64;
@@ -268,6 +296,17 @@ mod tests {
         assert_eq!(snap.delays, count(|w| matches!(w, WireFault::Delay(_))));
         assert_eq!(snap.bitflips, count(|w| matches!(w, WireFault::BitFlip { .. })));
         assert_eq!(snap.partial_io, count(|w| matches!(w, WireFault::Partial { .. })));
+        assert_eq!(snap.duplicates, count(|w| matches!(w, WireFault::Duplicate)));
         assert!(snap.total() > 0, "wire preset over 2000 ops should inject something");
+    }
+
+    #[test]
+    fn gossip_preset_never_flips_bits() {
+        let f = Faults::new(FaultConfig::gossip(17));
+        let sched = schedule(&f, 2000);
+        assert!(sched.iter().all(|w| !matches!(w, WireFault::BitFlip { .. })));
+        let snap = f.counters().snapshot();
+        assert_eq!(snap.bitflips, 0);
+        assert!(snap.duplicates > 0, "gossip preset should duplicate some deliveries");
     }
 }

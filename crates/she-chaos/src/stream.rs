@@ -88,6 +88,12 @@ impl<S: Read> Read for ChaosStream<S> {
                 buf[byte % n] ^= 1 << (bit % 8);
                 Ok(n)
             }
+            // Deliver now AND stash a copy, so the same bytes arrive
+            // again on the next read — a duplicated delivery.
+            WireFault::Duplicate => {
+                self.stash.extend(&buf[..n]);
+                Ok(n)
+            }
         }
     }
 }
@@ -113,6 +119,11 @@ impl<S: Write> Write for ChaosStream<S> {
                 let i = byte % corrupted.len();
                 corrupted[i] ^= 1 << (bit % 8);
                 self.inner.write(&corrupted)
+            }
+            WireFault::Duplicate => {
+                self.inner.write_all(buf)?;
+                self.inner.write_all(buf)?;
+                Ok(buf.len())
             }
         }
     }
@@ -172,6 +183,21 @@ mod tests {
         assert_eq!(n, 64);
         let ones: u32 = out.get_ref().iter().map(|b| b.count_ones()).sum();
         assert_eq!(ones, 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn duplicates_deliver_the_same_bytes_twice() {
+        let cfg = FaultConfig { duplicate: 1.0, ..FaultConfig::quiet(8) };
+        let mut out = ChaosStream::new(Vec::new(), Faults::new(cfg));
+        let n = out.write(b"abc").unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(out.get_ref(), b"abcabc");
+
+        let cfg = FaultConfig { duplicate: 1.0, ..FaultConfig::quiet(8) };
+        let mut inp = ChaosStream::new(Cursor::new(b"xyz".to_vec()), Faults::new(cfg));
+        let mut got = Vec::new();
+        inp.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"xyzxyz");
     }
 
     #[test]

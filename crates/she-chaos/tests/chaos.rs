@@ -64,6 +64,23 @@ fn small_soak_survives_three_cycles() {
     assert!(report.wire_faults.total() > 0, "no faults injected: {}", report.wire_faults);
 }
 
+/// The RF=2 failover drill at reduced size: gossip routed through fault
+/// proxies, partition 0's primary killed, then the freshly promoted node
+/// killed too — the last holder must promote, writes must continue, and
+/// the final scatter-gather battery must match the mirror bit-for-bit
+/// (the check.sh smoke runs the full-size drill).
+#[test]
+fn small_drill_survives_double_kill_under_gossip_faults() {
+    let cfg = she_chaos::ClusterDrillConfig { seed: 0xD811_0002, keys: 600, ..Default::default() };
+    let report = she_chaos::drill::run(&cfg)
+        .unwrap_or_else(|e| panic!("drill failed (replay with seed {:#x}): {e}", cfg.seed));
+    assert_eq!(report.killed.len(), 2);
+    assert_eq!(report.promoted.len(), 2);
+    assert!(report.killed[1] == report.promoted[0], "round two must kill the promoted node");
+    assert!(report.gossip_faults > 0, "gossip chaos leg never engaged");
+    assert_eq!(report.battery, 130);
+}
+
 /// Determinism spot check at the stream level: the same seed over the
 /// same byte stream with the same read chunking reproduces the exact
 /// same delivered bytes and fault tallies. (Over a live socket the

@@ -45,11 +45,15 @@ COMMANDS
   query        one query against a running server (bit-exact output)
                --addr HOST:PORT --op member|card|freq|sim --key N --timeout-ms N
   cluster-serve  run one node of a partitioned cluster (docs/CLUSTER.md):
-               partition primary + ring-predecessor replica + gossip
+               partition primary + a replica slot for every partition the
+               map assigns this node (RF-1 ring successors each) + gossip
                failover monitor
                --node-id N --roster \"1@H:P,2@H:P,...\" --window N --memory B
                --seed N --queue N --repl-log N --gossip-ms N
-               --heartbeat-timeout-ms N
+               --heartbeat-timeout-ms N --replication R (holders per
+               partition, primary included; default 2) --anti-entropy-ms N
+               (periodic commutative merge sweeps on every replica slot)
+               --readpath yes (serve v5 QUERY_FAST on primary + replicas)
   cluster-map  print a node's cluster map, one grep-friendly line per
                partition --addr HOST:PORT --timeout-ms N
   cluster-query  scatter-gather one query across the cluster via a
@@ -60,7 +64,9 @@ COMMANDS
                + op-log delta replay)
                --from HOST:PORT --to HOST:PORT --shards N --timeout-ms N
   cluster-status  one-line replication position of a node, plus per-shard
-               queue depths and read-path cache counters (docs/REPLICATION.md)
+               queue depths, read-path cache counters, and — on cluster
+               nodes — one line per partition with its holder list and
+               each replica's apply-lag (docs/REPLICATION.md)
                --addr HOST:PORT --timeout-ms N
   fastcheck    verify a quiescent --readpath server: warm cached answers
                must respect the staleness bound (member-true still true,
@@ -73,11 +79,15 @@ COMMANDS
                fault proxy, kill/restart cycles, checkpoint corruption with
                generation fallback, bit-for-bit mirror verdict
                (docs/ROBUSTNESS.md) --seed N --cycles N --keys N --dir DIR
-  chaos-cluster  kill-primary failover drill: seeded workload on a real
-               partitioned cluster, one primary killed, survivors must
-               converge and keep scatter-gather answers bit-for-bit
-               (docs/CLUSTER.md) --seed N --nodes N --keys N
-               --heartbeat-timeout-ms N
+  chaos-cluster  failover drill on a real quorum-replicated cluster:
+               gossip routed through fault proxies (drops, delays,
+               mid-frame resets, duplicated deliveries), partition 0's
+               primary killed and then its promoted successor too;
+               survivors must converge after every kill, writes continue,
+               scatter-gather stays bit-for-bit (docs/CLUSTER.md,
+               docs/ROBUSTNESS.md) --seed N --nodes N --keys N
+               --heartbeat-timeout-ms N --replication R --kills N
+               --gossip-faults yes|no
   mirror-check replay the loadgen workload into an in-process mirror and
                compare a quiescent node's answers bit-for-bit
                --addr HOST:PORT --items N --batch N --universe N --skew F
@@ -112,7 +122,10 @@ COMMANDS
                --faults yes --fault-seed N (route traffic through an
                in-process fault proxy — partial writes, delays, resets —
                riding each fault with reconnect + op-log-head resync, so
-               --verify stays bit-for-bit; server must run --repl-log)
+               --verify stays bit-for-bit; server must run --repl-log.
+               With --cluster yes every partition leg gets its own proxy
+               and its own per-partition head ledger, and the ledger
+               follows a failover to the promoted holder's log)
   shutdown     ask a running server to drain and stop
                --addr HOST:PORT
   audit        run the workspace static-analysis gate (docs/ANALYSIS.md):
@@ -569,7 +582,17 @@ fn chaos_soak(a: &Args) -> Result<(), CliError> {
 /// mirror. Exit 0 means every check held; on failure the seed is printed
 /// for an exact replay.
 fn chaos_cluster(a: &Args) -> Result<(), CliError> {
-    a.expect_only(&["seed", "nodes", "keys", "window", "memory", "heartbeat-timeout-ms"])?;
+    a.expect_only(&[
+        "seed",
+        "nodes",
+        "keys",
+        "window",
+        "memory",
+        "heartbeat-timeout-ms",
+        "replication",
+        "kills",
+        "gossip-faults",
+    ])?;
     let defaults = she_chaos::ClusterDrillConfig::default();
     let cfg = she_chaos::ClusterDrillConfig {
         seed: a.get_u64("seed", defaults.seed)?,
@@ -578,10 +601,23 @@ fn chaos_cluster(a: &Args) -> Result<(), CliError> {
         window: a.get_u64("window", defaults.window)?,
         memory_bytes: a.get_u64("memory", defaults.memory_bytes as u64)? as usize,
         heartbeat_timeout_ms: a.get_u64("heartbeat-timeout-ms", defaults.heartbeat_timeout_ms)?,
+        replication: a.get_u64("replication", u64::from(defaults.replication))? as u16,
+        kills: a.get_u64("kills", defaults.kills as u64)? as usize,
+        gossip_faults: matches!(
+            a.get("gossip-faults", if defaults.gossip_faults { "yes" } else { "no" }).as_str(),
+            "yes" | "true" | "1"
+        ),
     };
     println!(
-        "cluster drill starting: seed={} nodes={} keys={} heartbeat-timeout-ms={}",
-        cfg.seed, cfg.nodes, cfg.keys, cfg.heartbeat_timeout_ms
+        "cluster drill starting: seed={} nodes={} rf={} keys={} kills={} gossip-faults={} \
+         heartbeat-timeout-ms={}",
+        cfg.seed,
+        cfg.nodes,
+        cfg.replication,
+        cfg.keys,
+        cfg.kills,
+        cfg.gossip_faults,
+        cfg.heartbeat_timeout_ms
     );
     match she_chaos::drill::run(&cfg) {
         Ok(report) => {
@@ -732,33 +768,53 @@ fn loadgen(a: &Args) -> Result<(), CliError> {
         resync_addr: None,
         read_ratio: a.get_f64("read-ratio", 0.0)?,
         read_skew: a.get_f64("zipf", 1.1)?,
+        cluster_via: std::collections::BTreeMap::new(),
+        cluster_resync: false,
     };
-    let proxy = if faults {
+    let fault_seed = a.get_u64("fault-seed", 1)?;
+    // Bit flips stay off on every fault leg: inserts carry no checksum,
+    // so a flipped key would corrupt the run silently instead of failing
+    // it. Duplicates stay off too — a duplicated *applied* insert frame
+    // would advance the op-log head twice for one committed frame and the
+    // resync ledger would read that as divergence.
+    let mut proxies = Vec::new();
+    if faults {
         if cluster {
-            return Err(ArgError(
-                "--faults applies to a single server, not a cluster (cluster mode \
-                 has its own reroute-based fault tolerance)"
-                    .into(),
-            )
-            .into());
+            // One proxy per partition primary; every data leg detours
+            // through its proxy while head polls and map refreshes go
+            // direct. The per-partition head ledger keeps retries
+            // exactly-once, and survives failover because a promoted
+            // holder continues its predecessor's op-log numbering.
+            let mut map_client =
+                she_server::Client::connect(&addr).map_err(|err| net_err(&addr, err))?;
+            let map = map_client.cluster_map().map_err(|err| net_err(&addr, err))?;
+            for (p, part) in map.partitions.iter().enumerate() {
+                let mut fault_cfg = she_chaos::FaultConfig::wire(fault_seed + p as u64);
+                fault_cfg.bitflip = 0.0;
+                let proxy =
+                    she_chaos::ChaosProxy::start(part.primary.addr.clone(), fault_cfg).map_err(
+                        |e| CliError { msg: format!("fault proxy failed to start: {e}"), code: 1 },
+                    )?;
+                cfg.cluster_via.insert(part.primary.addr.clone(), proxy.local_addr().to_string());
+                proxies.push(proxy);
+            }
+            cfg.cluster_resync = true;
+        } else {
+            // All traffic detours through a seeded in-process fault
+            // proxy; the loadgen resyncs against the server's *direct*
+            // address after each injected fault.
+            let mut fault_cfg = she_chaos::FaultConfig::wire(fault_seed);
+            fault_cfg.bitflip = 0.0;
+            let proxy = she_chaos::ChaosProxy::start(addr.clone(), fault_cfg).map_err(|e| {
+                CliError { msg: format!("fault proxy failed to start: {e}"), code: 1 }
+            })?;
+            cfg.resync_addr = Some(addr.clone());
+            cfg.addr = proxy.local_addr().to_string();
+            proxies.push(proxy);
         }
-        // All traffic detours through a seeded in-process fault proxy;
-        // the loadgen resyncs against the server's *direct* address after
-        // each injected fault. Bit flips stay off: inserts carry no
-        // checksum, so a flipped key would corrupt the run silently
-        // instead of failing it.
-        let mut fault_cfg = she_chaos::FaultConfig::wire(a.get_u64("fault-seed", 1)?);
-        fault_cfg.bitflip = 0.0;
-        let proxy = she_chaos::ChaosProxy::start(addr.clone(), fault_cfg)
-            .map_err(|e| CliError { msg: format!("fault proxy failed to start: {e}"), code: 1 })?;
-        cfg.resync_addr = Some(addr.clone());
-        cfg.addr = proxy.local_addr().to_string();
-        Some(proxy)
-    } else {
-        None
-    };
+    }
     let summary = she_server::loadgen::run(&cfg).map_err(|err| net_err(&cfg.addr, err));
-    if let Some(p) = proxy {
+    for p in proxies {
         p.stop();
     }
     let summary = summary?;
@@ -819,7 +875,73 @@ fn cluster_status(a: &Args) -> Result<(), CliError> {
     } else {
         println!("readpath=disabled");
     }
+    // On a cluster member, one line per partition: the full holder list
+    // and each replica's apply-lag behind its primary's op-log head
+    // (`id:?` until the holder subscribes, `head=?` when the primary is
+    // unreachable). Standalone servers carry no map; skip silently.
+    // Checked writes, not `println!`: the lag probes pause between
+    // lines, so a reader that closes early (`she cluster-status | grep
+    // -q ...`) turns the next line into a broken pipe — stop quietly.
+    if version >= 4 {
+        if let Ok(map) = client.cluster_map() {
+            use std::io::Write as _;
+            let mut out = std::io::stdout().lock();
+            for (p, pm) in map.partitions.iter().enumerate() {
+                let mut holders = vec![pm.primary.node_id.to_string()];
+                holders.extend(pm.replicas.iter().map(|r| r.node_id.to_string()));
+                let (head, lags) = partition_lag(pm, op_timeout(a)?);
+                let line = writeln!(
+                    out,
+                    "partition={p} primary={}@{} holders={} head={head} lag={}",
+                    pm.primary.node_id,
+                    pm.primary.addr,
+                    holders.join(","),
+                    lags.join(",")
+                );
+                if line.is_err() {
+                    break;
+                }
+            }
+        }
+    }
     Ok(())
+}
+
+/// Apply-lag of every replica holder of one partition, measured at its
+/// primary: connect, read the hub's per-peer acked positions (peers are
+/// labelled `{node_id}@{addr}`), and report `head - acked` per holder.
+/// An unreachable primary yields `?` for everything rather than an
+/// error: status must stay printable mid-failover.
+fn partition_lag(
+    pm: &she_server::PartitionMap,
+    timeout: Option<std::time::Duration>,
+) -> (String, Vec<String>) {
+    let status = she_server::Client::connect(&pm.primary.addr).ok().and_then(|mut c| {
+        c.set_op_timeout(timeout).ok()?;
+        c.cluster_status().ok()
+    });
+    let Some(info) = status else {
+        let lags = pm.replicas.iter().map(|r| format!("{}:?", r.node_id)).collect();
+        return ("?".into(), lags);
+    };
+    let lags = pm
+        .replicas
+        .iter()
+        .map(|r| {
+            let prefix = format!("{}@", r.node_id);
+            let acked = info
+                .peers
+                .iter()
+                .filter(|peer| peer.addr.starts_with(&prefix))
+                .map(|peer| peer.acked)
+                .max();
+            match acked {
+                Some(acked) => format!("{}:{}", r.node_id, info.head.saturating_sub(acked)),
+                None => format!("{}:?", r.node_id),
+            }
+        })
+        .collect();
+    (info.head.to_string(), lags)
 }
 
 /// `she fastcheck` — verify both halves of a quiescent `--readpath`
@@ -986,6 +1108,9 @@ fn cluster_serve(a: &Args) -> Result<(), CliError> {
         "repl-log",
         "gossip-ms",
         "heartbeat-timeout-ms",
+        "replication",
+        "anti-entropy-ms",
+        "readpath",
     ])?;
     let roster = she_cluster::parse_roster(&a.get("roster", "")).map_err(ArgError)?;
     let n = roster.len();
@@ -1000,12 +1125,20 @@ fn cluster_serve(a: &Args) -> Result<(), CliError> {
         repl_log: a.get_u64("repl-log", defaults.repl_log as u64)? as usize,
         gossip_ms: a.get_u64("gossip-ms", defaults.gossip_ms)?,
         heartbeat_timeout_ms: a.get_u64("heartbeat-timeout-ms", defaults.heartbeat_timeout_ms)?,
+        replication: a.get_u64("replication", u64::from(defaults.replication))? as u16,
+        anti_entropy_ms: a.get_u64("anti-entropy-ms", defaults.anti_entropy_ms)?,
+        readpath: matches!(
+            a.get("readpath", if defaults.readpath { "yes" } else { "no" }).as_str(),
+            "yes" | "true" | "1"
+        ),
+        gossip_via: defaults.gossip_via,
     };
     let node_id = cfg.node_id;
+    let rf = cfg.replication;
     let node = she_cluster::ClusterNode::start(cfg).map_err(|err| ArgError(err.to_string()))?;
     println!(
-        "she-cluster node {node_id} listening on {} — {n} partition(s); \
-         replica of its ring predecessor; gossip failover armed",
+        "she-cluster node {node_id} listening on {} — {n} partition(s) at RF={rf}; \
+         gossip failover armed",
         node.local_addr()
     );
     println!("(stop with the wire SHUTDOWN request)");

@@ -157,6 +157,8 @@ pub struct FaultCounters {
     pub resets: AtomicU64,
     /// Injected single-bit flips.
     pub bitflips: AtomicU64,
+    /// Deliveries duplicated (the same bytes handed over twice).
+    pub duplicates: AtomicU64,
     /// File writes failed with a simulated full disk.
     pub enospc: AtomicU64,
     /// File writes torn (a prefix written, then failed).
@@ -176,6 +178,7 @@ impl FaultCounters {
             delays: self.delays.load(Ordering::Relaxed),
             resets: self.resets.load(Ordering::Relaxed),
             bitflips: self.bitflips.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
             enospc: self.enospc.load(Ordering::Relaxed),
             torn_writes: self.torn_writes.load(Ordering::Relaxed),
         }
@@ -193,6 +196,8 @@ pub struct FaultCountersSnapshot {
     pub resets: u64,
     /// See [`FaultCounters::bitflips`].
     pub bitflips: u64,
+    /// See [`FaultCounters::duplicates`].
+    pub duplicates: u64,
     /// See [`FaultCounters::enospc`].
     pub enospc: u64,
     /// See [`FaultCounters::torn_writes`].
@@ -202,7 +207,13 @@ pub struct FaultCountersSnapshot {
 impl FaultCountersSnapshot {
     /// Total faults injected, all kinds.
     pub fn total(&self) -> u64 {
-        self.partial_io + self.delays + self.resets + self.bitflips + self.enospc + self.torn_writes
+        self.partial_io
+            + self.delays
+            + self.resets
+            + self.bitflips
+            + self.duplicates
+            + self.enospc
+            + self.torn_writes
     }
 }
 
@@ -210,8 +221,14 @@ impl std::fmt::Display for FaultCountersSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "partial={} delays={} resets={} bitflips={} enospc={} torn={}",
-            self.partial_io, self.delays, self.resets, self.bitflips, self.enospc, self.torn_writes
+            "partial={} delays={} resets={} bitflips={} dup={} enospc={} torn={}",
+            self.partial_io,
+            self.delays,
+            self.resets,
+            self.bitflips,
+            self.duplicates,
+            self.enospc,
+            self.torn_writes
         )
     }
 }
@@ -250,8 +267,10 @@ mod tests {
         let c = FaultCounters::new();
         c.bitflips.fetch_add(3, Ordering::Relaxed);
         c.resets.fetch_add(2, Ordering::Relaxed);
+        c.duplicates.fetch_add(4, Ordering::Relaxed);
         let s = c.snapshot();
-        assert_eq!(s.total(), 5);
+        assert_eq!(s.total(), 9);
         assert!(s.to_string().contains("bitflips=3"));
+        assert!(s.to_string().contains("dup=4"));
     }
 }

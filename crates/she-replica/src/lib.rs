@@ -18,11 +18,23 @@
 //!    off the primary's bounded log (`LOG_TRUNCATED`, or the primary was
 //!    replaced and its log restarted), take a fresh bootstrap instead of
 //!    replaying — snapshot + delta, never full history.
-//! 4. **Anti-entropy** (optional) — periodically pull per-shard snapshot
-//!    frames from the primary and fold them in with
+//! 4. **Anti-entropy** (optional) — periodically fetch an atomically cut
+//!    bootstrap package from the upstream primary and *fold* it in with
 //!    [`ShardEngine::reconcile`](she_server::ShardEngine::reconcile)'s
 //!    commutative, idempotent merge (cell-wise OR/max/min-nonzero,
-//!    counter max), repairing any divergence the log cannot see.
+//!    counter max), then advance the applied position to the cut. The
+//!    sweep runs on the tail thread itself — never concurrently with
+//!    feed applies — so a record is counted exactly once: everything up
+//!    to the cut arrives via the merged state and the feed's duplicate
+//!    skip drops it, everything after arrives via the feed. A holder
+//!    that missed ops while partitioned converges this way without
+//!    discarding local state.
+//! 5. **Re-targeting** — when [`ReplicaConfig::follow`] names a cluster
+//!    partition, every upstream dial resolves the partition's *current*
+//!    primary from the shared [`ClusterDirectory`]. After a failover the
+//!    next reconnect lands on the promoted node automatically; since the
+//!    promoted node's log is fresh, the subscribe position is refused and
+//!    the replica takes a full bootstrap from its new upstream.
 //!
 //! Writes sent to a replica are answered `NOT_PRIMARY` naming the
 //! primary; that mapping lives in the embedded server and is driven by
@@ -72,7 +84,8 @@ pub struct ReplicaConfig {
     pub queue_capacity: usize,
     /// Hint returned with local `BUSY` responses.
     pub retry_after_ms: u32,
-    /// Anti-entropy sweep interval in milliseconds; 0 disables sweeps.
+    /// Anti-entropy merge-sweep interval in milliseconds; 0 disables
+    /// periodic sweeps (a truncation-triggered repair merge still runs).
     pub anti_entropy_ms: u64,
     /// Declare the primary lost after this much feed silence. Must
     /// comfortably exceed the primary's heartbeat interval (500ms
@@ -107,6 +120,16 @@ pub struct ReplicaConfig {
     /// shard queues, so fast reads track the applied position exactly;
     /// after a promotion the refresher takes over from the local log.
     pub readpath: Option<ReadPathConfig>,
+    /// Follow this cluster partition's *current* primary instead of the
+    /// static [`ReplicaConfig::primary`] address: every reconnect,
+    /// resync, and sweep re-resolves the partition's primary from the
+    /// [`ReplicaConfig::cluster`] directory, so the replica re-targets a
+    /// promoted node without being restarted. Requires `cluster`.
+    pub follow: Option<usize>,
+    /// This replica's cluster node id, sent with `REPL_SUBSCRIBE` (v6)
+    /// so the primary labels the peer `{node_id}@{addr}` in
+    /// `CLUSTER_STATUS`. 0 subscribes anonymously (the v5 wire form).
+    pub node_id: u64,
 }
 
 impl Default for ReplicaConfig {
@@ -125,6 +148,8 @@ impl Default for ReplicaConfig {
             repl_log: 0,
             cluster: None,
             readpath: None,
+            follow: None,
+            node_id: 0,
         }
     }
 }
@@ -137,7 +162,11 @@ enum FeedEnd {
     Lost,
     /// Our position is unservable (log truncated, or a new primary with
     /// a shorter log); take a fresh bootstrap before resubscribing.
-    Resync,
+    /// `merge` says our state is still a *prefix* of the upstream's
+    /// history (the log merely moved past us), so a commutative merge of
+    /// the upstream's cut is bit-exact and cheaper than discarding local
+    /// state — unless the upstream itself changed hands meanwhile.
+    Resync { merge: bool },
 }
 
 /// A running replica: an embedded read-serving [`Server`] plus the
@@ -156,19 +185,21 @@ impl Replica {
     /// Blocks until the initial snapshot is fetched, decoded, and loaded
     /// into freshly built shard engines (retrying up to
     /// [`ReplicaConfig::max_bootstrap_attempts`] times), then spawns the
-    /// tail thread (and the anti-entropy thread if enabled) and returns.
+    /// tail thread (which also runs the periodic anti-entropy merge
+    /// sweeps, so sweeps never race feed applies) and returns.
     pub fn start(cfg: ReplicaConfig) -> io::Result<Replica> {
         let mut backoff = Backoff::from_clock(
             Duration::from_millis(cfg.reconnect_base_ms.max(1)),
             Duration::from_millis(cfg.reconnect_cap_ms.max(1)),
         );
         let (seq, ckpt) = loop {
-            match fetch_bootstrap(&cfg.primary, cfg.op_timeout_ms) {
+            let upstream = upstream_addr(&cfg);
+            match fetch_bootstrap(&upstream, cfg.op_timeout_ms) {
                 Ok(pair) => break pair,
                 Err(e) if backoff.attempts() + 1 >= cfg.max_bootstrap_attempts.max(1) => {
                     return Err(io::Error::new(
                         e.kind(),
-                        format!("bootstrap from {} failed: {e}", cfg.primary),
+                        format!("bootstrap from {upstream} failed: {e}"),
                     ));
                 }
                 Err(_) => std::thread::sleep(backoff.next_delay()),
@@ -210,17 +241,6 @@ impl Replica {
                     .spawn(move || run_tail(&cfg, &injector, &status, &stop))?,
             );
         }
-        if cfg.anti_entropy_ms > 0 {
-            let (cfg, injector) = (cfg.clone(), server.injector());
-            let stop = Arc::clone(&stop);
-            // audit:allow(growth): fixed worker set — at most one anti-entropy thread
-            threads.push(
-                std::thread::Builder::new()
-                    .name("she-repl-entropy".into())
-                    .spawn(move || run_anti_entropy(&cfg, &injector, &stop))?,
-            );
-        }
-
         Ok(Replica { server, status, stop, threads })
     }
 
@@ -332,20 +352,34 @@ fn sleep_unless_stopped(total: Duration, stop: &AtomicBool) {
 }
 
 /// The tail thread: subscribe, apply, ack; reconnect with backoff on
-/// loss; re-bootstrap on truncation. Runs until `stop`.
+/// loss; repair-merge or re-bootstrap on truncation. Runs until `stop`.
+/// Every pass re-resolves the upstream, so a mapped failover re-targets
+/// the feed at the promoted primary.
 fn run_tail(cfg: &ReplicaConfig, injector: &Injector, status: &ReplicaStatus, stop: &AtomicBool) {
     let mut backoff = Backoff::from_clock(
         Duration::from_millis(cfg.reconnect_base_ms.max(1)),
         Duration::from_millis(cfg.reconnect_cap_ms.max(1)),
     );
     while !stop.load(Ordering::SeqCst) {
-        let end = feed_once(cfg, injector, status, stop, &mut backoff);
+        let upstream = upstream_addr(cfg);
+        let end = feed_once(cfg, &upstream, injector, status, stop, &mut backoff);
         status.connected.store(false, Ordering::SeqCst);
         match end {
             FeedEnd::Stopped => break,
             FeedEnd::Lost => sleep_unless_stopped(backoff.next_delay(), stop),
-            FeedEnd::Resync => {
-                if resync(&cfg.primary, cfg.op_timeout_ms, injector, status).is_ok() {
+            FeedEnd::Resync { merge } => {
+                // If the upstream changed hands while we were feeding, our
+                // unacknowledged suffix may not be a prefix of the *new*
+                // primary's history — a merge would preserve the divergent
+                // suffix forever. Only merge when it is still the same
+                // upstream; otherwise replace wholesale.
+                let now = upstream_addr(cfg);
+                let repaired = if merge && now == upstream {
+                    merge_sweep(&now, cfg.op_timeout_ms, injector, status).map(|_| ())
+                } else {
+                    resync(&now, cfg.op_timeout_ms, injector, status)
+                };
+                if repaired.is_ok() {
                     backoff.reset();
                 } else {
                     sleep_unless_stopped(backoff.next_delay(), stop);
@@ -361,16 +395,19 @@ fn send_ack(sock: &mut TcpStream, seq: u64) -> io::Result<()> {
     write_frame(sock, &Request::ReplAck { seq }.encode())
 }
 
-/// One connection's worth of tailing: connect, subscribe from
-/// `applied + 1`, then apply records until the feed ends.
+/// One connection's worth of tailing: connect to `upstream`, subscribe
+/// from `applied + 1`, then apply records until the feed ends. Quiet
+/// stretches run the periodic anti-entropy merge sweep and watch for the
+/// cluster map re-targeting the partition elsewhere.
 fn feed_once(
     cfg: &ReplicaConfig,
+    upstream: &str,
     injector: &Injector,
     status: &ReplicaStatus,
     stop: &AtomicBool,
     backoff: &mut Backoff,
 ) -> FeedEnd {
-    let Ok(mut client) = Client::connect(&cfg.primary) else {
+    let Ok(mut client) = Client::connect(upstream) else {
         return FeedEnd::Lost;
     };
     match client.hello() {
@@ -378,7 +415,7 @@ fn feed_once(
         _ => return FeedEnd::Lost,
     }
     let mut applied = status.applied.load(Ordering::SeqCst);
-    let Ok(mut sock) = client.subscribe(applied + 1) else {
+    let Ok(mut sock) = client.subscribe_as(applied + 1, cfg.node_id) else {
         return FeedEnd::Lost;
     };
     if sock.set_read_timeout(Some(FEED_POLL)).is_err() {
@@ -386,6 +423,8 @@ fn feed_once(
     }
 
     let timeout = Duration::from_millis(cfg.heartbeat_timeout_ms.max(1));
+    let sweep_every = (cfg.anti_entropy_ms > 0).then(|| Duration::from_millis(cfg.anti_entropy_ms));
+    let mut last_sweep = Instant::now();
     let mut last_heard = Instant::now();
     let mut unacked = 0u64;
     loop {
@@ -407,7 +446,9 @@ fn feed_once(
                             continue; // duplicate after a reconnect race
                         }
                         if rec.seq != applied + 1 {
-                            return FeedEnd::Resync; // gap: the log moved under us
+                            // Gap: the log moved under us but the upstream is
+                            // unchanged, so a repair merge is bit-exact.
+                            return FeedEnd::Resync { merge: true };
                         }
                         if injector.apply(rec.stream, &rec.keys).is_err() {
                             return FeedEnd::Stopped; // local server unwinding
@@ -432,11 +473,13 @@ fn feed_once(
                         }
                         unacked = 0;
                     }
-                    Response::LogTruncated { .. } => return FeedEnd::Resync,
+                    // Truncation from the *same* primary means our state is
+                    // still a prefix of its history — repair by merge.
+                    Response::LogTruncated { .. } => return FeedEnd::Resync { merge: true },
                     // The primary refuses this position (e.g. a replacement
                     // primary whose fresh log is shorter than our history):
-                    // a snapshot is the only way back in sync.
-                    Response::Err(_) => return FeedEnd::Resync,
+                    // a fresh snapshot is the only way back in sync.
+                    Response::Err(_) => return FeedEnd::Resync { merge: false },
                     _ => return FeedEnd::Lost,
                 }
             }
@@ -445,24 +488,24 @@ fn feed_once(
                 if last_heard.elapsed() >= timeout {
                     return FeedEnd::Lost; // heartbeat silence: primary is gone
                 }
+                // The cluster map moved the partition: chase the new
+                // primary instead of idling on the old feed.
+                if cfg.follow.is_some() && upstream_addr(cfg) != upstream {
+                    return FeedEnd::Lost;
+                }
+                if let Some(every) = sweep_every {
+                    if last_sweep.elapsed() >= every {
+                        last_sweep = Instant::now();
+                        if let Ok(cut) = merge_sweep(upstream, cfg.op_timeout_ms, injector, status)
+                        {
+                            applied = applied.max(cut);
+                            last_heard = Instant::now(); // a sweep proves liveness
+                        }
+                    }
+                }
             }
             Err(_) => return FeedEnd::Lost,
         }
-    }
-}
-
-/// The anti-entropy thread: every `anti_entropy_ms`, pull each shard's
-/// snapshot from the primary and reconcile it in. Failures (primary
-/// down, mid-sweep disconnect) are dropped on the floor — the next sweep
-/// retries, and the op-log tail remains the primary sync mechanism.
-fn run_anti_entropy(cfg: &ReplicaConfig, injector: &Injector, stop: &AtomicBool) {
-    let interval = Duration::from_millis(cfg.anti_entropy_ms.max(1));
-    while !stop.load(Ordering::SeqCst) {
-        sleep_unless_stopped(interval, stop);
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let _ = sweep(&cfg.primary, cfg.op_timeout_ms, injector);
     }
 }
 
@@ -471,23 +514,49 @@ fn op_timeout(ms: u64) -> Option<Duration> {
     (ms > 0).then(|| Duration::from_millis(ms))
 }
 
-/// One anti-entropy pass over every shard.
-fn sweep(primary: &str, op_timeout_ms: u64, injector: &Injector) -> io::Result<()> {
-    let mut client = Client::connect(primary)?;
-    client.set_op_timeout(op_timeout(op_timeout_ms))?;
-    if client.hello()? < 2 {
+/// The address this replica should follow *right now*: the current
+/// primary of the followed partition when [`ReplicaConfig::follow`] and
+/// a cluster directory are wired in, else the static configured primary.
+fn upstream_addr(cfg: &ReplicaConfig) -> String {
+    if let (Some(part), Some(dir)) = (cfg.follow, cfg.cluster.as_ref()) {
+        if let Some(p) = dir.get().partitions.get(part) {
+            return p.primary.addr.clone();
+        }
+    }
+    cfg.primary.clone()
+}
+
+/// One cluster-aware anti-entropy pass: fetch an *atomically cut*
+/// bootstrap package from the upstream and fold every shard frame into
+/// the local engines with the commutative time-mark merge, then advance
+/// the applied position to the cut.
+///
+/// Correctness leans on two facts. First, this runs only on the tail
+/// thread, so no feed record is applied concurrently with the merge.
+/// Second, the local state is a prefix of the same upstream's history,
+/// and the time-mark reconcile of a prefix into the full state at the
+/// cut yields exactly the state at the cut — so after the merge the
+/// replica *is* the upstream at `seq`, and the feed's duplicate skip
+/// (`rec.seq <= applied`) discards every in-flight record the merge
+/// already covered. Nothing is counted twice. Returns the cut.
+fn merge_sweep(
+    upstream: &str,
+    op_timeout_ms: u64,
+    injector: &Injector,
+    status: &ReplicaStatus,
+) -> io::Result<u64> {
+    let (seq, ckpt) = fetch_bootstrap(upstream, op_timeout_ms)?;
+    if ckpt.cfg != *injector.config() {
         return Err(io::Error::new(
-            io::ErrorKind::Unsupported,
-            "primary does not serve snapshots (protocol v1)",
+            io::ErrorKind::InvalidData,
+            "upstream engine config changed; restart the replica to re-shard",
         ));
     }
-    for shard in 0..injector.config().shards {
-        let shard_id = u32::try_from(shard)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "shard index exceeds u32"))?;
-        let frame = client.snapshot(shard_id)?;
-        injector.merge(shard, &frame)?;
+    for (shard, frame) in ckpt.shards.iter().enumerate() {
+        injector.merge(shard, frame)?;
     }
-    Ok(())
+    status.applied.fetch_max(seq, Ordering::SeqCst);
+    Ok(seq)
 }
 
 #[cfg(test)]

@@ -206,6 +206,58 @@ fn replica_survives_primary_death_and_resyncs_to_replacement() {
     primary2.join();
 }
 
+/// Read-path repair after failover: a replica serving `--readpath`
+/// keeps its fast mirror warm while following (the injector feeds it
+/// synchronously), so after promotion `QUERY_FAST` on the new primary
+/// answers bit-for-bit with the authoritative path — including keys
+/// written *after* the promotion, applied by the refresher tailing the
+/// now-filling local op log.
+#[test]
+fn promoted_replica_serves_query_fast_bit_for_bit() {
+    let primary = Server::start(primary_cfg("127.0.0.1:0")).unwrap();
+    let paddr = primary.local_addr().to_string();
+    let mut client = Client::connect(&paddr).unwrap();
+    let mut mirror = DirectEngine::new(engine_cfg());
+    feed(&mut client, &mut mirror, 0, 40);
+
+    let mut replica = Replica::start(ReplicaConfig {
+        repl_log: 1 << 10,
+        readpath: Some(she_server::ReadPathConfig::default()),
+        ..replica_cfg(&paddr)
+    })
+    .unwrap();
+    assert!(eventually(5_000, || replica.status().applied.load(Ordering::SeqCst) == 40));
+
+    drop(client);
+    primary.join();
+    let promoted = replica.promote();
+
+    // Writes continue against the promoted primary...
+    let mut client2 = Client::connect(promoted).unwrap();
+    feed(&mut client2, &mut mirror, 40, 60);
+
+    // ...and once the fast mirror's refresher catches the op-log head,
+    // fast answers must equal the authoritative ones bit-for-bit. The
+    // local log was empty while following (the injector bypasses it), so
+    // the promoted head counts only the 20 post-promotion batches.
+    assert!(
+        eventually(5_000, || {
+            let s = Client::connect(promoted).unwrap().cluster_status().unwrap();
+            s.readpath.enabled && s.head == 20 && s.readpath.seq >= s.head
+        }),
+        "fast mirror never caught the promoted op-log head"
+    );
+    for i in 0..64u64 {
+        let k = she_hash::mix64(i * 37) % 3_000;
+        assert_eq!(client2.fast_member(k).unwrap(), mirror.member(k), "fast member({k})");
+        assert_eq!(client2.fast_freq(k).unwrap(), mirror.frequency(k), "fast freq({k})");
+        assert_eq!(client2.query_member(k).unwrap(), mirror.member(k), "member({k})");
+        assert_eq!(client2.query_freq(k).unwrap(), mirror.frequency(k), "freq({k})");
+    }
+
+    replica.join();
+}
+
 #[test]
 fn anti_entropy_sweeps_are_stable_on_converged_state() {
     let primary = Server::start(primary_cfg("127.0.0.1:0")).unwrap();

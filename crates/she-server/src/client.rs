@@ -419,8 +419,15 @@ impl Client {
     /// `from_seq`, returning the raw socket (v3). The caller reads
     /// `REPL_OP`/`REPL_HEARTBEAT` frames and writes `REPL_ACK`s with the
     /// codec; the request/response discipline no longer applies.
-    pub fn subscribe(mut self, from_seq: u64) -> io::Result<TcpStream> {
-        write_frame(&mut self.stream, &Request::ReplSubscribe { from_seq }.encode())?;
+    pub fn subscribe(self, from_seq: u64) -> io::Result<TcpStream> {
+        self.subscribe_as(from_seq, 0)
+    }
+
+    /// [`Client::subscribe`], identifying the subscriber by its cluster
+    /// `node_id` (v6) so the primary labels the peer `{node}@{addr}` in
+    /// `CLUSTER_STATUS`. Pass 0 to stay anonymous (the v5 wire form).
+    pub fn subscribe_as(mut self, from_seq: u64, node_id: u64) -> io::Result<TcpStream> {
+        write_frame(&mut self.stream, &Request::ReplSubscribe { from_seq, node_id }.encode())?;
         Ok(self.stream)
     }
 

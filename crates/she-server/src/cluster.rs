@@ -12,13 +12,18 @@
 //! `docs/CLUSTER.md`).
 //!
 //! The membership table is a [`ClusterMap`]: an epoch plus, per
-//! partition, the primary and its replica set. Maps spread by push-pull
+//! partition, the *ordered holder list* — the primary followed by its
+//! replica set — and the cluster's replication factor `rf` (total
+//! holders per partition, primary included). Maps spread by push-pull
 //! gossip (`CLUSTER_JOIN` carries the sender's view, the reply carries
 //! the receiver's) and every node adopts whichever view is *newer* under
 //! a total order — `(epoch, encoded bytes)` lexicographically — so
 //! concurrent promotions converge without coordination. Failover is the
 //! deterministic [`ClusterMap::elect`] rule: for each partition whose
-//! primary left the live set, the lowest-id live replica holder wins.
+//! primary left the live set, the lowest-id live replica holder wins,
+//! and live non-holders are drafted in to *top up* the replica set back
+//! toward `rf` holders — which is what lets an RF=2 partition survive a
+//! second failure of the freshly promoted node.
 
 use crate::engine::ROUTER_SEED;
 use crate::protocol::{ProtoError, Response};
@@ -26,7 +31,7 @@ use she_core::convert::usize_of;
 use she_core::frame::Reader;
 use she_core::OrderedMutex;
 use she_hash::{mix64, reduce_range};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// Sanity cap on partitions in a decoded map (a map is a few hundred
@@ -75,6 +80,10 @@ pub struct PartitionMap {
 pub struct ClusterMap {
     /// Monotone map version; bumped by every election.
     pub epoch: u64,
+    /// Replication factor: desired holders per partition, primary
+    /// included (so `rf = 2` means primary + one replica — the pre-v6
+    /// default). Elections top replica sets back up toward this.
+    pub rf: u16,
     /// Placement, indexed by partition.
     pub partitions: Vec<PartitionMap>,
 }
@@ -89,65 +98,113 @@ impl ClusterMap {
         reduce_range(mix64(key ^ ROUTER_SEED), self.partitions.len())
     }
 
-    /// The deterministic initial map for a fresh roster: partition `p` is
-    /// primary on `roster[p]`, replicated on `roster[p+1 mod n]` (no
-    /// replicas in a single-node roster). Every node computes the same
+    /// [`ClusterMap::initial_rf`] at the default replication factor 2
+    /// (primary + one replica — the pre-v6 placement).
+    pub fn initial(roster: &[NodeRef]) -> ClusterMap {
+        ClusterMap::initial_rf(roster, 2)
+    }
+
+    /// The deterministic initial map for a fresh roster at replication
+    /// factor `rf` (total holders per partition, primary included):
+    /// partition `p` is primary on `roster[p]`, replicated on the next
+    /// `rf - 1` *distinct* ring successors `roster[p+1 .. p+rf mod n]`.
+    /// `rf` is clamped to the roster size. Every node computes the same
     /// epoch-1 map from the same `--peers` list, so a cluster boots
     /// without a coordinator. Requires one partition per roster node.
-    pub fn initial(roster: &[NodeRef]) -> ClusterMap {
+    pub fn initial_rf(roster: &[NodeRef], rf: u16) -> ClusterMap {
         let n = roster.len();
+        let rf = usize::from(rf.max(1)).min(n);
         let partitions = (0..n)
             .map(|p| PartitionMap {
                 primary: roster[p].clone(),
-                replicas: if n > 1 { vec![roster[(p + 1) % n].clone()] } else { Vec::new() },
+                replicas: (1..rf).map(|i| roster[(p + i) % n].clone()).collect(),
             })
             .collect();
-        ClusterMap { epoch: 1, partitions }
+        ClusterMap { epoch: 1, rf: u16::try_from(rf).unwrap_or(u16::MAX), partitions }
     }
 
-    /// The deterministic failover rule. For every partition whose primary
-    /// is not in `alive`, the *lowest-id live replica holder* becomes the
-    /// new primary and leaves the replica set (dead replicas are pruned
-    /// with it); partitions with a live primary, and partitions with no
-    /// live replica at all, are untouched. Returns the epoch+1 successor
-    /// map, or `None` when nothing changed.
+    /// Every node the map knows about (any holder of any partition),
+    /// keyed by id — the candidate pool for replica top-up.
+    fn known_nodes(&self) -> BTreeMap<u64, &NodeRef> {
+        let mut known = BTreeMap::new();
+        for p in &self.partitions {
+            known.entry(p.primary.node_id).or_insert(&p.primary);
+            for r in &p.replicas {
+                known.entry(r.node_id).or_insert(r);
+            }
+        }
+        known
+    }
+
+    /// The deterministic failover rule over the full holder set.
     ///
-    /// The rule is a pure function of `(map, alive)`, so any two nodes
-    /// that agree on those inputs elect identically — the convergence
-    /// property the seeded test below exercises. The winner's `addr` in
-    /// the returned map is still the *replica-role* placeholder; only the
-    /// winning node installs the map, after rewriting its own entry with
-    /// the promoted server's real address.
+    /// * A partition whose primary is not in `alive` is won by its
+    ///   *lowest-id live replica holder*, which leaves the replica set;
+    ///   dead replicas are pruned with it. Partitions with no live
+    ///   replica at all are untouched (nothing can serve them).
+    /// * Any partition whose surviving replica set fell below `rf - 1`
+    ///   is *topped up* with live non-holder nodes, lowest id first, so
+    ///   the partition regains its replication factor while candidates
+    ///   exist — the repair that lets a second failure land safely.
+    /// * A partition with a live primary loses its dead replicas the
+    ///   same way (prune + top-up), keeping the map's holder lists an
+    ///   honest picture of who can actually be promoted.
+    ///
+    /// Returns the epoch+1 successor map, or `None` when nothing
+    /// changed. The rule is a pure function of `(map, alive)`, so any
+    /// two nodes that agree on those inputs elect identically — the
+    /// convergence property the seeded tests exercise. A winner's `addr`
+    /// in the returned map is still the *replica-role* placeholder; only
+    /// the node owning a changed partition installs the map, after
+    /// rewriting a promoted entry with the promoted server's real
+    /// address.
     pub fn elect(&self, alive: &BTreeSet<u64>) -> Option<ClusterMap> {
+        let known = self.known_nodes();
         let mut changed = false;
         let partitions = self
             .partitions
             .iter()
             .map(|p| {
-                if alive.contains(&p.primary.node_id) {
-                    return p.clone();
-                }
-                let Some(winner) = p
-                    .replicas
-                    .iter()
-                    .filter(|r| alive.contains(&r.node_id))
-                    .min_by_key(|r| r.node_id)
-                else {
-                    return p.clone();
-                };
-                changed = true;
-                PartitionMap {
-                    primary: winner.clone(),
-                    replicas: p
+                let primary = if alive.contains(&p.primary.node_id) {
+                    p.primary.clone()
+                } else {
+                    let Some(winner) = p
                         .replicas
                         .iter()
-                        .filter(|r| r.node_id != winner.node_id && alive.contains(&r.node_id))
-                        .cloned()
-                        .collect(),
+                        .filter(|r| alive.contains(&r.node_id))
+                        .min_by_key(|r| r.node_id)
+                    else {
+                        return p.clone(); // nothing live can serve it
+                    };
+                    winner.clone()
+                };
+                let mut replicas: Vec<NodeRef> = p
+                    .replicas
+                    .iter()
+                    .filter(|r| r.node_id != primary.node_id && alive.contains(&r.node_id))
+                    .cloned()
+                    .collect();
+                // Top up toward rf holders with live non-holders.
+                let target = usize::from(self.rf).saturating_sub(1);
+                for (&id, &node) in &known {
+                    if replicas.len() >= target {
+                        break;
+                    }
+                    if id == primary.node_id
+                        || !alive.contains(&id)
+                        || replicas.iter().any(|r| r.node_id == id)
+                    {
+                        continue;
+                    }
+                    // audit:allow(growth): bounded by rf, itself bounded by the roster
+                    replicas.push(node.clone());
                 }
+                let next = PartitionMap { primary, replicas };
+                changed |= next != *p;
+                next
             })
             .collect();
-        changed.then_some(ClusterMap { epoch: self.epoch + 1, partitions })
+        changed.then_some(ClusterMap { epoch: self.epoch + 1, rf: self.rf, partitions })
     }
 
     /// Total order over maps: higher epoch wins, ties break on the
@@ -159,7 +216,10 @@ impl ClusterMap {
 
     /// Wire encoding (shared by `CLUSTER_JOIN` and `CLUSTER_MAP_REPLY`):
     /// `epoch u64 | n_partitions u32 | n × (primary ref | n_replicas u16 |
-    /// replica refs)`, each ref `node_id u64 | addr_len u16 | addr`.
+    /// replica refs) | rf u16`, each ref `node_id u64 | addr_len u16 |
+    /// addr`. The `rf` field is the protocol-v6 tail: a v5 peer never
+    /// reads past the partition list, and [`ClusterMap::decode_from`]
+    /// treats it as optional, so v5 and v6 maps interchange freely.
     pub fn encode(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(16 + 64 * self.partitions.len());
         self.encode_into(&mut b);
@@ -187,6 +247,7 @@ impl ClusterMap {
                 node_ref(b, r);
             }
         }
+        b.extend_from_slice(&self.rf.to_le_bytes());
     }
 
     /// Decode a map from the reader's current position.
@@ -218,7 +279,15 @@ impl ClusterMap {
             }
             partitions.push(PartitionMap { primary, replicas });
         }
-        Ok(ClusterMap { epoch, partitions })
+        // v6 tail: v5 encoders stop at the partition list, so infer the
+        // factor their placement implies (widest holder list).
+        let rf = if r.remaining() >= 2 {
+            r.u16()?
+        } else {
+            let widest = partitions.iter().map(|p| p.replicas.len() + 1).max().unwrap_or(1);
+            u16::try_from(widest).unwrap_or(u16::MAX)
+        };
+        Ok(ClusterMap { epoch, rf, partitions })
     }
 }
 
@@ -402,12 +471,35 @@ mod tests {
 
     #[test]
     fn codec_round_trip() {
-        let map = ClusterMap::initial(&roster(3));
-        let bytes = map.encode();
+        for rf in [1, 2, 3, 5] {
+            let map = ClusterMap::initial_rf(&roster(4), rf);
+            let bytes = map.encode();
+            let mut r = Reader::new(&bytes);
+            let back = ClusterMap::decode_from(&mut r).expect("decode");
+            assert!(r.finish().is_ok());
+            assert_eq!(back, map, "rf {rf}");
+        }
+    }
+
+    /// A v5 peer encodes no `rf` tail; decoding its bytes must still
+    /// succeed and infer the factor its placement implies.
+    #[test]
+    fn decode_accepts_v5_bytes_without_rf_tail() {
+        let map = ClusterMap::initial_rf(&roster(3), 3);
+        let mut bytes = map.encode();
+        bytes.truncate(bytes.len() - 2); // what a v5 encoder would emit
         let mut r = Reader::new(&bytes);
-        let back = ClusterMap::decode_from(&mut r).expect("decode");
+        let back = ClusterMap::decode_from(&mut r).expect("v5 decode");
         assert!(r.finish().is_ok());
-        assert_eq!(back, map);
+        assert_eq!(back.rf, 3, "inferred from the widest holder list");
+        assert_eq!(back.partitions, map.partitions);
+
+        // A single-node v5 map (no replicas anywhere) infers rf = 1.
+        let solo = ClusterMap::initial(&roster(1));
+        let mut bytes = solo.encode();
+        bytes.truncate(bytes.len() - 2);
+        let back = ClusterMap::decode_from(&mut Reader::new(&bytes)).expect("v5 decode");
+        assert_eq!(back.rf, 1);
     }
 
     #[test]
@@ -423,12 +515,34 @@ mod tests {
     fn initial_map_is_a_rotated_ring() {
         let map = ClusterMap::initial(&roster(3));
         assert_eq!(map.epoch, 1);
+        assert_eq!(map.rf, 2);
         for (p, pm) in map.partitions.iter().enumerate() {
             assert_eq!(pm.primary.node_id, p as u64 + 1);
             assert_eq!(pm.replicas.len(), 1);
             assert_eq!(pm.replicas[0].node_id, (p as u64 + 1) % 3 + 1);
         }
         assert!(ClusterMap::initial(&roster(1)).partitions[0].replicas.is_empty());
+    }
+
+    /// RF > 2 places each partition on the next rf−1 *distinct* ring
+    /// successors; rf clamps to the roster size.
+    #[test]
+    fn initial_rf_places_distinct_ring_successors() {
+        let map = ClusterMap::initial_rf(&roster(4), 3);
+        assert_eq!(map.rf, 3);
+        for (p, pm) in map.partitions.iter().enumerate() {
+            let ids: Vec<u64> = pm.replicas.iter().map(|r| r.node_id).collect();
+            assert_eq!(ids, vec![(p as u64 + 1) % 4 + 1, (p as u64 + 2) % 4 + 1], "partition {p}");
+        }
+        // rf beyond the roster clamps: 3 nodes can hold at most 3 copies.
+        let clamped = ClusterMap::initial_rf(&roster(3), 9);
+        assert_eq!(clamped.rf, 3);
+        for pm in &clamped.partitions {
+            let mut ids: Vec<u64> = pm.replicas.iter().map(|r| r.node_id).collect();
+            ids.push(pm.primary.node_id);
+            ids.sort_unstable();
+            assert_eq!(ids, vec![1, 2, 3], "all distinct holders");
+        }
     }
 
     #[test]
@@ -442,9 +556,13 @@ mod tests {
             next.partitions[0].replicas.iter().map(|r| r.node_id).collect::<Vec<_>>(),
             vec![3]
         );
-        // Partition 2 (primary 3) is untouched; partition 1 (primary 2) too.
+        // Partition 1 (primary 2, replica 3) is fully live: untouched.
         assert_eq!(next.partitions[1].primary.node_id, 2);
+        assert_eq!(next.partitions[1].replicas.iter().map(|r| r.node_id).collect::<Vec<_>>(), [3]);
+        // Partition 2 keeps its live primary 3 but its replica (node 1)
+        // died: the dead holder is pruned and live node 2 drafted in.
         assert_eq!(next.partitions[2].primary.node_id, 3);
+        assert_eq!(next.partitions[2].replicas.iter().map(|r| r.node_id).collect::<Vec<_>>(), [2]);
     }
 
     #[test]
@@ -457,6 +575,52 @@ mod tests {
         let next = map.elect(&alive(&[3])).expect("partition 1 fails over to 3");
         assert_eq!(next.partitions[0].primary.node_id, 1, "no live replica: unchanged");
         assert_eq!(next.partitions[1].primary.node_id, 3);
+    }
+
+    /// The RF=2 double-kill story: after the first failover the promoted
+    /// partition is topped back up with a live non-holder, so a second
+    /// kill of the freshly promoted node still leaves a live holder.
+    #[test]
+    fn elect_tops_up_promoted_partitions_toward_rf() {
+        let map = ClusterMap::initial(&roster(3)); // rf 2
+        let first = map.elect(&alive(&[2, 3])).expect("node 1 dies");
+        // Partition 0: replica 2 promoted, node 3 (the only live
+        // non-holder) drafted as its new replica.
+        assert_eq!(first.partitions[0].primary.node_id, 2);
+        assert_eq!(first.partitions[0].replicas.iter().map(|r| r.node_id).collect::<Vec<_>>(), [3]);
+        // Partition 2 (primary 3) lost replica 1: topped up with node 2.
+        assert_eq!(first.partitions[2].primary.node_id, 3);
+        assert_eq!(first.partitions[2].replicas.iter().map(|r| r.node_id).collect::<Vec<_>>(), [2]);
+
+        // Kill the promoted node too: node 3 now holds everything.
+        let second = first.elect(&alive(&[3])).expect("node 2 dies");
+        for (p, pm) in second.partitions.iter().enumerate() {
+            assert_eq!(pm.primary.node_id, 3, "partition {p}");
+            assert!(pm.replicas.is_empty(), "no live candidates remain");
+        }
+    }
+
+    /// At RF=3 losing one holder keeps two; top-up only fires while live
+    /// non-holders exist, and never drafts a dead node.
+    #[test]
+    fn elect_at_rf3_prunes_and_tops_up_from_live_nodes_only() {
+        let map = ClusterMap::initial_rf(&roster(4), 3);
+        // Partition 0: primary 1, replicas {2, 3}. Kill node 2.
+        let next = map.elect(&alive(&[1, 3, 4])).expect("changed");
+        assert_eq!(next.rf, 3);
+        assert_eq!(next.partitions[0].primary.node_id, 1);
+        // Dead replica 2 pruned, live non-holder 4 drafted.
+        assert_eq!(
+            next.partitions[0].replicas.iter().map(|r| r.node_id).collect::<Vec<_>>(),
+            [3, 4]
+        );
+        // Partition 1 (primary 2, replicas {3, 4}): lowest-id live
+        // replica 3 wins, 4 stays, 1 drafted to reach rf.
+        assert_eq!(next.partitions[1].primary.node_id, 3);
+        assert_eq!(
+            next.partitions[1].replicas.iter().map(|r| r.node_id).collect::<Vec<_>>(),
+            [4, 1]
+        );
     }
 
     #[test]

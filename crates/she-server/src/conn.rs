@@ -341,10 +341,10 @@ mod tests {
     #[test]
     fn take_input_hands_off_leftover_bytes() {
         let mut c = Connection::new();
-        let mut bytes = frame(&Request::ReplSubscribe { from_seq: 1 }.encode());
+        let mut bytes = frame(&Request::ReplSubscribe { from_seq: 1, node_id: 0 }.encode());
         bytes.extend_from_slice(&frame(&Request::ReplAck { seq: 9 }.encode()));
         c.feed(&bytes, 0);
-        assert_eq!(c.poll(), Event::Request(Request::ReplSubscribe { from_seq: 1 }));
+        assert_eq!(c.poll(), Event::Request(Request::ReplSubscribe { from_seq: 1, node_id: 0 }));
         let leftover = c.take_input();
         assert_eq!(leftover, frame(&Request::ReplAck { seq: 9 }.encode()));
         assert!(!c.has_buffered_input());

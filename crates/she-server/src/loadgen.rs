@@ -25,6 +25,7 @@ use she_hash::{mix64, Xoshiro256};
 use she_metrics::{LatencyHistogram, NetReport};
 use she_readpath::op as fast_op;
 use she_streams::{CaidaLike, KeyStream, Zipf};
+use std::collections::BTreeMap;
 use std::io;
 use std::time::{Duration, Instant};
 
@@ -92,6 +93,23 @@ pub struct LoadgenConfig {
     /// through injected resets. Requires a single connection and a server
     /// running with `--repl-log` (the head is the ledger).
     pub resync_addr: Option<String>,
+    /// Cluster-mode fault hook: when opening an insert or coordinator
+    /// leg to a primary address listed here, dial the mapped (flaky,
+    /// chaos-proxied) address instead. Op-log-head polls and map
+    /// refreshes keep the direct addresses — the ledger must read the
+    /// truth. Primaries promoted mid-run are not in the table and are
+    /// dialed direct: faults attack the stable topology, the reroute
+    /// loop covers failover.
+    pub cluster_via: BTreeMap<String, String>,
+    /// Cluster-mode exactly-once recovery: keep a per-partition op-log
+    /// head ledger so an insert retried after an injected fault is
+    /// resent only when the primary really never applied it — which is
+    /// what keeps `--verify` bit-for-bit under `--faults`. Requires a
+    /// nonzero repl-log on every primary, this run being the sole
+    /// writer, and the topology staying stable for the run: a failover
+    /// mid-run surfaces as a clean head-went-backwards error, never as
+    /// silent divergence.
+    pub cluster_resync: bool,
     /// Fraction of operations issued as v5 `QUERY_FAST` reads, by item
     /// count: after each insert batch the run owes
     /// `items * ratio / (1 - ratio)` fast reads, so `0.95` yields the
@@ -130,6 +148,8 @@ impl Default for LoadgenConfig {
             offset: 0,
             query_batch: 0,
             resync_addr: None,
+            cluster_via: BTreeMap::new(),
+            cluster_resync: false,
             read_ratio: 0.0,
             read_skew: 1.1,
         }
@@ -214,23 +234,66 @@ struct ClusterConns {
     legs: Vec<Option<Client>>,
     /// `busy_retries` harvested from legs already dropped by reroutes.
     retired_busy: u64,
+    /// Flaky detours for primary addresses (see
+    /// [`LoadgenConfig::cluster_via`]); head polls stay direct.
+    via: BTreeMap<String, String>,
+    /// Per-partition exactly-once ledgers, armed by
+    /// [`LoadgenConfig::cluster_resync`].
+    ledgers: Option<Vec<PartLedger>>,
+    /// Reconnects performed while riding through injected faults.
+    reconnects: u64,
+}
+
+/// Exactly-once ledger for one partition's inserts under faults: the
+/// primary's op-log head before the run sent anything, plus the frames
+/// known applied on our behalf since — the same scheme as [`Resilient`],
+/// one ledger per partition leg. The ledger assumes the partition keeps
+/// its primary for the duration of the run: a promoted holder starts a
+/// fresh log, which the head poll reads as the head going backwards and
+/// surfaces as a clean error — never as silent divergence.
+struct PartLedger {
+    head0: u64,
+    committed: u64,
 }
 
 impl ClusterConns {
-    fn connect(seed: &str) -> io::Result<ClusterConns> {
+    fn connect(
+        seed: &str,
+        via: &BTreeMap<String, String>,
+        resync: bool,
+    ) -> io::Result<ClusterConns> {
         let mut c = Client::connect_timeout(seed, CLUSTER_LEG_TIMEOUT)?;
         let map = c.cluster_map()?;
         if map.partitions.is_empty() {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "cluster map is empty"));
         }
+        let ledgers = if resync {
+            let mut l = Vec::with_capacity(map.partitions.len());
+            for part in &map.partitions {
+                // audit:allow(growth): one ledger per partition
+                l.push(PartLedger { head0: poll_head(&part.primary.addr)?, committed: 0 });
+            }
+            Some(l)
+        } else {
+            None
+        };
         let legs = (0..map.partitions.len()).map(|_| None).collect();
-        Ok(ClusterConns { seed: seed.to_string(), map, legs, retired_busy: 0 })
+        Ok(ClusterConns {
+            seed: seed.to_string(),
+            map,
+            legs,
+            retired_busy: 0,
+            via: via.clone(),
+            ledgers,
+            reconnects: 0,
+        })
     }
 
     fn leg(&mut self, p: usize) -> io::Result<&mut Client> {
         if self.legs[p].is_none() {
             let addr = &self.map.partitions[p].primary.addr;
-            self.legs[p] = Some(Client::connect_timeout(addr, CLUSTER_LEG_TIMEOUT)?);
+            let dial = self.via.get(addr).unwrap_or(addr);
+            self.legs[p] = Some(Client::connect_timeout(dial, CLUSTER_LEG_TIMEOUT)?);
         }
         match self.legs[p].as_mut() {
             Some(c) => Ok(c),
@@ -294,11 +357,88 @@ impl ClusterConns {
             by_part[self.map.partition_of(k)].push(k); // audit:allow(growth): batch-bounded scatter buffer
         }
         for (p, sub) in by_part.iter().enumerate() {
-            if !sub.is_empty() {
+            if sub.is_empty() {
+                continue;
+            }
+            if self.ledgers.is_some() {
+                self.insert_resilient(p, stream, sub)?;
+            } else {
                 self.retrying(|me| me.leg(p)?.insert_batch(stream, sub))?;
             }
         }
         Ok(())
+    }
+
+    /// Exactly-once insert on one partition leg over a flaky transport:
+    /// after a faulted send, poll the primary's op-log head over its
+    /// *direct* address and either count the frames as landed or resend
+    /// exactly the missing tail. When the primary itself is unreachable
+    /// (a kill, not just a fault), the map refresh between laps follows
+    /// the promotion; a promoted successor starts a fresh log, which
+    /// the head poll reads as the head going backwards and reports as a
+    /// clean error rather than guessing at what landed.
+    fn insert_resilient(&mut self, p: usize, stream: u8, sub: &[u64]) -> io::Result<()> {
+        let frames = sub.len().div_ceil(MAX_BATCH.max(1)).max(1) as u64;
+        let first = match self.leg(p).and_then(|c| c.insert_batch(stream, sub)) {
+            Ok(_) => {
+                self.commit(p, frames);
+                return Ok(());
+            }
+            Err(e) => e,
+        };
+        for _ in 0..FAULT_RETRIES {
+            std::thread::sleep(FAULT_BACKOFF);
+            if let Some(c) = self.legs[p].take() {
+                self.retired_busy += c.busy_retries;
+            }
+            self.reconnects += 1;
+            let head = match poll_head(&self.map.partitions[p].primary.addr) {
+                Ok(h) => h,
+                Err(_) => {
+                    // Unreachable primary: possibly mid-failover. Adopt
+                    // any newer map and try its promoted successor.
+                    self.refresh();
+                    continue;
+                }
+            };
+            let (head0, committed) = match self.ledgers.as_ref() {
+                Some(l) => (l[p].head0, l[p].committed),
+                None => return Err(io::Error::other("cluster insert ledger vanished")),
+            };
+            let Some(applied) = head.checked_sub(head0 + committed) else {
+                return Err(io::Error::other(format!(
+                    "partition {p} op-log head went backwards under faults: head {head}, \
+                     committed {} ({first})",
+                    head0 + committed
+                )));
+            };
+            if applied > frames {
+                return Err(io::Error::other(format!(
+                    "partition {p} op-log head diverged under faults: {applied} frames \
+                     applied, at most {frames} in flight ({first})"
+                )));
+            }
+            if applied == frames {
+                // Every frame landed; only the response was lost.
+                self.commit(p, frames);
+                return Ok(());
+            }
+            let resend = &sub[(usize_of(applied) * MAX_BATCH.max(1)).min(sub.len())..];
+            if self.leg(p).and_then(|c| c.insert_batch(stream, resend)).is_ok() {
+                self.commit(p, frames);
+                return Ok(());
+            }
+        }
+        Err(io::Error::other(format!(
+            "partition {p} insert did not recover after {FAULT_RETRIES} reconnect \
+             attempts ({first})"
+        )))
+    }
+
+    fn commit(&mut self, p: usize, frames: u64) {
+        if let Some(l) = self.ledgers.as_mut() {
+            l[p].committed += frames;
+        }
     }
 
     fn query(&mut self, op: u8, key: u64) -> io::Result<Response> {
@@ -571,7 +711,7 @@ impl Sink {
     fn reconnects(&self) -> u64 {
         match self {
             Sink::Single { faulted, .. } => faulted.as_ref().map_or(0, |r| r.reconnects),
-            Sink::Cluster(_) => 0,
+            Sink::Cluster(c) => c.reconnects,
         }
     }
 }
@@ -751,7 +891,7 @@ fn run_fanout(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
             "--offset requires a single connection",
         ));
     }
-    if cfg.resync_addr.is_some() {
+    if cfg.resync_addr.is_some() || cfg.cluster_resync {
         // Head-based recovery attributes every op-log advance to the one
         // connection it owns; concurrent writers would make the ledger
         // ambiguous.
@@ -844,7 +984,7 @@ fn run_single(cfg: &LoadgenConfig) -> io::Result<LoadSummary> {
                     "fault injection applies to a single server, not a cluster",
                 ));
             }
-            let conns = ClusterConns::connect(seed)?;
+            let conns = ClusterConns::connect(seed, &cfg.cluster_via, cfg.cluster_resync)?;
             if let Some(v) = &cfg.verify {
                 // The scatter-gather merge runs in partition order; the
                 // mirror's shard order must be the same order.

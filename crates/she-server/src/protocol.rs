@@ -37,13 +37,21 @@
 //! read-path counters; the extension rides at the end of the payload, so
 //! v3/v4 decoders that stop at the peer list keep working and a v5
 //! decoder reading a v4 reply fills the tail with zeros.
+//!
+//! Protocol **v6** carries replication factors: the `ClusterMap` payload
+//! (inside `CLUSTER_JOIN` and `CLUSTER_MAP_REPLY`) grows a trailing
+//! `rf u16` after the partition list, and `REPL_SUBSCRIBE` grows a
+//! trailing `node_id u64` identifying the subscriber (0 = anonymous, the
+//! v5 meaning). Both ride at the end of their frames, so v5 decoders
+//! stop short of them and a v6 decoder reading v5 bytes falls back to
+//! the old semantics (inferred rf, anonymous subscriber).
 
 use crate::cluster::ClusterMap;
 use she_core::convert::{le_u64s, usize_of};
 use she_core::frame::{FrameError, Reader};
 
 /// The protocol version this build speaks (reported by `HELLO`).
-pub const PROTOCOL_VERSION: u16 = 5;
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Hard cap on a frame payload; anything larger is a protocol error on
 /// both ends (prevents a hostile length prefix from allocating memory).
@@ -155,8 +163,11 @@ pub enum Request {
     /// v3: turn this connection into a replication feed starting at
     /// `from_seq` (the first record the subscriber has *not* applied).
     /// The server answers with a stream of [`Response::ReplOp`] /
-    /// [`Response::ReplHeartbeat`] instead of one response.
-    ReplSubscribe { from_seq: u64 },
+    /// [`Response::ReplHeartbeat`] instead of one response. v6 appends
+    /// the subscriber's cluster `node_id` so the primary can label the
+    /// peer in `CLUSTER_STATUS`; 0 means anonymous (the v5 wire form,
+    /// which omits the field entirely).
+    ReplSubscribe { from_seq: u64, node_id: u64 },
     /// v3: sent *by the subscriber* on a replication feed — everything
     /// up to `seq` has been applied (flow-control / cluster-status only).
     ReplAck { seq: u64 },
@@ -427,9 +438,12 @@ impl Request {
                 b.extend_from_slice(data);
             }
             Request::ReplBootstrap => b.push(opcode::REPL_BOOTSTRAP),
-            Request::ReplSubscribe { from_seq } => {
+            Request::ReplSubscribe { from_seq, node_id } => {
                 b.push(opcode::REPL_SUBSCRIBE);
                 b.extend_from_slice(&from_seq.to_le_bytes());
+                if *node_id != 0 {
+                    b.extend_from_slice(&node_id.to_le_bytes());
+                }
             }
             Request::ReplAck { seq } => {
                 b.push(opcode::REPL_ACK);
@@ -502,7 +516,11 @@ impl Request {
                 return Ok(Request::Restore { shard, data });
             }
             opcode::REPL_BOOTSTRAP => Request::ReplBootstrap,
-            opcode::REPL_SUBSCRIBE => Request::ReplSubscribe { from_seq: r.u64()? },
+            opcode::REPL_SUBSCRIBE => Request::ReplSubscribe {
+                from_seq: r.u64()?,
+                // v6 tail; absent from v5 subscribers (anonymous).
+                node_id: if r.remaining() >= 8 { r.u64()? } else { 0 },
+            },
             opcode::REPL_ACK => Request::ReplAck { seq: r.u64()? },
             opcode::CLUSTER_STATUS => Request::ClusterStatus,
             opcode::CLUSTER_JOIN => {

@@ -126,13 +126,13 @@ struct Slot {
 enum Disp {
     Keep,
     Close,
-    Detach { from_seq: u64 },
+    Detach { from_seq: u64, node_id: u64 },
 }
 
 /// Dispatch outcome for one request.
 enum Ctl {
     Continue,
-    Detach { from_seq: u64 },
+    Detach { from_seq: u64, node_id: u64 },
 }
 
 /// Spawn the reactor thread and its offload pool.
@@ -426,7 +426,7 @@ impl Reactor {
                 }
             }
             Disp::Close => self.release(slot_i, cs),
-            Disp::Detach { from_seq } => self.detach(slot_i, cs, from_seq),
+            Disp::Detach { from_seq, node_id } => self.detach(slot_i, cs, from_seq, node_id),
         }
     }
 
@@ -437,7 +437,9 @@ impl Reactor {
                 match cs.conn.poll() {
                     Event::Request(req) => match self.dispatch(cs, idx, gen, req) {
                         Ctl::Continue => {}
-                        Ctl::Detach { from_seq } => return Disp::Detach { from_seq },
+                        Ctl::Detach { from_seq, node_id } => {
+                            return Disp::Detach { from_seq, node_id }
+                        }
                     },
                     Event::Bad(e) => cs.conn.push_response(&Response::Err(e.to_string())),
                     Event::NeedMore => break,
@@ -478,7 +480,9 @@ impl Reactor {
             Request::QueryCard => self.native_all(cs, idx, gen, GatherKind::CardSum),
             Request::QuerySim => self.native_all(cs, idx, gen, GatherKind::SimAvg),
             Request::QueryBatch { op, keys } => self.native_batch(cs, idx, gen, op, keys),
-            Request::ReplSubscribe { from_seq } => return Ctl::Detach { from_seq },
+            Request::ReplSubscribe { from_seq, node_id } => {
+                return Ctl::Detach { from_seq, node_id }
+            }
             req @ (Request::Stats
             | Request::Snapshot { .. }
             | Request::SnapshotAll
@@ -621,7 +625,7 @@ impl Reactor {
     /// `REPL_SUBSCRIBE`: pull the socket out of the reactor, re-block it,
     /// flush anything still queued, and hand it (plus over-read bytes) to
     /// a dedicated feed thread.
-    fn detach(&mut self, slot_i: usize, mut cs: ConnState, from_seq: u64) {
+    fn detach(&mut self, slot_i: usize, mut cs: ConnState, from_seq: u64, node_id: u64) {
         let _ = self.epoll.del(raw_fd(&cs.stream));
         if let Some(slot) = self.slots.get_mut(slot_i) {
             slot.gen = slot.gen.wrapping_add(1);
@@ -648,7 +652,7 @@ impl Reactor {
         let ConnState { stream, guard, .. } = cs;
         let spawned = std::thread::Builder::new().name("she-feed".to_string()).spawn(move || {
             let _guard = guard;
-            serve_feed(stream, leftover, &shared, from_seq);
+            serve_feed(stream, leftover, &shared, from_seq, node_id);
         });
         if let Ok(h) = spawned {
             // audit:allow(growth): one handle per live replication feed; reaped in sweep()

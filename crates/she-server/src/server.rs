@@ -882,12 +882,18 @@ impl Drop for ConnGuard {
 /// Run one replication feed on its own thread: the reactor hands over
 /// the (re-blocking) socket plus any bytes it had already read past the
 /// `REPL_SUBSCRIBE` frame.
-pub(crate) fn serve_feed(stream: TcpStream, leftover: Vec<u8>, shared: &Shared, from_seq: u64) {
+pub(crate) fn serve_feed(
+    stream: TcpStream,
+    leftover: Vec<u8>,
+    shared: &Shared,
+    from_seq: u64,
+    node_id: u64,
+) {
     let Ok(mut write) = stream.try_clone() else { return };
     // Ack reads are a sub-millisecond poll between streaming rounds.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
     let mut read = io::Cursor::new(leftover).chain(stream);
-    serve_subscription(&mut read, &mut write, shared, from_seq);
+    serve_subscription(&mut read, &mut write, shared, from_seq, node_id);
 }
 
 /// Stream the op log to one subscriber: records as they arrive, ordered,
@@ -900,6 +906,7 @@ fn serve_subscription<R: Read>(
     write: &mut TcpStream,
     shared: &Shared,
     from_seq: u64,
+    node_id: u64,
 ) {
     let Some(log) = &shared.log else {
         let _ = write_frame(
@@ -921,7 +928,10 @@ fn serve_subscription<R: Read>(
         );
         return;
     }
-    let peer = write.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".to_string());
+    let addr = write.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".to_string());
+    // A v6 subscriber identifies itself; label the peer `{node}@{addr}`
+    // so `CLUSTER_STATUS` readers can match holders to ack positions.
+    let peer = if node_id != 0 { format!("{node_id}@{addr}") } else { addr };
     let id = shared.hub.register(peer);
     let heartbeat = Duration::from_millis(shared.heartbeat_ms.max(1));
     let mut last_sent = Instant::now();

@@ -43,10 +43,10 @@ fn answers(client: &mut Client) -> Vec<(String, u64)> {
 }
 
 #[test]
-fn hello_negotiates_v5() {
+fn hello_negotiates_v6() {
     let server = Server::start(test_cfg(2)).expect("start");
     let mut client = Client::connect(server.local_addr()).expect("connect");
-    assert_eq!(client.hello().expect("hello"), 5);
+    assert_eq!(client.hello().expect("hello"), 6);
     client.shutdown().expect("shutdown");
     server.wait();
 }

@@ -97,7 +97,7 @@ fn v3_opcodes_do_not_collide_with_v1_decoding() {
     let v3_requests = [
         Request::Hello { version: 3 },
         Request::ReplBootstrap,
-        Request::ReplSubscribe { from_seq: 9 },
+        Request::ReplSubscribe { from_seq: 9, node_id: 0 },
         Request::ReplAck { seq: 9 },
         Request::ClusterStatus,
     ];

@@ -34,7 +34,7 @@ fn sample_requests() -> Vec<Request> {
         Request::Stats,
         Request::Hello { version: 4 },
         Request::Snapshot { shard: 3 },
-        Request::ReplSubscribe { from_seq: 9 },
+        Request::ReplSubscribe { from_seq: 9, node_id: 0 },
         Request::Shutdown,
     ]
 }

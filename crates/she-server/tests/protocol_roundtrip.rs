@@ -30,8 +30,9 @@ fn all_requests() -> Vec<Request> {
         Request::Restore { shard: 3, data: vec![] },
         Request::Restore { shard: 0, data: b"SHEF-opaque-shard-bytes".to_vec() },
         Request::ReplBootstrap,
-        Request::ReplSubscribe { from_seq: 0 },
-        Request::ReplSubscribe { from_seq: u64::MAX },
+        Request::ReplSubscribe { from_seq: 0, node_id: 0 },
+        Request::ReplSubscribe { from_seq: u64::MAX, node_id: 0 },
+        Request::ReplSubscribe { from_seq: 7, node_id: 42 },
         Request::ReplAck { seq: 12_345 },
         Request::ClusterStatus,
         Request::Shutdown,
@@ -155,6 +156,12 @@ fn every_truncated_request_is_rejected() {
             if matches!(req, Request::Restore { .. }) && cut >= 5 {
                 // RESTORE's blob is the frame remainder, so any prefix that
                 // keeps opcode + shard is a (shorter) valid RESTORE — skip.
+                continue;
+            }
+            if matches!(req, Request::ReplSubscribe { node_id, .. } if node_id != 0) && cut == 9 {
+                // The v6 node_id tail is optional by design — a cut at
+                // exactly the v5 boundary (opcode + from_seq) is a valid
+                // anonymous subscribe, not an error.
                 continue;
             }
             let r = Request::decode(&enc[..cut]);

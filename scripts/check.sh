@@ -205,13 +205,16 @@ for pid in $ALL_PIDS; do
 done
 
 echo "== cluster failover smoke test (docs/CLUSTER.md)"
-# Three cluster nodes (each a partition primary + ring-predecessor
-# replica + gossip monitor); a cluster-aware loadgen verifies
-# scatter-gather answers against an in-process mirror; partition 0's
-# primary is then killed -9, the lowest-id live replica holder must be
-# promoted and gossiped, writes continue against the new map, and a
-# final mirror-check proves the whole cluster is still bit-for-bit
-# identical to one single-process engine of the same global sizing.
+# Three cluster nodes at RF=2 (each a partition primary + a replica
+# slot per map assignment + gossip monitor); a cluster-aware loadgen
+# rides per-partition fault proxies with exactly-once head-ledger
+# resync while verifying scatter-gather answers against an in-process
+# mirror; partition 0's primary is then killed -9, the lowest-id live
+# holder must be promoted and gossiped (and the holder set topped back
+# up), writes continue, then the freshly promoted node is killed -9
+# too, and a final mirror-check proves the twice-failed-over cluster
+# is still bit-for-bit identical to one single-process engine of the
+# same global sizing.
 C1=127.0.0.1:7601
 C2=127.0.0.1:7602
 C3=127.0.0.1:7603
@@ -219,8 +222,8 @@ ROSTER="1@$C1,2@$C2,3@$C3"
 CWIN=65536
 CMEM=65536
 CITEMS=30720     # 120 batches of 256
-CMORE=10240      # 40 more after failover (offset stays batch-aligned)
-CTOTAL=$((CITEMS + CMORE))
+CMORE=10240      # 40 more after each failover (offset stays batch-aligned)
+CTOTAL=$((CITEMS + CMORE + CMORE))
 N1_PID=
 N2_PID=
 N3_PID=
@@ -232,21 +235,28 @@ cleanup3() {
 trap cleanup3 EXIT INT TERM
 
 "$BIN" cluster-serve --node-id 1 --roster "$ROSTER" --window "$CWIN" \
-    --memory "$CMEM" --gossip-ms 100 --heartbeat-timeout-ms 1000 >/dev/null &
+    --memory "$CMEM" --replication 2 --anti-entropy-ms 500 \
+    --gossip-ms 100 --heartbeat-timeout-ms 1000 >/dev/null &
 N1_PID=$!
 "$BIN" cluster-serve --node-id 2 --roster "$ROSTER" --window "$CWIN" \
-    --memory "$CMEM" --gossip-ms 100 --heartbeat-timeout-ms 1000 >/dev/null &
+    --memory "$CMEM" --replication 2 --anti-entropy-ms 500 \
+    --gossip-ms 100 --heartbeat-timeout-ms 1000 >/dev/null &
 N2_PID=$!
 "$BIN" cluster-serve --node-id 3 --roster "$ROSTER" --window "$CWIN" \
-    --memory "$CMEM" --gossip-ms 100 --heartbeat-timeout-ms 1000 >/dev/null &
+    --memory "$CMEM" --replication 2 --anti-entropy-ms 500 \
+    --gossip-ms 100 --heartbeat-timeout-ms 1000 >/dev/null &
 N3_PID=$!
 for C in "$C1" "$C2" "$C3"; do
     wait_status "$C"
 done
 
-# Cluster-aware load with interleaved verified scatter-gather queries.
+# Cluster-aware load through per-partition fault proxies, with
+# interleaved verified scatter-gather queries: injected partials,
+# delays, and resets must be absorbed by the exactly-once op-log-head
+# ledger without disturbing bit-for-bit verification.
 "$BIN" loadgen --addr "$C1" --cluster yes --items "$CITEMS" --batch 256 \
     --queries 60 --universe 5000 --sim-every 8 --seed 1 \
+    --faults yes --fault-seed 42 \
     --verify yes --window "$CWIN" --shards 3 --memory "$CMEM" >/dev/null
 
 # Drain: each primary's replica must have acked the log head before the
@@ -274,6 +284,27 @@ for C in "$C1" "$C2" "$C3"; do
     wait_drained "$C"
 done
 
+# cluster-status must name each partition's full holder list and its
+# replicas' apply-lag; after the drain above, partition 0 reads
+# holders 1,2 with replica 2 fully caught up (lag 0).
+"$BIN" cluster-status --addr "$C1" \
+    | grep -q "^partition=0 primary=1@.*holders=1,2 .*lag=2:0\$" || {
+    echo "cluster-status is missing the per-partition holder/lag line:"
+    "$BIN" cluster-status --addr "$C1" || true
+    exit 1
+}
+echo "cluster-status reports holders + apply-lag per partition"
+
+# Drain every partition named by the freshest map (promoted primaries
+# listen on ephemeral addresses, so the addresses come from the map):
+# all replica holders must have acked the log head before a kill.
+drain_all() {
+    for ADDR in $("$BIN" cluster-map --addr "$1" \
+            | sed -n 's/^partition=[0-9]* primary=[0-9]*@\([^ ]*\) .*/\1/p'); do
+        wait_drained "$ADDR"
+    done
+}
+
 # Kill partition 0's primary (node 1) without ceremony.
 kill -9 "$N1_PID" 2>/dev/null || true
 wait "$N1_PID" 2>/dev/null || true
@@ -300,32 +331,59 @@ done
 echo "partition 0 failed over to node 2"
 
 # Writes keep flowing against the new map (offset continues the keygen
-# exactly where the pre-kill run stopped).
+# exactly where the pre-kill run stopped), then every partition —
+# including the freshly drafted RF top-up holders — drains, so the
+# second kill tests failover, not data loss.
 "$BIN" loadgen --addr "$C2" --cluster yes --items "$CMORE" --offset "$CITEMS" \
     --batch 256 --queries 0 --universe 5000 --sim-every 8 --seed 1 >/dev/null
+drain_all "$C2"
 
-# The whole cluster — promoted replica included — must still equal one
-# single-process engine of the same global sizing, bit-for-bit.
-"$BIN" mirror-check --addr "$C2" --cluster yes --items "$CTOTAL" --batch 256 \
+# Round two: kill the node that just won the election. Partition 0's
+# drafted replacement holder (node 3) must promote this time, along
+# with node 2's own partition.
+kill -9 "$N2_PID" 2>/dev/null || true
+wait "$N2_PID" 2>/dev/null || true
+N2_PID=
+i=0
+until OUT=$("$BIN" cluster-map --addr "$C3" 2>/dev/null) && [ -n "$OUT" ] \
+        && ! echo "$OUT" | grep "^partition=" \
+            | grep -Eq "primary=(1|2)@"; do
+    i=$((i + 1))
+    [ "$i" -ge 200 ] && {
+        echo "second failover never converged:"
+        "$BIN" cluster-map --addr "$C3" || true
+        exit 1
+    }
+    sleep 0.1
+done
+echo "promoted node killed; every partition failed over to node 3"
+
+# Writes continue against the twice-failed-over map.
+"$BIN" loadgen --addr "$C3" --cluster yes --items "$CMORE" \
+    --offset "$((CITEMS + CMORE))" \
+    --batch 256 --queries 0 --universe 5000 --sim-every 8 --seed 1 >/dev/null
+
+# The whole cluster — now entirely promoted replicas plus node 3's own
+# partition — must still equal one single-process engine of the same
+# global sizing, bit-for-bit: zero acknowledged writes lost across two
+# kill -9s.
+"$BIN" mirror-check --addr "$C3" --cluster yes --items "$CTOTAL" --batch 256 \
     --universe 5000 --sim-every 8 --seed 1 --probes 32 \
     --window "$CWIN" --shards 3 --memory "$CMEM" || {
-    echo "cluster diverged from the single-engine mirror after failover"
+    echo "cluster diverged from the single-engine mirror after double failover"
     exit 1
 }
-echo "cluster failover: bit-for-bit vs single engine after kill -9 + promotion"
+echo "cluster failover: bit-for-bit vs single engine after two kill -9s"
 
-"$BIN" shutdown --addr "$C2" >/dev/null
 "$BIN" shutdown --addr "$C3" >/dev/null
-wait "$N2_PID" || true
 wait "$N3_PID" || true
-for pid in $N2_PID $N3_PID; do
+for pid in $N3_PID; do
     if kill -0 "$pid" 2>/dev/null; then
         echo "LEAKED PROCESS: cluster node pid $pid survived its smoke test"
         kill -9 "$pid" 2>/dev/null || true
         exit 1
     fi
 done
-N2_PID=
 N3_PID=
 
 echo "== chaos soak smoke test (docs/ROBUSTNESS.md)"
@@ -343,12 +401,16 @@ CHAOS_DIR=$(mktemp -d)
 }
 rm -rf "$CHAOS_DIR"
 
-echo "== cluster kill-primary drill (docs/CLUSTER.md)"
-# In-process failover drill: seeded workload on a real 3-node cluster,
-# replicas drained, one primary killed, survivors must converge and the
-# post-failover scatter-gather battery must match the mirror bit-for-bit.
+echo "== cluster double-kill drill under gossip chaos (docs/CLUSTER.md)"
+# In-process failover drill: seeded workload on a real 3-node RF=2
+# cluster with every gossip exchange routed through fault proxies
+# (drops, delays, resets, duplicated deliveries), partition 0's primary
+# killed and then its freshly promoted successor killed too; survivors
+# must converge after each kill, writes continue between kills, and the
+# final scatter-gather battery must match the mirror bit-for-bit.
 DRILL_SEED=274951162221585
-"$BIN" chaos-cluster --seed "$DRILL_SEED" || {
+"$BIN" chaos-cluster --seed "$DRILL_SEED" --replication 2 --kills 2 \
+    --gossip-faults yes || {
     echo "cluster drill FAILED — replay with: she chaos-cluster --seed $DRILL_SEED"
     exit 1
 }
