@@ -24,8 +24,28 @@ pub struct RuleConfig {
     /// `OrderedMutex` names cross-checked against the manifest).
     pub lock_crates: Vec<String>,
     /// Workspace-relative path suffixes of files on the epoll reactor
-    /// path, where blocking I/O calls are a hard gate failure.
+    /// path. v2 coverage assertion: the computed reactor root set must
+    /// reach at least one fn in each of these files.
     pub blocking_files: Vec<String>,
+    /// `(crate, qualified-fn)` roots of the reactor path: the poll loop,
+    /// the inline dispatch arm, and the `QUERY_FAST` handlers. Blocking
+    /// sinks reachable from these are hard findings with the chain.
+    pub blocking_roots: Vec<(String, String)>,
+    /// Additional `(crate, qualified-fn)` serving roots for the
+    /// reachable-panic split (worker loops, feed threads, refreshers) —
+    /// the blocking roots and every spawn closure in a pinned crate are
+    /// added automatically.
+    pub serving_roots: Vec<(String, String)>,
+    /// Crates whose reachable-from-serving panic sites are pinned at
+    /// zero (hard), with spawn closures auto-rooted as serving entry
+    /// points. Unreachable sites in these crates stay ratcheted.
+    pub panic_pinned_crates: Vec<String>,
+    /// Crates where the wire-length-allocation rule applies.
+    pub wiresize_crates: Vec<String>,
+    /// Path suffixes of the files allowed to contain `unsafe` (each
+    /// block still needs `// audit:allow(unsafe): <reason>`). Everywhere
+    /// else `unsafe` is a hard finding.
+    pub unsafe_files: Vec<String>,
     /// Named lock ranks from `audit-locks.toml` (name → rank).
     pub locks: BTreeMap<String, u16>,
     /// Ratchet baseline from `audit-ratchet.toml`: `"rule/crate"` → count.
@@ -59,7 +79,8 @@ impl RuleConfig {
 
         let mut ratchet = BTreeMap::new();
         for ((section, key), value) in &ratchet_doc {
-            if section != "panic" && section != "cast" && section != "growth" {
+            if section != "panic" && section != "cast" && section != "growth" && section != "unsafe"
+            {
                 return Err(bad(format!("audit-ratchet.toml: unknown section [{section}]")));
             }
             let Value::Int(n) = value else {
@@ -108,6 +129,32 @@ impl RuleConfig {
                 "she-server/src/conn.rs".into(),
                 "she-server/src/sys.rs".into(),
             ],
+            blocking_roots: vec![
+                ("she-server".into(), "Reactor::run".into()),
+                ("she-server".into(), "Reactor::dispatch".into()),
+                ("she-server".into(), "Shared::handle_inline".into()),
+                ("she-readpath".into(), "ReadPath::query".into()),
+            ],
+            serving_roots: vec![
+                ("she-server".into(), "Shared::handle".into()),
+                ("she-server".into(), "run_worker".into()),
+                ("she-replica".into(), "run_tail".into()),
+                ("she-cluster".into(), "Monitor::run".into()),
+            ],
+            panic_pinned_crates: vec![
+                "she-server".into(),
+                "she-replica".into(),
+                "she-cluster".into(),
+                "she-readpath".into(),
+            ],
+            wiresize_crates: vec![
+                "she-core".into(),
+                "she-server".into(),
+                "she-replica".into(),
+                "she-cluster".into(),
+                "she-readpath".into(),
+            ],
+            unsafe_files: vec!["she-server/src/sys.rs".into()],
             locks,
             ratchet,
             protocol: Some((

@@ -1,37 +1,44 @@
 //! # she-audit — the workspace's static-analysis gate
 //!
 //! A dependency-free auditor that lexes every Rust source file in the
-//! workspace and enforces repo-specific invariants `cargo clippy` cannot
-//! express. Six rules ship today (see [`rules`]):
+//! workspace, parses items into a conservative whole-workspace call
+//! graph ([`parse`], [`graph`]), and enforces repo-specific invariants
+//! `cargo clippy` cannot express. Nine rules ship today (see [`rules`]):
 //!
-//! | rule       | invariant |
-//! |------------|-----------|
-//! | `panic`    | no `unwrap`/`expect`/`panic!`/`unreachable!` in non-test serving code |
-//! | `cast`     | no narrowing `as` casts in cell-index / frame-length math |
-//! | `growth`   | no `Vec`/`VecDeque` `push`/`extend` without a nearby cap check |
-//! | `lock`     | every mutex is a ranked `OrderedMutex`; manifest and source agree |
-//! | `blocking` | no blocking I/O calls in files on the epoll reactor path |
-//! | `protocol` | opcode constants and `docs/PROTOCOL.md` tables agree |
+//! | rule              | invariant |
+//! |-------------------|-----------|
+//! | `panic`           | `unwrap`/`expect`/`panic!`/`unreachable!` sites *not* reachable from serving roots, ratcheted |
+//! | `panic-reachable` | the same sites reachable from serving roots in pinned crates — hard, zero |
+//! | `cast`            | no narrowing `as` casts in cell-index / frame-length math |
+//! | `growth`          | no `Vec`/`VecDeque` `push`/`extend` without a nearby cap check |
+//! | `lock`            | ranked `OrderedMutex` everywhere; manifest/source agreement; statically mined acquisition-order edges rank-increase, acyclic |
+//! | `blocking`        | no call chain from a reactor root to a blocking syscall wrapper |
+//! | `wiresize`        | allocations sized by decoded wire lengths are clamped in the fn or a caller |
+//! | `unsafe`          | `unsafe` only in the sys boundary, each block annotated; count ratcheted |
+//! | `protocol`        | opcode constants and `docs/PROTOCOL.md` tables agree |
 //!
-//! `panic`, `cast`, and `growth` are **ratcheted**: `audit-ratchet.toml` commits a
-//! per-crate finding count, and the gate fails when the live count moves
-//! in *either* direction — growth is a regression, shrinkage must be
-//! banked by tightening the committed number so it can never grow back.
-//! `lock`, `protocol`, and `blocking` findings, and malformed
-//! `audit:allow` annotations, fail the gate unconditionally.
+//! `panic`, `cast`, `growth`, and the annotated-`unsafe` count are
+//! **ratcheted**: `audit-ratchet.toml` commits a per-crate number and
+//! the gate fails when the live count moves in *either* direction —
+//! growth is a regression, shrinkage must be banked. Everything else is
+//! a hard gate failure.
 //!
-//! The entry point is [`audit`]; `she audit` (in `she-cli`) is a thin
-//! wrapper that prints [`Audit::findings`] and exits nonzero when
-//! [`Audit::ok`] is false. See `docs/ANALYSIS.md` for the rule
-//! catalogue, the annotation syntax, and the ratchet workflow.
+//! The entry point is [`audit`] (or [`audit_with`] for `--rule` /
+//! `--json` support); `she audit` (in `she-cli`) is a thin wrapper. See
+//! `docs/ANALYSIS.md` for the rule catalogue, graph construction and
+//! its known approximations, the annotation syntax, and the ratchet
+//! workflow.
 
 mod config;
 mod lexer;
 mod walk;
 
+pub mod graph;
+pub mod parse;
 pub mod rules;
 
 pub use config::{parse_toml, parse_toml_file, RuleConfig, TomlEntry, Value};
+pub use graph::{CallGraph, GraphStats, Reach};
 pub use lexer::{lex, Lexed, TokKind, Token};
 pub use rules::Finding;
 pub use walk::{discover, SourceFile};
@@ -39,8 +46,24 @@ pub use walk::{discover, SourceFile};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
 use rules::lock_order::LockScan;
+
+/// Options for one audit run beyond the committed config.
+#[derive(Debug, Default)]
+pub struct AuditOptions {
+    /// Run (and gate) only the named rule. `None` runs everything.
+    pub rule: Option<String>,
+}
+
+/// Wall time and yield of one rule pass.
+#[derive(Debug, Clone)]
+pub struct RuleTiming {
+    pub name: &'static str,
+    pub micros: u128,
+    pub findings: usize,
+}
 
 /// The result of one audit run.
 #[derive(Debug)]
@@ -54,6 +77,10 @@ pub struct Audit {
     pub lock_sites: Vec<String>,
     /// Number of source files lexed.
     pub files_scanned: usize,
+    /// Call-graph headline numbers (nodes, edges, roots, unresolved).
+    pub graph_stats: GraphStats,
+    /// Per-rule wall time, in rule execution order.
+    pub timings: Vec<RuleTiming>,
 }
 
 impl Audit {
@@ -76,74 +103,333 @@ impl Audit {
             })
             .collect()
     }
+
+    /// Machine-readable report (the `--json` schema; see
+    /// `docs/ANALYSIS.md`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str(&format!(
+            "{{\"ok\":{},\"files_scanned\":{},\"graph\":{{\"nodes\":{},\"edges\":{},\"roots\":{},\"unresolved_calls\":{}}}",
+            self.ok(),
+            self.files_scanned,
+            self.graph_stats.nodes,
+            self.graph_stats.edges,
+            self.graph_stats.roots,
+            self.graph_stats.unresolved_calls,
+        ));
+        s.push_str(",\"rules\":[");
+        for (i, t) in self.timings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":{},\"micros\":{},\"findings\":{}}}",
+                json_str(t.name),
+                t.micros,
+                t.findings
+            ));
+        }
+        s.push_str("],\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"crate\":{},\"file\":{},\"line\":{},\"msg\":{}}}",
+                json_str(f.rule),
+                json_str(&f.crate_name),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.msg)
+            ));
+        }
+        s.push_str("],\"gate_failures\":[");
+        for (i, g) in self.gate_failures.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_str(g));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Run every rule over the workspace rooted at `root`.
 pub fn audit(root: &Path, cfg: &RuleConfig) -> io::Result<Audit> {
-    let files = discover(root)?;
-    let mut findings = Vec::new();
-    let mut lock_scan = LockScan::default();
-    let mut files_scanned = 0usize;
+    audit_with(root, cfg, &AuditOptions::default())
+}
 
+/// Run the audit with options (`--rule` filter for local iteration).
+pub fn audit_with(root: &Path, cfg: &RuleConfig, opts: &AuditOptions) -> io::Result<Audit> {
+    let files = discover(root)?;
+    let sel = opts.rule.as_deref();
+    let want = |name: &str| sel.is_none_or(|r| r == name);
+
+    // Lex every non-test file once; the graph wants the whole workspace
+    // even where no rule polices the crate (cross-crate call edges).
+    let mut lexed: BTreeMap<String, Lexed> = BTreeMap::new();
+    let mut scanned: Vec<&SourceFile> = Vec::new();
     for file in &files {
-        let on_reactor_path =
-            cfg.blocking_files.iter().any(|suffix| file.rel_path.ends_with(suffix.as_str()));
-        let policed = !file.test_only
-            && (cfg.panic_crates.contains(&file.crate_name)
-                || cfg.cast_crates.contains(&file.crate_name)
-                || cfg.growth_crates.contains(&file.crate_name)
-                || cfg.lock_crates.contains(&file.crate_name)
-                || on_reactor_path);
-        if !policed {
+        if file.test_only {
             continue;
         }
         let src = std::fs::read_to_string(&file.abs_path)
             .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", file.rel_path)))?;
-        let lx = lexer::lex(&src);
-        files_scanned += 1;
+        lexed.insert(file.rel_path.clone(), lexer::lex(&src));
+        scanned.push(file);
+    }
+    let files_scanned = scanned.len();
 
-        for &line in &lx.malformed_allows {
-            findings.push(Finding {
-                rule: "allow",
-                crate_name: file.crate_name.clone(),
-                file: file.rel_path.clone(),
-                line,
-                msg: "malformed audit:allow annotation (syntax: `// audit:allow(<rule>): <reason>`, reason required)".to_string(),
-            });
+    let mut timings: Vec<RuleTiming> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // ---- call graph + root sets (timed as a pseudo-rule) ----
+    let t0 = Instant::now();
+    let parsed: Vec<parse::FileItems> = scanned
+        .iter()
+        .map(|f| parse::parse_file(&f.crate_name, &f.rel_path, &lexed[&f.rel_path]))
+        .collect();
+    let graph = CallGraph::build(parsed);
+    let (blocking_ids, blocking_missing) = graph.find_roots(&cfg.blocking_roots);
+    let blocking_reach = graph.reach(&blocking_ids, false);
+    let mut serving_specs = cfg.blocking_roots.clone();
+    serving_specs.extend(cfg.serving_roots.iter().cloned());
+    let (mut serving_ids, serving_missing) = graph.find_roots(&serving_specs);
+    serving_ids.extend(graph.spawn_nodes(&cfg.panic_pinned_crates));
+    serving_ids.sort_unstable();
+    serving_ids.dedup();
+    let serving_reach = graph.reach(&serving_ids, false);
+    let mut root_union = blocking_ids.clone();
+    root_union.extend(serving_ids.iter().copied());
+    root_union.sort_unstable();
+    root_union.dedup();
+    let graph_stats = graph.stats(root_union.len());
+    timings.push(RuleTiming { name: "graph", micros: t0.elapsed().as_micros(), findings: 0 });
+
+    // Which files each per-file rule looks at. The `allow` syntax check
+    // covers every file at least one rule polices.
+    let policed = |f: &SourceFile| {
+        cfg.panic_crates.contains(&f.crate_name)
+            || cfg.cast_crates.contains(&f.crate_name)
+            || cfg.growth_crates.contains(&f.crate_name)
+            || cfg.lock_crates.contains(&f.crate_name)
+            || cfg.wiresize_crates.contains(&f.crate_name)
+            || cfg.blocking_files.iter().any(|s| f.rel_path.ends_with(s.as_str()))
+            || cfg.unsafe_files.iter().any(|s| f.rel_path.ends_with(s.as_str()))
+    };
+
+    // ---- allow syntax ----
+    if want("allow") {
+        let t0 = Instant::now();
+        let mut n = 0;
+        for f in &scanned {
+            if !policed(f) {
+                continue;
+            }
+            for &line in &lexed[&f.rel_path].malformed_allows {
+                findings.push(Finding {
+                    rule: "allow",
+                    crate_name: f.crate_name.clone(),
+                    file: f.rel_path.clone(),
+                    line,
+                    msg: "malformed audit:allow annotation (syntax: `// audit:allow(<rule>): <reason>`, reason required)".to_string(),
+                });
+                n += 1;
+            }
         }
-        if cfg.panic_crates.contains(&file.crate_name) {
-            findings.extend(rules::panic_path::check(&file.crate_name, &file.rel_path, &lx));
-        }
-        if cfg.cast_crates.contains(&file.crate_name) {
-            findings.extend(rules::cast::check(&file.crate_name, &file.rel_path, &lx));
-        }
-        if cfg.growth_crates.contains(&file.crate_name) {
-            findings.extend(rules::growth::check(&file.crate_name, &file.rel_path, &lx));
-        }
-        if on_reactor_path {
-            findings.extend(rules::blocking_io::check(&file.crate_name, &file.rel_path, &lx));
-        }
-        if cfg.lock_crates.contains(&file.crate_name) {
-            lock_scan.scan_file(&file.crate_name, &file.rel_path, &lx);
-        }
+        timings.push(RuleTiming { name: "allow", micros: t0.elapsed().as_micros(), findings: n });
     }
 
-    let (lock_findings, lock_sites) = lock_scan.finish(&cfg.locks);
-    findings.extend(lock_findings);
+    // ---- panic (site scan + reachability split) ----
+    if want("panic") || want("panic-reachable") {
+        let t0 = Instant::now();
+        let mut n = 0;
+        for spec in &serving_missing {
+            findings.push(Finding {
+                rule: "panic-reachable",
+                crate_name: String::new(),
+                file: "RuleConfig::serving_roots".to_string(),
+                line: 0,
+                msg: format!(
+                    "configured serving root `{spec}` matches no fn in the workspace — the \
+                     reachable-panic split silently under-approximates without it"
+                ),
+            });
+            n += 1;
+        }
+        for f in &scanned {
+            if !cfg.panic_crates.contains(&f.crate_name) {
+                continue;
+            }
+            for site in rules::panic_path::check(&f.crate_name, &f.rel_path, &lexed[&f.rel_path]) {
+                let pinned = cfg.panic_pinned_crates.contains(&f.crate_name);
+                let reachable_from =
+                    graph.fn_at(&site.file, site.line).filter(|&id| serving_reach.reachable[id]);
+                match reachable_from {
+                    Some(id) if pinned => findings.push(Finding {
+                        rule: "panic-reachable",
+                        msg: format!(
+                            "{} — reachable from serving roots: {}",
+                            site.msg,
+                            graph.chain_str(&serving_reach, id)
+                        ),
+                        ..site
+                    }),
+                    _ => findings.push(site),
+                }
+                n += 1;
+            }
+        }
+        timings.push(RuleTiming { name: "panic", micros: t0.elapsed().as_micros(), findings: n });
+    }
 
-    if let Some((rs, md)) = &cfg.protocol {
-        findings.extend(rules::protocol_drift::check(rs, md)?);
+    // ---- cast ----
+    if want("cast") {
+        let t0 = Instant::now();
+        let mut n = 0;
+        for f in &scanned {
+            if cfg.cast_crates.contains(&f.crate_name) {
+                let fs = rules::cast::check(&f.crate_name, &f.rel_path, &lexed[&f.rel_path]);
+                n += fs.len();
+                findings.extend(fs);
+            }
+        }
+        timings.push(RuleTiming { name: "cast", micros: t0.elapsed().as_micros(), findings: n });
+    }
+
+    // ---- growth ----
+    if want("growth") {
+        let t0 = Instant::now();
+        let mut n = 0;
+        for f in &scanned {
+            if cfg.growth_crates.contains(&f.crate_name) {
+                let fs = rules::growth::check(&f.crate_name, &f.rel_path, &lexed[&f.rel_path]);
+                n += fs.len();
+                findings.extend(fs);
+            }
+        }
+        timings.push(RuleTiming { name: "growth", micros: t0.elapsed().as_micros(), findings: n });
+    }
+
+    // ---- blocking (reachability) ----
+    if want("blocking") {
+        let t0 = Instant::now();
+        let fs = rules::blocking_io::check_graph(
+            &graph,
+            &blocking_reach,
+            &lexed,
+            &cfg.blocking_files,
+            &blocking_missing,
+        );
+        timings.push(RuleTiming {
+            name: "blocking",
+            micros: t0.elapsed().as_micros(),
+            findings: fs.len(),
+        });
+        findings.extend(fs);
+    }
+
+    // ---- lock (v1 manifest checks + v2 order edges) ----
+    let mut lock_sites = Vec::new();
+    if want("lock") {
+        let t0 = Instant::now();
+        let mut lock_scan = LockScan::default();
+        for f in &scanned {
+            if cfg.lock_crates.contains(&f.crate_name) {
+                lock_scan.scan_file(&f.crate_name, &f.rel_path, &lexed[&f.rel_path]);
+            }
+        }
+        let (lock_findings, sites) = lock_scan.finish(&cfg.locks);
+        lock_sites = sites;
+        let mut n = lock_findings.len();
+        findings.extend(lock_findings);
+        let order = rules::lock_order::check_order(&graph, &lexed, &cfg.lock_crates, &cfg.locks);
+        n += order.len();
+        findings.extend(order);
+        timings.push(RuleTiming { name: "lock", micros: t0.elapsed().as_micros(), findings: n });
+    }
+
+    // ---- wiresize ----
+    if want("wiresize") {
+        let t0 = Instant::now();
+        let fs = rules::wiresize::check(&graph, &lexed, &cfg.wiresize_crates);
+        timings.push(RuleTiming {
+            name: "wiresize",
+            micros: t0.elapsed().as_micros(),
+            findings: fs.len(),
+        });
+        findings.extend(fs);
+    }
+
+    // ---- unsafe inventory ----
+    let mut unsafe_counts: BTreeMap<String, u64> = BTreeMap::new();
+    if want("unsafe") {
+        let t0 = Instant::now();
+        let mut n = 0;
+        for f in &scanned {
+            let (fs, count) = rules::unsafe_inv::check(
+                &f.crate_name,
+                &f.rel_path,
+                &lexed[&f.rel_path],
+                &cfg.unsafe_files,
+            );
+            n += fs.len();
+            findings.extend(fs);
+            if count > 0 {
+                *unsafe_counts.entry(f.crate_name.clone()).or_insert(0) += count;
+            }
+        }
+        timings.push(RuleTiming { name: "unsafe", micros: t0.elapsed().as_micros(), findings: n });
+    }
+
+    // ---- protocol drift ----
+    if want("protocol") {
+        if let Some((rs, md)) = &cfg.protocol {
+            let t0 = Instant::now();
+            let fs = rules::protocol_drift::check(rs, md)?;
+            timings.push(RuleTiming {
+                name: "protocol",
+                micros: t0.elapsed().as_micros(),
+                findings: fs.len(),
+            });
+            findings.extend(fs);
+        }
     }
 
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
 
-    let gate_failures = evaluate_gate(&findings, cfg);
-    Ok(Audit { findings, gate_failures, lock_sites, files_scanned })
+    let gate_failures = evaluate_gate(&findings, cfg, &unsafe_counts, sel);
+    Ok(Audit { findings, gate_failures, lock_sites, files_scanned, graph_stats, timings })
 }
 
 /// Ratchet + hard-rule gate semantics.
-fn evaluate_gate(findings: &[Finding], cfg: &RuleConfig) -> Vec<String> {
+fn evaluate_gate(
+    findings: &[Finding],
+    cfg: &RuleConfig,
+    unsafe_counts: &BTreeMap<String, u64>,
+    rule_filter: Option<&str>,
+) -> Vec<String> {
     let mut failures = Vec::new();
+    let want = |name: &str| rule_filter.is_none_or(|r| r == name);
 
     // Hard rules: any finding fails the gate.
     for (rule, label) in [
@@ -151,7 +437,13 @@ fn evaluate_gate(findings: &[Finding], cfg: &RuleConfig) -> Vec<String> {
         ("protocol", "protocol-drift"),
         ("allow", "allow-syntax"),
         ("blocking", "blocking-io"),
+        ("panic-reachable", "reachable-panic"),
+        ("wiresize", "wire-size"),
+        ("unsafe", "unsafe-inventory"),
     ] {
+        if !(want(rule) || rule == "panic-reachable" && want("panic")) {
+            continue;
+        }
         let n = findings.iter().filter(|f| f.rule == rule).count();
         if n > 0 {
             // Name the offending crates so `failing_findings` (which
@@ -176,6 +468,9 @@ fn evaluate_gate(findings: &[Finding], cfg: &RuleConfig) -> Vec<String> {
     for (rule, crates) in
         [("panic", &cfg.panic_crates), ("cast", &cfg.cast_crates), ("growth", &cfg.growth_crates)]
     {
+        if !want(rule) {
+            continue;
+        }
         let mut counts: BTreeMap<&str, u64> = crates.iter().map(|c| (c.as_str(), 0)).collect();
         for f in findings.iter().filter(|f| f.rule == rule) {
             if let Some(n) = counts.get_mut(f.crate_name.as_str()) {
@@ -206,6 +501,37 @@ fn evaluate_gate(findings: &[Finding], cfg: &RuleConfig) -> Vec<String> {
             }
         }
     }
+
+    // The unsafe inventory ratchets a *count of annotated blocks*, not
+    // findings: boundary-file crates must hold exactly their committed
+    // number of `audit:allow(unsafe)` blocks.
+    if want("unsafe") {
+        let mut crates: Vec<String> = cfg
+            .unsafe_files
+            .iter()
+            .filter_map(|p| p.split('/').next())
+            .map(str::to_string)
+            .collect();
+        crates.extend(unsafe_counts.keys().cloned());
+        crates.extend(
+            cfg.ratchet.keys().filter_map(|k| k.strip_prefix("unsafe/")).map(str::to_string),
+        );
+        crates.sort_unstable();
+        crates.dedup();
+        for crate_name in &crates {
+            let count = unsafe_counts.get(crate_name).copied().unwrap_or(0);
+            let baseline = cfg.ratchet.get(&format!("unsafe/{crate_name}")).copied().unwrap_or(0);
+            if count > baseline {
+                failures.push(format!(
+                    "unsafe: {crate_name} has {count} annotated unsafe block(s), baseline {baseline} — shrink the unsafe surface or bank the growth deliberately in audit-ratchet.toml"
+                ));
+            } else if count < baseline {
+                failures.push(format!(
+                    "unsafe: {crate_name} improved to {count} annotated unsafe block(s), baseline {baseline} — tighten audit-ratchet.toml so the gains can't regress"
+                ));
+            }
+        }
+    }
     failures
 }
 
@@ -220,6 +546,11 @@ mod tests {
             growth_crates: vec!["demo".into()],
             lock_crates: vec!["demo".into()],
             blocking_files: Vec::new(),
+            blocking_roots: Vec::new(),
+            serving_roots: Vec::new(),
+            panic_pinned_crates: Vec::new(),
+            wiresize_crates: vec!["demo".into()],
+            unsafe_files: Vec::new(),
             locks: BTreeMap::new(),
             ratchet: ratchet.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             protocol: None,
@@ -283,6 +614,59 @@ mod tests {
         let a = audit(&tmp, &cfg).expect("audit");
         assert!(a.ok(), "{:?}", a.gate_failures);
         assert!(a.findings.is_empty());
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn rule_filter_runs_and_gates_only_that_rule() {
+        let tmp = tree(
+            "filter",
+            &[("crates/demo/src/lib.rs", "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n")],
+        );
+        let cfg = cfg_for(&[]);
+        let a = audit_with(&tmp, &cfg, &AuditOptions { rule: Some("cast".into()) }).expect("audit");
+        assert!(a.ok(), "panic finding must not gate a --rule cast run: {:?}", a.gate_failures);
+        assert!(a.findings.is_empty());
+        assert!(a.timings.iter().any(|t| t.name == "cast"));
+        assert!(!a.timings.iter().any(|t| t.name == "panic"));
+
+        let a =
+            audit_with(&tmp, &cfg, &AuditOptions { rule: Some("panic".into()) }).expect("audit");
+        assert!(!a.ok());
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn unsafe_ratchet_counts_annotated_blocks() {
+        let src = "pub fn f() {\n    // audit:allow(unsafe): fd open by construction\n    \
+                   unsafe { go() };\n}\n";
+        let tmp = tree("unsafecount", &[("crates/demo/src/sys.rs", src)]);
+        let mut cfg = cfg_for(&[]);
+        cfg.unsafe_files = vec!["demo/src/sys.rs".into()];
+        // No baseline → annotated count of 1 is growth.
+        let a = audit(&tmp, &cfg).expect("audit");
+        assert!(
+            a.gate_failures.iter().any(|g| g.contains("annotated unsafe block(s)")),
+            "{:?}",
+            a.gate_failures
+        );
+        // Committed baseline of 1 → passes.
+        cfg.ratchet.insert("unsafe/demo".into(), 1);
+        let a = audit(&tmp, &cfg).expect("audit");
+        assert!(a.ok(), "{:?}", a.gate_failures);
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let tmp = tree("json", &[("crates/demo/src/lib.rs", "pub fn f() {}\n")]);
+        let cfg = cfg_for(&[]);
+        let a = audit(&tmp, &cfg).expect("audit");
+        let j = a.to_json();
+        assert!(j.starts_with("{\"ok\":true"), "{j}");
+        assert!(j.contains("\"graph\":{\"nodes\":1"), "{j}");
+        assert!(j.contains("\"rules\":["), "{j}");
+        assert!(j.ends_with("\"gate_failures\":[]}"), "{j}");
         std::fs::remove_dir_all(&tmp).ok();
     }
 }

@@ -1,19 +1,27 @@
-//! **blocking-io** — files on the epoll reactor path must not call
-//! blocking I/O primitives. The reactor thread multiplexes every client
+//! **blocking-io v2** — no call chain from a reactor root to a blocking
+//! syscall wrapper. The reactor thread multiplexes every client
 //! connection; one call that parks it on a socket read, a full write, or
-//! an unbounded channel wait stalls *all* of them at once. The serving
-//! path must stay event-driven: nonblocking sockets, readiness from
-//! epoll, and `try_recv`/`try_send` on channels.
+//! an unbounded channel wait stalls *all* of them at once — including a
+//! blocking call smuggled in through a helper fn defined in a file the
+//! old per-file list never policed.
 //!
-//! The rule polices an explicit file list (`RuleConfig::blocking_files`)
-//! rather than whole crates: the same crate legitimately hosts blocking
-//! helpers for clients, feed threads, and workers. A policed file that
-//! must block deliberately — e.g. handing a connection off to a
-//! dedicated thread — carries `// audit:allow(blocking): <reason>`
-//! stating which thread actually blocks. Findings are a hard gate
-//! failure, not ratcheted: a blocking call on the reactor is never a
-//! baseline to preserve.
+//! v1 policed `RuleConfig::blocking_files` directly. v2 walks the
+//! workspace call graph from the configured roots (the epoll poll loop,
+//! the inline dispatch arm, the `QUERY_FAST` handler) and flags every
+//! blocking call site inside any reachable fn, printing the full
+//! root → … → fn chain. The old file list survives as a coverage
+//! assertion: every legacy reactor-path file must contain at least one
+//! root-reachable fn, so the computed root set can never silently rot
+//! below what the hand-maintained list used to police.
+//!
+//! A reachable site that must block deliberately — e.g. handing a
+//! connection off to a dedicated thread — carries
+//! `// audit:allow(blocking): <reason>` naming the thread that actually
+//! blocks. Findings are a hard gate failure, not ratcheted.
 
+use std::collections::BTreeMap;
+
+use crate::graph::{CallGraph, Reach};
 use crate::lexer::{Lexed, TokKind};
 use crate::rules::Finding;
 
@@ -22,7 +30,7 @@ use crate::rules::Finding;
 /// blocking by design), the std blocking read/write combinators, socket
 /// timeout configuration (only meaningful on blocking sockets), and
 /// blocking channel receives.
-const BLOCKERS: [&str; 10] = [
+pub const BLOCKERS: [&str; 10] = [
     "read_frame",
     "read_frame_deadline",
     "write_frame",
@@ -35,38 +43,114 @@ const BLOCKERS: [&str; 10] = [
     "set_write_timeout",
 ];
 
-/// Run the rule over one lexed policed file.
-pub fn check(crate_name: &str, file: &str, lx: &Lexed) -> Vec<Finding> {
+/// Blocking call sites in the token range `lo..hi`: `(line, callee)`.
+/// Definitions (`fn read_frame(`), imports, test code, and
+/// allow-annotated lines are excluded.
+pub fn sink_sites(lx: &Lexed, lo: usize, hi: usize) -> Vec<(u32, String)> {
     let toks = &lx.tokens;
     let mut out = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
+    for i in lo..hi.min(toks.len()) {
+        let t = &toks[i];
         if t.kind != TokKind::Ident || !BLOCKERS.contains(&t.text.as_str()) {
             continue;
         }
-        // Only calls count — `.read_exact(`, `read_frame(`, or
-        // `codec::read_frame(` — not definitions (`fn read_frame(`) or
-        // imports (`use codec::read_frame;`).
         if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
             continue;
         }
-        if i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn" {
+        if i > 0 && toks[i - 1].is_ident("fn") {
             continue;
         }
         if lx.in_test(t.line) || lx.allowed("blocking", t.line) {
             continue;
         }
+        out.push((t.line, t.text.clone()));
+    }
+    out
+}
+
+/// Run the reachability rule: every blocking sink in a root-reachable fn
+/// is a finding carrying the full call chain; every legacy reactor-path
+/// file must be covered by the root set; every configured root must
+/// exist in the graph.
+pub fn check_graph(
+    graph: &CallGraph,
+    reach: &Reach,
+    lexed: &BTreeMap<String, Lexed>,
+    blocking_files: &[String],
+    missing_roots: &[String],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for spec in missing_roots {
         out.push(Finding {
             rule: "blocking",
-            crate_name: crate_name.to_string(),
-            file: file.to_string(),
-            line: t.line,
+            crate_name: String::new(),
+            file: "RuleConfig::blocking_roots".to_string(),
+            line: 0,
             msg: format!(
-                "`{}(` blocks the calling thread on a reactor-path file (go through epoll \
-                 readiness, or annotate `// audit:allow(blocking): <reason>` naming the \
-                 thread that actually blocks)",
-                t.text
+                "configured reactor root `{spec}` matches no fn in the workspace — the \
+                 root set must track the code or the whole rule silently under-approximates"
             ),
         });
+    }
+    for (id, f) in graph.fns.iter().enumerate() {
+        if !reach.reachable[id] {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        let Some(lx) = lexed.get(&f.file) else { continue };
+        // Tokens inside a nested fn or a carved-out spawn closure belong
+        // to *that* node; scanning them here would blame the spawner for
+        // work a dedicated thread does.
+        let mut holes: Vec<(usize, usize)> = graph
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(j, g)| j != id && g.file == f.file)
+            .filter_map(|(_, g)| g.body)
+            .filter(|&(glo, ghi)| glo > lo && ghi < hi)
+            .collect();
+        holes.sort_unstable();
+        let mut segments = Vec::new();
+        let mut cursor = lo;
+        for (hlo, hhi) in holes {
+            if hlo > cursor {
+                segments.push((cursor, hlo));
+            }
+            cursor = cursor.max(hhi + 1);
+        }
+        if cursor < hi + 1 {
+            segments.push((cursor, hi + 1));
+        }
+        for (line, name) in segments.iter().flat_map(|&(slo, shi)| sink_sites(lx, slo, shi)) {
+            out.push(Finding {
+                rule: "blocking",
+                crate_name: f.crate_name.clone(),
+                file: f.file.clone(),
+                line,
+                msg: format!(
+                    "`{name}(` blocks the reactor thread; chain: {} — go through epoll \
+                     readiness, offload it, or annotate `// audit:allow(blocking): <reason>` \
+                     naming the thread that actually blocks",
+                    graph.chain_str(reach, id)
+                ),
+            });
+        }
+    }
+    // Coverage assertion: the computed root set must still reach every
+    // file the retired v1 list policed by hand.
+    for suffix in blocking_files {
+        let covered = graph.fns_in_file(suffix).iter().any(|&i| reach.reachable[i]);
+        if !covered {
+            out.push(Finding {
+                rule: "blocking",
+                crate_name: String::new(),
+                file: suffix.clone(),
+                line: 0,
+                msg: "reactor root set does not reach any fn in this legacy reactor-path \
+                      file — extend RuleConfig::blocking_roots to cover it"
+                    .to_string(),
+            });
+        }
     }
     out
 }
@@ -75,43 +159,68 @@ pub fn check(crate_name: &str, file: &str, lx: &Lexed) -> Vec<Finding> {
 mod tests {
     use super::*;
     use crate::lexer::lex;
+    use crate::parse::parse_file;
 
-    fn lines(src: &str) -> Vec<u32> {
-        check("c", "f.rs", &lex(src)).into_iter().map(|f| f.line).collect()
+    fn run(src: &str, roots: &[&str], files: &[&str]) -> Vec<Finding> {
+        let lx = lex(src);
+        let items = parse_file("demo", "demo/src/lib.rs", &lx);
+        let graph = CallGraph::build(vec![items]);
+        let specs: Vec<(String, String)> =
+            roots.iter().map(|r| ("demo".to_string(), r.to_string())).collect();
+        let (ids, missing) = graph.find_roots(&specs);
+        let reach = graph.reach(&ids, false);
+        let lexed = [("demo/src/lib.rs".to_string(), lx)].into_iter().collect();
+        let files: Vec<String> = files.iter().map(|s| s.to_string()).collect();
+        check_graph(&graph, &reach, &lexed, &files, &missing)
     }
 
     #[test]
-    fn flags_method_and_free_function_calls() {
-        let src = "fn f(s: &mut TcpStream) {\n    s.read_exact(&mut buf)?;\n    \
-                   let p = read_frame(s)?;\n    codec::write_frame(s, &p)?;\n}";
-        assert_eq!(lines(src), [2, 3, 4]);
+    fn chain_through_helper_is_flagged() {
+        let src = "fn run() { helper(); }\nfn helper() { s.read_exact(&mut b); }\n";
+        let f = run(src, &["run"], &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].msg.contains("run → helper"), "{}", f[0].msg);
+        assert!(f[0].msg.contains("blocks the reactor thread"));
     }
 
     #[test]
-    fn definitions_and_imports_are_not_calls() {
-        let src = "use crate::codec::{read_frame, write_frame};\n\
-                   fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {\n    todo()\n}";
-        assert!(lines(src).is_empty());
+    fn unreachable_blocking_is_fine() {
+        let src = "fn run() {}\nfn feed_thread() { s.write_all(&b); }\n";
+        assert!(run(src, &["run"], &[]).is_empty());
     }
 
     #[test]
-    fn channel_receives_and_timeout_config_are_flagged() {
-        let src = "fn f(rx: &Receiver<u32>, s: &TcpStream) {\n    let v = rx.recv();\n    \
-                   s.set_read_timeout(None);\n}";
-        assert_eq!(lines(src), [2, 3]);
+    fn spawned_closure_does_not_taint_the_spawner() {
+        let src = "fn run() { spawn(move || { rx.recv(); }); poll(); }\nfn poll() {}\n";
+        assert!(run(src, &["run"], &[]).is_empty());
     }
 
     #[test]
-    fn try_recv_is_not_recv() {
-        assert!(lines("fn f(rx: &Receiver<u32>) { while let Ok(v) = rx.try_recv() {} }").is_empty());
+    fn allow_suppresses_a_reachable_sink() {
+        let src = "fn run() { handoff(); }\nfn handoff() {\n    \
+                   // audit:allow(blocking): runs once, then the fd moves to the feed thread\n    \
+                   s.set_read_timeout(None);\n}\n";
+        assert!(run(src, &["run"], &[]).is_empty());
     }
 
     #[test]
-    fn allow_and_tests_suppress() {
-        let src = "fn f(s: &mut TcpStream) {\n    \
-                   // audit:allow(blocking): runs on the detached feed thread\n    \
-                   s.write_all(&out);\n}\n\
-                   #[cfg(test)]\nmod t {\n    fn g(s: &mut TcpStream) { s.write_all(&[1]); }\n}";
-        assert!(lines(src).is_empty());
+    fn missing_root_is_a_finding() {
+        let f = run("fn run() {}\n", &["ghost"], &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("matches no fn"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn uncovered_legacy_file_is_a_finding() {
+        let f = run("fn run() {}\n", &["run"], &["demo/src/other.rs"]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("does not reach any fn"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn covered_legacy_file_is_quiet() {
+        let f = run("fn run() { helper(); }\nfn helper() {}\n", &["run"], &["demo/src/lib.rs"]);
+        assert!(f.is_empty(), "{f:?}");
     }
 }

@@ -146,6 +146,356 @@ impl LockScan {
     }
 }
 
+/// One mined acquisition-order edge: lock `from` is held while `to` is
+/// acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct OrderEdge {
+    from: String,
+    to: String,
+    fn_qual: String,
+    file: String,
+    line: u32,
+    /// Qualified name of the callee the nested acquisition sits in, when
+    /// the edge crosses a fn boundary.
+    via: Option<String>,
+}
+
+/// **v2**: mine acquisition-order edges from nested `.lock()` sites —
+/// within one fn and across fn boundaries via *confident* call-graph
+/// edges — and check them against the manifest ranks statically, plus
+/// cycle detection over the mined edge set. The `OrderedMutex` runtime
+/// panic still backstops in debug builds; this reports the same class
+/// of bug without waiting for a test to drive the exact interleaving.
+pub fn check_order(
+    graph: &crate::graph::CallGraph,
+    lexed: &BTreeMap<String, Lexed>,
+    lock_crates: &[String],
+    manifest: &BTreeMap<String, u16>,
+) -> Vec<Finding> {
+    // 1. Bind receiver idents to lock names: `field: OrderedMutex::new("n", ..)`
+    //    and `let x = OrderedMutex::new("n", ..)`. Per-file bindings win;
+    //    a workspace-global binding is used only when unambiguous.
+    let mut per_file: BTreeMap<&str, BTreeMap<String, BTreeSet<String>>> = BTreeMap::new();
+    let mut global: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (file, lx) in lexed {
+        let toks = &lx.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident("OrderedMutex")
+                || !toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                || !toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                || !toks.get(i + 3).is_some_and(|a| a.is_ident("new"))
+                || !toks.get(i + 4).is_some_and(|a| a.is_punct('('))
+                || lx.in_test(t.line)
+            {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 5) else { continue };
+            if name_tok.kind != TokKind::Str {
+                continue;
+            }
+            // `field: OrderedMutex::new(..)` (struct literal) or
+            // `let x = OrderedMutex::new(..)`.
+            let struct_field = i >= 2
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].kind == TokKind::Ident
+                && !(i >= 3 && toks[i - 3].is_punct(':'));
+            let let_bind =
+                i >= 2 && toks[i - 1].is_punct('=') && toks[i - 2].kind == TokKind::Ident;
+            let bound =
+                if struct_field || let_bind { Some(toks[i - 2].text.clone()) } else { None };
+            if let Some(ident) = bound {
+                per_file
+                    .entry(file.as_str())
+                    .or_default()
+                    .entry(ident.clone())
+                    .or_default()
+                    .insert(name_tok.text.clone());
+                global.entry(ident).or_default().insert(name_tok.text.clone());
+            }
+        }
+    }
+    let names_for = |file: &str, ident: &str| -> BTreeSet<String> {
+        if let Some(m) = per_file.get(file).and_then(|m| m.get(ident)) {
+            return m.clone();
+        }
+        match global.get(ident) {
+            Some(s) if s.len() == 1 => s.clone(),
+            _ => BTreeSet::new(),
+        }
+    };
+
+    // 2. Per-fn acquisitions with hold ranges.
+    struct Acq {
+        tok: usize,
+        end: usize,
+        names: BTreeSet<String>,
+    }
+    let policed: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.body.is_some() && lock_crates.iter().any(|c| c == &f.crate_name))
+        .map(|(i, _)| i)
+        .collect();
+    let mut acqs: BTreeMap<usize, Vec<Acq>> = BTreeMap::new();
+    for &id in &policed {
+        let f = &graph.fns[id];
+        let Some(lx) = lexed.get(&f.file) else { continue };
+        let toks = &lx.tokens;
+        let mut list = Vec::new();
+        for call in &f.calls {
+            if call.name != "lock" || call.kind != crate::parse::CallKind::Method {
+                continue;
+            }
+            if lx.in_test(call.line) {
+                continue;
+            }
+            let Some(q) = &call.qual else { continue };
+            let names = names_for(&f.file, q);
+            if names.is_empty() {
+                continue;
+            }
+            let end = hold_end(toks, call, f.body.map(|(_, h)| h).unwrap_or(call.close));
+            list.push(Acq { tok: call.tok, end, names });
+        }
+        if !list.is_empty() {
+            acqs.insert(id, list);
+        }
+    }
+
+    // 3. Transitive lock closure of each policed fn over confident edges.
+    fn closure(
+        graph: &crate::graph::CallGraph,
+        acqs: &BTreeMap<usize, Vec<Acq>>,
+        id: usize,
+        memo: &mut BTreeMap<usize, BTreeSet<String>>,
+        visiting: &mut BTreeSet<usize>,
+    ) -> BTreeSet<String> {
+        if let Some(s) = memo.get(&id) {
+            return s.clone();
+        }
+        if !visiting.insert(id) {
+            return BTreeSet::new(); // recursion cycle: stop
+        }
+        let mut out = BTreeSet::new();
+        if let Some(list) = acqs.get(&id) {
+            for a in list {
+                out.extend(a.names.iter().cloned());
+            }
+        }
+        let edges: Vec<usize> = graph.edges[id]
+            .iter()
+            .filter(|e| e.confident && !graph.fns[e.callee].is_spawn)
+            .map(|e| e.callee)
+            .collect();
+        for callee in edges {
+            out.extend(closure(graph, acqs, callee, memo, visiting));
+        }
+        visiting.remove(&id);
+        memo.insert(id, out.clone());
+        out
+    }
+    let mut memo = BTreeMap::new();
+
+    // 4. Mine edges: nested acquisitions in the same fn, plus locks
+    //    acquired by callees invoked while a lock is held.
+    let mut edges: BTreeSet<OrderEdge> = BTreeSet::new();
+    for (&id, list) in &acqs {
+        let f = &graph.fns[id];
+        for a in list {
+            for b in list {
+                if a.tok < b.tok && b.tok <= a.end {
+                    for na in &a.names {
+                        for nb in &b.names {
+                            edges.insert(OrderEdge {
+                                from: na.clone(),
+                                to: nb.clone(),
+                                fn_qual: f.qual.clone(),
+                                file: f.file.clone(),
+                                line: graph.fns[id]
+                                    .calls
+                                    .iter()
+                                    .find(|c| c.tok == b.tok)
+                                    .map(|c| c.line)
+                                    .unwrap_or(f.line),
+                                via: None,
+                            });
+                        }
+                    }
+                }
+            }
+            for rc in &graph.resolved[id] {
+                if !rc.confident {
+                    continue;
+                }
+                let call = &f.calls[rc.call];
+                if call.name == "lock" || call.tok <= a.tok || call.tok > a.end {
+                    continue;
+                }
+                for &callee in &rc.callees {
+                    let mut visiting = BTreeSet::new();
+                    let held = closure(graph, &acqs, callee, &mut memo, &mut visiting);
+                    for na in &a.names {
+                        for nb in &held {
+                            edges.insert(OrderEdge {
+                                from: na.clone(),
+                                to: nb.clone(),
+                                fn_qual: f.qual.clone(),
+                                file: f.file.clone(),
+                                line: call.line,
+                                via: Some(graph.fns[callee].qual.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 5. Rank check + cycle detection.
+    let mut out = Vec::new();
+    for e in &edges {
+        let (Some(&ra), Some(&rb)) = (manifest.get(&e.from), manifest.get(&e.to)) else {
+            continue; // unknown names are already v1 findings
+        };
+        if ra >= rb {
+            let via = e.via.as_deref().map(|v| format!(" via {v}")).unwrap_or_default();
+            out.push(Finding {
+                rule: "lock",
+                crate_name: String::new(),
+                file: e.file.clone(),
+                line: e.line,
+                msg: format!(
+                    "acquisition-order edge \"{}\" (rank {ra}) → \"{}\" (rank {rb}) in \
+                     {}{via} — ranks must strictly increase along every chain \
+                     (reorder the acquisitions or re-rank audit-locks.toml)",
+                    e.from, e.to, e.fn_qual
+                ),
+            });
+        }
+    }
+    if let Some(cycle) = find_cycle(&edges) {
+        out.push(Finding {
+            rule: "lock",
+            crate_name: String::new(),
+            file: "audit-locks.toml".to_string(),
+            line: 0,
+            msg: format!("lock acquisition cycle: {}", cycle.join(" → ")),
+        });
+    }
+    out
+}
+
+/// End of the hold range for a `.lock()` call: a `let`-bound guard lives
+/// to its `drop(guard)` call or enclosing-block close; a temporary lives
+/// to the end of its statement.
+fn hold_end(t: &[crate::lexer::Token], call: &crate::parse::Call, body_hi: usize) -> usize {
+    // Statement start: scan back to the nearest `;`, `{`, or `}`.
+    let mut s = call.tok;
+    while s > 0 && !(t[s - 1].is_punct(';') || t[s - 1].is_punct('{') || t[s - 1].is_punct('}')) {
+        s -= 1;
+    }
+    let guard = (s..call.tok)
+        .find(|&j| t[j].is_ident("let"))
+        .and_then(|j| t.get(j + 1))
+        .filter(|g| g.kind == TokKind::Ident)
+        .map(|g| g.text.clone());
+    if let Some(g) = guard {
+        // Block close from the statement end, or an earlier `drop(g)`.
+        let mut depth = 0i32;
+        let mut j = call.close;
+        while j < body_hi {
+            if t[j].is_ident("drop")
+                && t.get(j + 1).is_some_and(|n| n.is_punct('('))
+                && t.get(j + 2).is_some_and(|n| n.is_ident(&g))
+            {
+                return j;
+            }
+            if t[j].is_punct('{') {
+                depth += 1;
+            } else if t[j].is_punct('}') {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            j += 1;
+        }
+        body_hi
+    } else {
+        let mut depth = 0i32;
+        let mut j = call.close;
+        while j < body_hi {
+            if t[j].is_punct(';') && depth == 0 {
+                return j;
+            }
+            if t[j].is_punct('{') {
+                depth += 1;
+            } else if t[j].is_punct('}') {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            j += 1;
+        }
+        body_hi
+    }
+}
+
+/// DFS cycle search over the mined name graph; returns one cycle's node
+/// sequence if any.
+fn find_cycle(edges: &BTreeSet<OrderEdge>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        if e.from != e.to {
+            adj.entry(&e.from).or_default().insert(&e.to);
+        }
+    }
+    let succs = |n: &str| -> Vec<&str> {
+        adj.get(n).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    };
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let starts: Vec<&str> = adj.keys().copied().collect();
+    for start in starts {
+        if done.contains(start) {
+            continue;
+        }
+        let mut stack = vec![(start, succs(start))];
+        let mut path = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into_iter().collect();
+        while !stack.is_empty() {
+            let next = {
+                let last = stack.last_mut().expect("nonempty");
+                last.1.pop()
+            };
+            match next {
+                Some(next) if on_path.contains(next) => {
+                    let pos = path.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut cyc: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+                    cyc.push(next.to_string());
+                    return Some(cyc);
+                }
+                Some(next) if done.contains(next) => {}
+                Some(next) => {
+                    on_path.insert(next);
+                    path.push(next);
+                    stack.push((next, succs(next)));
+                }
+                None => {
+                    if let Some((n, _)) = stack.pop() {
+                        on_path.remove(n);
+                        path.pop();
+                        done.insert(n);
+                    }
+                }
+            }
+        }
+        done.insert(start);
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +560,66 @@ mod tests {
         let mut scan = LockScan::default();
         scan.scan_file("c", "f.rs", &lex("fn f() { m.lock(); g.lock.poisoned; }"));
         assert_eq!(scan.sites, ["f.rs:1 — c"]);
+    }
+
+    fn run_order(src: &str, manifest: &[(&str, u16)]) -> Vec<String> {
+        let lx = lex(src);
+        let items = crate::parse::parse_file("demo", "demo/src/lib.rs", &lx);
+        let graph = crate::graph::CallGraph::build(vec![items]);
+        let lexed = [("demo/src/lib.rs".to_string(), lx)].into_iter().collect();
+        let m: BTreeMap<String, u16> = manifest.iter().map(|(n, r)| (n.to_string(), *r)).collect();
+        check_order(&graph, &lexed, &["demo".to_string()], &m).into_iter().map(|f| f.msg).collect()
+    }
+
+    #[test]
+    fn increasing_rank_nesting_is_fine() {
+        let src = "struct S { a: X, b: X }\nfn mk() -> S { S { a: OrderedMutex::new(\"lo\", 0), b: OrderedMutex::new(\"hi\", 0) } }\nimpl S { fn f(&self) { let g = self.a.lock(); self.b.lock(); } }\n";
+        assert!(run_order(src, &[("lo", 10), ("hi", 20)]).is_empty());
+    }
+
+    #[test]
+    fn out_of_rank_nesting_is_flagged_with_the_edge() {
+        let src = "struct S { a: X, b: X }\nfn mk() -> S { S { a: OrderedMutex::new(\"lo\", 0), b: OrderedMutex::new(\"hi\", 0) } }\nimpl S { fn f(&self) { let g = self.b.lock(); self.a.lock(); } }\n";
+        let msgs = run_order(src, &[("lo", 10), ("hi", 20)]);
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("\"hi\" (rank 20) → \"lo\" (rank 10)") && m.contains("S::f")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn cross_fn_nesting_goes_through_the_graph() {
+        let src = "struct S { a: X, b: X }\n\
+                   fn mk() -> S { S { a: OrderedMutex::new(\"lo\", 0), b: OrderedMutex::new(\"hi\", 0) } }\n\
+                   impl S { fn outer(&self) { let g = self.b.lock(); self.helper(); }\n\
+                   fn helper(&self) { self.a.lock(); } }\n";
+        let msgs = run_order(src, &[("lo", 10), ("hi", 20)]);
+        assert!(
+            msgs.iter().any(|m| m.contains("via S::helper")),
+            "cross-fn edge must name the callee: {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_guard_ends_the_hold() {
+        let src = "struct S { a: X, b: X }\nfn mk() -> S { S { a: OrderedMutex::new(\"lo\", 0), b: OrderedMutex::new(\"hi\", 0) } }\nimpl S { fn f(&self) { let g = self.b.lock(); drop(g); self.a.lock(); } }\n";
+        assert!(run_order(src, &[("lo", 10), ("hi", 20)]).is_empty());
+    }
+
+    #[test]
+    fn statement_temporary_does_not_overlap_the_next_statement() {
+        let src = "struct S { a: X, b: X }\nfn mk() -> S { S { a: OrderedMutex::new(\"lo\", 0), b: OrderedMutex::new(\"hi\", 0) } }\nimpl S { fn f(&self) { self.b.lock().poke(); self.a.lock().poke(); } }\n";
+        assert!(run_order(src, &[("lo", 10), ("hi", 20)]).is_empty());
+    }
+
+    #[test]
+    fn rank_respecting_cycle_is_impossible_but_detected() {
+        // Manifest ranks that *permit* each edge individually can still
+        // form a cycle when edges are mined from different fns against a
+        // drifted manifest; the cycle check reports it directly.
+        let src = "struct S { a: X, b: X }\nfn mk() -> S { S { a: OrderedMutex::new(\"lo\", 0), b: OrderedMutex::new(\"hi\", 0) } }\nimpl S { fn f(&self) { let g = self.a.lock(); self.b.lock(); }\n fn g(&self) { let h = self.b.lock(); self.a.lock(); } }\n";
+        let msgs = run_order(src, &[("lo", 10), ("hi", 20)]);
+        assert!(msgs.iter().any(|m| m.contains("lock acquisition cycle")), "{msgs:?}");
     }
 }

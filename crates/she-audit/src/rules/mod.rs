@@ -8,14 +8,16 @@ pub mod growth;
 pub mod lock_order;
 pub mod panic_path;
 pub mod protocol_drift;
+pub mod unsafe_inv;
+pub mod wiresize;
 
 use std::fmt;
 
 /// One audit finding: a rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule key: `panic`, `cast`, `growth`, `lock`, `blocking`, or
-    /// `protocol`.
+    /// Rule key: `panic`, `panic-reachable`, `cast`, `growth`, `lock`,
+    /// `blocking`, `wiresize`, `unsafe`, or `protocol`.
     pub rule: &'static str,
     /// Crate the finding is in (empty for cross-file protocol findings).
     pub crate_name: String,

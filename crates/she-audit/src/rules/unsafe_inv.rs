@@ -1,0 +1,97 @@
+//! **unsafe-inventory** — every `unsafe` block in the workspace is
+//! accounted for. The repo's deliberate unsafe surface is the epoll FFI
+//! in `she-server/src/sys.rs` and nothing else:
+//!
+//! * `unsafe` outside the configured boundary files is a hard finding —
+//!   new unsafe goes behind the sys layer or not at all;
+//! * `unsafe` inside a boundary file must carry
+//!   `// audit:allow(unsafe): <reason>`; annotated blocks are counted
+//!   and the count is ratcheted (`[unsafe]` in `audit-ratchet.toml`),
+//!   so the inventory can shrink but never silently grow.
+//!
+//! Test code is exempt (a test exercising an unsafe helper is not new
+//! unsafe surface).
+
+use crate::lexer::Lexed;
+use crate::rules::Finding;
+
+/// Scan one file. Returns findings plus the count of annotated blocks
+/// (nonzero only inside boundary files).
+pub fn check(
+    crate_name: &str,
+    file: &str,
+    lx: &Lexed,
+    boundary_files: &[String],
+) -> (Vec<Finding>, u64) {
+    let permitted = boundary_files.iter().any(|s| file.ends_with(s.as_str()));
+    let mut out = Vec::new();
+    let mut annotated = 0u64;
+    for t in &lx.tokens {
+        if !t.is_ident("unsafe") || lx.in_test(t.line) {
+            continue;
+        }
+        if !permitted {
+            out.push(Finding {
+                rule: "unsafe",
+                crate_name: crate_name.to_string(),
+                file: file.to_string(),
+                line: t.line,
+                msg: format!(
+                    "`unsafe` outside the audited boundary ({}) — put the raw-syscall \
+                     surface behind the sys layer instead",
+                    boundary_files.join(", ")
+                ),
+            });
+        } else if lx.allowed("unsafe", t.line) {
+            annotated += 1;
+        } else {
+            out.push(Finding {
+                rule: "unsafe",
+                crate_name: crate_name.to_string(),
+                file: file.to_string(),
+                line: t.line,
+                msg: "unannotated `unsafe` in a boundary file (annotate \
+                      `// audit:allow(unsafe): <reason>` stating the safety argument)"
+                    .to_string(),
+            });
+        }
+    }
+    (out, annotated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn boundary() -> Vec<String> {
+        vec!["sys.rs".to_string()]
+    }
+
+    #[test]
+    fn unsafe_outside_boundary_is_hard() {
+        let (f, n) = check("c", "lib.rs", &lex("fn f() { unsafe { go() } }"), &boundary());
+        assert_eq!(f.len(), 1);
+        assert_eq!(n, 0);
+        assert!(f[0].msg.contains("outside the audited boundary"));
+    }
+
+    #[test]
+    fn annotated_boundary_blocks_are_counted_not_flagged() {
+        let src =
+            "fn f() {\n    // audit:allow(unsafe): fd is owned and open by construction\n    \
+                   unsafe { close(fd) };\n    unsafe { close(fd2) };\n}";
+        let (f, n) = check("c", "src/sys.rs", &lex(src), &boundary());
+        assert_eq!(f.len(), 1, "second block lacks an annotation: {f:?}");
+        assert_eq!(n, 1);
+        assert!(f[0].msg.contains("unannotated"));
+    }
+
+    #[test]
+    fn tests_and_lookalikes_are_exempt() {
+        let src = "#![allow(unsafe_code)]\n#[cfg(test)]\nmod t {\n    fn g() { unsafe { x() } }\n}";
+        let (f, n) = check("c", "lib.rs", &lex(src), &boundary());
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(n, 0);
+    }
+}

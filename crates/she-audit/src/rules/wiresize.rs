@@ -1,0 +1,530 @@
+//! **wiresize** — allocations sized by a decoded wire length must be
+//! clamped before they allocate. `Vec::with_capacity(n)`,
+//! `HashMap::with_capacity(n)`, `.reserve(n)`, `.resize(n, ..)`, and
+//! `vec![x; n]` all commit memory *before* any bytes backing `n` are
+//! read, so a corrupt or hostile frame that claims `n = 2^60` entries is
+//! an OOM the checksum never gets a chance to catch.
+//!
+//! The rule taints every value produced by a numeric wire decode
+//! (`.u32()`, `.u64()`, `u32::from_le_bytes`, `u64::from_le_bytes` —
+//! `u16` reads are inherently bounded and exempt), propagates the taint
+//! through `let` bindings inside a fn and through *confident* call edges
+//! into callee parameters (so "clamp in the same fn **or a caller**"
+//! really means the caller: a clamped argument does not propagate), and
+//! flags any allocation sink whose size expression is tainted with no
+//! dominating clamp. A clamp is any of:
+//!
+//! * an early-return guard mentioning the value (`if n != expected {
+//!   return .. }`, `if len > MAX_FRAME { return .. }`);
+//! * rebinding through `.min(..)` / `clamp(..)` / a `MAX_*` / `*_CAP` /
+//!   `*_LIMIT` constant;
+//! * a narrowing `as u16` / `as u8` cast (the type bounds the value);
+//! * clamping applied inline in the sink's size expression.
+//!
+//! Findings print the taint provenance chain (decode site → callers).
+//! Deliberately unclampable sites carry
+//! `// audit:allow(wiresize): <reason>`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::graph::CallGraph;
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::rules::Finding;
+
+const SINKS: [&str; 4] = ["with_capacity", "reserve", "resize", "resize_with"];
+
+/// Per-ident taint state inside one fn.
+#[derive(Debug, Clone, Default)]
+struct FnTaint {
+    /// ident → provenance description of the decode that tainted it.
+    tainted: BTreeMap<String, String>,
+    /// ident → token index from which the value is considered clamped.
+    clamped: BTreeMap<String, usize>,
+}
+
+/// Run the rule over every fn in the policed crates.
+pub fn check(
+    graph: &CallGraph,
+    lexed: &BTreeMap<String, Lexed>,
+    crates: &[String],
+) -> Vec<Finding> {
+    let policed: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.body.is_some() && crates.iter().any(|c| c == &f.crate_name))
+        .map(|(i, _)| i)
+        .collect();
+    let policed_set: BTreeSet<usize> = policed.iter().copied().collect();
+
+    // Interprocedural fixpoint: parameter taint injected by callers.
+    let mut pre: BTreeMap<usize, BTreeMap<String, String>> = BTreeMap::new();
+    let mut state: BTreeMap<usize, FnTaint> = BTreeMap::new();
+    for &id in &policed {
+        if let Some(lx) = lexed.get(&graph.fns[id].file) {
+            state.insert(id, analyze_fn(graph, id, lx, &BTreeMap::new()));
+        }
+    }
+    let mut work: VecDeque<usize> = policed.iter().copied().collect();
+    let mut steps = 0usize;
+    let budget = policed.len().saturating_mul(8).max(64);
+    while let Some(id) = work.pop_front() {
+        steps += 1;
+        if steps > budget {
+            break; // fixpoint safety valve; taint is an under-approx past here
+        }
+        let Some(st) = state.get(&id) else { continue };
+        let st = st.clone();
+        let f = &graph.fns[id];
+        for rc in &graph.resolved[id] {
+            if !rc.confident || rc.callees.is_empty() {
+                continue;
+            }
+            let call = &f.calls[rc.call];
+            for (argi, &(alo, ahi)) in call.args.iter().enumerate() {
+                let Some(lx) = lexed.get(&f.file) else { continue };
+                let hot = hot_expr(&lx.tokens, alo, ahi, &st, call.tok);
+                let Some(origin) = hot else { continue };
+                for &callee in &rc.callees {
+                    if !policed_set.contains(&callee) || graph.fns[callee].body.is_none() {
+                        continue;
+                    }
+                    let params = &graph.fns[callee].params;
+                    let Some(param) = params.get(argi) else { continue };
+                    let chain = format!("{origin} via {} ({}:{})", f.qual, f.file, call.line);
+                    let entry = pre.entry(callee).or_default();
+                    if entry.contains_key(param) {
+                        continue;
+                    }
+                    entry.insert(param.clone(), chain);
+                    if let Some(lx2) = lexed.get(&graph.fns[callee].file) {
+                        let seeded = pre.get(&callee).cloned().unwrap_or_default();
+                        state.insert(callee, analyze_fn(graph, callee, lx2, &seeded));
+                        work.push_back(callee);
+                    }
+                }
+            }
+        }
+    }
+
+    // Sink evaluation with the settled taint.
+    let mut out = Vec::new();
+    for &id in &policed {
+        let f = &graph.fns[id];
+        let (Some(st), Some(lx)) = (state.get(&id), lexed.get(&f.file)) else { continue };
+        let Some((lo, hi)) = f.body else { continue };
+        collect_sink_findings(graph, id, lx, lo, hi, st, &mut out);
+    }
+    out
+}
+
+/// If the expression range is "hot" — contains a direct decode or a
+/// tainted ident with no clamp dominating `at` — return its provenance.
+fn hot_expr(t: &[Token], lo: usize, hi: usize, st: &FnTaint, at: usize) -> Option<String> {
+    if expr_has_clamp(t, lo, hi) {
+        return None;
+    }
+    if let Some(i) = find_decode(t, lo, hi) {
+        return Some(format!("wire length decoded at line {}", t[i].line));
+    }
+    for tok in &t[lo..hi.min(t.len())] {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        if let Some(origin) = st.tainted.get(&tok.text) {
+            let clamped = st.clamped.get(&tok.text).is_some_and(|&c| c < at);
+            if !clamped {
+                return Some(origin.clone());
+            }
+        }
+    }
+    None
+}
+
+/// First numeric wire-decode call in the range: `.u32(` / `.u64(` /
+/// `u32::from_le_bytes(` / `u64::from_le_bytes(`.
+fn find_decode(t: &[Token], lo: usize, hi: usize) -> Option<usize> {
+    for i in lo..hi.min(t.len()) {
+        let tok = &t[i];
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let called = t.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !called {
+            continue;
+        }
+        match tok.text.as_str() {
+            "u32" | "u64" if i > lo && t[i - 1].is_punct('.') => return Some(i),
+            "from_le_bytes"
+                if i >= 3
+                    && t[i - 1].is_punct(':')
+                    && t[i - 2].is_punct(':')
+                    && (t[i - 3].is_ident("u32") || t[i - 3].is_ident("u64")) =>
+            {
+                return Some(i)
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does the range apply a clamp inline? (`.min(`, `clamp`, `MAX_*`,
+/// `*_CAP`, `*_LIMIT` idents, or a narrowing `as u16`/`as u8` cast.)
+fn expr_has_clamp(t: &[Token], lo: usize, hi: usize) -> bool {
+    for i in lo..hi.min(t.len()) {
+        let tok = &t[i];
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let s = tok.text.as_str();
+        if s == "min" && i > lo && t[i - 1].is_punct('.') {
+            return true;
+        }
+        if s == "clamp" {
+            return true;
+        }
+        if s.starts_with("MAX_") || s.ends_with("_CAP") || s.ends_with("_LIMIT") {
+            return true;
+        }
+        if (s == "u16" || s == "u8") && i > lo && t[i - 1].is_ident("as") {
+            return true;
+        }
+    }
+    false
+}
+
+/// One pass of local taint analysis: `let` bindings propagate taint,
+/// guards and clamped rebindings record clamp positions.
+fn analyze_fn(
+    graph: &CallGraph,
+    id: usize,
+    lx: &Lexed,
+    pre_tainted: &BTreeMap<String, String>,
+) -> FnTaint {
+    let f = &graph.fns[id];
+    let t = &lx.tokens;
+    let Some((lo, hi)) = f.body else { return FnTaint::default() };
+    let mut st = FnTaint { tainted: pre_tainted.clone(), clamped: BTreeMap::new() };
+    // Two passes reach a fixpoint for straight-line chains plus the
+    // occasional use-before-redefinition; deeper cycles are rare enough
+    // to ignore (the graph layer's conservatism budget covers it).
+    for _ in 0..2 {
+        let mut i = lo + 1;
+        while i < hi {
+            let tok = &t[i];
+            // `let x [: T] = RHS ;`
+            if tok.is_ident("let") {
+                if let Some((name, rlo, rhi, next)) = let_binding(t, i, hi) {
+                    let has_decode = find_decode(t, rlo, rhi).is_some();
+                    let tainted_ident = (rlo..rhi.min(t.len())).find_map(|j| {
+                        (t[j].kind == TokKind::Ident)
+                            .then(|| st.tainted.get(&t[j].text).cloned())
+                            .flatten()
+                    });
+                    if has_decode || tainted_ident.is_some() {
+                        let origin = if has_decode {
+                            format!("wire length decoded in {} ({}:{})", f.qual, f.file, tok.line)
+                        } else {
+                            tainted_ident.unwrap_or_default()
+                        };
+                        st.tainted.insert(name.clone(), origin);
+                        if expr_has_clamp(t, rlo, rhi) {
+                            st.clamped.insert(name, i);
+                        } else {
+                            // Rebinding un-clamps a previously clamped name.
+                            st.clamped.remove(&name);
+                        }
+                    }
+                    i = next;
+                    continue;
+                }
+            }
+            // Guard: `if <cond mentioning x with a comparator> { .. return .. }`
+            if tok.is_ident("if") {
+                if let Some((clo, chi, blo, bhi)) = if_shape(t, i, hi) {
+                    let guards = guard_block_exits(t, blo, bhi);
+                    if guards && cond_has_comparator(t, clo, chi) {
+                        for ctok in &t[clo..chi] {
+                            if ctok.kind == TokKind::Ident && st.tainted.contains_key(&ctok.text) {
+                                st.clamped.entry(ctok.text.clone()).or_insert(i);
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    st
+}
+
+/// Parse `let [mut] name [: T] = RHS ;` at `i`. Returns
+/// `(name, rhs_lo, rhs_hi, resume_index)`.
+fn let_binding(t: &[Token], i: usize, hi: usize) -> Option<(String, usize, usize, usize)> {
+    let mut j = i + 1;
+    if j < hi && t[j].is_ident("mut") {
+        j += 1;
+    }
+    if j >= hi || t[j].kind != TokKind::Ident {
+        return None;
+    }
+    let name = t[j].text.clone();
+    j += 1;
+    // Skip a `: Type` annotation.
+    if j < hi && t[j].is_punct(':') && !(j + 1 < hi && t[j + 1].is_punct(':')) {
+        j += 1;
+        let mut d = 0i32;
+        while j < hi {
+            if t[j].is_punct('=') && d == 0 {
+                break;
+            }
+            match () {
+                _ if t[j].is_punct('<') || t[j].is_punct('(') || t[j].is_punct('[') => d += 1,
+                _ if t[j].is_punct('>') || t[j].is_punct(')') || t[j].is_punct(']') => d -= 1,
+                _ if t[j].is_punct(';') => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if j >= hi || !t[j].is_punct('=') {
+        return None;
+    }
+    let rlo = j + 1;
+    let mut d = 0i32;
+    let mut k = rlo;
+    while k < hi {
+        if t[k].is_punct(';') && d == 0 {
+            break;
+        }
+        match () {
+            _ if t[k].is_punct('(') || t[k].is_punct('[') || t[k].is_punct('{') => d += 1,
+            _ if t[k].is_punct(')') || t[k].is_punct(']') || t[k].is_punct('}') => d -= 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((name, rlo, k, k + 1))
+}
+
+/// Shape of an `if`: condition range and block range.
+fn if_shape(t: &[Token], i: usize, hi: usize) -> Option<(usize, usize, usize, usize)> {
+    let clo = i + 1;
+    let mut d = 0i32;
+    let mut j = clo;
+    while j < hi {
+        if t[j].is_punct('{') && d == 0 {
+            break;
+        }
+        match () {
+            _ if t[j].is_punct('(') || t[j].is_punct('[') => d += 1,
+            _ if t[j].is_punct(')') || t[j].is_punct(']') => d -= 1,
+            _ if t[j].is_punct(';') => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= hi {
+        return None;
+    }
+    let blo = j;
+    let mut depth = 0i32;
+    let mut k = blo;
+    while k < hi {
+        if t[k].is_punct('{') {
+            depth += 1;
+        } else if t[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((clo, j, blo, k));
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Does the guard body bail out (contain `return`)?
+fn guard_block_exits(t: &[Token], blo: usize, bhi: usize) -> bool {
+    (blo..bhi.min(t.len())).any(|j| t[j].is_ident("return"))
+}
+
+/// Does the condition compare (`<`, `>`, `==`, `!=`, `<=`, `>=`)?
+fn cond_has_comparator(t: &[Token], clo: usize, chi: usize) -> bool {
+    for j in clo..chi.min(t.len()) {
+        if t[j].is_punct('<') || t[j].is_punct('>') {
+            return true;
+        }
+        if (t[j].is_punct('!') || t[j].is_punct('='))
+            && t.get(j + 1).is_some_and(|n| n.is_punct('='))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Emit findings for tainted, unclamped allocation sinks in one fn.
+fn collect_sink_findings(
+    graph: &CallGraph,
+    id: usize,
+    lx: &Lexed,
+    lo: usize,
+    hi: usize,
+    st: &FnTaint,
+    out: &mut Vec<Finding>,
+) {
+    let f = &graph.fns[id];
+    let t = &lx.tokens;
+    let mut sinks: Vec<(usize, usize, usize, u32, String)> = Vec::new(); // (tok, alo, ahi, line, label)
+    for call in &f.calls {
+        if !SINKS.contains(&call.name.as_str()) {
+            continue;
+        }
+        let Some(&(alo, ahi)) = call.args.first() else { continue };
+        sinks.push((call.tok, alo, ahi, call.line, format!("{}(", call.name)));
+    }
+    // `vec![x; n]` — the size expression after the `;`.
+    let mut i = lo;
+    while i < hi {
+        if t[i].is_ident("vec")
+            && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && t.get(i + 2).is_some_and(|n| n.is_punct('['))
+        {
+            let mut d = 0i32;
+            let mut semi = None;
+            let mut close = None;
+            let mut j = i + 2;
+            while j < hi {
+                if t[j].is_punct('[') {
+                    d += 1;
+                } else if t[j].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                } else if t[j].is_punct(';') && d == 1 {
+                    semi = Some(j);
+                }
+                j += 1;
+            }
+            if let (Some(s), Some(c)) = (semi, close) {
+                sinks.push((i, s + 1, c, t[i].line, "vec![_; n]".to_string()));
+            }
+            i = close.map_or(i + 3, |c| c + 1);
+            continue;
+        }
+        i += 1;
+    }
+    for (tok, alo, ahi, line, label) in sinks {
+        if lx.in_test(line) || lx.allowed("wiresize", line) {
+            continue;
+        }
+        if let Some(origin) = hot_expr(t, alo, ahi, st, tok) {
+            out.push(Finding {
+                rule: "wiresize",
+                crate_name: f.crate_name.clone(),
+                file: f.file.clone(),
+                line,
+                msg: format!(
+                    "`{label}` sized by an unclamped wire-decoded length in {} — {origin}; \
+                     clamp it against MAX_FRAME/geometry before allocating (or annotate \
+                     `// audit:allow(wiresize): <reason>`)",
+                    f.qual
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lx = lex(src);
+        let items = parse_file("demo", "demo/src/lib.rs", &lx);
+        let graph = CallGraph::build(vec![items]);
+        let lexed = [("demo/src/lib.rs".to_string(), lx)].into_iter().collect();
+        check(&graph, &lexed, &["demo".to_string()])
+    }
+
+    #[test]
+    fn unclamped_decode_into_with_capacity_fires() {
+        let src = "fn load(r: &mut Reader) {\n    let n = r.u64()? as usize;\n    \
+                   let mut m = HashMap::with_capacity(n);\n}\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].msg.contains("wire-decoded length"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn guard_before_the_sink_clamps() {
+        let src =
+            "fn load(r: &mut Reader) -> Result<(), E> {\n    let n = r.u32()? as usize;\n    \
+                   if n != self.groups() { return Err(E::Geometry); }\n    \
+                   let v = Vec::with_capacity(n);\n    Ok(())\n}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn min_clamp_at_birth_is_fine() {
+        let src = "fn load(r: &mut Reader) {\n    let n = (r.u64()? as usize).min(CAP);\n    \
+                   let v = Vec::with_capacity(n);\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn inline_sink_clamp_is_fine() {
+        let src = "fn load(r: &mut Reader) {\n    let n = r.u64()? as usize;\n    \
+                   let v = Vec::with_capacity(n.min(MAX_ROWS));\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn u16_reads_are_exempt() {
+        let src = "fn load(r: &mut Reader) {\n    let n = r.u16()? as usize;\n    \
+                   let v = Vec::with_capacity(n);\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn vec_macro_size_is_a_sink() {
+        let src = "fn load(r: &mut Reader) {\n    let n = r.u64()? as usize;\n    \
+                   let v = vec![0u8; n];\n}\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("vec![_; n]"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn taint_crosses_into_callee_params() {
+        let src = "fn parse(r: &mut Reader) {\n    let n = r.u64()? as usize;\n    build(n);\n}\n\
+                   fn build(count: usize) {\n    let v = Vec::with_capacity(count);\n}\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+        assert!(f[0].msg.contains("via parse"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn caller_side_clamp_does_not_propagate() {
+        let src = "fn parse(r: &mut Reader) {\n    let n = r.u64()? as usize;\n    \
+                   if n > MAX_N { return; }\n    build(n);\n}\n\
+                   fn build(count: usize) {\n    let v = Vec::with_capacity(count);\n}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = "fn load(r: &mut Reader) {\n    let n = r.u64()? as usize;\n    \
+                   // audit:allow(wiresize): n is bounded by the section length check above\n    \
+                   let v = Vec::with_capacity(n);\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

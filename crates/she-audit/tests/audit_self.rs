@@ -26,6 +26,11 @@ fn demo_cfg() -> RuleConfig {
         growth_crates: vec!["demo".into()],
         lock_crates: vec!["demo".into()],
         blocking_files: vec!["demo/src/lib.rs".into()],
+        blocking_roots: vec![("demo".into(), "reactor_loop".into())],
+        serving_roots: vec![("demo".into(), "serve_loop".into())],
+        panic_pinned_crates: vec!["demo".into()],
+        wiresize_crates: vec!["demo".into()],
+        unsafe_files: vec![],
         locks: [("listed".to_string(), 10u16)].into_iter().collect(),
         ratchet: BTreeMap::new(),
         protocol: None,
@@ -45,7 +50,17 @@ fn known_bad_fixture_fires_every_rule() {
     assert!(!report.ok(), "known-bad fixture must fail the gate");
     assert_eq!(
         rules_fired(&report.findings),
-        ["allow", "blocking", "cast", "growth", "lock", "panic"]
+        [
+            "allow",
+            "blocking",
+            "cast",
+            "growth",
+            "lock",
+            "panic",
+            "panic-reachable",
+            "unsafe",
+            "wiresize"
+        ]
     );
 
     let msgs: Vec<&str> = report.findings.iter().map(|f| f.msg.as_str()).collect();
@@ -56,10 +71,37 @@ fn known_bad_fixture_fires_every_rule() {
     assert!(msgs.iter().any(|m| m.contains("\"ghost\" has no rank")), "unknown name: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("stale manifest entry")), "stale entry: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("malformed audit:allow")), "malformed allow: {msgs:?}");
-    assert!(msgs.iter().any(|m| m.contains("blocks the calling thread")), "blocking: {msgs:?}");
+    // Reachability findings carry the root → … → sink chain.
+    assert!(
+        msgs.iter().any(|m| m.contains("blocks the reactor thread")
+            && m.contains("reactor_loop → stall_the_reactor")),
+        "blocking chain: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("reachable from serving roots") && m.contains("serve_loop")),
+        "reachable-panic chain: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("unclamped wire-decoded length")),
+        "wiresize finding: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("outside the audited boundary")),
+        "unsafe finding: {msgs:?}"
+    );
 
-    // The gate lines must cover both hard rules and both ratcheted rules.
-    for rule in ["panic:", "cast:", "growth:", "lock:", "allow:", "blocking:"] {
+    // The gate lines must cover the hard rules and the ratcheted rules.
+    for rule in [
+        "panic:",
+        "cast:",
+        "growth:",
+        "lock:",
+        "allow:",
+        "blocking:",
+        "panic-reachable:",
+        "wiresize:",
+        "unsafe:",
+    ] {
         assert!(
             report.gate_failures.iter().any(|g| g.starts_with(rule)),
             "missing {rule} gate failure in {:?}",
@@ -110,6 +152,11 @@ fn protocol_audit(label: &str, mutate: impl Fn(String, String) -> (String, Strin
         growth_crates: vec![],
         lock_crates: vec![],
         blocking_files: vec![],
+        blocking_roots: vec![],
+        serving_roots: vec![],
+        panic_pinned_crates: vec![],
+        wiresize_crates: vec![],
+        unsafe_files: vec![],
         locks: BTreeMap::new(),
         ratchet: BTreeMap::new(),
         protocol: Some((dir.join("protocol.rs"), dir.join("PROTOCOL.md"))),
@@ -214,5 +261,20 @@ fn real_workspace_is_clean() {
     for crate_name in ["she-server", "she-replica"] {
         let n = report.findings.iter().filter(|f| f.crate_name == crate_name).count();
         assert_eq!(n, 0, "{crate_name} must stay at a zero finding baseline");
+    }
+    // The reachability rules are only as good as their root set: if a
+    // rename ever empties it, this is the assertion that notices (a
+    // missing individual root is already a hard finding).
+    assert!(report.graph_stats.roots > 0, "reactor/serving root set must be non-empty");
+    assert!(
+        report.graph_stats.nodes > 100 && report.graph_stats.edges > 100,
+        "implausibly small workspace graph: {:?}",
+        report.graph_stats
+    );
+    // Reachable-panic and reactor-blocking stay pinned at zero across
+    // the whole serving tier.
+    for rule in ["panic-reachable", "blocking", "wiresize", "unsafe"] {
+        let n = report.findings.iter().filter(|f| f.rule == rule).count();
+        assert_eq!(n, 0, "{rule} findings must be zero on the real workspace");
     }
 }

@@ -1,0 +1,66 @@
+//! Call-graph construction fixture. Never compiled — only lexed and
+//! parsed by `tests/graph_rules.rs`, which asserts the graph's shape:
+//! trait fan-out, closures attributed to the enclosing fn, spawn
+//! closures detached onto synthetic nodes, cross-crate method
+//! resolution, and unresolved externs counted (not silently dropped).
+
+pub trait Sink {
+    fn emit(&self);
+    fn twice(&self) {
+        self.emit();
+        self.emit();
+    }
+}
+
+pub struct A;
+pub struct B;
+
+impl Sink for A {
+    fn emit(&self) {
+        a_leaf();
+    }
+}
+
+impl Sink for B {
+    fn emit(&self) {
+        b_leaf();
+    }
+}
+
+fn a_leaf() {}
+fn b_leaf() {}
+
+/// Trait-object dispatch must fan out to every implementor.
+pub fn drive(s: &dyn Sink) {
+    s.emit();
+}
+
+/// Calls inside a plain closure belong to the enclosing fn.
+pub fn closures() {
+    let add = |x: u32| helper(x);
+    add(1);
+}
+
+fn helper(_x: u32) {}
+
+/// The spawn closure's body belongs to a detached synthetic node, not
+/// to `spawner` — but `foreground` stays attributed here.
+pub fn spawner() {
+    std::thread::spawn(move || {
+        background();
+    });
+    foreground();
+}
+
+fn background() {}
+fn foreground() {}
+
+/// A call no workspace fn answers: counted as unresolved.
+pub fn external() {
+    zzz_not_in_this_workspace();
+}
+
+/// A typed cross-crate receiver resolves into `beta`.
+pub fn cross(w: &Wire) {
+    w.pull();
+}

@@ -1,0 +1,13 @@
+//! The cross-crate half of the call-graph fixture: `alpha::cross` takes
+//! a `&Wire` parameter and calls `w.pull()`, which must resolve to the
+//! method below via the parameter type hint.
+
+pub struct Wire;
+
+impl Wire {
+    pub fn pull(&self) {
+        pull_leaf();
+    }
+}
+
+fn pull_leaf() {}

@@ -40,3 +40,29 @@ pub fn hoard(log: &mut Vec<u32>, x: u32) {
 pub fn stall_the_reactor(s: &mut std::net::TcpStream, buf: &mut [u8]) {
     s.read_exact(buf).unwrap();
 }
+
+// ---- v2 reachability violations ----
+
+/// Blocking root (`demo_cfg().blocking_roots`): reaches the blocking
+/// `read_exact` through a helper, so the finding must carry the chain.
+pub fn reactor_loop(s: &mut std::net::TcpStream, buf: &mut [u8]) {
+    stall_the_reactor(s, buf);
+}
+
+/// Serving root (`demo_cfg().serving_roots`): reaches `first`'s unwrap,
+/// which must reclassify from the ratcheted `panic` rule to the hard
+/// `panic-reachable` rule.
+pub fn serve_loop(v: &[u32]) -> u32 {
+    first(v)
+}
+
+/// Allocation sized straight off a decoded wire length, never clamped.
+pub fn inflate(r: &mut Reader) -> Vec<u8> {
+    let n = r.u64() as usize;
+    Vec::with_capacity(n)
+}
+
+/// `unsafe` outside the audited boundary file set.
+pub fn poke(p: *const u8) -> u8 {
+    unsafe { *p }
+}

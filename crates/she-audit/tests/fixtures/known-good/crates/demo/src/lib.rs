@@ -41,6 +41,27 @@ pub fn hand_off(s: &mut std::net::TcpStream, out: &[u8]) -> std::io::Result<()> 
     s.write_all(out)
 }
 
+// ---- v2 reachability counterparts ----
+
+/// Blocking root (`demo_cfg().blocking_roots`): exists (a missing root
+/// is itself a finding), reaches only panic-free, non-blocking code,
+/// and covers the legacy `blocking_files` entry for this file.
+pub fn reactor_loop(v: &[u32]) -> Option<u32> {
+    first(v)
+}
+
+/// Serving root (`demo_cfg().serving_roots`): same, for the
+/// reachable-panic split.
+pub fn serve_loop(v: &[u32]) -> Option<u32> {
+    first(v)
+}
+
+/// Wire-decoded length clamped at birth: quiet under the wiresize rule.
+pub fn inflate(r: &mut Reader, cap: usize) -> Vec<u8> {
+    let n = (r.u64() as usize).min(cap);
+    Vec::with_capacity(n)
+}
+
 // A string mentioning Mutex::new must not confuse the lexer:
 pub const DOC: &str = "call Mutex::new(0) and x as u32 here";
 

@@ -683,17 +683,35 @@ fn query(a: &Args) -> Result<(), CliError> {
 /// baseline, unbanked improvement, lock-manifest drift, protocol drift,
 /// or a malformed allow annotation). See `docs/ANALYSIS.md`.
 fn audit(a: &Args) -> Result<(), CliError> {
-    a.expect_only(&["root", "list-locks"])?;
+    a.expect_only(&["root", "list-locks", "json", "rule"])?;
     let root = std::path::PathBuf::from(a.get("root", "."));
     let fail = |msg: String| CliError { msg, code: 1 };
     let cfg = she_audit::RuleConfig::for_workspace(&root).map_err(|e| fail(e.to_string()))?;
-    let report = she_audit::audit(&root, &cfg).map_err(|e| fail(e.to_string()))?;
+    let rule = a.get("rule", "");
+    let opts = she_audit::AuditOptions { rule: (!rule.is_empty()).then_some(rule) };
+    let report = she_audit::audit_with(&root, &cfg, &opts).map_err(|e| fail(e.to_string()))?;
+    if a.get("json", "no") == "yes" {
+        println!("{}", report.to_json());
+        return if report.ok() {
+            Ok(())
+        } else {
+            Err(fail(format!("she audit: {} gate failure(s)", report.gate_failures.len())))
+        };
+    }
     if a.get("list-locks", "no") == "yes" {
         println!("{} lock() site(s):", report.lock_sites.len());
         for site in &report.lock_sites {
             println!("  {site}");
         }
         return Ok(());
+    }
+    let g = &report.graph_stats;
+    println!(
+        "she audit: graph {} fns, {} edges, {} roots, {} unresolved call(s)",
+        g.nodes, g.edges, g.roots, g.unresolved_calls
+    );
+    for t in &report.timings {
+        println!("she audit: rule {:<8} {:>6}us  {} finding(s)", t.name, t.micros, t.findings);
     }
     if report.ok() {
         println!(

@@ -141,6 +141,12 @@ impl SnapshotState for SlidingTopK {
 
         let mut r = Reader::new(section(frame::tag::CANDIDATES)?);
         let n = r.u64()? as usize;
+        // A snapshot cannot legitimately carry more candidates than the
+        // tracker's own cap; reject a corrupt length before it sizes the
+        // allocation.
+        if n > self.cap {
+            return Err(SnapshotError::ConfigMismatch { field: "cap" });
+        }
         let mut candidates = HashMap::with_capacity(n);
         for _ in 0..n {
             let key = r.u64()?;

@@ -32,7 +32,6 @@
 //! leaves already-enqueued jobs behind, and their late completions must
 //! not be mistaken for the answer to a newer request.
 
-use crate::codec::write_frame;
 use crate::conn::{Connection, Event};
 use crate::protocol::{Request, Response};
 use crate::server::{
@@ -51,7 +50,7 @@ use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, Receiver, Sender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Epoll token of the listening socket.
 const LISTENER_TOKEN: u64 = u64::MAX;
@@ -493,8 +492,10 @@ impl Reactor {
             // Everything else is cheap and lock-light: inserts (try_send
             // admission first — BUSY without blocking), HELLO, cluster map
             // ops, SHUTDOWN (flips the flag; the loop notices this round).
+            // `handle_inline` is the statically-audited reactor-safe
+            // subset; a blocking request landing there answers ERR.
             req => {
-                let resp = self.shared.handle(req);
+                let resp = self.shared.handle_inline(req);
                 cs.conn.push_response(&resp);
             }
         }
@@ -819,14 +820,21 @@ fn finish_gather(parts: Vec<Option<Answer>>, kind: GatherKind) -> Response {
     }
 }
 
-/// Refuse an over-cap connection: one `OVERLOADED` frame (best effort,
-/// bounded write timeout on the still-blocking just-accepted socket),
-/// then close.
+/// Refuse an over-cap connection: one best-effort `OVERLOADED` frame on
+/// the just-accepted socket, then close. The socket goes non-blocking
+/// first, so a zero-window client cannot stall the reactor at all; a
+/// frame that does not fit the socket buffer in one write is abandoned
+/// and the client only sees the close.
 fn refuse(stream: TcpStream, retry_after_ms: u32) {
-    // audit:allow(blocking): refusal happens before the socket joins the reactor; 100ms cap
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
     let resp = Response::Overloaded { retry_after_ms: retry_after_ms.max(1).saturating_mul(10) };
+    let payload = resp.encode();
+    let Ok(len) = u32::try_from(payload.len()) else { return };
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&payload);
     let mut stream = stream;
-    // audit:allow(blocking): same one-shot refusal write
-    let _ = write_frame(&mut stream, &resp.encode());
+    let _ = stream.write(&frame);
 }

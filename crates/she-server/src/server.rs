@@ -239,8 +239,6 @@ impl Shared {
     /// and routes everything else here.
     pub(crate) fn handle(&self, req: Request) -> Response {
         match req {
-            Request::Insert { stream, key } => self.ingest(stream, vec![key]),
-            Request::InsertBatch { stream, keys } => self.ingest(stream, keys),
             Request::QueryMember { key } => {
                 let shard = self.engine.shard_of(key);
                 match self.ask_read(shard, |sink| Job::Member { key, sink }) {
@@ -279,39 +277,10 @@ impl Shared {
                 ReadAnswer::Gone => shutting_down(),
             },
             Request::QueryBatch { op, keys } => self.query_batch(op, keys),
-            // Served inline (mutex + compute, never a shard queue): the
-            // reactor's catch-all routes it here without a completion.
-            Request::QueryFast { op, key } => match &self.readpath {
-                Some(rp) => match rp.query(op, key) {
-                    Some(FastAnswer::Bool(v)) => Response::Bool(v),
-                    Some(FastAnswer::Count(v)) => Response::U64(v),
-                    Some(FastAnswer::Ranked(pairs)) => {
-                        let mut flat = Vec::with_capacity(pairs.len() * 2);
-                        for (k, est) in pairs {
-                            flat.push(k);
-                            flat.push(est);
-                        }
-                        Response::U64s(flat)
-                    }
-                    None => Response::Err(format!(
-                        "unknown fast op {op} (member {}, freq {}, topk {}, flush {})",
-                        she_readpath::op::MEMBER,
-                        she_readpath::op::FREQ,
-                        she_readpath::op::TOPK,
-                        she_readpath::op::FLUSH
-                    )),
-                },
-                None => Response::Err("read path disabled (serve with --readpath)".to_string()),
-            },
             Request::Stats => match self.ask_all(|reply| Job::Stats { reply }) {
                 Some(parts) => Response::Stats(parts),
                 None => shutting_down(),
             },
-            Request::Hello { version } => {
-                // Speak the lower of the two versions; v1 clients never
-                // send HELLO, and v1 servers answer it with ERR.
-                Response::Hello { version: version.min(PROTOCOL_VERSION) }
-            }
             Request::Snapshot { shard } => {
                 let shard = shard as usize;
                 if shard >= self.txs.len() {
@@ -368,6 +337,61 @@ impl Shared {
                 }
             }
             Request::ReplBootstrap => self.bootstrap(),
+            Request::ClusterQuery { op, key } => match &self.cluster {
+                // The scatter legs are plain QUERY_* requests (never a
+                // nested CLUSTER_QUERY), so coordinators cannot recurse;
+                // the self-leg loops back through our own reactor.
+                Some(dir) => scatter_query(&dir.get(), op, key, CLUSTER_LEG_TIMEOUT),
+                None => not_a_cluster_node(),
+            },
+            Request::ClusterQueryBatch { op, keys } => match &self.cluster {
+                Some(dir) => scatter_query_batch(&dir.get(), op, &keys, CLUSTER_LEG_TIMEOUT),
+                None => not_a_cluster_node(),
+            },
+            // Everything else is reactor-safe; share one implementation
+            // so the two paths cannot drift.
+            req => self.handle_inline(req),
+        }
+    }
+
+    /// The reactor-safe subset of [`Shared::handle`]: every arm finishes
+    /// with non-blocking work only — `try_send` admission for inserts,
+    /// the mutex-light read path, atomic map swaps, a shutdown flag
+    /// flip. The reactor's dispatch catch-all calls this directly, which
+    /// lets `she audit` prove statically that no blocking syscall
+    /// wrapper is reachable from the poll thread.
+    pub(crate) fn handle_inline(&self, req: Request) -> Response {
+        match req {
+            Request::Insert { stream, key } => self.ingest(stream, vec![key]),
+            Request::InsertBatch { stream, keys } => self.ingest(stream, keys),
+            // Served inline (mutex + compute, never a shard queue).
+            Request::QueryFast { op, key } => match &self.readpath {
+                Some(rp) => match rp.query(op, key) {
+                    Some(FastAnswer::Bool(v)) => Response::Bool(v),
+                    Some(FastAnswer::Count(v)) => Response::U64(v),
+                    Some(FastAnswer::Ranked(pairs)) => {
+                        let mut flat = Vec::with_capacity(pairs.len() * 2);
+                        for (k, est) in pairs {
+                            flat.push(k);
+                            flat.push(est);
+                        }
+                        Response::U64s(flat)
+                    }
+                    None => Response::Err(format!(
+                        "unknown fast op {op} (member {}, freq {}, topk {}, flush {})",
+                        she_readpath::op::MEMBER,
+                        she_readpath::op::FREQ,
+                        she_readpath::op::TOPK,
+                        she_readpath::op::FLUSH
+                    )),
+                },
+                None => Response::Err("read path disabled (serve with --readpath)".to_string()),
+            },
+            Request::Hello { version } => {
+                // Speak the lower of the two versions; v1 clients never
+                // send HELLO, and v1 servers answer it with ERR.
+                Response::Hello { version: version.min(PROTOCOL_VERSION) }
+            }
             Request::ClusterStatus => Response::ClusterStatus(self.cluster_status()),
             Request::ClusterJoin { from_node: _, map } => match &self.cluster {
                 Some(dir) => {
@@ -380,17 +404,6 @@ impl Shared {
                 Some(dir) => Response::ClusterMapReply(dir.get()),
                 None => not_a_cluster_node(),
             },
-            Request::ClusterQuery { op, key } => match &self.cluster {
-                // The scatter legs are plain QUERY_* requests (never a
-                // nested CLUSTER_QUERY), so coordinators cannot recurse;
-                // the self-leg loops back through our own reactor.
-                Some(dir) => scatter_query(&dir.get(), op, key, CLUSTER_LEG_TIMEOUT),
-                None => not_a_cluster_node(),
-            },
-            Request::ClusterQueryBatch { op, keys } => match &self.cluster {
-                Some(dir) => scatter_query_batch(&dir.get(), op, &keys, CLUSTER_LEG_TIMEOUT),
-                None => not_a_cluster_node(),
-            },
             // Valid only *on* a feed; the reactor intercepts the
             // subscribe before it can reach here.
             Request::ReplSubscribe { .. } | Request::ReplAck { .. } => {
@@ -400,6 +413,9 @@ impl Shared {
                 self.begin_shutdown();
                 Response::Ok { accepted: 0 }
             }
+            // A blocking request routed here is a dispatch bug, not a
+            // client error — fail loudly instead of blocking the reactor.
+            _ => Response::Err("internal: blocking request routed to the inline handler".into()),
         }
     }
 

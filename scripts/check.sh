@@ -19,10 +19,20 @@ echo "== cargo fmt --check"
 cargo fmt --check
 
 echo "== she audit"
-# Workspace-wide static-analysis gate (docs/ANALYSIS.md): panic-path and
-# cast ratchets, lock-order manifest, protocol drift. Hard gate — any
-# finding above a committed baseline fails the build.
+# Workspace-wide static-analysis gate (docs/ANALYSIS.md): call-graph
+# reachability rules (blocking, reachable-panic, wiresize), lock-order
+# manifest + mined acquisition edges, unsafe inventory, cast/growth
+# ratchets, protocol drift. Hard gate — any finding above a committed
+# baseline fails the build. The audit prints per-rule timings itself;
+# the wall-time budget below keeps the whole pass interactive.
+AUDIT_START=$(date +%s%N)
 target/release/she audit --root .
+AUDIT_MS=$(( ($(date +%s%N) - AUDIT_START) / 1000000 ))
+echo "she audit: ${AUDIT_MS}ms wall"
+[ "$AUDIT_MS" -le 10000 ] || {
+    echo "she audit took ${AUDIT_MS}ms (budget 10000ms) — profile the graph build"
+    exit 1
+}
 
 echo "== checkpoint/restore smoke test"
 # Serve, load 10k keys, checkpoint over the wire, restart --restore, and
